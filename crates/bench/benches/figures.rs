@@ -1,0 +1,173 @@
+//! One benchmark group per table/figure of the paper (reduced scale).
+//!
+//! Each bench measures the wall-clock cost of regenerating the artifact's
+//! data at miniature scale and, as a side effect, sanity-checks the shape
+//! (assertions inside the harness). Full-scale reports come from
+//! `cargo run --release -p testbed --bin repro -- --full all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use testbed::experiments::{fig3, fig4, fig5, fig6, fig7, fig8, msgstats, table1};
+use testbed::Setup;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_latencies", |b| {
+        b.iter(|| {
+            let report = table1::run();
+            assert_eq!(report.rows().len(), 12);
+            black_box(report.render())
+        })
+    });
+}
+
+fn fig3_params() -> fig3::Fig3Params {
+    fig3::Fig3Params {
+        sizes: vec![13],
+        setups: vec![Setup::Baseline, Setup::Gossip, Setup::SemanticGossip],
+        sweep_steps: 3,
+        seconds: (1.0, 0.5),
+        value_size: 1024,
+        seed: 11,
+    }
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_overall_performance");
+    g.sample_size(10);
+    g.bench_function("sweep_n13", |b| {
+        b.iter(|| {
+            let report = fig3::run(&fig3_params());
+            assert_eq!(report.curves.len(), 3);
+            black_box(report)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let fig3_report = fig3::run(&fig3_params());
+    c.bench_function("fig4_saturation_throughput", |b| {
+        b.iter(|| {
+            let report = fig4::from_fig3(black_box(&fig3_report));
+            assert!(!report.bars.is_empty());
+            black_box(report)
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let params = fig5::Fig5Params {
+        n: 13,
+        setups: vec![Setup::Baseline, Setup::Gossip, Setup::SemanticGossip],
+        rate: Some(13.0),
+        seconds: (1.0, 0.5),
+        cdf_points: 20,
+        seed: 11,
+    };
+    let mut g = c.benchmark_group("fig5_latency_cdf");
+    g.sample_size(10);
+    g.bench_function("cdf_n13", |b| {
+        b.iter(|| {
+            let report = fig5::run(&params);
+            assert_eq!(report.distributions.len(), 3);
+            black_box(report)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let params = fig6::Fig6Params {
+        n: 13,
+        setups: vec![Setup::Gossip, Setup::SemanticGossip],
+        loss_rates: vec![0.0, 0.2],
+        rates: Some(vec![13.0]),
+        seeds: 2,
+        seconds: (1.0, 0.5),
+    };
+    let mut g = c.benchmark_group("fig6_reliability");
+    g.sample_size(10);
+    g.bench_function("loss_grid_n13", |b| {
+        b.iter(|| {
+            let report = fig6::run(&params);
+            assert_eq!(report.cells.len(), 4);
+            black_box(report)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let params = fig7::Fig7Params {
+        n: 13,
+        overlays: 5,
+        rate: 13.0,
+        seconds: (1.0, 0.5),
+        seed: 11,
+    };
+    let mut g = c.benchmark_group("fig7_overlay_selection");
+    g.sample_size(10);
+    g.bench_function("select_5_overlays_n13", |b| {
+        b.iter(|| {
+            let report = fig7::run(&params);
+            assert_eq!(report.ordered.len(), 5);
+            black_box(report)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let params = fig8::Fig8Params {
+        overlays: fig7::Fig7Params {
+            n: 13,
+            overlays: 3,
+            rate: 13.0,
+            seconds: (1.0, 0.5),
+            seed: 11,
+        },
+        rate: None,
+    };
+    let mut g = c.benchmark_group("fig8_overlay_robustness");
+    g.sample_size(10);
+    g.bench_function("pairs_3_overlays_n13", |b| {
+        b.iter(|| {
+            let report = fig8::run(&params);
+            assert_eq!(report.pairs.len(), 3);
+            black_box(report)
+        })
+    });
+    g.finish();
+}
+
+fn bench_msgstats(c: &mut Criterion) {
+    let params = msgstats::MsgStatsParams {
+        sizes: vec![13],
+        seconds: (1.0, 0.5),
+        seed: 11,
+    };
+    let mut g = c.benchmark_group("msgstats_redundancy");
+    g.sample_size(10);
+    g.bench_function("three_setups_n13", |b| {
+        b.iter(|| {
+            let report = msgstats::run(&params);
+            assert!(report.stats[0].redundancy_factor() > 1.0);
+            black_box(report)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_msgstats
+);
+criterion_main!(figures);

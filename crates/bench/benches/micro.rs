@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the hot-path primitives: wire codec, duplicate
+//! filters, semantic aggregation, and the gossip node's forwarding loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bench::{semantics, vote_batch};
+use paxos::{InstanceId, PaxosMessage, Round, Value};
+use semantic_gossip::codec::Wire;
+use semantic_gossip::{
+    GossipConfig, GossipItem, GossipNode, NoSemantics, NodeId, Semantics,
+};
+
+fn sample_vote(payload: usize) -> PaxosMessage {
+    PaxosMessage::Phase2b {
+        instance: InstanceId::new(42),
+        round: Round::new(1),
+        value: Value::new(NodeId::new(3), 7, vec![0xAB; payload]),
+        voters: vec![NodeId::new(9)],
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for payload in [64usize, 1024] {
+        let msg = sample_vote(payload);
+        let bytes = msg.to_bytes();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", payload), &msg, |b, msg| {
+            b.iter(|| black_box(msg.to_bytes()))
+        });
+        g.bench_with_input(BenchmarkId::new("decode", payload), &bytes, |b, bytes| {
+            b.iter(|| black_box(PaxosMessage::from_bytes(bytes).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregation");
+    for voters in [4usize, 16, 52] {
+        let batch = vote_batch(voters);
+        g.bench_with_input(
+            BenchmarkId::new("aggregate", voters),
+            &batch,
+            |b, batch| {
+                b.iter_batched(
+                    || (semantics(105), batch.clone()),
+                    |(mut sem, batch)| black_box(sem.aggregate(batch, NodeId::new(104))),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    // Disaggregation of a 52-voter aggregate (n=105 quorum).
+    let mut sem = semantics(105);
+    let agg = sem
+        .aggregate(vote_batch(52), NodeId::new(104))
+        .pop()
+        .expect("one aggregate");
+    g.bench_function("disaggregate_52", |b| {
+        b.iter_batched(
+            || (semantics(105), agg.clone()),
+            |(mut sem, agg)| black_box(sem.disaggregate(agg)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_gossip_node(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_node");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("broadcast_and_drain_7_peers", |b| {
+        let peers: Vec<NodeId> = (1..=7).map(NodeId::new).collect();
+        let mut node: GossipNode<PaxosMessage, NoSemantics> =
+            GossipNode::classic(NodeId::new(0), peers, GossipConfig::default());
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            node.broadcast(PaxosMessage::ClientValue {
+                forwarder: NodeId::new(0),
+                value: Value::new(NodeId::new(0), seq, vec![0; 1024]),
+            });
+            black_box(node.take_deliveries());
+            black_box(node.take_outgoing())
+        })
+    });
+    g.bench_function("duplicate_suppression_hit", |b| {
+        let peers: Vec<NodeId> = (1..=7).map(NodeId::new).collect();
+        let mut node: GossipNode<PaxosMessage, NoSemantics> =
+            GossipNode::classic(NodeId::new(0), peers, GossipConfig::default());
+        let msg = sample_vote(1024);
+        node.on_receive(NodeId::new(1), msg.clone());
+        node.take_outgoing();
+        node.take_deliveries();
+        b.iter(|| {
+            node.on_receive(NodeId::new(2), black_box(msg.clone()));
+        })
+    });
+    g.finish();
+}
+
+fn bench_message_id(c: &mut Criterion) {
+    let msg = sample_vote(1024);
+    c.bench_function("message_id", |b| b.iter(|| black_box(msg.message_id())));
+}
+
+criterion_group!(
+    micro,
+    bench_codec,
+    bench_aggregation,
+    bench_gossip_node,
+    bench_message_id
+);
+criterion_main!(micro);

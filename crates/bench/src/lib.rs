@@ -1,0 +1,309 @@
+//! Shared harness code for the Criterion benchmarks.
+//!
+//! The benchmarks regenerate the paper's tables and figures at reduced
+//! scale (small `n`, short windows) so a full `cargo bench` finishes in
+//! minutes; the `repro` binary (`crates/testbed`) produces the full-scale
+//! reports. Everything here is deterministic per seed.
+
+use paxos::{PaxosConfig, PaxosMessage, Value};
+use raft_lite::{RaftConfig, RaftMessage, RaftNode, RaftSemantics, Term};
+use paxos_semantics::PaxosSemantics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use semantic_gossip::pull::PullStore;
+use semantic_gossip::{
+    DuplicateFilter, GossipConfig, GossipItem, GossipNode, NoSemantics, NodeId,
+};
+use testbed::{run_cluster, ClusterParams, RunMetrics, Setup};
+
+/// A small, fast cluster run used by the figure benches.
+pub fn mini_cluster(setup: Setup, n: usize, rate: f64, loss: f64, seed: u64) -> RunMetrics {
+    let params = ClusterParams::paper(n, setup)
+        .with_rate(rate)
+        .with_seconds(1.0, 0.5)
+        .with_loss(loss)
+        .with_seed(seed);
+    let m = run_cluster(&params);
+    assert!(m.safety_ok, "bench run violated safety");
+    m
+}
+
+/// Outcome of one lossy dissemination round over a mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossyOutcome {
+    /// `(node, message)` deliveries that happened.
+    pub delivered: usize,
+    /// Deliveries still missing after the strategy ran.
+    pub missing: usize,
+}
+
+/// Disseminates `messages` broadcasts over a random overlay with per-link
+/// loss, using plain push gossip; optionally follows up with one push-pull
+/// anti-entropy exchange between every pair of neighbors.
+///
+/// This is the `ablation_strategy` workload: it quantifies how many
+/// deliveries the pull half recovers that push alone lost.
+pub fn lossy_dissemination(
+    n: usize,
+    messages: usize,
+    loss: f64,
+    with_pull: bool,
+    seed: u64,
+) -> LossyOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = overlay::connected_k_out(n, overlay::paper_fanout(n), &mut rng, 100)
+        .expect("connected overlay");
+    let mut nodes: Vec<GossipNode<PaxosMessage, NoSemantics>> = (0..n)
+        .map(|i| {
+            let peers = graph
+                .neighbors(i)
+                .iter()
+                .map(|&p| NodeId::new(p as u32))
+                .collect();
+            GossipNode::new(
+                NodeId::new(i as u32),
+                peers,
+                GossipConfig::default(),
+                NoSemantics,
+            )
+        })
+        .collect();
+    let mut stores: Vec<PullStore<PaxosMessage>> =
+        (0..n).map(|_| PullStore::new(messages * 2 + 16)).collect();
+
+    let msgs: Vec<PaxosMessage> = (0..messages)
+        .map(|s| PaxosMessage::ClientValue {
+            forwarder: NodeId::new(0),
+            value: Value::new(NodeId::new((s % n) as u32), s as u64, vec![0; 32]),
+        })
+        .collect();
+    for (s, msg) in msgs.iter().enumerate() {
+        nodes[s % n].broadcast(msg.clone());
+    }
+
+    // Push phase with lossy links.
+    loop {
+        let mut progressed = false;
+        for i in 0..n {
+            for msg in nodes[i].take_deliveries() {
+                stores[i].record(msg);
+            }
+            for (peer, msg) in nodes[i].take_outgoing() {
+                progressed = true;
+                if rng.gen::<f64>() < loss {
+                    continue;
+                }
+                nodes[peer.as_index()].on_receive(NodeId::new(i as u32), msg);
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for i in 0..n {
+        for msg in nodes[i].take_deliveries() {
+            stores[i].record(msg);
+        }
+    }
+
+    // Optional pull phase: each node offers its digest to each neighbor,
+    // which requests and receives what it misses (reliable exchange, like
+    // Bimodal Multicast's anti-entropy round).
+    if with_pull {
+        for round in 0..2 {
+            let _ = round;
+            for (a, b) in graph.edges() {
+                for (src, dst) in [(a, b), (b, a)] {
+                    let digest = stores[src].digest(messages * 2);
+                    let missing: Vec<_> = digest
+                        .iter()
+                        .copied()
+                        .filter(|&id| !stores[dst].lookup(&[id]).iter().any(|_| true))
+                        .collect();
+                    for msg in stores[src].lookup(&missing) {
+                        nodes[dst].on_receive(NodeId::new(src as u32), msg);
+                    }
+                }
+            }
+            for i in 0..n {
+                for msg in nodes[i].take_deliveries() {
+                    stores[i].record(msg);
+                }
+                // Forward pulled messages with the usual push (lossless here
+                // would be cheating — apply the same loss).
+                for (peer, msg) in nodes[i].take_outgoing() {
+                    if rng.gen::<f64>() < loss {
+                        continue;
+                    }
+                    nodes[peer.as_index()].on_receive(NodeId::new(i as u32), msg);
+                }
+            }
+        }
+        for i in 0..n {
+            for msg in nodes[i].take_deliveries() {
+                stores[i].record(msg);
+            }
+        }
+    }
+
+    let delivered: usize = stores.iter().map(|s| s.len()).sum();
+    LossyOutcome {
+        delivered,
+        missing: n * messages - delivered,
+    }
+}
+
+/// Floods `count` distinct vote messages through a duplicate filter,
+/// re-offering each `copies` times — the duplicate-suppression hot path.
+pub fn dedup_workload<F: DuplicateFilter>(filter: &mut F, count: usize, copies: usize) -> usize {
+    let mut fresh = 0;
+    for c in 0..count {
+        let msg = PaxosMessage::Phase2b {
+            instance: paxos::InstanceId::new((c / 32) as u64),
+            round: paxos::Round::ZERO,
+            value: Value::new(NodeId::new(0), (c / 32) as u64, vec![0; 8]),
+            voters: vec![NodeId::new((c % 32) as u32)],
+        };
+        let id = msg.message_id();
+        for _ in 0..copies {
+            if filter.insert(id) {
+                fresh += 1;
+            }
+        }
+    }
+    fresh
+}
+
+/// Builds a batch of identical votes differing by voter, for aggregation
+/// benches.
+pub fn vote_batch(voters: usize) -> Vec<PaxosMessage> {
+    (0..voters)
+        .map(|v| PaxosMessage::Phase2b {
+            instance: paxos::InstanceId::ZERO,
+            round: paxos::Round::ZERO,
+            value: Value::new(NodeId::new(0), 0, vec![0; 1024]),
+            voters: vec![NodeId::new(v as u32)],
+        })
+        .collect()
+}
+
+/// A fresh full-rules semantics instance for `n` processes.
+pub fn semantics(n: usize) -> PaxosSemantics {
+    PaxosSemantics::full(PaxosConfig::new(n))
+}
+
+/// Runs the raft-lite protocol over a gossip mesh on a random overlay;
+/// returns the total messages the gossip layers sent. Used by the
+/// `ablation_raft` bench to quantify how much the semantic techniques save
+/// for a second consensus protocol (the paper's §5 claim).
+pub fn raft_mesh_sent(n: usize, commands: usize, semantic: bool, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = overlay::connected_k_out(n, overlay::paper_fanout(n), &mut rng, 100)
+        .expect("connected overlay");
+    let config = RaftConfig::new(n);
+    let mut gossips: Vec<GossipNode<RaftMessage, RaftSemantics>> = (0..n)
+        .map(|i| {
+            let peers = graph
+                .neighbors(i)
+                .iter()
+                .map(|&p| NodeId::new(p as u32))
+                .collect();
+            let sem = if semantic {
+                RaftSemantics::full(config.clone())
+            } else {
+                RaftSemantics::disabled(config.clone())
+            };
+            GossipNode::new(NodeId::new(i as u32), peers, GossipConfig::default(), sem)
+        })
+        .collect();
+    let mut nodes: Vec<RaftNode> = (0..n as u32)
+        .map(|i| RaftNode::new(NodeId::new(i), config.clone()))
+        .collect();
+
+    for m in nodes[0].become_leader(Term::ZERO) {
+        gossips[0].broadcast(m);
+    }
+    let settle = |gossips: &mut Vec<GossipNode<RaftMessage, RaftSemantics>>,
+                      nodes: &mut Vec<RaftNode>| loop {
+        let mut progressed = false;
+        for i in 0..n {
+            loop {
+                let msgs = gossips[i].take_deliveries();
+                if msgs.is_empty() {
+                    break;
+                }
+                progressed = true;
+                for msg in msgs {
+                    for m in nodes[i].handle(msg) {
+                        gossips[i].broadcast(m);
+                    }
+                }
+            }
+            for (peer, msg) in gossips[i].take_outgoing() {
+                gossips[peer.as_index()].on_receive(NodeId::new(i as u32), msg);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    };
+    for c in 0..commands {
+        let origin = c % n;
+        for m in nodes[origin].submit(vec![c as u8; 64]) {
+            gossips[origin].broadcast(m);
+        }
+        if c % 3 == 2 {
+            settle(&mut gossips, &mut nodes);
+        }
+    }
+    settle(&mut gossips, &mut nodes);
+    let committed = nodes[0].take_committed().len();
+    assert_eq!(committed, commands, "every command must commit");
+    gossips.iter().map(|g| g.stats().sent.get()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semantic_gossip::RecentCache;
+
+    #[test]
+    fn mini_cluster_runs_every_setup() {
+        for setup in [Setup::Baseline, Setup::Gossip, Setup::SemanticGossip] {
+            let m = mini_cluster(setup, 13, 13.0, 0.0, 1);
+            assert!(m.ordered > 0, "{setup:?}");
+        }
+    }
+
+    #[test]
+    fn pull_recovers_what_push_lost() {
+        let push_only = lossy_dissemination(16, 10, 0.35, false, 9);
+        let push_pull = lossy_dissemination(16, 10, 0.35, true, 9);
+        assert!(
+            push_pull.missing <= push_only.missing,
+            "pull should not lose more: {push_pull:?} vs {push_only:?}"
+        );
+    }
+
+    #[test]
+    fn lossless_push_delivers_everything() {
+        let out = lossy_dissemination(12, 8, 0.0, false, 3);
+        assert_eq!(out.missing, 0);
+    }
+
+    #[test]
+    fn dedup_workload_counts_fresh_once() {
+        let mut cache = RecentCache::new(1 << 12);
+        let fresh = dedup_workload(&mut cache, 100, 3);
+        assert_eq!(fresh, 100);
+    }
+
+    #[test]
+    fn vote_batch_aggregates_to_one() {
+        use semantic_gossip::Semantics;
+        let mut sem = semantics(64);
+        let out = sem.aggregate(vote_batch(32), NodeId::new(63));
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Gossip layer configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of a [`GossipNode`](crate::GossipNode).
+///
+/// The defaults match the reproduction's experiment setup; construct with
+/// struct update syntax for variations:
+///
+/// ```
+/// use semantic_gossip::GossipConfig;
+/// let config = GossipConfig {
+///     recent_cache_size: 1 << 16,
+///     ..GossipConfig::default()
+/// };
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Capacity of the recently-seen duplicate cache (message ids).
+    pub recent_cache_size: usize,
+    /// Capacity of each per-peer send queue; messages enqueued beyond this
+    /// are dropped (the paper's defense against slow peers, §4.2).
+    pub send_queue_capacity: usize,
+    /// Capacity of the delivery queue toward the consensus protocol;
+    /// messages beyond this are dropped.
+    pub delivery_queue_capacity: usize,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            recent_cache_size: 1 << 15,
+            send_queue_capacity: 4096,
+            delivery_queue_capacity: 16384,
+        }
+    }
+}
+
+impl GossipConfig {
+    /// Checks the configuration for nonsensical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.recent_cache_size == 0 {
+            return Err("recent_cache_size must be positive".into());
+        }
+        if self.send_queue_capacity == 0 {
+            return Err("send_queue_capacity must be positive".into());
+        }
+        if self.delivery_queue_capacity == 0 {
+            return Err("delivery_queue_capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(GossipConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let mut c = GossipConfig::default();
+        c.recent_cache_size = 0;
+        assert!(c.validate().unwrap_err().contains("recent_cache_size"));
+
+        let mut c = GossipConfig::default();
+        c.send_queue_capacity = 0;
+        assert!(c.validate().unwrap_err().contains("send_queue_capacity"));
+
+        let mut c = GossipConfig::default();
+        c.delivery_queue_capacity = 0;
+        assert!(c.validate().unwrap_err().contains("delivery_queue_capacity"));
+    }
+}

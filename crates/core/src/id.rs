@@ -1,0 +1,164 @@
+//! Process and message identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process participating in gossip/consensus.
+///
+/// Process ids are dense small integers (they index overlay nodes and region
+/// maps); by convention id 0 is the Paxos coordinator in the experiments.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id.
+    pub const fn new(id: u32) -> Self {
+        NodeId(id)
+    }
+
+    /// The raw integer value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The id as an index into per-process arrays.
+    pub const fn as_index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(id: u32) -> Self {
+        NodeId(id)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Globally unique identifier of a gossiped message.
+///
+/// The paper lets the *consensus protocol* define message identifiers so it
+/// can guarantee uniqueness without hash collisions (§3.3); the recently-seen
+/// cache stores these ids instead of full messages. 128 bits leave room to
+/// pack `(kind, instance, round, sender)` structurally — see
+/// [`MessageId::from_parts`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MessageId(u128);
+
+impl MessageId {
+    /// Builds an id from a raw 128-bit value.
+    pub const fn from_u128(v: u128) -> Self {
+        MessageId(v)
+    }
+
+    /// Packs two 64-bit words into an id (high, low).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use semantic_gossip::MessageId;
+    /// let id = MessageId::from_parts(1, 2);
+    /// assert_eq!(id.as_u128(), (1u128 << 64) | 2);
+    /// ```
+    pub const fn from_parts(high: u64, low: u64) -> Self {
+        MessageId(((high as u128) << 64) | low as u128)
+    }
+
+    /// The raw 128-bit value.
+    pub const fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// The high 64-bit word.
+    pub const fn high(self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+
+    /// The low 64-bit word.
+    pub const fn low(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A stable 64-bit hash (FNV-1a) for building message ids from raw bytes.
+///
+/// Deterministic across platforms and runs — unlike `std`'s `DefaultHasher`,
+/// which is randomly keyed per process.
+///
+/// # Example
+///
+/// ```
+/// let h1 = semantic_gossip::id::stable_hash64(b"value-1");
+/// let h2 = semantic_gossip::id::stable_hash64(b"value-1");
+/// assert_eq!(h1, h2);
+/// ```
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.as_u32(), 42);
+        assert_eq!(id.as_index(), 42);
+        assert_eq!(NodeId::from(42u32), id);
+        assert_eq!(id.to_string(), "p42");
+    }
+
+    #[test]
+    fn message_id_parts() {
+        let id = MessageId::from_parts(0xdead_beef, 0xcafe);
+        assert_eq!(id.high(), 0xdead_beef);
+        assert_eq!(id.low(), 0xcafe);
+        assert_eq!(MessageId::from_u128(id.as_u128()), id);
+    }
+
+    #[test]
+    fn message_id_display_is_hex() {
+        assert_eq!(
+            MessageId::from_parts(0, 255).to_string(),
+            "000000000000000000000000000000ff"
+        );
+    }
+
+    #[test]
+    fn stable_hash_spreads() {
+        let hashes: HashSet<u64> = (0..10_000u32)
+            .map(|i| stable_hash64(&i.to_le_bytes()))
+            .collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn stable_hash_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(stable_hash64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

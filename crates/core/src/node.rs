@@ -1,0 +1,504 @@
+//! The gossip node: push dissemination with semantic extensions.
+//!
+//! Mirrors Figure 2 of the paper: a *broadcast queue* fed by the consensus
+//! protocol, a *delivery queue* read by it, one *send queue* per peer, a
+//! *duplication check* against the recently-seen cache, and a forwarding
+//! module pushing every fresh message to all peers except its origin. The
+//! semantic extensions hook the send path (`aggregate`, `validate`) and the
+//! receive path (`disaggregate`).
+
+use std::collections::VecDeque;
+
+use crate::cache::{DuplicateFilter, RecentCache};
+use crate::config::GossipConfig;
+use crate::id::{MessageId, NodeId};
+use crate::semantics::{NoSemantics, Semantics};
+use crate::stats::MessageStats;
+
+/// A message type that can be gossiped.
+///
+/// The consensus protocol defines [`GossipItem::message_id`] so identifiers
+/// are unique by construction (the paper stores consensus-defined unique ids
+/// in the recently-seen cache to prevent hash collisions, §3.3).
+/// [`GossipItem::wire_size`] is the encoded size in bytes, used by runtimes
+/// for CPU/bandwidth accounting.
+pub trait GossipItem: Clone {
+    /// Globally unique identifier of this message.
+    fn message_id(&self) -> MessageId;
+
+    /// Size of the encoded message in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// A sans-IO gossip node (see the [crate docs](crate) for an example).
+///
+/// Type parameters: `M` the message type, `S` the [`Semantics`]
+/// implementation (default classic), `F` the [`DuplicateFilter`] (default
+/// the exact [`RecentCache`]).
+///
+/// A runtime drives the node with four calls:
+///
+/// 1. [`broadcast`](Self::broadcast) when the local consensus protocol emits
+///    a message;
+/// 2. [`on_receive`](Self::on_receive) when a message arrives from a peer;
+/// 3. [`take_outgoing`](Self::take_outgoing) to collect `(peer, message)`
+///    pairs to transmit;
+/// 4. [`take_deliveries`](Self::take_deliveries) to collect messages for the
+///    local consensus protocol.
+#[derive(Debug)]
+pub struct GossipNode<M, S = NoSemantics, F = RecentCache> {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    send_queues: Vec<VecDeque<M>>,
+    delivery: VecDeque<M>,
+    filter: F,
+    semantics: S,
+    stats: MessageStats,
+    config: GossipConfig,
+}
+
+impl<M: GossipItem> GossipNode<M, NoSemantics, RecentCache> {
+    /// Creates a classic gossip node: no semantic extensions, exact
+    /// duplicate cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `peers` contains `id` or duplicates.
+    pub fn classic(id: NodeId, peers: Vec<NodeId>, config: GossipConfig) -> Self {
+        GossipNode::new(id, peers, config, NoSemantics)
+    }
+}
+
+impl<M: GossipItem, S: Semantics<M>> GossipNode<M, S, RecentCache> {
+    /// Creates a node with the given semantics and the default exact
+    /// duplicate cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `peers` contains `id` or duplicates.
+    pub fn new(id: NodeId, peers: Vec<NodeId>, config: GossipConfig, semantics: S) -> Self {
+        let filter = RecentCache::new(config.recent_cache_size);
+        GossipNode::with_filter(id, peers, config, semantics, filter)
+    }
+}
+
+impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter> GossipNode<M, S, F> {
+    /// Creates a node with explicit semantics and duplicate filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid, or `peers` contains `id` or duplicate
+    /// entries.
+    pub fn with_filter(
+        id: NodeId,
+        peers: Vec<NodeId>,
+        config: GossipConfig,
+        semantics: S,
+        filter: F,
+    ) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid gossip config: {e}");
+        }
+        assert!(!peers.contains(&id), "a node cannot be its own peer");
+        let mut dedup = peers.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), peers.len(), "duplicate peer ids");
+        let send_queues = peers.iter().map(|_| VecDeque::new()).collect();
+        GossipNode {
+            id,
+            peers,
+            send_queues,
+            delivery: VecDeque::new(),
+            filter,
+            semantics,
+            stats: MessageStats::default(),
+            config,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The peers this node pushes to.
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Message accounting so far.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Shared access to the semantics implementation (e.g. to inspect the
+    /// summary it maintains).
+    pub fn semantics(&self) -> &S {
+        &self.semantics
+    }
+
+    /// Exclusive access to the semantics implementation (e.g. for periodic
+    /// maintenance such as garbage-collecting per-peer summaries).
+    pub fn semantics_mut(&mut self) -> &mut S {
+        &mut self.semantics
+    }
+
+    /// Broadcasts a message from the local consensus protocol: it is
+    /// registered, delivered locally, and enqueued to every peer.
+    ///
+    /// Re-broadcasting a recently seen message is a no-op (duplicate).
+    pub fn broadcast(&mut self, msg: M) {
+        self.register_fresh(msg, None);
+    }
+
+    /// Handles a message received from `from`: disaggregates it, and every
+    /// fresh part is delivered locally and forwarded to all peers except
+    /// `from`.
+    pub fn on_receive(&mut self, from: NodeId, msg: M) {
+        self.stats.received.incr();
+        let parts = self.semantics.disaggregate(msg);
+        for part in parts {
+            self.stats.received_parts.incr();
+            if self.filter.contains(part.message_id()) {
+                self.stats.duplicates.incr();
+                continue;
+            }
+            self.register_fresh(part, Some(from));
+        }
+    }
+
+    /// Registers a fresh message: cache, observe, deliver, enqueue to peers
+    /// (except the optional origin).
+    fn register_fresh(&mut self, msg: M, origin: Option<NodeId>) {
+        if !self.filter.insert(msg.message_id()) {
+            // Locally broadcast duplicate (e.g. consensus re-broadcasts).
+            self.stats.duplicates.incr();
+            return;
+        }
+        self.semantics.observe(&msg);
+        if self.delivery.len() >= self.config.delivery_queue_capacity {
+            self.stats.delivery_overflow.incr();
+        } else {
+            self.delivery.push_back(msg.clone());
+            self.stats.delivered.incr();
+        }
+        for i in 0..self.peers.len() {
+            if Some(self.peers[i]) == origin {
+                continue;
+            }
+            if self.send_queues[i].len() >= self.config.send_queue_capacity {
+                self.stats.send_overflow.incr();
+            } else {
+                self.send_queues[i].push_back(msg.clone());
+            }
+        }
+    }
+
+    /// Drains and returns the messages pending for the consensus protocol.
+    pub fn take_deliveries(&mut self) -> Vec<M> {
+        self.delivery.drain(..).collect()
+    }
+
+    /// Whether any send queue has pending messages.
+    pub fn has_outgoing(&self) -> bool {
+        self.send_queues.iter().any(|q| !q.is_empty())
+    }
+
+    /// Drains all send queues and returns the `(peer, message)` pairs to
+    /// transmit, after applying semantic aggregation (when a peer has more
+    /// than one pending message) and semantic filtering (per message).
+    pub fn take_outgoing(&mut self) -> Vec<(NodeId, M)> {
+        let mut out = Vec::new();
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
+            if self.send_queues[i].is_empty() {
+                continue;
+            }
+            let pending: Vec<M> = self.send_queues[i].drain(..).collect();
+            let before = pending.len();
+            let pending = if before > 1 {
+                let aggregated = self.semantics.aggregate(pending, peer);
+                debug_assert!(
+                    aggregated.len() <= before,
+                    "aggregation must not grow the pending list"
+                );
+                self.stats
+                    .aggregated_away
+                    .add((before - aggregated.len()) as u64);
+                aggregated
+            } else {
+                pending
+            };
+            for msg in pending {
+                if self.semantics.validate(&msg, peer) {
+                    self.stats.sent.incr();
+                    out.push((peer, msg));
+                } else {
+                    self.stats.filtered.incr();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Msg(u64);
+
+    impl GossipItem for Msg {
+        fn message_id(&self) -> MessageId {
+            MessageId::from_u128(self.0 as u128)
+        }
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    fn node_with_peers(n: u32) -> GossipNode<Msg> {
+        let peers = (1..=n).map(NodeId::new).collect();
+        GossipNode::classic(NodeId::new(0), peers, GossipConfig::default())
+    }
+
+    #[test]
+    fn broadcast_delivers_locally_and_pushes_to_all_peers() {
+        let mut node = node_with_peers(3);
+        node.broadcast(Msg(1));
+        assert_eq!(node.take_deliveries(), vec![Msg(1)]);
+        let out = node.take_outgoing();
+        assert_eq!(out.len(), 3);
+        let peers: Vec<NodeId> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(peers, vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn receive_forwards_to_all_but_origin() {
+        let mut node = node_with_peers(3);
+        node.on_receive(NodeId::new(2), Msg(5));
+        assert_eq!(node.take_deliveries(), vec![Msg(5)]);
+        let out = node.take_outgoing();
+        let peers: Vec<NodeId> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(peers, vec![NodeId::new(1), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let mut node = node_with_peers(2);
+        node.on_receive(NodeId::new(1), Msg(9));
+        node.on_receive(NodeId::new(2), Msg(9));
+        assert_eq!(node.take_deliveries().len(), 1);
+        assert_eq!(node.stats().duplicates.get(), 1);
+        assert_eq!(node.stats().received.get(), 2);
+        // Only forwarded once (to peer 2, from the first reception).
+        assert_eq!(node.take_outgoing().len(), 1);
+    }
+
+    #[test]
+    fn rebroadcast_of_seen_message_is_duplicate() {
+        let mut node = node_with_peers(1);
+        node.broadcast(Msg(1));
+        node.broadcast(Msg(1));
+        assert_eq!(node.stats().duplicates.get(), 1);
+        assert_eq!(node.take_deliveries().len(), 1);
+    }
+
+    #[test]
+    fn receive_from_unknown_peer_forwards_everywhere() {
+        let mut node = node_with_peers(2);
+        node.on_receive(NodeId::new(99), Msg(1));
+        assert_eq!(node.take_outgoing().len(), 2);
+    }
+
+    #[test]
+    fn send_queue_overflow_drops_and_counts() {
+        let config = GossipConfig {
+            send_queue_capacity: 2,
+            ..GossipConfig::default()
+        };
+        let mut node: GossipNode<Msg> =
+            GossipNode::classic(NodeId::new(0), vec![NodeId::new(1)], config);
+        for v in 0..5 {
+            node.broadcast(Msg(v));
+        }
+        assert_eq!(node.stats().send_overflow.get(), 3);
+        assert_eq!(node.take_outgoing().len(), 2);
+    }
+
+    #[test]
+    fn delivery_queue_overflow_drops_and_counts() {
+        let config = GossipConfig {
+            delivery_queue_capacity: 1,
+            ..GossipConfig::default()
+        };
+        let mut node: GossipNode<Msg> =
+            GossipNode::classic(NodeId::new(0), vec![NodeId::new(1)], config);
+        node.broadcast(Msg(1));
+        node.broadcast(Msg(2));
+        assert_eq!(node.stats().delivery_overflow.get(), 1);
+        assert_eq!(node.take_deliveries(), vec![Msg(1)]);
+        // The overflowed message was still forwarded to peers.
+        assert_eq!(node.take_outgoing().len(), 2);
+    }
+
+    #[test]
+    fn has_outgoing_reflects_queues() {
+        let mut node = node_with_peers(1);
+        assert!(!node.has_outgoing());
+        node.broadcast(Msg(1));
+        assert!(node.has_outgoing());
+        node.take_outgoing();
+        assert!(!node.has_outgoing());
+    }
+
+    #[test]
+    #[should_panic(expected = "own peer")]
+    fn self_peer_panics() {
+        let _: GossipNode<Msg> = GossipNode::classic(
+            NodeId::new(0),
+            vec![NodeId::new(0)],
+            GossipConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate peer")]
+    fn duplicate_peer_panics() {
+        let _: GossipNode<Msg> = GossipNode::classic(
+            NodeId::new(0),
+            vec![NodeId::new(1), NodeId::new(1)],
+            GossipConfig::default(),
+        );
+    }
+
+    // --- semantic hooks ----------------------------------------------------
+
+    /// Filters odd payloads; aggregates by summing; disaggregates multiples
+    /// of 1000 into two halves.
+    struct TestSemantics;
+
+    impl Semantics<Msg> for TestSemantics {
+        fn validate(&mut self, msg: &Msg, _peer: NodeId) -> bool {
+            msg.0 % 2 == 0
+        }
+        fn aggregate(&mut self, pending: Vec<Msg>, _peer: NodeId) -> Vec<Msg> {
+            vec![Msg(pending.iter().map(|m| m.0).sum())]
+        }
+        fn disaggregate(&mut self, msg: Msg) -> Vec<Msg> {
+            if msg.0 >= 1000 {
+                vec![Msg(msg.0 - 1000), Msg(1000)]
+            } else {
+                vec![msg]
+            }
+        }
+    }
+
+    fn semantic_node(peers: u32) -> GossipNode<Msg, TestSemantics> {
+        let peers = (1..=peers).map(NodeId::new).collect();
+        GossipNode::new(NodeId::new(0), peers, GossipConfig::default(), TestSemantics)
+    }
+
+    #[test]
+    fn filtering_drops_on_send_path_only() {
+        let mut node = semantic_node(1);
+        node.broadcast(Msg(3)); // odd: filtered on send, still delivered locally
+        assert_eq!(node.take_deliveries(), vec![Msg(3)]);
+        assert!(node.take_outgoing().is_empty());
+        assert_eq!(node.stats().filtered.get(), 1);
+        assert_eq!(node.stats().sent.get(), 0);
+    }
+
+    #[test]
+    fn aggregation_merges_pending_messages() {
+        let mut node = semantic_node(1);
+        node.broadcast(Msg(2));
+        node.broadcast(Msg(4));
+        node.broadcast(Msg(6));
+        let out = node.take_outgoing();
+        assert_eq!(out, vec![(NodeId::new(1), Msg(12))]);
+        assert_eq!(node.stats().aggregated_away.get(), 2);
+        assert_eq!(node.stats().sent.get(), 1);
+    }
+
+    #[test]
+    fn single_pending_message_skips_aggregation() {
+        let mut node = semantic_node(1);
+        node.broadcast(Msg(2));
+        let out = node.take_outgoing();
+        assert_eq!(out, vec![(NodeId::new(1), Msg(2))]);
+        assert_eq!(node.stats().aggregated_away.get(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Reference model: which ids a node must deliver and forward.
+        #[derive(Debug, Clone, Copy)]
+        enum Op {
+            Broadcast(u64),
+            Receive { from: u32, id: u64 },
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u64..40).prop_map(Op::Broadcast),
+                (1u32..5, 0u64..40).prop_map(|(from, id)| Op::Receive { from, id }),
+            ]
+        }
+
+        proptest! {
+            /// Against a reference model: each distinct id is delivered
+            /// exactly once, and every delivery is forwarded to every peer
+            /// except the origin — regardless of the op sequence.
+            #[test]
+            fn prop_node_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+                let peers: Vec<NodeId> = (1..5).map(NodeId::new).collect();
+                let mut node: GossipNode<Msg> =
+                    GossipNode::classic(NodeId::new(0), peers.clone(), GossipConfig::default());
+                let mut seen = std::collections::HashSet::new();
+                let mut expected_deliveries = Vec::new();
+                let mut expected_sends = 0usize;
+                for op in ops {
+                    match op {
+                        Op::Broadcast(id) => {
+                            node.broadcast(Msg(id));
+                            if seen.insert(id) {
+                                expected_deliveries.push(id);
+                                expected_sends += peers.len();
+                            }
+                        }
+                        Op::Receive { from, id } => {
+                            node.on_receive(NodeId::new(from), Msg(id));
+                            if seen.insert(id) {
+                                expected_deliveries.push(id);
+                                expected_sends += peers.len() - 1;
+                            }
+                        }
+                    }
+                }
+                let delivered: Vec<u64> =
+                    node.take_deliveries().into_iter().map(|m| m.0).collect();
+                prop_assert_eq!(delivered, expected_deliveries);
+                prop_assert_eq!(node.take_outgoing().len(), expected_sends);
+            }
+        }
+    }
+
+    #[test]
+    fn disaggregation_expands_and_dedups_parts() {
+        let mut node = semantic_node(2);
+        node.on_receive(NodeId::new(1), Msg(1042));
+        // Parts: Msg(42), Msg(1000); both fresh and delivered.
+        assert_eq!(node.take_deliveries(), vec![Msg(42), Msg(1000)]);
+        assert_eq!(node.stats().received.get(), 1);
+        assert_eq!(node.stats().received_parts.get(), 2);
+        // Receiving an aggregate overlapping in parts dedups per part.
+        node.on_receive(NodeId::new(2), Msg(2000)); // parts: 1000 (dup), 1000 (dup)
+        assert_eq!(node.stats().duplicates.get(), 2);
+        assert!(node.take_deliveries().is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Optional *pull* machinery, extending push gossip to push-pull.
+//!
+//! The paper adopts the push strategy but notes its contributions "could be
+//! extended to other strategies" (§2.2). This module provides the missing
+//! half: periodically, a node advertises a [`digest`](PullStore::digest) of
+//! recently seen message ids to a random peer; the peer answers with the ids
+//! it lacks ([`missing_from`](PullStore::missing_from)), and the node
+//! retransmits those messages ([`lookup`](PullStore::lookup)). The
+//! `ablation_strategy` bench compares push against push-pull under message
+//! loss.
+//!
+//! The exchange rides on [`Envelope`], which wraps the application message
+//! type; runtimes that do not use pull simply ship `Envelope::Data` or the
+//! bare message type.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::cache::DuplicateFilter;
+use crate::id::MessageId;
+use crate::node::GossipItem;
+
+/// Transport envelope distinguishing data from pull-protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope<M> {
+    /// An application message (possibly semantically aggregated).
+    Data(M),
+    /// "I recently saw these messages" — sent periodically to one peer.
+    Digest(Vec<MessageId>),
+    /// "Send me these" — reply to a digest listing locally unseen ids.
+    Request(Vec<MessageId>),
+}
+
+/// A bounded store of recently seen *messages* (not just ids), able to serve
+/// pull requests.
+///
+/// Eviction is FIFO over distinct ids, like the recently-seen cache — the
+/// store intentionally covers the same time horizon.
+///
+/// # Example
+///
+/// ```
+/// use semantic_gossip::pull::PullStore;
+/// use semantic_gossip::{GossipItem, MessageId};
+///
+/// #[derive(Clone, Debug, PartialEq)]
+/// struct Msg(u64);
+/// impl GossipItem for Msg {
+///     fn message_id(&self) -> MessageId { MessageId::from_u128(self.0 as u128) }
+///     fn wire_size(&self) -> usize { 8 }
+/// }
+///
+/// let mut store = PullStore::new(16);
+/// store.record(Msg(1));
+/// assert_eq!(store.lookup(&store.digest(10)), vec![Msg(1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PullStore<M> {
+    by_id: HashMap<MessageId, M>,
+    order: VecDeque<MessageId>,
+    capacity: usize,
+}
+
+impl<M: GossipItem> PullStore<M> {
+    /// Creates a store holding up to `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pull store capacity must be positive");
+        PullStore {
+            by_id: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records a fresh message so it can be served to pulling peers.
+    /// Duplicate ids are ignored.
+    pub fn record(&mut self, msg: M) {
+        let id = msg.message_id();
+        if self.by_id.contains_key(&id) {
+            return;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.by_id.remove(&old);
+            }
+        }
+        self.order.push_back(id);
+        self.by_id.insert(id, msg);
+    }
+
+    /// The most recent `max` stored ids (newest last) — the digest to
+    /// advertise.
+    pub fn digest(&self, max: usize) -> Vec<MessageId> {
+        let skip = self.order.len().saturating_sub(max);
+        self.order.iter().skip(skip).copied().collect()
+    }
+
+    /// Given a peer's digest, the ids this node has **not** seen according
+    /// to `filter` — i.e. what to request.
+    pub fn missing_from(digest: &[MessageId], filter: &impl DuplicateFilter) -> Vec<MessageId> {
+        digest.iter().copied().filter(|&id| !filter.contains(id)).collect()
+    }
+
+    /// Looks up requested messages; ids no longer stored are skipped.
+    pub fn lookup(&self, ids: &[MessageId]) -> Vec<M> {
+        ids.iter().filter_map(|id| self.by_id.get(id).cloned()).collect()
+    }
+
+    /// Number of stored messages.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::RecentCache;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Msg(u64);
+
+    impl GossipItem for Msg {
+        fn message_id(&self) -> MessageId {
+            MessageId::from_u128(self.0 as u128)
+        }
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut store = PullStore::new(4);
+        store.record(Msg(1));
+        store.record(Msg(2));
+        let ids: Vec<MessageId> = vec![Msg(1).message_id(), Msg(2).message_id()];
+        assert_eq!(store.lookup(&ids), vec![Msg(1), Msg(2)]);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn record_is_idempotent() {
+        let mut store = PullStore::new(4);
+        store.record(Msg(1));
+        store.record(Msg(1));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut store = PullStore::new(2);
+        store.record(Msg(1));
+        store.record(Msg(2));
+        store.record(Msg(3));
+        assert!(store.lookup(&[Msg(1).message_id()]).is_empty());
+        assert_eq!(store.lookup(&[Msg(3).message_id()]), vec![Msg(3)]);
+    }
+
+    #[test]
+    fn digest_returns_newest() {
+        let mut store = PullStore::new(10);
+        for v in 1..=5 {
+            store.record(Msg(v));
+        }
+        let digest = store.digest(2);
+        assert_eq!(digest, vec![Msg(4).message_id(), Msg(5).message_id()]);
+        assert_eq!(store.digest(100).len(), 5);
+    }
+
+    #[test]
+    fn missing_from_consults_filter() {
+        use crate::cache::DuplicateFilter as _;
+        let mut filter = RecentCache::new(8);
+        filter.insert(Msg(1).message_id());
+        let digest = vec![Msg(1).message_id(), Msg(2).message_id()];
+        let missing = PullStore::<Msg>::missing_from(&digest, &filter);
+        assert_eq!(missing, vec![Msg(2).message_id()]);
+    }
+
+    #[test]
+    fn full_pull_round_trip() {
+        // Node A has messages 1..=3; node B saw only 2.
+        let mut a_store = PullStore::new(8);
+        for v in 1..=3 {
+            a_store.record(Msg(v));
+        }
+        let mut b_filter = RecentCache::new(8);
+        use crate::cache::DuplicateFilter as _;
+        b_filter.insert(Msg(2).message_id());
+
+        // A -> B: digest; B -> A: request; A -> B: data.
+        let digest = a_store.digest(10);
+        let request = PullStore::<Msg>::missing_from(&digest, &b_filter);
+        let data = a_store.lookup(&request);
+        assert_eq!(data, vec![Msg(1), Msg(3)]);
+    }
+
+    #[test]
+    fn envelope_variants_compare() {
+        let d: Envelope<Msg> = Envelope::Data(Msg(1));
+        assert_ne!(d, Envelope::Digest(vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        PullStore::<Msg>::new(0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Message accounting.
+//!
+//! Section 4.3 of the paper quantifies gossip's redundancy by counting, per
+//! process: messages received, the share discarded as duplicates, messages
+//! delivered to consensus, and — for Semantic Gossip — messages filtered out
+//! and replaced by aggregation. [`MessageStats`] tracks exactly those
+//! counters; the `msgstats` experiment aggregates them across processes.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter (local to one gossip node).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stat(u64);
+
+impl Stat {
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl AddAssign for Stat {
+    fn add_assign(&mut self, rhs: Stat) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Stat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Per-node message counters, mirroring §4.3's measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Messages received from peers (before disaggregation and duplicate
+    /// checking).
+    pub received: Stat,
+    /// Individual messages obtained after disaggregating received messages.
+    pub received_parts: Stat,
+    /// Received parts discarded because they were recently seen.
+    pub duplicates: Stat,
+    /// Messages delivered to the consensus protocol (local + remote).
+    pub delivered: Stat,
+    /// Messages handed to the transport, after filtering and aggregation.
+    pub sent: Stat,
+    /// Messages dropped on the send path by semantic filtering.
+    pub filtered: Stat,
+    /// Messages removed by semantic aggregation (inputs minus outputs of
+    /// `aggregate`).
+    pub aggregated_away: Stat,
+    /// Messages dropped because a send queue was full.
+    pub send_overflow: Stat,
+    /// Messages dropped because the delivery queue was full.
+    pub delivery_overflow: Stat,
+}
+
+impl MessageStats {
+    /// Fraction of received parts that were duplicates, or 0 when nothing
+    /// was received. This is the paper's "portion of received messages
+    /// discarded because they are duplicated" (87% for classic gossip at
+    /// n = 105).
+    pub fn duplicate_ratio(&self) -> f64 {
+        let parts = self.received_parts.get();
+        if parts == 0 {
+            0.0
+        } else {
+            self.duplicates.get() as f64 / parts as f64
+        }
+    }
+
+    /// Merges another node's counters into this one (for cluster-wide
+    /// aggregation).
+    pub fn merge(&mut self, other: &MessageStats) {
+        self.received += other.received;
+        self.received_parts += other.received_parts;
+        self.duplicates += other.duplicates;
+        self.delivered += other.delivered;
+        self.sent += other.sent;
+        self.filtered += other.filtered;
+        self.aggregated_away += other.aggregated_away;
+        self.send_overflow += other.send_overflow;
+        self.delivery_overflow += other.delivery_overflow;
+    }
+}
+
+impl fmt::Display for MessageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recv={} parts={} dup={} ({:.1}%) delivered={} sent={} filtered={} aggregated={} overflow={}/{}",
+            self.received,
+            self.received_parts,
+            self.duplicates,
+            self.duplicate_ratio() * 100.0,
+            self.delivered,
+            self.sent,
+            self.filtered,
+            self.aggregated_away,
+            self.send_overflow,
+            self.delivery_overflow,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_ratio_handles_empty() {
+        assert_eq!(MessageStats::default().duplicate_ratio(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_ratio_counts_parts() {
+        let mut s = MessageStats::default();
+        s.received_parts.add(10);
+        s.duplicates.add(4);
+        assert!((s.duplicate_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = MessageStats::default();
+        a.received.add(1);
+        a.filtered.add(2);
+        let mut b = MessageStats::default();
+        b.received.add(10);
+        b.aggregated_away.add(5);
+        a.merge(&b);
+        assert_eq!(a.received.get(), 11);
+        assert_eq!(a.filtered.get(), 2);
+        assert_eq!(a.aggregated_away.get(), 5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = MessageStats::default();
+        assert!(s.to_string().contains("recv=0"));
+    }
+}

@@ -1,0 +1,104 @@
+//! **Gossip Consensus** — a Rust reproduction of Cason, Milosevic,
+//! Milosevic & Pedone, *Gossip Consensus*, Middleware '21.
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`gossip`] *(crate `semantic-gossip`)* — the paper's contribution: a
+//!   push-gossip substrate with pluggable **semantic filtering** and
+//!   **semantic aggregation**;
+//! * [`paxos`] — classic Paxos as sans-IO state machines;
+//! * [`semantics`] *(crate `paxos-semantics`)* — the Paxos-specific
+//!   filtering/aggregation rules;
+//! * [`overlay`] — random partially connected overlays;
+//! * [`simnet`] — the deterministic WAN simulator (the AWS testbed
+//!   substitute);
+//! * [`transport`] — a threaded TCP transport (the libp2p substitute);
+//! * [`testbed`] — experiment runners for every table and figure of the
+//!   paper's evaluation;
+//! * [`raft`] *(crate `raft-lite`)* — a Raft-style protocol on the same
+//!   substrate, making §5's generality claim executable.
+//!
+//! # Quick start
+//!
+//! Run three processes of Paxos over semantic gossip, fully in memory:
+//!
+//! ```
+//! use gossip_consensus::prelude::*;
+//!
+//! let n = 3;
+//! let config = PaxosConfig::new(n);
+//! // A full mesh of gossip nodes with Paxos semantics.
+//! let mut nodes: Vec<(GossipNode<PaxosMessage, PaxosSemantics>, PaxosProcess)> = (0..n as u32)
+//!     .map(|i| {
+//!         let peers = (0..n as u32).filter(|&p| p != i).map(NodeId::new).collect();
+//!         (
+//!             GossipNode::new(NodeId::new(i), peers, GossipConfig::default(),
+//!                             PaxosSemantics::full(config.clone())),
+//!             PaxosProcess::new(NodeId::new(i), config.clone()),
+//!         )
+//!     })
+//!     .collect();
+//!
+//! // Process 0 coordinates round 0 and a client value enters there.
+//! let out = nodes[0].1.start_round(Round::ZERO);
+//! for o in out { nodes[0].0.broadcast(o.msg); }
+//! let (_, out) = nodes[0].1.submit_payload(b"hello".to_vec());
+//! for o in out { nodes[0].0.broadcast(o.msg); }
+//!
+//! // Synchronous gossip rounds until quiescence.
+//! loop {
+//!     let mut progressed = false;
+//!     for i in 0..n {
+//!         for msg in nodes[i].0.take_deliveries() {
+//!             for o in nodes[i].1.handle(msg) { nodes[i].0.broadcast(o.msg); }
+//!             progressed = true;
+//!         }
+//!         for (peer, msg) in nodes[i].0.take_outgoing() {
+//!             nodes[peer.as_index()].0.on_receive(NodeId::new(i as u32), msg);
+//!             progressed = true;
+//!         }
+//!     }
+//!     if !progressed { break; }
+//! }
+//! for (_, p) in nodes.iter_mut() {
+//!     assert_eq!(p.take_decisions().len(), 1);
+//! }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and DESIGN.md / EXPERIMENTS.md for
+//! the experiment map.
+
+pub use overlay;
+pub use paxos;
+pub use paxos_semantics as semantics;
+pub use raft_lite as raft;
+pub use semantic_gossip as gossip;
+pub use simnet;
+pub use testbed;
+pub use transport;
+
+/// The commonly used types, one `use` away.
+pub mod prelude {
+    pub use overlay::{connected_k_out, paper_fanout, Graph};
+    pub use paxos::{
+        InstanceId, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId,
+    };
+    pub use paxos_semantics::{PaxosSemantics, SemanticMode};
+    pub use semantic_gossip::{
+        GossipConfig, GossipItem, GossipNode, MessageId, NoSemantics, NodeId, Semantics,
+    };
+    pub use simnet::{Region, RegionMap, SimDuration, SimTime};
+    pub use testbed::{run_cluster, ClusterParams, RunMetrics, Setup};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let _ = PaxosConfig::new(3);
+        let _ = GossipConfig::default();
+        let _ = Region::NorthVirginia;
+        let _ = Setup::SemanticGossip;
+    }
+}

@@ -1,0 +1,326 @@
+//! A compact undirected graph with hop and weighted distance queries.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+use simnet::SimDuration;
+
+/// An undirected graph over nodes `0..n`, stored as adjacency lists.
+///
+/// This is the overlay network interconnecting consensus processes: nodes are
+/// process ids, edges are the bi-directional channels they keep open.
+///
+/// # Example
+///
+/// ```
+/// use overlay::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 3);
+/// assert!(g.is_connected());
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.bfs_hops(0)[3], Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Graph::new(n);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the undirected edge `{a, b}`. Self-loops and duplicates are
+    /// ignored. Returns whether the edge was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert!(a < self.len() && b < self.len(), "edge endpoint out of range");
+        if a == b || self.has_edge(a, b) {
+            return false;
+        }
+        // Keep adjacency lists sorted for deterministic iteration order.
+        let pos_a = self.adj[a].binary_search(&b).unwrap_err();
+        self.adj[a].insert(pos_a, b);
+        let pos_b = self.adj[b].binary_search(&a).unwrap_err();
+        self.adj[b].insert(pos_b, a);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Whether the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&b).is_ok()
+    }
+
+    /// The sorted neighbors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.adj[node]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.adj[node].len()
+    }
+
+    /// Mean degree over all nodes.
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.len() as f64
+        }
+    }
+
+    /// Whether every node is reachable from node 0 (true for the empty
+    /// graph).
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.bfs_hops(0).iter().all(Option::is_some)
+    }
+
+    /// Hop distances from `source` to every node (`None` = unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn bfs_hops(&self, source: usize) -> Vec<Option<usize>> {
+        assert!(source < self.len(), "source out of range");
+        let mut dist = vec![None; self.len()];
+        dist[source] = Some(0);
+        let mut frontier = std::collections::VecDeque::from([source]);
+        while let Some(u) = frontier.pop_front() {
+            let du = dist[u].expect("visited node has distance");
+            for &v in &self.adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    frontier.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The eccentricity-based diameter in hops, or `None` if disconnected.
+    pub fn diameter_hops(&self) -> Option<usize> {
+        let mut best = 0;
+        for s in 0..self.len() {
+            for d in self.bfs_hops(s) {
+                best = best.max(d?);
+            }
+        }
+        Some(best)
+    }
+
+    /// Weighted shortest-path distances from `source`, with per-edge weights
+    /// given by `weight(a, b)` (`None` = unreachable).
+    ///
+    /// This is how the coordinator RTTs of §4.6 are computed: the fastest
+    /// route a gossiped message can take from the coordinator to each process
+    /// is a shortest path through the overlay under WAN latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn dijkstra<W>(&self, source: usize, mut weight: W) -> Vec<Option<SimDuration>>
+    where
+        W: FnMut(usize, usize) -> SimDuration,
+    {
+        assert!(source < self.len(), "source out of range");
+        let mut dist: Vec<Option<SimDuration>> = vec![None; self.len()];
+        let mut heap = BinaryHeap::new();
+        dist[source] = Some(SimDuration::ZERO);
+        heap.push(Reverse((SimDuration::ZERO, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if dist[u] != Some(d) {
+                continue; // stale entry
+            }
+            for &v in &self.adj[u] {
+                let cand = d + weight(u, v);
+                if dist[v].is_none_or(|cur| cand < cur) {
+                    dist[v] = Some(cand);
+                    heap.push(Reverse((cand, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// All edges, each reported once with `a < b`, in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(a, nbrs)| nbrs.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn add_edge_dedups_and_ignores_loops() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert!(!g.add_edge(2, 2));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, [(3, 1), (3, 4), (3, 0), (3, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(path_graph(10).is_connected());
+        let mut g = path_graph(4);
+        assert!(g.is_connected());
+        g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        assert!(Graph::new(0).is_connected());
+    }
+
+    #[test]
+    fn bfs_hops_on_path() {
+        let g = path_graph(5);
+        let d = g.bfs_hops(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(g.diameter_hops(), Some(4));
+    }
+
+    #[test]
+    fn disconnected_diameter_is_none() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        assert_eq!(g.diameter_hops(), None);
+        assert_eq!(g.bfs_hops(0)[2], None);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        // 0-1 is expensive; 0-2-1 is cheap.
+        let g = Graph::from_edges(3, [(0, 1), (0, 2), (2, 1)]);
+        let w = |a: usize, b: usize| {
+            if (a.min(b), a.max(b)) == (0, 1) {
+                SimDuration::from_millis(100)
+            } else {
+                SimDuration::from_millis(10)
+            }
+        };
+        let d = g.dijkstra(0, w);
+        assert_eq!(d[1], Some(SimDuration::from_millis(20)));
+        assert_eq!(d[2], Some(SimDuration::from_millis(10)));
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let d = g.dijkstra(0, |_, _| SimDuration::from_millis(1));
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_once() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn mean_degree() {
+        let g = path_graph(4); // 3 edges, 4 nodes
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::new(2).add_edge(0, 5);
+    }
+
+    proptest! {
+        /// BFS hop distances satisfy the triangle property along edges.
+        #[test]
+        fn prop_bfs_edge_consistency(edges in proptest::collection::vec((0usize..20, 0usize..20), 0..80)) {
+            let g = Graph::from_edges(20, edges);
+            let d = g.bfs_hops(0);
+            for (a, b) in g.edges() {
+                match (d[a], d[b]) {
+                    (Some(da), Some(db)) => {
+                        prop_assert!(da.abs_diff(db) <= 1, "edge ({a},{b}) dist {da} vs {db}");
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(false, "edge with one endpoint reachable"),
+                }
+            }
+        }
+
+        /// Dijkstra with unit weights equals BFS hop counts.
+        #[test]
+        fn prop_dijkstra_matches_bfs(edges in proptest::collection::vec((0usize..15, 0usize..15), 0..60)) {
+            let g = Graph::from_edges(15, edges);
+            let hops = g.bfs_hops(0);
+            let dist = g.dijkstra(0, |_, _| SimDuration::from_nanos(1));
+            for i in 0..15 {
+                prop_assert_eq!(hops[i].map(|h| h as u64), dist[i].map(|d| d.as_nanos()));
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Random overlay networks for gossip-based consensus.
+//!
+//! In the paper's Gossip and Semantic Gossip setups, each process opens
+//! connections to a random subset of `k` processes; connections are
+//! bi-directional, so processes end up with `2k` peers in expectation —
+//! chosen so every process talks to about `log₂ n` peers, which keeps a
+//! random overlay connected with high probability (§4.2, citing Erdős).
+//!
+//! This crate provides:
+//!
+//! * [`Graph`] — a compact undirected graph,
+//! * [`random_k_out`] — the paper's overlay generator,
+//! * connectivity and hop-distance queries ([`Graph::is_connected`],
+//!   [`Graph::bfs_hops`]),
+//! * weighted shortest paths ([`Graph::dijkstra`]) for computing the
+//!   coordinator RTTs that drive Figures 7 and 8, and
+//! * [`selection`] — the paper's procedure for picking the *median* overlay
+//!   out of 100 random candidates (§4.6).
+//!
+//! # Example
+//!
+//! ```
+//! use overlay::{paper_fanout, random_k_out};
+//! use rand::SeedableRng;
+//!
+//! let n = 105;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = random_k_out(n, paper_fanout(n), &mut rng);
+//! assert!(g.is_connected());
+//! ```
+
+pub mod graph;
+pub mod random;
+pub mod selection;
+pub mod stats;
+
+pub use graph::Graph;
+pub use random::{connected_k_out, paper_fanout, random_k_out};
+pub use selection::{median_coordinator_rtt, rank_overlays, OverlayMeasurement};
+pub use stats::{topology_stats, TopologyStats};

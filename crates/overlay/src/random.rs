@@ -1,0 +1,173 @@
+//! The paper's random overlay generator.
+//!
+//! At system setup each process opens connections to `k` processes chosen
+//! uniformly at random; channels are bi-directional, so a process's peer set
+//! contains both the `k` peers it chose and everyone who chose it — `2k`
+//! peers in expectation (§3.3). The paper sets `2k ≈ log₂ n`, which keeps the
+//! overlay connected with high probability (§4.2).
+
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// The paper's per-process connection count `k` for a system of `n`
+/// processes: `2k ≈ log₂ n`, never below 2 (so the overlay has enough
+/// redundancy even for tiny systems).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(overlay::paper_fanout(13), 2);  // log2(13) ≈ 3.7
+/// assert_eq!(overlay::paper_fanout(53), 3);  // log2(53) ≈ 5.7
+/// assert_eq!(overlay::paper_fanout(105), 3); // log2(105) ≈ 6.7
+/// ```
+pub fn paper_fanout(n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let k = ((n as f64).log2() / 2.0).round() as usize;
+    k.max(2).min(n - 1)
+}
+
+/// Generates a random `k`-out overlay over `n` nodes: every node opens
+/// connections to `k` distinct random peers; edges are undirected.
+///
+/// Opened connections that coincide (both `a→b` and `b→a` chosen) collapse
+/// into a single edge, exactly as two processes dialing each other share one
+/// channel. The result is *not* guaranteed connected — callers that need
+/// connectivity (all experiments do) regenerate until [`Graph::is_connected`]
+/// holds, mirroring the paper's requirement that "temporary disconnections
+/// ... do not compromise the network connectivity". With `k = paper_fanout(n)`
+/// disconnected samples are rare.
+///
+/// # Panics
+///
+/// Panics if `k >= n` (a node cannot open `k` distinct connections).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let g = overlay::random_k_out(53, 3, &mut rng);
+/// // Every node opened 3 connections, so min degree >= 3 and the mean
+/// // degree is at most 6 (ties collapse).
+/// assert!((0..53).all(|v| g.degree(v) >= 3));
+/// ```
+pub fn random_k_out<R: Rng>(n: usize, k: usize, rng: &mut R) -> Graph {
+    assert!(n == 0 || k < n, "k must be smaller than the number of nodes");
+    let mut g = Graph::new(n);
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for a in 0..n {
+        // Choose k distinct peers != a by rejection sampling (k << n).
+        chosen.clear();
+        while chosen.len() < k {
+            let b = rng.gen_range(0..n);
+            if b != a && !chosen.contains(&b) {
+                chosen.push(b);
+            }
+        }
+        for &b in &chosen {
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+/// Generates connected overlays: retries [`random_k_out`] with fresh
+/// randomness until the sample is connected (at most `max_tries` times).
+///
+/// Returns `None` if no connected overlay was found, which for the paper's
+/// parameters indicates a mis-configuration (e.g. `k = 1`).
+pub fn connected_k_out<R: Rng>(n: usize, k: usize, rng: &mut R, max_tries: usize) -> Option<Graph> {
+    for _ in 0..max_tries {
+        let g = random_k_out(n, k, rng);
+        if g.is_connected() {
+            return Some(g);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fanout_matches_paper_sizes() {
+        // 2k should be close to log2(n) for the paper's three system sizes.
+        assert_eq!(paper_fanout(13), 2);
+        assert_eq!(paper_fanout(53), 3);
+        assert_eq!(paper_fanout(105), 3);
+        assert_eq!(paper_fanout(1), 0);
+        assert_eq!(paper_fanout(2), 1); // clamped by n-1
+    }
+
+    #[test]
+    fn k_out_degrees_and_edge_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 105;
+        let k = 3;
+        let g = random_k_out(n, k, &mut rng);
+        // Every node opened k connections; collisions only remove duplicates,
+        // so degree >= k and total edges <= n*k.
+        assert!((0..n).all(|v| g.degree(v) >= k));
+        assert!(g.num_edges() <= n * k);
+        // Mean degree is close to 2k (collisions are rare for n >> k).
+        assert!(g.mean_degree() > 1.8 * k as f64, "mean {}", g.mean_degree());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g1 = random_k_out(53, 3, &mut StdRng::seed_from_u64(11));
+        let g2 = random_k_out(53, 3, &mut StdRng::seed_from_u64(11));
+        let g3 = random_k_out(53, 3, &mut StdRng::seed_from_u64(12));
+        assert_eq!(g1, g2);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn paper_overlays_are_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &n in &[13, 53, 105] {
+            let g = connected_k_out(n, paper_fanout(n), &mut rng, 50)
+                .expect("paper-sized overlay should connect quickly");
+            assert!(g.is_connected());
+            assert_eq!(g.len(), n);
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = random_k_out(20, 4, &mut rng);
+        for v in 0..20 {
+            assert!(!g.neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be smaller")]
+    fn k_equal_n_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        random_k_out(5, 5, &mut rng);
+    }
+
+    proptest! {
+        /// Generated overlays always respect degree >= k and have no self loops.
+        #[test]
+        fn prop_k_out_invariants(n in 4usize..60, seed in 0u64..1000) {
+            let k = paper_fanout(n).min(n - 1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = random_k_out(n, k, &mut rng);
+            prop_assert_eq!(g.len(), n);
+            for v in 0..n {
+                prop_assert!(g.degree(v) >= k);
+                prop_assert!(!g.neighbors(v).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The paper's overlay-selection procedure (§4.6, Figure 7).
+//!
+//! The overlay interconnecting the processes — in particular the effective
+//! RTTs between the coordinator and the rest — dictates the baseline latency
+//! of Paxos, because deciding a value requires a round-trip from the
+//! coordinator to a majority. Different random overlays therefore have
+//! different baseline latencies. To make its core experiments
+//! representative, the paper generates **100 random overlays**, measures each
+//! one under minimal load, totally orders them by `(median coordinator RTT,
+//! measured latency)`, and enforces the **median** overlay everywhere.
+
+use serde::{Deserialize, Serialize};
+use simnet::{RegionMap, SimDuration};
+
+use crate::graph::Graph;
+
+/// The median RTT from the coordinator to all other processes, where the RTT
+/// to a process is twice its weighted shortest-path distance through the
+/// overlay under the WAN latency matrix.
+///
+/// Returns `None` when the overlay is disconnected (some process unreachable)
+/// or has fewer than two nodes.
+///
+/// # Panics
+///
+/// Panics if the graph and region map disagree on the number of processes.
+///
+/// # Example
+///
+/// ```
+/// use overlay::{median_coordinator_rtt, Graph};
+/// use simnet::RegionMap;
+///
+/// let g = Graph::from_edges(13, (0..12).map(|i| (i, i + 1)));
+/// let map = RegionMap::paper_placement(13);
+/// assert!(median_coordinator_rtt(&g, &map, 0).is_some());
+/// ```
+pub fn median_coordinator_rtt(
+    graph: &Graph,
+    regions: &RegionMap,
+    coordinator: usize,
+) -> Option<SimDuration> {
+    assert_eq!(
+        graph.len(),
+        regions.len(),
+        "overlay and placement must have the same size"
+    );
+    if graph.len() < 2 {
+        return None;
+    }
+    let dist = graph.dijkstra(coordinator, |a, b| regions.one_way(a, b));
+    let mut rtts: Vec<SimDuration> = Vec::with_capacity(graph.len() - 1);
+    for (node, d) in dist.into_iter().enumerate() {
+        if node == coordinator {
+            continue;
+        }
+        rtts.push(d?.saturating_mul(2));
+    }
+    rtts.sort_unstable();
+    Some(rtts[(rtts.len() - 1) / 2])
+}
+
+/// One overlay candidate with its two selection keys.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlayMeasurement {
+    /// Index of the overlay among the generated candidates (its seed slot).
+    pub overlay_id: usize,
+    /// Median coordinator RTT through the overlay (selection key 1).
+    pub median_rtt: SimDuration,
+    /// Average client latency measured under minimal workload (selection
+    /// key 2).
+    pub measured_latency: SimDuration,
+}
+
+/// Totally orders overlay candidates by `(median RTT, measured latency,
+/// overlay id)` — the paper's ordering plus the id as a deterministic final
+/// tie-break — and returns the ordered list together with the index *into
+/// the ordered list* of the selected median overlay.
+///
+/// Returns `None` when `measurements` is empty.
+pub fn rank_overlays(
+    mut measurements: Vec<OverlayMeasurement>,
+) -> Option<(Vec<OverlayMeasurement>, usize)> {
+    if measurements.is_empty() {
+        return None;
+    }
+    measurements.sort_by(|a, b| {
+        a.median_rtt
+            .cmp(&b.median_rtt)
+            .then(a.measured_latency.cmp(&b.measured_latency))
+            .then(a.overlay_id.cmp(&b.overlay_id))
+    });
+    let median_pos = (measurements.len() - 1) / 2;
+    Some((measurements, median_pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{connected_k_out, paper_fanout};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn meas(id: usize, rtt: u64, lat: u64) -> OverlayMeasurement {
+        OverlayMeasurement {
+            overlay_id: id,
+            median_rtt: ms(rtt),
+            measured_latency: ms(lat),
+        }
+    }
+
+    #[test]
+    fn median_rtt_on_star_is_direct_rtt() {
+        // Star around the coordinator: RTT to each node is 2 * one-way.
+        let n = 13;
+        let g = Graph::from_edges(n, (1..n).map(|i| (0, i)));
+        let map = RegionMap::paper_placement(n);
+        let rtt = median_coordinator_rtt(&g, &map, 0).unwrap();
+        // Sorted one-way Virginia latencies (ms): 7,30,33,38,39,44,58,73,87,93,98,105
+        // Median of 12 values (lower) = 6th = 44 -> RTT 88ms.
+        assert_eq!(rtt.as_millis(), 88);
+    }
+
+    #[test]
+    fn median_rtt_none_when_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let map = RegionMap::paper_placement(4);
+        assert_eq!(median_coordinator_rtt(&g, &map, 0), None);
+    }
+
+    #[test]
+    fn median_rtt_uses_multi_hop_paths() {
+        // Chain 0-1-2: RTT to 2 goes through 1.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let map = RegionMap::paper_placement(3); // 0:NVa, 1:Canada, 2:NCal
+        let rtt = median_coordinator_rtt(&g, &map, 0).unwrap();
+        // one-way 0->1 = 7ms, 0->1->2 = 7+35 = 42ms; RTTs 14, 84; median(lower) = 14.
+        assert_eq!(rtt.as_millis(), 14);
+    }
+
+    #[test]
+    fn rank_orders_by_rtt_then_latency() {
+        let (ordered, median) = rank_overlays(vec![
+            meas(0, 50, 200),
+            meas(1, 40, 300),
+            meas(2, 40, 100),
+            meas(3, 60, 100),
+            meas(4, 45, 150),
+        ])
+        .unwrap();
+        let ids: Vec<usize> = ordered.iter().map(|m| m.overlay_id).collect();
+        assert_eq!(ids, vec![2, 1, 4, 0, 3]);
+        assert_eq!(median, 2); // 5 candidates -> position 2
+        assert_eq!(ordered[median].overlay_id, 4);
+    }
+
+    #[test]
+    fn rank_empty_is_none() {
+        assert_eq!(rank_overlays(Vec::new()), None);
+    }
+
+    #[test]
+    fn rank_is_deterministic_under_full_ties() {
+        let (ordered, _) = rank_overlays(vec![meas(2, 10, 10), meas(0, 10, 10), meas(1, 10, 10)])
+            .unwrap();
+        let ids: Vec<usize> = ordered.iter().map(|m| m.overlay_id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hundred_paper_overlays_have_spread_rtts() {
+        // Reproduces the Figure 7 setup cheaply: 100 overlays for n = 53.
+        let n = 53;
+        let map = RegionMap::paper_placement(n);
+        let mut rtts = Vec::new();
+        for seed in 0..100u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = connected_k_out(n, paper_fanout(n), &mut rng, 50).unwrap();
+            rtts.push(median_coordinator_rtt(&g, &map, 0).unwrap());
+        }
+        let min = rtts.iter().min().unwrap();
+        let max = rtts.iter().max().unwrap();
+        assert!(max > min, "different overlays should have different median RTTs");
+    }
+}

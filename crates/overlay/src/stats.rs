@@ -1,0 +1,182 @@
+//! Topology statistics for overlay networks.
+//!
+//! The paper characterizes its overlays by the median coordinator RTT
+//! (§4.6); these helpers add the standard structural measures — degree
+//! distribution, hop diameter, average path length and clustering — useful
+//! when comparing generated overlays against the `2k ≈ log₂ n` design
+//! point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+
+/// Structural summary of one overlay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Mean degree (`2·edges / nodes`).
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Eccentricity diameter in hops (`None` if disconnected).
+    pub diameter_hops: Option<usize>,
+    /// Average shortest-path length in hops over all ordered pairs
+    /// (`None` if disconnected).
+    pub mean_path_hops: Option<f64>,
+    /// Global clustering coefficient (triangle density).
+    pub clustering: f64,
+}
+
+/// Computes the structural summary of `graph`.
+///
+/// # Example
+///
+/// ```
+/// use overlay::{topology_stats, Graph};
+///
+/// let ring = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6)));
+/// let stats = topology_stats(&ring);
+/// assert_eq!(stats.mean_degree, 2.0);
+/// assert_eq!(stats.diameter_hops, Some(3));
+/// assert_eq!(stats.clustering, 0.0); // rings have no triangles
+/// ```
+pub fn topology_stats(graph: &Graph) -> TopologyStats {
+    let n = graph.len();
+    let degrees: Vec<usize> = (0..n).map(|v| graph.degree(v)).collect();
+
+    // Path statistics from per-source BFS.
+    let mut diameter = Some(0usize);
+    let mut total_hops: u64 = 0;
+    let mut pairs: u64 = 0;
+    for s in 0..n {
+        for d in graph.bfs_hops(s).into_iter().flatten() {
+            if d > 0 {
+                total_hops += d as u64;
+                pairs += 1;
+            }
+            if let Some(cur) = diameter {
+                diameter = Some(cur.max(d));
+            }
+        }
+    }
+    let connected = n <= 1 || pairs == (n * (n - 1)) as u64;
+    let diameter_hops = if connected { diameter } else { None };
+    let mean_path_hops = if connected && pairs > 0 {
+        Some(total_hops as f64 / pairs as f64)
+    } else if connected {
+        Some(0.0)
+    } else {
+        None
+    };
+
+    // Global clustering: 3·triangles / open-or-closed triplets.
+    let mut triangles = 0u64;
+    let mut triplets = 0u64;
+    for v in 0..n {
+        let nbrs = graph.neighbors(v);
+        let k = nbrs.len() as u64;
+        triplets += k * k.saturating_sub(1) / 2;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if graph.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    let clustering = if triplets == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner = 3 times total.
+        triangles as f64 / triplets as f64
+    };
+
+    TopologyStats {
+        nodes: n,
+        edges: graph.num_edges(),
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        mean_degree: graph.mean_degree(),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        diameter_hops,
+        mean_path_hops,
+        clustering,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{connected_k_out, paper_fanout};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_stats() {
+        let n = 5;
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in a + 1..n {
+                g.add_edge(a, b);
+            }
+        }
+        let s = topology_stats(&g);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.min_degree, 4);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.diameter_hops, Some(1));
+        assert_eq!(s.mean_path_hops, Some(1.0));
+        assert!((s.clustering - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_graph_stats() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let s = topology_stats(&g);
+        assert_eq!(s.diameter_hops, Some(3));
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.clustering, 0.0);
+        // Pairs and mean path: distances 1,2,3,1,1,2 (each direction).
+        assert!((s.mean_path_hops.unwrap() - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let s = topology_stats(&g);
+        assert_eq!(s.diameter_hops, None);
+        assert_eq!(s.mean_path_hops, None);
+    }
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let s = topology_stats(&g);
+        assert!((s.clustering - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_overlay_matches_design_point() {
+        // Mean degree ≈ 2k ≈ log2(n), diameter small (O(log n)).
+        let n = 105;
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = connected_k_out(n, paper_fanout(n), &mut rng, 50).unwrap();
+        let s = topology_stats(&g);
+        assert!(s.mean_degree >= 5.0 && s.mean_degree <= 7.0, "{}", s.mean_degree);
+        let d = s.diameter_hops.unwrap();
+        assert!(d <= 6, "diameter {d} too large for a log-degree overlay");
+        // Random overlays are locally tree-like: low clustering.
+        assert!(s.clustering < 0.2, "{}", s.clustering);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let s = topology_stats(&Graph::new(1));
+        assert_eq!(s.diameter_hops, Some(0));
+        assert_eq!(s.mean_path_hops, Some(0.0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Paxos configuration.
+
+use semantic_gossip::NodeId;
+
+/// Static configuration shared by all processes of a Paxos deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaxosConfig {
+    /// Total number of processes.
+    pub n: usize,
+    /// Maximum client values proposed but not yet decided at the
+    /// coordinator (flow control; further values queue at the coordinator).
+    pub max_open_instances: usize,
+}
+
+impl PaxosConfig {
+    /// Configuration for `n` processes with the default open-instance
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let c = paxos::PaxosConfig::new(5);
+    /// assert_eq!(c.quorum(), 3);
+    /// ```
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a Paxos deployment needs at least one process");
+        PaxosConfig {
+            n,
+            max_open_instances: 4096,
+        }
+    }
+
+    /// The majority quorum size: `⌊n/2⌋ + 1`.
+    pub fn quorum(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Whether `count` distinct processes form a majority.
+    pub fn is_quorum(&self, count: usize) -> bool {
+        count >= self.quorum()
+    }
+
+    /// All process ids of the deployment.
+    pub fn processes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n as u32).map(NodeId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_sizes() {
+        assert_eq!(PaxosConfig::new(1).quorum(), 1);
+        assert_eq!(PaxosConfig::new(2).quorum(), 2);
+        assert_eq!(PaxosConfig::new(3).quorum(), 2);
+        assert_eq!(PaxosConfig::new(4).quorum(), 3);
+        assert_eq!(PaxosConfig::new(5).quorum(), 3);
+        assert_eq!(PaxosConfig::new(105).quorum(), 53);
+    }
+
+    #[test]
+    fn is_quorum_threshold() {
+        let c = PaxosConfig::new(5);
+        assert!(!c.is_quorum(2));
+        assert!(c.is_quorum(3));
+        assert!(c.is_quorum(5));
+    }
+
+    #[test]
+    fn processes_enumerates_all() {
+        let c = PaxosConfig::new(3);
+        let ids: Vec<NodeId> = c.processes().collect();
+        assert_eq!(ids, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_panics() {
+        PaxosConfig::new(0);
+    }
+}

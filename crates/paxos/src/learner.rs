@@ -1,0 +1,263 @@
+//! The learner role.
+//!
+//! A learner discovers decided values in two ways (§3.1 of the paper):
+//! directly, from the coordinator's Decision message, or — when Phase 2b
+//! votes are visible to everyone, as under gossip — by counting *identical*
+//! Phase 2b messages from a majority of acceptors, which "may actually speed
+//! up decisions". Decided values are released in instance order with no
+//! gaps, the contract state machine replication requires.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use semantic_gossip::NodeId;
+
+use crate::config::PaxosConfig;
+use crate::types::{InstanceId, Round, Value, ValueId};
+
+/// The learner state machine of one process.
+///
+/// # Example
+///
+/// ```
+/// use paxos::{InstanceId, Learner, PaxosConfig, Round, Value};
+/// use semantic_gossip::NodeId;
+///
+/// let mut learner = Learner::new(PaxosConfig::new(3));
+/// let v = Value::new(NodeId::new(0), 0, vec![1]);
+/// // Two of three processes vote for v: decided.
+/// assert!(learner
+///     .on_phase2b(InstanceId::ZERO, Round::ZERO, &v, NodeId::new(0))
+///     .is_none());
+/// assert!(learner
+///     .on_phase2b(InstanceId::ZERO, Round::ZERO, &v, NodeId::new(1))
+///     .is_some());
+/// assert_eq!(learner.take_ordered().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Learner {
+    config: PaxosConfig,
+    /// Vote tallies for undecided instances:
+    /// instance → (round, value-id) → (value, voters).
+    votes: HashMap<InstanceId, HashMap<(Round, ValueId), (Value, BTreeSet<NodeId>)>>,
+    decided: BTreeMap<InstanceId, Value>,
+    next_to_deliver: InstanceId,
+    delivered: u64,
+}
+
+impl Learner {
+    /// Creates a learner for a deployment.
+    pub fn new(config: PaxosConfig) -> Self {
+        Learner {
+            config,
+            votes: HashMap::new(),
+            decided: BTreeMap::new(),
+            next_to_deliver: InstanceId::ZERO,
+            delivered: 0,
+        }
+    }
+
+    /// Records one Phase 2b vote. Returns the decided value when this vote
+    /// completes a majority of identical votes for the instance (at most
+    /// once per instance).
+    pub fn on_phase2b(
+        &mut self,
+        instance: InstanceId,
+        round: Round,
+        value: &Value,
+        voter: NodeId,
+    ) -> Option<Value> {
+        if self.is_decided(instance) {
+            return None;
+        }
+        let tally = self
+            .votes
+            .entry(instance)
+            .or_default()
+            .entry((round, value.id()))
+            .or_insert_with(|| (value.clone(), BTreeSet::new()));
+        tally.1.insert(voter);
+        if self.config.is_quorum(tally.1.len()) {
+            let value = tally.0.clone();
+            self.mark_decided(instance, value.clone());
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Records a Decision message. Returns the value when the instance was
+    /// not already known to be decided.
+    pub fn on_decision(&mut self, instance: InstanceId, value: &Value) -> Option<Value> {
+        if self.is_decided(instance) {
+            return None;
+        }
+        self.mark_decided(instance, value.clone());
+        Some(value.clone())
+    }
+
+    fn mark_decided(&mut self, instance: InstanceId, value: Value) {
+        debug_assert!(
+            !self.decided.contains_key(&instance),
+            "instance decided twice"
+        );
+        self.votes.remove(&instance);
+        self.decided.insert(instance, value);
+    }
+
+    /// Whether `instance` is known decided (delivered or awaiting delivery).
+    pub fn is_decided(&self, instance: InstanceId) -> bool {
+        instance < self.next_to_deliver || self.decided.contains_key(&instance)
+    }
+
+    /// The decided value of `instance` if still awaiting ordered delivery.
+    pub fn decided_value(&self, instance: InstanceId) -> Option<&Value> {
+        self.decided.get(&instance)
+    }
+
+    /// Releases decided values in instance order, without gaps: stops at the
+    /// first undecided instance.
+    pub fn take_ordered(&mut self) -> Vec<(InstanceId, Value)> {
+        let mut out = Vec::new();
+        while let Some(value) = self.decided.remove(&self.next_to_deliver) {
+            out.push((self.next_to_deliver, value));
+            self.next_to_deliver = self.next_to_deliver.next();
+            self.delivered += 1;
+        }
+        out
+    }
+
+    /// The first instance not yet delivered in order.
+    pub fn next_to_deliver(&self) -> InstanceId {
+        self.next_to_deliver
+    }
+
+    /// Total values delivered in order so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Instances decided but blocked behind an undecided gap.
+    pub fn blocked_count(&self) -> usize {
+        self.decided.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(seq: u64) -> Value {
+        Value::new(NodeId::new(9), seq, vec![0; 4])
+    }
+
+    fn learner(n: usize) -> Learner {
+        Learner::new(PaxosConfig::new(n))
+    }
+
+    #[test]
+    fn decides_on_majority_of_identical_votes() {
+        let mut l = learner(5);
+        let v = value(1);
+        let i = InstanceId::ZERO;
+        assert!(l.on_phase2b(i, Round::ZERO, &v, NodeId::new(0)).is_none());
+        assert!(l.on_phase2b(i, Round::ZERO, &v, NodeId::new(1)).is_none());
+        let decided = l.on_phase2b(i, Round::ZERO, &v, NodeId::new(2));
+        assert_eq!(decided, Some(v));
+    }
+
+    #[test]
+    fn duplicate_votes_from_same_acceptor_ignored() {
+        let mut l = learner(5);
+        let v = value(1);
+        for _ in 0..10 {
+            assert!(l
+                .on_phase2b(InstanceId::ZERO, Round::ZERO, &v, NodeId::new(0))
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn votes_for_different_values_do_not_mix() {
+        let mut l = learner(3);
+        let i = InstanceId::ZERO;
+        assert!(l.on_phase2b(i, Round::ZERO, &value(1), NodeId::new(0)).is_none());
+        assert!(l.on_phase2b(i, Round::ZERO, &value(2), NodeId::new(1)).is_none());
+        // Identical value from a second voter decides.
+        assert!(l.on_phase2b(i, Round::ZERO, &value(1), NodeId::new(2)).is_some());
+    }
+
+    #[test]
+    fn votes_from_different_rounds_do_not_mix() {
+        let mut l = learner(3);
+        let i = InstanceId::ZERO;
+        let v = value(1);
+        assert!(l.on_phase2b(i, Round::ZERO, &v, NodeId::new(0)).is_none());
+        assert!(l.on_phase2b(i, Round::new(1), &v, NodeId::new(1)).is_none());
+        assert!(l.on_phase2b(i, Round::new(1), &v, NodeId::new(2)).is_some());
+    }
+
+    #[test]
+    fn decision_message_short_circuits() {
+        let mut l = learner(5);
+        assert_eq!(
+            l.on_decision(InstanceId::new(3), &value(9)),
+            Some(value(9))
+        );
+        assert!(l.is_decided(InstanceId::new(3)));
+        // Further votes or decisions for the instance are ignored.
+        assert!(l.on_decision(InstanceId::new(3), &value(9)).is_none());
+        assert!(l
+            .on_phase2b(InstanceId::new(3), Round::ZERO, &value(9), NodeId::new(0))
+            .is_none());
+    }
+
+    #[test]
+    fn ordered_delivery_has_no_gaps() {
+        let mut l = learner(1);
+        l.on_decision(InstanceId::new(1), &value(1));
+        l.on_decision(InstanceId::new(2), &value(2));
+        // Instance 0 undecided: nothing delivered.
+        assert!(l.take_ordered().is_empty());
+        assert_eq!(l.blocked_count(), 2);
+        l.on_decision(InstanceId::ZERO, &value(0));
+        let delivered = l.take_ordered();
+        let instances: Vec<u64> = delivered.iter().map(|(i, _)| i.as_u64()).collect();
+        assert_eq!(instances, vec![0, 1, 2]);
+        assert_eq!(l.delivered_count(), 3);
+        assert_eq!(l.next_to_deliver(), InstanceId::new(3));
+        assert_eq!(l.blocked_count(), 0);
+    }
+
+    #[test]
+    fn decided_instance_is_remembered_after_delivery() {
+        let mut l = learner(1);
+        l.on_decision(InstanceId::ZERO, &value(0));
+        l.take_ordered();
+        assert!(l.is_decided(InstanceId::ZERO));
+        assert!(l.on_decision(InstanceId::ZERO, &value(0)).is_none());
+    }
+
+    #[test]
+    fn quorum_respects_system_size() {
+        // n = 105 needs 53 identical votes.
+        let mut l = learner(105);
+        let v = value(1);
+        for voter in 0..52 {
+            assert!(l
+                .on_phase2b(InstanceId::ZERO, Round::ZERO, &v, NodeId::new(voter))
+                .is_none());
+        }
+        assert!(l
+            .on_phase2b(InstanceId::ZERO, Round::ZERO, &v, NodeId::new(52))
+            .is_some());
+    }
+
+    #[test]
+    fn tallies_are_dropped_after_decision() {
+        let mut l = learner(3);
+        let v = value(1);
+        l.on_phase2b(InstanceId::ZERO, Round::ZERO, &v, NodeId::new(0));
+        l.on_phase2b(InstanceId::ZERO, Round::ZERO, &v, NodeId::new(1));
+        assert!(l.votes.is_empty(), "tally should be garbage-collected");
+    }
+}

@@ -1,0 +1,680 @@
+//! The Paxos wire messages and their gossip identities.
+//!
+//! Six message types cover the paper's communication patterns: client values
+//! forwarded to the coordinator (many-to-one), Phase 1a / 2a from the
+//! coordinator to all (one-to-many), Phase 1b / 2b back to the coordinator
+//! (many-to-one — but visible to everyone under gossip), and Decisions
+//! (one-to-many).
+//!
+//! [`PaxosMessage::Phase2b`] carries a *list* of voters: a single-voter list
+//! is an ordinary Phase 2b; more voters make it a semantically aggregated
+//! Phase 2b ("any of the original Phase 2b messages plus a field to store
+//! the multiple senders", §3.2). Aggregation is reversible via
+//! [`PaxosMessage::disaggregate_votes`].
+//!
+//! Message identifiers are structural, defined by the consensus protocol as
+//! the paper prescribes (§3.3), so the recently-seen cache never suffers
+//! hash collisions between distinct protocol messages.
+
+use semantic_gossip::codec::{decode_seq, encode_seq, seq_len, Reader, Wire, WireError};
+use semantic_gossip::id::stable_hash64;
+use semantic_gossip::{GossipItem, MessageId, NodeId};
+
+use crate::types::{InstanceId, Round, Value};
+
+/// One accepted-value report inside a Phase 1b message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedEntry {
+    /// Instance the value was accepted in.
+    pub instance: InstanceId,
+    /// Round in which it was accepted.
+    pub round: Round,
+    /// The accepted value.
+    pub value: Value,
+}
+
+impl Wire for AcceptedEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.instance.encode(buf);
+        self.round.encode(buf);
+        self.value.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AcceptedEntry {
+            instance: InstanceId::decode(r)?,
+            round: Round::decode(r)?,
+            value: Value::decode(r)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.instance.encoded_len() + self.round.encoded_len() + self.value.encoded_len()
+    }
+}
+
+/// A Paxos protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaxosMessage {
+    /// A client value forwarded to the coordinator by the process that
+    /// received it (§4.2).
+    ClientValue {
+        /// Process forwarding the value.
+        forwarder: NodeId,
+        /// The client's value.
+        value: Value,
+    },
+    /// Phase 1a: the round coordinator probes all instances from
+    /// `from_instance` on.
+    Phase1a {
+        /// Round being started.
+        round: Round,
+        /// First instance covered by this round.
+        from_instance: InstanceId,
+        /// The coordinator starting the round.
+        sender: NodeId,
+    },
+    /// Phase 1b: an acceptor's promise plus its previously accepted values.
+    Phase1b {
+        /// Round being answered.
+        round: Round,
+        /// The promising acceptor.
+        sender: NodeId,
+        /// Values this acceptor had accepted, for instances covered by the
+        /// round.
+        accepted: Vec<AcceptedEntry>,
+    },
+    /// Phase 2a: the coordinator asks acceptors to accept `value` in
+    /// `instance` at `round`.
+    Phase2a {
+        /// Target instance.
+        instance: InstanceId,
+        /// The coordinator's round.
+        round: Round,
+        /// Value to accept.
+        value: Value,
+        /// The coordinator.
+        sender: NodeId,
+    },
+    /// Phase 2b: vote(s) that `value` was accepted in `instance` at `round`.
+    ///
+    /// `voters.len() == 1` is an ordinary vote; more entries form a
+    /// semantically aggregated vote. Invariant: `voters` is non-empty,
+    /// sorted, and duplicate-free ([`PaxosMessage::validate`]).
+    Phase2b {
+        /// Target instance.
+        instance: InstanceId,
+        /// Round the vote belongs to.
+        round: Round,
+        /// The accepted value.
+        value: Value,
+        /// The acceptors that cast this vote.
+        voters: Vec<NodeId>,
+    },
+    /// The coordinator announces that `instance` decided `value`.
+    Decision {
+        /// Decided instance.
+        instance: InstanceId,
+        /// Decided value.
+        value: Value,
+        /// The announcing coordinator.
+        sender: NodeId,
+    },
+}
+
+/// Message-kind discriminants (wire tags and id namespaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    /// [`PaxosMessage::ClientValue`].
+    ClientValue = 1,
+    /// [`PaxosMessage::Phase1a`].
+    Phase1a = 2,
+    /// [`PaxosMessage::Phase1b`].
+    Phase1b = 3,
+    /// [`PaxosMessage::Phase2a`].
+    Phase2a = 4,
+    /// [`PaxosMessage::Phase2b`] with a single voter.
+    Phase2b = 5,
+    /// [`PaxosMessage::Phase2b`] with multiple voters (aggregated).
+    Phase2bAggregated = 6,
+    /// [`PaxosMessage::Decision`].
+    Decision = 7,
+}
+
+impl Kind {
+    /// A compact array index for per-kind counters (0..=6).
+    pub const fn index(self) -> usize {
+        self as usize - 1
+    }
+
+    /// Number of distinct kinds.
+    pub const COUNT: usize = 7;
+
+    /// Human-readable kind name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Kind::ClientValue => "ClientValue",
+            Kind::Phase1a => "Phase1a",
+            Kind::Phase1b => "Phase1b",
+            Kind::Phase2a => "Phase2a",
+            Kind::Phase2b => "Phase2b",
+            Kind::Phase2bAggregated => "Phase2b(agg)",
+            Kind::Decision => "Decision",
+        }
+    }
+
+    /// All kinds in index order.
+    pub const ALL: [Kind; Kind::COUNT] = [
+        Kind::ClientValue,
+        Kind::Phase1a,
+        Kind::Phase1b,
+        Kind::Phase2a,
+        Kind::Phase2b,
+        Kind::Phase2bAggregated,
+        Kind::Decision,
+    ];
+}
+
+impl PaxosMessage {
+    /// The message's kind.
+    pub fn kind(&self) -> Kind {
+        match self {
+            PaxosMessage::ClientValue { .. } => Kind::ClientValue,
+            PaxosMessage::Phase1a { .. } => Kind::Phase1a,
+            PaxosMessage::Phase1b { .. } => Kind::Phase1b,
+            PaxosMessage::Phase2a { .. } => Kind::Phase2a,
+            PaxosMessage::Phase2b { voters, .. } if voters.len() == 1 => Kind::Phase2b,
+            PaxosMessage::Phase2b { .. } => Kind::Phase2bAggregated,
+            PaxosMessage::Decision { .. } => Kind::Decision,
+        }
+    }
+
+    /// The instance this message concerns, if any.
+    pub fn instance(&self) -> Option<InstanceId> {
+        match self {
+            PaxosMessage::Phase2a { instance, .. }
+            | PaxosMessage::Phase2b { instance, .. }
+            | PaxosMessage::Decision { instance, .. } => Some(*instance),
+            PaxosMessage::Phase1a { from_instance, .. } => Some(*from_instance),
+            _ => None,
+        }
+    }
+
+    /// Checks structural invariants (voter list shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError::Invalid`] describing the violated invariant.
+    pub fn validate(&self) -> Result<(), WireError> {
+        if let PaxosMessage::Phase2b { voters, .. } = self {
+            if voters.is_empty() {
+                return Err(WireError::Invalid("Phase2b without voters"));
+            }
+            if !voters.windows(2).all(|w| w[0] < w[1]) {
+                return Err(WireError::Invalid("Phase2b voters not sorted/unique"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits an aggregated Phase 2b into the original single-voter votes
+    /// (the paper's reversible disaggregation rule). Non-aggregated messages
+    /// are returned unchanged.
+    pub fn disaggregate_votes(self) -> Vec<PaxosMessage> {
+        match self {
+            PaxosMessage::Phase2b {
+                instance,
+                round,
+                value,
+                voters,
+            } if voters.len() > 1 => voters
+                .into_iter()
+                .map(|voter| PaxosMessage::Phase2b {
+                    instance,
+                    round,
+                    value: value.clone(),
+                    voters: vec![voter],
+                })
+                .collect(),
+            other => vec![other],
+        }
+    }
+}
+
+const KIND_SHIFT: u32 = 56;
+
+fn id(kind: Kind, high_extra: u64, low: u64) -> MessageId {
+    debug_assert!(high_extra < (1 << KIND_SHIFT), "id payload overflows");
+    MessageId::from_parts(((kind as u64) << KIND_SHIFT) | high_extra, low)
+}
+
+impl GossipItem for PaxosMessage {
+    /// Structural, collision-free message ids:
+    ///
+    /// * `ClientValue(origin, seq)` — the same value forwarded twice dedups;
+    /// * `Phase1a(round)`, `Phase1b(round, sender)`;
+    /// * `Phase2a(round, instance)` — one proposal per round and instance;
+    /// * `Phase2b(round₂₄, voter, instance)` — one vote per acceptor, round
+    ///   and instance (rounds are truncated to 24 bits in the id; rounds
+    ///   beyond 16M would alias, far beyond any practical execution);
+    /// * aggregated `Phase2b` — hashed over `(round, voters)`, but these ids
+    ///   are only informational: aggregates are disaggregated before
+    ///   duplicate-checking;
+    /// * `Decision(instance)` — decisions for an instance are identical by
+    ///   Paxos safety, so deduping across senders is correct.
+    fn message_id(&self) -> MessageId {
+        match self {
+            PaxosMessage::ClientValue { value, .. } => id(
+                Kind::ClientValue,
+                value.id().origin.as_u32() as u64,
+                value.id().seq,
+            ),
+            PaxosMessage::Phase1a { round, from_instance, .. } => id(
+                Kind::Phase1a,
+                round.as_u32() as u64,
+                from_instance.as_u64(),
+            ),
+            PaxosMessage::Phase1b { round, sender, .. } => id(
+                Kind::Phase1b,
+                round.as_u32() as u64,
+                sender.as_u32() as u64,
+            ),
+            PaxosMessage::Phase2a { instance, round, .. } => {
+                id(Kind::Phase2a, round.as_u32() as u64, instance.as_u64())
+            }
+            PaxosMessage::Phase2b {
+                instance,
+                round,
+                voters,
+                ..
+            } => {
+                if voters.len() == 1 {
+                    let high = ((voters[0].as_u32() as u64) << 24)
+                        | (round.as_u32() as u64 & 0xff_ffff);
+                    id(Kind::Phase2b, high, instance.as_u64())
+                } else {
+                    let mut bytes = Vec::with_capacity(8 + voters.len() * 4);
+                    bytes.extend_from_slice(&round.as_u32().to_le_bytes());
+                    for v in voters {
+                        bytes.extend_from_slice(&v.as_u32().to_le_bytes());
+                    }
+                    let h = stable_hash64(&bytes) & ((1 << KIND_SHIFT) - 1);
+                    id(Kind::Phase2bAggregated, h, instance.as_u64())
+                }
+            }
+            PaxosMessage::Decision { instance, .. } => {
+                id(Kind::Decision, 0, instance.as_u64())
+            }
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Wire for PaxosMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            PaxosMessage::ClientValue { forwarder, value } => {
+                buf.push(Kind::ClientValue as u8);
+                forwarder.encode(buf);
+                value.encode(buf);
+            }
+            PaxosMessage::Phase1a {
+                round,
+                from_instance,
+                sender,
+            } => {
+                buf.push(Kind::Phase1a as u8);
+                round.encode(buf);
+                from_instance.encode(buf);
+                sender.encode(buf);
+            }
+            PaxosMessage::Phase1b {
+                round,
+                sender,
+                accepted,
+            } => {
+                buf.push(Kind::Phase1b as u8);
+                round.encode(buf);
+                sender.encode(buf);
+                encode_seq(accepted, buf);
+            }
+            PaxosMessage::Phase2a {
+                instance,
+                round,
+                value,
+                sender,
+            } => {
+                buf.push(Kind::Phase2a as u8);
+                instance.encode(buf);
+                round.encode(buf);
+                value.encode(buf);
+                sender.encode(buf);
+            }
+            PaxosMessage::Phase2b {
+                instance,
+                round,
+                value,
+                voters,
+            } => {
+                buf.push(Kind::Phase2b as u8);
+                instance.encode(buf);
+                round.encode(buf);
+                value.encode(buf);
+                encode_seq(voters, buf);
+            }
+            PaxosMessage::Decision {
+                instance,
+                value,
+                sender,
+            } => {
+                buf.push(Kind::Decision as u8);
+                instance.encode(buf);
+                value.encode(buf);
+                sender.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8()?;
+        let msg = match tag {
+            t if t == Kind::ClientValue as u8 => PaxosMessage::ClientValue {
+                forwarder: NodeId::decode(r)?,
+                value: Value::decode(r)?,
+            },
+            t if t == Kind::Phase1a as u8 => PaxosMessage::Phase1a {
+                round: Round::decode(r)?,
+                from_instance: InstanceId::decode(r)?,
+                sender: NodeId::decode(r)?,
+            },
+            t if t == Kind::Phase1b as u8 => PaxosMessage::Phase1b {
+                round: Round::decode(r)?,
+                sender: NodeId::decode(r)?,
+                accepted: decode_seq(r)?,
+            },
+            t if t == Kind::Phase2a as u8 => PaxosMessage::Phase2a {
+                instance: InstanceId::decode(r)?,
+                round: Round::decode(r)?,
+                value: Value::decode(r)?,
+                sender: NodeId::decode(r)?,
+            },
+            t if t == Kind::Phase2b as u8 => PaxosMessage::Phase2b {
+                instance: InstanceId::decode(r)?,
+                round: Round::decode(r)?,
+                value: Value::decode(r)?,
+                voters: decode_seq(r)?,
+            },
+            t if t == Kind::Decision as u8 => PaxosMessage::Decision {
+                instance: InstanceId::decode(r)?,
+                value: Value::decode(r)?,
+                sender: NodeId::decode(r)?,
+            },
+            t => return Err(WireError::InvalidTag(t)),
+        };
+        msg.validate()?;
+        Ok(msg)
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            PaxosMessage::ClientValue { forwarder, value } => {
+                forwarder.encoded_len() + value.encoded_len()
+            }
+            PaxosMessage::Phase1a {
+                round,
+                from_instance,
+                sender,
+            } => round.encoded_len() + from_instance.encoded_len() + sender.encoded_len(),
+            PaxosMessage::Phase1b {
+                round,
+                sender,
+                accepted,
+            } => round.encoded_len() + sender.encoded_len() + seq_len(accepted),
+            PaxosMessage::Phase2a {
+                instance,
+                round,
+                value,
+                sender,
+            } => {
+                instance.encoded_len()
+                    + round.encoded_len()
+                    + value.encoded_len()
+                    + sender.encoded_len()
+            }
+            PaxosMessage::Phase2b {
+                instance,
+                round,
+                value,
+                voters,
+            } => {
+                instance.encoded_len()
+                    + round.encoded_len()
+                    + value.encoded_len()
+                    + seq_len(voters)
+            }
+            PaxosMessage::Decision {
+                instance,
+                value,
+                sender,
+            } => instance.encoded_len() + value.encoded_len() + sender.encoded_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn value(seq: u64) -> Value {
+        Value::new(NodeId::new(1), seq, vec![0xab; 16])
+    }
+
+    fn sample_messages() -> Vec<PaxosMessage> {
+        vec![
+            PaxosMessage::ClientValue {
+                forwarder: NodeId::new(3),
+                value: value(1),
+            },
+            PaxosMessage::Phase1a {
+                round: Round::new(2),
+                from_instance: InstanceId::new(10),
+                sender: NodeId::new(0),
+            },
+            PaxosMessage::Phase1b {
+                round: Round::new(2),
+                sender: NodeId::new(4),
+                accepted: vec![AcceptedEntry {
+                    instance: InstanceId::new(3),
+                    round: Round::new(1),
+                    value: value(9),
+                }],
+            },
+            PaxosMessage::Phase2a {
+                instance: InstanceId::new(5),
+                round: Round::new(2),
+                value: value(1),
+                sender: NodeId::new(0),
+            },
+            PaxosMessage::Phase2b {
+                instance: InstanceId::new(5),
+                round: Round::new(2),
+                value: value(1),
+                voters: vec![NodeId::new(4)],
+            },
+            PaxosMessage::Phase2b {
+                instance: InstanceId::new(5),
+                round: Round::new(2),
+                value: value(1),
+                voters: vec![NodeId::new(2), NodeId::new(4), NodeId::new(7)],
+            },
+            PaxosMessage::Decision {
+                instance: InstanceId::new(5),
+                value: value(1),
+                sender: NodeId::new(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn wire_round_trip_all_variants() {
+        for msg in sample_messages() {
+            let bytes = msg.to_bytes();
+            assert_eq!(bytes.len(), msg.encoded_len(), "len mismatch for {msg:?}");
+            assert_eq!(PaxosMessage::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn message_ids_are_distinct() {
+        let ids: HashSet<MessageId> =
+            sample_messages().iter().map(|m| m.message_id()).collect();
+        assert_eq!(ids.len(), sample_messages().len());
+    }
+
+    #[test]
+    fn phase2b_ids_distinguish_voters_rounds_instances() {
+        let base = |voter: u32, round: u32, inst: u64| {
+            PaxosMessage::Phase2b {
+                instance: InstanceId::new(inst),
+                round: Round::new(round),
+                value: value(0),
+                voters: vec![NodeId::new(voter)],
+            }
+            .message_id()
+        };
+        assert_ne!(base(1, 0, 0), base(2, 0, 0));
+        assert_ne!(base(1, 0, 0), base(1, 1, 0));
+        assert_ne!(base(1, 0, 0), base(1, 0, 1));
+    }
+
+    #[test]
+    fn decision_id_ignores_sender() {
+        let d = |sender: u32| {
+            PaxosMessage::Decision {
+                instance: InstanceId::new(9),
+                value: value(0),
+                sender: NodeId::new(sender),
+            }
+            .message_id()
+        };
+        assert_eq!(d(0), d(5));
+    }
+
+    #[test]
+    fn client_value_id_ignores_forwarder() {
+        let m = |fwd: u32| {
+            PaxosMessage::ClientValue {
+                forwarder: NodeId::new(fwd),
+                value: value(3),
+            }
+            .message_id()
+        };
+        assert_eq!(m(1), m(2));
+    }
+
+    #[test]
+    fn disaggregate_splits_votes() {
+        let agg = PaxosMessage::Phase2b {
+            instance: InstanceId::new(1),
+            round: Round::ZERO,
+            value: value(0),
+            voters: vec![NodeId::new(1), NodeId::new(3)],
+        };
+        let parts = agg.disaggregate_votes();
+        assert_eq!(parts.len(), 2);
+        for (part, voter) in parts.iter().zip([1u32, 3]) {
+            match part {
+                PaxosMessage::Phase2b { voters, .. } => {
+                    assert_eq!(voters, &vec![NodeId::new(voter)]);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Parts carry the ids single votes would have had.
+        let single = PaxosMessage::Phase2b {
+            instance: InstanceId::new(1),
+            round: Round::ZERO,
+            value: value(0),
+            voters: vec![NodeId::new(1)],
+        };
+        assert_eq!(parts[0].message_id(), single.message_id());
+    }
+
+    #[test]
+    fn disaggregate_keeps_singles_and_others() {
+        let single = PaxosMessage::Phase2b {
+            instance: InstanceId::new(1),
+            round: Round::ZERO,
+            value: value(0),
+            voters: vec![NodeId::new(1)],
+        };
+        assert_eq!(single.clone().disaggregate_votes(), vec![single]);
+        let dec = PaxosMessage::Decision {
+            instance: InstanceId::new(1),
+            value: value(0),
+            sender: NodeId::new(0),
+        };
+        assert_eq!(dec.clone().disaggregate_votes(), vec![dec]);
+    }
+
+    #[test]
+    fn invalid_votes_rejected() {
+        let empty = PaxosMessage::Phase2b {
+            instance: InstanceId::new(1),
+            round: Round::ZERO,
+            value: value(0),
+            voters: vec![],
+        };
+        assert!(empty.validate().is_err());
+        let unsorted = PaxosMessage::Phase2b {
+            instance: InstanceId::new(1),
+            round: Round::ZERO,
+            value: value(0),
+            voters: vec![NodeId::new(3), NodeId::new(1)],
+        };
+        assert!(unsorted.validate().is_err());
+        // Decoding enforces validation.
+        assert!(PaxosMessage::from_bytes(&unsorted.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            PaxosMessage::from_bytes(&[99]),
+            Err(WireError::InvalidTag(99))
+        ));
+    }
+
+    #[test]
+    fn kind_and_instance_accessors() {
+        let msgs = sample_messages();
+        assert_eq!(msgs[0].kind(), Kind::ClientValue);
+        assert_eq!(msgs[0].instance(), None);
+        assert_eq!(msgs[4].kind(), Kind::Phase2b);
+        assert_eq!(msgs[5].kind(), Kind::Phase2bAggregated);
+        assert_eq!(msgs[6].instance(), Some(InstanceId::new(5)));
+    }
+
+    #[test]
+    fn aggregated_size_is_much_smaller_than_parts() {
+        // The paper: an aggregated vote has essentially the same size
+        // regardless of how many votes it replaces.
+        let voters: Vec<NodeId> = (0..50).map(NodeId::new).collect();
+        let agg = PaxosMessage::Phase2b {
+            instance: InstanceId::new(1),
+            round: Round::ZERO,
+            value: Value::new(NodeId::new(0), 0, vec![0; 1024]),
+            voters,
+        };
+        let agg_size = agg.wire_size();
+        let parts_size: usize = agg
+            .disaggregate_votes()
+            .iter()
+            .map(|p| p.wire_size())
+            .sum();
+        assert!(agg_size < parts_size / 20, "{agg_size} vs {parts_size}");
+    }
+}

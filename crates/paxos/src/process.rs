@@ -1,0 +1,544 @@
+//! A full Paxos process: proposer + acceptor + learner behind one handler.
+//!
+//! The paper assumes "each Paxos process plays all these roles" (§2.3).
+//! [`PaxosProcess`] glues the three role state machines together and speaks
+//! only in terms of [`PaxosMessage`]s in and [`Outbound`]s out; the
+//! communication substrate (direct channels or gossip) interprets the
+//! [`Route`] tags.
+
+use semantic_gossip::NodeId;
+
+use crate::acceptor::Acceptor;
+use crate::config::PaxosConfig;
+use crate::coordinator::Coordinator;
+use crate::learner::Learner;
+use crate::message::PaxosMessage;
+use crate::storage::{MemoryStorage, StableStorage};
+use crate::types::{InstanceId, Round, Value};
+
+/// Where a message logically goes.
+///
+/// Routes express Paxos's communication patterns without fixing a transport:
+/// the Baseline setup maps them to direct channels, the gossip setups
+/// broadcast everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// One-to-many: to every process (Phase 1a/2a, Decision).
+    ToAll,
+    /// Many-to-one: to the coordinator of the message's round (Phase 1b/2b,
+    /// forwarded client values).
+    ToCoordinator,
+}
+
+/// An outbound message tagged with its logical route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outbound {
+    /// The protocol message.
+    pub msg: PaxosMessage,
+    /// Its logical destination.
+    pub route: Route,
+}
+
+impl Outbound {
+    fn to_all(msg: PaxosMessage) -> Self {
+        Outbound {
+            msg,
+            route: Route::ToAll,
+        }
+    }
+
+    fn to_coordinator(msg: PaxosMessage) -> Self {
+        Outbound {
+            msg,
+            route: Route::ToCoordinator,
+        }
+    }
+}
+
+/// One Paxos process playing proposer, acceptor and learner.
+///
+/// Drive it with [`handle`](Self::handle) for protocol messages and
+/// [`submit`](Self::submit) for client values; collect decided values with
+/// [`take_decisions`](Self::take_decisions) (ordered, gap-free).
+///
+/// **Self-delivery:** the runtime must deliver a process's
+/// [`Route::ToAll`] messages back to the process itself too (gossip does
+/// this by construction; a direct-channel runtime must loop them back).
+#[derive(Debug)]
+pub struct PaxosProcess<S: StableStorage = MemoryStorage> {
+    id: NodeId,
+    config: PaxosConfig,
+    acceptor: Acceptor<S>,
+    coordinator: Option<Coordinator>,
+    learner: Learner,
+    /// Highest round observed in the system.
+    current_round: Round,
+    submit_seq: u64,
+}
+
+impl PaxosProcess<MemoryStorage> {
+    /// Creates a process with fresh in-memory stable storage.
+    pub fn new(id: NodeId, config: PaxosConfig) -> Self {
+        PaxosProcess::with_storage(id, config, MemoryStorage::default())
+    }
+}
+
+impl<S: StableStorage> PaxosProcess<S> {
+    /// Creates a process over existing storage (also the crash-recovery
+    /// entry point: pass the storage salvaged from the crashed incarnation).
+    pub fn with_storage(id: NodeId, config: PaxosConfig, storage: S) -> Self {
+        assert!(
+            id.as_index() < config.n,
+            "process id out of range for the deployment"
+        );
+        PaxosProcess {
+            id,
+            config: config.clone(),
+            acceptor: Acceptor::with_storage(id, storage),
+            coordinator: None,
+            learner: Learner::new(config),
+            current_round: Round::ZERO,
+            submit_seq: 0,
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &PaxosConfig {
+        &self.config
+    }
+
+    /// The highest round this process has observed.
+    pub fn current_round(&self) -> Round {
+        self.current_round
+    }
+
+    /// The coordinator of the highest round this process has observed.
+    pub fn current_coordinator(&self) -> NodeId {
+        self.current_round.coordinator(self.config.n)
+    }
+
+    /// Whether this process is currently acting as coordinator.
+    pub fn is_coordinator(&self) -> bool {
+        self.coordinator.is_some()
+    }
+
+    /// Read access to the coordinator role, when active.
+    pub fn coordinator(&self) -> Option<&Coordinator> {
+        self.coordinator.as_ref()
+    }
+
+    /// Read access to the learner role.
+    pub fn learner(&self) -> &Learner {
+        &self.learner
+    }
+
+    /// Makes this process the coordinator of `round`, starting Phase 1 over
+    /// all instances not yet delivered locally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this process is not `round`'s coordinator, or if `round` is
+    /// older than a round already observed.
+    pub fn start_round(&mut self, round: Round) -> Vec<Outbound> {
+        assert!(
+            round >= self.current_round,
+            "cannot start {round}: already at {}",
+            self.current_round
+        );
+        self.current_round = round;
+        let from_instance = self.learner.next_to_deliver();
+        let (coordinator, phase1a) =
+            Coordinator::start(self.id, self.config.clone(), round, from_instance);
+        self.coordinator = Some(coordinator);
+        vec![Outbound::to_all(phase1a)]
+    }
+
+    /// A client submits a payload at this process: proposed directly when
+    /// this process coordinates, otherwise forwarded to the coordinator
+    /// (§4.2: "when a Paxos process receives a value from a client, it
+    /// forwards the value to the coordinator").
+    pub fn submit(&mut self, value: Value) -> Vec<Outbound> {
+        if let Some(c) = self.coordinator.as_mut() {
+            return c.propose(value).into_iter().map(Outbound::to_all).collect();
+        }
+        vec![Outbound::to_coordinator(PaxosMessage::ClientValue {
+            forwarder: self.id,
+            value,
+        })]
+    }
+
+    /// Convenience for clients: wraps `payload` into a [`Value`] with this
+    /// process as origin and an auto-incremented sequence number, then
+    /// [`submit`](Self::submit)s it. Returns the value's id along with the
+    /// outbound messages.
+    pub fn submit_payload(&mut self, payload: Vec<u8>) -> (Value, Vec<Outbound>) {
+        let value = Value::new(self.id, self.submit_seq, payload);
+        self.submit_seq += 1;
+        let out = self.submit(value.clone());
+        (value, out)
+    }
+
+    /// Handles one delivered protocol message, returning the messages it
+    /// triggers.
+    pub fn handle(&mut self, msg: PaxosMessage) -> Vec<Outbound> {
+        match msg {
+            PaxosMessage::ClientValue { value, .. } => {
+                match self.coordinator.as_mut() {
+                    Some(c) => c.propose(value).into_iter().map(Outbound::to_all).collect(),
+                    // Not the coordinator: the gossip layer already carries
+                    // the value to the coordinator; nothing to do.
+                    None => Vec::new(),
+                }
+            }
+            PaxosMessage::Phase1a {
+                round,
+                from_instance,
+                sender: _,
+            } => {
+                self.observe_round(round);
+                self.acceptor
+                    .on_phase1a(round, from_instance)
+                    .map(Outbound::to_coordinator)
+                    .into_iter()
+                    .collect()
+            }
+            PaxosMessage::Phase1b {
+                round,
+                sender,
+                accepted,
+            } => match self.coordinator.as_mut() {
+                Some(c) => c
+                    .on_phase1b(round, sender, &accepted)
+                    .into_iter()
+                    .map(Outbound::to_all)
+                    .collect(),
+                None => Vec::new(),
+            },
+            PaxosMessage::Phase2a {
+                instance,
+                round,
+                value,
+                sender: _,
+            } => {
+                self.observe_round(round);
+                self.acceptor
+                    .on_phase2a(instance, round, value)
+                    .map(Outbound::to_coordinator)
+                    .into_iter()
+                    .collect()
+            }
+            PaxosMessage::Phase2b {
+                instance,
+                round,
+                value,
+                voters,
+            } => {
+                let mut out = Vec::new();
+                for voter in voters {
+                    if let Some(decided) =
+                        self.learner.on_phase2b(instance, round, &value, voter)
+                    {
+                        out.extend(self.on_locally_decided(instance, decided));
+                        break; // instance decided; further voters are moot
+                    }
+                }
+                out
+            }
+            PaxosMessage::Decision {
+                instance, value, ..
+            } => match self.learner.on_decision(instance, &value) {
+                Some(decided) => self.on_locally_decided(instance, decided),
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Coordinator-side retransmission of open proposals (kept out of the
+    /// reliability experiments, which disable timeout-triggered recovery).
+    pub fn retransmit(&self) -> Vec<Outbound> {
+        self.coordinator
+            .as_ref()
+            .map(|c| c.retransmit().into_iter().map(Outbound::to_all).collect())
+            .unwrap_or_default()
+    }
+
+    /// Drains values decided and deliverable in instance order (no gaps).
+    pub fn take_decisions(&mut self) -> Vec<(InstanceId, Value)> {
+        self.learner.take_ordered()
+    }
+
+    /// Tears the process down, salvaging the acceptor's stable storage —
+    /// the only state that survives a crash (§2.1's crash-recovery model).
+    /// Recover with [`PaxosProcess::with_storage`].
+    pub fn into_acceptor_storage(self) -> S {
+        self.acceptor.into_storage()
+    }
+
+    fn on_locally_decided(&mut self, instance: InstanceId, value: Value) -> Vec<Outbound> {
+        match self.coordinator.as_mut() {
+            Some(c) => {
+                // The coordinator announces the decision and may unblock
+                // queued client values (§2.3: the Decision step "becomes
+                // redundant if Phase 2b messages are received by all
+                // processes" — under gossip the semantic layer filters it).
+                let mut out = vec![Outbound::to_all(PaxosMessage::Decision {
+                    instance,
+                    value,
+                    sender: self.id,
+                })];
+                out.extend(c.on_decided(instance).into_iter().map(Outbound::to_all));
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn observe_round(&mut self, round: Round) {
+        if round > self.current_round {
+            self.current_round = round;
+            // A newer round supersedes this process's coordinatorship.
+            if let Some(c) = &self.coordinator {
+                if c.round() < round {
+                    self.coordinator = None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Delivers every outbound to every process (gossip-like full fan-out)
+    /// until quiescence.
+    fn run_to_quiescence(procs: &mut [PaxosProcess], mut inflight: Vec<Outbound>) {
+        let mut steps = 0;
+        while let Some(out) = inflight.pop() {
+            steps += 1;
+            assert!(steps < 1_000_000, "protocol did not quiesce");
+            for p in procs.iter_mut() {
+                inflight.extend(p.handle(out.msg.clone()));
+            }
+        }
+    }
+
+    fn cluster(n: usize) -> Vec<PaxosProcess> {
+        let config = PaxosConfig::new(n);
+        (0..n as u32)
+            .map(|i| PaxosProcess::new(NodeId::new(i), config.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn single_value_decided_by_all() {
+        let mut procs = cluster(3);
+        let mut inflight = procs[0].start_round(Round::ZERO);
+        let (value, out) = procs[0].submit_payload(b"v".to_vec());
+        inflight.extend(out);
+        run_to_quiescence(&mut procs, inflight);
+        for p in procs.iter_mut() {
+            let decisions = p.take_decisions();
+            assert_eq!(decisions.len(), 1);
+            assert_eq!(decisions[0].0, InstanceId::ZERO);
+            assert_eq!(decisions[0].1, value);
+        }
+    }
+
+    #[test]
+    fn values_from_all_processes_are_ordered_identically() {
+        let mut procs = cluster(5);
+        let mut inflight = procs[0].start_round(Round::ZERO);
+        for i in 0..5 {
+            let (_, out) = procs[i].submit_payload(vec![i as u8]);
+            inflight.extend(out);
+        }
+        run_to_quiescence(&mut procs, inflight);
+        let reference: Vec<(InstanceId, Value)> = procs[0].take_decisions();
+        assert_eq!(reference.len(), 5);
+        for p in procs[1..].iter_mut() {
+            assert_eq!(p.take_decisions(), reference);
+        }
+    }
+
+    #[test]
+    fn client_value_forwarded_when_not_coordinator() {
+        let mut procs = cluster(3);
+        let out = procs[1].submit(Value::new(NodeId::new(1), 0, vec![1]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].route, Route::ToCoordinator);
+        assert!(matches!(out[0].msg, PaxosMessage::ClientValue { .. }));
+    }
+
+    #[test]
+    fn duplicate_client_value_proposed_once() {
+        let mut procs = cluster(3);
+        let mut inflight = procs[0].start_round(Round::ZERO);
+        let value = Value::new(NodeId::new(2), 0, vec![9]);
+        // The same forwarded value reaches the coordinator twice.
+        inflight.push(Outbound::to_coordinator(PaxosMessage::ClientValue {
+            forwarder: NodeId::new(2),
+            value: value.clone(),
+        }));
+        inflight.push(Outbound::to_coordinator(PaxosMessage::ClientValue {
+            forwarder: NodeId::new(1),
+            value: value.clone(),
+        }));
+        run_to_quiescence(&mut procs, inflight);
+        let decisions = procs[0].take_decisions();
+        assert_eq!(decisions.len(), 1);
+    }
+
+    #[test]
+    fn round_change_reproposes_accepted_value() {
+        let mut procs = cluster(3);
+        // Round 0: coordinator 0 proposes, but only acceptor 0 sees the 2a.
+        let mut inflight = procs[0].start_round(Round::ZERO);
+        run_to_quiescence(&mut procs, inflight.drain(..).collect());
+        let (value, out) = procs[0].submit_payload(b"survivor".to_vec());
+        // Deliver the Phase2a to processes 0 and 1 only (partition): the
+        // value is accepted by a majority, so every Phase 1 quorum of the
+        // next round must observe and re-propose it.
+        let phase2a = out
+            .into_iter()
+            .find(|o| matches!(o.msg, PaxosMessage::Phase2a { .. }))
+            .expect("prepared coordinator proposes immediately");
+        let _votes = procs[0].handle(phase2a.msg.clone());
+        let _votes = procs[1].handle(phase2a.msg.clone());
+        // Now process 1 takes over with round 1 and full connectivity.
+        let inflight = procs[1].start_round(Round::new(1));
+        run_to_quiescence(&mut procs, inflight);
+        // The accepted value must be re-proposed and decided at instance 0.
+        for p in procs.iter_mut() {
+            let decisions = p.take_decisions();
+            assert_eq!(decisions.len(), 1, "at {}", p.id());
+            assert_eq!(decisions[0].1, value);
+        }
+    }
+
+    #[test]
+    fn newer_round_supersedes_old_coordinator() {
+        let mut procs = cluster(3);
+        let inflight = procs[0].start_round(Round::ZERO);
+        run_to_quiescence(&mut procs, inflight);
+        assert!(procs[0].is_coordinator());
+        // Process 1 starts round 1; its Phase1a demotes process 0.
+        let inflight = procs[1].start_round(Round::new(1));
+        run_to_quiescence(&mut procs, inflight);
+        assert!(!procs[0].is_coordinator());
+        assert!(procs[1].is_coordinator());
+        assert_eq!(procs[0].current_coordinator(), NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot start")]
+    fn starting_stale_round_panics() {
+        let mut procs = cluster(3);
+        let inflight = procs[1].start_round(Round::new(1));
+        run_to_quiescence(&mut procs, inflight);
+        // Process 0 now knows round 1; restarting round 0 is a bug.
+        procs[0].start_round(Round::ZERO);
+    }
+
+    #[test]
+    fn learner_decides_from_majority_without_decision_message() {
+        // Feed raw 2b votes to a bystander process: it must decide alone.
+        let mut p = PaxosProcess::new(NodeId::new(2), PaxosConfig::new(3));
+        let v = Value::new(NodeId::new(0), 0, vec![5]);
+        let vote = |voter: u32| PaxosMessage::Phase2b {
+            instance: InstanceId::ZERO,
+            round: Round::ZERO,
+            value: v.clone(),
+            voters: vec![NodeId::new(voter)],
+        };
+        assert!(p.handle(vote(0)).is_empty());
+        assert!(p.handle(vote(1)).is_empty()); // decided; not coordinator => no Decision emitted
+        assert_eq!(p.take_decisions(), vec![(InstanceId::ZERO, v)]);
+    }
+
+    #[test]
+    fn aggregated_votes_decide_in_one_message() {
+        let mut p = PaxosProcess::new(NodeId::new(2), PaxosConfig::new(3));
+        let v = Value::new(NodeId::new(0), 0, vec![5]);
+        let agg = PaxosMessage::Phase2b {
+            instance: InstanceId::ZERO,
+            round: Round::ZERO,
+            value: v.clone(),
+            voters: vec![NodeId::new(0), NodeId::new(1)],
+        };
+        p.handle(agg);
+        assert_eq!(p.take_decisions().len(), 1);
+    }
+
+    #[test]
+    fn coordinator_emits_decision_on_quorum() {
+        let mut procs = cluster(3);
+        let inflight = procs[0].start_round(Round::ZERO);
+        run_to_quiescence(&mut procs, inflight);
+        let (_, out) = procs[0].submit_payload(vec![1]);
+        let phase2a = out
+            .into_iter()
+            .find(|o| matches!(o.msg, PaxosMessage::Phase2a { .. }))
+            .unwrap();
+        // Gather votes from processes 0 and 1.
+        let vote0 = procs[0].handle(phase2a.msg.clone());
+        let vote1 = procs[1].handle(phase2a.msg.clone());
+        let out = procs[0].handle(vote0[0].msg.clone());
+        assert!(out.is_empty(), "one vote is not a quorum");
+        let out = procs[0].handle(vote1[0].msg.clone());
+        assert!(
+            out.iter()
+                .any(|o| matches!(o.msg, PaxosMessage::Decision { .. })),
+            "coordinator must announce the decision"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_preserves_acceptor_state() {
+        let config = PaxosConfig::new(3);
+        let mut p = PaxosProcess::new(NodeId::new(1), config.clone());
+        let v = Value::new(NodeId::new(0), 0, vec![1]);
+        let out = p.handle(PaxosMessage::Phase2a {
+            instance: InstanceId::ZERO,
+            round: Round::ZERO,
+            value: v.clone(),
+            sender: NodeId::new(0),
+        });
+        assert_eq!(out.len(), 1);
+
+        // Crash: rebuild the process from the acceptor's stable storage.
+        let storage = p.acceptor.into_storage();
+        let mut recovered = PaxosProcess::with_storage(NodeId::new(1), config, storage);
+        // A Phase 1a for a newer round must report the accepted value.
+        let out = recovered.handle(PaxosMessage::Phase1a {
+            round: Round::new(1),
+            from_instance: InstanceId::ZERO,
+            sender: NodeId::new(1),
+        });
+        match &out[0].msg {
+            PaxosMessage::Phase1b { accepted, .. } => {
+                assert_eq!(accepted.len(), 1);
+                assert_eq!(accepted[0].value, v);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retransmit_resends_open_proposals() {
+        let mut procs = cluster(3);
+        let inflight = procs[0].start_round(Round::ZERO);
+        run_to_quiescence(&mut procs, inflight);
+        let (_, _out) = procs[0].submit_payload(vec![1]); // 2a lost
+        let again = procs[0].retransmit();
+        assert_eq!(again.len(), 1);
+        assert!(matches!(again[0].msg, PaxosMessage::Phase2a { .. }));
+        // Non-coordinators have nothing to retransmit.
+        assert!(procs[1].retransmit().is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Stable storage for the crash-recovery failure model.
+//!
+//! Under crash-recovery (§2.1 of the paper), an acceptor must not forget its
+//! promises and accepted values across a crash: doing so could let two
+//! different values be chosen in one instance. [`StableStorage`] is the
+//! persistence interface an [`Acceptor`](crate::Acceptor) writes through
+//! *before* answering; [`MemoryStorage`] is the in-process implementation
+//! used by the simulator (which models crashes by rebuilding the acceptor
+//! from its storage).
+
+use std::collections::BTreeMap;
+
+use crate::types::{InstanceId, Round, Value};
+
+/// Durable acceptor state.
+///
+/// Implementations must make writes visible to a subsequent
+/// [`load`](StableStorage::load) even across a crash of the owning process.
+pub trait StableStorage {
+    /// Persists the highest promised round.
+    fn save_promise(&mut self, round: Round);
+
+    /// Persists an accepted `(round, value)` for `instance`.
+    fn save_accept(&mut self, instance: InstanceId, round: Round, value: &Value);
+
+    /// Restores the promised round and all accepted entries.
+    fn load(&self) -> (Round, Vec<(InstanceId, Round, Value)>);
+}
+
+/// In-memory stable storage.
+///
+/// Durability here means surviving the *simulated* crash of the acceptor
+/// object, not a host crash: the simulator drops the acceptor and rebuilds
+/// it from this storage.
+///
+/// # Example
+///
+/// ```
+/// use paxos::{InstanceId, MemoryStorage, Round, StableStorage, Value};
+/// use semantic_gossip::NodeId;
+///
+/// let mut s = MemoryStorage::default();
+/// s.save_promise(Round::new(2));
+/// s.save_accept(InstanceId::ZERO, Round::new(2), &Value::new(NodeId::new(0), 0, vec![]));
+/// let (promised, accepted) = s.load();
+/// assert_eq!(promised, Round::new(2));
+/// assert_eq!(accepted.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStorage {
+    promised: Round,
+    accepted: BTreeMap<InstanceId, (Round, Value)>,
+}
+
+impl StableStorage for MemoryStorage {
+    fn save_promise(&mut self, round: Round) {
+        debug_assert!(round >= self.promised, "promise must not regress");
+        self.promised = round;
+    }
+
+    fn save_accept(&mut self, instance: InstanceId, round: Round, value: &Value) {
+        self.accepted.insert(instance, (round, value.clone()));
+    }
+
+    fn load(&self) -> (Round, Vec<(InstanceId, Round, Value)>) {
+        let accepted = self
+            .accepted
+            .iter()
+            .map(|(&i, (r, v))| (i, *r, v.clone()))
+            .collect();
+        (self.promised, accepted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semantic_gossip::NodeId;
+
+    fn value(seq: u64) -> Value {
+        Value::new(NodeId::new(0), seq, vec![1, 2, 3])
+    }
+
+    #[test]
+    fn empty_storage_loads_defaults() {
+        let s = MemoryStorage::default();
+        let (promised, accepted) = s.load();
+        assert_eq!(promised, Round::ZERO);
+        assert!(accepted.is_empty());
+    }
+
+    #[test]
+    fn promise_persists() {
+        let mut s = MemoryStorage::default();
+        s.save_promise(Round::new(3));
+        assert_eq!(s.load().0, Round::new(3));
+    }
+
+    #[test]
+    fn accept_overwrites_per_instance() {
+        let mut s = MemoryStorage::default();
+        s.save_accept(InstanceId::new(1), Round::ZERO, &value(1));
+        s.save_accept(InstanceId::new(1), Round::new(2), &value(2));
+        s.save_accept(InstanceId::new(2), Round::ZERO, &value(3));
+        let (_, accepted) = s.load();
+        assert_eq!(accepted.len(), 2);
+        assert_eq!(accepted[0], (InstanceId::new(1), Round::new(2), value(2)));
+        assert_eq!(accepted[1], (InstanceId::new(2), Round::ZERO, value(3)));
+    }
+
+    #[test]
+    fn load_is_sorted_by_instance() {
+        let mut s = MemoryStorage::default();
+        s.save_accept(InstanceId::new(9), Round::ZERO, &value(1));
+        s.save_accept(InstanceId::new(2), Round::ZERO, &value(2));
+        let (_, accepted) = s.load();
+        assert!(accepted.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -1,0 +1,285 @@
+//! Core Paxos value and identifier types.
+
+use std::fmt;
+use std::sync::Arc;
+
+use semantic_gossip::codec::{Reader, Wire, WireError};
+use semantic_gossip::NodeId;
+
+/// Identifier of one consensus instance.
+///
+/// Instances are decided independently; their identifiers establish the
+/// total order of the decided sequence (delivered gap-free in increasing
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InstanceId(u64);
+
+impl InstanceId {
+    /// The first instance.
+    pub const ZERO: InstanceId = InstanceId(0);
+
+    /// Builds an instance id.
+    pub const fn new(id: u64) -> Self {
+        InstanceId(id)
+    }
+
+    /// Raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The next instance.
+    pub const fn next(self) -> InstanceId {
+        InstanceId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl Wire for InstanceId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(InstanceId(u64::decode(r)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+/// A Paxos round (ballot) number.
+///
+/// Each round is orchestrated by one coordinator; higher rounds supersede
+/// lower ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Round(u32);
+
+impl Round {
+    /// The initial round.
+    pub const ZERO: Round = Round(0);
+
+    /// Builds a round number.
+    pub const fn new(r: u32) -> Self {
+        Round(r)
+    }
+
+    /// Raw value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The next round.
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The coordinator of this round among `n` processes: round `r` is led
+    /// by process `r mod n`, so process 0 (North Virginia in the paper's
+    /// deployment) leads round 0 and leadership rotates deterministically on
+    /// round changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coordinator(self, n: usize) -> NodeId {
+        assert!(n > 0, "coordinator of an empty system");
+        NodeId::new(self.0 % n as u32)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl Wire for Round {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Round(u32::decode(r)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+/// Globally unique identifier of a client value: the process where the value
+/// entered the system plus a per-process sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId {
+    /// Process at which the client submitted the value.
+    pub origin: NodeId,
+    /// Submission sequence number at that process.
+    pub seq: u64,
+}
+
+impl ValueId {
+    /// Builds a value id.
+    pub const fn new(origin: NodeId, seq: u64) -> Self {
+        ValueId { origin, seq }
+    }
+
+    /// Packs the id into a single u64 (origin in the high 24 bits).
+    pub const fn as_u64(self) -> u64 {
+        ((self.origin.as_u32() as u64) << 40) | (self.seq & 0xff_ffff_ffff)
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+impl Wire for ValueId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.origin.encode(buf);
+        self.seq.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ValueId {
+            origin: NodeId::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.origin.encoded_len() + self.seq.encoded_len()
+    }
+}
+
+/// A client-proposed value.
+///
+/// The payload is reference-counted so cloning a value — which gossip does
+/// once per peer queue — is cheap even for the paper's 1 KiB values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Value {
+    id: ValueId,
+    payload: Arc<Vec<u8>>,
+}
+
+impl Value {
+    /// Creates a value submitted at `origin` with sequence number `seq`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use paxos::Value;
+    /// use semantic_gossip::NodeId;
+    ///
+    /// let v = Value::new(NodeId::new(3), 7, vec![0u8; 1024]);
+    /// assert_eq!(v.payload().len(), 1024);
+    /// assert_eq!(v.id().seq, 7);
+    /// ```
+    pub fn new(origin: NodeId, seq: u64, payload: Vec<u8>) -> Self {
+        Value {
+            id: ValueId::new(origin, seq),
+            payload: Arc::new(payload),
+        }
+    }
+
+    /// The value's unique id.
+    pub fn id(&self) -> ValueId {
+        self.id
+    }
+
+    /// The client payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Encoded size of this value on the wire.
+    pub fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl Wire for Value {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        semantic_gossip::codec::put_byte_string(buf, &self.payload);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let id = ValueId::decode(r)?;
+        let payload = r.byte_string()?;
+        Ok(Value {
+            id,
+            payload: Arc::new(payload),
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len()
+            + semantic_gossip::codec::varint_len(self.payload.len() as u64)
+            + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_ordering_and_next() {
+        assert!(InstanceId::new(2) > InstanceId::new(1));
+        assert_eq!(InstanceId::ZERO.next(), InstanceId::new(1));
+        assert_eq!(InstanceId::new(5).to_string(), "i5");
+    }
+
+    #[test]
+    fn round_coordinator_rotates() {
+        assert_eq!(Round::ZERO.coordinator(5), NodeId::new(0));
+        assert_eq!(Round::new(1).coordinator(5), NodeId::new(1));
+        assert_eq!(Round::new(7).coordinator(5), NodeId::new(2));
+        assert_eq!(Round::new(3).next(), Round::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty system")]
+    fn coordinator_of_empty_panics() {
+        Round::ZERO.coordinator(0);
+    }
+
+    #[test]
+    fn value_id_packing_distinct() {
+        let a = ValueId::new(NodeId::new(1), 5).as_u64();
+        let b = ValueId::new(NodeId::new(5), 1).as_u64();
+        assert_ne!(a, b);
+        assert_eq!(ValueId::new(NodeId::new(2), 9).to_string(), "p2#9");
+    }
+
+    #[test]
+    fn value_clone_shares_payload() {
+        let v = Value::new(NodeId::new(0), 0, vec![7u8; 1024]);
+        let w = v.clone();
+        assert!(Arc::ptr_eq(&v.payload, &w.payload));
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        let v = Value::new(NodeId::new(9), 1234, b"payload".to_vec());
+        let decoded = Value::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(decoded, v);
+        assert_eq!(v.to_bytes().len(), v.encoded_len());
+
+        let i = InstanceId::new(300);
+        assert_eq!(InstanceId::from_bytes(&i.to_bytes()).unwrap(), i);
+        let r = Round::new(7);
+        assert_eq!(Round::from_bytes(&r.to_bytes()).unwrap(), r);
+        let vid = ValueId::new(NodeId::new(3), 42);
+        assert_eq!(ValueId::from_bytes(&vid.to_bytes()).unwrap(), vid);
+    }
+
+    #[test]
+    fn value_wire_size_includes_payload() {
+        let small = Value::new(NodeId::new(0), 0, vec![0; 10]);
+        let big = Value::new(NodeId::new(0), 0, vec![0; 1024]);
+        assert!(big.wire_size() > small.wire_size() + 1000);
+    }
+}

@@ -1,0 +1,249 @@
+//! Binary wire codec for raft-lite messages (same varint-based format as
+//! the Paxos crate), so the protocol can run over the TCP transport.
+
+use semantic_gossip::codec::{
+    decode_seq, encode_seq, put_byte_string, seq_len, varint_len, Reader, Wire, WireError,
+};
+use semantic_gossip::NodeId;
+
+use crate::message::{Entry, RaftMessage};
+use crate::types::{Command, LogIndex, Term};
+
+impl Wire for Term {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_u32().encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Term::new(u32::decode(r)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_u32().encoded_len()
+    }
+}
+
+impl Wire for LogIndex {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_u64().encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LogIndex::new(u64::decode(r)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_u64().encoded_len()
+    }
+}
+
+impl Wire for Command {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id().origin.encode(buf);
+        self.id().seq.encode(buf);
+        put_byte_string(buf, self.payload());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let origin = NodeId::decode(r)?;
+        let seq = u64::decode(r)?;
+        let payload = r.byte_string()?;
+        Ok(Command::new(origin, seq, payload))
+    }
+    fn encoded_len(&self) -> usize {
+        self.id().origin.encoded_len()
+            + self.id().seq.encoded_len()
+            + varint_len(self.payload().len() as u64)
+            + self.payload().len()
+    }
+}
+
+impl Wire for Entry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.term.encode(buf);
+        self.index.encode(buf);
+        self.command.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Entry {
+            term: Term::decode(r)?,
+            index: LogIndex::decode(r)?,
+            command: Command::decode(r)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.term.encoded_len() + self.index.encoded_len() + self.command.encoded_len()
+    }
+}
+
+const TAG_CLIENT: u8 = 1;
+const TAG_APPEND: u8 = 2;
+const TAG_ACK: u8 = 3;
+const TAG_COMMIT: u8 = 4;
+
+impl Wire for RaftMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RaftMessage::ClientCommand { forwarder, command } => {
+                buf.push(TAG_CLIENT);
+                forwarder.encode(buf);
+                command.encode(buf);
+            }
+            RaftMessage::Append {
+                term,
+                leader,
+                entry,
+            } => {
+                buf.push(TAG_APPEND);
+                term.encode(buf);
+                leader.encode(buf);
+                entry.encode(buf);
+            }
+            RaftMessage::Ack {
+                term,
+                index,
+                voters,
+            } => {
+                buf.push(TAG_ACK);
+                term.encode(buf);
+                index.encode(buf);
+                encode_seq(voters, buf);
+            }
+            RaftMessage::Commit {
+                term,
+                index,
+                sender,
+            } => {
+                buf.push(TAG_COMMIT);
+                term.encode(buf);
+                index.encode(buf);
+                sender.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let msg = match r.u8()? {
+            TAG_CLIENT => RaftMessage::ClientCommand {
+                forwarder: NodeId::decode(r)?,
+                command: Command::decode(r)?,
+            },
+            TAG_APPEND => RaftMessage::Append {
+                term: Term::decode(r)?,
+                leader: NodeId::decode(r)?,
+                entry: Entry::decode(r)?,
+            },
+            TAG_ACK => RaftMessage::Ack {
+                term: Term::decode(r)?,
+                index: LogIndex::decode(r)?,
+                voters: decode_seq(r)?,
+            },
+            TAG_COMMIT => RaftMessage::Commit {
+                term: Term::decode(r)?,
+                index: LogIndex::decode(r)?,
+                sender: NodeId::decode(r)?,
+            },
+            t => return Err(WireError::InvalidTag(t)),
+        };
+        if !msg.is_well_formed() {
+            return Err(WireError::Invalid("malformed ack voters"));
+        }
+        Ok(msg)
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            RaftMessage::ClientCommand { forwarder, command } => {
+                forwarder.encoded_len() + command.encoded_len()
+            }
+            RaftMessage::Append {
+                term,
+                leader,
+                entry,
+            } => term.encoded_len() + leader.encoded_len() + entry.encoded_len(),
+            RaftMessage::Ack {
+                term,
+                index,
+                voters,
+            } => term.encoded_len() + index.encoded_len() + seq_len(voters),
+            RaftMessage::Commit {
+                term,
+                index,
+                sender,
+            } => term.encoded_len() + index.encoded_len() + sender.encoded_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<RaftMessage> {
+        let command = Command::new(NodeId::new(3), 9, vec![0xEE; 100]);
+        vec![
+            RaftMessage::ClientCommand {
+                forwarder: NodeId::new(1),
+                command: command.clone(),
+            },
+            RaftMessage::Append {
+                term: Term::new(2),
+                leader: NodeId::new(0),
+                entry: Entry {
+                    term: Term::new(2),
+                    index: LogIndex::new(7),
+                    command: command.clone(),
+                },
+            },
+            RaftMessage::Ack {
+                term: Term::new(2),
+                index: LogIndex::new(7),
+                voters: vec![NodeId::new(1), NodeId::new(4), NodeId::new(9)],
+            },
+            RaftMessage::Commit {
+                term: Term::new(2),
+                index: LogIndex::new(7),
+                sender: NodeId::new(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        for msg in samples() {
+            let bytes = msg.to_bytes();
+            assert_eq!(bytes.len(), msg.encoded_len(), "len mismatch for {msg:?}");
+            assert_eq!(RaftMessage::from_bytes(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            RaftMessage::from_bytes(&[77]),
+            Err(WireError::InvalidTag(77))
+        ));
+    }
+
+    #[test]
+    fn malformed_ack_rejected() {
+        // Hand-craft an ack with unsorted voters.
+        let mut buf = vec![TAG_ACK];
+        Term::new(0).encode(&mut buf);
+        LogIndex::new(1).encode(&mut buf);
+        encode_seq(&[NodeId::new(5), NodeId::new(1)], &mut buf);
+        assert!(matches!(
+            RaftMessage::from_bytes(&buf),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = samples()[1].to_bytes();
+        assert!(RaftMessage::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn command_payload_round_trips() {
+        let c = Command::new(NodeId::new(7), 42, b"payload".to_vec());
+        let decoded = Command::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(decoded, c);
+        assert_eq!(decoded.payload(), b"payload");
+    }
+}

@@ -1,0 +1,61 @@
+//! **raft-lite** — a Raft-style replication protocol on the semantic gossip
+//! substrate.
+//!
+//! Section 5 of *Gossip Consensus* argues that "in the absence of failures,
+//! the operation of Raft and Paxos are identical: the leader broadcasts
+//! values, that must be acknowledged by a majority of processes. This makes
+//! the semantic extensions proposed for the regular operation of Paxos
+//! easily applicable to a gossip-based Raft deployment." This crate makes
+//! that claim executable: a compact leader-based log-replication protocol
+//! (terms, append entries, cumulative acknowledgements, commit notices)
+//! whose messages implement [`semantic_gossip::GossipItem`], together with
+//! [`RaftSemantics`] — filtering and aggregation rules in the spirit of
+//! §3.2:
+//!
+//! * **filtering** — a commit notice supersedes the acks that led to it;
+//!   once a peer was sent a quorum of acks at index ≥ i (or a commit notice
+//!   for ≥ i), further acks and notices for ≤ i are redundant. Because acks
+//!   are *cumulative*, a newer ack from the same follower also makes that
+//!   follower's older acks obsolete — the round-based obsolescence rule the
+//!   paper sketches for "agreement protocols based on rounds";
+//! * **aggregation** — identical `(term, index)` acks from different
+//!   followers merge into one multi-voter ack, reversibly.
+//!
+//! The protocol is sans-IO like the Paxos crate; the integration test
+//! `tests/raft_gossip.rs` runs it over the same gossip meshes and measures
+//! what the semantics save.
+//!
+//! # Example
+//!
+//! ```
+//! use raft_lite::{RaftConfig, RaftNode};
+//! use semantic_gossip::NodeId;
+//!
+//! let config = RaftConfig::new(3);
+//! let mut nodes: Vec<RaftNode> = (0..3u32)
+//!     .map(|i| RaftNode::new(NodeId::new(i), config.clone()))
+//!     .collect();
+//!
+//! // Node 0 leads term 0 and replicates one command.
+//! let mut inflight = nodes[0].become_leader(raft_lite::Term::ZERO);
+//! inflight.extend(nodes[0].submit(b"cmd".to_vec()));
+//! while let Some(msg) = inflight.pop() {
+//!     for n in nodes.iter_mut() {
+//!         inflight.extend(n.handle(msg.clone()));
+//!     }
+//! }
+//! for n in nodes.iter_mut() {
+//!     assert_eq!(n.take_committed().len(), 1);
+//! }
+//! ```
+
+pub mod codec;
+pub mod message;
+pub mod node;
+pub mod semantics;
+pub mod types;
+
+pub use message::RaftMessage;
+pub use node::RaftNode;
+pub use semantics::RaftSemantics;
+pub use types::{Command, CommandId, LogIndex, RaftConfig, Term};

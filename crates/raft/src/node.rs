@@ -1,0 +1,436 @@
+//! The raft-lite node: leader and follower behind one handler.
+//!
+//! Fail-free path only (which is where the paper compares Raft and Paxos):
+//! one leader per term appends entries; followers store them and send
+//! *cumulative* acknowledgements (ack for index `i` means "I hold every
+//! entry up to `i`"); everyone — not just the leader — commits an index once
+//! a majority's cumulative acks reach it, exactly like Paxos learners
+//! deciding from a majority of Phase 2b messages under gossip (§3.1).
+
+use std::collections::{BTreeMap, HashMap};
+
+use semantic_gossip::NodeId;
+
+use crate::message::{Entry, RaftMessage};
+use crate::types::{Command, CommandId, LogIndex, RaftConfig, Term};
+
+/// One raft-lite process (sans-IO): feed it messages, collect broadcasts
+/// and committed commands.
+#[derive(Debug)]
+pub struct RaftNode {
+    id: NodeId,
+    config: RaftConfig,
+    term: Term,
+    /// `Some` while this node leads `term`.
+    leading: Option<LeaderState>,
+    /// Entry store, possibly with gaps under reordering.
+    log: BTreeMap<LogIndex, Entry>,
+    /// Highest contiguous index this node holds (and has acked).
+    acked: LogIndex,
+    /// Highest index known committed.
+    commit_index: LogIndex,
+    /// Highest index delivered to the application (contiguous).
+    delivered: LogIndex,
+    /// Per-term cumulative ack highs per voter, for quorum commits.
+    ack_high: HashMap<Term, HashMap<NodeId, LogIndex>>,
+    /// Committed-but-undelivered output buffer.
+    out: Vec<(LogIndex, Command)>,
+    submit_seq: u64,
+}
+
+#[derive(Debug)]
+struct LeaderState {
+    next_index: LogIndex,
+    proposed: std::collections::HashSet<CommandId>,
+}
+
+impl RaftNode {
+    /// Creates a follower node.
+    pub fn new(id: NodeId, config: RaftConfig) -> Self {
+        assert!(id.as_index() < config.n, "id out of range");
+        RaftNode {
+            id,
+            config,
+            term: Term::ZERO,
+            leading: None,
+            log: BTreeMap::new(),
+            acked: LogIndex::ZERO,
+            commit_index: LogIndex::ZERO,
+            delivered: LogIndex::ZERO,
+            ack_high: HashMap::new(),
+            out: Vec::new(),
+            submit_seq: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's current term.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// Whether this node currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.leading.is_some()
+    }
+
+    /// Highest index known committed.
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit_index
+    }
+
+    /// Assumes leadership of `term` (the deployment's election substitute,
+    /// like `start_round` in the Paxos crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node is not `term`'s leader or `term` is stale.
+    pub fn become_leader(&mut self, term: Term) -> Vec<RaftMessage> {
+        assert_eq!(term.leader(self.config.n), self.id, "not {term}'s leader");
+        assert!(term >= self.term, "stale term");
+        self.term = term;
+        self.leading = Some(LeaderState {
+            next_index: self.acked.next(),
+            proposed: Default::default(),
+        });
+        Vec::new()
+    }
+
+    /// A client submits a payload at this node: replicated directly when
+    /// leading, forwarded otherwise.
+    pub fn submit(&mut self, payload: Vec<u8>) -> Vec<RaftMessage> {
+        let command = Command::new(self.id, self.submit_seq, payload);
+        self.submit_seq += 1;
+        self.accept_command(command)
+    }
+
+    fn accept_command(&mut self, command: Command) -> Vec<RaftMessage> {
+        let term = self.term;
+        let leader = self.id;
+        match self.leading.as_mut() {
+            Some(state) => {
+                if !state.proposed.insert(command.id()) {
+                    return Vec::new();
+                }
+                let index = state.next_index;
+                state.next_index = index.next();
+                vec![RaftMessage::Append {
+                    term,
+                    leader,
+                    entry: Entry {
+                        term,
+                        index,
+                        command,
+                    },
+                }]
+            }
+            None => vec![RaftMessage::ClientCommand {
+                forwarder: self.id,
+                command,
+            }],
+        }
+    }
+
+    /// Handles one delivered message, returning broadcasts it triggers.
+    pub fn handle(&mut self, msg: RaftMessage) -> Vec<RaftMessage> {
+        match msg {
+            RaftMessage::ClientCommand { command, .. } => {
+                if self.is_leader() {
+                    self.accept_command(command)
+                } else {
+                    Vec::new()
+                }
+            }
+            RaftMessage::Append { term, entry, .. } => self.on_append(term, entry),
+            RaftMessage::Ack {
+                term,
+                index,
+                voters,
+            } => {
+                for voter in voters {
+                    self.on_ack(term, index, voter);
+                }
+                self.try_commit()
+            }
+            RaftMessage::Commit { term, index, .. } => {
+                self.observe_term(term);
+                if index > self.commit_index {
+                    self.commit_index = index;
+                    self.deliver_ready();
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_append(&mut self, term: Term, entry: Entry) -> Vec<RaftMessage> {
+        if term < self.term {
+            return Vec::new(); // stale leader
+        }
+        self.observe_term(term);
+        // Store the entry; a higher-term entry for the same index wins.
+        let replace = self
+            .log
+            .get(&entry.index)
+            .is_none_or(|existing| entry.term > existing.term);
+        if replace {
+            self.log.insert(entry.index, entry);
+        }
+        // Advance the cumulative ack over the contiguous prefix.
+        let before = self.acked;
+        while self.log.contains_key(&self.acked.next()) {
+            self.acked = self.acked.next();
+        }
+        self.deliver_ready();
+        if self.acked > before {
+            // Count our own ack locally too (gossip self-delivery would do
+            // it as well, but direct counting keeps the node usable without
+            // a loop-back).
+            self.on_ack(self.term, self.acked, self.id);
+            let mut out = vec![RaftMessage::Ack {
+                term: self.term,
+                index: self.acked,
+                voters: vec![self.id],
+            }];
+            out.extend(self.try_commit());
+            out
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_ack(&mut self, term: Term, index: LogIndex, voter: NodeId) {
+        self.observe_term(term);
+        if term != self.term {
+            return; // only current-term acks may commit (Raft's commit rule)
+        }
+        let high = self
+            .ack_high
+            .entry(term)
+            .or_default()
+            .entry(voter)
+            .or_insert(LogIndex::ZERO);
+        *high = (*high).max(index);
+    }
+
+    /// Commits the quorum-th highest cumulative ack of the current term.
+    fn try_commit(&mut self) -> Vec<RaftMessage> {
+        let Some(highs) = self.ack_high.get(&self.term) else {
+            return Vec::new();
+        };
+        let mut values: Vec<LogIndex> = highs.values().copied().collect();
+        if values.len() < self.config.quorum() {
+            return Vec::new();
+        }
+        values.sort_unstable_by(|a, b| b.cmp(a));
+        let candidate = values[self.config.quorum() - 1];
+        if candidate <= self.commit_index {
+            return Vec::new();
+        }
+        self.commit_index = candidate;
+        self.deliver_ready();
+        if self.is_leader() {
+            vec![RaftMessage::Commit {
+                term: self.term,
+                index: candidate,
+                sender: self.id,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn deliver_ready(&mut self) {
+        while self.delivered < self.commit_index {
+            let next = self.delivered.next();
+            let Some(entry) = self.log.get(&next) else {
+                break; // gap: the Append has not arrived yet
+            };
+            self.out.push((next, entry.command.clone()));
+            self.delivered = next;
+        }
+    }
+
+    fn observe_term(&mut self, term: Term) {
+        if term > self.term {
+            self.term = term;
+            self.leading = None; // a newer term demotes this leader
+        }
+    }
+
+    /// Drains commands committed and deliverable in log order (no gaps).
+    pub fn take_committed(&mut self) -> Vec<(LogIndex, Command)> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Vec<RaftNode> {
+        let config = RaftConfig::new(n);
+        (0..n as u32)
+            .map(|i| RaftNode::new(NodeId::new(i), config.clone()))
+            .collect()
+    }
+
+    /// Full-mesh broadcast until quiescence.
+    fn settle(nodes: &mut [RaftNode], mut inflight: Vec<RaftMessage>) {
+        let mut steps = 0;
+        while let Some(msg) = inflight.pop() {
+            steps += 1;
+            assert!(steps < 1_000_000, "did not quiesce");
+            for n in nodes.iter_mut() {
+                inflight.extend(n.handle(msg.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn replicates_and_commits_one_command() {
+        let mut nodes = cluster(3);
+        let mut inflight = nodes[0].become_leader(Term::ZERO);
+        inflight.extend(nodes[0].submit(b"a".to_vec()));
+        settle(&mut nodes, inflight);
+        for n in nodes.iter_mut() {
+            let committed = n.take_committed();
+            assert_eq!(committed.len(), 1, "at {}", n.id());
+            assert_eq!(committed[0].0, LogIndex::new(1));
+            assert_eq!(committed[0].1.payload(), b"a");
+        }
+    }
+
+    #[test]
+    fn commands_from_followers_are_forwarded_and_ordered() {
+        let mut nodes = cluster(5);
+        let mut inflight = nodes[0].become_leader(Term::ZERO);
+        for i in 0..5 {
+            inflight.extend(nodes[i].submit(vec![i as u8]));
+        }
+        settle(&mut nodes, inflight);
+        let reference: Vec<(LogIndex, Command)> = nodes[0].take_committed();
+        assert_eq!(reference.len(), 5);
+        for n in nodes[1..].iter_mut() {
+            assert_eq!(n.take_committed(), reference, "divergence at {}", n.id());
+        }
+    }
+
+    #[test]
+    fn duplicate_forwarded_commands_replicate_once() {
+        let mut nodes = cluster(3);
+        let inflight = nodes[0].become_leader(Term::ZERO);
+        settle(&mut nodes, inflight);
+        let cmd = Command::new(NodeId::new(2), 0, vec![9]);
+        let dup = RaftMessage::ClientCommand {
+            forwarder: NodeId::new(2),
+            command: cmd.clone(),
+        };
+        let mut inflight = nodes[0].handle(dup.clone());
+        inflight.extend(nodes[0].handle(dup));
+        settle(&mut nodes, inflight);
+        assert_eq!(nodes[1].take_committed().len(), 1);
+    }
+
+    #[test]
+    fn followers_commit_from_majority_acks_without_commit_message() {
+        // Deliver Appends and Acks but suppress the leader's Commit.
+        let mut nodes = cluster(3);
+        let _ = nodes[0].become_leader(Term::ZERO);
+        let append = nodes[0].submit(b"x".to_vec());
+        assert_eq!(append.len(), 1);
+        // Followers 1 and 2 receive the Append and produce acks.
+        let ack1 = nodes[1].handle(append[0].clone());
+        let ack2 = nodes[2].handle(append[0].clone());
+        // Node 2 sees node 1's ack (plus its own): majority -> commits.
+        for msg in ack1.iter().chain(ack2.iter()) {
+            if matches!(msg, RaftMessage::Ack { .. }) {
+                nodes[2].handle(msg.clone());
+            }
+        }
+        assert_eq!(nodes[2].take_committed().len(), 1);
+    }
+
+    #[test]
+    fn reordered_appends_stall_then_recover() {
+        let mut nodes = cluster(3);
+        let _ = nodes[0].become_leader(Term::ZERO);
+        let a1 = nodes[0].submit(b"1".to_vec());
+        let a2 = nodes[0].submit(b"2".to_vec());
+        // Follower 1 gets entry 2 first: no ack advance yet.
+        assert!(nodes[1].handle(a2[0].clone()).is_empty());
+        // Then entry 1 arrives: cumulative ack jumps to index 2.
+        let acks = nodes[1].handle(a1[0].clone());
+        match &acks[0] {
+            RaftMessage::Ack { index, .. } => assert_eq!(*index, LogIndex::new(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn newer_term_demotes_old_leader() {
+        let mut nodes = cluster(3);
+        let _ = nodes[0].become_leader(Term::ZERO);
+        assert!(nodes[0].is_leader());
+        // A term-1 append (leader = node 1) demotes node 0.
+        let entry = Entry {
+            term: Term::new(1),
+            index: LogIndex::new(1),
+            command: Command::new(NodeId::new(1), 0, vec![1]),
+        };
+        nodes[0].handle(RaftMessage::Append {
+            term: Term::new(1),
+            leader: NodeId::new(1),
+            entry,
+        });
+        assert!(!nodes[0].is_leader());
+        assert_eq!(nodes[0].term(), Term::new(1));
+    }
+
+    #[test]
+    fn stale_term_appends_ignored() {
+        let mut nodes = cluster(3);
+        nodes[1].handle(RaftMessage::Commit {
+            term: Term::new(2),
+            index: LogIndex::ZERO,
+            sender: NodeId::new(2),
+        });
+        let stale = RaftMessage::Append {
+            term: Term::ZERO,
+            leader: NodeId::new(0),
+            entry: Entry {
+                term: Term::ZERO,
+                index: LogIndex::new(1),
+                command: Command::new(NodeId::new(0), 0, vec![1]),
+            },
+        };
+        assert!(nodes[1].handle(stale).is_empty());
+    }
+
+    #[test]
+    fn aggregated_acks_commit_in_one_message() {
+        let mut nodes = cluster(5);
+        let _ = nodes[0].become_leader(Term::ZERO);
+        let append = nodes[0].submit(b"x".to_vec());
+        nodes[4].handle(append[0].clone());
+        // An aggregated ack from 3 voters reaches quorum at once.
+        let agg = RaftMessage::Ack {
+            term: Term::ZERO,
+            index: LogIndex::new(1),
+            voters: vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)],
+        };
+        nodes[4].handle(agg);
+        assert_eq!(nodes[4].take_committed().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not t1's leader")]
+    fn wrong_leader_panics() {
+        let mut nodes = cluster(3);
+        nodes[0].become_leader(Term::new(1));
+    }
+}

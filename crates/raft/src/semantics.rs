@@ -1,0 +1,276 @@
+//! Semantic Gossip rules for raft-lite — the Paxos rules of §3.2
+//! transplanted onto a different agreement protocol, as §5 of the paper
+//! claims is straightforward.
+//!
+//! * **Filtering.** A peer "knows" commit index `i` once it was sent a
+//!   Commit for `≥ i` or cumulative acks at `≥ i` from a majority. Acks and
+//!   Commits at or below that point are dropped for the peer. Additionally —
+//!   the cumulative-ack obsolescence rule — an ack from voter `v` at index
+//!   `i` makes any still-pending ack from `v` at `≤ i` obsolete for that
+//!   peer, the "message from a given round renders messages from previous
+//!   rounds obsolete" pattern the paper generalizes from.
+//! * **Aggregation.** Pending acks with identical `(term, index)` merge into
+//!   one multi-voter ack; reversible via
+//!   [`RaftMessage::disaggregate_acks`].
+
+use std::collections::HashMap;
+
+use semantic_gossip::{NodeId, Semantics};
+
+use crate::message::RaftMessage;
+use crate::types::{LogIndex, RaftConfig, Term};
+
+/// Per-peer summary for filtering.
+#[derive(Debug, Default)]
+struct PeerState {
+    /// Highest commit index this peer must know about.
+    knows_commit: LogIndex,
+    /// Per (term, voter): highest cumulative ack forwarded to the peer.
+    sent_ack_high: HashMap<(Term, NodeId), LogIndex>,
+}
+
+impl PeerState {
+    /// The commit index derivable from the acks sent to this peer.
+    fn derivable_commit(&self, term: Term, quorum: usize) -> LogIndex {
+        let mut highs: Vec<LogIndex> = self
+            .sent_ack_high
+            .iter()
+            .filter(|((t, _), _)| *t == term)
+            .map(|(_, &i)| i)
+            .collect();
+        if highs.len() < quorum {
+            return LogIndex::ZERO;
+        }
+        highs.sort_unstable_by(|a, b| b.cmp(a));
+        highs[quorum - 1]
+    }
+}
+
+/// [`Semantics`] implementation for [`RaftMessage`].
+#[derive(Debug)]
+pub struct RaftSemantics {
+    config: RaftConfig,
+    filtering: bool,
+    aggregation: bool,
+    peers: HashMap<NodeId, PeerState>,
+}
+
+impl RaftSemantics {
+    /// Both techniques enabled.
+    pub fn full(config: RaftConfig) -> Self {
+        RaftSemantics {
+            config,
+            filtering: true,
+            aggregation: true,
+            peers: HashMap::new(),
+        }
+    }
+
+    /// Classic-equivalent instance with both techniques disabled (useful as
+    /// a control in experiments).
+    pub fn disabled(config: RaftConfig) -> Self {
+        RaftSemantics {
+            config,
+            filtering: false,
+            aggregation: false,
+            peers: HashMap::new(),
+        }
+    }
+}
+
+impl Semantics<RaftMessage> for RaftSemantics {
+    fn validate(&mut self, msg: &RaftMessage, peer: NodeId) -> bool {
+        if !self.filtering {
+            return true;
+        }
+        let quorum = self.config.quorum();
+        match msg {
+            RaftMessage::Ack {
+                term,
+                index,
+                voters,
+            } => {
+                let state = self.peers.entry(peer).or_default();
+                if *index <= state.knows_commit {
+                    return false; // ack for an index the peer knows committed
+                }
+                // Obsolete if no voter's cumulative high would advance.
+                let advances = voters.iter().any(|v| {
+                    state
+                        .sent_ack_high
+                        .get(&(*term, *v))
+                        .is_none_or(|&high| *index > high)
+                });
+                if !advances {
+                    return false;
+                }
+                for v in voters {
+                    let high = state.sent_ack_high.entry((*term, *v)).or_insert(LogIndex::ZERO);
+                    *high = (*high).max(*index);
+                }
+                let derivable = state.derivable_commit(*term, quorum);
+                if derivable > state.knows_commit {
+                    state.knows_commit = derivable;
+                }
+                true
+            }
+            RaftMessage::Commit { index, .. } => {
+                let state = self.peers.entry(peer).or_default();
+                if *index <= state.knows_commit {
+                    return false;
+                }
+                state.knows_commit = *index;
+                true
+            }
+            _ => true,
+        }
+    }
+
+    fn aggregate(&mut self, pending: Vec<RaftMessage>, _peer: NodeId) -> Vec<RaftMessage> {
+        if !self.aggregation {
+            return pending;
+        }
+        // Merge acks sharing (term, index); keep everything else in place.
+        let mut merged: HashMap<(Term, LogIndex), Vec<NodeId>> = HashMap::new();
+        for msg in &pending {
+            if let RaftMessage::Ack {
+                term,
+                index,
+                voters,
+            } = msg
+            {
+                merged.entry((*term, *index)).or_default().extend(voters);
+            }
+        }
+        let mut emitted: std::collections::HashSet<(Term, LogIndex)> = Default::default();
+        let mut out = Vec::with_capacity(pending.len());
+        for msg in pending {
+            match msg {
+                RaftMessage::Ack { term, index, .. } => {
+                    if emitted.insert((term, index)) {
+                        let mut voters = merged.remove(&(term, index)).expect("indexed");
+                        voters.sort_unstable();
+                        voters.dedup();
+                        out.push(RaftMessage::Ack {
+                            term,
+                            index,
+                            voters,
+                        });
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        out
+    }
+
+    fn disaggregate(&mut self, msg: RaftMessage) -> Vec<RaftMessage> {
+        msg.disaggregate_acks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PEER: NodeId = NodeId::new(9);
+
+    fn sem(n: usize) -> RaftSemantics {
+        RaftSemantics::full(RaftConfig::new(n))
+    }
+
+    fn ack(term: u32, index: u64, voter: u32) -> RaftMessage {
+        RaftMessage::Ack {
+            term: Term::new(term),
+            index: LogIndex::new(index),
+            voters: vec![NodeId::new(voter)],
+        }
+    }
+
+    fn commit(term: u32, index: u64) -> RaftMessage {
+        RaftMessage::Commit {
+            term: Term::new(term),
+            index: LogIndex::new(index),
+            sender: NodeId::new(0),
+        }
+    }
+
+    #[test]
+    fn commit_filters_covered_acks_and_commits() {
+        let mut s = sem(5);
+        assert!(s.validate(&commit(0, 5), PEER));
+        assert!(!s.validate(&ack(0, 3, 1), PEER));
+        assert!(!s.validate(&commit(0, 4), PEER));
+        // Higher indices still flow.
+        assert!(s.validate(&ack(0, 6, 1), PEER));
+        assert!(s.validate(&commit(0, 7), PEER));
+    }
+
+    #[test]
+    fn cumulative_ack_supersedes_older_acks_from_same_voter() {
+        let mut s = sem(5);
+        assert!(s.validate(&ack(0, 5, 1), PEER));
+        // Older ack from the same voter is obsolete for this peer.
+        assert!(!s.validate(&ack(0, 3, 1), PEER));
+        // But a different voter's ack at 3 advances that voter's high.
+        assert!(s.validate(&ack(0, 3, 2), PEER));
+    }
+
+    #[test]
+    fn quorum_of_sent_acks_makes_commit_redundant() {
+        let mut s = sem(3); // quorum 2
+        assert!(s.validate(&ack(0, 4, 1), PEER));
+        assert!(s.validate(&ack(0, 4, 2), PEER));
+        // Peer can derive commit at 4: commit <= 4 redundant.
+        assert!(!s.validate(&commit(0, 4), PEER));
+        assert!(!s.validate(&ack(0, 4, 0), PEER));
+        assert!(s.validate(&commit(0, 6), PEER));
+    }
+
+    #[test]
+    fn appends_and_commands_always_pass() {
+        let mut s = sem(3);
+        s.validate(&commit(0, 9), PEER);
+        let append = RaftMessage::Append {
+            term: Term::ZERO,
+            leader: NodeId::new(0),
+            entry: crate::message::Entry {
+                term: Term::ZERO,
+                index: LogIndex::new(1),
+                command: crate::types::Command::new(NodeId::new(0), 0, vec![]),
+            },
+        };
+        assert!(s.validate(&append, PEER));
+    }
+
+    #[test]
+    fn aggregation_merges_same_term_index() {
+        let mut s = sem(5);
+        let out = s.aggregate(vec![ack(0, 2, 3), ack(0, 2, 1), ack(0, 3, 1)], PEER);
+        assert_eq!(out.len(), 2);
+        match &out[0] {
+            RaftMessage::Ack { voters, index, .. } => {
+                assert_eq!(*index, LogIndex::new(2));
+                assert_eq!(voters, &vec![NodeId::new(1), NodeId::new(3)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disaggregate_reverses_aggregate() {
+        let mut s = sem(5);
+        let out = s.aggregate(vec![ack(0, 2, 1), ack(0, 2, 3)], PEER);
+        let parts = s.disaggregate(out.into_iter().next().unwrap());
+        assert_eq!(parts, vec![ack(0, 2, 1), ack(0, 2, 3)]);
+    }
+
+    #[test]
+    fn disabled_semantics_is_transparent() {
+        let mut s = RaftSemantics::disabled(RaftConfig::new(3));
+        assert!(s.validate(&commit(0, 1), PEER));
+        assert!(s.validate(&commit(0, 1), PEER));
+        let pending = vec![ack(0, 1, 1), ack(0, 1, 2)];
+        assert_eq!(s.aggregate(pending.clone(), PEER), pending);
+    }
+}

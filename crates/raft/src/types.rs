@@ -1,0 +1,192 @@
+//! Core raft-lite types.
+
+use std::fmt;
+use std::sync::Arc;
+
+use semantic_gossip::NodeId;
+
+/// A Raft term: one leader per term; higher terms supersede lower ones
+/// (the analogue of a Paxos round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Term(u32);
+
+impl Term {
+    /// The first term.
+    pub const ZERO: Term = Term(0);
+
+    /// Builds a term.
+    pub const fn new(t: u32) -> Self {
+        Term(t)
+    }
+
+    /// Raw value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The next term.
+    pub const fn next(self) -> Term {
+        Term(self.0 + 1)
+    }
+
+    /// The leader of this term among `n` processes (`term mod n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn leader(self, n: usize) -> NodeId {
+        assert!(n > 0, "leader of an empty system");
+        NodeId::new(self.0 % n as u32)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A position in the replicated log (1-based; 0 means "nothing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogIndex(u64);
+
+impl LogIndex {
+    /// "Before the first entry".
+    pub const ZERO: LogIndex = LogIndex(0);
+
+    /// Builds an index.
+    pub const fn new(i: u64) -> Self {
+        LogIndex(i)
+    }
+
+    /// Raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The next index.
+    pub const fn next(self) -> LogIndex {
+        LogIndex(self.0 + 1)
+    }
+}
+
+impl fmt::Display for LogIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Unique id of a client command: submitting process + sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommandId {
+    /// Process where the command entered the system.
+    pub origin: NodeId,
+    /// Per-origin sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for CommandId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// A client command with a reference-counted payload (cheap to clone along
+/// gossip fan-out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    id: CommandId,
+    payload: Arc<Vec<u8>>,
+}
+
+impl Command {
+    /// Creates a command.
+    pub fn new(origin: NodeId, seq: u64, payload: Vec<u8>) -> Self {
+        Command {
+            id: CommandId { origin, seq },
+            payload: Arc::new(payload),
+        }
+    }
+
+    /// The command's id.
+    pub fn id(&self) -> CommandId {
+        self.id
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+/// Static deployment configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaftConfig {
+    /// Number of processes.
+    pub n: usize,
+}
+
+impl RaftConfig {
+    /// Configuration for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a deployment needs processes");
+        RaftConfig { n }
+    }
+
+    /// Majority quorum size.
+    pub fn quorum(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Whether `count` distinct processes form a majority.
+    pub fn is_quorum(&self, count: usize) -> bool {
+        count >= self.quorum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_leader_rotates() {
+        assert_eq!(Term::ZERO.leader(3), NodeId::new(0));
+        assert_eq!(Term::new(4).leader(3), NodeId::new(1));
+        assert_eq!(Term::new(2).next(), Term::new(3));
+    }
+
+    #[test]
+    fn log_index_ordering() {
+        assert!(LogIndex::new(2) > LogIndex::new(1));
+        assert_eq!(LogIndex::ZERO.next(), LogIndex::new(1));
+        assert_eq!(LogIndex::new(7).to_string(), "#7");
+    }
+
+    #[test]
+    fn command_identity_and_payload_sharing() {
+        let c = Command::new(NodeId::new(2), 9, vec![1, 2, 3]);
+        assert_eq!(c.id().origin, NodeId::new(2));
+        assert_eq!(c.payload(), &[1, 2, 3]);
+        let d = c.clone();
+        assert!(Arc::ptr_eq(&c.payload, &d.payload));
+        assert_eq!(c.id().to_string(), "p2#9");
+    }
+
+    #[test]
+    fn quorum_sizes() {
+        assert_eq!(RaftConfig::new(3).quorum(), 2);
+        assert_eq!(RaftConfig::new(5).quorum(), 3);
+        assert!(RaftConfig::new(5).is_quorum(3));
+        assert!(!RaftConfig::new(5).is_quorum(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs processes")]
+    fn zero_processes_panics() {
+        RaftConfig::new(0);
+    }
+}

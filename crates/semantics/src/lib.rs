@@ -1,0 +1,576 @@
+//! Semantic Gossip rules for Paxos (§3.2 of the paper).
+//!
+//! [`PaxosSemantics`] implements [`semantic_gossip::Semantics`] for
+//! [`paxos::PaxosMessage`] — without touching the Paxos implementation, the
+//! modularity the paper insists on. Two techniques:
+//!
+//! **Semantic filtering** (send path). Decision and Phase 2b messages stop
+//! flowing to a peer once that peer is *expected to already know the
+//! decision from the messages previously sent to it*: either a Decision for
+//! the instance was sent, or identical Phase 2b votes from a majority of
+//! acceptors were sent (a learner decides from those alone). Evaluating the
+//! rules is "a lightweight execution of the consensus protocol on behalf of
+//! a peer": the implementation keeps, per peer, the set of instances whose
+//! decision the peer must know, and per (peer, instance, round, value) the
+//! votes already forwarded.
+//!
+//! **Semantic aggregation** (send path, opportunistic). Pending Phase 2b
+//! messages for the same `(instance, round, value)` — identical except for
+//! their voters — collapse into one Phase 2b carrying the merged voter list.
+//! The rule is *reversible*: [`Semantics::disaggregate`] reconstructs the
+//! original single-voter votes on receipt, so Paxos never sees an aggregate.
+//!
+//! Either technique can be disabled individually ([`SemanticMode`]), which
+//! the ablation benchmarks exploit.
+//!
+//! # Example
+//!
+//! ```
+//! use paxos::{InstanceId, PaxosConfig, PaxosMessage, Round, Value};
+//! use paxos_semantics::PaxosSemantics;
+//! use semantic_gossip::{NodeId, Semantics};
+//!
+//! let mut sem = PaxosSemantics::full(PaxosConfig::new(3));
+//! let v = Value::new(NodeId::new(0), 0, vec![1]);
+//! let peer = NodeId::new(1);
+//!
+//! let decision = PaxosMessage::Decision { instance: InstanceId::ZERO, value: v.clone(), sender: NodeId::new(0) };
+//! let vote = PaxosMessage::Phase2b { instance: InstanceId::ZERO, round: Round::ZERO, value: v, voters: vec![NodeId::new(2)] };
+//!
+//! // After the decision is sent to the peer, votes for the instance are filtered.
+//! assert!(sem.validate(&decision, peer));
+//! assert!(!sem.validate(&vote, peer));
+//! ```
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use paxos::{InstanceId, PaxosConfig, PaxosMessage, Round, ValueId};
+use semantic_gossip::{NodeId, Semantics};
+
+/// Which of the two semantic techniques are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemanticMode {
+    /// Drop obsolete/redundant Decision and Phase 2b messages on the send
+    /// path.
+    pub filtering: bool,
+    /// Merge identical pending Phase 2b messages into multi-voter votes.
+    pub aggregation: bool,
+}
+
+impl SemanticMode {
+    /// Both techniques (the paper's Semantic Gossip setup).
+    pub const FULL: SemanticMode = SemanticMode {
+        filtering: true,
+        aggregation: true,
+    };
+    /// Filtering only (ablation).
+    pub const FILTERING_ONLY: SemanticMode = SemanticMode {
+        filtering: true,
+        aggregation: false,
+    };
+    /// Aggregation only (ablation).
+    pub const AGGREGATION_ONLY: SemanticMode = SemanticMode {
+        filtering: false,
+        aggregation: true,
+    };
+}
+
+/// Per-peer summary: what this peer is expected to already know.
+#[derive(Debug, Default)]
+struct PeerState {
+    /// Instances whose decision the peer must know from what we sent it.
+    knows_decided: HashSet<InstanceId>,
+    /// Votes forwarded to the peer, per (instance, round, value).
+    sent_votes: HashMap<(InstanceId, Round, ValueId), BTreeSet<NodeId>>,
+}
+
+/// Paxos-aware [`Semantics`] implementation (see the [crate docs](crate)).
+#[derive(Debug)]
+pub struct PaxosSemantics {
+    config: PaxosConfig,
+    mode: SemanticMode,
+    peers: HashMap<NodeId, PeerState>,
+    /// Instances this node knows are decided (observed Decision or a
+    /// majority of identical votes).
+    decided: HashSet<InstanceId>,
+    /// Observed vote tallies for undecided instances.
+    tallies: HashMap<(InstanceId, Round, ValueId), BTreeSet<NodeId>>,
+    /// Everything below this instance has been garbage-collected.
+    gc_watermark: InstanceId,
+}
+
+impl PaxosSemantics {
+    /// Creates semantics with an explicit mode.
+    pub fn new(config: PaxosConfig, mode: SemanticMode) -> Self {
+        PaxosSemantics {
+            config,
+            mode,
+            peers: HashMap::new(),
+            decided: HashSet::new(),
+            tallies: HashMap::new(),
+            gc_watermark: InstanceId::ZERO,
+        }
+    }
+
+    /// Both filtering and aggregation (the paper's Semantic Gossip).
+    pub fn full(config: PaxosConfig) -> Self {
+        PaxosSemantics::new(config, SemanticMode::FULL)
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> SemanticMode {
+        self.mode
+    }
+
+    /// Whether this node knows `instance` is decided.
+    pub fn knows_decided(&self, instance: InstanceId) -> bool {
+        instance < self.gc_watermark || self.decided.contains(&instance)
+    }
+
+    /// Drops per-peer and tally state for instances below `watermark`
+    /// (which must be globally decided — e.g. the minimum ordered-delivery
+    /// point across local consumers). Keeps long runs at bounded memory.
+    pub fn gc(&mut self, watermark: InstanceId) {
+        if watermark <= self.gc_watermark {
+            return;
+        }
+        self.gc_watermark = watermark;
+        self.decided.retain(|&i| i >= watermark);
+        self.tallies.retain(|&(i, _, _), _| i >= watermark);
+        for peer in self.peers.values_mut() {
+            peer.knows_decided.retain(|&i| i >= watermark);
+            peer.sent_votes.retain(|&(i, _, _), _| i >= watermark);
+        }
+    }
+
+    /// Whether the peer is expected to already know `instance`'s decision.
+    fn peer_knows(&self, peer: NodeId, instance: InstanceId) -> bool {
+        if instance < self.gc_watermark {
+            return true;
+        }
+        self.peers
+            .get(&peer)
+            .is_some_and(|p| p.knows_decided.contains(&instance))
+    }
+
+    fn record_decision_sent(&mut self, peer: NodeId, instance: InstanceId) {
+        self.peers
+            .entry(peer)
+            .or_default()
+            .knows_decided
+            .insert(instance);
+    }
+
+    /// Records votes forwarded to `peer`; returns true when the peer has now
+    /// seen a majority of identical votes (and thus knows the decision).
+    fn record_votes_sent(
+        &mut self,
+        peer: NodeId,
+        instance: InstanceId,
+        round: Round,
+        value: ValueId,
+        voters: &[NodeId],
+    ) -> bool {
+        let quorum = self.config.quorum();
+        let state = self.peers.entry(peer).or_default();
+        let sent = state.sent_votes.entry((instance, round, value)).or_default();
+        sent.extend(voters.iter().copied());
+        if sent.len() >= quorum {
+            state.knows_decided.insert(instance);
+            state.sent_votes.remove(&(instance, round, value));
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Semantics<PaxosMessage> for PaxosSemantics {
+    fn observe(&mut self, msg: &PaxosMessage) {
+        match msg {
+            PaxosMessage::Decision { instance, .. } => {
+                if *instance >= self.gc_watermark {
+                    self.decided.insert(*instance);
+                    self.tallies.retain(|&(i, _, _), _| i != *instance);
+                }
+            }
+            PaxosMessage::Phase2b {
+                instance,
+                round,
+                value,
+                voters,
+            } => {
+                if *instance < self.gc_watermark || self.decided.contains(instance) {
+                    return;
+                }
+                let tally = self
+                    .tallies
+                    .entry((*instance, *round, value.id()))
+                    .or_default();
+                tally.extend(voters.iter().copied());
+                if self.config.is_quorum(tally.len()) {
+                    self.decided.insert(*instance);
+                    let inst = *instance;
+                    self.tallies.retain(|&(i, _, _), _| i != inst);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn validate(&mut self, msg: &PaxosMessage, peer: NodeId) -> bool {
+        if !self.mode.filtering {
+            return true;
+        }
+        match msg {
+            PaxosMessage::Phase2b {
+                instance,
+                round,
+                value,
+                voters,
+            } => {
+                if self.peer_knows(peer, *instance) {
+                    return false;
+                }
+                // Forward, and account for what the peer now knows.
+                self.record_votes_sent(peer, *instance, *round, value.id(), voters);
+                true
+            }
+            PaxosMessage::Decision { instance, .. } => {
+                if self.peer_knows(peer, *instance) {
+                    return false;
+                }
+                self.record_decision_sent(peer, *instance);
+                true
+            }
+            _ => true,
+        }
+    }
+
+    fn aggregate(&mut self, pending: Vec<PaxosMessage>, _peer: NodeId) -> Vec<PaxosMessage> {
+        if !self.mode.aggregation {
+            return pending;
+        }
+        // First pass: index pending Phase 2b messages by (instance, round,
+        // value); collect merged voter sets.
+        let mut merged: HashMap<(InstanceId, Round, ValueId), BTreeSet<NodeId>> = HashMap::new();
+        for msg in &pending {
+            if let PaxosMessage::Phase2b {
+                instance,
+                round,
+                value,
+                voters,
+            } = msg
+            {
+                merged
+                    .entry((*instance, *round, value.id()))
+                    .or_default()
+                    .extend(voters.iter().copied());
+            }
+        }
+        // Second pass: emit the aggregate at the first occurrence of each
+        // group; drop later occurrences; leave everything else untouched.
+        let mut emitted: HashSet<(InstanceId, Round, ValueId)> = HashSet::new();
+        let mut out = Vec::with_capacity(pending.len());
+        for msg in pending {
+            match msg {
+                PaxosMessage::Phase2b {
+                    instance,
+                    round,
+                    value,
+                    ..
+                } => {
+                    let key = (instance, round, value.id());
+                    if emitted.insert(key) {
+                        let voters: Vec<NodeId> = merged[&key].iter().copied().collect();
+                        out.push(PaxosMessage::Phase2b {
+                            instance,
+                            round,
+                            value,
+                            voters,
+                        });
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        out
+    }
+
+    fn disaggregate(&mut self, msg: PaxosMessage) -> Vec<PaxosMessage> {
+        msg.disaggregate_votes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxos::Value;
+
+    fn value(seq: u64) -> Value {
+        Value::new(NodeId::new(9), seq, vec![seq as u8; 4])
+    }
+
+    fn vote(instance: u64, round: u32, seq: u64, voter: u32) -> PaxosMessage {
+        PaxosMessage::Phase2b {
+            instance: InstanceId::new(instance),
+            round: Round::new(round),
+            value: value(seq),
+            voters: vec![NodeId::new(voter)],
+        }
+    }
+
+    fn decision(instance: u64, seq: u64) -> PaxosMessage {
+        PaxosMessage::Decision {
+            instance: InstanceId::new(instance),
+            value: value(seq),
+            sender: NodeId::new(0),
+        }
+    }
+
+    fn sem(n: usize) -> PaxosSemantics {
+        PaxosSemantics::full(PaxosConfig::new(n))
+    }
+
+    const PEER: NodeId = NodeId::new(42);
+
+    // --- filtering ----------------------------------------------------------
+
+    #[test]
+    fn votes_flow_until_decision_sent() {
+        let mut s = sem(5);
+        assert!(s.validate(&vote(0, 0, 1, 1), PEER));
+        assert!(s.validate(&decision(0, 1), PEER));
+        assert!(!s.validate(&vote(0, 0, 1, 2), PEER));
+        // Other instances are unaffected.
+        assert!(s.validate(&vote(1, 0, 2, 1), PEER));
+    }
+
+    #[test]
+    fn duplicate_decisions_are_filtered() {
+        let mut s = sem(3);
+        assert!(s.validate(&decision(0, 1), PEER));
+        assert!(!s.validate(&decision(0, 1), PEER));
+    }
+
+    #[test]
+    fn quorum_of_sent_votes_makes_further_votes_redundant() {
+        let mut s = sem(5); // quorum = 3
+        assert!(s.validate(&vote(0, 0, 1, 1), PEER));
+        assert!(s.validate(&vote(0, 0, 1, 2), PEER));
+        assert!(s.validate(&vote(0, 0, 1, 3), PEER)); // peer reaches quorum
+        assert!(!s.validate(&vote(0, 0, 1, 4), PEER));
+        // ... and the decision for that instance is also redundant now.
+        assert!(!s.validate(&decision(0, 1), PEER));
+    }
+
+    #[test]
+    fn vote_counting_is_per_peer() {
+        let mut s = sem(3); // quorum = 2
+        let peer_b = NodeId::new(43);
+        assert!(s.validate(&vote(0, 0, 1, 1), PEER));
+        assert!(s.validate(&vote(0, 0, 1, 2), PEER));
+        // PEER now knows; peer_b does not.
+        assert!(!s.validate(&vote(0, 0, 1, 1), PEER));
+        assert!(s.validate(&vote(0, 0, 1, 1), peer_b));
+    }
+
+    #[test]
+    fn votes_for_different_values_count_separately() {
+        let mut s = sem(3); // quorum = 2
+        assert!(s.validate(&vote(0, 0, 1, 1), PEER));
+        assert!(s.validate(&vote(0, 0, 2, 2), PEER)); // different value
+        // Value 1 reaches a quorum of sent votes with a second voter.
+        assert!(s.validate(&vote(0, 0, 1, 3), PEER));
+        assert!(!s.validate(&vote(0, 0, 2, 3), PEER));
+    }
+
+    #[test]
+    fn duplicate_voters_do_not_inflate_the_count() {
+        let mut s = sem(5); // quorum = 3
+        for _ in 0..10 {
+            assert!(s.validate(&vote(0, 0, 1, 1), PEER));
+        }
+        // Still below quorum: only one distinct voter was sent.
+        assert!(s.validate(&vote(0, 0, 1, 2), PEER));
+    }
+
+    #[test]
+    fn aggregated_votes_advance_peer_knowledge_at_once() {
+        let mut s = sem(3); // quorum = 2
+        let agg = PaxosMessage::Phase2b {
+            instance: InstanceId::ZERO,
+            round: Round::ZERO,
+            value: value(1),
+            voters: vec![NodeId::new(1), NodeId::new(2)],
+        };
+        assert!(s.validate(&agg, PEER));
+        assert!(!s.validate(&vote(0, 0, 1, 3), PEER));
+    }
+
+    #[test]
+    fn non_vote_messages_always_pass() {
+        let mut s = sem(3);
+        let p2a = PaxosMessage::Phase2a {
+            instance: InstanceId::ZERO,
+            round: Round::ZERO,
+            value: value(1),
+            sender: NodeId::new(0),
+        };
+        s.validate(&decision(0, 1), PEER);
+        assert!(s.validate(&p2a, PEER)); // same instance, still passes
+    }
+
+    #[test]
+    fn filtering_disabled_passes_everything() {
+        let mut s = PaxosSemantics::new(PaxosConfig::new(3), SemanticMode::AGGREGATION_ONLY);
+        assert!(s.validate(&decision(0, 1), PEER));
+        assert!(s.validate(&decision(0, 1), PEER));
+        assert!(s.validate(&vote(0, 0, 1, 1), PEER));
+    }
+
+    // --- observation --------------------------------------------------------
+
+    #[test]
+    fn observe_decision_marks_instance() {
+        let mut s = sem(3);
+        assert!(!s.knows_decided(InstanceId::ZERO));
+        s.observe(&decision(0, 1));
+        assert!(s.knows_decided(InstanceId::ZERO));
+    }
+
+    #[test]
+    fn observe_vote_quorum_marks_instance() {
+        let mut s = sem(3); // quorum = 2
+        s.observe(&vote(0, 0, 1, 1));
+        assert!(!s.knows_decided(InstanceId::ZERO));
+        s.observe(&vote(0, 0, 1, 2));
+        assert!(s.knows_decided(InstanceId::ZERO));
+    }
+
+    #[test]
+    fn observe_mixed_values_requires_identical_votes() {
+        let mut s = sem(3);
+        s.observe(&vote(0, 0, 1, 1));
+        s.observe(&vote(0, 0, 2, 2));
+        assert!(!s.knows_decided(InstanceId::ZERO));
+    }
+
+    // --- aggregation --------------------------------------------------------
+
+    #[test]
+    fn identical_votes_merge_into_one() {
+        let mut s = sem(5);
+        let pending = vec![vote(0, 0, 1, 1), vote(0, 0, 1, 3), vote(0, 0, 1, 2)];
+        let out = s.aggregate(pending, PEER);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            PaxosMessage::Phase2b { voters, .. } => {
+                assert_eq!(
+                    voters,
+                    &vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The aggregate passes the wire-format invariant.
+        out[0].validate().unwrap();
+    }
+
+    #[test]
+    fn different_instances_do_not_merge() {
+        let mut s = sem(5);
+        let out = s.aggregate(vec![vote(0, 0, 1, 1), vote(1, 0, 1, 2)], PEER);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn different_rounds_or_values_do_not_merge() {
+        let mut s = sem(5);
+        let out = s.aggregate(
+            vec![vote(0, 0, 1, 1), vote(0, 1, 1, 2), vote(0, 0, 2, 3)],
+            PEER,
+        );
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn non_votes_are_left_in_place() {
+        let mut s = sem(5);
+        let p1a = PaxosMessage::Phase1a {
+            round: Round::ZERO,
+            from_instance: InstanceId::ZERO,
+            sender: NodeId::new(0),
+        };
+        let out = s.aggregate(
+            vec![vote(0, 0, 1, 1), p1a.clone(), vote(0, 0, 1, 2), decision(1, 2)],
+            PEER,
+        );
+        // [merged vote, phase1a, decision]
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out[0], PaxosMessage::Phase2b { .. }));
+        assert_eq!(out[1], p1a);
+        assert_eq!(out[2], decision(1, 2));
+    }
+
+    #[test]
+    fn aggregation_disabled_returns_input() {
+        let mut s = PaxosSemantics::new(PaxosConfig::new(5), SemanticMode::FILTERING_ONLY);
+        let pending = vec![vote(0, 0, 1, 1), vote(0, 0, 1, 2)];
+        assert_eq!(s.aggregate(pending.clone(), PEER), pending);
+    }
+
+    #[test]
+    fn aggregation_merges_already_aggregated_votes() {
+        let mut s = sem(7);
+        let agg = PaxosMessage::Phase2b {
+            instance: InstanceId::ZERO,
+            round: Round::ZERO,
+            value: value(1),
+            voters: vec![NodeId::new(1), NodeId::new(4)],
+        };
+        let out = s.aggregate(vec![agg, vote(0, 0, 1, 2)], PEER);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            PaxosMessage::Phase2b { voters, .. } => {
+                assert_eq!(voters.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disaggregate_round_trips() {
+        let mut s = sem(5);
+        let pending = vec![vote(0, 0, 1, 1), vote(0, 0, 1, 2)];
+        let out = s.aggregate(pending.clone(), PEER);
+        assert_eq!(out.len(), 1);
+        let parts = s.disaggregate(out.into_iter().next().unwrap());
+        assert_eq!(parts, pending);
+    }
+
+    // --- garbage collection -------------------------------------------------
+
+    #[test]
+    fn gc_drops_old_state_but_keeps_filtering_below_watermark() {
+        let mut s = sem(3);
+        s.observe(&decision(0, 1));
+        s.validate(&decision(0, 1), PEER);
+        s.gc(InstanceId::new(1));
+        // Below the watermark everything is known-decided: still filtered.
+        assert!(!s.validate(&vote(0, 0, 1, 1), PEER));
+        assert!(!s.validate(&decision(0, 1), PEER));
+        assert!(s.knows_decided(InstanceId::ZERO));
+        // Internal maps no longer hold the instance.
+        assert!(s.decided.is_empty());
+        assert!(s.peers[&PEER].knows_decided.is_empty());
+    }
+
+    #[test]
+    fn gc_watermark_never_regresses() {
+        let mut s = sem(3);
+        s.gc(InstanceId::new(5));
+        s.gc(InstanceId::new(2)); // ignored
+        assert!(s.knows_decided(InstanceId::new(4)));
+    }
+}

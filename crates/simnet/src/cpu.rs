@@ -1,0 +1,197 @@
+//! Per-process CPU model.
+//!
+//! The paper's throughput results (Figures 3 and 4) are shaped by a resource
+//! bottleneck: in the Baseline setup the coordinator handles every message of
+//! every instance, while in the gossip setups every process relays (and
+//! re-receives) the flood of gossip messages. To reproduce saturation the
+//! simulator models each process as a **single-server queue**: every
+//! message-handling step costs `per_message + per_byte * size` of CPU time,
+//! and work is serialized per process. When the offered load exceeds the
+//! service capacity, queueing delay — and therefore end-to-end latency —
+//! grows without bound, which is exactly the saturation knee the paper
+//! highlights.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Cost model for handling one message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Fixed cost of receiving or sending one message.
+    pub per_message: SimDuration,
+    /// Additional cost per payload byte (serialization, copying, checksums).
+    pub per_byte: SimDuration,
+}
+
+impl CpuModel {
+    /// The model calibrated for the reproduction's t2.medium-class processes:
+    /// 20µs fixed per message plus 4ns per byte (≈ 4µs for the paper's 1KiB
+    /// values).
+    pub const DEFAULT: CpuModel = CpuModel {
+        per_message: SimDuration::from_micros(20),
+        per_byte: SimDuration::from_nanos(4),
+    };
+
+    /// Service time for one message of `bytes` payload bytes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simnet::CpuModel;
+    /// let cost = CpuModel::DEFAULT.service_time(1024);
+    /// assert_eq!(cost.as_micros(), 24);
+    /// ```
+    pub fn service_time(&self, bytes: usize) -> SimDuration {
+        self.per_message + SimDuration::from_nanos(self.per_byte.as_nanos() * bytes as u64)
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel::DEFAULT
+    }
+}
+
+/// The single-server CPU queue of one simulated process.
+///
+/// [`NodeCpu::admit`] charges a unit of work and returns the virtual instant
+/// at which the work completes; callers schedule the corresponding handler at
+/// that instant. Work admitted while the server is busy queues behind the
+/// current backlog (FIFO).
+///
+/// # Example
+///
+/// ```
+/// use simnet::{CpuModel, NodeCpu, SimTime, SimDuration};
+///
+/// let mut cpu = NodeCpu::new(CpuModel::DEFAULT);
+/// let t0 = SimTime::ZERO;
+/// let done1 = cpu.admit(t0, 1024);
+/// let done2 = cpu.admit(t0, 1024);
+/// assert!(done2 > done1, "second message queues behind the first");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCpu {
+    model: CpuModel,
+    busy_until: SimTime,
+    total_busy: SimDuration,
+    jobs: u64,
+}
+
+impl NodeCpu {
+    /// Creates an idle CPU with the given cost model.
+    pub fn new(model: CpuModel) -> Self {
+        NodeCpu {
+            model,
+            busy_until: SimTime::ZERO,
+            total_busy: SimDuration::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// Admits one message-handling job of `bytes` payload bytes at `now`,
+    /// returning the completion instant.
+    pub fn admit(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        self.admit_work(now, self.model.service_time(bytes))
+    }
+
+    /// Admits a job with an explicit service time.
+    pub fn admit_work(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + service;
+        self.busy_until = done;
+        self.total_busy += service;
+        self.jobs += 1;
+        done
+    }
+
+    /// The instant until which the server is currently busy.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Current queueing delay a new job would experience at `now`.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Total CPU time consumed so far.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Number of jobs admitted so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over the window `[SimTime::ZERO, now]` (may exceed 1.0
+    /// transiently when a backlog extends past `now`).
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            self.total_busy.as_nanos() as f64 / now.as_nanos() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut cpu = NodeCpu::new(CpuModel::DEFAULT);
+        let now = SimTime::from_nanos(1_000_000);
+        let done = cpu.admit(now, 0);
+        assert_eq!(done, now + CpuModel::DEFAULT.per_message);
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let model = CpuModel {
+            per_message: SimDuration::from_micros(10),
+            per_byte: SimDuration::ZERO,
+        };
+        let mut cpu = NodeCpu::new(model);
+        let t0 = SimTime::ZERO;
+        let d1 = cpu.admit(t0, 0);
+        let d2 = cpu.admit(t0, 0);
+        let d3 = cpu.admit(t0, 0);
+        assert_eq!(d1.as_micros(), 10);
+        assert_eq!(d2.as_micros(), 20);
+        assert_eq!(d3.as_micros(), 30);
+        assert_eq!(cpu.backlog(t0), SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn per_byte_cost_scales_with_size() {
+        let cost0 = CpuModel::DEFAULT.service_time(0);
+        let cost1k = CpuModel::DEFAULT.service_time(1024);
+        assert_eq!((cost1k - cost0).as_nanos(), 4 * 1024);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let model = CpuModel {
+            per_message: SimDuration::from_micros(100),
+            per_byte: SimDuration::ZERO,
+        };
+        let mut cpu = NodeCpu::new(model);
+        cpu.admit(SimTime::ZERO, 0); // 100us of work
+        let now = SimTime::from_nanos(200_000); // 200us
+        assert!((cpu.utilization(now) - 0.5).abs() < 1e-9);
+        assert_eq!(cpu.jobs(), 1);
+        assert_eq!(cpu.total_busy(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn backlog_drains_over_time() {
+        let mut cpu = NodeCpu::new(CpuModel::DEFAULT);
+        cpu.admit(SimTime::ZERO, 0);
+        let later = SimTime::from_nanos(10_000_000);
+        assert_eq!(cpu.backlog(later), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,230 @@
+//! Fault injection for the reliability experiments (§4.5).
+//!
+//! The paper's mechanism "randomly discards messages **received** by a
+//! process" — loss is injected at the receiver, uniformly over all incoming
+//! messages, while Paxos's timeout-triggered recovery procedures are
+//! disabled. [`LossInjector`] reproduces that: each process owns one
+//! injector, seeded independently, and asks it for every arriving message.
+//! [`CrashSchedule`] additionally supports crash/recovery experiments for the
+//! crash-recovery failure model of §2.1.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::rng::SeedSplitter;
+use crate::time::SimTime;
+
+/// Receive-side message-loss injector for one process.
+///
+/// # Example
+///
+/// ```
+/// use simnet::{LossInjector, SeedSplitter};
+///
+/// let seeds = SeedSplitter::new(7);
+/// let mut inj = LossInjector::new(0.5, seeds.rng("loss", 3));
+/// let dropped = (0..1000).filter(|_| inj.should_drop()).count();
+/// assert!(dropped > 400 && dropped < 600);
+/// ```
+#[derive(Debug)]
+pub struct LossInjector {
+    rate: f64,
+    rng: StdRng,
+    dropped: u64,
+    passed: u64,
+}
+
+impl LossInjector {
+    /// Creates an injector dropping each received message with probability
+    /// `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `0.0..=1.0`.
+    pub fn new(rate: f64, rng: StdRng) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
+        LossInjector {
+            rate,
+            rng,
+            dropped: 0,
+            passed: 0,
+        }
+    }
+
+    /// An injector that never drops (rate 0), for fail-free runs.
+    pub fn disabled(seeds: &SeedSplitter, process: u64) -> Self {
+        LossInjector::new(0.0, seeds.rng("loss-injector", process))
+    }
+
+    /// Decides the fate of one received message.
+    pub fn should_drop(&mut self) -> bool {
+        if self.rate == 0.0 {
+            self.passed += 1;
+            return false;
+        }
+        if self.rate >= 1.0 || self.rng.gen::<f64>() < self.rate {
+            self.dropped += 1;
+            true
+        } else {
+            self.passed += 1;
+            false
+        }
+    }
+
+    /// Configured loss rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages passed through so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+}
+
+/// A deterministic crash/recovery schedule for one process.
+///
+/// The process is *down* during each `[crash, recover)` window: a crashed
+/// process neither receives nor sends messages. Windows must be given in
+/// increasing, non-overlapping order.
+///
+/// # Example
+///
+/// ```
+/// use simnet::fault::CrashSchedule;
+/// use simnet::{SimTime, SimDuration};
+///
+/// let s = CrashSchedule::new(vec![(
+///     SimTime::ZERO + SimDuration::from_secs(1),
+///     SimTime::ZERO + SimDuration::from_secs(2),
+/// )]);
+/// assert!(s.is_up(SimTime::ZERO));
+/// assert!(!s.is_up(SimTime::ZERO + SimDuration::from_millis(1500)));
+/// assert!(s.is_up(SimTime::ZERO + SimDuration::from_secs(2)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// Sorted, non-overlapping `[crash, recover)` windows.
+    windows: Vec<(SimTime, SimTime)>,
+}
+
+impl CrashSchedule {
+    /// Builds a schedule from `[crash, recover)` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if windows are unordered, overlapping, or empty intervals.
+    pub fn new(windows: Vec<(SimTime, SimTime)>) -> Self {
+        let mut prev_end = SimTime::ZERO;
+        for &(start, end) in &windows {
+            assert!(start < end, "crash window must be non-empty");
+            assert!(start >= prev_end, "crash windows must be ordered and disjoint");
+            prev_end = end;
+        }
+        CrashSchedule { windows }
+    }
+
+    /// A schedule with no crashes.
+    pub fn always_up() -> Self {
+        CrashSchedule::default()
+    }
+
+    /// Whether the process is up at `t`.
+    pub fn is_up(&self, t: SimTime) -> bool {
+        !self.windows.iter().any(|&(s, e)| t >= s && t < e)
+    }
+
+    /// The recovery instants, in order (useful to schedule recovery events).
+    pub fn recovery_times(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.windows.iter().map(|&(_, e)| e)
+    }
+
+    /// The crash instants, in order.
+    pub fn crash_times(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.windows.iter().map(|&(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn zero_rate_never_drops() {
+        let seeds = SeedSplitter::new(1);
+        let mut inj = LossInjector::disabled(&seeds, 0);
+        assert!((0..1000).all(|_| !inj.should_drop()));
+        assert_eq!(inj.passed(), 1000);
+        assert_eq!(inj.dropped(), 0);
+    }
+
+    #[test]
+    fn full_rate_always_drops() {
+        let seeds = SeedSplitter::new(1);
+        let mut inj = LossInjector::new(1.0, seeds.rng("l", 0));
+        assert!((0..100).all(|_| inj.should_drop()));
+        assert_eq!(inj.dropped(), 100);
+    }
+
+    #[test]
+    fn rate_is_statistically_respected() {
+        let seeds = SeedSplitter::new(2);
+        let mut inj = LossInjector::new(0.2, seeds.rng("l", 1));
+        let n = 50_000;
+        let dropped = (0..n).filter(|_| inj.should_drop()).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.01, "observed {rate}");
+    }
+
+    #[test]
+    fn injectors_for_different_processes_differ() {
+        let seeds = SeedSplitter::new(3);
+        let mut a = LossInjector::new(0.5, seeds.rng("loss-injector", 0));
+        let mut b = LossInjector::new(0.5, seeds.rng("loss-injector", 1));
+        let fa: Vec<bool> = (0..64).map(|_| a.should_drop()).collect();
+        let fb: Vec<bool> = (0..64).map(|_| b.should_drop()).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_rate_panics() {
+        let seeds = SeedSplitter::new(1);
+        LossInjector::new(-0.1, seeds.rng("l", 0));
+    }
+
+    #[test]
+    fn crash_schedule_windows() {
+        let s = CrashSchedule::new(vec![(t(100), t(200)), (t(300), t(400))]);
+        assert!(s.is_up(t(0)));
+        assert!(!s.is_up(t(100)));
+        assert!(!s.is_up(t(199)));
+        assert!(s.is_up(t(200)));
+        assert!(!s.is_up(t(350)));
+        assert!(s.is_up(t(500)));
+        assert_eq!(s.recovery_times().collect::<Vec<_>>(), vec![t(200), t(400)]);
+        assert_eq!(s.crash_times().collect::<Vec<_>>(), vec![t(100), t(300)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered and disjoint")]
+    fn overlapping_windows_panic() {
+        CrashSchedule::new(vec![(t(100), t(300)), (t(200), t(400))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_panics() {
+        CrashSchedule::new(vec![(t(100), t(100))]);
+    }
+}

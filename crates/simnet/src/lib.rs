@@ -1,0 +1,57 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! This crate is the experimental substrate of the Gossip Consensus
+//! reproduction. The paper ran its experiments on AWS EC2 instances spread
+//! over 13 regions, plus an *emulated* cluster whose inter-node latencies were
+//! shaped with the Linux Traffic Control module to match the AWS latencies.
+//! `simnet` takes the same step one level further: a fully deterministic
+//! simulator with
+//!
+//! * **virtual time** ([`SimTime`], [`SimDuration`]) with nanosecond
+//!   resolution,
+//! * a **global event queue** ([`EventQueue`]) with deterministic tie-breaking,
+//! * the paper's **WAN latency matrix** ([`regions`]) anchored on Table 1,
+//! * a **link model** ([`link`]) with latency jitter, loss and duplication,
+//! * a **CPU model** ([`cpu`]) that gives processes a single-server queue and
+//!   therefore a saturation point — the phenomenon behind Figures 3 and 4,
+//! * **fault injection** ([`fault`]) reproducing the receive-side message
+//!   drops of Section 4.5 (Figure 6),
+//! * **execution tracing** ([`trace`]) for reconstructing per-message
+//!   timelines when debugging protocol runs, and
+//! * light-weight **statistics** ([`stats`]): histograms, counters, CDFs.
+//!
+//! Determinism: every random choice flows from a single experiment seed via
+//! [`rng::SeedSplitter`], so any run can be replayed exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use simnet::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "later");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(1), "sooner");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "sooner");
+//! assert_eq!(t.as_millis(), 1);
+//! ```
+
+pub mod cpu;
+pub mod fault;
+pub mod link;
+pub mod queue;
+pub mod regions;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use cpu::{CpuModel, NodeCpu};
+pub use fault::LossInjector;
+pub use link::{LinkConfig, LinkOutcome};
+pub use queue::EventQueue;
+pub use regions::{Region, RegionMap, ALL_REGIONS, NUM_REGIONS};
+pub use rng::SeedSplitter;
+pub use stats::{Counter, Histogram};
+pub use trace::{TraceEvent, TraceKind, Tracer};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,203 @@
+//! Link model: per-message delay sampling, loss and duplication.
+//!
+//! Links in the paper's implementation are libp2p/TCP channels, i.e. reliable
+//! in-order byte streams — but the implementation *deliberately drops*
+//! messages when internal queues fill up, and connections can be dropped and
+//! re-established, losing in-flight messages (§4.2). The simulator models a
+//! link as: base one-way latency (from the region matrix) + small random
+//! jitter, plus optional loss/duplication probabilities used by the
+//! reliability experiments.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Configuration of a point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Base one-way propagation delay.
+    pub latency: SimDuration,
+    /// Uniform jitter added on top of `latency` (0 .. `jitter`).
+    pub jitter: SimDuration,
+    /// Probability that a message is silently dropped by the link.
+    pub loss_rate: f64,
+    /// Probability that a message is delivered twice.
+    pub dup_rate: f64,
+}
+
+impl LinkConfig {
+    /// A reliable link with the given base latency and 2% relative jitter.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use simnet::{LinkConfig, SimDuration};
+    /// let link = LinkConfig::reliable(SimDuration::from_millis(40));
+    /// assert_eq!(link.loss_rate, 0.0);
+    /// ```
+    pub fn reliable(latency: SimDuration) -> Self {
+        LinkConfig {
+            latency,
+            jitter: latency.mul_f64(0.02),
+            loss_rate: 0.0,
+            dup_rate: 0.0,
+        }
+    }
+
+    /// Sets the loss rate, returning the modified config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `0.0..=1.0`.
+    pub fn with_loss(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Sets the duplication rate, returning the modified config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `0.0..=1.0`.
+    pub fn with_dup(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "dup rate must be a probability");
+        self.dup_rate = rate;
+        self
+    }
+
+    /// Sets the jitter bound, returning the modified config.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Samples the fate of one message on this link.
+    pub fn transmit<R: Rng>(&self, rng: &mut R) -> LinkOutcome {
+        if self.loss_rate > 0.0 && rng.gen::<f64>() < self.loss_rate {
+            return LinkOutcome::Lost;
+        }
+        let delay = self.sample_delay(rng);
+        if self.dup_rate > 0.0 && rng.gen::<f64>() < self.dup_rate {
+            let second = self.sample_delay(rng);
+            LinkOutcome::Duplicated(delay, second)
+        } else {
+            LinkOutcome::Delivered(delay)
+        }
+    }
+
+    /// Samples one delivery delay: `latency + U(0, jitter)`.
+    pub fn sample_delay<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        let j = if self.jitter == SimDuration::ZERO {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos()))
+        };
+        self.latency + j
+    }
+}
+
+/// The fate of a message sent over a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// Delivered once, after the given delay.
+    Delivered(SimDuration),
+    /// Delivered twice, after the two given delays.
+    Duplicated(SimDuration, SimDuration),
+    /// Dropped by the link.
+    Lost,
+}
+
+impl LinkOutcome {
+    /// Iterates over the delivery delays of this outcome (0, 1 or 2 items).
+    pub fn deliveries(self) -> impl Iterator<Item = SimDuration> {
+        let (a, b) = match self {
+            LinkOutcome::Delivered(d) => (Some(d), None),
+            LinkOutcome::Duplicated(d1, d2) => (Some(d1), Some(d2)),
+            LinkOutcome::Lost => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn reliable_link_always_delivers() {
+        let link = LinkConfig::reliable(SimDuration::from_millis(10));
+        let mut r = rng();
+        for _ in 0..1000 {
+            match link.transmit(&mut r) {
+                LinkOutcome::Delivered(d) => {
+                    assert!(d >= SimDuration::from_millis(10));
+                    assert!(d <= SimDuration::from_micros(10_200));
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let link = LinkConfig::reliable(SimDuration::from_millis(1)).with_loss(1.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(link.transmit(&mut r), LinkOutcome::Lost);
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_respected_statistically() {
+        let link = LinkConfig::reliable(SimDuration::from_millis(1)).with_loss(0.3);
+        let mut r = rng();
+        let lost = (0..20_000)
+            .filter(|_| link.transmit(&mut r) == LinkOutcome::Lost)
+            .count();
+        let rate = lost as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn duplication_produces_two_deliveries() {
+        let link = LinkConfig::reliable(SimDuration::from_millis(1)).with_dup(1.0);
+        let mut r = rng();
+        let out = link.transmit(&mut r);
+        assert_eq!(out.deliveries().count(), 2);
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let link = LinkConfig {
+            latency: SimDuration::from_millis(5),
+            jitter: SimDuration::ZERO,
+            loss_rate: 0.0,
+            dup_rate: 0.0,
+        };
+        let mut r = rng();
+        assert_eq!(link.sample_delay(&mut r), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_loss_rate_panics() {
+        LinkConfig::reliable(SimDuration::ZERO).with_loss(1.5);
+    }
+
+    #[test]
+    fn outcome_deliveries_iterator() {
+        assert_eq!(LinkOutcome::Lost.deliveries().count(), 0);
+        assert_eq!(
+            LinkOutcome::Delivered(SimDuration::from_millis(1)).deliveries().count(),
+            1
+        );
+    }
+}

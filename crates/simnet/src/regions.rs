@@ -1,0 +1,329 @@
+//! The paper's geographic setting: 13 AWS regions and their WAN latencies.
+//!
+//! Table 1 of the paper lists the one-way latencies between the coordinator's
+//! region (North Virginia) and the other twelve regions. The paper never
+//! publishes the full 13×13 matrix, so the remaining entries here are
+//! synthesized from public AWS inter-region RTT measurements (halved to
+//! one-way), with the Virginia row anchored exactly on Table 1. The shape of
+//! every experiment only depends on relative WAN distances, which this matrix
+//! preserves. See DESIGN.md §2 for the substitution note.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Number of AWS regions in the paper's deployment.
+pub const NUM_REGIONS: usize = 13;
+
+/// One of the 13 AWS regions used in the paper's evaluation (§4.2).
+///
+/// The discriminants index into the latency matrix; [`Region::NorthVirginia`]
+/// is the coordinator's region in every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Region {
+    /// us-east-1, the coordinator's region.
+    NorthVirginia = 0,
+    /// ca-central-1.
+    Canada = 1,
+    /// us-west-1.
+    NorthCalifornia = 2,
+    /// us-west-2.
+    Oregon = 3,
+    /// eu-west-2.
+    London = 4,
+    /// eu-west-1.
+    Ireland = 5,
+    /// eu-central-1.
+    Frankfurt = 6,
+    /// sa-east-1.
+    SaoPaulo = 7,
+    /// ap-northeast-1.
+    Tokyo = 8,
+    /// ap-south-1.
+    Mumbai = 9,
+    /// ap-southeast-2.
+    Sydney = 10,
+    /// ap-northeast-2.
+    Seoul = 11,
+    /// ap-southeast-1.
+    Singapore = 12,
+}
+
+/// All regions, in matrix order (Virginia first).
+pub const ALL_REGIONS: [Region; NUM_REGIONS] = [
+    Region::NorthVirginia,
+    Region::Canada,
+    Region::NorthCalifornia,
+    Region::Oregon,
+    Region::London,
+    Region::Ireland,
+    Region::Frankfurt,
+    Region::SaoPaulo,
+    Region::Tokyo,
+    Region::Mumbai,
+    Region::Sydney,
+    Region::Seoul,
+    Region::Singapore,
+];
+
+/// One-way latencies in milliseconds; row/column order follows [`ALL_REGIONS`].
+///
+/// Row 0 (and by symmetry column 0) is exactly Table 1 of the paper. The
+/// remaining entries are synthesized from public AWS measurements.
+const ONE_WAY_MS: [[u16; NUM_REGIONS]; NUM_REGIONS] = [
+    // NVa  Can  NCa  Ore  Lon  Irl  Fra  SaP  Tok  Mum  Syd  Seo  Sin
+    [0, 7, 30, 39, 38, 33, 44, 58, 73, 93, 98, 87, 105], // NorthVirginia (Table 1)
+    [7, 0, 35, 30, 40, 35, 46, 63, 75, 96, 99, 85, 106], // Canada
+    [30, 35, 0, 10, 65, 60, 70, 85, 52, 115, 70, 65, 85], // NorthCalifornia
+    [39, 30, 10, 0, 62, 56, 65, 87, 45, 110, 70, 60, 80], // Oregon
+    [38, 40, 65, 62, 0, 5, 8, 95, 110, 56, 135, 120, 85], // London
+    [33, 35, 60, 56, 5, 0, 12, 90, 105, 61, 130, 115, 90], // Ireland
+    [44, 46, 70, 65, 8, 12, 0, 100, 115, 55, 140, 120, 82], // Frankfurt
+    [58, 63, 85, 87, 95, 90, 100, 0, 130, 150, 160, 140, 165], // SaoPaulo
+    [73, 75, 52, 45, 110, 105, 115, 130, 0, 60, 52, 17, 35], // Tokyo
+    [93, 96, 115, 110, 56, 61, 55, 150, 60, 0, 110, 75, 28], // Mumbai
+    [98, 99, 70, 70, 135, 130, 140, 160, 52, 110, 0, 65, 46], // Sydney
+    [87, 85, 65, 60, 120, 115, 120, 140, 17, 75, 65, 0, 38], // Seoul
+    [105, 106, 85, 80, 85, 90, 82, 165, 35, 28, 46, 38, 0], // Singapore
+];
+
+/// One-way latency between two processes in the same region (LAN link).
+pub const INTRA_REGION: SimDuration = SimDuration::from_micros(300);
+
+impl Region {
+    /// The region's matrix index.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a region from a matrix index.
+    ///
+    /// Returns `None` if `index >= NUM_REGIONS`.
+    pub fn from_index(index: usize) -> Option<Region> {
+        ALL_REGIONS.get(index).copied()
+    }
+
+    /// Human-readable name as used in the paper.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Region::NorthVirginia => "North Virginia",
+            Region::Canada => "Canada",
+            Region::NorthCalifornia => "N. California",
+            Region::Oregon => "Oregon",
+            Region::London => "London",
+            Region::Ireland => "Ireland",
+            Region::Frankfurt => "Frankfurt",
+            Region::SaoPaulo => "São Paulo",
+            Region::Tokyo => "Tokyo",
+            Region::Mumbai => "Mumbai",
+            Region::Sydney => "Sydney",
+            Region::Seoul => "Seoul",
+            Region::Singapore => "Singapore",
+        }
+    }
+
+    /// One-way latency from `self` to `other`.
+    ///
+    /// Symmetric; [`INTRA_REGION`] for two processes in the same region.
+    pub fn one_way(self, other: Region) -> SimDuration {
+        if self == other {
+            INTRA_REGION
+        } else {
+            SimDuration::from_millis(ONE_WAY_MS[self.index()][other.index()] as u64)
+        }
+    }
+
+    /// Round-trip latency between `self` and `other`.
+    pub fn rtt(self, other: Region) -> SimDuration {
+        self.one_way(other).saturating_mul(2)
+    }
+
+    /// The Table 1 row: one-way latencies from the coordinator's region
+    /// (North Virginia) to the other twelve regions, in Table 1 order.
+    pub fn table1() -> Vec<(Region, SimDuration)> {
+        ALL_REGIONS
+            .iter()
+            .skip(1)
+            .map(|&r| (r, Region::NorthVirginia.one_way(r)))
+            .collect()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps process ids to regions, mirroring the paper's placement policy
+/// (§4.3): processes are spread evenly over the 13 regions, and the
+/// coordinator (process 0) is pinned to North Virginia.
+///
+/// For `n = 13` the paper places one process per region; for `n = 53` and
+/// `n = 105` it places 4 and 8 per region *plus* one extra coordinator in
+/// North Virginia. [`RegionMap::paper_placement`] reproduces exactly that.
+///
+/// # Example
+///
+/// ```
+/// use simnet::{Region, RegionMap};
+///
+/// let map = RegionMap::paper_placement(13);
+/// assert_eq!(map.len(), 13);
+/// assert_eq!(map.region_of(0), Region::NorthVirginia);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMap {
+    regions: Vec<Region>,
+}
+
+impl RegionMap {
+    /// Builds the paper's placement for `n` processes.
+    ///
+    /// Process 0 (the coordinator) goes to North Virginia; the remaining
+    /// processes are assigned round-robin across all 13 regions so every
+    /// region hosts ⌈(n-1)/13⌉ or ⌊(n-1)/13⌋ of them. For n = 13, 53, 105
+    /// this matches the paper's 1, 4(+1), 8(+1) processes per region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn paper_placement(n: usize) -> Self {
+        assert!(n > 0, "placement requires at least one process");
+        let mut regions = Vec::with_capacity(n);
+        regions.push(Region::NorthVirginia);
+        for i in 0..n - 1 {
+            regions.push(ALL_REGIONS[(i + 1) % NUM_REGIONS]);
+        }
+        RegionMap { regions }
+    }
+
+    /// Builds a map from an explicit assignment.
+    pub fn from_assignment(regions: Vec<Region>) -> Self {
+        RegionMap { regions }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Region hosting process `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn region_of(&self, id: usize) -> Region {
+        self.regions[id]
+    }
+
+    /// One-way network latency between processes `a` and `b`.
+    pub fn one_way(&self, a: usize, b: usize) -> SimDuration {
+        self.region_of(a).one_way(self.region_of(b))
+    }
+
+    /// All process ids hosted in `region`.
+    pub fn processes_in(&self, region: Region) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.regions[i] == region)
+            .collect()
+    }
+
+    /// One process id per region: the lowest-numbered process hosted there.
+    /// These are the processes the paper's 13 clients attach to.
+    pub fn client_attach_points(&self) -> Vec<(Region, usize)> {
+        ALL_REGIONS
+            .iter()
+            .filter_map(|&r| {
+                self.processes_in(r).first().map(|&p| (r, p))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        for i in 0..NUM_REGIONS {
+            assert_eq!(ONE_WAY_MS[i][i], 0);
+            for j in 0..NUM_REGIONS {
+                assert_eq!(ONE_WAY_MS[i][j], ONE_WAY_MS[j][i], "asymmetry at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn virginia_row_matches_table1() {
+        let expected_ms = [7u64, 30, 39, 38, 33, 44, 58, 73, 93, 98, 87, 105];
+        for (k, (region, lat)) in Region::table1().into_iter().enumerate() {
+            assert_eq!(lat.as_millis(), expected_ms[k], "mismatch for {region}");
+        }
+    }
+
+    #[test]
+    fn rtt_is_twice_one_way() {
+        let a = Region::NorthVirginia;
+        let b = Region::Tokyo;
+        assert_eq!(a.rtt(b).as_millis(), 146);
+        assert_eq!(a.one_way(a), INTRA_REGION);
+    }
+
+    #[test]
+    fn region_index_round_trip() {
+        for (i, &r) in ALL_REGIONS.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Region::from_index(i), Some(r));
+        }
+        assert_eq!(Region::from_index(NUM_REGIONS), None);
+    }
+
+    #[test]
+    fn paper_placement_n13_one_per_region() {
+        let map = RegionMap::paper_placement(13);
+        for &r in &ALL_REGIONS {
+            assert_eq!(map.processes_in(r).len(), 1, "{r} should host exactly 1");
+        }
+    }
+
+    #[test]
+    fn paper_placement_n53_coordinator_extra() {
+        let map = RegionMap::paper_placement(53);
+        assert_eq!(map.region_of(0), Region::NorthVirginia);
+        // 52 remaining processes = 4 per region, plus the coordinator.
+        assert_eq!(map.processes_in(Region::NorthVirginia).len(), 5);
+        assert_eq!(map.processes_in(Region::Tokyo).len(), 4);
+    }
+
+    #[test]
+    fn paper_placement_n105() {
+        let map = RegionMap::paper_placement(105);
+        assert_eq!(map.processes_in(Region::NorthVirginia).len(), 9);
+        assert_eq!(map.processes_in(Region::Singapore).len(), 8);
+    }
+
+    #[test]
+    fn client_attach_points_cover_all_regions() {
+        let map = RegionMap::paper_placement(53);
+        let points = map.client_attach_points();
+        assert_eq!(points.len(), NUM_REGIONS);
+        // Coordinator region's client attaches to the coordinator itself.
+        assert_eq!(points[0], (Region::NorthVirginia, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_placement_panics() {
+        RegionMap::paper_placement(0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Measurement utilities: counters and latency histograms.
+//!
+//! [`Histogram`] stores every sample (the experiments collect at most a few
+//! hundred thousand latencies per run) and answers averages, standard
+//! deviations, arbitrary percentiles and full CDFs — everything Figures 3, 5,
+//! 7 and 8 report.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use simnet::Counter;
+/// let mut c = Counter::default();
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An exact sample-keeping latency histogram.
+///
+/// Samples are stored as nanosecond counts; queries sort lazily and cache the
+/// sorted order until the next insertion.
+///
+/// # Example
+///
+/// ```
+/// use simnet::{Histogram, SimDuration};
+///
+/// let mut h = Histogram::new();
+/// for ms in [10u64, 20, 30, 40] {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.len(), 4);
+/// assert_eq!(h.mean().as_millis(), 25);
+/// assert_eq!(h.percentile(50.0).unwrap().as_millis(), 20);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// Population standard deviation, or zero if empty.
+    pub fn std_dev(&self) -> SimDuration {
+        let n = self.samples.len();
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        let mean = self.mean().as_nanos() as f64;
+        let var = self
+            .samples
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        SimDuration::from_nanos(var.sqrt().round() as u64)
+    }
+
+    /// The `p`-th percentile (nearest-rank), or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&mut self, p: f64) -> Option<SimDuration> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
+        Some(SimDuration::from_nanos(self.samples[rank.min(n) - 1]))
+    }
+
+    /// Median (50th percentile), or `None` if empty.
+    pub fn median(&mut self) -> Option<SimDuration> {
+        self.percentile(50.0)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&mut self) -> Option<SimDuration> {
+        self.ensure_sorted();
+        self.samples.first().map(|&s| SimDuration::from_nanos(s))
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&mut self) -> Option<SimDuration> {
+        self.ensure_sorted();
+        self.samples.last().map(|&s| SimDuration::from_nanos(s))
+    }
+
+    /// The empirical CDF evaluated at `points` evenly spaced fractions,
+    /// returned as `(cumulative_fraction, latency)` pairs. Used to plot
+    /// Figure 5.
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, SimDuration)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (1..=points)
+            .map(|k| {
+                let frac = k as f64 / points as f64;
+                let idx = ((frac * n as f64).ceil() as usize).clamp(1, n) - 1;
+                (frac, SimDuration::from_nanos(self.samples[idx]))
+            })
+            .collect()
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_histogram_behaves() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.std_dev(), SimDuration::ZERO);
+        assert_eq!(h.percentile(50.0), None);
+        assert!(h.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let mut h = Histogram::new();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            h.record(ms(v));
+        }
+        assert_eq!(h.mean(), ms(5));
+        assert_eq!(h.std_dev(), ms(2));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(ms(v));
+        }
+        assert_eq!(h.percentile(1.0).unwrap(), ms(1));
+        assert_eq!(h.percentile(50.0).unwrap(), ms(50));
+        assert_eq!(h.percentile(99.0).unwrap(), ms(99));
+        assert_eq!(h.percentile(100.0).unwrap(), ms(100));
+        assert_eq!(h.min().unwrap(), ms(1));
+        assert_eq!(h.max().unwrap(), ms(100));
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut h = Histogram::new();
+        for v in [5u64, 1, 9, 3, 7, 2, 8] {
+            h.record(ms(v));
+        }
+        let cdf = h.cdf(20);
+        assert_eq!(cdf.len(), 20);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, ms(9));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(ms(1));
+        let mut b = Histogram::new();
+        b.record(ms(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), ms(2));
+    }
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    proptest! {
+        /// Percentile is always one of the recorded samples, and p100 = max.
+        #[test]
+        fn prop_percentile_membership(vals in proptest::collection::vec(0u64..10_000, 1..200), p in 0.0f64..=100.0) {
+            let mut h = Histogram::new();
+            for &v in &vals {
+                h.record(SimDuration::from_nanos(v));
+            }
+            let got = h.percentile(p).unwrap().as_nanos();
+            prop_assert!(vals.contains(&got));
+            prop_assert_eq!(h.percentile(100.0).unwrap().as_nanos(), *vals.iter().max().unwrap());
+        }
+
+        /// Mean lies between min and max.
+        #[test]
+        fn prop_mean_bounded(vals in proptest::collection::vec(0u64..10_000, 1..200)) {
+            let mut h = Histogram::new();
+            for &v in &vals {
+                h.record(SimDuration::from_nanos(v));
+            }
+            let mean = h.mean();
+            prop_assert!(mean >= h.min().unwrap());
+            prop_assert!(mean <= h.max().unwrap());
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Lightweight execution tracing for simulated runs.
+//!
+//! Distributed-protocol debugging lives and dies by message timelines:
+//! *where did this Phase 2b go, who dropped it, when did the decision reach
+//! region X?* [`Tracer`] records bounded, structured events — sends,
+//! receives, drops, deliveries, custom marks — and can reconstruct the
+//! timeline of a single message across all processes. Tracing is opt-in and
+//! the disabled tracer compiles down to a branch per call.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened (virtual time).
+    pub at: SimTime,
+    /// The process it happened at.
+    pub node: u32,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kinds of events a simulation can trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message left `node` toward `to`.
+    Sent {
+        /// Destination process.
+        to: u32,
+        /// Message identifier (e.g. `semantic_gossip::MessageId` low word).
+        msg: u64,
+    },
+    /// A message from `from` arrived at `node`.
+    Received {
+        /// Source process.
+        from: u32,
+        /// Message identifier.
+        msg: u64,
+    },
+    /// A message was dropped at `node` (loss, overflow, duplicate...).
+    Dropped {
+        /// Message identifier.
+        msg: u64,
+        /// Why it was dropped.
+        reason: &'static str,
+    },
+    /// The protocol delivered something at `node` (e.g. a decided value).
+    Delivered {
+        /// Application-level identifier (e.g. instance number).
+        item: u64,
+    },
+    /// Free-form annotation.
+    Mark(&'static str),
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] p{} ", self.at, self.node)?;
+        match &self.kind {
+            TraceKind::Sent { to, msg } => write!(f, "sent {msg:#x} -> p{to}"),
+            TraceKind::Received { from, msg } => write!(f, "received {msg:#x} <- p{from}"),
+            TraceKind::Dropped { msg, reason } => write!(f, "dropped {msg:#x} ({reason})"),
+            TraceKind::Delivered { item } => write!(f, "delivered #{item}"),
+            TraceKind::Mark(s) => write!(f, "mark: {s}"),
+        }
+    }
+}
+
+/// A bounded, opt-in event recorder.
+///
+/// Keeps at most `capacity` events; older events are discarded FIFO (the
+/// interesting part of a bug is usually the end of the run). Disabled
+/// tracers ignore all records.
+///
+/// # Example
+///
+/// ```
+/// use simnet::trace::{TraceKind, Tracer};
+/// use simnet::SimTime;
+///
+/// let mut t = Tracer::enabled(1024);
+/// t.record(SimTime::ZERO, 0, TraceKind::Sent { to: 1, msg: 42 });
+/// t.record(SimTime::from_nanos(5), 1, TraceKind::Received { from: 0, msg: 42 });
+/// assert_eq!(t.message_timeline(42).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    discarded: u64,
+}
+
+impl Tracer {
+    /// An enabled tracer holding up to `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enabled(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            discarded: 0,
+        }
+    }
+
+    /// A disabled tracer: every record is a no-op.
+    pub fn disabled() -> Self {
+        Tracer {
+            events: std::collections::VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+            discarded: 0,
+        }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, at: SimTime, node: u32, kind: TraceKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.discarded += 1;
+        }
+        self.events.push_back(TraceEvent { at, node, kind });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded due to the capacity bound.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// The timeline of one message across all processes: every retained
+    /// send/receive/drop naming `msg`, in time order.
+    pub fn message_timeline(&self, msg: u64) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match &e.kind {
+                TraceKind::Sent { msg: m, .. }
+                | TraceKind::Received { msg: m, .. }
+                | TraceKind::Dropped { msg: m, .. } => *m == msg,
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// Events at one process, in time order.
+    pub fn node_timeline(&self, node: u32) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.node == node).collect()
+    }
+
+    /// Renders the retained events as a readable log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.discarded > 0 {
+            out.push_str(&format!("... {} earlier events discarded ...\n", self.discarded));
+        }
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn records_and_orders_events() {
+        let mut tr = Tracer::enabled(16);
+        tr.record(t(1), 0, TraceKind::Sent { to: 1, msg: 7 });
+        tr.record(t(2), 1, TraceKind::Received { from: 0, msg: 7 });
+        tr.record(t(3), 1, TraceKind::Delivered { item: 0 });
+        assert_eq!(tr.len(), 3);
+        let times: Vec<u64> = tr.events().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tr = Tracer::disabled();
+        tr.record(t(1), 0, TraceKind::Mark("x"));
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn capacity_bound_discards_oldest() {
+        let mut tr = Tracer::enabled(2);
+        for i in 0..5u64 {
+            tr.record(t(i), 0, TraceKind::Delivered { item: i });
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.discarded(), 3);
+        let items: Vec<u64> = tr
+            .events()
+            .map(|e| match e.kind {
+                TraceKind::Delivered { item } => item,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(items, vec![3, 4]);
+        assert!(tr.render().contains("3 earlier events discarded"));
+    }
+
+    #[test]
+    fn message_timeline_follows_one_message() {
+        let mut tr = Tracer::enabled(16);
+        tr.record(t(1), 0, TraceKind::Sent { to: 1, msg: 7 });
+        tr.record(t(2), 0, TraceKind::Sent { to: 2, msg: 8 });
+        tr.record(t(3), 1, TraceKind::Received { from: 0, msg: 7 });
+        tr.record(t(4), 2, TraceKind::Dropped { msg: 7, reason: "loss" });
+        tr.record(t(5), 1, TraceKind::Delivered { item: 9 });
+        let timeline = tr.message_timeline(7);
+        assert_eq!(timeline.len(), 3);
+        assert!(matches!(timeline[2].kind, TraceKind::Dropped { .. }));
+    }
+
+    #[test]
+    fn node_timeline_filters_by_process() {
+        let mut tr = Tracer::enabled(16);
+        tr.record(t(1), 0, TraceKind::Mark("a"));
+        tr.record(t(2), 1, TraceKind::Mark("b"));
+        tr.record(t(3), 0, TraceKind::Mark("c"));
+        assert_eq!(tr.node_timeline(0).len(), 2);
+        assert_eq!(tr.node_timeline(1).len(), 1);
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let e = TraceEvent {
+            at: t(1_000_000),
+            node: 3,
+            kind: TraceKind::Sent { to: 4, msg: 255 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("p3"));
+        assert!(s.contains("0xff"));
+        assert!(s.contains("p4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        Tracer::enabled(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Command-line reproduction driver.
+//!
+//! ```text
+//! repro [--full] [--out DIR] <experiment>...
+//! ```
+//!
+//! where `<experiment>` is one of `table1`, `fig3`, `fig4`, `fig5`, `fig6`,
+//! `fig7`, `fig8`, `msgstats`, the extensions `crash` and `valuesize`, or
+//! `all`. By default the *quick* preset runs
+//! (reduced sizes/windows, minutes); `--full` switches to the paper's
+//! sizes. Reports are printed and, with `--out`, also written one file per
+//! experiment; `--csv` additionally writes the plottable series
+//! (fig3/fig5/fig6/fig8) as CSV.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use testbed::experiments::{crash, fig3, fig4, fig5, fig6, fig7, fig8, msgstats, table1, valuesize, Preset};
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "msgstats", "crash", "valuesize",
+];
+
+fn main() {
+    let mut preset = Preset::Quick;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut csv = false;
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => preset = Preset::Full,
+            "--quick" => preset = Preset::Quick,
+            "--csv" => csv = true,
+            "--out" => {
+                let dir = args.next().unwrap_or_else(|| usage("--out needs a directory"));
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "--help" | "-h" => usage(""),
+            exp if EXPERIMENTS.contains(&exp) => selected.push(exp.to_string()),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if selected.is_empty() {
+        usage("no experiment selected");
+    }
+    selected.dedup();
+
+    if let Some(dir) = &out_dir {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    // fig4 is derived from fig3's sweeps; run fig3 once and share it.
+    let needs_fig3 = selected.iter().any(|e| e == "fig3" || e == "fig4");
+    let fig3_report = needs_fig3.then(|| {
+        eprintln!("[repro] running fig3 sweeps ({preset:?})...");
+        let t = Instant::now();
+        let r = fig3::run(&fig3::Fig3Params::preset(preset));
+        eprintln!("[repro] fig3 done in {:.1}s", t.elapsed().as_secs_f64());
+        r
+    });
+
+    for exp in &selected {
+        let t = Instant::now();
+        let (report, series) = match exp.as_str() {
+            "table1" => (table1::run().render(), None),
+            "fig3" => {
+                let r = fig3_report.as_ref().expect("fig3 precomputed");
+                (r.render(), Some(r.to_csv()))
+            }
+            "fig4" => (
+                fig4::from_fig3(fig3_report.as_ref().expect("fig3 precomputed")).render(),
+                None,
+            ),
+            "fig5" => {
+                let r = fig5::run(&fig5::Fig5Params::preset(preset));
+                (r.render(), Some(r.to_csv()))
+            }
+            "fig6" => {
+                let r = fig6::run(&fig6::Fig6Params::preset(preset));
+                (r.render(), Some(r.to_csv()))
+            }
+            "fig7" => (fig7::run(&fig7::Fig7Params::preset(preset)).render(), None),
+            "fig8" => {
+                let r = fig8::run(&fig8::Fig8Params::preset(preset));
+                (r.render(), Some(r.to_csv()))
+            }
+            "msgstats" => (
+                msgstats::run(&msgstats::MsgStatsParams::preset(preset)).render(),
+                None,
+            ),
+            "crash" => (crash::run(&crash::CrashParams::preset(preset)).render(), None),
+            "valuesize" => (
+                valuesize::run(&valuesize::ValueSizeParams::preset(preset)).render(),
+                None,
+            ),
+            other => unreachable!("unknown experiment {other}"),
+        };
+        eprintln!("[repro] {exp} done in {:.1}s", t.elapsed().as_secs_f64());
+        println!("{report}");
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{exp}.txt"));
+            fs::write(&path, &report).expect("write report file");
+            eprintln!("[repro] wrote {}", path.display());
+            if csv {
+                if let Some(series) = series {
+                    let path = dir.join(format!("{exp}.csv"));
+                    fs::write(&path, series).expect("write csv file");
+                    eprintln!("[repro] wrote {}", path.display());
+                }
+            }
+        }
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: repro [--full|--quick] [--out DIR] <experiment>...\n\
+         experiments: {} | all",
+        EXPERIMENTS.join(" | ")
+    );
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,1165 @@
+//! The simulated deployment: Paxos over Baseline / Gossip / Semantic Gossip
+//! communication, driven by the discrete-event simulator.
+//!
+//! One [`run_cluster`] call reproduces one experiment execution of the paper
+//! (§4.2): `n` processes spread over the 13 AWS regions (coordinator pinned
+//! to North Virginia), 13 open-loop clients submitting 1 KiB values at a
+//! fixed aggregate rate to the process of their region, and one of three
+//! communication substrates:
+//!
+//! * [`Setup::Baseline`] — the coordinator talks to every process over
+//!   direct channels (full connectivity, the paper's best-case reference);
+//! * [`Setup::Gossip`] — every protocol message is broadcast through classic
+//!   push gossip over a random partially connected overlay;
+//! * [`Setup::SemanticGossip`] — same overlay, gossip augmented with the
+//!   semantic filtering/aggregation rules.
+//!
+//! Every process is a single-server queue ([`simnet::NodeCpu`]): each
+//! received or sent message costs CPU time, which is what makes throughput
+//! saturate (Figures 3/4). Message loss can be injected at the receiver
+//! (Figure 6). Runs are deterministic per seed.
+
+use overlay::{connected_k_out, paper_fanout, Graph};
+use paxos::{InstanceId, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId};
+use paxos_semantics::{PaxosSemantics, SemanticMode};
+use semantic_gossip::{
+    DuplicateFilter, GossipConfig, GossipItem, GossipNode, MessageId, NoSemantics, NodeId,
+    RecentCache, Semantics, SlidingBloom,
+};
+use simnet::fault::CrashSchedule;
+use simnet::trace::{TraceKind, Tracer};
+use simnet::{
+    CpuModel, EventQueue, LossInjector, NodeCpu, RegionMap, SeedSplitter, SimDuration, SimTime,
+};
+use std::collections::HashMap;
+
+use crate::metrics::{RunMetrics, ValueFate};
+
+/// The communication substrate under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// Direct channels between the coordinator and every process.
+    Baseline,
+    /// Classic push gossip over a random overlay.
+    Gossip,
+    /// Gossip with semantic filtering + aggregation.
+    SemanticGossip,
+    /// Gossip with a custom combination of the semantic techniques
+    /// (ablations).
+    Custom(SemanticMode),
+}
+
+impl Setup {
+    /// The paper's display name of the setup.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Setup::Baseline => "Baseline",
+            Setup::Gossip => "Gossip",
+            Setup::SemanticGossip => "Semantic Gossip",
+            Setup::Custom(m) if m.filtering && m.aggregation => "Semantic Gossip",
+            Setup::Custom(m) if m.filtering => "Filtering only",
+            Setup::Custom(m) if m.aggregation => "Aggregation only",
+            Setup::Custom(_) => "Gossip",
+        }
+    }
+
+    /// Whether this setup communicates via gossip.
+    pub fn uses_gossip(&self) -> bool {
+        !matches!(self, Setup::Baseline)
+    }
+}
+
+/// The duplicate-suppression structure used by gossip nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupKind {
+    /// Exact FIFO recently-seen cache (the paper's implementation).
+    RecentCache,
+    /// Sliding Bloom filter (the paper's suggested alternative).
+    SlidingBloom,
+}
+
+/// CPU cost model of one process: receptions are charged the full
+/// per-message cost; transmissions are cheaper (the paper's libp2p channels
+/// batch at network level).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCosts {
+    /// Cost model for handling one received message.
+    pub recv: CpuModel,
+    /// Cost model for sending one message.
+    pub send: CpuModel,
+    /// Extra receive cost per disaggregated part beyond the first: a
+    /// k-voter aggregated Phase 2b saves wire bytes and per-message
+    /// overhead, but the receiver still runs the duplicate check and
+    /// forwarding bookkeeping for each reconstructed vote.
+    pub per_extra_part: SimDuration,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        CpuCosts {
+            recv: CpuModel {
+                per_message: SimDuration::from_micros(20),
+                per_byte: SimDuration::from_nanos(2),
+            },
+            send: CpuModel {
+                per_message: SimDuration::from_micros(4),
+                per_byte: SimDuration::from_nanos(2),
+            },
+            per_extra_part: SimDuration::from_micros(10),
+        }
+    }
+}
+
+/// Parameters of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterParams {
+    /// System size (number of Paxos processes).
+    pub n: usize,
+    /// Communication substrate.
+    pub setup: Setup,
+    /// Root seed for all randomness in the run.
+    pub seed: u64,
+    /// Client value payload size in bytes (the paper uses 1 KiB).
+    pub value_size: usize,
+    /// Aggregate client submission rate (values/s over all 13 clients).
+    pub rate: f64,
+    /// Warm-up period excluded from measurements.
+    pub warmup: SimDuration,
+    /// Measurement window (after warm-up). Submissions stop at its end; the
+    /// run continues for a drain period so in-flight values can complete.
+    pub window: SimDuration,
+    /// Drain period after the measurement window.
+    pub drain: SimDuration,
+    /// Receive-side injected message-loss rate (Figure 6); 0 disables.
+    pub loss_rate: f64,
+    /// Overlay for the gossip setups; generated from the seed when `None`.
+    pub overlay: Option<Graph>,
+    /// Gossip layer configuration.
+    pub gossip: GossipConfig,
+    /// CPU cost model.
+    pub cpu: CpuCosts,
+    /// Duplicate filter implementation.
+    pub dedup: DedupKind,
+    /// Coordinator retransmission period for open proposals; `None`
+    /// reproduces the paper's reliability experiments (timeout-triggered
+    /// procedures disabled).
+    pub retransmit: Option<SimDuration>,
+    /// Upper bound on how long gossip messages may sit in the send queues
+    /// waiting for the send routine (the "flush quantum"). Messages
+    /// accumulate while the CPU is busy — which is when semantic
+    /// aggregation finds batches — but a real send routine drains
+    /// continuously, so the accumulation window is bounded.
+    pub flush_quantum: SimDuration,
+    /// Crash windows `(process, down_from, up_at)`, offsets from the start
+    /// of the run. A crashed process neither receives nor sends; on
+    /// recovery it is rebuilt from its acceptor's stable storage — all
+    /// volatile state (learner, coordinator, gossip caches) is lost, the
+    /// paper's crash-recovery model (§2.1).
+    pub crashes: Vec<(u32, SimDuration, SimDuration)>,
+    /// Round-change timeout: when set, every process runs a
+    /// [`paxos::RoundChangeTimer`] and the next coordinator in line takes
+    /// over after this much silence (coordinator failover).
+    pub failover: Option<SimDuration>,
+    /// Capacity of the execution tracer; 0 disables tracing. When enabled,
+    /// injected-loss drops, ordered deliveries and crash/recovery marks are
+    /// recorded and the rendered log is returned in
+    /// [`RunMetrics::trace`](crate::RunMetrics).
+    pub trace_capacity: usize,
+}
+
+impl ClusterParams {
+    /// The paper's experiment defaults for a given system size and setup:
+    /// 1 KiB values, 1 s warm-up, 5 s measurement window, 1 s drain, no
+    /// injected loss, overlay generated from the seed.
+    pub fn paper(n: usize, setup: Setup) -> Self {
+        ClusterParams {
+            n,
+            setup,
+            seed: 1,
+            value_size: 1024,
+            rate: 26.0,
+            warmup: SimDuration::from_secs(1),
+            window: SimDuration::from_secs(5),
+            drain: SimDuration::from_secs(1),
+            loss_rate: 0.0,
+            overlay: None,
+            gossip: GossipConfig::default(),
+            cpu: CpuCosts::default(),
+            dedup: DedupKind::RecentCache,
+            retransmit: None,
+            flush_quantum: SimDuration::from_micros(500),
+            crashes: Vec::new(),
+            failover: None,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Adds a crash window for a process (builder style).
+    pub fn with_crash(mut self, node: u32, down_from: SimDuration, up_at: SimDuration) -> Self {
+        self.crashes.push((node, down_from, up_at));
+        self
+    }
+
+    /// Enables coordinator failover with the given round-change timeout.
+    pub fn with_failover(mut self, timeout: SimDuration) -> Self {
+        self.failover = Some(timeout);
+        self
+    }
+
+    /// Sets the aggregate submission rate (builder style).
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Sets warm-up and measurement window in seconds (drain stays 1 s).
+    pub fn with_seconds(mut self, window: f64, warmup: f64) -> Self {
+        self.window = SimDuration::from_secs_f64(window);
+        self.warmup = SimDuration::from_secs_f64(warmup);
+        self
+    }
+
+    /// Sets the run seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the injected receive-side loss rate.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss_rate = loss;
+        self
+    }
+
+    /// Sets a pre-generated overlay (enforced overlays, §4.6).
+    pub fn with_overlay(mut self, overlay: Graph) -> Self {
+        self.overlay = Some(overlay);
+        self
+    }
+
+    /// End of the simulation (warm-up + window + drain).
+    pub fn end_time(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.window + self.drain
+    }
+}
+
+/// Semantics dispatch: classic gossip or Paxos semantic rules, behind one
+/// concrete type so a single `GossipNode` type covers all setups.
+enum AnySemantics {
+    None(NoSemantics),
+    Paxos(PaxosSemantics),
+}
+
+impl Semantics<PaxosMessage> for AnySemantics {
+    fn observe(&mut self, msg: &PaxosMessage) {
+        match self {
+            AnySemantics::None(s) => s.observe(msg),
+            AnySemantics::Paxos(s) => s.observe(msg),
+        }
+    }
+    fn validate(&mut self, msg: &PaxosMessage, peer: NodeId) -> bool {
+        match self {
+            AnySemantics::None(s) => s.validate(msg, peer),
+            AnySemantics::Paxos(s) => s.validate(msg, peer),
+        }
+    }
+    fn aggregate(&mut self, pending: Vec<PaxosMessage>, peer: NodeId) -> Vec<PaxosMessage> {
+        match self {
+            AnySemantics::None(s) => s.aggregate(pending, peer),
+            AnySemantics::Paxos(s) => s.aggregate(pending, peer),
+        }
+    }
+    fn disaggregate(&mut self, msg: PaxosMessage) -> Vec<PaxosMessage> {
+        match self {
+            AnySemantics::None(s) => s.disaggregate(msg),
+            AnySemantics::Paxos(s) => s.disaggregate(msg),
+        }
+    }
+}
+
+impl AnySemantics {
+    fn gc(&mut self, watermark: InstanceId) {
+        if let AnySemantics::Paxos(s) = self {
+            s.gc(watermark);
+        }
+    }
+}
+
+/// Duplicate-filter dispatch (exact cache vs sliding Bloom).
+enum AnyFilter {
+    Recent(RecentCache),
+    Bloom(SlidingBloom),
+}
+
+impl DuplicateFilter for AnyFilter {
+    fn insert(&mut self, id: MessageId) -> bool {
+        match self {
+            AnyFilter::Recent(f) => f.insert(id),
+            AnyFilter::Bloom(f) => f.insert(id),
+        }
+    }
+    fn contains(&self, id: MessageId) -> bool {
+        match self {
+            AnyFilter::Recent(f) => f.contains(id),
+            AnyFilter::Bloom(f) => f.contains(id),
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            AnyFilter::Recent(f) => f.len(),
+            AnyFilter::Bloom(f) => f.len(),
+        }
+    }
+}
+
+type Gossip = GossipNode<PaxosMessage, AnySemantics, AnyFilter>;
+
+enum Comms {
+    Direct,
+    Gossip(Box<Gossip>),
+}
+
+struct Node {
+    paxos: PaxosProcess,
+    comms: Comms,
+    cpu: NodeCpu,
+    loss: LossInjector,
+    /// Messages that physically arrived (post injected loss).
+    raw_received: u64,
+    /// Messages physically sent.
+    raw_sent: u64,
+    flush_scheduled: bool,
+    /// Instance → value-id of everything this node delivered in order, for
+    /// the end-of-run safety audit.
+    delivered_log: Vec<(InstanceId, ValueId)>,
+    /// When this process is down (crash-recovery experiments).
+    schedule: CrashSchedule,
+    /// Round-change timer, when failover is enabled.
+    timer: Option<paxos::RoundChangeTimer>,
+}
+
+enum Event {
+    /// Wire arrival at `dst` (loss checked here, then CPU charged).
+    Arrival {
+        dst: u32,
+        from: u32,
+        msg: PaxosMessage,
+    },
+    /// CPU finished receiving: hand to the communication layer.
+    Handle {
+        dst: u32,
+        from: u32,
+        msg: PaxosMessage,
+    },
+    /// Client of region-slot `client` submits its next value.
+    Submit { client: usize },
+    /// CPU finished absorbing a client value at `node`.
+    ClientDeliver { node: u32, value: Value },
+    /// The send routine of `node` flushes its gossip queues.
+    Flush { node: u32 },
+    /// Coordinator retransmission timer.
+    Retransmit,
+    /// A crashed process comes back up, rebuilt from stable storage.
+    Recover { node: u32 },
+    /// Failover poll: `node` checks its round-change timer.
+    FailoverCheck { node: u32 },
+}
+
+struct Client {
+    region_slot: usize,
+    attach: u32,
+    next_seq: u64,
+    interval: SimDuration,
+}
+
+/// One in-flight or completed client value.
+struct Tracked {
+    submitted_at: SimTime,
+    ordered_at: Option<SimTime>,
+    region_slot: usize,
+    in_window: bool,
+}
+
+struct Cluster {
+    params: ClusterParams,
+    regions: RegionMap,
+    overlay: Option<Graph>,
+    nodes: Vec<Node>,
+    clients: Vec<Client>,
+    queue: EventQueue<Event>,
+    link_rng: rand::rngs::StdRng,
+    tracked: HashMap<ValueId, Tracked>,
+    tracer: Tracer,
+    received_by_kind: [u64; paxos::message::Kind::COUNT],
+    end: SimTime,
+    window_start: SimTime,
+    window_end: SimTime,
+}
+
+impl Cluster {
+    fn build(params: ClusterParams) -> Cluster {
+        assert!(params.n > 0, "cluster needs processes");
+        assert!(params.rate > 0.0, "submission rate must be positive");
+        let seeds = SeedSplitter::new(params.seed);
+        let regions = RegionMap::paper_placement(params.n);
+        let config = PaxosConfig::new(params.n);
+
+        let overlay = if params.setup.uses_gossip() {
+            Some(params.overlay.clone().unwrap_or_else(|| {
+                let mut rng = seeds.rng("overlay", 0);
+                connected_k_out(params.n, paper_fanout(params.n), &mut rng, 100)
+                    .expect("could not generate a connected overlay")
+            }))
+        } else {
+            None
+        };
+
+        // Per-process crash schedules.
+        let mut windows: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); params.n];
+        for &(node, from, to) in &params.crashes {
+            assert!((node as usize) < params.n, "crash window for unknown process");
+            windows[node as usize].push((SimTime::ZERO + from, SimTime::ZERO + to));
+        }
+        for w in &mut windows {
+            w.sort();
+        }
+
+        let nodes = (0..params.n as u32)
+            .map(|i| {
+                let comms = match (&params.setup, &overlay) {
+                    (Setup::Baseline, _) => Comms::Direct,
+                    (setup, Some(g)) => {
+                        let peers: Vec<NodeId> = g
+                            .neighbors(i as usize)
+                            .iter()
+                            .map(|&p| NodeId::new(p as u32))
+                            .collect();
+                        let semantics = match setup {
+                            Setup::Gossip => AnySemantics::None(NoSemantics),
+                            Setup::SemanticGossip => {
+                                AnySemantics::Paxos(PaxosSemantics::full(config.clone()))
+                            }
+                            Setup::Custom(mode) => AnySemantics::Paxos(PaxosSemantics::new(
+                                config.clone(),
+                                *mode,
+                            )),
+                            Setup::Baseline => unreachable!(),
+                        };
+                        let filter = match params.dedup {
+                            DedupKind::RecentCache => {
+                                AnyFilter::Recent(RecentCache::new(params.gossip.recent_cache_size))
+                            }
+                            DedupKind::SlidingBloom => AnyFilter::Bloom(SlidingBloom::new(
+                                params.gossip.recent_cache_size * 16,
+                                params.gossip.recent_cache_size / 2,
+                            )),
+                        };
+                        Comms::Gossip(Box::new(GossipNode::with_filter(
+                            NodeId::new(i),
+                            peers,
+                            params.gossip,
+                            semantics,
+                            filter,
+                        )))
+                    }
+                    (_, None) => unreachable!("gossip setup without overlay"),
+                };
+                Node {
+                    paxos: PaxosProcess::new(NodeId::new(i), config.clone()),
+                    comms,
+                    cpu: NodeCpu::new(params.cpu.recv),
+                    loss: LossInjector::new(params.loss_rate, seeds.rng("loss-injector", i as u64)),
+                    raw_received: 0,
+                    raw_sent: 0,
+                    flush_scheduled: false,
+                    delivered_log: Vec::new(),
+                    schedule: CrashSchedule::new(std::mem::take(&mut windows[i as usize])),
+                    timer: params.failover.map(|t| {
+                        paxos::RoundChangeTimer::new(NodeId::new(i), params.n, t.as_nanos(), 0)
+                    }),
+                }
+            })
+            .collect();
+
+        // One client per region, attached to the lowest-id process there.
+        let attach_points = regions.client_attach_points();
+        let per_client = params.rate / attach_points.len() as f64;
+        let interval = SimDuration::from_secs_f64(1.0 / per_client);
+        let clients = attach_points
+            .iter()
+            .enumerate()
+            .map(|(slot, &(_region, process))| Client {
+                region_slot: slot,
+                attach: process as u32,
+                next_seq: 0,
+                interval,
+            })
+            .collect();
+
+        let end = params.end_time();
+        let window_start = SimTime::ZERO + params.warmup;
+        let window_end = window_start + params.window;
+        Cluster {
+            regions,
+            overlay,
+            nodes,
+            clients,
+            queue: EventQueue::new(),
+            link_rng: seeds.rng("links", 0),
+            tracked: HashMap::new(),
+            tracer: if params.trace_capacity > 0 {
+                Tracer::enabled(params.trace_capacity)
+            } else {
+                Tracer::disabled()
+            },
+            received_by_kind: [0; paxos::message::Kind::COUNT],
+            end,
+            window_start,
+            window_end,
+            params,
+        }
+    }
+
+    fn bootstrap(&mut self) {
+        // The elected coordinator (process 0, North Virginia) starts round 0.
+        let out = self.nodes[0].paxos.start_round(Round::ZERO);
+        self.dispatch_outbound(0, out, SimTime::ZERO);
+        self.pump_node(0, SimTime::ZERO);
+
+        // Stagger client start within one interval to avoid lockstep.
+        let n_clients = self.clients.len();
+        for c in 0..n_clients {
+            let offset = SimDuration::from_nanos(
+                self.clients[c].interval.as_nanos() * c as u64 / n_clients as u64,
+            );
+            // Clients start submitting right away (warm-up traffic).
+            self.queue
+                .schedule(SimTime::ZERO + offset, Event::Submit { client: c });
+        }
+
+        if let Some(rt) = self.params.retransmit {
+            self.queue.schedule(SimTime::ZERO + rt, Event::Retransmit);
+        }
+
+        for i in 0..self.params.n as u32 {
+            let recoveries: Vec<SimTime> =
+                self.nodes[i as usize].schedule.recovery_times().collect();
+            for at in recoveries {
+                self.queue.schedule(at, Event::Recover { node: i });
+            }
+        }
+        if let Some(t) = self.params.failover {
+            let poll = SimDuration::from_nanos((t.as_nanos() / 4).max(1));
+            for i in 0..self.params.n as u32 {
+                self.queue.schedule(SimTime::ZERO + poll, Event::FailoverCheck { node: i });
+            }
+        }
+    }
+
+    fn is_up(&self, node: u32, now: SimTime) -> bool {
+        self.nodes[node as usize].schedule.is_up(now)
+    }
+
+    fn run(mut self) -> RunMetrics {
+        self.bootstrap();
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.end {
+                break;
+            }
+            self.handle_event(now, event);
+        }
+        self.collect()
+    }
+
+    fn handle_event(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Arrival { dst, from, msg } => {
+                if !self.is_up(dst, now) {
+                    return;
+                }
+                let node = &mut self.nodes[dst as usize];
+                if from != dst && node.loss.should_drop() {
+                    self.tracer.record(
+                        now,
+                        dst,
+                        TraceKind::Dropped {
+                            msg: msg.message_id().low(),
+                            reason: "injected loss",
+                        },
+                    );
+                    return;
+                }
+                node.raw_received += 1;
+                self.received_by_kind[msg.kind().index()] += 1;
+                let parts = match &msg {
+                    PaxosMessage::Phase2b { voters, .. } => voters.len(),
+                    _ => 1,
+                };
+                let work = self.params.cpu.recv.service_time(msg.wire_size())
+                    + self.params.cpu.per_extra_part.saturating_mul(parts as u64 - 1);
+                let done = node.cpu.admit_work(now, work);
+                self.queue.schedule(done, Event::Handle { dst, from, msg });
+            }
+            Event::Handle { dst, from, msg } => {
+                if !self.is_up(dst, now) {
+                    return;
+                }
+                match &mut self.nodes[dst as usize].comms {
+                    Comms::Gossip(g) => {
+                        g.on_receive(NodeId::new(from), msg);
+                    }
+                    Comms::Direct => {
+                        let out = self.nodes[dst as usize].paxos.handle(msg);
+                        self.dispatch_outbound(dst, out, now);
+                    }
+                }
+                self.pump_node(dst, now);
+            }
+            Event::Submit { client } => {
+                if now >= self.window_end {
+                    return; // submissions stop at the end of the window
+                }
+                let c = &mut self.clients[client];
+                let attach = c.attach;
+                let value = Value::new(
+                    NodeId::new(attach),
+                    c.next_seq,
+                    vec![0u8; self.params.value_size],
+                );
+                c.next_seq += 1;
+                let next = now + c.interval;
+                let slot = c.region_slot;
+                self.queue.schedule(next, Event::Submit { client });
+                self.tracked.insert(
+                    value.id(),
+                    Tracked {
+                        submitted_at: now,
+                        ordered_at: None,
+                        region_slot: slot,
+                        in_window: now >= self.window_start && now < self.window_end,
+                    },
+                );
+                // The attach process absorbs the client request (CPU).
+                let done = self.nodes[attach as usize]
+                    .cpu
+                    .admit(now, self.params.value_size);
+                self.queue
+                    .schedule(done, Event::ClientDeliver { node: attach, value });
+            }
+            Event::ClientDeliver { node, value } => {
+                if !self.is_up(node, now) {
+                    return;
+                }
+                let out = self.nodes[node as usize].paxos.submit(value);
+                self.dispatch_outbound(node, out, now);
+                self.pump_node(node, now);
+            }
+            Event::Flush { node } => {
+                self.nodes[node as usize].flush_scheduled = false;
+                if !self.is_up(node, now) {
+                    return;
+                }
+                let outgoing = match &mut self.nodes[node as usize].comms {
+                    Comms::Gossip(g) => g.take_outgoing(),
+                    Comms::Direct => Vec::new(),
+                };
+                for (peer, msg) in outgoing {
+                    self.send_physical(node, peer.as_u32(), msg, now);
+                }
+            }
+            Event::Retransmit => {
+                if self.is_up(0, now) {
+                    let out = self.nodes[0].paxos.retransmit();
+                    self.dispatch_outbound(0, out, now);
+                    self.pump_node(0, now);
+                }
+                if let Some(rt) = self.params.retransmit {
+                    self.queue.schedule(now + rt, Event::Retransmit);
+                }
+            }
+            Event::Recover { node } => self.recover_node(node),
+            Event::FailoverCheck { node } => {
+                if let Some(t) = self.params.failover {
+                    let poll = SimDuration::from_nanos((t.as_nanos() / 4).max(1));
+                    self.queue.schedule(now + poll, Event::FailoverCheck { node });
+                }
+                if !self.is_up(node, now) {
+                    return;
+                }
+                let idx = node as usize;
+                let current = self.nodes[idx].paxos.current_round();
+                let Some(timer) = self.nodes[idx].timer.as_mut() else {
+                    return;
+                };
+                timer.observe_round(current, now.as_nanos());
+                if let Some(round) = timer.suspect(now.as_nanos()) {
+                    if round > current {
+                        let out = self.nodes[idx].paxos.start_round(round);
+                        self.dispatch_outbound(node, out, now);
+                        self.pump_node(node, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a recovered process from its acceptor's stable storage:
+    /// learner, coordinator and gossip state are volatile and start fresh.
+    fn recover_node(&mut self, node: u32) {
+        let now = self.queue.now();
+        self.tracer.record(now, node, TraceKind::Mark("recovered"));
+        let idx = node as usize;
+        let config = PaxosConfig::new(self.params.n);
+        let old = std::mem::replace(
+            &mut self.nodes[idx].paxos,
+            PaxosProcess::new(NodeId::new(node), config.clone()),
+        );
+        let storage = old.into_acceptor_storage();
+        self.nodes[idx].paxos = PaxosProcess::with_storage(NodeId::new(node), config.clone(), storage);
+        self.nodes[idx].delivered_log.clear();
+        self.nodes[idx].flush_scheduled = false;
+        if let Comms::Gossip(_) = &self.nodes[idx].comms {
+            let overlay = self.overlay.as_ref().expect("gossip setup has overlay");
+            let peers: Vec<NodeId> = overlay
+                .neighbors(idx)
+                .iter()
+                .map(|&p| NodeId::new(p as u32))
+                .collect();
+            let semantics = match self.params.setup {
+                Setup::Gossip => AnySemantics::None(NoSemantics),
+                Setup::SemanticGossip => AnySemantics::Paxos(PaxosSemantics::full(config)),
+                Setup::Custom(mode) => {
+                    AnySemantics::Paxos(PaxosSemantics::new(config, mode))
+                }
+                Setup::Baseline => unreachable!(),
+            };
+            let filter = match self.params.dedup {
+                DedupKind::RecentCache => {
+                    AnyFilter::Recent(RecentCache::new(self.params.gossip.recent_cache_size))
+                }
+                DedupKind::SlidingBloom => AnyFilter::Bloom(SlidingBloom::new(
+                    self.params.gossip.recent_cache_size * 16,
+                    self.params.gossip.recent_cache_size / 2,
+                )),
+            };
+            self.nodes[idx].comms = Comms::Gossip(Box::new(GossipNode::with_filter(
+                NodeId::new(node),
+                peers,
+                self.params.gossip,
+                semantics,
+                filter,
+            )));
+        }
+    }
+
+    /// Routes Paxos outbound messages through the node's substrate.
+    fn dispatch_outbound(&mut self, node: u32, out: Vec<paxos::Outbound>, now: SimTime) {
+        for o in out {
+            match &mut self.nodes[node as usize].comms {
+                Comms::Gossip(g) => {
+                    // Under gossip, every message is broadcast (§3.1); the
+                    // route tag is irrelevant.
+                    g.broadcast(o.msg);
+                }
+                Comms::Direct => match o.route {
+                    paxos::Route::ToCoordinator => {
+                        let coord = self.nodes[node as usize].paxos.current_coordinator();
+                        self.send_physical(node, coord.as_u32(), o.msg, now);
+                    }
+                    paxos::Route::ToAll => {
+                        for dst in 0..self.params.n as u32 {
+                            self.send_physical(node, dst, o.msg.clone(), now);
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Drains gossip deliveries into Paxos (which may broadcast more),
+    /// collects ordered decisions, and schedules a send-queue flush.
+    fn pump_node(&mut self, node: u32, now: SimTime) {
+        loop {
+            let deliveries = match &mut self.nodes[node as usize].comms {
+                Comms::Gossip(g) => g.take_deliveries(),
+                Comms::Direct => Vec::new(),
+            };
+            if deliveries.is_empty() {
+                break;
+            }
+            for msg in deliveries {
+                let out = self.nodes[node as usize].paxos.handle(msg);
+                self.dispatch_outbound(node, out, now);
+            }
+        }
+        self.harvest_decisions(node, now);
+        // Model the Send routine: the queues flush when the CPU frees up, so
+        // messages accumulate while the node is busy — which is exactly when
+        // semantic aggregation finds multiple pending messages (§3.2).
+        let quantum = self.params.flush_quantum;
+        let n = &mut self.nodes[node as usize];
+        if let Comms::Gossip(g) = &n.comms {
+            if g.has_outgoing() && !n.flush_scheduled {
+                n.flush_scheduled = true;
+                let at = n.cpu.busy_until().min(now + quantum).max(now);
+                self.queue.schedule(at, Event::Flush { node });
+            }
+        }
+    }
+
+    fn harvest_decisions(&mut self, node: u32, now: SimTime) {
+        let decided = self.nodes[node as usize].paxos.take_decisions();
+        if decided.is_empty() {
+            return;
+        }
+        if let Some(timer) = self.nodes[node as usize].timer.as_mut() {
+            timer.on_progress(now.as_nanos());
+        }
+        let is_attach = self.clients.iter().any(|c| c.attach == node);
+        for (instance, value) in decided {
+            self.tracer
+                .record(now, node, TraceKind::Delivered { item: instance.as_u64() });
+            self.nodes[node as usize]
+                .delivered_log
+                .push((instance, value.id()));
+            // The client of this process measures latency when its own
+            // value is delivered in total order (§4.2).
+            if is_attach && value.id().origin.as_u32() == node {
+                if let Some(t) = self.tracked.get_mut(&value.id()) {
+                    if t.ordered_at.is_none() {
+                        t.ordered_at = Some(now);
+                    }
+                }
+            }
+        }
+        // Periodically GC the semantic layer's per-peer summaries.
+        let watermark = self.nodes[node as usize].paxos.learner().next_to_deliver();
+        if watermark.as_u64() % 256 == 0 {
+            if let Comms::Gossip(g) = &mut self.nodes[node as usize].comms {
+                let keep = InstanceId::new(watermark.as_u64().saturating_sub(1024));
+                g.semantics_mut().gc(keep);
+            }
+        }
+    }
+
+    fn send_physical(&mut self, from: u32, to: u32, msg: PaxosMessage, now: SimTime) {
+        let size = msg.wire_size();
+        if from == to {
+            // Local loop-back (direct mode self-delivery): no link, no send
+            // cost — the message is handled as soon as the CPU allows.
+            self.queue
+                .schedule(now, Event::Arrival { dst: to, from, msg });
+            return;
+        }
+        let node = &mut self.nodes[from as usize];
+        node.raw_sent += 1;
+        let send_cost = self.params.cpu.send.service_time(size);
+        let departs = node.cpu.admit_work(now, send_cost);
+        let base = self.regions.one_way(from as usize, to as usize);
+        let link = simnet::LinkConfig::reliable(base);
+        let delay = link.sample_delay(&mut self.link_rng);
+        self.queue
+            .schedule(departs + delay, Event::Arrival { dst: to, from, msg });
+    }
+
+    fn collect(mut self) -> RunMetrics {
+        let mut metrics = RunMetrics::new(
+            self.params.setup.name(),
+            self.params.n,
+            self.params.rate,
+            self.params.window,
+        );
+
+        for (id, t) in &self.tracked {
+            let fate = ValueFate {
+                value: *id,
+                region_slot: t.region_slot,
+                submitted_at: t.submitted_at,
+                ordered_at: t.ordered_at,
+                in_window: t.in_window,
+            };
+            metrics.record_value(&fate);
+        }
+
+        // Safety audit: all delivered logs must agree on a common prefix.
+        metrics.safety_ok = self.audit_safety();
+
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            metrics.record_node(
+                i,
+                node.raw_received,
+                node.raw_sent,
+                match &node.comms {
+                    Comms::Gossip(g) => Some(*g.stats()),
+                    Comms::Direct => None,
+                },
+            );
+        }
+        metrics.received_by_kind = self.received_by_kind;
+        if self.tracer.is_enabled() {
+            metrics.trace = Some(self.tracer.render());
+        }
+        metrics.seed = self.params.seed;
+        metrics
+    }
+
+    fn audit_safety(&self) -> bool {
+        let reference: &Vec<(InstanceId, ValueId)> = self
+            .nodes
+            .iter()
+            .map(|n| &n.delivered_log)
+            .max_by_key(|log| log.len())
+            .expect("at least one node");
+        self.nodes.iter().all(|n| {
+            n.delivered_log
+                .iter()
+                .zip(reference.iter())
+                .all(|(a, b)| a == b)
+        })
+    }
+}
+
+/// Runs one simulated experiment execution and returns its measurements.
+///
+/// Deterministic: identical `params` (including seed) produce identical
+/// metrics.
+///
+/// # Panics
+///
+/// Panics if the parameters are inconsistent (zero processes, non-positive
+/// rate, gossip setup whose overlay has the wrong size).
+pub fn run_cluster(params: &ClusterParams) -> RunMetrics {
+    if let Some(g) = &params.overlay {
+        assert_eq!(g.len(), params.n, "overlay size must match the cluster");
+    }
+    Cluster::build(params.clone()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n: usize, setup: Setup, rate: f64) -> RunMetrics {
+        let params = ClusterParams::paper(n, setup)
+            .with_rate(rate)
+            .with_seconds(2.0, 1.0);
+        run_cluster(&params)
+    }
+
+    #[test]
+    fn baseline_orders_everything_at_low_load() {
+        let m = quick(13, Setup::Baseline, 13.0);
+        assert!(m.safety_ok);
+        assert_eq!(m.not_ordered_in_window, 0, "{m:?}");
+        assert!(m.ordered > 0);
+        assert!(m.latency_stats().0 > SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn gossip_orders_everything_at_low_load() {
+        let m = quick(13, Setup::Gossip, 13.0);
+        assert!(m.safety_ok);
+        assert_eq!(m.not_ordered_in_window, 0);
+    }
+
+    #[test]
+    fn semantic_gossip_orders_everything_at_low_load() {
+        let m = quick(13, Setup::SemanticGossip, 13.0);
+        assert!(m.safety_ok);
+        assert_eq!(m.not_ordered_in_window, 0);
+    }
+
+    #[test]
+    fn gossip_latency_exceeds_baseline() {
+        let b = quick(13, Setup::Baseline, 13.0);
+        let g = quick(13, Setup::Gossip, 13.0);
+        assert!(
+            g.latency_stats().0 > b.latency_stats().0,
+            "gossip {:?} vs baseline {:?}",
+            g.latency_stats().0,
+            b.latency_stats().0
+        );
+    }
+
+    #[test]
+    fn semantic_gossip_reduces_received_messages() {
+        let g = quick(13, Setup::Gossip, 40.0);
+        let s = quick(13, Setup::SemanticGossip, 40.0);
+        assert!(
+            s.gossip_received() < g.gossip_received(),
+            "semantic {} vs classic {}",
+            s.gossip_received(),
+            g.gossip_received()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = quick(13, Setup::SemanticGossip, 26.0);
+        let b = quick(13, Setup::SemanticGossip, 26.0);
+        assert_eq!(a.ordered, b.ordered);
+        assert_eq!(a.latency_stats(), b.latency_stats());
+        assert_eq!(a.gossip_received(), b.gossip_received());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick(13, Setup::Gossip, 26.0);
+        let params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(26.0)
+            .with_seconds(2.0, 1.0)
+            .with_seed(99);
+        let b = run_cluster(&params);
+        assert_ne!(a.gossip_received(), b.gossip_received());
+    }
+
+    #[test]
+    fn injected_loss_loses_values_without_timeouts() {
+        let params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(26.0)
+            .with_seconds(2.0, 1.0)
+            .with_loss(0.4);
+        let m = run_cluster(&params);
+        assert!(m.safety_ok, "loss must never break safety");
+        assert!(
+            m.not_ordered_in_window > 0,
+            "40% loss should lose some values"
+        );
+    }
+
+    #[test]
+    fn moderate_loss_is_masked_by_gossip_redundancy() {
+        let params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(13.0)
+            .with_seconds(2.0, 1.0)
+            .with_loss(0.05);
+        let m = run_cluster(&params);
+        assert_eq!(m.not_ordered_in_window, 0, "5% loss should be masked");
+    }
+
+    #[test]
+    fn enforced_overlay_is_used() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = connected_k_out(13, 2, &mut rng, 50).unwrap();
+        let params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(13.0)
+            .with_seconds(1.0, 1.0)
+            .with_overlay(g);
+        let m = run_cluster(&params);
+        assert!(m.safety_ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlay size")]
+    fn mismatched_overlay_panics() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = connected_k_out(10, 2, &mut rng, 50).unwrap();
+        let params = ClusterParams::paper(13, Setup::Gossip).with_overlay(g);
+        run_cluster(&params);
+    }
+
+    #[test]
+    fn bloom_dedup_also_works() {
+        let mut params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(13.0)
+            .with_seconds(2.0, 1.0);
+        params.dedup = DedupKind::SlidingBloom;
+        let m = run_cluster(&params);
+        assert!(m.safety_ok);
+        assert_eq!(m.not_ordered_in_window, 0);
+    }
+
+    #[test]
+    fn tracing_captures_deliveries_and_drops() {
+        let mut params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(13.0)
+            .with_seconds(1.5, 0.75)
+            .with_loss(0.1);
+        params.trace_capacity = 1 << 16;
+        let m = run_cluster(&params);
+        let trace = m.trace.expect("tracing enabled");
+        assert!(trace.contains("delivered #"), "no deliveries traced");
+        assert!(trace.contains("injected loss"), "no drops traced");
+        // Tracing must not perturb the run.
+        let mut without = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(13.0)
+            .with_seconds(1.5, 0.75)
+            .with_loss(0.1);
+        without.trace_capacity = 0;
+        let w = run_cluster(&without);
+        assert_eq!(w.ordered, m.ordered);
+        assert!(w.trace.is_none());
+    }
+
+    #[test]
+    fn votes_dominate_gossip_traffic() {
+        // §4.3 attributes gossip's redundancy mostly to Phase 2b votes.
+        let m = quick(13, Setup::Gossip, 40.0);
+        let (kind, count) = m.dominant_received_kind();
+        assert_eq!(kind, paxos::message::Kind::Phase2b, "dominant: {kind:?} x{count}");
+    }
+
+    #[test]
+    fn aggregated_votes_appear_under_semantic_gossip() {
+        let m = quick(13, Setup::SemanticGossip, 40.0);
+        let agg = m.received_by_kind[paxos::message::Kind::Phase2bAggregated.index()];
+        assert!(agg > 0, "aggregated votes should travel under load");
+    }
+
+    #[test]
+    fn flush_quantum_bounds_aggregation() {
+        // A longer accumulation window lets aggregation merge more votes.
+        let base = ClusterParams::paper(13, Setup::SemanticGossip)
+            .with_rate(60.0)
+            .with_seconds(2.0, 1.0);
+        let mut short = base.clone();
+        short.flush_quantum = SimDuration::from_micros(50);
+        let mut long = base;
+        long.flush_quantum = SimDuration::from_millis(50);
+        let short = run_cluster(&short);
+        let long = run_cluster(&long);
+        assert!(short.safety_ok && long.safety_ok);
+        assert!(
+            long.gossip.aggregated_away.get() > short.gossip.aggregated_away.get(),
+            "longer quantum must aggregate more: {} vs {}",
+            long.gossip.aggregated_away.get(),
+            short.gossip.aggregated_away.get()
+        );
+    }
+
+    #[test]
+    fn crash_window_silences_process() {
+        // Crash every non-coordinator process in one region slot; values
+        // submitted at a crashed attach process during the window are lost.
+        let params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(26.0)
+            .with_seconds(2.0, 1.0)
+            .with_crash(5, SimDuration::from_millis(1200), SimDuration::from_millis(2500));
+        let m = run_cluster(&params);
+        assert!(m.safety_ok);
+        // Client 5's submissions during the crash are not ordered.
+        assert!(m.not_ordered_in_window > 0);
+        // But the rest of the system kept going.
+        assert!(m.ordered > m.not_ordered_in_window);
+    }
+
+    #[test]
+    fn retransmission_heals_heavy_loss() {
+        let base = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(13.0)
+            .with_seconds(3.0, 1.0)
+            .with_loss(0.35);
+        let without = run_cluster(&base);
+        let mut with = base.clone();
+        with.retransmit = Some(SimDuration::from_millis(500));
+        let with = run_cluster(&with);
+        assert!(
+            with.not_ordered_in_window <= without.not_ordered_in_window,
+            "retransmission should not hurt: {} vs {}",
+            with.not_ordered_in_window,
+            without.not_ordered_in_window
+        );
+    }
+}

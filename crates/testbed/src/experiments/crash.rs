@@ -1,0 +1,207 @@
+//! Extension experiment: crash-recovery and coordinator failover.
+//!
+//! The paper adopts the crash-recovery failure model (§2.1) but only
+//! evaluates message loss. This experiment exercises the model end-to-end
+//! on the gossip setups:
+//!
+//! 1. **acceptor crashes** — a minority of non-coordinator processes crash
+//!    mid-run and later recover from stable storage; consensus must keep
+//!    ordering every value (a majority stays up);
+//! 2. **coordinator crash without failover** — ordering stalls for values
+//!    submitted after the crash;
+//! 3. **coordinator crash with failover** — the round-change timer makes
+//!    the next process take over (Phase 1 re-proposes, §2.3) and ordering
+//!    resumes.
+
+use simnet::SimDuration;
+
+use crate::cluster::{run_cluster, ClusterParams, Setup};
+use crate::experiments::Preset;
+use crate::report::{pct, Table};
+
+/// Parameters of the crash experiment.
+#[derive(Debug, Clone)]
+pub struct CrashParams {
+    /// System size.
+    pub n: usize,
+    /// Setup (must be a gossip setup).
+    pub setup: Setup,
+    /// Workload (values/s).
+    pub rate: f64,
+    /// Measurement window / warm-up (seconds).
+    pub seconds: (f64, f64),
+    /// Round-change timeout for the failover scenario.
+    pub failover_timeout: SimDuration,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl CrashParams {
+    /// Preset-scaled parameters.
+    pub fn preset(preset: Preset) -> Self {
+        let n = match preset {
+            Preset::Quick => 27,
+            Preset::Full => 53,
+        };
+        CrashParams {
+            n,
+            setup: Setup::SemanticGossip,
+            rate: 26.0,
+            seconds: (4.0, 1.0),
+            failover_timeout: SimDuration::from_millis(600),
+            seed: 13,
+        }
+    }
+}
+
+/// One scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label.
+    pub name: String,
+    /// In-window submissions.
+    pub submitted: u64,
+    /// Values ordered.
+    pub ordered: u64,
+    /// Fraction of values never ordered.
+    pub not_ordered: f64,
+}
+
+/// The crash-experiment dataset.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// The three scenarios plus the fail-free control.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// Runs the four scenarios.
+pub fn run(params: &CrashParams) -> CrashReport {
+    assert!(params.setup.uses_gossip(), "crash experiment targets gossip setups");
+    assert!(params.n >= 15, "need enough processes for a crashable minority");
+    let base = || {
+        ClusterParams::paper(params.n, params.setup)
+            .with_rate(params.rate)
+            .with_seconds(params.seconds.0, params.seconds.1)
+            .with_seed(params.seed)
+    };
+    let down_from = SimDuration::from_secs_f64(params.seconds.1 + 0.5);
+    let up_at = down_from + SimDuration::from_secs_f64(params.seconds.0 * 0.5);
+    let never_up = down_from + SimDuration::from_secs(3600);
+
+    let mut scenarios = Vec::new();
+    let mut push = |name: &str, p: ClusterParams| {
+        let m = run_cluster(&p);
+        assert!(m.safety_ok, "{name}: replicas diverged");
+        scenarios.push(Scenario {
+            name: name.to_string(),
+            submitted: m.submitted_in_window,
+            ordered: m.ordered,
+            not_ordered: m.not_ordered_fraction(),
+        });
+    };
+
+    push("fail-free control", base());
+    // A crashable minority of high-id processes (never the coordinator or a
+    // client attach point, which are the 13 lowest ids). A fifth of the
+    // system: enough to matter, small enough that the random overlay stays
+    // connected among the survivors — gossip tolerates crashes only while
+    // the live overlay is connected (§2.2).
+    let mut minority = base();
+    let crashed = (params.n / 5).clamp(1, params.n - 14);
+    for i in 0..crashed {
+        minority = minority.with_crash((params.n - 1 - i) as u32, down_from, up_at);
+    }
+    push(
+        &format!("{crashed} acceptors crash+recover"),
+        minority,
+    );
+    push(
+        "coordinator crashes, no failover",
+        base().with_crash(0, down_from, never_up),
+    );
+    push(
+        "coordinator crashes, failover",
+        base()
+            .with_crash(0, down_from, never_up)
+            .with_failover(params.failover_timeout),
+    );
+
+    CrashReport { scenarios }
+}
+
+impl CrashReport {
+    /// Looks up a scenario by name prefix.
+    pub fn scenario(&self, prefix: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name.starts_with(prefix))
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["scenario", "submitted", "ordered", "not ordered"]);
+        for s in &self.scenarios {
+            t.row(vec![
+                s.name.clone(),
+                s.submitted.to_string(),
+                s.ordered.to_string(),
+                pct(s.not_ordered),
+            ]);
+        }
+        format!(
+            "Crash-recovery and coordinator failover (extension experiment).\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CrashParams {
+        CrashParams {
+            n: 17,
+            setup: Setup::SemanticGossip,
+            rate: 13.0,
+            seconds: (3.0, 0.5),
+            failover_timeout: SimDuration::from_millis(400),
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn minority_crash_does_not_lose_values() {
+        let report = run(&tiny());
+        let control = report.scenario("fail-free").unwrap();
+        assert_eq!(control.not_ordered, 0.0);
+        let minority = report.scenario("3 acceptors").unwrap();
+        assert_eq!(
+            minority.not_ordered, 0.0,
+            "a crashed minority must not block consensus"
+        );
+    }
+
+    #[test]
+    fn failover_restores_progress_after_coordinator_crash() {
+        let report = run(&tiny());
+        let stalled = report.scenario("coordinator crashes, no failover").unwrap();
+        let failover = report.scenario("coordinator crashes, failover").unwrap();
+        assert!(
+            stalled.not_ordered > 0.3,
+            "without failover most post-crash values stall: {}",
+            stalled.not_ordered
+        );
+        assert!(
+            failover.ordered > stalled.ordered,
+            "failover must order more ({} vs {})",
+            failover.ordered,
+            stalled.ordered
+        );
+    }
+
+    #[test]
+    fn render_lists_scenarios() {
+        let rendered = run(&tiny()).render();
+        assert!(rendered.contains("failover"));
+        assert!(rendered.contains("fail-free control"));
+    }
+}

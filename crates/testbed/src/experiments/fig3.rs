@@ -1,0 +1,207 @@
+//! Figure 3: overall performance — latency vs. throughput curves for
+//! Baseline, Gossip and Semantic Gossip at each system size, with the
+//! saturation point of each curve highlighted.
+
+use simnet::SimDuration;
+
+use crate::cluster::{run_cluster, ClusterParams, CpuCosts, Setup};
+use crate::experiments::{estimated_saturation, Preset};
+use crate::report::{ms, Table};
+use crate::sweep::{rate_ladder, saturation_point, SweepPoint};
+
+/// Parameters of the Figure 3 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig3Params {
+    /// System sizes to evaluate.
+    pub sizes: Vec<usize>,
+    /// Setups to compare.
+    pub setups: Vec<Setup>,
+    /// Points per workload sweep.
+    pub sweep_steps: usize,
+    /// Measurement window / warm-up (seconds).
+    pub seconds: (f64, f64),
+    /// Value payload size.
+    pub value_size: usize,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Fig3Params {
+    /// Preset-scaled parameters.
+    pub fn preset(preset: Preset) -> Self {
+        Fig3Params {
+            sizes: preset.sizes(),
+            setups: vec![Setup::Baseline, Setup::Gossip, Setup::SemanticGossip],
+            sweep_steps: preset.sweep_steps(),
+            seconds: preset.seconds(),
+            value_size: 1024,
+            seed: 1,
+        }
+    }
+}
+
+/// One swept curve: a setup at a system size.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// System size.
+    pub n: usize,
+    /// Setup display name.
+    pub setup: String,
+    /// The swept points, in increasing offered rate.
+    pub points: Vec<SweepPoint>,
+    /// Index of the saturation point within `points`.
+    pub saturation: Option<usize>,
+}
+
+impl Curve {
+    /// The saturation point itself, if detected.
+    pub fn saturation_point(&self) -> Option<&SweepPoint> {
+        self.saturation.map(|i| &self.points[i])
+    }
+
+    /// Average latency at the lowest offered rate.
+    pub fn low_load_latency(&self) -> Option<SimDuration> {
+        self.points.first().map(|p| p.latency)
+    }
+}
+
+/// The Figure 3 dataset: one curve per (size, setup).
+#[derive(Debug, Clone)]
+pub struct Fig3Report {
+    /// All curves, grouped by size in `params.sizes` order.
+    pub curves: Vec<Curve>,
+}
+
+/// Runs the Figure 3 sweeps.
+///
+/// Each setup is swept over its own geometric rate ladder aimed at ~2× its
+/// estimated saturation, so every curve exhibits its knee.
+pub fn run(params: &Fig3Params) -> Fig3Report {
+    let cpu = CpuCosts::default();
+    let mut curves = Vec::new();
+    for &n in &params.sizes {
+        // The same enforced overlay for Gossip and Semantic Gossip (§4.2).
+        let overlay = {
+            let mut rng = simnet::SeedSplitter::new(params.seed).rng("fig3-overlay", n as u64);
+            overlay::connected_k_out(n, overlay::paper_fanout(n), &mut rng, 100)
+                .expect("connected overlay")
+        };
+        for &setup in &params.setups {
+            let est = estimated_saturation(n, setup, &cpu, params.value_size);
+            let ladder = rate_ladder((est * 0.15).max(2.0), est * 2.0, params.sweep_steps);
+            let mut points = Vec::new();
+            for rate in ladder {
+                let mut p = ClusterParams::paper(n, setup)
+                    .with_rate(rate)
+                    .with_seconds(params.seconds.0, params.seconds.1)
+                    .with_seed(params.seed);
+                p.value_size = params.value_size;
+                if setup.uses_gossip() {
+                    p = p.with_overlay(overlay.clone());
+                }
+                let m = run_cluster(&p);
+                assert!(m.safety_ok, "safety violated at n={n} {setup:?} rate={rate}");
+                points.push(SweepPoint {
+                    rate,
+                    throughput: m.throughput(),
+                    latency: m.latency_stats().0,
+                });
+            }
+            let saturation = saturation_point(&points);
+            curves.push(Curve {
+                n,
+                setup: setup.name().to_string(),
+                points,
+                saturation,
+            });
+        }
+    }
+    Fig3Report { curves }
+}
+
+impl Fig3Report {
+    /// Finds a curve by size and setup name.
+    pub fn curve(&self, n: usize, setup: &str) -> Option<&Curve> {
+        self.curves.iter().find(|c| c.n == n && c.setup == setup)
+    }
+
+    /// The plotted series as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "n",
+            "setup",
+            "offered/s",
+            "throughput/s",
+            "avg latency (ms)",
+            "saturation",
+        ]);
+        for c in &self.curves {
+            for (i, p) in c.points.iter().enumerate() {
+                t.row(vec![
+                    c.n.to_string(),
+                    c.setup.clone(),
+                    format!("{:.1}", p.rate),
+                    format!("{:.1}", p.throughput),
+                    ms(p.latency),
+                    if Some(i) == c.saturation { "<== knee".into() } else { String::new() },
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Renders all curves as one table (the plotted series).
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 3. Overall performance (latency vs throughput), 1KB values.\n{}",
+            self.table().render()
+        )
+    }
+
+    /// The series as CSV (for external plotting).
+    pub fn to_csv(&self) -> String {
+        self.table().to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig3Params {
+        Fig3Params {
+            sizes: vec![13],
+            setups: vec![Setup::Baseline, Setup::Gossip, Setup::SemanticGossip],
+            sweep_steps: 3,
+            seconds: (1.5, 0.75),
+            value_size: 1024,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn produces_one_curve_per_setup_and_size() {
+        let report = run(&tiny());
+        assert_eq!(report.curves.len(), 3);
+        for c in &report.curves {
+            assert_eq!(c.points.len(), 3);
+            assert!(c.saturation.is_some());
+        }
+    }
+
+    #[test]
+    fn gossip_low_load_latency_exceeds_baseline() {
+        let report = run(&tiny());
+        let b = report.curve(13, "Baseline").unwrap().low_load_latency().unwrap();
+        let g = report.curve(13, "Gossip").unwrap().low_load_latency().unwrap();
+        assert!(g > b, "gossip {g} should exceed baseline {b}");
+    }
+
+    #[test]
+    fn render_mentions_every_setup() {
+        let rendered = run(&tiny()).render();
+        for name in ["Baseline", "Gossip", "Semantic Gossip", "knee"] {
+            assert!(rendered.contains(name), "missing {name}");
+        }
+    }
+}

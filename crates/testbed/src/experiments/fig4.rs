@@ -1,0 +1,135 @@
+//! Figure 4: throughput at the saturation point for every setup and system
+//! size, normalized by the Baseline.
+
+use crate::experiments::fig3::Fig3Report;
+use crate::report::Table;
+
+/// One bar of Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// System size.
+    pub n: usize,
+    /// Setup display name.
+    pub setup: String,
+    /// Absolute saturation throughput (decided values/s).
+    pub throughput: f64,
+    /// Throughput normalized by the Baseline's at the same size.
+    pub normalized: f64,
+}
+
+/// The Figure 4 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig4Report {
+    /// All bars, grouped by system size.
+    pub bars: Vec<Bar>,
+}
+
+/// Derives Figure 4 from the Figure 3 sweeps (the paper does the same: the
+/// bars are the highlighted saturation points of Figure 3, normalized).
+pub fn from_fig3(fig3: &Fig3Report) -> Fig4Report {
+    let mut bars = Vec::new();
+    let mut sizes: Vec<usize> = fig3.curves.iter().map(|c| c.n).collect();
+    sizes.dedup();
+    for n in sizes {
+        let baseline = fig3
+            .curve(n, "Baseline")
+            .and_then(|c| c.saturation_point())
+            .map(|p| p.throughput);
+        for c in fig3.curves.iter().filter(|c| c.n == n) {
+            let Some(p) = c.saturation_point() else {
+                continue;
+            };
+            let normalized = match baseline {
+                Some(b) if b > 0.0 => p.throughput / b,
+                _ => 1.0,
+            };
+            bars.push(Bar {
+                n,
+                setup: c.setup.clone(),
+                throughput: p.throughput,
+                normalized,
+            });
+        }
+    }
+    Fig4Report { bars }
+}
+
+impl Fig4Report {
+    /// Finds a bar.
+    pub fn bar(&self, n: usize, setup: &str) -> Option<&Bar> {
+        self.bars.iter().find(|b| b.n == n && b.setup == setup)
+    }
+
+    /// Renders the bars.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["n", "setup", "throughput/s", "normalized"]);
+        for b in &self.bars {
+            t.row(vec![
+                b.n.to_string(),
+                b.setup.clone(),
+                format!("{:.1}", b.throughput),
+                format!("{:.2}", b.normalized),
+            ]);
+        }
+        format!(
+            "Figure 4. Normalized throughput at the saturation point.\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig3::{Curve, Fig3Report};
+    use crate::sweep::SweepPoint;
+    use simnet::SimDuration;
+
+    fn curve(n: usize, setup: &str, tput: f64) -> Curve {
+        Curve {
+            n,
+            setup: setup.to_string(),
+            points: vec![SweepPoint {
+                rate: tput,
+                throughput: tput,
+                latency: SimDuration::from_millis(100),
+            }],
+            saturation: Some(0),
+        }
+    }
+
+    fn fake_fig3() -> Fig3Report {
+        Fig3Report {
+            curves: vec![
+                curve(13, "Baseline", 100.0),
+                curve(13, "Gossip", 40.0),
+                curve(13, "Semantic Gossip", 60.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn normalizes_by_baseline() {
+        let report = from_fig3(&fake_fig3());
+        assert_eq!(report.bars.len(), 3);
+        assert_eq!(report.bar(13, "Baseline").unwrap().normalized, 1.0);
+        assert!((report.bar(13, "Gossip").unwrap().normalized - 0.4).abs() < 1e-12);
+        assert!((report.bar(13, "Semantic Gossip").unwrap().normalized - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renders_absolute_and_normalized() {
+        let rendered = from_fig3(&fake_fig3()).render();
+        assert!(rendered.contains("normalized"));
+        assert!(rendered.contains("100.0"));
+        assert!(rendered.contains("0.40"));
+    }
+
+    #[test]
+    fn missing_baseline_defaults_to_one() {
+        let report = from_fig3(&Fig3Report {
+            curves: vec![curve(13, "Gossip", 40.0)],
+        });
+        assert_eq!(report.bar(13, "Gossip").unwrap().normalized, 1.0);
+    }
+}

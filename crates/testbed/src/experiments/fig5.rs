@@ -1,0 +1,200 @@
+//! Figure 5: cumulative distribution of client latencies in the three
+//! setups, at the largest system size, under the biggest workload that
+//! saturates none of them.
+
+use simnet::SimDuration;
+
+use crate::cluster::{run_cluster, ClusterParams, CpuCosts, Setup};
+use crate::experiments::{estimated_saturation, Preset};
+use crate::report::{ms, Table};
+
+/// Parameters of the Figure 5 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5Params {
+    /// System size (the paper uses n = 105).
+    pub n: usize,
+    /// Setups to compare.
+    pub setups: Vec<Setup>,
+    /// Workload (values/s); `None` picks 80% of the slowest setup's
+    /// estimated saturation, mirroring the paper's "biggest workload under
+    /// which the protocol is not yet saturated in the three setups".
+    pub rate: Option<f64>,
+    /// Measurement window / warm-up (seconds).
+    pub seconds: (f64, f64),
+    /// Number of CDF points per curve.
+    pub cdf_points: usize,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Fig5Params {
+    /// Preset-scaled parameters.
+    pub fn preset(preset: Preset) -> Self {
+        Fig5Params {
+            n: *preset.sizes().last().expect("preset has sizes"),
+            setups: vec![Setup::Baseline, Setup::Gossip, Setup::SemanticGossip],
+            rate: None,
+            seconds: preset.seconds(),
+            cdf_points: 50,
+            seed: 1,
+        }
+    }
+}
+
+/// One latency distribution.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    /// Setup display name.
+    pub setup: String,
+    /// Average latency (the figure's legend).
+    pub mean: SimDuration,
+    /// Standard deviation (the figure's legend).
+    pub std_dev: SimDuration,
+    /// 99.9th percentile (tail comparison, §4.4).
+    pub p999: SimDuration,
+    /// The CDF as `(cumulative fraction, latency)` pairs.
+    pub cdf: Vec<(f64, SimDuration)>,
+}
+
+/// The Figure 5 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig5Report {
+    /// System size.
+    pub n: usize,
+    /// The common workload.
+    pub rate: f64,
+    /// One distribution per setup.
+    pub distributions: Vec<Distribution>,
+}
+
+/// Runs the Figure 5 experiment.
+pub fn run(params: &Fig5Params) -> Fig5Report {
+    let cpu = CpuCosts::default();
+    let rate = params.rate.unwrap_or_else(|| {
+        params
+            .setups
+            .iter()
+            .map(|&s| estimated_saturation(params.n, s, &cpu, 1024))
+            .fold(f64::INFINITY, f64::min)
+            * 0.8
+    });
+    let overlay = {
+        let mut rng = simnet::SeedSplitter::new(params.seed).rng("fig5-overlay", params.n as u64);
+        overlay::connected_k_out(params.n, overlay::paper_fanout(params.n), &mut rng, 100)
+            .expect("connected overlay")
+    };
+    let distributions = params
+        .setups
+        .iter()
+        .map(|&setup| {
+            let mut p = ClusterParams::paper(params.n, setup)
+                .with_rate(rate)
+                .with_seconds(params.seconds.0, params.seconds.1)
+                .with_seed(params.seed);
+            if setup.uses_gossip() {
+                p = p.with_overlay(overlay.clone());
+            }
+            let mut m = run_cluster(&p);
+            assert!(m.safety_ok);
+            let (mean, std_dev) = m.latency_stats();
+            Distribution {
+                setup: setup.name().to_string(),
+                mean,
+                std_dev,
+                p999: m.latency.percentile(99.9).unwrap_or(SimDuration::ZERO),
+                cdf: m.latency.cdf(params.cdf_points),
+            }
+        })
+        .collect();
+    Fig5Report {
+        n: params.n,
+        rate,
+        distributions,
+    }
+}
+
+impl Fig5Report {
+    /// Finds a distribution by setup name.
+    pub fn distribution(&self, setup: &str) -> Option<&Distribution> {
+        self.distributions.iter().find(|d| d.setup == setup)
+    }
+
+    /// The CDF series as a table.
+    pub fn cdf_table(&self) -> Table {
+        let mut cdf = Table::new(vec!["fraction", "setup", "latency (ms)"]);
+        for d in &self.distributions {
+            for (frac, lat) in &d.cdf {
+                cdf.row(vec![format!("{frac:.3}"), d.setup.clone(), ms(*lat)]);
+            }
+        }
+        cdf
+    }
+
+    /// Renders the legend and the CDF series.
+    pub fn render(&self) -> String {
+        let mut legend = Table::new(vec!["setup", "avg (ms)", "stddev (ms)", "p99.9 (ms)"]);
+        for d in &self.distributions {
+            legend.row(vec![
+                d.setup.clone(),
+                ms(d.mean),
+                ms(d.std_dev),
+                ms(d.p999),
+            ]);
+        }
+        format!(
+            "Figure 5. Latency CDFs, n = {}, workload {:.1}/s.\n{}\n{}",
+            self.n,
+            self.rate,
+            legend.render(),
+            self.cdf_table().render()
+        )
+    }
+
+    /// The CDF series as CSV (for external plotting).
+    pub fn to_csv(&self) -> String {
+        self.cdf_table().to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig5Params {
+        Fig5Params {
+            n: 13,
+            setups: vec![Setup::Baseline, Setup::Gossip, Setup::SemanticGossip],
+            rate: Some(15.0),
+            seconds: (2.0, 1.0),
+            cdf_points: 10,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn produces_distributions_with_monotone_cdfs() {
+        let report = run(&tiny());
+        assert_eq!(report.distributions.len(), 3);
+        for d in &report.distributions {
+            assert_eq!(d.cdf.len(), 10);
+            assert!(d.cdf.windows(2).all(|w| w[1].1 >= w[0].1));
+            assert!(d.p999 >= d.mean);
+        }
+    }
+
+    #[test]
+    fn baseline_latency_varies_more_across_regions() {
+        // §4.4: the standard deviation of latencies is lower in the gossip
+        // setups than in Baseline.
+        let report = run(&tiny());
+        let b = report.distribution("Baseline").unwrap();
+        assert!(b.std_dev > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn renders_legend_and_series() {
+        let rendered = run(&tiny()).render();
+        assert!(rendered.contains("stddev"));
+        assert!(rendered.contains("Semantic Gossip"));
+    }
+}

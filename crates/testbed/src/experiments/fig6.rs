@@ -1,0 +1,210 @@
+//! Figure 6: reliability under injected message loss.
+//!
+//! Messages received by a process are randomly discarded at increasing
+//! rates while Paxos's timeout-triggered recovery stays disabled; the metric
+//! is the portion of submitted values never ordered, aggregated over several
+//! seeded executions per cell (§4.5).
+
+use crate::cluster::{run_cluster, ClusterParams, CpuCosts, Setup};
+use crate::experiments::{estimated_saturation, Preset};
+use crate::report::{pct, Table};
+use crate::sweep::rate_ladder;
+
+/// Parameters of the Figure 6 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig6Params {
+    /// System size (the paper uses n = 105 in the emulated environment).
+    pub n: usize,
+    /// Setups to compare (the paper: Gossip and Semantic Gossip).
+    pub setups: Vec<Setup>,
+    /// Injected receive-side loss rates (x axis).
+    pub loss_rates: Vec<f64>,
+    /// Workloads in values/s (y axis); `None` derives a ladder up to the
+    /// Gossip setup's estimated saturation.
+    pub rates: Option<Vec<f64>>,
+    /// Seeded executions per cell (the paper runs 10).
+    pub seeds: usize,
+    /// Measurement window / warm-up (seconds).
+    pub seconds: (f64, f64),
+}
+
+impl Fig6Params {
+    /// Preset-scaled parameters.
+    pub fn preset(preset: Preset) -> Self {
+        let (n, seeds) = match preset {
+            Preset::Quick => (27, 3),
+            Preset::Full => (105, 10),
+        };
+        Fig6Params {
+            n,
+            setups: vec![Setup::Gossip, Setup::SemanticGossip],
+            loss_rates: vec![0.0, 0.05, 0.10, 0.20, 0.30],
+            rates: None,
+            seeds,
+            seconds: preset.seconds(),
+        }
+    }
+}
+
+/// One heat-map cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Setup display name.
+    pub setup: String,
+    /// Offered workload (values/s).
+    pub rate: f64,
+    /// Injected loss rate.
+    pub loss: f64,
+    /// Portion of submitted values not ordered, aggregated over all seeds.
+    pub not_ordered: f64,
+}
+
+/// The Figure 6 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig6Report {
+    /// System size.
+    pub n: usize,
+    /// All cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the Figure 6 grid.
+pub fn run(params: &Fig6Params) -> Fig6Report {
+    let cpu = CpuCosts::default();
+    let rates = params.rates.clone().unwrap_or_else(|| {
+        let sat = estimated_saturation(params.n, Setup::Gossip, &cpu, 1024);
+        rate_ladder((sat * 0.25).max(2.0), sat, 3)
+    });
+    let mut cells = Vec::new();
+    for &setup in &params.setups {
+        for &rate in &rates {
+            for &loss in &params.loss_rates {
+                let mut submitted = 0u64;
+                let mut lost = 0u64;
+                for seed in 0..params.seeds {
+                    let p = ClusterParams::paper(params.n, setup)
+                        .with_rate(rate)
+                        .with_seconds(params.seconds.0, params.seconds.1)
+                        .with_loss(loss)
+                        .with_seed(1000 + seed as u64);
+                    let m = run_cluster(&p);
+                    assert!(m.safety_ok, "loss must never violate safety");
+                    submitted += m.submitted_in_window;
+                    lost += m.not_ordered_in_window;
+                }
+                cells.push(Cell {
+                    setup: setup.name().to_string(),
+                    rate,
+                    loss,
+                    not_ordered: if submitted == 0 {
+                        0.0
+                    } else {
+                        lost as f64 / submitted as f64
+                    },
+                });
+            }
+        }
+    }
+    Fig6Report { n: params.n, cells }
+}
+
+impl Fig6Report {
+    /// Looks up a cell.
+    pub fn cell(&self, setup: &str, rate: f64, loss: f64) -> Option<&Cell> {
+        self.cells.iter().find(|c| {
+            c.setup == setup && (c.rate - rate).abs() < 1e-9 && (c.loss - loss).abs() < 1e-9
+        })
+    }
+
+    /// Worst (largest) not-ordered portion at a given loss rate, per setup.
+    pub fn worst_at_loss(&self, setup: &str, loss: f64) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.setup == setup && (c.loss - loss).abs() < 1e-9)
+            .map(|c| c.not_ordered)
+            .fold(0.0, f64::max)
+    }
+
+    /// The grid as a table (blank cells = everything ordered).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["setup", "workload/s", "loss", "not ordered"]);
+        for c in &self.cells {
+            t.row(vec![
+                c.setup.clone(),
+                format!("{:.1}", c.rate),
+                pct(c.loss),
+                if c.not_ordered == 0.0 {
+                    String::new()
+                } else {
+                    pct(c.not_ordered)
+                },
+            ]);
+        }
+        t
+    }
+
+    /// The grid as CSV.
+    pub fn to_csv(&self) -> String {
+        self.table().to_csv()
+    }
+
+    /// Renders the grid (blank cells mean every value was ordered, like the
+    /// paper's white cells).
+    pub fn render(&self) -> String {
+        let t = self.table();
+        format!(
+            "Figure 6. Portion of submitted values not ordered under injected \
+             message loss (n = {}, timeouts disabled).\n{}",
+            self.n,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig6Params {
+        Fig6Params {
+            n: 13,
+            setups: vec![Setup::Gossip, Setup::SemanticGossip],
+            loss_rates: vec![0.0, 0.3],
+            rates: Some(vec![13.0]),
+            seeds: 2,
+            seconds: (1.5, 0.75),
+        }
+    }
+
+    #[test]
+    fn zero_loss_orders_everything() {
+        let report = run(&tiny());
+        assert_eq!(report.worst_at_loss("Gossip", 0.0), 0.0);
+        assert_eq!(report.worst_at_loss("Semantic Gossip", 0.0), 0.0);
+    }
+
+    #[test]
+    fn heavy_loss_loses_values() {
+        let report = run(&tiny());
+        assert!(
+            report.worst_at_loss("Gossip", 0.3) > 0.0
+                || report.worst_at_loss("Semantic Gossip", 0.3) > 0.0,
+            "30% loss with timeouts disabled should lose something"
+        );
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let report = run(&tiny());
+        // 2 setups x 1 rate x 2 losses.
+        assert_eq!(report.cells.len(), 4);
+        assert!(report.cell("Gossip", 13.0, 0.3).is_some());
+    }
+
+    #[test]
+    fn render_blanks_zero_cells() {
+        let rendered = run(&tiny()).render();
+        assert!(rendered.contains("not ordered"));
+        assert!(rendered.contains("30.0%")); // the loss column
+    }
+}

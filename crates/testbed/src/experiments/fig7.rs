@@ -1,0 +1,186 @@
+//! Figure 7: selecting the overlay enforced in the core experiments.
+//!
+//! 100 random overlays are generated; each is measured under minimal
+//! workload in the Gossip setup; overlays are totally ordered by
+//! `(median coordinator RTT, measured latency)` and the median one is
+//! selected (§4.6).
+
+use overlay::{connected_k_out, median_coordinator_rtt, paper_fanout, rank_overlays, topology_stats, Graph, OverlayMeasurement, TopologyStats};
+use simnet::{RegionMap, SeedSplitter};
+
+use crate::cluster::{run_cluster, ClusterParams, Setup};
+use crate::experiments::Preset;
+use crate::report::{ms, Table};
+
+/// Parameters of the Figure 7 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig7Params {
+    /// System size (the paper uses n = 105).
+    pub n: usize,
+    /// Number of random overlays (the paper uses 100).
+    pub overlays: usize,
+    /// Minimal workload (values/s).
+    pub rate: f64,
+    /// Measurement window / warm-up (seconds).
+    pub seconds: (f64, f64),
+    /// Base seed: overlay `i` is generated from `seed + i`.
+    pub seed: u64,
+}
+
+impl Fig7Params {
+    /// Preset-scaled parameters.
+    pub fn preset(preset: Preset) -> Self {
+        let (n, overlays, seconds) = match preset {
+            Preset::Quick => (27, 20, (2.0, 1.0)),
+            Preset::Full => (105, 100, (4.0, 1.0)),
+        };
+        Fig7Params {
+            n,
+            overlays,
+            rate: 13.0,
+            seconds,
+            seed: 40,
+        }
+    }
+}
+
+/// The Figure 7 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig7Report {
+    /// System size.
+    pub n: usize,
+    /// Overlay measurements ordered by the paper's total order.
+    pub ordered: Vec<OverlayMeasurement>,
+    /// Position of the selected (median) overlay in `ordered`.
+    pub selected: usize,
+    /// Structural summary of the selected overlay.
+    pub selected_topology: TopologyStats,
+}
+
+/// Generates the `i`-th candidate overlay for the given parameters —
+/// shared with Figure 8, which reuses the same 100 overlays.
+pub fn candidate_overlay(params: &Fig7Params, i: usize) -> Graph {
+    let seeds = SeedSplitter::new(params.seed);
+    let mut rng = seeds.rng("fig7-overlay", i as u64);
+    connected_k_out(params.n, paper_fanout(params.n), &mut rng, 100)
+        .expect("connected overlay")
+}
+
+/// Runs the Figure 7 experiment.
+pub fn run(params: &Fig7Params) -> Fig7Report {
+    let regions = RegionMap::paper_placement(params.n);
+    let mut measurements = Vec::with_capacity(params.overlays);
+    for i in 0..params.overlays {
+        let graph = candidate_overlay(params, i);
+        let median_rtt =
+            median_coordinator_rtt(&graph, &regions, 0).expect("overlay is connected");
+        let p = ClusterParams::paper(params.n, Setup::Gossip)
+            .with_rate(params.rate)
+            .with_seconds(params.seconds.0, params.seconds.1)
+            .with_seed(params.seed)
+            .with_overlay(graph);
+        let m = run_cluster(&p);
+        assert!(m.safety_ok);
+        measurements.push(OverlayMeasurement {
+            overlay_id: i,
+            median_rtt,
+            measured_latency: m.latency_stats().0,
+        });
+    }
+    let (ordered, selected) = rank_overlays(measurements).expect("at least one overlay");
+    let selected_topology = topology_stats(&candidate_overlay(params, ordered[selected].overlay_id));
+    Fig7Report {
+        n: params.n,
+        ordered,
+        selected,
+        selected_topology,
+    }
+}
+
+impl Fig7Report {
+    /// The selected overlay's measurement.
+    pub fn selected_measurement(&self) -> &OverlayMeasurement {
+        &self.ordered[self.selected]
+    }
+
+    /// Renders the scatter series and the selection.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "overlay",
+            "median RTT (ms)",
+            "avg latency (ms)",
+            "selected",
+        ]);
+        for (pos, m) in self.ordered.iter().enumerate() {
+            t.row(vec![
+                format!("#{}", m.overlay_id),
+                ms(m.median_rtt),
+                ms(m.measured_latency),
+                if pos == self.selected { "<== median".into() } else { String::new() },
+            ]);
+        }
+        let topo = &self.selected_topology;
+        format!(
+            "Figure 7. Gossip latency across {} random overlays (n = {}), \
+             ordered by (median coordinator RTT, latency).\n{}\
+             Selected overlay: mean degree {:.1}, diameter {} hops, \
+             mean path {:.2} hops.\n",
+            self.ordered.len(),
+            self.n,
+            t.render(),
+            topo.mean_degree,
+            topo.diameter_hops.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            topo.mean_path_hops.unwrap_or(0.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig7Params {
+        Fig7Params {
+            n: 13,
+            overlays: 5,
+            rate: 13.0,
+            seconds: (1.0, 0.5),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn orders_and_selects_median() {
+        let report = run(&tiny());
+        assert_eq!(report.ordered.len(), 5);
+        assert_eq!(report.selected, 2);
+        // Ordered by median RTT first.
+        assert!(report
+            .ordered
+            .windows(2)
+            .all(|w| w[0].median_rtt <= w[1].median_rtt));
+    }
+
+    #[test]
+    fn candidate_overlays_are_deterministic() {
+        let p = tiny();
+        assert_eq!(candidate_overlay(&p, 3), candidate_overlay(&p, 3));
+        assert_ne!(candidate_overlay(&p, 3), candidate_overlay(&p, 4));
+    }
+
+    #[test]
+    fn render_marks_the_selection() {
+        let rendered = run(&tiny()).render();
+        assert!(rendered.contains("<== median"));
+        assert!(rendered.contains("mean degree"));
+    }
+
+    #[test]
+    fn selected_topology_matches_design_point() {
+        let report = run(&tiny());
+        let topo = &report.selected_topology;
+        assert_eq!(topo.nodes, 13);
+        assert!(topo.mean_degree >= 3.0, "{}", topo.mean_degree);
+        assert!(topo.diameter_hops.is_some());
+    }
+}

@@ -1,0 +1,212 @@
+//! Figure 8: is Semantic Gossip's advantage tied to the particular overlay?
+//!
+//! The same random overlays as Figure 7 are re-run at a workload around the
+//! Gossip setup's saturation, in both Gossip and Semantic Gossip; latencies
+//! are aggregated by median coordinator RTT. The paper finds Semantic Gossip
+//! improves latency on *every* overlay, 11–39% (23% on average).
+
+use std::collections::BTreeMap;
+
+use overlay::median_coordinator_rtt;
+use simnet::{RegionMap, SimDuration};
+
+use crate::cluster::{run_cluster, ClusterParams, CpuCosts, Setup};
+use crate::experiments::fig7::{candidate_overlay, Fig7Params};
+use crate::experiments::{estimated_saturation, Preset};
+use crate::report::{ms, pct, Table};
+
+/// Parameters of the Figure 8 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig8Params {
+    /// The shared overlay-generation parameters (same overlays as Fig. 7).
+    pub overlays: Fig7Params,
+    /// Workload; `None` uses the Gossip setup's estimated saturation.
+    pub rate: Option<f64>,
+}
+
+impl Fig8Params {
+    /// Preset-scaled parameters.
+    pub fn preset(preset: Preset) -> Self {
+        Fig8Params {
+            overlays: Fig7Params::preset(preset),
+            rate: None,
+        }
+    }
+}
+
+/// Measurements for one overlay.
+#[derive(Debug, Clone)]
+pub struct OverlayPair {
+    /// Overlay index (Figure 7 numbering).
+    pub overlay_id: usize,
+    /// Median coordinator RTT through the overlay.
+    pub median_rtt: SimDuration,
+    /// Average latency under classic Gossip.
+    pub gossip: SimDuration,
+    /// Average latency under Semantic Gossip.
+    pub semantic: SimDuration,
+}
+
+impl OverlayPair {
+    /// Relative latency improvement of Semantic Gossip (positive = better).
+    pub fn improvement(&self) -> f64 {
+        let g = self.gossip.as_secs_f64();
+        if g == 0.0 {
+            0.0
+        } else {
+            1.0 - self.semantic.as_secs_f64() / g
+        }
+    }
+}
+
+/// The Figure 8 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig8Report {
+    /// Workload applied to every overlay.
+    pub rate: f64,
+    /// One pair per overlay.
+    pub pairs: Vec<OverlayPair>,
+}
+
+/// Runs the Figure 8 experiment.
+pub fn run(params: &Fig8Params) -> Fig8Report {
+    let o = &params.overlays;
+    let cpu = CpuCosts::default();
+    let rate = params
+        .rate
+        .unwrap_or_else(|| estimated_saturation(o.n, Setup::Gossip, &cpu, 1024));
+    let regions = RegionMap::paper_placement(o.n);
+    let mut pairs = Vec::with_capacity(o.overlays);
+    for i in 0..o.overlays {
+        let graph = candidate_overlay(o, i);
+        let median_rtt = median_coordinator_rtt(&graph, &regions, 0).expect("connected");
+        let latency = |setup: Setup| {
+            let p = ClusterParams::paper(o.n, setup)
+                .with_rate(rate)
+                .with_seconds(o.seconds.0, o.seconds.1)
+                .with_seed(o.seed)
+                .with_overlay(graph.clone());
+            let m = run_cluster(&p);
+            assert!(m.safety_ok);
+            m.latency_stats().0
+        };
+        pairs.push(OverlayPair {
+            overlay_id: i,
+            median_rtt,
+            gossip: latency(Setup::Gossip),
+            semantic: latency(Setup::SemanticGossip),
+        });
+    }
+    Fig8Report { rate, pairs }
+}
+
+impl Fig8Report {
+    /// (min, average, max) relative improvement across overlays.
+    pub fn improvement_stats(&self) -> (f64, f64, f64) {
+        if self.pairs.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let improvements: Vec<f64> = self.pairs.iter().map(OverlayPair::improvement).collect();
+        let min = improvements.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = improvements.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
+        (min, avg, max)
+    }
+
+    /// The paper's aggregated view: average latencies of overlays sharing a
+    /// median RTT (rounded to the millisecond), per setup.
+    pub fn aggregated_by_rtt(&self) -> Vec<(u64, SimDuration, SimDuration)> {
+        let mut groups: BTreeMap<u64, Vec<&OverlayPair>> = BTreeMap::new();
+        for p in &self.pairs {
+            groups.entry(p.median_rtt.as_millis()).or_default().push(p);
+        }
+        groups
+            .into_iter()
+            .map(|(rtt, ps)| {
+                let avg = |f: fn(&OverlayPair) -> SimDuration| {
+                    let sum: u64 = ps.iter().map(|p| f(p).as_nanos()).sum();
+                    SimDuration::from_nanos(sum / ps.len() as u64)
+                };
+                (rtt, avg(|p| p.gossip), avg(|p| p.semantic))
+            })
+            .collect()
+    }
+
+    /// The aggregated series as a table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "median RTT (ms)",
+            "Gossip latency (ms)",
+            "Semantic latency (ms)",
+        ]);
+        for (rtt, g, s) in self.aggregated_by_rtt() {
+            t.row(vec![rtt.to_string(), ms(g), ms(s)]);
+        }
+        t
+    }
+
+    /// The series as CSV.
+    pub fn to_csv(&self) -> String {
+        self.table().to_csv()
+    }
+
+    /// Renders the aggregated series plus the improvement summary.
+    pub fn render(&self) -> String {
+        let t = self.table();
+        let (min, avg, max) = self.improvement_stats();
+        format!(
+            "Figure 8. Gossip vs Semantic Gossip across {} overlays at {:.1}/s.\n{}\
+             Semantic improvement: min {}, avg {}, max {}.\n",
+            self.pairs.len(),
+            self.rate,
+            t.render(),
+            pct(min),
+            pct(avg),
+            pct(max)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig8Params {
+        Fig8Params {
+            overlays: Fig7Params {
+                n: 13,
+                overlays: 3,
+                rate: 13.0,
+                seconds: (1.5, 0.75),
+                seed: 8,
+            },
+            rate: None,
+        }
+    }
+
+    #[test]
+    fn measures_every_overlay_in_both_setups() {
+        let report = run(&tiny());
+        assert_eq!(report.pairs.len(), 3);
+        for p in &report.pairs {
+            assert!(p.gossip > SimDuration::ZERO);
+            assert!(p.semantic > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn aggregation_groups_by_rtt() {
+        let report = run(&tiny());
+        let agg = report.aggregated_by_rtt();
+        assert!(!agg.is_empty());
+        assert!(agg.len() <= report.pairs.len());
+        // RTT keys are sorted.
+        assert!(agg.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn render_includes_summary() {
+        let rendered = run(&tiny()).render();
+        assert!(rendered.contains("Semantic improvement"));
+    }
+}

@@ -1,0 +1,131 @@
+//! One runner per table/figure of the paper's evaluation (§4).
+//!
+//! Every experiment follows the same pattern: a `*Params` struct with two
+//! presets — [`quick`](Preset::Quick) (minutes, reduced sizes/windows, for
+//! CI and benches) and [`full`](Preset::Full) (the paper's sizes) — a `run`
+//! function, and a `*Report` that renders the same rows/series the paper
+//! plots.
+//!
+//! | Experiment | Paper artifact | Module |
+//! |---|---|---|
+//! | WAN latencies | Table 1 | [`table1`] |
+//! | Overall performance | Figure 3 | [`fig3`] |
+//! | Saturation throughput | Figure 4 | [`fig4`] |
+//! | Latency distributions | Figure 5 | [`fig5`] |
+//! | Reliability under loss | Figure 6 | [`fig6`] |
+//! | Overlay selection | Figure 7 | [`fig7`] |
+//! | Overlay robustness | Figure 8 | [`fig8`] |
+//! | Message redundancy | §4.3 in-text | [`msgstats`] |
+//! | Crash/failover (extension) | — | [`crash`] |
+//! | Value-size sensitivity (extension) | — | [`valuesize`] |
+
+pub mod crash;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod msgstats;
+pub mod table1;
+pub mod valuesize;
+
+use crate::cluster::{CpuCosts, Setup};
+use overlay::paper_fanout;
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Reduced sizes and windows: finishes in minutes, preserves shapes.
+    Quick,
+    /// The paper's system sizes and denser sweeps.
+    Full,
+}
+
+impl Preset {
+    /// The system sizes evaluated at this preset (the paper uses 13/53/105).
+    pub fn sizes(self) -> Vec<usize> {
+        match self {
+            Preset::Quick => vec![13, 27, 53],
+            Preset::Full => vec![13, 53, 105],
+        }
+    }
+
+    /// Measurement window / warm-up in seconds.
+    pub fn seconds(self) -> (f64, f64) {
+        match self {
+            Preset::Quick => (3.0, 1.0),
+            Preset::Full => (8.0, 2.0),
+        }
+    }
+
+    /// Number of workload points per sweep.
+    pub fn sweep_steps(self) -> usize {
+        match self {
+            Preset::Quick => 5,
+            Preset::Full => 8,
+        }
+    }
+}
+
+/// Analytic estimate of a setup's saturation throughput (decisions/s) under
+/// the CPU cost model — used to aim workload sweeps so every setup's knee
+/// falls inside its ladder.
+///
+/// Derivation: the bottleneck process's CPU busy-time per decided value.
+/// In Baseline the coordinator receives ≈ `n` messages (votes + the client
+/// value) and sends ≈ `2n` (Phase 2a + Decision to everyone). Under gossip,
+/// a process receives ≈ `degree` copies of each of the ≈ `n + 3` broadcasts
+/// a decision generates, and forwards each about `degree` times. Semantic
+/// Gossip removes a bit more than half of that traffic (§4.3 measures 58%).
+pub fn estimated_saturation(n: usize, setup: Setup, cpu: &CpuCosts, value_size: usize) -> f64 {
+    let recv = cpu.recv.service_time(value_size + 40).as_secs_f64();
+    let send = cpu.send.service_time(value_size + 40).as_secs_f64();
+    let busy_per_decision = match setup {
+        Setup::Baseline => (n as f64 + 1.0) * recv + 2.0 * n as f64 * send,
+        _ => {
+            let degree = 2.0 * paper_fanout(n) as f64;
+            let broadcasts = n as f64 + 3.0;
+            let classic = degree * broadcasts * (recv + send);
+            match setup {
+                Setup::Gossip => classic,
+                Setup::SemanticGossip => classic / 2.2,
+                Setup::Custom(m) if m.filtering || m.aggregation => classic / 1.6,
+                _ => classic,
+            }
+        }
+    };
+    1.0 / busy_per_decision
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_are_ordered_like_the_paper() {
+        let cpu = CpuCosts::default();
+        for &n in &[13usize, 53, 105] {
+            let b = estimated_saturation(n, Setup::Baseline, &cpu, 1024);
+            let g = estimated_saturation(n, Setup::Gossip, &cpu, 1024);
+            let s = estimated_saturation(n, Setup::SemanticGossip, &cpu, 1024);
+            assert!(b > s, "baseline should beat semantic at n={n}");
+            assert!(s > g, "semantic should beat classic gossip at n={n}");
+        }
+    }
+
+    #[test]
+    fn estimates_shrink_with_system_size() {
+        let cpu = CpuCosts::default();
+        let g13 = estimated_saturation(13, Setup::Gossip, &cpu, 1024);
+        let g105 = estimated_saturation(105, Setup::Gossip, &cpu, 1024);
+        assert!(g13 > 3.0 * g105);
+    }
+
+    #[test]
+    fn presets_differ() {
+        assert!(Preset::Full.sizes().contains(&105));
+        assert!(!Preset::Quick.sizes().contains(&105));
+        assert!(Preset::Full.sweep_steps() > Preset::Quick.sweep_steps());
+    }
+}

@@ -1,0 +1,220 @@
+//! §4.3 in-text message statistics: gossip's redundancy and what the
+//! semantic techniques remove.
+//!
+//! The paper reports, per system size, (a) the *redundancy factor* — how
+//! many times more messages a regular gossip process receives than the
+//! Baseline coordinator, (b) the share of received messages discarded as
+//! duplicates, and (c) for Semantic Gossip at the Gossip saturation
+//! workload: the reduction in messages received and delivered, and the
+//! remaining duplicate share.
+
+use crate::cluster::{run_cluster, ClusterParams, CpuCosts, Setup};
+use crate::experiments::{estimated_saturation, Preset};
+use crate::metrics::RunMetrics;
+use crate::report::{pct, Table};
+
+/// Parameters of the message-statistics experiment.
+#[derive(Debug, Clone)]
+pub struct MsgStatsParams {
+    /// System sizes.
+    pub sizes: Vec<usize>,
+    /// Measurement window / warm-up (seconds).
+    pub seconds: (f64, f64),
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl MsgStatsParams {
+    /// Preset-scaled parameters.
+    pub fn preset(preset: Preset) -> Self {
+        MsgStatsParams {
+            sizes: preset.sizes(),
+            seconds: preset.seconds(),
+            seed: 1,
+        }
+    }
+}
+
+/// Statistics for one system size.
+#[derive(Debug, Clone)]
+pub struct SizeStats {
+    /// System size.
+    pub n: usize,
+    /// Workload used (the Gossip setup's saturation estimate).
+    pub rate: f64,
+    /// Messages received by the Baseline coordinator.
+    pub baseline_coordinator_received: u64,
+    /// Mean messages received per regular process under classic gossip.
+    pub gossip_regular_received: f64,
+    /// Duplicate share under classic gossip.
+    pub gossip_duplicate_ratio: f64,
+    /// Mean messages received per regular process under Semantic Gossip.
+    pub semantic_regular_received: f64,
+    /// Duplicate share under Semantic Gossip.
+    pub semantic_duplicate_ratio: f64,
+    /// Messages delivered to Paxos under classic gossip (total).
+    pub gossip_delivered: u64,
+    /// Messages delivered to Paxos under Semantic Gossip (total).
+    pub semantic_delivered: u64,
+}
+
+impl SizeStats {
+    /// Redundancy factor: regular gossip process vs Baseline coordinator.
+    pub fn redundancy_factor(&self) -> f64 {
+        if self.baseline_coordinator_received == 0 {
+            0.0
+        } else {
+            self.gossip_regular_received / self.baseline_coordinator_received as f64
+        }
+    }
+
+    /// Relative reduction in messages received with the semantic techniques.
+    pub fn received_reduction(&self) -> f64 {
+        if self.gossip_regular_received == 0.0 {
+            0.0
+        } else {
+            1.0 - self.semantic_regular_received / self.gossip_regular_received
+        }
+    }
+
+    /// Relative reduction in messages delivered to Paxos (filtering only —
+    /// aggregation is reversed before delivery).
+    pub fn delivered_reduction(&self) -> f64 {
+        if self.gossip_delivered == 0 {
+            0.0
+        } else {
+            1.0 - self.semantic_delivered as f64 / self.gossip_delivered as f64
+        }
+    }
+}
+
+/// The §4.3 dataset.
+#[derive(Debug, Clone)]
+pub struct MsgStatsReport {
+    /// Per-size statistics.
+    pub stats: Vec<SizeStats>,
+}
+
+/// Runs the three setups per size at the Gossip saturation workload and
+/// collects the counters.
+pub fn run(params: &MsgStatsParams) -> MsgStatsReport {
+    let cpu = CpuCosts::default();
+    let stats = params
+        .sizes
+        .iter()
+        .map(|&n| {
+            let rate = estimated_saturation(n, Setup::Gossip, &cpu, 1024);
+            let overlay = {
+                let mut rng =
+                    simnet::SeedSplitter::new(params.seed).rng("msgstats-overlay", n as u64);
+                overlay::connected_k_out(n, overlay::paper_fanout(n), &mut rng, 100)
+                    .expect("connected overlay")
+            };
+            let go = |setup: Setup| -> RunMetrics {
+                let mut p = ClusterParams::paper(n, setup)
+                    .with_rate(rate)
+                    .with_seconds(params.seconds.0, params.seconds.1)
+                    .with_seed(params.seed);
+                if setup.uses_gossip() {
+                    p = p.with_overlay(overlay.clone());
+                }
+                let m = run_cluster(&p);
+                assert!(m.safety_ok);
+                m
+            };
+            let baseline = go(Setup::Baseline);
+            let gossip = go(Setup::Gossip);
+            let semantic = go(Setup::SemanticGossip);
+            SizeStats {
+                n,
+                rate,
+                baseline_coordinator_received: baseline.coordinator_received(),
+                gossip_regular_received: gossip.mean_regular_received(),
+                gossip_duplicate_ratio: gossip.duplicate_ratio(),
+                semantic_regular_received: semantic.mean_regular_received(),
+                semantic_duplicate_ratio: semantic.duplicate_ratio(),
+                gossip_delivered: gossip.gossip.delivered.get(),
+                semantic_delivered: semantic.gossip.delivered.get(),
+            }
+        })
+        .collect();
+    MsgStatsReport { stats }
+}
+
+impl MsgStatsReport {
+    /// Renders the per-size statistics.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "n",
+            "redundancy factor",
+            "gossip dup%",
+            "semantic dup%",
+            "received reduction",
+            "delivered reduction",
+        ]);
+        for s in &self.stats {
+            t.row(vec![
+                s.n.to_string(),
+                format!("{:.1}x", s.redundancy_factor()),
+                pct(s.gossip_duplicate_ratio),
+                pct(s.semantic_duplicate_ratio),
+                pct(s.received_reduction()),
+                pct(s.delivered_reduction()),
+            ]);
+        }
+        format!(
+            "Message statistics (§4.3), measured at the Gossip saturation workload.\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MsgStatsParams {
+        MsgStatsParams {
+            sizes: vec![13],
+            seconds: (2.0, 1.0),
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn gossip_is_redundant_and_semantic_reduces_it() {
+        let report = run(&tiny());
+        let s = &report.stats[0];
+        // A regular gossip process receives more than the baseline
+        // coordinator (redundancy factor about 2x at n=13 in the paper).
+        assert!(s.redundancy_factor() > 1.2, "factor {}", s.redundancy_factor());
+        // Roughly half the received messages are duplicates at n=13 (49%).
+        assert!(s.gossip_duplicate_ratio > 0.25, "{}", s.gossip_duplicate_ratio);
+        // Semantic techniques reduce received messages...
+        assert!(s.received_reduction() > 0.05, "{}", s.received_reduction());
+        // ...and the duplicate share does not collapse (redundancy kept).
+        assert!(s.semantic_duplicate_ratio > 0.15, "{}", s.semantic_duplicate_ratio);
+    }
+
+    #[test]
+    fn delivered_reduction_is_filtering_only() {
+        let report = run(&tiny());
+        let s = &report.stats[0];
+        // Delivered reduction must be smaller than received reduction
+        // (aggregation is reversed before delivery; only filtering removes
+        // deliveries).
+        assert!(
+            s.delivered_reduction() <= s.received_reduction() + 0.05,
+            "delivered {} vs received {}",
+            s.delivered_reduction(),
+            s.received_reduction()
+        );
+    }
+
+    #[test]
+    fn render_lists_each_size() {
+        let rendered = run(&tiny()).render();
+        assert!(rendered.contains("redundancy factor"));
+        assert!(rendered.contains("13"));
+    }
+}

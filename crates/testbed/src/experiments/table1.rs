@@ -1,0 +1,63 @@
+//! Table 1: WAN latencies between the coordinator's region and the other
+//! twelve regions.
+
+use simnet::Region;
+
+use crate::report::Table;
+
+/// The reproduced Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Report {
+    rows: Vec<(String, u64)>,
+}
+
+/// Builds Table 1 from the latency matrix (exactly the paper's numbers —
+/// the matrix's Virginia row is anchored on them).
+pub fn run() -> Table1Report {
+    Table1Report {
+        rows: Region::table1()
+            .into_iter()
+            .map(|(region, lat)| (region.name().to_string(), lat.as_millis()))
+            .collect(),
+    }
+}
+
+impl Table1Report {
+    /// The `(region, one-way ms)` rows in Table 1 order.
+    pub fn rows(&self) -> &[(String, u64)] {
+        &self.rows
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["Region", "Latency (ms)"]);
+        for (region, ms) in &self.rows {
+            t.row(vec![region.clone(), ms.to_string()]);
+        }
+        format!(
+            "Table 1. WAN latencies from North Virginia (coordinator).\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_values() {
+        let report = run();
+        assert_eq!(report.rows().len(), 12);
+        assert_eq!(report.rows()[0], ("Canada".to_string(), 7));
+        assert_eq!(report.rows()[11], ("Singapore".to_string(), 105));
+    }
+
+    #[test]
+    fn renders_all_regions() {
+        let rendered = run().render();
+        for (region, _) in run().rows() {
+            assert!(rendered.contains(region.as_str()), "missing {region}");
+        }
+    }
+}

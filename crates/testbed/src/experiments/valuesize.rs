@@ -1,0 +1,153 @@
+//! Extension experiment: value-size sensitivity.
+//!
+//! The paper "ran experiments with distinct values sizes, but ... only
+//! present\[s\] data for 1KB values, because results with other values sizes
+//! presented similar trends" (§4.3). This experiment makes that claim
+//! checkable: the three setups at a fixed moderate workload across several
+//! payload sizes — the *relative* ordering (Baseline < Semantic < Gossip in
+//! latency) should hold at every size.
+
+use simnet::SimDuration;
+
+use crate::cluster::{run_cluster, ClusterParams, Setup};
+use crate::experiments::Preset;
+use crate::report::{ms, Table};
+
+/// Parameters of the value-size experiment.
+#[derive(Debug, Clone)]
+pub struct ValueSizeParams {
+    /// System size.
+    pub n: usize,
+    /// Payload sizes in bytes.
+    pub sizes: Vec<usize>,
+    /// Workload (values/s).
+    pub rate: f64,
+    /// Measurement window / warm-up (seconds).
+    pub seconds: (f64, f64),
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl ValueSizeParams {
+    /// Preset-scaled parameters.
+    pub fn preset(preset: Preset) -> Self {
+        ValueSizeParams {
+            n: match preset {
+                Preset::Quick => 13,
+                Preset::Full => 53,
+            },
+            sizes: vec![256, 1024, 4096],
+            rate: 20.0,
+            seconds: preset.seconds(),
+            seed: 17,
+        }
+    }
+}
+
+/// One (size, setup) measurement.
+#[derive(Debug, Clone)]
+pub struct SizePoint {
+    /// Payload size in bytes.
+    pub size: usize,
+    /// Setup display name.
+    pub setup: String,
+    /// Average client latency.
+    pub latency: SimDuration,
+    /// Measured throughput.
+    pub throughput: f64,
+}
+
+/// The value-size dataset.
+#[derive(Debug, Clone)]
+pub struct ValueSizeReport {
+    /// All measurements, grouped by size.
+    pub points: Vec<SizePoint>,
+}
+
+/// Runs the grid.
+pub fn run(params: &ValueSizeParams) -> ValueSizeReport {
+    let mut points = Vec::new();
+    for &size in &params.sizes {
+        for setup in [Setup::Baseline, Setup::Gossip, Setup::SemanticGossip] {
+            let mut p = ClusterParams::paper(params.n, setup)
+                .with_rate(params.rate)
+                .with_seconds(params.seconds.0, params.seconds.1)
+                .with_seed(params.seed);
+            p.value_size = size;
+            let m = run_cluster(&p);
+            assert!(m.safety_ok);
+            points.push(SizePoint {
+                size,
+                setup: setup.name().to_string(),
+                latency: m.latency_stats().0,
+                throughput: m.throughput(),
+            });
+        }
+    }
+    ValueSizeReport { points }
+}
+
+impl ValueSizeReport {
+    /// Finds a point.
+    pub fn point(&self, size: usize, setup: &str) -> Option<&SizePoint> {
+        self.points
+            .iter()
+            .find(|p| p.size == size && p.setup == setup)
+    }
+
+    /// Renders the grid.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec!["size (B)", "setup", "avg latency (ms)", "throughput/s"]);
+        for p in &self.points {
+            t.row(vec![
+                p.size.to_string(),
+                p.setup.clone(),
+                ms(p.latency),
+                format!("{:.1}", p.throughput),
+            ]);
+        }
+        format!(
+            "Value-size sensitivity (extension; the paper reports similar \
+             trends across sizes, §4.3).\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ValueSizeParams {
+        ValueSizeParams {
+            n: 13,
+            sizes: vec![256, 2048],
+            rate: 13.0,
+            seconds: (1.5, 0.75),
+            seed: 4,
+        }
+    }
+
+    #[test]
+    fn trend_holds_across_sizes() {
+        let report = run(&tiny());
+        for &size in &[256usize, 2048] {
+            let b = report.point(size, "Baseline").unwrap().latency;
+            let g = report.point(size, "Gossip").unwrap().latency;
+            assert!(b < g, "baseline must beat gossip at {size}B: {b} vs {g}");
+        }
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let report = run(&tiny());
+        assert_eq!(report.points.len(), 6);
+    }
+
+    #[test]
+    fn render_mentions_sizes() {
+        let rendered = run(&tiny()).render();
+        assert!(rendered.contains("256"));
+        assert!(rendered.contains("2048"));
+    }
+}

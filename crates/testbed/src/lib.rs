@@ -1,0 +1,32 @@
+//! Experiment harness for the *Gossip Consensus* reproduction.
+//!
+//! This crate wires the substrates together into the paper's testbed:
+//! [`cluster`] builds a full deployment — Paxos processes, the communication
+//! substrate of the chosen [`Setup`], the WAN topology, per-region open-loop
+//! clients — on top of the deterministic simulator, and runs it; [`metrics`]
+//! collects what the paper measures; [`sweep`] finds saturation knees; and
+//! [`experiments`] contains one runner per table/figure of the evaluation
+//! section (§4). The `repro` binary exposes them on the command line.
+//!
+//! # Example: one run of Semantic Gossip at n = 13
+//!
+//! ```
+//! use testbed::{ClusterParams, Setup};
+//!
+//! let params = ClusterParams::paper(13, Setup::SemanticGossip)
+//!     .with_rate(20.0)
+//!     .with_seconds(2.0, 1.0);
+//! let metrics = testbed::run_cluster(&params);
+//! assert!(metrics.safety_ok);
+//! assert!(metrics.ordered > 0);
+//! ```
+
+pub mod cluster;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod sweep;
+
+pub use cluster::{run_cluster, ClusterParams, CpuCosts, DedupKind, Setup};
+pub use metrics::RunMetrics;
+pub use sweep::{saturation_point, SweepPoint};

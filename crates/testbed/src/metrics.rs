@@ -1,0 +1,246 @@
+//! What one experiment execution measures.
+//!
+//! Mirrors the paper's methodology (§4.2): clients measure end-to-end
+//! latency from submission to in-order decision notification; throughput is
+//! the rate of decided values; message counters quantify gossip's redundancy
+//! (§4.3); "values submitted but not ordered" is Figure 6's reliability
+//! metric.
+
+use semantic_gossip::MessageStats;
+use simnet::{Histogram, SimDuration, SimTime, NUM_REGIONS};
+
+use paxos::ValueId;
+
+/// The lifecycle record of one submitted value.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueFate {
+    /// The value's id.
+    pub value: ValueId,
+    /// Region slot (0..13) of the submitting client.
+    pub region_slot: usize,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// In-order decision notification at the submitting client, if it ever
+    /// happened.
+    pub ordered_at: Option<SimTime>,
+    /// Whether the submission fell inside the measurement window.
+    pub in_window: bool,
+}
+
+/// Measurements of one cluster run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Setup display name (Baseline / Gossip / Semantic Gossip).
+    pub setup: String,
+    /// System size.
+    pub n: usize,
+    /// Offered aggregate submission rate (values/s).
+    pub rate: f64,
+    /// Measurement window length.
+    pub window: SimDuration,
+    /// Run seed (for reproducing a specific execution).
+    pub seed: u64,
+    /// Values submitted inside the measurement window.
+    pub submitted_in_window: u64,
+    /// In-window values ordered by the end of the run.
+    pub ordered: u64,
+    /// In-window values never ordered (Figure 6's numerator).
+    pub not_ordered_in_window: u64,
+    /// End-to-end latencies of ordered in-window values.
+    pub latency: Histogram,
+    /// Latencies split by the submitting client's region slot.
+    pub latency_by_region: Vec<Histogram>,
+    /// Whether all processes delivered consistent prefixes (Paxos safety).
+    pub safety_ok: bool,
+    /// Raw messages received per process (post injected loss).
+    pub node_received: Vec<u64>,
+    /// Raw messages sent per process.
+    pub node_sent: Vec<u64>,
+    /// Merged gossip-layer counters (zero for Baseline).
+    pub gossip: MessageStats,
+    /// Physically received messages by protocol kind (index =
+    /// `paxos::message::Kind::index()`), across all processes.
+    pub received_by_kind: [u64; paxos::message::Kind::COUNT],
+    /// Rendered execution trace, when tracing was enabled for the run.
+    pub trace: Option<String>,
+}
+
+impl RunMetrics {
+    /// Creates an empty record for a run.
+    pub fn new(setup: &str, n: usize, rate: f64, window: SimDuration) -> Self {
+        RunMetrics {
+            setup: setup.to_string(),
+            n,
+            rate,
+            window,
+            seed: 0,
+            submitted_in_window: 0,
+            ordered: 0,
+            not_ordered_in_window: 0,
+            latency: Histogram::new(),
+            latency_by_region: (0..NUM_REGIONS).map(|_| Histogram::new()).collect(),
+            safety_ok: true,
+            node_received: Vec::new(),
+            node_sent: Vec::new(),
+            gossip: MessageStats::default(),
+            received_by_kind: [0; paxos::message::Kind::COUNT],
+            trace: None,
+        }
+    }
+
+    /// The kind receiving the most messages, with its count.
+    pub fn dominant_received_kind(&self) -> (paxos::message::Kind, u64) {
+        let (idx, &count) = self
+            .received_by_kind
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("non-empty kind array");
+        (paxos::message::Kind::ALL[idx], count)
+    }
+
+    /// Folds one value's fate into the metrics.
+    pub fn record_value(&mut self, fate: &ValueFate) {
+        if !fate.in_window {
+            return;
+        }
+        self.submitted_in_window += 1;
+        match fate.ordered_at {
+            Some(at) => {
+                self.ordered += 1;
+                let latency = at - fate.submitted_at;
+                self.latency.record(latency);
+                if let Some(h) = self.latency_by_region.get_mut(fate.region_slot) {
+                    h.record(latency);
+                }
+            }
+            None => self.not_ordered_in_window += 1,
+        }
+    }
+
+    /// Folds one node's counters into the metrics.
+    pub fn record_node(
+        &mut self,
+        _node: usize,
+        raw_received: u64,
+        raw_sent: u64,
+        gossip: Option<MessageStats>,
+    ) {
+        self.node_received.push(raw_received);
+        self.node_sent.push(raw_sent);
+        if let Some(stats) = gossip {
+            self.gossip.merge(&stats);
+        }
+    }
+
+    /// Decided values per second over the measurement window.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.window.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ordered as f64 / secs
+        }
+    }
+
+    /// Mean and standard deviation of client latency.
+    pub fn latency_stats(&self) -> (SimDuration, SimDuration) {
+        (self.latency.mean(), self.latency.std_dev())
+    }
+
+    /// Fraction of in-window submissions never ordered (Figure 6 cell).
+    pub fn not_ordered_fraction(&self) -> f64 {
+        if self.submitted_in_window == 0 {
+            0.0
+        } else {
+            self.not_ordered_in_window as f64 / self.submitted_in_window as f64
+        }
+    }
+
+    /// Total messages received by gossip layers across all processes.
+    pub fn gossip_received(&self) -> u64 {
+        self.gossip.received.get()
+    }
+
+    /// Messages received by the coordinator (process 0).
+    pub fn coordinator_received(&self) -> u64 {
+        self.node_received.first().copied().unwrap_or(0)
+    }
+
+    /// Mean raw messages received by non-coordinator processes.
+    pub fn mean_regular_received(&self) -> f64 {
+        if self.node_received.len() <= 1 {
+            return 0.0;
+        }
+        let sum: u64 = self.node_received[1..].iter().sum();
+        sum as f64 / (self.node_received.len() - 1) as f64
+    }
+
+    /// Share of received message parts discarded as duplicates (§4.3).
+    pub fn duplicate_ratio(&self) -> f64 {
+        self.gossip.duplicate_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semantic_gossip::NodeId;
+
+    fn fate(seq: u64, submitted_ms: u64, ordered_ms: Option<u64>, in_window: bool) -> ValueFate {
+        ValueFate {
+            value: paxos::ValueId::new(NodeId::new(1), seq),
+            region_slot: 2,
+            submitted_at: SimTime::from_nanos(submitted_ms * 1_000_000),
+            ordered_at: ordered_ms.map(|m| SimTime::from_nanos(m * 1_000_000)),
+            in_window,
+        }
+    }
+
+    #[test]
+    fn values_outside_window_are_ignored() {
+        let mut m = RunMetrics::new("Gossip", 13, 10.0, SimDuration::from_secs(1));
+        m.record_value(&fate(0, 10, Some(20), false));
+        assert_eq!(m.submitted_in_window, 0);
+        assert_eq!(m.ordered, 0);
+    }
+
+    #[test]
+    fn ordered_and_lost_values_are_counted() {
+        let mut m = RunMetrics::new("Gossip", 13, 10.0, SimDuration::from_secs(2));
+        m.record_value(&fate(0, 100, Some(250), true));
+        m.record_value(&fate(1, 100, None, true));
+        assert_eq!(m.submitted_in_window, 2);
+        assert_eq!(m.ordered, 1);
+        assert_eq!(m.not_ordered_in_window, 1);
+        assert!((m.not_ordered_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(m.latency_stats().0, SimDuration::from_millis(150));
+        assert_eq!(m.throughput(), 0.5);
+        assert_eq!(m.latency_by_region[2].len(), 1);
+    }
+
+    #[test]
+    fn node_counters_accumulate() {
+        let mut m = RunMetrics::new("Gossip", 3, 10.0, SimDuration::from_secs(1));
+        let mut stats = MessageStats::default();
+        stats.received.add(10);
+        stats.received_parts.add(10);
+        stats.duplicates.add(4);
+        m.record_node(0, 100, 50, Some(stats));
+        m.record_node(1, 30, 20, Some(stats));
+        m.record_node(2, 50, 40, Some(stats));
+        assert_eq!(m.coordinator_received(), 100);
+        assert_eq!(m.mean_regular_received(), 40.0);
+        assert_eq!(m.gossip_received(), 30);
+        assert!((m.duplicate_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_benign() {
+        let m = RunMetrics::new("Baseline", 13, 10.0, SimDuration::ZERO);
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.not_ordered_fraction(), 0.0);
+        assert_eq!(m.mean_regular_received(), 0.0);
+        assert_eq!(m.coordinator_received(), 0);
+    }
+}

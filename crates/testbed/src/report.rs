@@ -1,0 +1,157 @@
+//! Plain-text table and CSV rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// let mut t = testbed::report::Table::new(vec!["setup", "latency"]);
+/// t.row(vec!["Gossip".into(), "142ms".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("Gossip"));
+/// assert!(rendered.contains("latency"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:width$}", cell, width = widths[c]);
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("--");
+        out.push_str(&rule);
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (comma-separated, quoted on demand).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let line = |cells: &[String], out: &mut String| {
+            out.push_str(
+                &cells
+                    .iter()
+                    .map(|c| quote(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        };
+        line(&self.headers, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a millisecond quantity with one decimal.
+pub fn ms(d: simnet::SimDuration) -> String {
+    format!("{:.1}", d.as_nanos() as f64 / 1e6)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxxxx".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a       "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["a,b".into()]);
+        assert_eq!(t.to_csv(), "x\n\"a,b\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(simnet::SimDuration::from_micros(1500)), "1.5");
+        assert_eq!(pct(0.123), "12.3%");
+        assert!(!Table::new(vec!["h"]).render().is_empty());
+        assert!(Table::new(vec!["h"]).is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Workload sweeps and saturation-point detection.
+//!
+//! The paper subjects each setup to increasing client workloads "until we
+//! noticed that the protocol is saturated", and highlights the saturation
+//! point: "the point of the highest ratio between average latency and
+//! throughput. From this point on, increasing client workloads results in
+//! small throughput increments at the cost of relevant latency increments"
+//! (§4.3). Operationally that knee is the swept point with the best
+//! throughput-per-latency: before it, throughput grows at roughly constant
+//! latency; after it, latency grows much faster than throughput.
+
+use simnet::SimDuration;
+
+/// One swept workload point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Offered aggregate rate (values/s).
+    pub rate: f64,
+    /// Measured throughput (decided values/s).
+    pub throughput: f64,
+    /// Average client latency.
+    pub latency: SimDuration,
+}
+
+impl SweepPoint {
+    /// Throughput per second of latency — the knee score.
+    pub fn score(&self) -> f64 {
+        let lat = self.latency.as_secs_f64();
+        if lat <= 0.0 {
+            0.0
+        } else {
+            self.throughput / lat
+        }
+    }
+}
+
+/// Index of the saturation point of a workload sweep, or `None` for an
+/// empty sweep.
+///
+/// # Example
+///
+/// ```
+/// use simnet::SimDuration;
+/// use testbed::{saturation_point, SweepPoint};
+///
+/// let ms = |v| SimDuration::from_millis(v);
+/// let sweep = vec![
+///     SweepPoint { rate: 10.0, throughput: 10.0, latency: ms(100) },
+///     SweepPoint { rate: 20.0, throughput: 20.0, latency: ms(105) },
+///     SweepPoint { rate: 40.0, throughput: 38.0, latency: ms(130) },
+///     SweepPoint { rate: 80.0, throughput: 42.0, latency: ms(600) },
+/// ];
+/// assert_eq!(saturation_point(&sweep), Some(2));
+/// ```
+pub fn saturation_point(sweep: &[SweepPoint]) -> Option<usize> {
+    if sweep.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, p) in sweep.iter().enumerate() {
+        if p.score() > sweep[best].score() {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// A geometric rate ladder from `start` to `end` (inclusive-ish) with
+/// `steps` points — the sweep schedule used by the figure runners.
+///
+/// # Panics
+///
+/// Panics if `start` or `end` is non-positive, `end < start`, or
+/// `steps == 0`.
+pub fn rate_ladder(start: f64, end: f64, steps: usize) -> Vec<f64> {
+    assert!(start > 0.0 && end >= start, "invalid ladder bounds");
+    assert!(steps > 0, "ladder needs at least one step");
+    if steps == 1 {
+        return vec![start];
+    }
+    let ratio = (end / start).powf(1.0 / (steps - 1) as f64);
+    (0..steps)
+        .map(|i| start * ratio.powi(i as i32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(rate: f64, tput: f64, lat_ms: u64) -> SweepPoint {
+        SweepPoint {
+            rate,
+            throughput: tput,
+            latency: SimDuration::from_millis(lat_ms),
+        }
+    }
+
+    #[test]
+    fn knee_is_before_latency_explosion() {
+        let sweep = vec![
+            pt(5.0, 5.0, 100),
+            pt(10.0, 10.0, 100),
+            pt(20.0, 20.0, 110),
+            pt(40.0, 35.0, 200),
+            pt(80.0, 38.0, 900),
+        ];
+        assert_eq!(saturation_point(&sweep), Some(2));
+    }
+
+    #[test]
+    fn monotone_sweep_saturates_at_the_end() {
+        let sweep = vec![pt(5.0, 5.0, 100), pt(10.0, 10.0, 100), pt(20.0, 20.0, 100)];
+        assert_eq!(saturation_point(&sweep), Some(2));
+    }
+
+    #[test]
+    fn empty_sweep_is_none() {
+        assert_eq!(saturation_point(&[]), None);
+    }
+
+    #[test]
+    fn zero_latency_points_are_skipped() {
+        let sweep = vec![pt(5.0, 5.0, 0), pt(10.0, 10.0, 100)];
+        assert_eq!(saturation_point(&sweep), Some(1));
+    }
+
+    #[test]
+    fn ladder_is_geometric_and_inclusive() {
+        let ladder = rate_ladder(10.0, 160.0, 5);
+        assert_eq!(ladder.len(), 5);
+        assert!((ladder[0] - 10.0).abs() < 1e-9);
+        assert!((ladder[4] - 160.0).abs() < 1e-6);
+        // Constant ratio between consecutive rungs.
+        let r1 = ladder[1] / ladder[0];
+        let r2 = ladder[3] / ladder[2];
+        assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_step_ladder() {
+        assert_eq!(rate_ladder(7.0, 100.0, 1), vec![7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ladder")]
+    fn bad_ladder_panics() {
+        rate_ladder(10.0, 5.0, 3);
+    }
+}

@@ -1,0 +1,406 @@
+//! A peer-to-peer TCP endpoint with per-peer send threads.
+//!
+//! Mirrors the paper's transport architecture (Figure 2): each connection
+//! has a dedicated send routine fed by a **bounded** queue — messages
+//! enqueued beyond its capacity are dropped, so a slow peer never blocks the
+//! caller — and a receive routine feeding one shared event queue.
+//!
+//! Connections carry a 1-frame handshake (each side announces its
+//! [`NodeId`]) and then raw length-prefixed frames.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use semantic_gossip::NodeId;
+
+use crate::framing::{read_frame, write_frame, FrameError};
+
+/// Configuration of an [`Endpoint`].
+#[derive(Debug, Clone)]
+pub struct EndpointConfig {
+    /// This process's id, announced in the handshake.
+    pub node: NodeId,
+    /// Capacity of each per-peer send queue (drop-on-full beyond it).
+    pub send_queue: usize,
+}
+
+impl EndpointConfig {
+    /// A config for `node` with the default 1024-frame send queues.
+    pub fn new(node: NodeId) -> Self {
+        EndpointConfig {
+            node,
+            send_queue: 1024,
+        }
+    }
+}
+
+/// Events surfaced by an endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerEvent {
+    /// A connection to `NodeId` completed its handshake.
+    Connected(NodeId),
+    /// A frame arrived from a peer.
+    Frame {
+        /// The sending peer.
+        from: NodeId,
+        /// The frame payload.
+        payload: Vec<u8>,
+    },
+    /// The connection to a peer failed or closed.
+    Disconnected(NodeId),
+}
+
+struct PeerHandle {
+    sender: Sender<Vec<u8>>,
+}
+
+/// A listening, dialing, framed TCP endpoint.
+///
+/// # Example
+///
+/// ```no_run
+/// use semantic_gossip::NodeId;
+/// use transport::{Endpoint, EndpointConfig, PeerEvent};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let a = Endpoint::bind(EndpointConfig::new(NodeId::new(0)), "127.0.0.1:0")?;
+/// let b = Endpoint::bind(EndpointConfig::new(NodeId::new(1)), "127.0.0.1:0")?;
+/// b.dial(a.local_addr())?;
+/// b.send(NodeId::new(0), b"hello".to_vec());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Endpoint {
+    config: EndpointConfig,
+    local_addr: SocketAddr,
+    events_rx: Receiver<PeerEvent>,
+    events_tx: Sender<PeerEvent>,
+    peers: Arc<Mutex<HashMap<NodeId, PeerHandle>>>,
+    shutdown: Arc<AtomicBool>,
+    dropped: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Endpoint {
+    /// Binds a listener and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, if any.
+    pub fn bind(config: EndpointConfig, addr: &str) -> io::Result<Endpoint> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let (events_tx, events_rx) = unbounded();
+        let peers = Arc::new(Mutex::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let dropped = Arc::new(AtomicU64::new(0));
+
+        let accept_thread = {
+            let config = config.clone();
+            let events_tx = events_tx.clone();
+            let peers = Arc::clone(&peers);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = handshake_and_register(
+                                stream, &config, &events_tx, &peers, &shutdown,
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        Ok(Endpoint {
+            config,
+            local_addr,
+            events_rx,
+            events_tx,
+            peers,
+            shutdown,
+            dropped,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.config.node
+    }
+
+    /// Dials a peer and completes the handshake, returning its node id.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection or handshake I/O errors.
+    pub fn dial(&self, addr: SocketAddr) -> io::Result<NodeId> {
+        let stream = TcpStream::connect(addr)?;
+        handshake_and_register(
+            stream,
+            &self.config,
+            &self.events_tx,
+            &self.peers,
+            &self.shutdown,
+        )
+    }
+
+    /// Enqueues a frame to `peer`. Returns `false` — and counts a drop — if
+    /// the peer is unknown or its send queue is full (the paper's
+    /// slow-receiver protection).
+    pub fn send(&self, peer: NodeId, frame: Vec<u8>) -> bool {
+        let peers = self.peers.lock();
+        let Some(handle) = peers.get(&peer) else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        match handle.sender.try_send(frame) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// The connected peers.
+    pub fn peers(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.peers.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Frames dropped because of unknown peers or full queues.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Receives the next event, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<PeerEvent> {
+        self.events_rx.recv_timeout(timeout).ok()
+    }
+
+    /// A clonable receiver of the endpoint's events.
+    pub fn events(&self) -> Receiver<PeerEvent> {
+        self.events_rx.clone()
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.peers.lock().clear(); // closes send channels; send threads exit
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Exchanges hello frames, registers the peer, and spawns its send/receive
+/// threads. Used by both the dialer and the acceptor.
+fn handshake_and_register(
+    stream: TcpStream,
+    config: &EndpointConfig,
+    events_tx: &Sender<PeerEvent>,
+    peers: &Arc<Mutex<HashMap<NodeId, PeerHandle>>>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<NodeId> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    let mut write_half = stream.try_clone()?;
+    write_frame(&mut write_half, &config.node.as_u32().to_be_bytes())?;
+    let mut read_half = stream;
+    read_half.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let hello = read_frame(&mut read_half).map_err(frame_to_io)?;
+    if hello.len() != 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad handshake frame",
+        ));
+    }
+    let peer = NodeId::new(u32::from_be_bytes([hello[0], hello[1], hello[2], hello[3]]));
+    read_half.set_read_timeout(Some(Duration::from_millis(100)))?;
+
+    let (send_tx, send_rx) = bounded::<Vec<u8>>(config.send_queue);
+    peers.lock().insert(peer, PeerHandle { sender: send_tx });
+    let _ = events_tx.send(PeerEvent::Connected(peer));
+
+    // Send routine: drains the bounded queue into the socket.
+    {
+        let events_tx = events_tx.clone();
+        let peers = Arc::clone(peers);
+        std::thread::spawn(move || {
+            for frame in send_rx.iter() {
+                if write_frame(&mut write_half, &frame).is_err() {
+                    peers.lock().remove(&peer);
+                    let _ = events_tx.send(PeerEvent::Disconnected(peer));
+                    return;
+                }
+            }
+            // Channel closed (endpoint dropped or peer removed): just exit.
+        });
+    }
+
+    // Receive routine: surfaces frames on the shared event queue.
+    {
+        let events_tx = events_tx.clone();
+        let peers = Arc::clone(peers);
+        let shutdown = Arc::clone(shutdown);
+        std::thread::spawn(move || loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match read_frame(&mut read_half) {
+                Ok(payload) => {
+                    let _ = events_tx.send(PeerEvent::Frame {
+                        from: peer,
+                        payload,
+                    });
+                }
+                Err(FrameError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => {
+                    peers.lock().remove(&peer);
+                    let _ = events_tx.send(PeerEvent::Disconnected(peer));
+                    return;
+                }
+            }
+        });
+    }
+
+    Ok(peer)
+}
+
+fn frame_to_io(e: FrameError) -> io::Error {
+    match e {
+        FrameError::Io(e) => e,
+        FrameError::Closed => io::ErrorKind::UnexpectedEof.into(),
+        FrameError::TooLarge(_) => io::ErrorKind::InvalidData.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endpoint(id: u32) -> Endpoint {
+        Endpoint::bind(EndpointConfig::new(NodeId::new(id)), "127.0.0.1:0").unwrap()
+    }
+
+    fn wait_for_frame(e: &Endpoint) -> (NodeId, Vec<u8>) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline {
+            if let Some(PeerEvent::Frame { from, payload }) =
+                e.recv_timeout(Duration::from_millis(200))
+            {
+                return (from, payload);
+            }
+        }
+        panic!("no frame within deadline");
+    }
+
+    #[test]
+    fn dial_handshake_and_exchange() {
+        let a = endpoint(0);
+        let b = endpoint(1);
+        let peer = b.dial(a.local_addr()).unwrap();
+        assert_eq!(peer, NodeId::new(0));
+
+        assert!(b.send(NodeId::new(0), b"ping".to_vec()));
+        let (from, payload) = wait_for_frame(&a);
+        assert_eq!(from, NodeId::new(1));
+        assert_eq!(payload, b"ping");
+
+        // And the reverse direction over the same connection.
+        assert!(a.send(NodeId::new(1), b"pong".to_vec()));
+        let (from, payload) = wait_for_frame(&b);
+        assert_eq!(from, NodeId::new(0));
+        assert_eq!(payload, b"pong");
+    }
+
+    #[test]
+    fn connected_events_fire_on_both_sides() {
+        let a = endpoint(0);
+        let b = endpoint(1);
+        b.dial(a.local_addr()).unwrap();
+        let got_a = a.recv_timeout(Duration::from_secs(5));
+        assert_eq!(got_a, Some(PeerEvent::Connected(NodeId::new(1))));
+        let got_b = b.recv_timeout(Duration::from_secs(5));
+        assert_eq!(got_b, Some(PeerEvent::Connected(NodeId::new(0))));
+        assert_eq!(a.peers(), vec![NodeId::new(1)]);
+        assert_eq!(b.peers(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn sending_to_unknown_peer_drops() {
+        let a = endpoint(0);
+        assert!(!a.send(NodeId::new(9), b"x".to_vec()));
+        assert_eq!(a.dropped(), 1);
+    }
+
+    #[test]
+    fn many_frames_in_order_per_peer() {
+        let a = endpoint(0);
+        let b = endpoint(1);
+        b.dial(a.local_addr()).unwrap();
+        for i in 0..100u32 {
+            assert!(b.send(NodeId::new(0), i.to_be_bytes().to_vec()));
+        }
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            let (_, payload) = wait_for_frame(&a);
+            got.push(u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]));
+        }
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnect_event_when_peer_drops() {
+        let a = endpoint(0);
+        let b = endpoint(1);
+        b.dial(a.local_addr()).unwrap();
+        // Consume the Connected event first.
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(5)),
+            Some(PeerEvent::Connected(NodeId::new(1)))
+        );
+        drop(b);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match a.recv_timeout(Duration::from_millis(200)) {
+                Some(PeerEvent::Disconnected(p)) => {
+                    assert_eq!(p, NodeId::new(1));
+                    break;
+                }
+                Some(_) => continue,
+                None if std::time::Instant::now() > deadline => {
+                    panic!("no disconnect event")
+                }
+                None => continue,
+            }
+        }
+        assert!(a.peers().is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Each frame is a 4-byte big-endian length followed by that many payload
+//! bytes. The length is capped at [`MAX_FRAME`] to bound allocations on
+//! corrupted or hostile input.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use bytes::{BufMut, BytesMut};
+
+/// Maximum accepted frame payload (16 MiB).
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Errors produced while reading a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// A frame header declared a payload larger than [`MAX_FRAME`].
+    TooLarge(u32),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (header + payload) to `w`.
+///
+/// A mutable reference to a writer also works (`write_frame(&mut stream,
+/// ...)`).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer; payloads above [`MAX_FRAME`] are
+/// rejected with `InvalidInput`.
+pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds MAX_FRAME",
+        ));
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Reads one frame from `r`.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF before a header;
+/// [`FrameError::TooLarge`] on an oversized header; [`FrameError::Io`]
+/// otherwise (including EOF mid-frame, surfaced as `UnexpectedEof`).
+pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    // Distinguish clean close (0 bytes) from a torn header.
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Err(FrameError::Closed);
+            }
+            return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_single_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let frame = read_frame(Cursor::new(&buf)).unwrap();
+        assert_eq!(frame, b"hello");
+    }
+
+    #[test]
+    fn round_trip_multiple_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cursor = Cursor::new(&buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"one");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), vec![7u8; 1000]);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(
+            read_frame(Cursor::new(&[])),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn torn_header_is_io_error() {
+        let result = read_frame(Cursor::new(&[0u8, 0]));
+        assert!(matches!(result, Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn torn_payload_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // header + 2 payload bytes
+        assert!(matches!(
+            read_frame(Cursor::new(&buf)),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        let buf = (MAX_FRAME + 1).to_be_bytes();
+        assert!(matches!(
+            read_frame(Cursor::new(&buf)),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        // Does not allocate the payload: uses a zero-length slice check.
+        let huge = vec![0u8; (MAX_FRAME + 1) as usize];
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &huge).is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(FrameError::Closed.to_string().contains("closed"));
+        assert!(FrameError::TooLarge(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,23 @@
+//! A threaded TCP transport for running gossip consensus on a real network.
+//!
+//! The paper's implementation used libp2p channels over TCP: reliable,
+//! framed, with internal queues that *drop messages when full* so slow
+//! processes cannot block the transport (§4.2). This crate substitutes
+//! libp2p with plain `std::net::TcpStream`s and threads:
+//!
+//! * [`framing`] — length-prefixed frames over any `Read`/`Write`;
+//! * [`endpoint`] — a peer-to-peer endpoint: listens on a socket, dials
+//!   peers, keeps one send thread (bounded queue, drop-on-full) and one
+//!   receive thread per connection, and surfaces received frames on a
+//!   single queue.
+//!
+//! The transport moves raw frames (`Vec<u8>`); callers encode/decode
+//! protocol messages with [`semantic_gossip::codec::Wire`]. The
+//! `live_tcp` example in the repository root drives a full Paxos-over-gossip
+//! deployment over loop-back TCP with this crate.
+
+pub mod endpoint;
+pub mod framing;
+
+pub use endpoint::{Endpoint, EndpointConfig, PeerEvent};
+pub use framing::{read_frame, write_frame, FrameError, MAX_FRAME};

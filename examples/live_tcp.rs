@@ -1,0 +1,154 @@
+//! Paxos over Semantic Gossip on a real network: five OS processes' worth
+//! of nodes, each with its own TCP endpoint on loop-back, a partially
+//! connected overlay, and the full gossip + semantics + Paxos stack.
+//!
+//! This is the workspace's libp2p-substitute demonstration: protocol
+//! messages are encoded with the hand-written wire codec, framed, and
+//! pushed over real sockets by per-peer send threads with bounded queues.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example live_tcp
+//! ```
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use gossip_consensus::prelude::*;
+use gossip_consensus::gossip::codec::Wire;
+use gossip_consensus::transport::{Endpoint, EndpointConfig, PeerEvent};
+
+const N: usize = 5;
+
+fn main() {
+    // Ring + chord overlay: nobody is connected to everyone.
+    let mut overlay = Graph::new(N);
+    for i in 0..N {
+        overlay.add_edge(i, (i + 1) % N);
+    }
+    overlay.add_edge(1, 3);
+
+    // Bind all endpoints first so every address is known before dialing.
+    let endpoints: Vec<Endpoint> = (0..N as u32)
+        .map(|i| Endpoint::bind(EndpointConfig::new(NodeId::new(i)), "127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: HashMap<usize, SocketAddr> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i, e.local_addr()))
+        .collect();
+
+    // Each node dials its higher-numbered overlay neighbors (one TCP
+    // connection per edge, used in both directions).
+    for (a, b) in overlay.edges() {
+        endpoints[a].dial(addrs[&b]).unwrap();
+    }
+
+    // Wait until every endpoint sees all its overlay neighbors.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for (i, e) in endpoints.iter().enumerate() {
+        while e.peers().len() < overlay.degree(i) {
+            assert!(Instant::now() < deadline, "connection setup timed out");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    println!("overlay connected: {} nodes, {} TCP links", N, overlay.num_edges());
+
+    let (results_tx, results_rx) = mpsc::channel();
+    let mut workers = Vec::new();
+    for (i, endpoint) in endpoints.into_iter().enumerate() {
+        let results = results_tx.clone();
+        let neighbors: Vec<NodeId> = overlay
+            .neighbors(i)
+            .iter()
+            .map(|&p| NodeId::new(p as u32))
+            .collect();
+        workers.push(std::thread::spawn(move || {
+            node_main(i, endpoint, neighbors, results);
+        }));
+    }
+    drop(results_tx);
+
+    // Every node reports its delivered sequence; they must all match.
+    let mut sequences: Vec<(usize, Vec<(InstanceId, ValueId)>)> = Vec::new();
+    for _ in 0..N {
+        sequences.push(results_rx.recv_timeout(Duration::from_secs(30)).unwrap());
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    sequences.sort_by_key(|(id, _)| *id);
+    let reference = &sequences[0].1;
+    assert_eq!(reference.len(), N, "every submitted command must be ordered");
+    for (id, seq) in &sequences {
+        assert_eq!(seq, reference, "node {id} diverged");
+        println!("node {id} delivered {} commands in the agreed order ✓", seq.len());
+    }
+    println!("\nconsensus over real TCP sockets: all {N} nodes agree.");
+}
+
+/// The event loop of one node: TCP frames in, gossip + Paxos, TCP frames
+/// out.
+fn node_main(
+    id: usize,
+    endpoint: Endpoint,
+    neighbors: Vec<NodeId>,
+    results: mpsc::Sender<(usize, Vec<(InstanceId, ValueId)>)>,
+) {
+    let config = PaxosConfig::new(N);
+    let mut gossip: GossipNode<PaxosMessage, PaxosSemantics> = GossipNode::new(
+        NodeId::new(id as u32),
+        neighbors,
+        GossipConfig::default(),
+        PaxosSemantics::full(config.clone()),
+    );
+    let mut paxos = PaxosProcess::new(NodeId::new(id as u32), config);
+    let mut delivered: Vec<(InstanceId, ValueId)> = Vec::new();
+
+    // Node 0 coordinates; every node submits one client command.
+    if id == 0 {
+        for out in paxos.start_round(Round::ZERO) {
+            gossip.broadcast(out.msg);
+        }
+    }
+    let payload = format!("command-from-node-{id}").into_bytes();
+    let (_, out) = paxos.submit_payload(payload);
+    for o in out {
+        gossip.broadcast(o.msg);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while delivered.len() < N && Instant::now() < deadline {
+        // Ship pending gossip to the wire.
+        for (peer, msg) in gossip.take_outgoing() {
+            endpoint.send(peer, msg.to_bytes());
+        }
+        // Pull one network event (with a small timeout so we keep pumping).
+        if let Some(PeerEvent::Frame { from, payload }) =
+            endpoint.recv_timeout(Duration::from_millis(20))
+        {
+            match PaxosMessage::from_bytes(&payload) {
+                Ok(msg) => gossip.on_receive(from, msg),
+                Err(e) => eprintln!("node {id}: bad frame from {from}: {e}"),
+            }
+        }
+        // Drain deliveries into Paxos, broadcasting its responses.
+        loop {
+            let msgs = gossip.take_deliveries();
+            if msgs.is_empty() {
+                break;
+            }
+            for msg in msgs {
+                for o in paxos.handle(msg) {
+                    gossip.broadcast(o.msg);
+                }
+            }
+        }
+        for (instance, value) in paxos.take_decisions() {
+            delivered.push((instance, value.id()));
+        }
+    }
+    results.send((id, delivered)).unwrap();
+}

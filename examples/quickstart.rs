@@ -1,0 +1,139 @@
+//! Quickstart: five Paxos processes reach consensus over semantic gossip,
+//! fully in memory.
+//!
+//! The example builds the paper's stack by hand — gossip nodes with the
+//! Paxos semantic rules plugged in, one Paxos process per node — wires them
+//! over a partially connected overlay (a ring plus one chord, so no process
+//! talks to everyone), submits a handful of client values at different
+//! processes, and shows that every process delivers the same totally
+//! ordered sequence.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gossip_consensus::prelude::*;
+
+/// One in-memory node: the gossip substrate plus the Paxos state machine.
+struct Node {
+    gossip: GossipNode<PaxosMessage, PaxosSemantics>,
+    paxos: PaxosProcess,
+}
+
+impl Node {
+    /// Feeds Paxos everything the gossip layer delivered, broadcasting
+    /// whatever Paxos emits in response.
+    fn pump(&mut self) -> bool {
+        let mut progressed = false;
+        loop {
+            let deliveries = self.gossip.take_deliveries();
+            if deliveries.is_empty() {
+                break;
+            }
+            progressed = true;
+            for msg in deliveries {
+                for out in self.paxos.handle(msg) {
+                    self.gossip.broadcast(out.msg);
+                }
+            }
+        }
+        progressed
+    }
+}
+
+fn main() {
+    let n = 5;
+    let config = PaxosConfig::new(n);
+
+    // A ring with one chord: node i talks to i±1 only (plus 0–2), so
+    // messages need multiple hops — the partially connected network the
+    // paper targets.
+    let mut overlay = Graph::new(n);
+    for i in 0..n {
+        overlay.add_edge(i, (i + 1) % n);
+    }
+    overlay.add_edge(0, 2);
+
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|i| {
+            let peers = overlay
+                .neighbors(i)
+                .iter()
+                .map(|&p| NodeId::new(p as u32))
+                .collect();
+            Node {
+                gossip: GossipNode::new(
+                    NodeId::new(i as u32),
+                    peers,
+                    GossipConfig::default(),
+                    PaxosSemantics::full(config.clone()),
+                ),
+                paxos: PaxosProcess::new(NodeId::new(i as u32), config.clone()),
+            }
+        })
+        .collect();
+
+    // Process 0 becomes the coordinator of round 0 (Phase 1 over gossip).
+    for out in nodes[0].paxos.start_round(Round::ZERO) {
+        nodes[0].gossip.broadcast(out.msg);
+    }
+
+    // Clients submit values at *different* processes; non-coordinators
+    // forward them through gossip.
+    for (proc_id, payload) in [(1usize, "alpha"), (3, "bravo"), (4, "charlie"), (0, "delta")] {
+        let (value, out) = nodes[proc_id].paxos.submit_payload(payload.as_bytes().to_vec());
+        println!("client at p{proc_id} submits {:?} as {}", payload, value.id());
+        for o in out {
+            nodes[proc_id].gossip.broadcast(o.msg);
+        }
+    }
+
+    // Synchronous dissemination rounds until the network quiesces.
+    let mut rounds = 0;
+    loop {
+        let mut progressed = false;
+        for i in 0..n {
+            progressed |= nodes[i].pump();
+            for (peer, msg) in nodes[i].gossip.take_outgoing() {
+                nodes[peer.as_index()]
+                    .gossip
+                    .on_receive(NodeId::new(i as u32), msg);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+        rounds += 1;
+        assert!(rounds < 10_000, "did not quiesce");
+    }
+
+    println!("\nnetwork quiesced after {rounds} gossip rounds\n");
+    let reference: Vec<(InstanceId, Value)> = {
+        let decisions = nodes[0].paxos.take_decisions();
+        for (instance, value) in &decisions {
+            println!(
+                "p0 delivers {instance}: {:?} (from {})",
+                String::from_utf8_lossy(value.payload()),
+                value.id()
+            );
+        }
+        decisions
+    };
+    assert_eq!(reference.len(), 4, "all four values must be ordered");
+
+    for i in 1..n {
+        let decisions = nodes[i].paxos.take_decisions();
+        assert_eq!(decisions, reference, "p{i} must deliver the same order");
+    }
+    println!("\nall {n} processes delivered the same totally ordered sequence ✓");
+
+    // The gossip layer did real work: count what semantics saved.
+    let stats = nodes[1].gossip.stats();
+    println!(
+        "p1 gossip stats: received {} messages, {} duplicates suppressed, \
+         {} filtered, {} merged by aggregation",
+        stats.received, stats.duplicates, stats.filtered, stats.aggregated_away
+    );
+}

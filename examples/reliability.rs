@@ -1,0 +1,67 @@
+//! Reliability under message loss: gossip's redundancy at work (§4.5).
+//!
+//! Messages received by every process are randomly discarded at increasing
+//! rates while Paxos's timeout-triggered recovery is disabled — the only
+//! thing standing between the protocol and lost commands is the redundancy
+//! of the communication substrate. The example prints the portion of
+//! submitted commands that were never ordered, for classic Gossip and
+//! Semantic Gossip, and demonstrates the paper's finding: moderate loss
+//! (≤10%) is fully masked, and the semantic optimizations do not cost
+//! reliability.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example reliability [n]
+//! ```
+
+use gossip_consensus::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n"))
+        .unwrap_or(13);
+    let loss_rates = [0.0, 0.05, 0.10, 0.20, 0.30];
+    let seeds = 3;
+
+    println!("Injected receive-side loss, n = {n}, timeouts disabled, {seeds} runs per cell\n");
+    print!("{:<16}", "setup");
+    for loss in loss_rates {
+        print!(" {:>8}", format!("{:.0}%", loss * 100.0));
+    }
+    println!("\n{}", "-".repeat(16 + loss_rates.len() * 9));
+
+    for setup in [Setup::Gossip, Setup::SemanticGossip] {
+        print!("{:<16}", setup.name());
+        for loss in loss_rates {
+            let mut submitted = 0u64;
+            let mut lost = 0u64;
+            for seed in 0..seeds {
+                let params = ClusterParams::paper(n, setup)
+                    .with_rate(26.0)
+                    .with_seconds(3.0, 1.0)
+                    .with_loss(loss)
+                    .with_seed(7 + seed);
+                let m = run_cluster(&params);
+                assert!(m.safety_ok, "loss must never violate safety");
+                submitted += m.submitted_in_window;
+                lost += m.not_ordered_in_window;
+            }
+            let frac = lost as f64 / submitted.max(1) as f64;
+            print!(
+                " {:>8}",
+                if lost == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", frac * 100.0)
+                }
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "\n'-' means every submitted command was ordered despite the loss.\n\
+         Safety was verified in every run: no two replicas ever diverged."
+    );
+}

@@ -1,0 +1,64 @@
+//! Geo-distributed state machine replication: the paper's headline
+//! comparison on the simulated WAN.
+//!
+//! Thirteen clients — one per AWS region — submit 1 KiB commands to a Paxos
+//! deployment spread over all regions, exactly like §4.2 of the paper. The
+//! example runs the same workload under the three communication substrates
+//! and prints the comparison: Baseline (full connectivity, best case),
+//! classic Gossip (partially connected overlay), and Semantic Gossip.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example wan_paxos [n] [rate]
+//! ```
+
+use gossip_consensus::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().map(|a| a.parse().expect("n")).unwrap_or(13);
+    let rate: f64 = args.next().map(|a| a.parse().expect("rate")).unwrap_or(26.0);
+
+    println!("Paxos across 13 regions: n = {n}, {rate:.0} commands/s aggregate\n");
+    println!(
+        "{:<16} {:>12} {:>14} {:>12} {:>12} {:>10}",
+        "setup", "ordered", "throughput/s", "avg lat", "p99 lat", "dup %"
+    );
+
+    // The same random overlay for both gossip setups, as the paper enforces.
+    let overlay = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        connected_k_out(n, paper_fanout(n), &mut rng, 100).expect("connected overlay")
+    };
+
+    for setup in [Setup::Baseline, Setup::Gossip, Setup::SemanticGossip] {
+        let mut params = ClusterParams::paper(n, setup)
+            .with_rate(rate)
+            .with_seconds(4.0, 1.0)
+            .with_seed(42);
+        if setup.uses_gossip() {
+            params = params.with_overlay(overlay.clone());
+        }
+        let mut m = run_cluster(&params);
+        assert!(m.safety_ok, "replicas diverged — Paxos safety violated!");
+        let (avg, _std) = m.latency_stats();
+        let p99 = m.latency.percentile(99.0).unwrap_or(SimDuration::ZERO);
+        println!(
+            "{:<16} {:>12} {:>14.1} {:>12} {:>12} {:>9.1}%",
+            setup.name(),
+            m.ordered,
+            m.throughput(),
+            format!("{avg}"),
+            format!("{p99}"),
+            m.duplicate_ratio() * 100.0,
+        );
+    }
+
+    println!(
+        "\nBaseline assumes the coordinator can reach every process directly;\n\
+         the gossip setups only need the random overlay (each process talks\n\
+         to ~log2(n) peers) — the price is latency, and Semantic Gossip wins\n\
+         back a good part of it."
+    );
+}

@@ -1,0 +1,113 @@
+//! Full-stack integration tests: the complete simulated deployment
+//! (simnet + overlay + gossip + semantics + Paxos + clients) under each of
+//! the paper's setups.
+
+use gossip_consensus::prelude::*;
+
+fn run(setup: Setup, n: usize, rate: f64, seed: u64) -> RunMetrics {
+    let params = ClusterParams::paper(n, setup)
+        .with_rate(rate)
+        .with_seconds(2.0, 1.0)
+        .with_seed(seed);
+    run_cluster(&params)
+}
+
+#[test]
+fn all_setups_order_all_values_at_low_load() {
+    for setup in [Setup::Baseline, Setup::Gossip, Setup::SemanticGossip] {
+        let m = run(setup, 13, 13.0, 1);
+        assert!(m.safety_ok, "{setup:?}");
+        assert_eq!(m.not_ordered_in_window, 0, "{setup:?} lost values");
+        assert!(m.ordered >= 10, "{setup:?} ordered too little");
+    }
+}
+
+#[test]
+fn latency_ordering_matches_the_paper() {
+    // Baseline < Semantic Gossip <= Gossip in average latency at low load.
+    let b = run(Setup::Baseline, 13, 13.0, 2).latency_stats().0;
+    let g = run(Setup::Gossip, 13, 13.0, 2).latency_stats().0;
+    let s = run(Setup::SemanticGossip, 13, 13.0, 2).latency_stats().0;
+    assert!(b < g, "baseline {b} should beat gossip {g}");
+    assert!(b < s, "baseline {b} should beat semantic {s}");
+}
+
+#[test]
+fn semantic_gossip_cuts_traffic_under_load() {
+    let g = run(Setup::Gossip, 13, 60.0, 3);
+    let s = run(Setup::SemanticGossip, 13, 60.0, 3);
+    assert!(
+        (s.gossip_received() as f64) < 0.9 * g.gossip_received() as f64,
+        "semantic {} vs classic {}",
+        s.gossip_received(),
+        g.gossip_received()
+    );
+    // Filtering also reduces what Paxos has to process.
+    assert!(s.gossip.delivered.get() <= g.gossip.delivered.get());
+    // But gossip's redundancy is preserved: duplicates still dominate.
+    assert!(s.duplicate_ratio() > 0.2, "{}", s.duplicate_ratio());
+}
+
+#[test]
+fn ablation_modes_run_and_stay_safe() {
+    for mode in [SemanticMode::FILTERING_ONLY, SemanticMode::AGGREGATION_ONLY] {
+        let m = run(Setup::Custom(mode), 13, 26.0, 4);
+        assert!(m.safety_ok);
+        assert_eq!(m.not_ordered_in_window, 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn filtering_only_filters_and_aggregation_only_aggregates() {
+    let f = run(Setup::Custom(SemanticMode::FILTERING_ONLY), 13, 40.0, 5);
+    assert!(f.gossip.filtered.get() > 0);
+    assert_eq!(f.gossip.aggregated_away.get(), 0);
+
+    let a = run(Setup::Custom(SemanticMode::AGGREGATION_ONLY), 13, 40.0, 5);
+    assert_eq!(a.gossip.filtered.get(), 0);
+    assert!(a.gossip.aggregated_away.get() > 0);
+}
+
+#[test]
+fn larger_system_still_works() {
+    let m = run(Setup::SemanticGossip, 27, 20.0, 6);
+    assert!(m.safety_ok);
+    assert_eq!(m.not_ordered_in_window, 0);
+}
+
+#[test]
+fn loss_beyond_redundancy_loses_values_but_never_safety() {
+    for setup in [Setup::Gossip, Setup::SemanticGossip] {
+        let params = ClusterParams::paper(13, setup)
+            .with_rate(26.0)
+            .with_seconds(2.0, 1.0)
+            .with_loss(0.45)
+            .with_seed(7);
+        let m = run_cluster(&params);
+        assert!(m.safety_ok, "{setup:?}: replicas must never diverge");
+        assert!(m.not_ordered_in_window > 0, "{setup:?}: 45% loss must bite");
+    }
+}
+
+#[test]
+fn throughput_reflects_offered_load_below_saturation() {
+    let m = run(Setup::Baseline, 13, 40.0, 8);
+    let tput = m.throughput();
+    assert!(
+        (tput - 40.0).abs() < 8.0,
+        "throughput {tput} should track the 40/s offered load"
+    );
+}
+
+#[test]
+fn region_latency_reflects_geography_in_baseline() {
+    let m = run(Setup::Baseline, 13, 13.0, 9);
+    // The client co-located with the coordinator (slot 0, North Virginia)
+    // must see lower latency than the farthest region (Singapore, slot 12).
+    let near = m.latency_by_region[0].mean();
+    let far = m.latency_by_region[12].mean();
+    assert!(
+        near < far,
+        "coordinator-region client {near} should beat Singapore {far}"
+    );
+}

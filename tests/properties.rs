@@ -1,0 +1,345 @@
+//! Cross-crate property-based tests: gossip dissemination and Paxos safety
+//! under adversarial schedules.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+use gossip_consensus::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Gossip dissemination properties
+// ---------------------------------------------------------------------------
+
+/// Synchronously settles a mesh of classic gossip nodes over `graph` after
+/// the given broadcasts; returns per-node delivered message counts.
+fn settle_classic(graph: &Graph, broadcasts: &[(usize, u64)]) -> Vec<Vec<PaxosMessage>> {
+    let mut nodes: Vec<GossipNode<PaxosMessage, NoSemantics>> = (0..graph.len())
+        .map(|i| {
+            let peers = graph
+                .neighbors(i)
+                .iter()
+                .map(|&p| NodeId::new(p as u32))
+                .collect();
+            GossipNode::new(
+                NodeId::new(i as u32),
+                peers,
+                GossipConfig::default(),
+                NoSemantics,
+            )
+        })
+        .collect();
+    for &(origin, seq) in broadcasts {
+        nodes[origin].broadcast(PaxosMessage::ClientValue {
+            forwarder: NodeId::new(origin as u32),
+            value: Value::new(NodeId::new(origin as u32), seq, vec![0; 8]),
+        });
+    }
+    let mut delivered: Vec<Vec<PaxosMessage>> = vec![Vec::new(); graph.len()];
+    loop {
+        let mut progressed = false;
+        for i in 0..nodes.len() {
+            delivered[i].extend(nodes[i].take_deliveries());
+            for (peer, msg) in nodes[i].take_outgoing() {
+                nodes[peer.as_index()].on_receive(NodeId::new(i as u32), msg);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            for (i, d) in delivered.iter_mut().enumerate() {
+                d.extend(nodes[i].take_deliveries());
+            }
+            return delivered;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On any connected overlay, every broadcast reaches every node exactly
+    /// once (classic push gossip with duplicate suppression).
+    #[test]
+    fn prop_gossip_reaches_everyone_exactly_once(
+        seed in 0u64..500,
+        n in 4usize..20,
+        broadcasts in proptest::collection::vec((0usize..20, 0u64..1000), 1..10),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = connected_k_out(n, paper_fanout(n), &mut rng, 100).unwrap();
+        let broadcasts: Vec<(usize, u64)> = broadcasts
+            .into_iter()
+            .map(|(origin, seq)| (origin % n, seq))
+            .collect();
+        // Distinct (origin, seq) pairs produce distinct message ids.
+        let mut unique = broadcasts.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let delivered = settle_classic(&graph, &unique);
+        for (i, msgs) in delivered.iter().enumerate() {
+            prop_assert_eq!(msgs.len(), unique.len(), "node {} delivery count", i);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Semantic gossip never hides a decision: on any connected overlay, if
+    /// a quorum of votes plus the decision are injected, every node ends up
+    /// knowing the decided instance even though filtering drops messages.
+    #[test]
+    fn prop_semantic_filtering_preserves_decision_knowledge(
+        seed in 0u64..500,
+        n in 4usize..16,
+        injectors in proptest::collection::vec(0usize..16, 1..5),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = connected_k_out(n, paper_fanout(n), &mut rng, 100).unwrap();
+        let config = PaxosConfig::new(n);
+        let mut nodes: Vec<GossipNode<PaxosMessage, PaxosSemantics>> = (0..n)
+            .map(|i| {
+                let peers = graph
+                    .neighbors(i)
+                    .iter()
+                    .map(|&p| NodeId::new(p as u32))
+                    .collect();
+                GossipNode::new(
+                    NodeId::new(i as u32),
+                    peers,
+                    GossipConfig::default(),
+                    PaxosSemantics::full(config.clone()),
+                )
+            })
+            .collect();
+        // A quorum of identical votes, each injected at some node, then the
+        // decision injected at the first node.
+        let value = Value::new(NodeId::new(0), 7, vec![9; 16]);
+        for (k, &at) in injectors.iter().enumerate() {
+            nodes[at % n].broadcast(PaxosMessage::Phase2b {
+                instance: InstanceId::ZERO,
+                round: Round::ZERO,
+                value: value.clone(),
+                voters: vec![NodeId::new(k as u32)],
+            });
+        }
+        nodes[injectors[0] % n].broadcast(PaxosMessage::Decision {
+            instance: InstanceId::ZERO,
+            value,
+            sender: NodeId::new(0),
+        });
+        // Settle.
+        loop {
+            let mut progressed = false;
+            for i in 0..n {
+                let _ = nodes[i].take_deliveries();
+                for (peer, msg) in nodes[i].take_outgoing() {
+                    nodes[peer.as_index()].on_receive(NodeId::new(i as u32), msg);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            prop_assert!(
+                node.semantics().knows_decided(InstanceId::ZERO),
+                "node {} never learned the decision",
+                i
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paxos safety under adversarial delivery
+// ---------------------------------------------------------------------------
+
+/// Runs Paxos with a randomized delivery schedule: messages may be dropped,
+/// duplicated, and reordered arbitrarily. Returns every process's delivered
+/// sequence.
+fn chaos_run(
+    n: usize,
+    values: usize,
+    seed: u64,
+    drop_rate: f64,
+    dup_rate: f64,
+) -> Vec<Vec<(InstanceId, ValueId)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = PaxosConfig::new(n);
+    let mut procs: Vec<PaxosProcess> = (0..n as u32)
+        .map(|i| PaxosProcess::new(NodeId::new(i), config.clone()))
+        .collect();
+    // (destination, message) pool; "broadcast" fans out to every process.
+    let mut pool: VecDeque<(usize, PaxosMessage)> = VecDeque::new();
+    let fan_out = |out: Vec<paxos::Outbound>, pool: &mut VecDeque<(usize, PaxosMessage)>| {
+        for o in out {
+            for dst in 0..n {
+                pool.push_back((dst, o.msg.clone()));
+            }
+        }
+    };
+
+    fan_out(procs[0].start_round(Round::ZERO), &mut pool);
+    for v in 0..values {
+        let origin = v % n;
+        let (_, out) = procs[origin].submit_payload(vec![v as u8]);
+        fan_out(out, &mut pool);
+    }
+
+    let mut delivered: Vec<Vec<(InstanceId, ValueId)>> = vec![Vec::new(); n];
+    let mut steps = 0usize;
+    while let Some(pos) = pick(&mut rng, pool.len()) {
+        steps += 1;
+        if steps > 500_000 {
+            break; // safety-net; the property only checks consistency
+        }
+        let (dst, msg) = pool.remove(pos).expect("index in range");
+        if rng.gen::<f64>() < drop_rate {
+            continue;
+        }
+        if rng.gen::<f64>() < dup_rate {
+            pool.push_back((dst, msg.clone()));
+        }
+        fan_out(procs[dst].handle(msg), &mut pool);
+        delivered[dst].extend(
+            procs[dst]
+                .take_decisions()
+                .into_iter()
+                .map(|(i, v)| (i, v.id())),
+        );
+    }
+    delivered
+}
+
+fn pick(rng: &mut StdRng, len: usize) -> Option<usize> {
+    if len == 0 {
+        None
+    } else {
+        Some(rng.gen_range(0..len))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under arbitrary drops, duplications and reorderings, all processes
+    /// deliver consistent prefixes: no two processes ever disagree on the
+    /// value of an instance.
+    #[test]
+    fn prop_paxos_prefix_consistency(
+        seed in 0u64..10_000,
+        n in 3usize..8,
+        values in 1usize..6,
+        drop in 0.0f64..0.4,
+        dup in 0.0f64..0.3,
+    ) {
+        let delivered = chaos_run(n, values, seed, drop, dup);
+        let longest = delivered.iter().max_by_key(|d| d.len()).unwrap().clone();
+        for (p, log) in delivered.iter().enumerate() {
+            for (a, b) in log.iter().zip(longest.iter()) {
+                prop_assert_eq!(a, b, "process {} diverged", p);
+            }
+        }
+    }
+
+    /// With no loss, every submitted value is eventually delivered by every
+    /// process, in the same order.
+    #[test]
+    fn prop_paxos_liveness_without_loss(
+        seed in 0u64..10_000,
+        n in 3usize..8,
+        values in 1usize..6,
+    ) {
+        let delivered = chaos_run(n, values, seed, 0.0, 0.0);
+        for (p, log) in delivered.iter().enumerate() {
+            prop_assert_eq!(log.len(), values, "process {} must deliver all", p);
+            prop_assert_eq!(log, &delivered[0], "process {} order differs", p);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-format properties
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0u32..50, 0u64..1000, proptest::collection::vec(any::<u8>(), 0..64))
+        .prop_map(|(origin, seq, payload)| Value::new(NodeId::new(origin), seq, payload))
+}
+
+fn arb_message() -> impl Strategy<Value = PaxosMessage> {
+    let voters = proptest::collection::btree_set(0u32..64, 1..8)
+        .prop_map(|s| s.into_iter().map(NodeId::new).collect::<Vec<_>>());
+    prop_oneof![
+        (0u32..50, arb_value()).prop_map(|(f, value)| PaxosMessage::ClientValue {
+            forwarder: NodeId::new(f),
+            value,
+        }),
+        (0u32..100, 0u64..1000, 0u32..50).prop_map(|(r, i, s)| PaxosMessage::Phase1a {
+            round: Round::new(r),
+            from_instance: InstanceId::new(i),
+            sender: NodeId::new(s),
+        }),
+        (0u64..1000, 0u32..100, arb_value(), 0u32..50).prop_map(|(i, r, value, s)| {
+            PaxosMessage::Phase2a {
+                instance: InstanceId::new(i),
+                round: Round::new(r),
+                value,
+                sender: NodeId::new(s),
+            }
+        }),
+        (0u64..1000, 0u32..100, arb_value(), voters).prop_map(|(i, r, value, voters)| {
+            PaxosMessage::Phase2b {
+                instance: InstanceId::new(i),
+                round: Round::new(r),
+                value,
+                voters,
+            }
+        }),
+        (0u64..1000, arb_value(), 0u32..50).prop_map(|(i, value, s)| PaxosMessage::Decision {
+            instance: InstanceId::new(i),
+            value,
+            sender: NodeId::new(s),
+        }),
+    ]
+}
+
+proptest! {
+    /// Any Paxos message survives encode → decode byte-identically, and the
+    /// declared encoded length is exact.
+    #[test]
+    fn prop_message_wire_round_trip(msg in arb_message()) {
+        use gossip_consensus::gossip::codec::Wire;
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        prop_assert_eq!(PaxosMessage::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    /// Disaggregating an aggregated vote yields votes whose ids match what
+    /// the original senders would have produced, and re-aggregation is
+    /// stable.
+    #[test]
+    fn prop_aggregation_reversible(
+        i in 0u64..100,
+        r in 0u32..50,
+        value in arb_value(),
+        voters in proptest::collection::btree_set(0u32..32, 2..10),
+    ) {
+        let voters: Vec<NodeId> = voters.into_iter().map(NodeId::new).collect();
+        let agg = PaxosMessage::Phase2b {
+            instance: InstanceId::new(i),
+            round: Round::new(r),
+            value,
+            voters: voters.clone(),
+        };
+        let parts = agg.clone().disaggregate_votes();
+        prop_assert_eq!(parts.len(), voters.len());
+        let mut sem = PaxosSemantics::full(PaxosConfig::new(64));
+        let re = sem.aggregate(parts, NodeId::new(63));
+        prop_assert_eq!(re.len(), 1);
+        prop_assert_eq!(re.into_iter().next().unwrap(), agg);
+    }
+}
