@@ -128,9 +128,7 @@ fn ablation_strategy(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(name),
             &with_pull,
-            |b, &with_pull| {
-                b.iter(|| black_box(lossy_dissemination(24, 16, 0.3, with_pull, 5)))
-            },
+            |b, &with_pull| b.iter(|| black_box(lossy_dissemination(24, 16, 0.3, with_pull, 5))),
         );
     }
     g.finish();

@@ -7,9 +7,7 @@ use std::hint::black_box;
 use bench::{semantics, vote_batch};
 use paxos::{InstanceId, PaxosMessage, Round, Value};
 use semantic_gossip::codec::Wire;
-use semantic_gossip::{
-    GossipConfig, GossipItem, GossipNode, NoSemantics, NodeId, Semantics,
-};
+use semantic_gossip::{GossipConfig, GossipItem, GossipNode, NoSemantics, NodeId, Semantics};
 
 fn sample_vote(payload: usize) -> PaxosMessage {
     PaxosMessage::Phase2b {
@@ -40,17 +38,13 @@ fn bench_aggregation(c: &mut Criterion) {
     let mut g = c.benchmark_group("aggregation");
     for voters in [4usize, 16, 52] {
         let batch = vote_batch(voters);
-        g.bench_with_input(
-            BenchmarkId::new("aggregate", voters),
-            &batch,
-            |b, batch| {
-                b.iter_batched(
-                    || (semantics(105), batch.clone()),
-                    |(mut sem, batch)| black_box(sem.aggregate(batch, NodeId::new(104))),
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("aggregate", voters), &batch, |b, batch| {
+            b.iter_batched(
+                || (semantics(105), batch.clone()),
+                |(mut sem, batch)| black_box(sem.aggregate(batch, NodeId::new(104))),
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     // Disaggregation of a 52-voter aggregate (n=105 quorum).
     let mut sem = semantics(105);
@@ -106,11 +100,58 @@ fn bench_message_id(c: &mut Criterion) {
     c.bench_function("message_id", |b| b.iter(|| black_box(msg.message_id())));
 }
 
+/// Instrumented vs uninstrumented gossip node on the same broadcast/drain
+/// workload. `NoopObserver` must monomorphize to the pre-instrumentation
+/// hot path; `RingObserver` shows the cost of actually buffering events.
+fn bench_obs_overhead(c: &mut Criterion) {
+    use obs::RingObserver;
+    use semantic_gossip::RecentCache;
+
+    fn workload<O: obs::Observer>(
+        node: &mut GossipNode<PaxosMessage, NoSemantics, RecentCache, O>,
+        seq: &mut u64,
+    ) {
+        *seq += 1;
+        node.broadcast(PaxosMessage::ClientValue {
+            forwarder: NodeId::new(0),
+            value: Value::new(NodeId::new(0), *seq, vec![0; 1024]),
+        });
+        black_box(node.take_deliveries());
+        black_box(node.take_outgoing());
+    }
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.throughput(Throughput::Elements(1));
+    let peers: Vec<NodeId> = (1..=7).map(NodeId::new).collect();
+    g.bench_function("noop_observer", |b| {
+        let mut node: GossipNode<PaxosMessage, NoSemantics> =
+            GossipNode::classic(NodeId::new(0), peers.clone(), GossipConfig::default());
+        let mut seq = 0u64;
+        b.iter(|| workload(&mut node, &mut seq))
+    });
+    g.bench_function("ring_observer", |b| {
+        let config = GossipConfig::default();
+        let mut node: GossipNode<PaxosMessage, NoSemantics, RecentCache, RingObserver> =
+            GossipNode::with_observer(
+                NodeId::new(0),
+                peers.clone(),
+                config,
+                NoSemantics,
+                RecentCache::new(config.recent_cache_size),
+                RingObserver::with_capacity(4096),
+            );
+        let mut seq = 0u64;
+        b.iter(|| workload(&mut node, &mut seq))
+    });
+    g.finish();
+}
+
 criterion_group!(
     micro,
     bench_codec,
     bench_aggregation,
     bench_gossip_node,
-    bench_message_id
+    bench_message_id,
+    bench_obs_overhead
 );
 criterion_main!(micro);

@@ -6,14 +6,12 @@
 //! reports. Everything here is deterministic per seed.
 
 use paxos::{PaxosConfig, PaxosMessage, Value};
-use raft_lite::{RaftConfig, RaftMessage, RaftNode, RaftSemantics, Term};
 use paxos_semantics::PaxosSemantics;
+use raft_lite::{RaftConfig, RaftMessage, RaftNode, RaftSemantics, Term};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use semantic_gossip::pull::PullStore;
-use semantic_gossip::{
-    DuplicateFilter, GossipConfig, GossipItem, GossipNode, NoSemantics, NodeId,
-};
+use semantic_gossip::{DuplicateFilter, GossipConfig, GossipItem, GossipNode, NoSemantics, NodeId};
 use testbed::{run_cluster, ClusterParams, RunMetrics, Setup};
 
 /// A small, fast cluster run used by the figure benches.
@@ -224,7 +222,7 @@ pub fn raft_mesh_sent(n: usize, commands: usize, semantic: bool, seed: u64) -> u
         gossips[0].broadcast(m);
     }
     let settle = |gossips: &mut Vec<GossipNode<RaftMessage, RaftSemantics>>,
-                      nodes: &mut Vec<RaftNode>| loop {
+                  nodes: &mut Vec<RaftNode>| loop {
         let mut progressed = false;
         for i in 0..n {
             loop {

@@ -146,7 +146,10 @@ impl SlidingBloom {
     /// Panics if `bits` or `generation_capacity` is zero.
     pub fn new(bits: usize, generation_capacity: usize) -> Self {
         assert!(bits > 0, "bloom filter needs at least one bit");
-        assert!(generation_capacity > 0, "generation capacity must be positive");
+        assert!(
+            generation_capacity > 0,
+            "generation capacity must be positive"
+        );
         let words = bits.div_ceil(64);
         SlidingBloom {
             generations: [vec![0u64; words], vec![0u64; words]],
@@ -180,7 +183,9 @@ impl SlidingBloom {
     }
 
     fn generation_contains(gen: &[u64], positions: &[usize]) -> bool {
-        positions.iter().all(|&p| gen[p / 64] & (1 << (p % 64)) != 0)
+        positions
+            .iter()
+            .all(|&p| gen[p / 64] & (1 << (p % 64)) != 0)
     }
 
     fn set_bits(gen: &mut [u64], positions: &[usize]) {

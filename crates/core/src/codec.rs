@@ -375,7 +375,7 @@ mod tests {
         let none: Option<u64> = None;
         assert_eq!(Option::<u64>::from_bytes(&some.to_bytes()).unwrap(), some);
         assert_eq!(Option::<u64>::from_bytes(&none.to_bytes()).unwrap(), none);
-        assert_eq!(bool::from_bytes(&true.to_bytes()).unwrap(), true);
+        assert!(bool::from_bytes(&true.to_bytes()).unwrap());
         assert!(matches!(
             bool::from_bytes(&[7]),
             Err(WireError::InvalidTag(7))
@@ -415,10 +415,7 @@ mod tests {
         let mut buf = Vec::new();
         put_varint(&mut buf, MAX_LENGTH + 1);
         let mut r = Reader::new(&buf);
-        assert!(matches!(
-            r.byte_string(),
-            Err(WireError::LengthTooLarge(_))
-        ));
+        assert!(matches!(r.byte_string(), Err(WireError::LengthTooLarge(_))));
     }
 
     #[test]

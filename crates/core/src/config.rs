@@ -68,16 +68,25 @@ mod tests {
 
     #[test]
     fn zero_fields_rejected() {
-        let mut c = GossipConfig::default();
-        c.recent_cache_size = 0;
+        let c = GossipConfig {
+            recent_cache_size: 0,
+            ..GossipConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("recent_cache_size"));
 
-        let mut c = GossipConfig::default();
-        c.send_queue_capacity = 0;
+        let c = GossipConfig {
+            send_queue_capacity: 0,
+            ..GossipConfig::default()
+        };
         assert!(c.validate().unwrap_err().contains("send_queue_capacity"));
 
-        let mut c = GossipConfig::default();
-        c.delivery_queue_capacity = 0;
-        assert!(c.validate().unwrap_err().contains("delivery_queue_capacity"));
+        let c = GossipConfig {
+            delivery_queue_capacity: 0,
+            ..GossipConfig::default()
+        };
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .contains("delivery_queue_capacity"));
     }
 }

@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 
+use obs::{Event, NoopObserver, Observer};
+
 use crate::cache::{DuplicateFilter, RecentCache};
 use crate::config::GossipConfig;
 use crate::id::{MessageId, NodeId};
@@ -34,7 +36,10 @@ pub trait GossipItem: Clone {
 ///
 /// Type parameters: `M` the message type, `S` the [`Semantics`]
 /// implementation (default classic), `F` the [`DuplicateFilter`] (default
-/// the exact [`RecentCache`]).
+/// the exact [`RecentCache`]), and `O` the [`Observer`] receiving trace
+/// events (default the zero-cost [`NoopObserver`] — emission sites are
+/// guarded on `O::ENABLED`, so the default compiles to the uninstrumented
+/// hot path).
 ///
 /// A runtime drives the node with four calls:
 ///
@@ -46,7 +51,7 @@ pub trait GossipItem: Clone {
 /// 4. [`take_deliveries`](Self::take_deliveries) to collect messages for the
 ///    local consensus protocol.
 #[derive(Debug)]
-pub struct GossipNode<M, S = NoSemantics, F = RecentCache> {
+pub struct GossipNode<M, S = NoSemantics, F = RecentCache, O = NoopObserver> {
     id: NodeId,
     peers: Vec<NodeId>,
     send_queues: Vec<VecDeque<M>>,
@@ -55,6 +60,7 @@ pub struct GossipNode<M, S = NoSemantics, F = RecentCache> {
     semantics: S,
     stats: MessageStats,
     config: GossipConfig,
+    observer: O,
 }
 
 impl<M: GossipItem> GossipNode<M, NoSemantics, RecentCache> {
@@ -83,7 +89,8 @@ impl<M: GossipItem, S: Semantics<M>> GossipNode<M, S, RecentCache> {
 }
 
 impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter> GossipNode<M, S, F> {
-    /// Creates a node with explicit semantics and duplicate filter.
+    /// Creates a node with explicit semantics and duplicate filter (and the
+    /// zero-cost [`NoopObserver`]).
     ///
     /// # Panics
     ///
@@ -95,6 +102,26 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter> GossipNode<M, S, F> {
         config: GossipConfig,
         semantics: S,
         filter: F,
+    ) -> Self {
+        GossipNode::with_observer(id, peers, config, semantics, filter, NoopObserver)
+    }
+}
+
+impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode<M, S, F, O> {
+    /// Creates a fully explicit node: semantics, duplicate filter, and the
+    /// observer receiving trace events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid, or `peers` contains `id` or duplicate
+    /// entries.
+    pub fn with_observer(
+        id: NodeId,
+        peers: Vec<NodeId>,
+        config: GossipConfig,
+        semantics: S,
+        filter: F,
+        observer: O,
     ) -> Self {
         if let Err(e) = config.validate() {
             panic!("invalid gossip config: {e}");
@@ -114,7 +141,19 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter> GossipNode<M, S, F> {
             semantics,
             stats: MessageStats::default(),
             config,
+            observer,
         }
+    }
+
+    /// Shared access to the observer (e.g. to read a buffered trace).
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Exclusive access to the observer (e.g. to drain a
+    /// [`obs::RingObserver`] or advance its clock).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// This node's id.
@@ -157,11 +196,36 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter> GossipNode<M, S, F> {
     /// `from`.
     pub fn on_receive(&mut self, from: NodeId, msg: M) {
         self.stats.received.incr();
+        let incoming = if O::ENABLED {
+            msg.message_id().low()
+        } else {
+            0
+        };
+        if O::ENABLED {
+            self.observer.record(Event::GossipReceived {
+                node: self.id.as_u32(),
+                from: from.as_u32(),
+                msg: incoming,
+            });
+        }
         let parts = self.semantics.disaggregate(msg);
+        if O::ENABLED && parts.len() > 1 {
+            self.observer.record(Event::GossipDisaggregated {
+                node: self.id.as_u32(),
+                msg: incoming,
+                parts: parts.len() as u64,
+            });
+        }
         for part in parts {
             self.stats.received_parts.incr();
             if self.filter.contains(part.message_id()) {
                 self.stats.duplicates.incr();
+                if O::ENABLED {
+                    self.observer.record(Event::DuplicateDropped {
+                        node: self.id.as_u32(),
+                        msg: part.message_id().low(),
+                    });
+                }
                 continue;
             }
             self.register_fresh(part, Some(from));
@@ -171,17 +235,40 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter> GossipNode<M, S, F> {
     /// Registers a fresh message: cache, observe, deliver, enqueue to peers
     /// (except the optional origin).
     fn register_fresh(&mut self, msg: M, origin: Option<NodeId>) {
+        let trace_id = if O::ENABLED {
+            msg.message_id().low()
+        } else {
+            0
+        };
         if !self.filter.insert(msg.message_id()) {
             // Locally broadcast duplicate (e.g. consensus re-broadcasts).
             self.stats.duplicates.incr();
+            if O::ENABLED {
+                self.observer.record(Event::DuplicateDropped {
+                    node: self.id.as_u32(),
+                    msg: trace_id,
+                });
+            }
             return;
         }
         self.semantics.observe(&msg);
         if self.delivery.len() >= self.config.delivery_queue_capacity {
             self.stats.delivery_overflow.incr();
+            if O::ENABLED {
+                self.observer.record(Event::DeliveryQueueOverflow {
+                    node: self.id.as_u32(),
+                    msg: trace_id,
+                });
+            }
         } else {
             self.delivery.push_back(msg.clone());
             self.stats.delivered.incr();
+            if O::ENABLED {
+                self.observer.record(Event::GossipDelivered {
+                    node: self.id.as_u32(),
+                    msg: trace_id,
+                });
+            }
         }
         for i in 0..self.peers.len() {
             if Some(self.peers[i]) == origin {
@@ -189,6 +276,13 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter> GossipNode<M, S, F> {
             }
             if self.send_queues[i].len() >= self.config.send_queue_capacity {
                 self.stats.send_overflow.incr();
+                if O::ENABLED {
+                    self.observer.record(Event::SendQueueOverflow {
+                        node: self.id.as_u32(),
+                        to: self.peers[i].as_u32(),
+                        msg: trace_id,
+                    });
+                }
             } else {
                 self.send_queues[i].push_back(msg.clone());
             }
@@ -226,6 +320,13 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter> GossipNode<M, S, F> {
                 self.stats
                     .aggregated_away
                     .add((before - aggregated.len()) as u64);
+                if O::ENABLED {
+                    self.observer.record(Event::VotesAggregated {
+                        node: self.id.as_u32(),
+                        before: before as u64,
+                        after: aggregated.len() as u64,
+                    });
+                }
                 aggregated
             } else {
                 pending
@@ -233,9 +334,22 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter> GossipNode<M, S, F> {
             for msg in pending {
                 if self.semantics.validate(&msg, peer) {
                     self.stats.sent.incr();
+                    if O::ENABLED {
+                        self.observer.record(Event::GossipSent {
+                            node: self.id.as_u32(),
+                            to: peer.as_u32(),
+                            msg: msg.message_id().low(),
+                        });
+                    }
                     out.push((peer, msg));
                 } else {
                     self.stats.filtered.incr();
+                    if O::ENABLED {
+                        self.observer.record(Event::SemanticFiltered {
+                            node: self.id.as_u32(),
+                            msg: msg.message_id().low(),
+                        });
+                    }
                 }
             }
         }
@@ -382,7 +496,7 @@ mod tests {
 
     impl Semantics<Msg> for TestSemantics {
         fn validate(&mut self, msg: &Msg, _peer: NodeId) -> bool {
-            msg.0 % 2 == 0
+            msg.0.is_multiple_of(2)
         }
         fn aggregate(&mut self, pending: Vec<Msg>, _peer: NodeId) -> Vec<Msg> {
             vec![Msg(pending.iter().map(|m| m.0).sum())]
@@ -398,7 +512,12 @@ mod tests {
 
     fn semantic_node(peers: u32) -> GossipNode<Msg, TestSemantics> {
         let peers = (1..=peers).map(NodeId::new).collect();
-        GossipNode::new(NodeId::new(0), peers, GossipConfig::default(), TestSemantics)
+        GossipNode::new(
+            NodeId::new(0),
+            peers,
+            GossipConfig::default(),
+            TestSemantics,
+        )
     }
 
     #[test]
@@ -430,6 +549,38 @@ mod tests {
         let out = node.take_outgoing();
         assert_eq!(out, vec![(NodeId::new(1), Msg(2))]);
         assert_eq!(node.stats().aggregated_away.get(), 0);
+    }
+
+    #[test]
+    fn observer_sees_hot_path_events() {
+        use obs::RingObserver;
+        let mut node: GossipNode<Msg, TestSemantics, RecentCache, RingObserver> =
+            GossipNode::with_observer(
+                NodeId::new(0),
+                vec![NodeId::new(1), NodeId::new(2)],
+                GossipConfig::default(),
+                TestSemantics,
+                RecentCache::new(64),
+                RingObserver::with_capacity(128),
+            );
+        node.observer_mut().set_now(7);
+        node.on_receive(NodeId::new(1), Msg(1042)); // parts: 42, 1000
+        node.on_receive(NodeId::new(2), Msg(2000)); // parts: 1000 (dup), 1000 (dup)
+        node.broadcast(Msg(2));
+        node.broadcast(Msg(4));
+        node.take_outgoing();
+        let events = node.observer_mut().drain();
+        assert!(events.iter().all(|e| e.at == 7));
+        let count = |kind: &str| events.iter().filter(|e| e.event.kind() == kind).count();
+        assert_eq!(count("gossip_received"), 2);
+        assert_eq!(count("gossip_disaggregated"), 2);
+        assert_eq!(count("duplicate_dropped"), 2);
+        assert_eq!(count("gossip_delivered"), 4);
+        // Peer 1 was origin of 42/1000, so its queue holds 2+2 broadcasts
+        // aggregated to 1; peer 2's holds 42, 1000, 2, 4 aggregated to 1.
+        assert_eq!(count("votes_aggregated"), 2);
+        // Aggregates: peer1 gets Msg(6), peer2 gets Msg(1048) — both even.
+        assert_eq!(count("gossip_sent"), 2);
     }
 
     mod properties {

@@ -101,12 +101,18 @@ impl<M: GossipItem> PullStore<M> {
     /// Given a peer's digest, the ids this node has **not** seen according
     /// to `filter` — i.e. what to request.
     pub fn missing_from(digest: &[MessageId], filter: &impl DuplicateFilter) -> Vec<MessageId> {
-        digest.iter().copied().filter(|&id| !filter.contains(id)).collect()
+        digest
+            .iter()
+            .copied()
+            .filter(|&id| !filter.contains(id))
+            .collect()
     }
 
     /// Looks up requested messages; ids no longer stored are skipped.
     pub fn lookup(&self, ids: &[MessageId]) -> Vec<M> {
-        ids.iter().filter_map(|id| self.by_id.get(id).cloned()).collect()
+        ids.iter()
+            .filter_map(|id| self.by_id.get(id).cloned())
+            .collect()
     }
 
     /// Number of stored messages.

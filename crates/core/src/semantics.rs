@@ -97,7 +97,7 @@ mod tests {
             self.observed.push(*msg);
         }
         fn validate(&mut self, msg: &u64, _peer: NodeId) -> bool {
-            msg % 2 == 0
+            msg.is_multiple_of(2)
         }
         fn aggregate(&mut self, pending: Vec<u64>, _peer: NodeId) -> Vec<u64> {
             // Sum everything into a single message.

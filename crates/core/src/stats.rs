@@ -12,39 +12,10 @@ use std::ops::AddAssign;
 use serde::{Deserialize, Serialize};
 
 /// A monotonically increasing counter (local to one gossip node).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Stat(u64);
-
-impl Stat {
-    /// Increments by one.
-    #[inline]
-    pub fn incr(&mut self) {
-        self.0 += 1;
-    }
-
-    /// Adds `n`.
-    #[inline]
-    pub fn add(&mut self, n: u64) {
-        self.0 += n;
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0
-    }
-}
-
-impl AddAssign for Stat {
-    fn add_assign(&mut self, rhs: Stat) {
-        self.0 += rhs.0;
-    }
-}
-
-impl fmt::Display for Stat {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
+///
+/// This is the canonical [`obs::Counter`] — the same type `simnet` uses —
+/// re-exported under the name this crate has always given it.
+pub use obs::Counter as Stat;
 
 /// Per-node message counters, mirroring §4.3's measurements.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,6 +71,18 @@ impl MessageStats {
     }
 }
 
+impl AddAssign<MessageStats> for MessageStats {
+    fn add_assign(&mut self, rhs: MessageStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl AddAssign<&MessageStats> for MessageStats {
+    fn add_assign(&mut self, rhs: &MessageStats) {
+        self.merge(rhs);
+    }
+}
+
 impl fmt::Display for MessageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -148,6 +131,19 @@ mod tests {
         assert_eq!(a.received.get(), 11);
         assert_eq!(a.filtered.get(), 2);
         assert_eq!(a.aggregated_away.get(), 5);
+    }
+
+    #[test]
+    fn add_assign_is_merge() {
+        let mut a = MessageStats::default();
+        a.sent.add(3);
+        let mut b = MessageStats::default();
+        b.sent.add(4);
+        b.duplicates.incr();
+        a += &b;
+        a += b;
+        assert_eq!(a.sent.get(), 11);
+        assert_eq!(a.duplicates.get(), 2);
     }
 
     #[test]

@@ -68,6 +68,7 @@
 //! See `examples/` for runnable scenarios and DESIGN.md / EXPERIMENTS.md for
 //! the experiment map.
 
+pub use obs;
 pub use overlay;
 pub use paxos;
 pub use paxos_semantics as semantics;
@@ -80,9 +81,7 @@ pub use transport;
 /// The commonly used types, one `use` away.
 pub mod prelude {
     pub use overlay::{connected_k_out, paper_fanout, Graph};
-    pub use paxos::{
-        InstanceId, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId,
-    };
+    pub use paxos::{InstanceId, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId};
     pub use paxos_semantics::{PaxosSemantics, SemanticMode};
     pub use semantic_gossip::{
         GossipConfig, GossipItem, GossipNode, MessageId, NoSemantics, NodeId, Semantics,

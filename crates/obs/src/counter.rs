@@ -1,0 +1,86 @@
+//! The workspace's canonical monotone counter.
+//!
+//! `semantic_gossip::stats::Stat` and `simnet::Counter` grew up as identical
+//! twins in separate crates; both are now re-exports of this type, so
+//! cluster-wide aggregation can add gossip-layer and simulation-layer
+//! counters without conversion.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use obs::Counter;
+/// let mut c = Counter::default();
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter starting at `n`.
+    pub fn new(n: u64) -> Self {
+        Counter(n)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl AddAssign for Counter {
+    fn add_assign(&mut self, rhs: Counter) {
+        self.0 += rhs.0;
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(n: u64) -> Self {
+        Counter(n)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Counter;
+
+    #[test]
+    fn incr_add_get() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = Counter::new(3);
+        a += Counter::new(4);
+        assert_eq!(a.get(), 7);
+    }
+}

@@ -1,0 +1,389 @@
+//! Minimal JSON encoder/decoder for trace serialization.
+//!
+//! `obs` is deliberately dependency-free, so JSONL trace emission cannot
+//! lean on serde. This module implements exactly the JSON subset traces
+//! need: objects, arrays, strings, booleans, null, and numbers — with
+//! integers carried as `i128` so `u64` event fields survive a round trip
+//! bit-exactly (an `f64` mantissa would silently corrupt values above
+//! 2^53).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fraction or exponent, kept exact.
+    Int(i128),
+    /// A number with fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; keys sorted for deterministic output.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    // JSON has no Inf/NaN; null is the conventional fallback.
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document; trailing whitespace is allowed, trailing
+    /// garbage is an error.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing characters"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset the error was detected at.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: &'static str) -> Self {
+        JsonError { offset, message }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(
+    bytes: &[u8],
+    pos: &mut usize,
+    token: &'static [u8],
+    what: &'static str,
+) -> Result<(), JsonError> {
+    if bytes.len() - *pos >= token.len() && &bytes[*pos..*pos + token.len()] == token {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(JsonError::at(*pos, what))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'n') => expect(bytes, pos, b"null", "expected null").map(|()| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, b"true", "expected true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => {
+            expect(bytes, pos, b"false", "expected false").map(|()| JsonValue::Bool(false))
+        }
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(_) => Err(JsonError::at(*pos, "unexpected character")),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(JsonError::at(*pos, "unterminated string"));
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(JsonError::at(*pos, "unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        if bytes.len() - *pos < 4 {
+                            return Err(JsonError::at(*pos, "truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&bytes[*pos..*pos + 4])
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError::at(*pos, "invalid \\u escape"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not needed for trace payloads;
+                        // lone surrogates degrade to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(JsonError::at(*pos, "unknown escape")),
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar (input is &str, so boundaries
+                // are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("input was &str"));
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("input was &str");
+    if is_float {
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| JsonError::at(start, "invalid number"))
+    } else {
+        text.parse::<i128>()
+            .map(JsonValue::Int)
+            .map_err(|_| JsonError::at(start, "invalid integer"))
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(JsonError::at(*pos, "expected object key"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(JsonError::at(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(map));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exact_u64() {
+        let big = u64::MAX - 3;
+        let v = JsonValue::Int(big as i128);
+        let parsed = JsonValue::parse(&v.render()).unwrap();
+        assert_eq!(parsed.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn parses_nested_document() {
+        let doc =
+            r#" {"type":"frame_sent","node":3,"ok":true,"tags":["a","b"],"lat":1.5,"none":null} "#;
+        let v = JsonValue::parse(doc).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["type"].as_str(), Some("frame_sent"));
+        assert_eq!(obj["node"].as_u64(), Some(3));
+        assert_eq!(obj["ok"], JsonValue::Bool(true));
+        assert_eq!(obj["lat"], JsonValue::Float(1.5));
+        assert_eq!(obj["none"], JsonValue::Null);
+        assert_eq!(
+            obj["tags"],
+            JsonValue::Arr(vec![JsonValue::Str("a".into()), JsonValue::Str("b".into())])
+        );
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".into());
+        let rendered = v.render();
+        assert_eq!(rendered, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("12 34").is_err());
+        assert!(JsonValue::parse("{\"a\":}").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn object_output_is_deterministic() {
+        let doc = r#"{"b":1,"a":2}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        assert_eq!(v.render(), r#"{"a":2,"b":1}"#);
+    }
+}

@@ -1,0 +1,35 @@
+//! Cross-layer observability for the gossip-consensus workspace.
+//!
+//! Every layer of the stack — the gossip hot path, Paxos phase machinery,
+//! the TCP transport, and the simulation harness — reports what it does as
+//! structured [`Event`]s through an [`Observer`]. The crate provides:
+//!
+//! - [`Event`]: one enum covering all layers, with a stable snake_case
+//!   `kind` per variant and an exact JSON codec (JSONL traces round-trip
+//!   `u64` fields bit-for-bit).
+//! - [`Observer`]: the sink trait. The default [`NoopObserver`] is disabled
+//!   via an associated `const`, so uninstrumented components compile to the
+//!   same code as before instrumentation existed.
+//! - [`RingObserver`] / [`SharedRing`]: bounded buffers for single-owner
+//!   (simulated time) and multi-threaded (monotonic time) recording.
+//! - [`SpanTracker`]: stitches per-value events into a
+//!   submit → 2a → quorum → decision → in-order-delivery latency breakdown.
+//! - [`prom`]: hand-rolled Prometheus text exposition.
+//! - [`Counter`]: the canonical monotone counter shared by
+//!   `semantic_gossip` and `simnet`.
+//!
+//! `obs` is deliberately dependency-free (std only) so it can sit below
+//! every other crate without cycles and build in fully offline
+//! environments.
+
+pub mod counter;
+pub mod event;
+pub mod json;
+pub mod observer;
+pub mod prom;
+pub mod span;
+
+pub use counter::Counter;
+pub use event::{Event, TimedEvent, TraceParseError};
+pub use observer::{NoopObserver, Observer, RingObserver, SharedRing};
+pub use span::{SegmentStats, SpanSummary, SpanTracker, ValueSpan};

@@ -1,0 +1,162 @@
+//! Hand-rolled Prometheus text exposition (version 0.0.4).
+//!
+//! The testbed exposes run metrics in the standard
+//! `# HELP` / `# TYPE` / sample-line format so they can be diffed, grepped,
+//! or scraped without bringing a metrics crate into an offline build. Only
+//! the pieces the exporters need are implemented: counters, gauges, and
+//! escaped label pairs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::TimedEvent;
+
+/// The metric types the exposition format distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Free-moving value.
+    Gauge,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Builder for one exposition document.
+///
+/// # Example
+///
+/// ```
+/// use obs::prom::{Exposition, MetricKind};
+/// let mut exp = Exposition::new();
+/// exp.header("gossip_sent_total", "Messages handed to transport.", MetricKind::Counter);
+/// exp.sample_u64("gossip_sent_total", &[("setup", "semantic")], 42);
+/// assert!(exp.render().contains("gossip_sent_total{setup=\"semantic\"} 42"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` preamble for a metric family.
+    pub fn header(&mut self, name: &str, help: &str, kind: MetricKind) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {}", kind.as_str());
+    }
+
+    /// Writes one sample line with integer value.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.write_sample(name, labels, &value.to_string());
+    }
+
+    /// Writes one sample line with float value.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.write_sample(name, labels, &format_value(value));
+    }
+
+    fn write_sample(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// The finished document.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Counts trace events per `kind` string (the raw material for
+/// `trace_events_total{kind=...}` exposition).
+pub fn event_kind_counts<'a>(
+    events: impl IntoIterator<Item = &'a TimedEvent>,
+) -> BTreeMap<&'static str, u64> {
+    let mut counts = BTreeMap::new();
+    for e in events {
+        *counts.entry(e.event.kind()).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn renders_headers_and_samples() {
+        let mut exp = Exposition::new();
+        exp.header("up", "Whether the run completed.", MetricKind::Gauge);
+        exp.sample_u64("up", &[], 1);
+        exp.header("latency_seconds", "End-to-end latency.", MetricKind::Gauge);
+        exp.sample_f64("latency_seconds", &[("phase", "quorum")], 0.0625);
+        let text = exp.render();
+        assert!(text.contains("# HELP up Whether the run completed."));
+        assert!(text.contains("# TYPE up gauge"));
+        assert!(text.contains("\nup 1\n"));
+        assert!(text.contains("latency_seconds{phase=\"quorum\"} 0.0625"));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let mut exp = Exposition::new();
+        exp.sample_u64("m", &[("l", "a\"b\\c\nd")], 3);
+        assert_eq!(exp.render(), "m{l=\"a\\\"b\\\\c\\nd\"} 3\n");
+    }
+
+    #[test]
+    fn counts_events_by_kind() {
+        let mk = |event| TimedEvent { at: 0, event };
+        let events = vec![
+            mk(Event::Crashed { node: 1 }),
+            mk(Event::Crashed { node: 2 }),
+            mk(Event::Recovered { node: 1 }),
+        ];
+        let counts = event_kind_counts(&events);
+        assert_eq!(counts["crashed"], 2);
+        assert_eq!(counts["recovered"], 1);
+        assert_eq!(counts.len(), 2);
+    }
+}

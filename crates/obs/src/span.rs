@@ -1,0 +1,301 @@
+//! Per-value latency spans stitched from the flat event stream.
+//!
+//! A client value's life is `value_submitted` → first `phase2a` → first
+//! `quorum_reached` → first `decided` → first `ordered_delivered`.
+//! [`SpanTracker`] folds a trace into one [`ValueSpan`] per `(origin, seq)`
+//! pair and summarizes where time went — the breakdown separates gossip
+//! propagation (submit → 2a), vote collection (2a → quorum), the
+//! coordinator's decision fan-out (quorum → decided) and head-of-line
+//! blocking in ordered delivery (decided → ordered).
+
+use std::collections::HashMap;
+
+use crate::event::{Event, TimedEvent};
+
+/// Milestone timestamps (nanoseconds) for one client value.
+///
+/// Each field is the *first* time the milestone was observed on any node;
+/// with several processes racing, the first observation is what bounds
+/// end-to-end latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValueSpan {
+    /// The value entered the system.
+    pub submitted: Option<u64>,
+    /// A coordinator proposed it (Phase 2a).
+    pub phase2a: Option<u64>,
+    /// A majority of votes was first assembled.
+    pub quorum: Option<u64>,
+    /// It was first decided.
+    pub decided: Option<u64>,
+    /// It was first released in instance order.
+    pub ordered: Option<u64>,
+}
+
+impl ValueSpan {
+    /// Whether every milestone was observed.
+    pub fn complete(&self) -> bool {
+        self.submitted.is_some()
+            && self.phase2a.is_some()
+            && self.quorum.is_some()
+            && self.decided.is_some()
+            && self.ordered.is_some()
+    }
+
+    /// Submit-to-ordered-delivery latency, if both ends were seen.
+    pub fn total(&self) -> Option<u64> {
+        Some(self.ordered?.saturating_sub(self.submitted?))
+    }
+}
+
+fn first(slot: &mut Option<u64>, at: u64) {
+    if slot.is_none() {
+        *slot = Some(at);
+    }
+}
+
+/// Aggregated statistics for one phase segment across all tracked values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Human-readable segment name.
+    pub name: &'static str,
+    /// Values for which both segment endpoints were observed.
+    pub count: usize,
+    /// Mean segment latency in nanoseconds.
+    pub mean_ns: u64,
+    /// Worst segment latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// The per-phase latency breakdown of a whole trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Distinct `(origin, seq)` values seen.
+    pub tracked: usize,
+    /// Values whose every milestone was observed.
+    pub complete: usize,
+    /// One entry per phase segment, pipeline order, ending with the total.
+    pub segments: Vec<SegmentStats>,
+}
+
+/// Folds timed events into per-value spans.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracker {
+    spans: HashMap<(u32, u64), ValueSpan>,
+}
+
+impl SpanTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one event; non-value events are ignored.
+    pub fn observe(&mut self, timed: &TimedEvent) {
+        type SlotOf = fn(&mut ValueSpan) -> &mut Option<u64>;
+        let at = timed.at;
+        let (key, slot_of): ((u32, u64), SlotOf) = match &timed.event {
+            Event::ValueSubmitted { origin, seq, .. } => ((*origin, *seq), |s| &mut s.submitted),
+            Event::Phase2a { origin, seq, .. } => ((*origin, *seq), |s| &mut s.phase2a),
+            Event::QuorumReached { origin, seq, .. } => ((*origin, *seq), |s| &mut s.quorum),
+            Event::Decided { origin, seq, .. } => ((*origin, *seq), |s| &mut s.decided),
+            Event::OrderedDelivered { origin, seq, .. } => ((*origin, *seq), |s| &mut s.ordered),
+            _ => return,
+        };
+        first(slot_of(self.spans.entry(key).or_default()), at);
+    }
+
+    /// Feeds a whole trace.
+    pub fn observe_all<'a>(&mut self, events: impl IntoIterator<Item = &'a TimedEvent>) {
+        for e in events {
+            self.observe(e);
+        }
+    }
+
+    /// The span for one value, if any of its milestones were seen.
+    pub fn span(&self, origin: u32, seq: u64) -> Option<&ValueSpan> {
+        self.spans.get(&(origin, seq))
+    }
+
+    /// Number of values with at least one milestone.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no value was tracked.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Aggregates the per-phase latency breakdown.
+    pub fn summary(&self) -> SpanSummary {
+        type SegmentOf = fn(&ValueSpan) -> Option<u64>;
+        const SEGMENTS: [(&str, SegmentOf); 5] = [
+            ("submit -> phase2a", |s| {
+                Some(s.phase2a?.saturating_sub(s.submitted?))
+            }),
+            ("phase2a -> quorum", |s| {
+                Some(s.quorum?.saturating_sub(s.phase2a?))
+            }),
+            ("quorum -> decided", |s| {
+                Some(s.decided?.saturating_sub(s.quorum?))
+            }),
+            ("decided -> ordered", |s| {
+                Some(s.ordered?.saturating_sub(s.decided?))
+            }),
+            ("total submit -> ordered", ValueSpan::total),
+        ];
+        let segments = SEGMENTS
+            .iter()
+            .map(|&(name, measure)| {
+                let mut count = 0usize;
+                let mut sum = 0u128;
+                let mut max = 0u64;
+                for span in self.spans.values() {
+                    if let Some(ns) = measure(span) {
+                        count += 1;
+                        sum += ns as u128;
+                        max = max.max(ns);
+                    }
+                }
+                SegmentStats {
+                    name,
+                    count,
+                    mean_ns: if count == 0 {
+                        0
+                    } else {
+                        (sum / count as u128) as u64
+                    },
+                    max_ns: max,
+                }
+            })
+            .collect();
+        SpanSummary {
+            tracked: self.spans.len(),
+            complete: self.spans.values().filter(|s| s.complete()).count(),
+            segments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(at: u64, event: Event) -> TimedEvent {
+        TimedEvent { at, event }
+    }
+
+    fn pipeline(origin: u32, seq: u64, base: u64) -> Vec<TimedEvent> {
+        vec![
+            at(
+                base,
+                Event::ValueSubmitted {
+                    node: 0,
+                    origin,
+                    seq,
+                },
+            ),
+            at(
+                base + 10,
+                Event::Phase2a {
+                    node: 1,
+                    instance: seq,
+                    round: 0,
+                    origin,
+                    seq,
+                },
+            ),
+            at(
+                base + 30,
+                Event::QuorumReached {
+                    node: 1,
+                    instance: seq,
+                    origin,
+                    seq,
+                },
+            ),
+            at(
+                base + 35,
+                Event::Decided {
+                    node: 2,
+                    instance: seq,
+                    origin,
+                    seq,
+                },
+            ),
+            at(
+                base + 60,
+                Event::OrderedDelivered {
+                    node: 2,
+                    instance: seq,
+                    origin,
+                    seq,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn stitches_one_value_end_to_end() {
+        let mut tracker = SpanTracker::new();
+        tracker.observe_all(&pipeline(3, 9, 100));
+        let span = tracker.span(3, 9).unwrap();
+        assert!(span.complete());
+        assert_eq!(span.total(), Some(60));
+        let summary = tracker.summary();
+        assert_eq!(summary.tracked, 1);
+        assert_eq!(summary.complete, 1);
+        assert_eq!(summary.segments[0].mean_ns, 10);
+        assert_eq!(summary.segments[1].mean_ns, 20);
+        assert_eq!(summary.segments[2].mean_ns, 5);
+        assert_eq!(summary.segments[3].mean_ns, 25);
+        assert_eq!(summary.segments[4].mean_ns, 60);
+    }
+
+    #[test]
+    fn keeps_first_observation_per_milestone() {
+        let mut tracker = SpanTracker::new();
+        let mut events = pipeline(1, 1, 100);
+        // A second, later decision on another node must not move the span.
+        events.push(at(
+            500,
+            Event::Decided {
+                node: 4,
+                instance: 1,
+                origin: 1,
+                seq: 1,
+            },
+        ));
+        tracker.observe_all(&events);
+        assert_eq!(tracker.span(1, 1).unwrap().decided, Some(135));
+    }
+
+    #[test]
+    fn incomplete_spans_are_excluded_from_segments() {
+        let mut tracker = SpanTracker::new();
+        tracker.observe(&at(
+            7,
+            Event::ValueSubmitted {
+                node: 0,
+                origin: 2,
+                seq: 5,
+            },
+        ));
+        tracker.observe_all(&pipeline(2, 6, 50));
+        let summary = tracker.summary();
+        assert_eq!(summary.tracked, 2);
+        assert_eq!(summary.complete, 1);
+        // Only the complete value contributes to segment means.
+        assert_eq!(summary.segments[4].count, 1);
+    }
+
+    #[test]
+    fn distinct_values_do_not_collide() {
+        let mut tracker = SpanTracker::new();
+        tracker.observe_all(&pipeline(0, 1, 0));
+        tracker.observe_all(&pipeline(1, 1, 1000));
+        assert_eq!(tracker.len(), 2);
+        assert_eq!(tracker.span(0, 1).unwrap().total(), Some(60));
+        assert_eq!(tracker.span(1, 1).unwrap().total(), Some(60));
+    }
+}

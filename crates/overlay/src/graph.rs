@@ -76,7 +76,10 @@ impl Graph {
     ///
     /// Panics if `a` or `b` is out of range.
     pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
-        assert!(a < self.len() && b < self.len(), "edge endpoint out of range");
+        assert!(
+            a < self.len() && b < self.len(),
+            "edge endpoint out of range"
+        );
         if a == b || self.has_edge(a, b) {
             return false;
         }

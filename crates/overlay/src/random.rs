@@ -55,7 +55,10 @@ pub fn paper_fanout(n: usize) -> usize {
 /// assert!((0..53).all(|v| g.degree(v) >= 3));
 /// ```
 pub fn random_k_out<R: Rng>(n: usize, k: usize, rng: &mut R) -> Graph {
-    assert!(n == 0 || k < n, "k must be smaller than the number of nodes");
+    assert!(
+        n == 0 || k < n,
+        "k must be smaller than the number of nodes"
+    );
     let mut g = Graph::new(n);
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
     for a in 0..n {

@@ -165,8 +165,8 @@ mod tests {
 
     #[test]
     fn rank_is_deterministic_under_full_ties() {
-        let (ordered, _) = rank_overlays(vec![meas(2, 10, 10), meas(0, 10, 10), meas(1, 10, 10)])
-            .unwrap();
+        let (ordered, _) =
+            rank_overlays(vec![meas(2, 10, 10), meas(0, 10, 10), meas(1, 10, 10)]).unwrap();
         let ids: Vec<usize> = ordered.iter().map(|m| m.overlay_id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
@@ -184,6 +184,9 @@ mod tests {
         }
         let min = rtts.iter().min().unwrap();
         let max = rtts.iter().max().unwrap();
-        assert!(max > min, "different overlays should have different median RTTs");
+        assert!(
+            max > min,
+            "different overlays should have different median RTTs"
+        );
     }
 }

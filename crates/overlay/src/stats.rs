@@ -166,7 +166,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let g = connected_k_out(n, paper_fanout(n), &mut rng, 50).unwrap();
         let s = topology_stats(&g);
-        assert!(s.mean_degree >= 5.0 && s.mean_degree <= 7.0, "{}", s.mean_degree);
+        assert!(
+            s.mean_degree >= 5.0 && s.mean_degree <= 7.0,
+            "{}",
+            s.mean_degree
+        );
         let d = s.diameter_hops.unwrap();
         assert!(d <= 6, "diameter {d} too large for a log-degree overlay");
         // Random overlays are locally tree-like: low clustering.

@@ -52,10 +52,7 @@ impl<S: StableStorage> Acceptor<S> {
     /// state (this is also the crash-recovery path).
     pub fn with_storage(id: NodeId, storage: S) -> Self {
         let (promised, entries) = storage.load();
-        let accepted = entries
-            .into_iter()
-            .map(|(i, r, v)| (i, (r, v)))
-            .collect();
+        let accepted = entries.into_iter().map(|(i, r, v)| (i, (r, v))).collect();
         Acceptor {
             id,
             storage,
@@ -260,9 +257,13 @@ mod tests {
         assert_eq!(recovered.promised(), Round::new(7));
         assert_eq!(recovered.accepted(InstanceId::new(2)).unwrap().1, value(9));
         // The recovered acceptor still refuses stale rounds.
-        assert!(recovered.on_phase1a(Round::new(3), InstanceId::ZERO).is_none());
+        assert!(recovered
+            .on_phase1a(Round::new(3), InstanceId::ZERO)
+            .is_none());
         // And reports its accepted value in Phase 1b for newer rounds.
-        let reply = recovered.on_phase1a(Round::new(8), InstanceId::ZERO).unwrap();
+        let reply = recovered
+            .on_phase1a(Round::new(8), InstanceId::ZERO)
+            .unwrap();
         match reply {
             PaxosMessage::Phase1b { accepted, .. } => {
                 assert_eq!(accepted.len(), 1);

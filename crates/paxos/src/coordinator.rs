@@ -233,7 +233,12 @@ mod tests {
 
     fn prepared_coordinator(n: usize) -> Coordinator {
         let config = PaxosConfig::new(n);
-        let (mut c, _) = Coordinator::start(NodeId::new(0), config.clone(), Round::ZERO, InstanceId::ZERO);
+        let (mut c, _) = Coordinator::start(
+            NodeId::new(0),
+            config.clone(),
+            Round::ZERO,
+            InstanceId::ZERO,
+        );
         for i in 0..config.quorum() {
             c.on_phase1b(Round::ZERO, NodeId::new(i as u32), &[]);
         }
@@ -267,13 +272,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot coordinate")]
     fn wrong_coordinator_panics() {
-        Coordinator::start(NodeId::new(1), PaxosConfig::new(3), Round::ZERO, InstanceId::ZERO);
+        Coordinator::start(
+            NodeId::new(1),
+            PaxosConfig::new(3),
+            Round::ZERO,
+            InstanceId::ZERO,
+        );
     }
 
     #[test]
     fn prepares_on_majority_not_before() {
-        let (mut c, _) =
-            Coordinator::start(NodeId::new(0), PaxosConfig::new(5), Round::ZERO, InstanceId::ZERO);
+        let (mut c, _) = Coordinator::start(
+            NodeId::new(0),
+            PaxosConfig::new(5),
+            Round::ZERO,
+            InstanceId::ZERO,
+        );
         assert!(c.on_phase1b(Round::ZERO, NodeId::new(0), &[]).is_empty());
         assert!(!c.is_prepared());
         assert!(c.on_phase1b(Round::ZERO, NodeId::new(1), &[]).is_empty());
@@ -284,8 +298,12 @@ mod tests {
 
     #[test]
     fn duplicate_promises_do_not_count() {
-        let (mut c, _) =
-            Coordinator::start(NodeId::new(0), PaxosConfig::new(5), Round::ZERO, InstanceId::ZERO);
+        let (mut c, _) = Coordinator::start(
+            NodeId::new(0),
+            PaxosConfig::new(5),
+            Round::ZERO,
+            InstanceId::ZERO,
+        );
         for _ in 0..5 {
             c.on_phase1b(Round::ZERO, NodeId::new(1), &[]);
         }
@@ -294,8 +312,12 @@ mod tests {
 
     #[test]
     fn wrong_round_promises_ignored() {
-        let (mut c, _) =
-            Coordinator::start(NodeId::new(0), PaxosConfig::new(3), Round::ZERO, InstanceId::ZERO);
+        let (mut c, _) = Coordinator::start(
+            NodeId::new(0),
+            PaxosConfig::new(3),
+            Round::ZERO,
+            InstanceId::ZERO,
+        );
         c.on_phase1b(Round::new(3), NodeId::new(0), &[]);
         c.on_phase1b(Round::new(3), NodeId::new(1), &[]);
         assert!(!c.is_prepared());
@@ -303,8 +325,12 @@ mod tests {
 
     #[test]
     fn reported_values_are_reproposed_highest_round_wins() {
-        let (mut c, _) =
-            Coordinator::start(NodeId::new(0), PaxosConfig::new(3), Round::new(3), InstanceId::ZERO);
+        let (mut c, _) = Coordinator::start(
+            NodeId::new(0),
+            PaxosConfig::new(3),
+            Round::new(3),
+            InstanceId::ZERO,
+        );
         // Two acceptors report different values for instance 1 from
         // different rounds; the higher round must win.
         c.on_phase1b(Round::new(3), NodeId::new(1), &[entry(1, 1, 100)]);
@@ -336,8 +362,12 @@ mod tests {
 
     #[test]
     fn values_queue_until_prepared() {
-        let (mut c, _) =
-            Coordinator::start(NodeId::new(0), PaxosConfig::new(3), Round::ZERO, InstanceId::ZERO);
+        let (mut c, _) = Coordinator::start(
+            NodeId::new(0),
+            PaxosConfig::new(3),
+            Round::ZERO,
+            InstanceId::ZERO,
+        );
         assert!(c.propose(value(1)).is_empty());
         assert_eq!(c.queued_values(), 1);
         c.on_phase1b(Round::ZERO, NodeId::new(0), &[]);
@@ -365,10 +395,7 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             })
             .collect();
-        assert_eq!(
-            instances,
-            (0..5).map(InstanceId::new).collect::<Vec<_>>()
-        );
+        assert_eq!(instances, (0..5).map(InstanceId::new).collect::<Vec<_>>());
     }
 
     #[test]

@@ -33,12 +33,15 @@ use crate::types::{InstanceId, Round, Value, ValueId};
 ///     .is_some());
 /// assert_eq!(learner.take_ordered().len(), 1);
 /// ```
+/// Per-instance vote bookkeeping: (round, value-id) → (value, voters).
+type Tally = HashMap<(Round, ValueId), (Value, BTreeSet<NodeId>)>;
+
 #[derive(Debug)]
 pub struct Learner {
     config: PaxosConfig,
     /// Vote tallies for undecided instances:
     /// instance → (round, value-id) → (value, voters).
-    votes: HashMap<InstanceId, HashMap<(Round, ValueId), (Value, BTreeSet<NodeId>)>>,
+    votes: HashMap<InstanceId, Tally>,
     decided: BTreeMap<InstanceId, Value>,
     next_to_deliver: InstanceId,
     delivered: u64,
@@ -180,10 +183,16 @@ mod tests {
     fn votes_for_different_values_do_not_mix() {
         let mut l = learner(3);
         let i = InstanceId::ZERO;
-        assert!(l.on_phase2b(i, Round::ZERO, &value(1), NodeId::new(0)).is_none());
-        assert!(l.on_phase2b(i, Round::ZERO, &value(2), NodeId::new(1)).is_none());
+        assert!(l
+            .on_phase2b(i, Round::ZERO, &value(1), NodeId::new(0))
+            .is_none());
+        assert!(l
+            .on_phase2b(i, Round::ZERO, &value(2), NodeId::new(1))
+            .is_none());
         // Identical value from a second voter decides.
-        assert!(l.on_phase2b(i, Round::ZERO, &value(1), NodeId::new(2)).is_some());
+        assert!(l
+            .on_phase2b(i, Round::ZERO, &value(1), NodeId::new(2))
+            .is_some());
     }
 
     #[test]
@@ -199,10 +208,7 @@ mod tests {
     #[test]
     fn decision_message_short_circuits() {
         let mut l = learner(5);
-        assert_eq!(
-            l.on_decision(InstanceId::new(3), &value(9)),
-            Some(value(9))
-        );
+        assert_eq!(l.on_decision(InstanceId::new(3), &value(9)), Some(value(9)));
         assert!(l.is_decided(InstanceId::new(3)));
         // Further votes or decisions for the instance are ignored.
         assert!(l.on_decision(InstanceId::new(3), &value(9)).is_none());

@@ -54,8 +54,8 @@
 
 pub mod acceptor;
 pub mod config;
-pub mod failover;
 pub mod coordinator;
+pub mod failover;
 pub mod learner;
 pub mod message;
 pub mod process;
@@ -65,9 +65,9 @@ pub mod types;
 pub use acceptor::Acceptor;
 pub use config::PaxosConfig;
 pub use coordinator::Coordinator;
+pub use failover::RoundChangeTimer;
 pub use learner::Learner;
 pub use message::PaxosMessage;
 pub use process::{Outbound, PaxosProcess, Route};
-pub use failover::RoundChangeTimer;
 pub use storage::{MemoryStorage, StableStorage};
 pub use types::{InstanceId, Round, Value, ValueId};

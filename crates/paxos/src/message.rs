@@ -268,19 +268,17 @@ impl GossipItem for PaxosMessage {
                 value.id().origin.as_u32() as u64,
                 value.id().seq,
             ),
-            PaxosMessage::Phase1a { round, from_instance, .. } => id(
-                Kind::Phase1a,
-                round.as_u32() as u64,
-                from_instance.as_u64(),
-            ),
-            PaxosMessage::Phase1b { round, sender, .. } => id(
-                Kind::Phase1b,
-                round.as_u32() as u64,
-                sender.as_u32() as u64,
-            ),
-            PaxosMessage::Phase2a { instance, round, .. } => {
-                id(Kind::Phase2a, round.as_u32() as u64, instance.as_u64())
+            PaxosMessage::Phase1a {
+                round,
+                from_instance,
+                ..
+            } => id(Kind::Phase1a, round.as_u32() as u64, from_instance.as_u64()),
+            PaxosMessage::Phase1b { round, sender, .. } => {
+                id(Kind::Phase1b, round.as_u32() as u64, sender.as_u32() as u64)
             }
+            PaxosMessage::Phase2a {
+                instance, round, ..
+            } => id(Kind::Phase2a, round.as_u32() as u64, instance.as_u64()),
             PaxosMessage::Phase2b {
                 instance,
                 round,
@@ -288,8 +286,8 @@ impl GossipItem for PaxosMessage {
                 ..
             } => {
                 if voters.len() == 1 {
-                    let high = ((voters[0].as_u32() as u64) << 24)
-                        | (round.as_u32() as u64 & 0xff_ffff);
+                    let high =
+                        ((voters[0].as_u32() as u64) << 24) | (round.as_u32() as u64 & 0xff_ffff);
                     id(Kind::Phase2b, high, instance.as_u64())
                 } else {
                     let mut bytes = Vec::with_capacity(8 + voters.len() * 4);
@@ -301,9 +299,7 @@ impl GossipItem for PaxosMessage {
                     id(Kind::Phase2bAggregated, h, instance.as_u64())
                 }
             }
-            PaxosMessage::Decision { instance, .. } => {
-                id(Kind::Decision, 0, instance.as_u64())
-            }
+            PaxosMessage::Decision { instance, .. } => id(Kind::Decision, 0, instance.as_u64()),
         }
     }
 
@@ -449,10 +445,7 @@ impl Wire for PaxosMessage {
                 value,
                 voters,
             } => {
-                instance.encoded_len()
-                    + round.encoded_len()
-                    + value.encoded_len()
-                    + seq_len(voters)
+                instance.encoded_len() + round.encoded_len() + value.encoded_len() + seq_len(voters)
             }
             PaxosMessage::Decision {
                 instance,
@@ -529,8 +522,7 @@ mod tests {
 
     #[test]
     fn message_ids_are_distinct() {
-        let ids: HashSet<MessageId> =
-            sample_messages().iter().map(|m| m.message_id()).collect();
+        let ids: HashSet<MessageId> = sample_messages().iter().map(|m| m.message_id()).collect();
         assert_eq!(ids.len(), sample_messages().len());
     }
 
@@ -670,11 +662,7 @@ mod tests {
             voters,
         };
         let agg_size = agg.wire_size();
-        let parts_size: usize = agg
-            .disaggregate_votes()
-            .iter()
-            .map(|p| p.wire_size())
-            .sum();
+        let parts_size: usize = agg.disaggregate_votes().iter().map(|p| p.wire_size()).sum();
         assert!(agg_size < parts_size / 20, "{agg_size} vs {parts_size}");
     }
 }

@@ -6,6 +6,7 @@
 //! communication substrate (direct channels or gossip) interprets the
 //! [`Route`] tags.
 
+use obs::{Event, NoopObserver, Observer};
 use semantic_gossip::NodeId;
 
 use crate::acceptor::Acceptor;
@@ -64,8 +65,11 @@ impl Outbound {
 /// **Self-delivery:** the runtime must deliver a process's
 /// [`Route::ToAll`] messages back to the process itself too (gossip does
 /// this by construction; a direct-channel runtime must loop them back).
+///
+/// The `O` parameter is the [`Observer`] receiving phase-transition trace
+/// events; the default [`NoopObserver`] compiles all emission away.
 #[derive(Debug)]
-pub struct PaxosProcess<S: StableStorage = MemoryStorage> {
+pub struct PaxosProcess<S: StableStorage = MemoryStorage, O = NoopObserver> {
     id: NodeId,
     config: PaxosConfig,
     acceptor: Acceptor<S>,
@@ -74,6 +78,7 @@ pub struct PaxosProcess<S: StableStorage = MemoryStorage> {
     /// Highest round observed in the system.
     current_round: Round,
     submit_seq: u64,
+    observer: O,
 }
 
 impl PaxosProcess<MemoryStorage> {
@@ -87,6 +92,14 @@ impl<S: StableStorage> PaxosProcess<S> {
     /// Creates a process over existing storage (also the crash-recovery
     /// entry point: pass the storage salvaged from the crashed incarnation).
     pub fn with_storage(id: NodeId, config: PaxosConfig, storage: S) -> Self {
+        PaxosProcess::with_observer(id, config, storage, NoopObserver)
+    }
+}
+
+impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
+    /// Creates a process over existing storage with an explicit observer
+    /// for phase-transition events.
+    pub fn with_observer(id: NodeId, config: PaxosConfig, storage: S, observer: O) -> Self {
         assert!(
             id.as_index() < config.n,
             "process id out of range for the deployment"
@@ -99,7 +112,19 @@ impl<S: StableStorage> PaxosProcess<S> {
             learner: Learner::new(config),
             current_round: Round::ZERO,
             submit_seq: 0,
+            observer,
         }
+    }
+
+    /// Shared access to the observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Exclusive access to the observer (e.g. to drain a buffered trace or
+    /// advance its clock).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
     }
 
     /// This process's id.
@@ -152,6 +177,12 @@ impl<S: StableStorage> PaxosProcess<S> {
         );
         self.current_round = round;
         let from_instance = self.learner.next_to_deliver();
+        if O::ENABLED {
+            self.observer.record(Event::RoundStarted {
+                node: self.id.as_u32(),
+                round: round.as_u32(),
+            });
+        }
         let (coordinator, phase1a) =
             Coordinator::start(self.id, self.config.clone(), round, from_instance);
         self.coordinator = Some(coordinator);
@@ -163,6 +194,14 @@ impl<S: StableStorage> PaxosProcess<S> {
     /// (§4.2: "when a Paxos process receives a value from a client, it
     /// forwards the value to the coordinator").
     pub fn submit(&mut self, value: Value) -> Vec<Outbound> {
+        if O::ENABLED {
+            let id = value.id();
+            self.observer.record(Event::ValueSubmitted {
+                node: self.id.as_u32(),
+                origin: id.origin.as_u32(),
+                seq: id.seq,
+            });
+        }
         if let Some(c) = self.coordinator.as_mut() {
             return c.propose(value).into_iter().map(Outbound::to_all).collect();
         }
@@ -200,6 +239,13 @@ impl<S: StableStorage> PaxosProcess<S> {
                 from_instance,
                 sender: _,
             } => {
+                if O::ENABLED {
+                    self.observer.record(Event::Phase1a {
+                        node: self.id.as_u32(),
+                        round: round.as_u32(),
+                        from_instance: from_instance.as_u64(),
+                    });
+                }
                 self.observe_round(round);
                 self.acceptor
                     .on_phase1a(round, from_instance)
@@ -211,20 +257,39 @@ impl<S: StableStorage> PaxosProcess<S> {
                 round,
                 sender,
                 accepted,
-            } => match self.coordinator.as_mut() {
-                Some(c) => c
-                    .on_phase1b(round, sender, &accepted)
-                    .into_iter()
-                    .map(Outbound::to_all)
-                    .collect(),
-                None => Vec::new(),
-            },
+            } => {
+                if O::ENABLED {
+                    self.observer.record(Event::Phase1b {
+                        node: self.id.as_u32(),
+                        round: round.as_u32(),
+                        sender: sender.as_u32(),
+                    });
+                }
+                match self.coordinator.as_mut() {
+                    Some(c) => c
+                        .on_phase1b(round, sender, &accepted)
+                        .into_iter()
+                        .map(Outbound::to_all)
+                        .collect(),
+                    None => Vec::new(),
+                }
+            }
             PaxosMessage::Phase2a {
                 instance,
                 round,
                 value,
                 sender: _,
             } => {
+                if O::ENABLED {
+                    let id = value.id();
+                    self.observer.record(Event::Phase2a {
+                        node: self.id.as_u32(),
+                        instance: instance.as_u64(),
+                        round: round.as_u32(),
+                        origin: id.origin.as_u32(),
+                        seq: id.seq,
+                    });
+                }
                 self.observe_round(round);
                 self.acceptor
                     .on_phase2a(instance, round, value)
@@ -238,11 +303,26 @@ impl<S: StableStorage> PaxosProcess<S> {
                 value,
                 voters,
             } => {
+                if O::ENABLED {
+                    self.observer.record(Event::Phase2b {
+                        node: self.id.as_u32(),
+                        instance: instance.as_u64(),
+                        round: round.as_u32(),
+                        voters: voters.len() as u64,
+                    });
+                }
                 let mut out = Vec::new();
                 for voter in voters {
-                    if let Some(decided) =
-                        self.learner.on_phase2b(instance, round, &value, voter)
-                    {
+                    if let Some(decided) = self.learner.on_phase2b(instance, round, &value, voter) {
+                        if O::ENABLED {
+                            let id = decided.id();
+                            self.observer.record(Event::QuorumReached {
+                                node: self.id.as_u32(),
+                                instance: instance.as_u64(),
+                                origin: id.origin.as_u32(),
+                                seq: id.seq,
+                            });
+                        }
                         out.extend(self.on_locally_decided(instance, decided));
                         break; // instance decided; further voters are moot
                     }
@@ -269,7 +349,19 @@ impl<S: StableStorage> PaxosProcess<S> {
 
     /// Drains values decided and deliverable in instance order (no gaps).
     pub fn take_decisions(&mut self) -> Vec<(InstanceId, Value)> {
-        self.learner.take_ordered()
+        let ordered = self.learner.take_ordered();
+        if O::ENABLED {
+            for (instance, value) in &ordered {
+                let id = value.id();
+                self.observer.record(Event::OrderedDelivered {
+                    node: self.id.as_u32(),
+                    instance: instance.as_u64(),
+                    origin: id.origin.as_u32(),
+                    seq: id.seq,
+                });
+            }
+        }
+        ordered
     }
 
     /// Tears the process down, salvaging the acceptor's stable storage —
@@ -280,6 +372,15 @@ impl<S: StableStorage> PaxosProcess<S> {
     }
 
     fn on_locally_decided(&mut self, instance: InstanceId, value: Value) -> Vec<Outbound> {
+        if O::ENABLED {
+            let id = value.id();
+            self.observer.record(Event::Decided {
+                node: self.id.as_u32(),
+                instance: instance.as_u64(),
+                origin: id.origin.as_u32(),
+                seq: id.seq,
+            });
+        }
         match self.coordinator.as_mut() {
             Some(c) => {
                 // The coordinator announces the decision and may unblock
@@ -354,8 +455,8 @@ mod tests {
     fn values_from_all_processes_are_ordered_identically() {
         let mut procs = cluster(5);
         let mut inflight = procs[0].start_round(Round::ZERO);
-        for i in 0..5 {
-            let (_, out) = procs[i].submit_payload(vec![i as u8]);
+        for (i, p) in procs.iter_mut().enumerate() {
+            let (_, out) = p.submit_payload(vec![i as u8]);
             inflight.extend(out);
         }
         run_to_quiescence(&mut procs, inflight);
@@ -399,7 +500,7 @@ mod tests {
         let mut procs = cluster(3);
         // Round 0: coordinator 0 proposes, but only acceptor 0 sees the 2a.
         let mut inflight = procs[0].start_round(Round::ZERO);
-        run_to_quiescence(&mut procs, inflight.drain(..).collect());
+        run_to_quiescence(&mut procs, std::mem::take(&mut inflight));
         let (value, out) = procs[0].submit_payload(b"survivor".to_vec());
         // Deliver the Phase2a to processes 0 and 1 only (partition): the
         // value is accepted by a majority, so every Phase 1 quorum of the
@@ -526,6 +627,51 @@ mod tests {
                 assert_eq!(accepted[0].value, v);
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observer_sees_full_value_pipeline() {
+        use obs::RingObserver;
+        let config = PaxosConfig::new(3);
+        let mut coord: PaxosProcess<MemoryStorage, RingObserver> = PaxosProcess::with_observer(
+            NodeId::new(0),
+            config.clone(),
+            MemoryStorage::default(),
+            RingObserver::with_capacity(256),
+        );
+        let mut acceptor = PaxosProcess::new(NodeId::new(1), config);
+        let round_out = coord.start_round(Round::ZERO);
+        // Prepare: feed the 1a back to the coordinator and to acceptor 1.
+        let own_1b = coord.handle(round_out[0].msg.clone());
+        let peer_1b = acceptor.handle(round_out[0].msg.clone());
+        coord.handle(own_1b[0].msg.clone());
+        let proposals = coord.handle(peer_1b[0].msg.clone());
+        assert!(proposals.is_empty(), "no value pending yet");
+        // Submit, vote, decide, deliver.
+        let (_, out) = coord.submit_payload(vec![7]);
+        let phase2a = out
+            .iter()
+            .find(|o| matches!(o.msg, PaxosMessage::Phase2a { .. }))
+            .unwrap();
+        let own_vote = coord.handle(phase2a.msg.clone());
+        let peer_vote = acceptor.handle(phase2a.msg.clone());
+        coord.handle(own_vote[0].msg.clone());
+        coord.handle(peer_vote[0].msg.clone());
+        assert_eq!(coord.take_decisions().len(), 1);
+        let kinds: Vec<&str> = coord.observer().iter().map(|e| e.event.kind()).collect();
+        for expected in [
+            "round_started",
+            "phase1a",
+            "phase1b",
+            "value_submitted",
+            "phase2a",
+            "phase2b",
+            "quorum_reached",
+            "decided",
+            "ordered_delivered",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
         }
     }
 

@@ -105,11 +105,9 @@ impl GossipItem for RaftMessage {
     /// `Commit(term, index)`.
     fn message_id(&self) -> MessageId {
         match self {
-            RaftMessage::ClientCommand { command, .. } => id(
-                0x11,
-                command.id().origin.as_u32() as u64,
-                command.id().seq,
-            ),
+            RaftMessage::ClientCommand { command, .. } => {
+                id(0x11, command.id().origin.as_u32() as u64, command.id().seq)
+            }
             RaftMessage::Append { term, entry, .. } => {
                 id(0x12, term.as_u32() as u64, entry.index.as_u64())
             }
@@ -163,7 +161,7 @@ mod tests {
 
     #[test]
     fn ids_are_distinct_across_kinds_and_fields() {
-        let msgs = vec![
+        let msgs = [
             RaftMessage::ClientCommand {
                 forwarder: NodeId::new(0),
                 command: cmd(1),

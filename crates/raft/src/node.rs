@@ -309,8 +309,8 @@ mod tests {
     fn commands_from_followers_are_forwarded_and_ordered() {
         let mut nodes = cluster(5);
         let mut inflight = nodes[0].become_leader(Term::ZERO);
-        for i in 0..5 {
-            inflight.extend(nodes[i].submit(vec![i as u8]));
+        for (i, node) in nodes.iter_mut().enumerate() {
+            inflight.extend(node.submit(vec![i as u8]));
         }
         settle(&mut nodes, inflight);
         let reference: Vec<(LogIndex, Command)> = nodes[0].take_committed();

@@ -105,7 +105,10 @@ impl Semantics<RaftMessage> for RaftSemantics {
                     return false;
                 }
                 for v in voters {
-                    let high = state.sent_ack_high.entry((*term, *v)).or_insert(LogIndex::ZERO);
+                    let high = state
+                        .sent_ack_high
+                        .entry((*term, *v))
+                        .or_insert(LogIndex::ZERO);
                     *high = (*high).max(*index);
                 }
                 let derivable = state.derivable_commit(*term, quorum);

@@ -173,7 +173,10 @@ impl PaxosSemantics {
     ) -> bool {
         let quorum = self.config.quorum();
         let state = self.peers.entry(peer).or_default();
-        let sent = state.sent_votes.entry((instance, round, value)).or_default();
+        let sent = state
+            .sent_votes
+            .entry((instance, round, value))
+            .or_default();
         sent.extend(voters.iter().copied());
         if sent.len() >= quorum {
             state.knows_decided.insert(instance);
@@ -188,11 +191,9 @@ impl PaxosSemantics {
 impl Semantics<PaxosMessage> for PaxosSemantics {
     fn observe(&mut self, msg: &PaxosMessage) {
         match msg {
-            PaxosMessage::Decision { instance, .. } => {
-                if *instance >= self.gc_watermark {
-                    self.decided.insert(*instance);
-                    self.tallies.retain(|&(i, _, _), _| i != *instance);
-                }
+            PaxosMessage::Decision { instance, .. } if *instance >= self.gc_watermark => {
+                self.decided.insert(*instance);
+                self.tallies.retain(|&(i, _, _), _| i != *instance);
             }
             PaxosMessage::Phase2b {
                 instance,
@@ -380,7 +381,7 @@ mod tests {
         let mut s = sem(3); // quorum = 2
         assert!(s.validate(&vote(0, 0, 1, 1), PEER));
         assert!(s.validate(&vote(0, 0, 2, 2), PEER)); // different value
-        // Value 1 reaches a quorum of sent votes with a second voter.
+                                                      // Value 1 reaches a quorum of sent votes with a second voter.
         assert!(s.validate(&vote(0, 0, 1, 3), PEER));
         assert!(!s.validate(&vote(0, 0, 2, 3), PEER));
     }
@@ -503,7 +504,12 @@ mod tests {
             sender: NodeId::new(0),
         };
         let out = s.aggregate(
-            vec![vote(0, 0, 1, 1), p1a.clone(), vote(0, 0, 1, 2), decision(1, 2)],
+            vec![
+                vote(0, 0, 1, 1),
+                p1a.clone(),
+                vote(0, 0, 1, 2),
+                decision(1, 2),
+            ],
             PEER,
         );
         // [merged vote, phase1a, decision]

@@ -42,7 +42,10 @@ impl LossInjector {
     ///
     /// Panics if `rate` is not within `0.0..=1.0`.
     pub fn new(rate: f64, rng: StdRng) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "loss rate must be a probability"
+        );
         LossInjector {
             rate,
             rng,
@@ -123,7 +126,10 @@ impl CrashSchedule {
         let mut prev_end = SimTime::ZERO;
         for &(start, end) in &windows {
             assert!(start < end, "crash window must be non-empty");
-            assert!(start >= prev_end, "crash windows must be ordered and disjoint");
+            assert!(
+                start >= prev_end,
+                "crash windows must be ordered and disjoint"
+            );
             prev_end = end;
         }
         CrashSchedule { windows }

@@ -53,5 +53,5 @@ pub use queue::EventQueue;
 pub use regions::{Region, RegionMap, ALL_REGIONS, NUM_REGIONS};
 pub use rng::SeedSplitter;
 pub use stats::{Counter, Histogram};
-pub use trace::{TraceEvent, TraceKind, Tracer};
 pub use time::{SimDuration, SimTime};
+pub use trace::{render_event, Event as TraceEvent, TimedEvent, Tracer};

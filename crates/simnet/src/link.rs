@@ -51,7 +51,10 @@ impl LinkConfig {
     ///
     /// Panics if `rate` is not within `0.0..=1.0`.
     pub fn with_loss(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "loss rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "loss rate must be a probability"
+        );
         self.loss_rate = rate;
         self
     }
@@ -62,7 +65,10 @@ impl LinkConfig {
     ///
     /// Panics if `rate` is not within `0.0..=1.0`.
     pub fn with_dup(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "dup rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "dup rate must be a probability"
+        );
         self.dup_rate = rate;
         self
     }
@@ -196,7 +202,9 @@ mod tests {
     fn outcome_deliveries_iterator() {
         assert_eq!(LinkOutcome::Lost.deliveries().count(), 0);
         assert_eq!(
-            LinkOutcome::Delivered(SimDuration::from_millis(1)).deliveries().count(),
+            LinkOutcome::Delivered(SimDuration::from_millis(1))
+                .deliveries()
+                .count(),
             1
         );
     }

@@ -242,9 +242,7 @@ impl RegionMap {
     pub fn client_attach_points(&self) -> Vec<(Region, usize)> {
         ALL_REGIONS
             .iter()
-            .filter_map(|&r| {
-                self.processes_in(r).first().map(|&p| (r, p))
-            })
+            .filter_map(|&r| self.processes_in(r).first().map(|&p| (r, p)))
             .collect()
     }
 }
@@ -255,10 +253,10 @@ mod tests {
 
     #[test]
     fn matrix_is_symmetric_with_zero_diagonal() {
-        for i in 0..NUM_REGIONS {
-            assert_eq!(ONE_WAY_MS[i][i], 0);
-            for j in 0..NUM_REGIONS {
-                assert_eq!(ONE_WAY_MS[i][j], ONE_WAY_MS[j][i], "asymmetry at ({i},{j})");
+        for (i, row) in ONE_WAY_MS.iter().enumerate() {
+            assert_eq!(row[i], 0);
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, ONE_WAY_MS[j][i], "asymmetry at ({i},{j})");
             }
         }
     }

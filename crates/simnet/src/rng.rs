@@ -84,8 +84,14 @@ mod tests {
     #[test]
     fn same_key_same_stream() {
         let s = SeedSplitter::new(7);
-        let a: Vec<u64> = (0..8).map(|_| 0).scan(s.rng("x", 3), |r, _| Some(r.gen())).collect();
-        let b: Vec<u64> = (0..8).map(|_| 0).scan(s.rng("x", 3), |r, _| Some(r.gen())).collect();
+        let a: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(s.rng("x", 3), |r, _| Some(r.gen()))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(s.rng("x", 3), |r, _| Some(r.gen()))
+            .collect();
         assert_eq!(a, b);
     }
 

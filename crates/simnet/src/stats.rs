@@ -5,13 +5,14 @@
 //! deviations, arbitrary percentiles and full CDFs — everything Figures 3, 5,
 //! 7 and 8 report.
 
-use std::fmt;
-
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
 
 /// A monotonically increasing event counter.
+///
+/// This is the canonical [`obs::Counter`] — the same type
+/// `semantic_gossip` uses for its per-node message stats.
 ///
 /// # Example
 ///
@@ -22,31 +23,7 @@ use crate::time::SimDuration;
 /// c.add(4);
 /// assert_eq!(c.get(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Counter(u64);
-
-impl Counter {
-    /// Increments by one.
-    pub fn incr(&mut self) {
-        self.0 += 1;
-    }
-
-    /// Adds `n`.
-    pub fn add(&mut self, n: u64) {
-        self.0 += n;
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0
-    }
-}
-
-impl fmt::Display for Counter {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
+pub use obs::Counter;
 
 /// An exact sample-keeping latency histogram.
 ///

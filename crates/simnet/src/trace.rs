@@ -2,70 +2,71 @@
 //!
 //! Distributed-protocol debugging lives and dies by message timelines:
 //! *where did this Phase 2b go, who dropped it, when did the decision reach
-//! region X?* [`Tracer`] records bounded, structured events — sends,
-//! receives, drops, deliveries, custom marks — and can reconstruct the
-//! timeline of a single message across all processes. Tracing is opt-in and
-//! the disabled tracer compiles down to a branch per call.
+//! region X?* [`Tracer`] records bounded, structured [`obs::Event`]s —
+//! stamped with virtual time — and can reconstruct the timeline of a single
+//! message across all processes. Tracing is opt-in and the disabled tracer
+//! compiles down to a branch per call.
+//!
+//! The event vocabulary is the workspace-wide [`obs::Event`] enum (this
+//! module used to define its own `TraceKind`; it was absorbed into `obs` so
+//! simulated and live runs speak one trace format). Buffering is
+//! [`obs::RingObserver`] driven with simulated time via
+//! [`RingObserver::set_now`].
 
-use std::fmt;
+pub use obs::{Event, TimedEvent};
+use obs::{Observer, RingObserver};
 
 use crate::time::SimTime;
 
-/// One traced event.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// When it happened (virtual time).
-    pub at: SimTime,
-    /// The process it happened at.
-    pub node: u32,
-    /// What happened.
-    pub kind: TraceKind,
-}
-
-/// The kinds of events a simulation can trace.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TraceKind {
-    /// A message left `node` toward `to`.
-    Sent {
-        /// Destination process.
-        to: u32,
-        /// Message identifier (e.g. `semantic_gossip::MessageId` low word).
-        msg: u64,
-    },
-    /// A message from `from` arrived at `node`.
-    Received {
-        /// Source process.
-        from: u32,
-        /// Message identifier.
-        msg: u64,
-    },
-    /// A message was dropped at `node` (loss, overflow, duplicate...).
-    Dropped {
-        /// Message identifier.
-        msg: u64,
-        /// Why it was dropped.
-        reason: &'static str,
-    },
-    /// The protocol delivered something at `node` (e.g. a decided value).
-    Delivered {
-        /// Application-level identifier (e.g. instance number).
-        item: u64,
-    },
-    /// Free-form annotation.
-    Mark(&'static str),
-}
-
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] p{} ", self.at, self.node)?;
-        match &self.kind {
-            TraceKind::Sent { to, msg } => write!(f, "sent {msg:#x} -> p{to}"),
-            TraceKind::Received { from, msg } => write!(f, "received {msg:#x} <- p{from}"),
-            TraceKind::Dropped { msg, reason } => write!(f, "dropped {msg:#x} ({reason})"),
-            TraceKind::Delivered { item } => write!(f, "delivered #{item}"),
-            TraceKind::Mark(s) => write!(f, "mark: {s}"),
-        }
+/// The message identifier an event refers to, if any.
+///
+/// Used by [`Tracer::message_timeline`] to follow one message across
+/// processes; events that are not about a particular message (deliveries,
+/// crash marks, aggregate counts) return `None`.
+pub fn event_message(event: &Event) -> Option<u64> {
+    match event {
+        Event::GossipReceived { msg, .. }
+        | Event::GossipDisaggregated { msg, .. }
+        | Event::DuplicateDropped { msg, .. }
+        | Event::SemanticFiltered { msg, .. }
+        | Event::GossipDelivered { msg, .. }
+        | Event::GossipSent { msg, .. }
+        | Event::SendQueueOverflow { msg, .. }
+        | Event::DeliveryQueueOverflow { msg, .. }
+        | Event::MessageLost { msg, .. } => Some(*msg),
+        _ => None,
     }
+}
+
+/// Renders one timed event as a human-readable log line
+/// (`[virtual-time] pN what-happened`).
+pub fn render_event(timed: &TimedEvent) -> String {
+    let at = SimTime::from_nanos(timed.at);
+    let node = timed.event.node();
+    let what = match &timed.event {
+        Event::GossipSent { to, msg, .. } => format!("sent {msg:#x} -> p{to}"),
+        Event::GossipReceived { from, msg, .. } => format!("received {msg:#x} <- p{from}"),
+        Event::DuplicateDropped { msg, .. } => format!("dropped {msg:#x} (duplicate)"),
+        Event::SemanticFiltered { msg, .. } => format!("dropped {msg:#x} (filtered)"),
+        Event::SendQueueOverflow { to, msg, .. } => {
+            format!("dropped {msg:#x} (send queue to p{to} full)")
+        }
+        Event::DeliveryQueueOverflow { msg, .. } => {
+            format!("dropped {msg:#x} (delivery queue full)")
+        }
+        Event::MessageLost { msg, reason, .. } => format!("dropped {msg:#x} ({reason})"),
+        Event::OrderedDelivered {
+            instance,
+            origin,
+            seq,
+            ..
+        } => format!("delivered #{instance} (origin p{origin} seq {seq})"),
+        Event::Crashed { .. } => "crashed".to_string(),
+        Event::Recovered { .. } => "recovered".to_string(),
+        Event::Mark { label, .. } => format!("mark: {label}"),
+        other => format!("{} {}", other.kind(), other.to_json_value().render()),
+    };
+    format!("[{at}] p{node} {what}")
 }
 
 /// A bounded, opt-in event recorder.
@@ -77,20 +78,21 @@ impl fmt::Display for TraceEvent {
 /// # Example
 ///
 /// ```
-/// use simnet::trace::{TraceKind, Tracer};
+/// use simnet::trace::{Event, Tracer};
 /// use simnet::SimTime;
 ///
 /// let mut t = Tracer::enabled(1024);
-/// t.record(SimTime::ZERO, 0, TraceKind::Sent { to: 1, msg: 42 });
-/// t.record(SimTime::from_nanos(5), 1, TraceKind::Received { from: 0, msg: 42 });
+/// t.record(SimTime::ZERO, Event::GossipSent { node: 0, to: 1, msg: 42 });
+/// t.record(
+///     SimTime::from_nanos(5),
+///     Event::GossipReceived { node: 1, from: 0, msg: 42 },
+/// );
 /// assert_eq!(t.message_timeline(42).len(), 2);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tracer {
-    events: std::collections::VecDeque<TraceEvent>,
-    capacity: usize,
+    ring: RingObserver,
     enabled: bool,
-    discarded: u64,
 }
 
 impl Tracer {
@@ -102,20 +104,16 @@ impl Tracer {
     pub fn enabled(capacity: usize) -> Self {
         assert!(capacity > 0, "tracer capacity must be positive");
         Tracer {
-            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
-            capacity,
+            ring: RingObserver::with_capacity(capacity),
             enabled: true,
-            discarded: 0,
         }
     }
 
     /// A disabled tracer: every record is a no-op.
     pub fn disabled() -> Self {
         Tracer {
-            events: std::collections::VecDeque::new(),
-            capacity: 0,
+            ring: RingObserver::with_capacity(0),
             enabled: false,
-            discarded: 0,
         }
     }
 
@@ -124,66 +122,69 @@ impl Tracer {
         self.enabled
     }
 
-    /// Records one event (no-op when disabled).
+    /// Records one event at virtual time `at` (no-op when disabled).
     #[inline]
-    pub fn record(&mut self, at: SimTime, node: u32, kind: TraceKind) {
+    pub fn record(&mut self, at: SimTime, event: Event) {
         if !self.enabled {
             return;
         }
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.discarded += 1;
-        }
-        self.events.push_back(TraceEvent { at, node, kind });
+        self.ring.set_now(at.as_nanos());
+        self.ring.record(event);
     }
 
     /// All retained events, oldest first.
-    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter()
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.ring.iter()
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.ring.len()
     }
 
     /// Whether nothing was retained.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.ring.is_empty()
     }
 
     /// Events discarded due to the capacity bound.
     pub fn discarded(&self) -> u64 {
-        self.discarded
+        self.ring.discarded()
     }
 
     /// The timeline of one message across all processes: every retained
-    /// send/receive/drop naming `msg`, in time order.
-    pub fn message_timeline(&self, msg: u64) -> Vec<&TraceEvent> {
-        self.events
+    /// event naming `msg`, in time order.
+    pub fn message_timeline(&self, msg: u64) -> Vec<&TimedEvent> {
+        self.ring
             .iter()
-            .filter(|e| match &e.kind {
-                TraceKind::Sent { msg: m, .. }
-                | TraceKind::Received { msg: m, .. }
-                | TraceKind::Dropped { msg: m, .. } => *m == msg,
-                _ => false,
-            })
+            .filter(|e| event_message(&e.event) == Some(msg))
             .collect()
     }
 
     /// Events at one process, in time order.
-    pub fn node_timeline(&self, node: u32) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.node == node).collect()
+    pub fn node_timeline(&self, node: u32) -> Vec<&TimedEvent> {
+        self.ring
+            .iter()
+            .filter(|e| e.event.node() == node)
+            .collect()
+    }
+
+    /// Serializes the retained events as JSONL, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        self.ring.to_jsonl()
     }
 
     /// Renders the retained events as a readable log.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        if self.discarded > 0 {
-            out.push_str(&format!("... {} earlier events discarded ...\n", self.discarded));
+        if self.discarded() > 0 {
+            out.push_str(&format!(
+                "... {} earlier events discarded ...\n",
+                self.discarded()
+            ));
         }
-        for e in &self.events {
-            out.push_str(&e.to_string());
+        for e in self.ring.iter() {
+            out.push_str(&render_event(e));
             out.push('\n');
         }
         out
@@ -198,22 +199,52 @@ mod tests {
         SimTime::from_nanos(ns)
     }
 
+    fn delivered(node: u32, instance: u64) -> Event {
+        Event::OrderedDelivered {
+            node,
+            instance,
+            origin: 0,
+            seq: instance,
+        }
+    }
+
     #[test]
     fn records_and_orders_events() {
         let mut tr = Tracer::enabled(16);
-        tr.record(t(1), 0, TraceKind::Sent { to: 1, msg: 7 });
-        tr.record(t(2), 1, TraceKind::Received { from: 0, msg: 7 });
-        tr.record(t(3), 1, TraceKind::Delivered { item: 0 });
+        tr.record(
+            t(1),
+            Event::GossipSent {
+                node: 0,
+                to: 1,
+                msg: 7,
+            },
+        );
+        tr.record(
+            t(2),
+            Event::GossipReceived {
+                node: 1,
+                from: 0,
+                msg: 7,
+            },
+        );
+        tr.record(t(3), delivered(1, 0));
         assert_eq!(tr.len(), 3);
-        let times: Vec<u64> = tr.events().map(|e| e.at.as_nanos()).collect();
+        let times: Vec<u64> = tr.events().map(|e| e.at).collect();
         assert_eq!(times, vec![1, 2, 3]);
     }
 
     #[test]
     fn disabled_tracer_records_nothing() {
         let mut tr = Tracer::disabled();
-        tr.record(t(1), 0, TraceKind::Mark("x"));
+        tr.record(
+            t(1),
+            Event::Mark {
+                node: 0,
+                label: "x".to_string(),
+            },
+        );
         assert!(tr.is_empty());
+        assert_eq!(tr.discarded(), 0);
         assert!(!tr.is_enabled());
     }
 
@@ -221,55 +252,107 @@ mod tests {
     fn capacity_bound_discards_oldest() {
         let mut tr = Tracer::enabled(2);
         for i in 0..5u64 {
-            tr.record(t(i), 0, TraceKind::Delivered { item: i });
+            tr.record(t(i), delivered(0, i));
         }
         assert_eq!(tr.len(), 2);
         assert_eq!(tr.discarded(), 3);
         let items: Vec<u64> = tr
             .events()
-            .map(|e| match e.kind {
-                TraceKind::Delivered { item } => item,
+            .map(|e| match e.event {
+                Event::OrderedDelivered { instance, .. } => instance,
                 _ => unreachable!(),
             })
             .collect();
         assert_eq!(items, vec![3, 4]);
         assert!(tr.render().contains("3 earlier events discarded"));
+        assert!(tr.render().contains("delivered #3"));
     }
 
     #[test]
     fn message_timeline_follows_one_message() {
         let mut tr = Tracer::enabled(16);
-        tr.record(t(1), 0, TraceKind::Sent { to: 1, msg: 7 });
-        tr.record(t(2), 0, TraceKind::Sent { to: 2, msg: 8 });
-        tr.record(t(3), 1, TraceKind::Received { from: 0, msg: 7 });
-        tr.record(t(4), 2, TraceKind::Dropped { msg: 7, reason: "loss" });
-        tr.record(t(5), 1, TraceKind::Delivered { item: 9 });
+        tr.record(
+            t(1),
+            Event::GossipSent {
+                node: 0,
+                to: 1,
+                msg: 7,
+            },
+        );
+        tr.record(
+            t(2),
+            Event::GossipSent {
+                node: 0,
+                to: 2,
+                msg: 8,
+            },
+        );
+        tr.record(
+            t(3),
+            Event::GossipReceived {
+                node: 1,
+                from: 0,
+                msg: 7,
+            },
+        );
+        tr.record(
+            t(4),
+            Event::MessageLost {
+                node: 2,
+                msg: 7,
+                reason: "loss".to_string(),
+            },
+        );
+        tr.record(t(5), delivered(1, 9));
         let timeline = tr.message_timeline(7);
         assert_eq!(timeline.len(), 3);
-        assert!(matches!(timeline[2].kind, TraceKind::Dropped { .. }));
+        assert!(matches!(timeline[2].event, Event::MessageLost { .. }));
     }
 
     #[test]
     fn node_timeline_filters_by_process() {
+        let mark = |node, label: &str| Event::Mark {
+            node,
+            label: label.to_string(),
+        };
         let mut tr = Tracer::enabled(16);
-        tr.record(t(1), 0, TraceKind::Mark("a"));
-        tr.record(t(2), 1, TraceKind::Mark("b"));
-        tr.record(t(3), 0, TraceKind::Mark("c"));
+        tr.record(t(1), mark(0, "a"));
+        tr.record(t(2), mark(1, "b"));
+        tr.record(t(3), mark(0, "c"));
         assert_eq!(tr.node_timeline(0).len(), 2);
         assert_eq!(tr.node_timeline(1).len(), 1);
     }
 
     #[test]
-    fn display_formats_are_readable() {
-        let e = TraceEvent {
-            at: t(1_000_000),
-            node: 3,
-            kind: TraceKind::Sent { to: 4, msg: 255 },
+    fn render_formats_are_readable() {
+        let timed = TimedEvent {
+            at: 1_000_000,
+            event: Event::GossipSent {
+                node: 3,
+                to: 4,
+                msg: 255,
+            },
         };
-        let s = e.to_string();
+        let s = render_event(&timed);
         assert!(s.contains("p3"));
         assert!(s.contains("0xff"));
         assert!(s.contains("p4"));
+        // Kinds without a bespoke line still show their fields.
+        let generic = TimedEvent {
+            at: 0,
+            event: Event::Dialed { node: 1, peer: 2 },
+        };
+        assert!(render_event(&generic).contains("dialed"));
+        assert!(render_event(&generic).contains("\"peer\":2"));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut tr = Tracer::enabled(8);
+        tr.record(t(9), delivered(2, 4));
+        let jsonl = tr.to_jsonl();
+        let parsed = TimedEvent::from_json(jsonl.trim()).unwrap();
+        assert_eq!(&parsed, tr.events().next().unwrap());
     }
 
     #[test]

@@ -16,10 +16,21 @@ use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use testbed::experiments::{crash, fig3, fig4, fig5, fig6, fig7, fig8, msgstats, table1, valuesize, Preset};
+use testbed::experiments::{
+    crash, fig3, fig4, fig5, fig6, fig7, fig8, msgstats, table1, valuesize, Preset,
+};
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "msgstats", "crash", "valuesize",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "msgstats",
+    "crash",
+    "valuesize",
 ];
 
 fn main() {
@@ -35,7 +46,9 @@ fn main() {
             "--quick" => preset = Preset::Quick,
             "--csv" => csv = true,
             "--out" => {
-                let dir = args.next().unwrap_or_else(|| usage("--out needs a directory"));
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| usage("--out needs a directory"));
                 out_dir = Some(PathBuf::from(dir));
             }
             "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
@@ -92,7 +105,10 @@ fn main() {
                 msgstats::run(&msgstats::MsgStatsParams::preset(preset)).render(),
                 None,
             ),
-            "crash" => (crash::run(&crash::CrashParams::preset(preset)).render(), None),
+            "crash" => (
+                crash::run(&crash::CrashParams::preset(preset)).render(),
+                None,
+            ),
             "valuesize" => (
                 valuesize::run(&valuesize::ValueSizeParams::preset(preset)).render(),
                 None,

@@ -19,15 +19,18 @@
 //! saturate (Figures 3/4). Message loss can be injected at the receiver
 //! (Figure 6). Runs are deterministic per seed.
 
+use obs::{Event as ObsEvent, RingObserver, SpanTracker, TimedEvent};
 use overlay::{connected_k_out, paper_fanout, Graph};
-use paxos::{InstanceId, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId};
+use paxos::{
+    InstanceId, MemoryStorage, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId,
+};
 use paxos_semantics::{PaxosSemantics, SemanticMode};
 use semantic_gossip::{
     DuplicateFilter, GossipConfig, GossipItem, GossipNode, MessageId, NoSemantics, NodeId,
     RecentCache, Semantics, SlidingBloom,
 };
 use simnet::fault::CrashSchedule;
-use simnet::trace::{TraceKind, Tracer};
+use simnet::trace::{render_event, Tracer};
 use simnet::{
     CpuModel, EventQueue, LossInjector, NodeCpu, RegionMap, SeedSplitter, SimDuration, SimTime,
 };
@@ -320,7 +323,7 @@ enum Comms {
 }
 
 struct Node {
-    paxos: PaxosProcess,
+    paxos: PaxosProcess<MemoryStorage, RingObserver>,
     comms: Comms,
     cpu: NodeCpu,
     loss: LossInjector,
@@ -390,6 +393,8 @@ struct Cluster {
     link_rng: rand::rngs::StdRng,
     tracked: HashMap<ValueId, Tracked>,
     tracer: Tracer,
+    /// Paxos events salvaged from processes replaced on crash recovery.
+    paxos_trace_backlog: Vec<TimedEvent>,
     received_by_kind: [u64; paxos::message::Kind::COUNT],
     end: SimTime,
     window_start: SimTime,
@@ -417,7 +422,10 @@ impl Cluster {
         // Per-process crash schedules.
         let mut windows: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); params.n];
         for &(node, from, to) in &params.crashes {
-            assert!((node as usize) < params.n, "crash window for unknown process");
+            assert!(
+                (node as usize) < params.n,
+                "crash window for unknown process"
+            );
             windows[node as usize].push((SimTime::ZERO + from, SimTime::ZERO + to));
         }
         for w in &mut windows {
@@ -439,10 +447,9 @@ impl Cluster {
                             Setup::SemanticGossip => {
                                 AnySemantics::Paxos(PaxosSemantics::full(config.clone()))
                             }
-                            Setup::Custom(mode) => AnySemantics::Paxos(PaxosSemantics::new(
-                                config.clone(),
-                                *mode,
-                            )),
+                            Setup::Custom(mode) => {
+                                AnySemantics::Paxos(PaxosSemantics::new(config.clone(), *mode))
+                            }
                             Setup::Baseline => unreachable!(),
                         };
                         let filter = match params.dedup {
@@ -465,7 +472,12 @@ impl Cluster {
                     (_, None) => unreachable!("gossip setup without overlay"),
                 };
                 Node {
-                    paxos: PaxosProcess::new(NodeId::new(i), config.clone()),
+                    paxos: PaxosProcess::with_observer(
+                        NodeId::new(i),
+                        config.clone(),
+                        MemoryStorage::default(),
+                        RingObserver::with_capacity(params.trace_capacity),
+                    ),
                     comms,
                     cpu: NodeCpu::new(params.cpu.recv),
                     loss: LossInjector::new(params.loss_rate, seeds.rng("loss-injector", i as u64)),
@@ -507,6 +519,7 @@ impl Cluster {
             queue: EventQueue::new(),
             link_rng: seeds.rng("links", 0),
             tracked: HashMap::new(),
+            paxos_trace_backlog: Vec::new(),
             tracer: if params.trace_capacity > 0 {
                 Tracer::enabled(params.trace_capacity)
             } else {
@@ -520,8 +533,18 @@ impl Cluster {
         }
     }
 
+    /// Timestamps a process's Paxos observer with the simulated clock so
+    /// events recorded during the next interaction carry `now`.
+    fn stamp(&mut self, node: u32, now: SimTime) {
+        self.nodes[node as usize]
+            .paxos
+            .observer_mut()
+            .set_now(now.as_nanos());
+    }
+
     fn bootstrap(&mut self) {
         // The elected coordinator (process 0, North Virginia) starts round 0.
+        self.stamp(0, SimTime::ZERO);
         let out = self.nodes[0].paxos.start_round(Round::ZERO);
         self.dispatch_outbound(0, out, SimTime::ZERO);
         self.pump_node(0, SimTime::ZERO);
@@ -551,7 +574,8 @@ impl Cluster {
         if let Some(t) = self.params.failover {
             let poll = SimDuration::from_nanos((t.as_nanos() / 4).max(1));
             for i in 0..self.params.n as u32 {
-                self.queue.schedule(SimTime::ZERO + poll, Event::FailoverCheck { node: i });
+                self.queue
+                    .schedule(SimTime::ZERO + poll, Event::FailoverCheck { node: i });
             }
         }
     }
@@ -579,14 +603,16 @@ impl Cluster {
                 }
                 let node = &mut self.nodes[dst as usize];
                 if from != dst && node.loss.should_drop() {
-                    self.tracer.record(
-                        now,
-                        dst,
-                        TraceKind::Dropped {
-                            msg: msg.message_id().low(),
-                            reason: "injected loss",
-                        },
-                    );
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(
+                            now,
+                            ObsEvent::MessageLost {
+                                node: dst,
+                                msg: msg.message_id().low(),
+                                reason: "injected loss".to_string(),
+                            },
+                        );
+                    }
                     return;
                 }
                 node.raw_received += 1;
@@ -596,7 +622,11 @@ impl Cluster {
                     _ => 1,
                 };
                 let work = self.params.cpu.recv.service_time(msg.wire_size())
-                    + self.params.cpu.per_extra_part.saturating_mul(parts as u64 - 1);
+                    + self
+                        .params
+                        .cpu
+                        .per_extra_part
+                        .saturating_mul(parts as u64 - 1);
                 let done = node.cpu.admit_work(now, work);
                 self.queue.schedule(done, Event::Handle { dst, from, msg });
             }
@@ -609,6 +639,7 @@ impl Cluster {
                         g.on_receive(NodeId::new(from), msg);
                     }
                     Comms::Direct => {
+                        self.stamp(dst, now);
                         let out = self.nodes[dst as usize].paxos.handle(msg);
                         self.dispatch_outbound(dst, out, now);
                     }
@@ -643,13 +674,19 @@ impl Cluster {
                 let done = self.nodes[attach as usize]
                     .cpu
                     .admit(now, self.params.value_size);
-                self.queue
-                    .schedule(done, Event::ClientDeliver { node: attach, value });
+                self.queue.schedule(
+                    done,
+                    Event::ClientDeliver {
+                        node: attach,
+                        value,
+                    },
+                );
             }
             Event::ClientDeliver { node, value } => {
                 if !self.is_up(node, now) {
                     return;
                 }
+                self.stamp(node, now);
                 let out = self.nodes[node as usize].paxos.submit(value);
                 self.dispatch_outbound(node, out, now);
                 self.pump_node(node, now);
@@ -669,6 +706,7 @@ impl Cluster {
             }
             Event::Retransmit => {
                 if self.is_up(0, now) {
+                    self.stamp(0, now);
                     let out = self.nodes[0].paxos.retransmit();
                     self.dispatch_outbound(0, out, now);
                     self.pump_node(0, now);
@@ -681,7 +719,8 @@ impl Cluster {
             Event::FailoverCheck { node } => {
                 if let Some(t) = self.params.failover {
                     let poll = SimDuration::from_nanos((t.as_nanos() / 4).max(1));
-                    self.queue.schedule(now + poll, Event::FailoverCheck { node });
+                    self.queue
+                        .schedule(now + poll, Event::FailoverCheck { node });
                 }
                 if !self.is_up(node, now) {
                     return;
@@ -694,6 +733,7 @@ impl Cluster {
                 timer.observe_round(current, now.as_nanos());
                 if let Some(round) = timer.suspect(now.as_nanos()) {
                     if round > current {
+                        self.stamp(node, now);
                         let out = self.nodes[idx].paxos.start_round(round);
                         self.dispatch_outbound(node, out, now);
                         self.pump_node(node, now);
@@ -707,15 +747,28 @@ impl Cluster {
     /// learner, coordinator and gossip state are volatile and start fresh.
     fn recover_node(&mut self, node: u32) {
         let now = self.queue.now();
-        self.tracer.record(now, node, TraceKind::Mark("recovered"));
+        self.tracer.record(now, ObsEvent::Recovered { node });
         let idx = node as usize;
         let config = PaxosConfig::new(self.params.n);
-        let old = std::mem::replace(
+        let mut old = std::mem::replace(
             &mut self.nodes[idx].paxos,
-            PaxosProcess::new(NodeId::new(node), config.clone()),
+            PaxosProcess::with_observer(
+                NodeId::new(node),
+                config.clone(),
+                MemoryStorage::default(),
+                RingObserver::with_capacity(0),
+            ),
         );
+        // The crashed incarnation's events survive in the run's trace even
+        // though the process itself is rebuilt from stable storage.
+        self.paxos_trace_backlog.extend(old.observer_mut().drain());
         let storage = old.into_acceptor_storage();
-        self.nodes[idx].paxos = PaxosProcess::with_storage(NodeId::new(node), config.clone(), storage);
+        self.nodes[idx].paxos = PaxosProcess::with_observer(
+            NodeId::new(node),
+            config.clone(),
+            storage,
+            RingObserver::with_capacity(self.params.trace_capacity),
+        );
         self.nodes[idx].delivered_log.clear();
         self.nodes[idx].flush_scheduled = false;
         if let Comms::Gossip(_) = &self.nodes[idx].comms {
@@ -728,9 +781,7 @@ impl Cluster {
             let semantics = match self.params.setup {
                 Setup::Gossip => AnySemantics::None(NoSemantics),
                 Setup::SemanticGossip => AnySemantics::Paxos(PaxosSemantics::full(config)),
-                Setup::Custom(mode) => {
-                    AnySemantics::Paxos(PaxosSemantics::new(config, mode))
-                }
+                Setup::Custom(mode) => AnySemantics::Paxos(PaxosSemantics::new(config, mode)),
                 Setup::Baseline => unreachable!(),
             };
             let filter = match self.params.dedup {
@@ -779,6 +830,7 @@ impl Cluster {
     /// Drains gossip deliveries into Paxos (which may broadcast more),
     /// collects ordered decisions, and schedules a send-queue flush.
     fn pump_node(&mut self, node: u32, now: SimTime) {
+        self.stamp(node, now);
         loop {
             let deliveries = match &mut self.nodes[node as usize].comms {
                 Comms::Gossip(g) => g.take_deliveries(),
@@ -817,8 +869,6 @@ impl Cluster {
         }
         let is_attach = self.clients.iter().any(|c| c.attach == node);
         for (instance, value) in decided {
-            self.tracer
-                .record(now, node, TraceKind::Delivered { item: instance.as_u64() });
             self.nodes[node as usize]
                 .delivered_log
                 .push((instance, value.id()));
@@ -834,7 +884,7 @@ impl Cluster {
         }
         // Periodically GC the semantic layer's per-peer summaries.
         let watermark = self.nodes[node as usize].paxos.learner().next_to_deliver();
-        if watermark.as_u64() % 256 == 0 {
+        if watermark.as_u64().is_multiple_of(256) {
             if let Comms::Gossip(g) = &mut self.nodes[node as usize].comms {
                 let keep = InstanceId::new(watermark.as_u64().saturating_sub(1024));
                 g.semantics_mut().gc(keep);
@@ -897,7 +947,31 @@ impl Cluster {
         }
         metrics.received_by_kind = self.received_by_kind;
         if self.tracer.is_enabled() {
-            metrics.trace = Some(self.tracer.render());
+            // Merge the cluster-level trace (losses, recoveries) with every
+            // process's Paxos observer into one time-ordered stream; stable
+            // sort keeps each process's events in emission order.
+            let mut events = std::mem::take(&mut self.paxos_trace_backlog);
+            for node in &mut self.nodes {
+                events.extend(node.paxos.observer_mut().drain());
+            }
+            events.extend(self.tracer.events().cloned());
+            events.sort_by_key(|e| e.at);
+
+            let mut spans = SpanTracker::new();
+            spans.observe_all(&events);
+            metrics.span_summary = Some(spans.summary());
+            metrics.trace_kinds = obs::prom::event_kind_counts(&events).into_iter().collect();
+
+            let mut jsonl = String::new();
+            let mut rendered = String::new();
+            for e in &events {
+                jsonl.push_str(&e.to_json());
+                jsonl.push('\n');
+                rendered.push_str(&render_event(e));
+                rendered.push('\n');
+            }
+            metrics.trace_jsonl = Some(jsonl);
+            metrics.trace = Some(rendered);
         }
         metrics.seed = self.params.seed;
         metrics
@@ -1091,6 +1165,51 @@ mod tests {
         let w = run_cluster(&without);
         assert_eq!(w.ordered, m.ordered);
         assert!(w.trace.is_none());
+        assert!(w.trace_jsonl.is_none());
+        assert!(w.span_summary.is_none());
+    }
+
+    #[test]
+    fn trace_exports_jsonl_spans_and_prometheus() {
+        let mut params = ClusterParams::paper(13, Setup::SemanticGossip)
+            .with_rate(13.0)
+            .with_seconds(1.0, 0.5);
+        params.trace_capacity = 1 << 16;
+        let m = run_cluster(&params);
+
+        // Every JSONL line must round-trip through the obs codec.
+        let jsonl = m.trace_jsonl.as_ref().expect("tracing enabled");
+        assert!(!jsonl.is_empty());
+        for line in jsonl.lines() {
+            obs::TimedEvent::from_json(line).expect("valid trace line");
+        }
+
+        // The span tracker must stitch complete submit -> ordered pipelines.
+        let summary = m.span_summary.as_ref().expect("span summary");
+        assert!(summary.complete > 0, "no complete value spans");
+        let total = summary.segments.last().expect("segments");
+        assert_eq!(total.name, "total submit -> ordered");
+        assert!(total.count > 0 && total.mean_ns > 0);
+        let table = crate::report::span_table(summary).render();
+        assert!(table.contains("total submit -> ordered"));
+
+        // Kind counts cover the Paxos pipeline and feed the exposition.
+        let kinds: Vec<&str> = m.trace_kinds.iter().map(|(k, _)| *k).collect();
+        for expected in [
+            "value_submitted",
+            "phase2a",
+            "phase2b",
+            "decided",
+            "ordered_delivered",
+        ] {
+            assert!(
+                kinds.contains(&expected),
+                "missing kind {expected}: {kinds:?}"
+            );
+        }
+        let prom = m.prometheus();
+        assert!(prom.contains("# TYPE trace_events_total counter"));
+        assert!(prom.contains("trace_phase_latency_seconds{"));
     }
 
     #[test]
@@ -1098,7 +1217,11 @@ mod tests {
         // §4.3 attributes gossip's redundancy mostly to Phase 2b votes.
         let m = quick(13, Setup::Gossip, 40.0);
         let (kind, count) = m.dominant_received_kind();
-        assert_eq!(kind, paxos::message::Kind::Phase2b, "dominant: {kind:?} x{count}");
+        assert_eq!(
+            kind,
+            paxos::message::Kind::Phase2b,
+            "dominant: {kind:?} x{count}"
+        );
     }
 
     #[test]
@@ -1115,7 +1238,7 @@ mod tests {
             .with_rate(60.0)
             .with_seconds(2.0, 1.0);
         let mut short = base.clone();
-        short.flush_quantum = SimDuration::from_micros(50);
+        short.flush_quantum = SimDuration::from_micros(10);
         let mut long = base;
         long.flush_quantum = SimDuration::from_millis(50);
         let short = run_cluster(&short);
@@ -1136,7 +1259,11 @@ mod tests {
         let params = ClusterParams::paper(13, Setup::Gossip)
             .with_rate(26.0)
             .with_seconds(2.0, 1.0)
-            .with_crash(5, SimDuration::from_millis(1200), SimDuration::from_millis(2500));
+            .with_crash(
+                5,
+                SimDuration::from_millis(1200),
+                SimDuration::from_millis(2500),
+            );
         let m = run_cluster(&params);
         assert!(m.safety_ok);
         // Client 5's submissions during the crash are not ordered.

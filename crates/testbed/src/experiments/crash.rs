@@ -76,8 +76,14 @@ pub struct CrashReport {
 
 /// Runs the four scenarios.
 pub fn run(params: &CrashParams) -> CrashReport {
-    assert!(params.setup.uses_gossip(), "crash experiment targets gossip setups");
-    assert!(params.n >= 15, "need enough processes for a crashable minority");
+    assert!(
+        params.setup.uses_gossip(),
+        "crash experiment targets gossip setups"
+    );
+    assert!(
+        params.n >= 15,
+        "need enough processes for a crashable minority"
+    );
     let base = || {
         ClusterParams::paper(params.n, params.setup)
             .with_rate(params.rate)
@@ -111,10 +117,7 @@ pub fn run(params: &CrashParams) -> CrashReport {
     for i in 0..crashed {
         minority = minority.with_crash((params.n - 1 - i) as u32, down_from, up_at);
     }
-    push(
-        &format!("{crashed} acceptors crash+recover"),
-        minority,
-    );
+    push(&format!("{crashed} acceptors crash+recover"), minority);
     push(
         "coordinator crashes, no failover",
         base().with_crash(0, down_from, never_up),

@@ -100,7 +100,10 @@ pub fn run(params: &Fig3Params) -> Fig3Report {
                     p = p.with_overlay(overlay.clone());
                 }
                 let m = run_cluster(&p);
-                assert!(m.safety_ok, "safety violated at n={n} {setup:?} rate={rate}");
+                assert!(
+                    m.safety_ok,
+                    "safety violated at n={n} {setup:?} rate={rate}"
+                );
                 points.push(SweepPoint {
                     rate,
                     throughput: m.throughput(),
@@ -143,7 +146,11 @@ impl Fig3Report {
                     format!("{:.1}", p.rate),
                     format!("{:.1}", p.throughput),
                     ms(p.latency),
-                    if Some(i) == c.saturation { "<== knee".into() } else { String::new() },
+                    if Some(i) == c.saturation {
+                        "<== knee".into()
+                    } else {
+                        String::new()
+                    },
                 ]);
             }
         }
@@ -192,8 +199,16 @@ mod tests {
     #[test]
     fn gossip_low_load_latency_exceeds_baseline() {
         let report = run(&tiny());
-        let b = report.curve(13, "Baseline").unwrap().low_load_latency().unwrap();
-        let g = report.curve(13, "Gossip").unwrap().low_load_latency().unwrap();
+        let b = report
+            .curve(13, "Baseline")
+            .unwrap()
+            .low_load_latency()
+            .unwrap();
+        let g = report
+            .curve(13, "Gossip")
+            .unwrap()
+            .low_load_latency()
+            .unwrap();
         assert!(g > b, "gossip {g} should exceed baseline {b}");
     }
 

@@ -134,12 +134,7 @@ impl Fig5Report {
     pub fn render(&self) -> String {
         let mut legend = Table::new(vec!["setup", "avg (ms)", "stddev (ms)", "p99.9 (ms)"]);
         for d in &self.distributions {
-            legend.row(vec![
-                d.setup.clone(),
-                ms(d.mean),
-                ms(d.std_dev),
-                ms(d.p999),
-            ]);
+            legend.row(vec![d.setup.clone(), ms(d.mean), ms(d.std_dev), ms(d.p999)]);
         }
         format!(
             "Figure 5. Latency CDFs, n = {}, workload {:.1}/s.\n{}\n{}",

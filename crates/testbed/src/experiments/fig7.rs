@@ -5,7 +5,10 @@
 //! `(median coordinator RTT, measured latency)` and the median one is
 //! selected (§4.6).
 
-use overlay::{connected_k_out, median_coordinator_rtt, paper_fanout, rank_overlays, topology_stats, Graph, OverlayMeasurement, TopologyStats};
+use overlay::{
+    connected_k_out, median_coordinator_rtt, paper_fanout, rank_overlays, topology_stats, Graph,
+    OverlayMeasurement, TopologyStats,
+};
 use simnet::{RegionMap, SeedSplitter};
 
 use crate::cluster::{run_cluster, ClusterParams, Setup};
@@ -62,8 +65,7 @@ pub struct Fig7Report {
 pub fn candidate_overlay(params: &Fig7Params, i: usize) -> Graph {
     let seeds = SeedSplitter::new(params.seed);
     let mut rng = seeds.rng("fig7-overlay", i as u64);
-    connected_k_out(params.n, paper_fanout(params.n), &mut rng, 100)
-        .expect("connected overlay")
+    connected_k_out(params.n, paper_fanout(params.n), &mut rng, 100).expect("connected overlay")
 }
 
 /// Runs the Figure 7 experiment.
@@ -72,8 +74,7 @@ pub fn run(params: &Fig7Params) -> Fig7Report {
     let mut measurements = Vec::with_capacity(params.overlays);
     for i in 0..params.overlays {
         let graph = candidate_overlay(params, i);
-        let median_rtt =
-            median_coordinator_rtt(&graph, &regions, 0).expect("overlay is connected");
+        let median_rtt = median_coordinator_rtt(&graph, &regions, 0).expect("overlay is connected");
         let p = ClusterParams::paper(params.n, Setup::Gossip)
             .with_rate(params.rate)
             .with_seconds(params.seconds.0, params.seconds.1)
@@ -88,7 +89,8 @@ pub fn run(params: &Fig7Params) -> Fig7Report {
         });
     }
     let (ordered, selected) = rank_overlays(measurements).expect("at least one overlay");
-    let selected_topology = topology_stats(&candidate_overlay(params, ordered[selected].overlay_id));
+    let selected_topology =
+        topology_stats(&candidate_overlay(params, ordered[selected].overlay_id));
     Fig7Report {
         n: params.n,
         ordered,
@@ -116,7 +118,11 @@ impl Fig7Report {
                 format!("#{}", m.overlay_id),
                 ms(m.median_rtt),
                 ms(m.measured_latency),
-                if pos == self.selected { "<== median".into() } else { String::new() },
+                if pos == self.selected {
+                    "<== median".into()
+                } else {
+                    String::new()
+                },
             ]);
         }
         let topo = &self.selected_topology;
@@ -129,7 +135,9 @@ impl Fig7Report {
             self.n,
             t.render(),
             topo.mean_degree,
-            topo.diameter_hops.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+            topo.diameter_hops
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
             topo.mean_path_hops.unwrap_or(0.0),
         )
     }

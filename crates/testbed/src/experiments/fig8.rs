@@ -108,7 +108,10 @@ impl Fig8Report {
         }
         let improvements: Vec<f64> = self.pairs.iter().map(OverlayPair::improvement).collect();
         let min = improvements.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = improvements.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = improvements
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
         (min, avg, max)
     }

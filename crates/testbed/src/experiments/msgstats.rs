@@ -187,13 +187,25 @@ mod tests {
         let s = &report.stats[0];
         // A regular gossip process receives more than the baseline
         // coordinator (redundancy factor about 2x at n=13 in the paper).
-        assert!(s.redundancy_factor() > 1.2, "factor {}", s.redundancy_factor());
+        assert!(
+            s.redundancy_factor() > 1.2,
+            "factor {}",
+            s.redundancy_factor()
+        );
         // Roughly half the received messages are duplicates at n=13 (49%).
-        assert!(s.gossip_duplicate_ratio > 0.25, "{}", s.gossip_duplicate_ratio);
+        assert!(
+            s.gossip_duplicate_ratio > 0.25,
+            "{}",
+            s.gossip_duplicate_ratio
+        );
         // Semantic techniques reduce received messages...
         assert!(s.received_reduction() > 0.05, "{}", s.received_reduction());
         // ...and the duplicate share does not collapse (redundancy kept).
-        assert!(s.semantic_duplicate_ratio > 0.15, "{}", s.semantic_duplicate_ratio);
+        assert!(
+            s.semantic_duplicate_ratio > 0.15,
+            "{}",
+            s.semantic_duplicate_ratio
+        );
     }
 
     #[test]

@@ -97,7 +97,12 @@ impl ValueSizeReport {
 
     /// Renders the grid.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["size (B)", "setup", "avg latency (ms)", "throughput/s"]);
+        let mut t = Table::new(vec![
+            "size (B)",
+            "setup",
+            "avg latency (ms)",
+            "throughput/s",
+        ]);
         for p in &self.points {
             t.row(vec![
                 p.size.to_string(),

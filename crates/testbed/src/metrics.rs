@@ -63,6 +63,14 @@ pub struct RunMetrics {
     pub received_by_kind: [u64; paxos::message::Kind::COUNT],
     /// Rendered execution trace, when tracing was enabled for the run.
     pub trace: Option<String>,
+    /// Machine-readable JSONL trace (one [`obs::TimedEvent`] per line),
+    /// when tracing was enabled.
+    pub trace_jsonl: Option<String>,
+    /// Event counts by kind over the merged trace, sorted by kind name.
+    pub trace_kinds: Vec<(&'static str, u64)>,
+    /// Per-phase latency breakdown stitched from the trace
+    /// (submit → 2a → quorum → decision → in-order delivery).
+    pub span_summary: Option<obs::SpanSummary>,
 }
 
 impl RunMetrics {
@@ -85,6 +93,9 @@ impl RunMetrics {
             gossip: MessageStats::default(),
             received_by_kind: [0; paxos::message::Kind::COUNT],
             trace: None,
+            trace_jsonl: None,
+            trace_kinds: Vec::new(),
+            span_summary: None,
         }
     }
 
@@ -129,7 +140,7 @@ impl RunMetrics {
         self.node_received.push(raw_received);
         self.node_sent.push(raw_sent);
         if let Some(stats) = gossip {
-            self.gossip.merge(&stats);
+            self.gossip += stats;
         }
     }
 
@@ -179,6 +190,122 @@ impl RunMetrics {
     /// Share of received message parts discarded as duplicates (§4.3).
     pub fn duplicate_ratio(&self) -> f64 {
         self.gossip.duplicate_ratio()
+    }
+
+    /// Renders the run as Prometheus text exposition format, suitable for
+    /// scraping or for `promtool`-style offline inspection.
+    pub fn prometheus(&self) -> String {
+        use obs::prom::{Exposition, MetricKind};
+        let setup = self.setup.as_str();
+        let base: &[(&str, &str)] = &[("setup", setup)];
+        let mut exp = Exposition::new();
+
+        exp.header(
+            "testbed_submitted_total",
+            "Values submitted inside the measurement window",
+            MetricKind::Counter,
+        );
+        exp.sample_u64("testbed_submitted_total", base, self.submitted_in_window);
+        exp.header(
+            "testbed_ordered_total",
+            "In-window values ordered by the end of the run",
+            MetricKind::Counter,
+        );
+        exp.sample_u64("testbed_ordered_total", base, self.ordered);
+        exp.header(
+            "testbed_not_ordered_total",
+            "In-window values never ordered",
+            MetricKind::Counter,
+        );
+        exp.sample_u64(
+            "testbed_not_ordered_total",
+            base,
+            self.not_ordered_in_window,
+        );
+        exp.header(
+            "testbed_throughput_values_per_second",
+            "Decided values per second over the measurement window",
+            MetricKind::Gauge,
+        );
+        exp.sample_f64(
+            "testbed_throughput_values_per_second",
+            base,
+            self.throughput(),
+        );
+        exp.header(
+            "testbed_latency_mean_seconds",
+            "Mean client-observed end-to-end latency",
+            MetricKind::Gauge,
+        );
+        exp.sample_f64(
+            "testbed_latency_mean_seconds",
+            base,
+            self.latency.mean().as_nanos() as f64 / 1e9,
+        );
+        exp.header(
+            "testbed_safety_ok",
+            "1 when all processes delivered consistent prefixes",
+            MetricKind::Gauge,
+        );
+        exp.sample_u64("testbed_safety_ok", base, u64::from(self.safety_ok));
+
+        exp.header(
+            "gossip_messages_total",
+            "Gossip-layer counters summed over all processes",
+            MetricKind::Counter,
+        );
+        for (counter, value) in [
+            ("received", self.gossip.received.get()),
+            ("received_parts", self.gossip.received_parts.get()),
+            ("duplicates", self.gossip.duplicates.get()),
+            ("delivered", self.gossip.delivered.get()),
+            ("sent", self.gossip.sent.get()),
+            ("filtered", self.gossip.filtered.get()),
+            ("aggregated_away", self.gossip.aggregated_away.get()),
+            ("send_overflow", self.gossip.send_overflow.get()),
+            ("delivery_overflow", self.gossip.delivery_overflow.get()),
+        ] {
+            exp.sample_u64(
+                "gossip_messages_total",
+                &[("setup", setup), ("counter", counter)],
+                value,
+            );
+        }
+
+        if !self.trace_kinds.is_empty() {
+            exp.header(
+                "trace_events_total",
+                "Events in the merged execution trace by kind",
+                MetricKind::Counter,
+            );
+            for (kind, count) in &self.trace_kinds {
+                exp.sample_u64(
+                    "trace_events_total",
+                    &[("setup", setup), ("kind", kind)],
+                    *count,
+                );
+            }
+        }
+        if let Some(summary) = &self.span_summary {
+            exp.header(
+                "trace_phase_latency_seconds",
+                "Per-phase latency from the trace (mean and max over values)",
+                MetricKind::Gauge,
+            );
+            for seg in &summary.segments {
+                exp.sample_f64(
+                    "trace_phase_latency_seconds",
+                    &[("setup", setup), ("phase", seg.name), ("stat", "mean")],
+                    seg.mean_ns as f64 / 1e9,
+                );
+                exp.sample_f64(
+                    "trace_phase_latency_seconds",
+                    &[("setup", setup), ("phase", seg.name), ("stat", "max")],
+                    seg.max_ns as f64 / 1e9,
+                );
+            }
+        }
+        exp.render()
     }
 }
 
@@ -233,6 +360,21 @@ mod tests {
         assert_eq!(m.mean_regular_received(), 40.0);
         assert_eq!(m.gossip_received(), 30);
         assert!((m.duplicate_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prometheus_exposition_lists_run_counters() {
+        let mut m = RunMetrics::new("Semantic Gossip", 13, 26.0, SimDuration::from_secs(2));
+        m.record_value(&fate(0, 100, Some(250), true));
+        m.gossip.received.add(7);
+        m.trace_kinds = vec![("decided", 3), ("phase2a", 9)];
+        let text = m.prometheus();
+        assert!(text.contains("# TYPE testbed_ordered_total counter"));
+        assert!(text.contains("testbed_ordered_total{setup=\"Semantic Gossip\"} 1"));
+        assert!(text
+            .contains("gossip_messages_total{setup=\"Semantic Gossip\",counter=\"received\"} 7"));
+        assert!(text.contains("trace_events_total{setup=\"Semantic Gossip\",kind=\"phase2a\"} 9"));
+        assert!(text.contains("testbed_safety_ok{setup=\"Semantic Gossip\"} 1"));
     }
 
     #[test]

@@ -92,13 +92,7 @@ impl Table {
             }
         };
         let line = |cells: &[String], out: &mut String| {
-            out.push_str(
-                &cells
-                    .iter()
-                    .map(|c| quote(c))
-                    .collect::<Vec<_>>()
-                    .join(","),
-            );
+            out.push_str(&cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         };
         line(&self.headers, &mut out);
@@ -107,6 +101,21 @@ impl Table {
         }
         out
     }
+}
+
+/// Renders a trace's [`obs::SpanSummary`] as the per-phase latency
+/// breakdown table (one row per pipeline segment, ending with the total).
+pub fn span_table(summary: &obs::SpanSummary) -> Table {
+    let mut t = Table::new(vec!["phase", "values", "mean (ms)", "max (ms)"]);
+    for seg in &summary.segments {
+        t.row(vec![
+            seg.name.to_string(),
+            seg.count.to_string(),
+            format!("{:.2}", seg.mean_ns as f64 / 1e6),
+            format!("{:.2}", seg.max_ns as f64 / 1e6),
+        ]);
+    }
+    t
 }
 
 /// Formats a millisecond quantity with one decimal.
@@ -145,6 +154,34 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn mismatched_row_panics() {
         Table::new(vec!["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn span_table_has_one_row_per_segment() {
+        let summary = obs::SpanSummary {
+            tracked: 4,
+            complete: 3,
+            segments: vec![
+                obs::SegmentStats {
+                    name: "submit -> phase2a",
+                    count: 3,
+                    mean_ns: 1_500_000,
+                    max_ns: 2_000_000,
+                },
+                obs::SegmentStats {
+                    name: "total submit -> ordered",
+                    count: 3,
+                    mean_ns: 80_000_000,
+                    max_ns: 120_000_000,
+                },
+            ],
+        };
+        let t = span_table(&summary);
+        assert_eq!(t.len(), 2);
+        let r = t.render();
+        assert!(r.contains("total submit -> ordered"));
+        assert!(r.contains("80.00"));
+        assert!(r.contains("120.00"));
     }
 
     #[test]

@@ -79,9 +79,7 @@ pub fn rate_ladder(start: f64, end: f64, steps: usize) -> Vec<f64> {
         return vec![start];
     }
     let ratio = (end / start).powf(1.0 / (steps - 1) as f64);
-    (0..steps)
-        .map(|i| start * ratio.powi(i as i32))
-        .collect()
+    (0..steps).map(|i| start * ratio.powi(i as i32)).collect()
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use obs::{Event, SharedRing};
 use parking_lot::Mutex;
 use semantic_gossip::NodeId;
 
@@ -29,6 +30,10 @@ pub struct EndpointConfig {
     pub node: NodeId,
     /// Capacity of each per-peer send queue (drop-on-full beyond it).
     pub send_queue: usize,
+    /// Optional trace sink: connection lifecycle and frame traffic are
+    /// recorded here (stamped with monotonic elapsed time). `None` — the
+    /// default — records nothing.
+    pub observer: Option<SharedRing>,
 }
 
 impl EndpointConfig {
@@ -37,7 +42,20 @@ impl EndpointConfig {
         EndpointConfig {
             node,
             send_queue: 1024,
+            observer: None,
         }
+    }
+
+    /// Attaches a trace sink (builder style).
+    pub fn with_observer(mut self, ring: SharedRing) -> Self {
+        self.observer = Some(ring);
+        self
+    }
+}
+
+fn record(observer: &Option<SharedRing>, event: Event) {
+    if let Some(ring) = observer {
+        ring.record_shared(event);
     }
 }
 
@@ -112,9 +130,17 @@ impl Endpoint {
                 while !shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let _ = handshake_and_register(
+                            if let Ok(peer) = handshake_and_register(
                                 stream, &config, &events_tx, &peers, &shutdown,
-                            );
+                            ) {
+                                record(
+                                    &config.observer,
+                                    Event::Accepted {
+                                        node: config.node.as_u32(),
+                                        peer: peer.as_u32(),
+                                    },
+                                );
+                            }
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
@@ -154,13 +180,21 @@ impl Endpoint {
     /// Returns connection or handshake I/O errors.
     pub fn dial(&self, addr: SocketAddr) -> io::Result<NodeId> {
         let stream = TcpStream::connect(addr)?;
-        handshake_and_register(
+        let peer = handshake_and_register(
             stream,
             &self.config,
             &self.events_tx,
             &self.peers,
             &self.shutdown,
-        )
+        )?;
+        record(
+            &self.config.observer,
+            Event::Dialed {
+                node: self.config.node.as_u32(),
+                peer: peer.as_u32(),
+            },
+        );
+        Ok(peer)
     }
 
     /// Enqueues a frame to `peer`. Returns `false` — and counts a drop — if
@@ -169,13 +203,29 @@ impl Endpoint {
     pub fn send(&self, peer: NodeId, frame: Vec<u8>) -> bool {
         let peers = self.peers.lock();
         let Some(handle) = peers.get(&peer) else {
+            drop(peers);
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            record(
+                &self.config.observer,
+                Event::FrameDropped {
+                    node: self.config.node.as_u32(),
+                    peer: peer.as_u32(),
+                },
+            );
             return false;
         };
         match handle.sender.try_send(frame) {
             Ok(()) => true,
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                drop(peers);
                 self.dropped.fetch_add(1, Ordering::Relaxed);
+                record(
+                    &self.config.observer,
+                    Event::FrameDropped {
+                        node: self.config.node.as_u32(),
+                        peer: peer.as_u32(),
+                    },
+                );
                 false
             }
         }
@@ -247,13 +297,30 @@ fn handshake_and_register(
     {
         let events_tx = events_tx.clone();
         let peers = Arc::clone(peers);
+        let observer = config.observer.clone();
+        let node = config.node.as_u32();
         std::thread::spawn(move || {
             for frame in send_rx.iter() {
                 if write_frame(&mut write_half, &frame).is_err() {
                     peers.lock().remove(&peer);
+                    record(
+                        &observer,
+                        Event::PeerDropped {
+                            node,
+                            peer: peer.as_u32(),
+                        },
+                    );
                     let _ = events_tx.send(PeerEvent::Disconnected(peer));
                     return;
                 }
+                record(
+                    &observer,
+                    Event::FrameSent {
+                        node,
+                        peer: peer.as_u32(),
+                        bytes: frame.len() as u64,
+                    },
+                );
             }
             // Channel closed (endpoint dropped or peer removed): just exit.
         });
@@ -264,12 +331,22 @@ fn handshake_and_register(
         let events_tx = events_tx.clone();
         let peers = Arc::clone(peers);
         let shutdown = Arc::clone(shutdown);
+        let observer = config.observer.clone();
+        let node = config.node.as_u32();
         std::thread::spawn(move || loop {
             if shutdown.load(Ordering::Relaxed) {
                 return;
             }
             match read_frame(&mut read_half) {
                 Ok(payload) => {
+                    record(
+                        &observer,
+                        Event::FrameReceived {
+                            node,
+                            peer: peer.as_u32(),
+                            bytes: payload.len() as u64,
+                        },
+                    );
                     let _ = events_tx.send(PeerEvent::Frame {
                         from: peer,
                         payload,
@@ -283,6 +360,13 @@ fn handshake_and_register(
                 }
                 Err(_) => {
                     peers.lock().remove(&peer);
+                    record(
+                        &observer,
+                        Event::PeerDropped {
+                            node,
+                            peer: peer.as_u32(),
+                        },
+                    );
                     let _ = events_tx.send(PeerEvent::Disconnected(peer));
                     return;
                 }
@@ -361,6 +445,48 @@ mod tests {
     }
 
     #[test]
+    fn observer_traces_lifecycle_and_frames() {
+        let ring_a = SharedRing::new(256);
+        let ring_b = SharedRing::new(256);
+        let a = Endpoint::bind(
+            EndpointConfig::new(NodeId::new(0)).with_observer(ring_a.clone()),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let b = Endpoint::bind(
+            EndpointConfig::new(NodeId::new(1)).with_observer(ring_b.clone()),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        b.dial(a.local_addr()).unwrap();
+        assert!(b.send(NodeId::new(0), b"ping".to_vec()));
+        let (_, payload) = wait_for_frame(&a);
+        assert_eq!(payload, b"ping");
+        assert!(!b.send(NodeId::new(9), b"x".to_vec()));
+
+        let kinds_of = |ring: &SharedRing| -> Vec<&'static str> {
+            ring.snapshot().iter().map(|e| e.event.kind()).collect()
+        };
+        let b_kinds = kinds_of(&ring_b);
+        assert!(b_kinds.contains(&"dialed"), "{b_kinds:?}");
+        assert!(b_kinds.contains(&"frame_sent"), "{b_kinds:?}");
+        assert!(b_kinds.contains(&"frame_dropped"), "{b_kinds:?}");
+        // The acceptor side may record the accept shortly after dial returns.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let a_kinds = kinds_of(&ring_a);
+            if a_kinds.contains(&"accepted") && a_kinds.contains(&"frame_received") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "acceptor trace incomplete: {a_kinds:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
     fn many_frames_in_order_per_peer() {
         let a = endpoint(0);
         let b = endpoint(1);
@@ -371,7 +497,9 @@ mod tests {
         let mut got = Vec::new();
         while got.len() < 100 {
             let (_, payload) = wait_for_frame(&a);
-            got.push(u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]));
+            got.push(u32::from_be_bytes([
+                payload[0], payload[1], payload[2], payload[3],
+            ]));
         }
         assert_eq!(got, (0..100).collect::<Vec<_>>());
     }

@@ -148,7 +148,10 @@ fn main() {
     }
 
     let reference = replicas[0].store.clone();
-    println!("\nfinal replicated state ({} commands applied):", replicas[0].applied);
+    println!(
+        "\nfinal replicated state ({} commands applied):",
+        replicas[0].applied
+    );
     let mut entries: Vec<_> = reference.iter().collect();
     entries.sort();
     for (k, v) in entries {

@@ -8,21 +8,40 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --example live_tcp
+//! cargo run --example live_tcp [--trace out.jsonl]
 //! ```
+//!
+//! With `--trace`, every node records transport lifecycle, frame traffic
+//! and Paxos phase transitions (wall-clock timestamps) into one shared
+//! ring; the merged JSONL stream is written to the given file and a
+//! per-phase latency breakdown is printed.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use gossip_consensus::prelude::*;
 use gossip_consensus::gossip::codec::Wire;
+use gossip_consensus::obs::{SharedRing, SpanTracker};
+use gossip_consensus::paxos::MemoryStorage;
+use gossip_consensus::prelude::*;
+use gossip_consensus::testbed::report::span_table;
 use gossip_consensus::transport::{Endpoint, EndpointConfig, PeerEvent};
 
 const N: usize = 5;
 
 fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace_path = Some(args.next().expect("--trace needs a file path"));
+        }
+    }
+    // One ring shared by every node and thread; capacity 0 (when not
+    // tracing) records nothing.
+    let ring = SharedRing::new(if trace_path.is_some() { 1 << 16 } else { 0 });
+
     // Ring + chord overlay: nobody is connected to everyone.
     let mut overlay = Graph::new(N);
     for i in 0..N {
@@ -32,7 +51,10 @@ fn main() {
 
     // Bind all endpoints first so every address is known before dialing.
     let endpoints: Vec<Endpoint> = (0..N as u32)
-        .map(|i| Endpoint::bind(EndpointConfig::new(NodeId::new(i)), "127.0.0.1:0").unwrap())
+        .map(|i| {
+            let config = EndpointConfig::new(NodeId::new(i)).with_observer(ring.clone());
+            Endpoint::bind(config, "127.0.0.1:0").unwrap()
+        })
         .collect();
     let addrs: HashMap<usize, SocketAddr> = endpoints
         .iter()
@@ -54,19 +76,24 @@ fn main() {
             std::thread::sleep(Duration::from_millis(10));
         }
     }
-    println!("overlay connected: {} nodes, {} TCP links", N, overlay.num_edges());
+    println!(
+        "overlay connected: {} nodes, {} TCP links",
+        N,
+        overlay.num_edges()
+    );
 
     let (results_tx, results_rx) = mpsc::channel();
     let mut workers = Vec::new();
     for (i, endpoint) in endpoints.into_iter().enumerate() {
         let results = results_tx.clone();
+        let node_ring = ring.clone();
         let neighbors: Vec<NodeId> = overlay
             .neighbors(i)
             .iter()
             .map(|&p| NodeId::new(p as u32))
             .collect();
         workers.push(std::thread::spawn(move || {
-            node_main(i, endpoint, neighbors, results);
+            node_main(i, endpoint, neighbors, node_ring, results);
         }));
     }
     drop(results_tx);
@@ -81,12 +108,32 @@ fn main() {
     }
     sequences.sort_by_key(|(id, _)| *id);
     let reference = &sequences[0].1;
-    assert_eq!(reference.len(), N, "every submitted command must be ordered");
+    assert_eq!(
+        reference.len(),
+        N,
+        "every submitted command must be ordered"
+    );
     for (id, seq) in &sequences {
         assert_eq!(seq, reference, "node {id} diverged");
-        println!("node {id} delivered {} commands in the agreed order ✓", seq.len());
+        println!(
+            "node {id} delivered {} commands in the agreed order ✓",
+            seq.len()
+        );
     }
     println!("\nconsensus over real TCP sockets: all {N} nodes agree.");
+
+    if let Some(path) = &trace_path {
+        let events = ring.snapshot();
+        let jsonl: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        std::fs::write(path, &jsonl).expect("write trace file");
+        println!("wrote {} trace events to {path}", events.len());
+        let mut spans = SpanTracker::new();
+        spans.observe_all(&events);
+        println!(
+            "\nper-phase latency (wall clock):\n{}",
+            span_table(&spans.summary()).render()
+        );
+    }
 }
 
 /// The event loop of one node: TCP frames in, gossip + Paxos, TCP frames
@@ -95,6 +142,7 @@ fn node_main(
     id: usize,
     endpoint: Endpoint,
     neighbors: Vec<NodeId>,
+    ring: SharedRing,
     results: mpsc::Sender<(usize, Vec<(InstanceId, ValueId)>)>,
 ) {
     let config = PaxosConfig::new(N);
@@ -104,7 +152,12 @@ fn node_main(
         GossipConfig::default(),
         PaxosSemantics::full(config.clone()),
     );
-    let mut paxos = PaxosProcess::new(NodeId::new(id as u32), config);
+    let mut paxos = PaxosProcess::with_observer(
+        NodeId::new(id as u32),
+        config,
+        MemoryStorage::default(),
+        ring,
+    );
     let mut delivered: Vec<(InstanceId, ValueId)> = Vec::new();
 
     // Node 0 coordinates; every node submits one client command.

@@ -81,9 +81,20 @@ fn main() {
 
     // Clients submit values at *different* processes; non-coordinators
     // forward them through gossip.
-    for (proc_id, payload) in [(1usize, "alpha"), (3, "bravo"), (4, "charlie"), (0, "delta")] {
-        let (value, out) = nodes[proc_id].paxos.submit_payload(payload.as_bytes().to_vec());
-        println!("client at p{proc_id} submits {:?} as {}", payload, value.id());
+    for (proc_id, payload) in [
+        (1usize, "alpha"),
+        (3, "bravo"),
+        (4, "charlie"),
+        (0, "delta"),
+    ] {
+        let (value, out) = nodes[proc_id]
+            .paxos
+            .submit_payload(payload.as_bytes().to_vec());
+        println!(
+            "client at p{proc_id} submits {:?} as {}",
+            payload,
+            value.id()
+        );
         for o in out {
             nodes[proc_id].gossip.broadcast(o.msg);
         }
@@ -123,8 +134,8 @@ fn main() {
     };
     assert_eq!(reference.len(), 4, "all four values must be ordered");
 
-    for i in 1..n {
-        let decisions = nodes[i].paxos.take_decisions();
+    for (i, node) in nodes.iter_mut().enumerate().skip(1) {
+        let decisions = node.paxos.take_decisions();
         assert_eq!(decisions, reference, "p{i} must deliver the same order");
     }
     println!("\nall {n} processes delivered the same totally ordered sequence ✓");

@@ -9,15 +9,36 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example wan_paxos [n] [rate]
+//! cargo run --release --example wan_paxos [n] [rate] [--trace out.jsonl]
 //! ```
+//!
+//! With `--trace`, every run records a structured execution trace: the
+//! merged JSONL event stream of all three runs is written to the given
+//! file, and a per-phase latency breakdown (submit → 2a → quorum →
+//! decision → in-order delivery) is printed per setup.
 
 use gossip_consensus::prelude::*;
+use gossip_consensus::testbed::report::span_table;
 
 fn main() {
+    let mut positional = Vec::new();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let n: usize = args.next().map(|a| a.parse().expect("n")).unwrap_or(13);
-    let rate: f64 = args.next().map(|a| a.parse().expect("rate")).unwrap_or(26.0);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace_path = Some(args.next().expect("--trace needs a file path"));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let n: usize = positional
+        .first()
+        .map(|a| a.parse().expect("n"))
+        .unwrap_or(13);
+    let rate: f64 = positional
+        .get(1)
+        .map(|a| a.parse().expect("rate"))
+        .unwrap_or(26.0);
 
     println!("Paxos across 13 regions: n = {n}, {rate:.0} commands/s aggregate\n");
     println!(
@@ -32,6 +53,8 @@ fn main() {
         connected_k_out(n, paper_fanout(n), &mut rng, 100).expect("connected overlay")
     };
 
+    let mut jsonl = String::new();
+    let mut breakdowns = Vec::new();
     for setup in [Setup::Baseline, Setup::Gossip, Setup::SemanticGossip] {
         let mut params = ClusterParams::paper(n, setup)
             .with_rate(rate)
@@ -39,6 +62,9 @@ fn main() {
             .with_seed(42);
         if setup.uses_gossip() {
             params = params.with_overlay(overlay.clone());
+        }
+        if trace_path.is_some() {
+            params.trace_capacity = 1 << 16;
         }
         let mut m = run_cluster(&params);
         assert!(m.safety_ok, "replicas diverged — Paxos safety violated!");
@@ -53,6 +79,20 @@ fn main() {
             format!("{p99}"),
             m.duplicate_ratio() * 100.0,
         );
+        if let Some(t) = &m.trace_jsonl {
+            jsonl.push_str(t);
+        }
+        if let Some(summary) = &m.span_summary {
+            breakdowns.push((setup.name(), span_table(summary).render()));
+        }
+    }
+
+    if let Some(path) = &trace_path {
+        std::fs::write(path, &jsonl).expect("write trace file");
+        println!("\nwrote {} trace events to {path}", jsonl.lines().count());
+        for (name, table) in &breakdowns {
+            println!("\nper-phase latency — {name}:\n{table}");
+        }
     }
 
     println!(

@@ -266,7 +266,11 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 fn arb_value() -> impl Strategy<Value = Value> {
-    (0u32..50, 0u64..1000, proptest::collection::vec(any::<u8>(), 0..64))
+    (
+        0u32..50,
+        0u64..1000,
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
         .prop_map(|(origin, seq, payload)| Value::new(NodeId::new(origin), seq, payload))
 }
 
@@ -341,5 +345,78 @@ proptest! {
         let re = sem.aggregate(parts, NodeId::new(63));
         prop_assert_eq!(re.len(), 1);
         prop_assert_eq!(re.into_iter().next().unwrap(), agg);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observer neutrality
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Attaching a `RingObserver` must not change gossip behavior: fed the
+    /// same operation sequence, an instrumented node's delivery and outgoing
+    /// queues stay byte-identical to an uninstrumented node's.
+    #[test]
+    fn prop_observer_is_behavior_neutral(
+        ops in proptest::collection::vec(
+            (0u32..8, 0u64..64, any::<bool>()),
+            1..60,
+        ),
+    ) {
+        use gossip_consensus::gossip::codec::Wire;
+        use gossip_consensus::gossip::RecentCache;
+        use gossip_consensus::obs::RingObserver;
+
+        let peers: Vec<NodeId> = (1..8).map(NodeId::new).collect();
+        let config = GossipConfig::default();
+        let mut plain: GossipNode<PaxosMessage, NoSemantics> =
+            GossipNode::new(NodeId::new(0), peers.clone(), config, NoSemantics);
+        let mut traced: GossipNode<PaxosMessage, NoSemantics, RecentCache, RingObserver> =
+            GossipNode::with_observer(
+                NodeId::new(0),
+                peers,
+                config,
+                NoSemantics,
+                RecentCache::new(config.recent_cache_size),
+                RingObserver::with_capacity(1024),
+            );
+
+        let mut recorded = 0usize;
+        for &(origin, seq, is_broadcast) in &ops {
+            let value = Value::new(NodeId::new(origin), seq, vec![origin as u8; 16]);
+            let msg = PaxosMessage::ClientValue { forwarder: NodeId::new(origin), value };
+            if is_broadcast {
+                plain.broadcast(msg.clone());
+                traced.broadcast(msg);
+            } else {
+                let from = NodeId::new(origin % 7 + 1);
+                plain.on_receive(from, msg.clone());
+                traced.on_receive(from, msg);
+            }
+
+            let plain_out: Vec<(u32, Vec<u8>)> = plain
+                .take_outgoing()
+                .into_iter()
+                .map(|(p, m)| (p.as_u32(), m.to_bytes()))
+                .collect();
+            let traced_out: Vec<(u32, Vec<u8>)> = traced
+                .take_outgoing()
+                .into_iter()
+                .map(|(p, m)| (p.as_u32(), m.to_bytes()))
+                .collect();
+            prop_assert_eq!(plain_out, traced_out);
+
+            let plain_del: Vec<Vec<u8>> =
+                plain.take_deliveries().iter().map(Wire::to_bytes).collect();
+            let traced_del: Vec<Vec<u8>> =
+                traced.take_deliveries().iter().map(Wire::to_bytes).collect();
+            prop_assert_eq!(plain_del, traced_del);
+
+            recorded = traced.observer().len() + traced.observer().discarded() as usize;
+        }
+        // The ring really was recording while behavior stayed identical.
+        prop_assert!(recorded > 0);
     }
 }

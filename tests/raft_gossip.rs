@@ -135,7 +135,11 @@ fn semantic_gossip_sends_fewer_raft_messages() {
         "semantic raft should cut traffic: {s} vs {c}"
     );
     // And semantics actually both filtered and aggregated something.
-    let filtered: u64 = semantic.gossips.iter().map(|g| g.stats().filtered.get()).sum();
+    let filtered: u64 = semantic
+        .gossips
+        .iter()
+        .map(|g| g.stats().filtered.get())
+        .sum();
     let aggregated: u64 = semantic
         .gossips
         .iter()

@@ -11,7 +11,10 @@ struct Mesh<S: Semantics<PaxosMessage>> {
 }
 
 impl<S: Semantics<PaxosMessage>> Mesh<S> {
-    fn with(graph: &Graph, make: impl Fn(NodeId, Vec<NodeId>) -> GossipNode<PaxosMessage, S>) -> Self {
+    fn with(
+        graph: &Graph,
+        make: impl Fn(NodeId, Vec<NodeId>) -> GossipNode<PaxosMessage, S>,
+    ) -> Self {
         let nodes = (0..graph.len())
             .map(|i| {
                 let peers = graph
@@ -30,8 +33,8 @@ impl<S: Semantics<PaxosMessage>> Mesh<S> {
         let mut delivered: Vec<Vec<PaxosMessage>> = vec![Vec::new(); self.nodes.len()];
         loop {
             let mut progressed = false;
-            for i in 0..self.nodes.len() {
-                delivered[i].extend(self.nodes[i].take_deliveries());
+            for (i, d) in delivered.iter_mut().enumerate() {
+                d.extend(self.nodes[i].take_deliveries());
                 for (peer, msg) in self.nodes[i].take_outgoing() {
                     self.nodes[peer.as_index()].on_receive(NodeId::new(i as u32), msg);
                     progressed = true;
@@ -134,7 +137,10 @@ fn decision_stops_vote_propagation() {
     let _ = mesh.settle();
     // Votes queued behind the decision were filtered on node 0's send path.
     let filtered: u64 = mesh.nodes.iter().map(|n| n.stats().filtered.get()).sum();
-    assert!(filtered > 0, "decisions must make trailing votes filterable");
+    assert!(
+        filtered > 0,
+        "decisions must make trailing votes filterable"
+    );
 }
 
 #[test]

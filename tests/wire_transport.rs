@@ -75,8 +75,7 @@ fn corrupted_frames_are_rejected_not_crashing() {
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
         assert!(std::time::Instant::now() < deadline, "timed out");
-        if let Some(PeerEvent::Frame { payload, .. }) = a.recv_timeout(Duration::from_millis(100))
-        {
+        if let Some(PeerEvent::Frame { payload, .. }) = a.recv_timeout(Duration::from_millis(100)) {
             assert!(PaxosMessage::from_bytes(&payload).is_err());
             break;
         }
@@ -123,7 +122,10 @@ fn gossip_over_tcp_disseminates_across_two_hops() {
     let mut node2_got = false;
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while !node2_got {
-        assert!(std::time::Instant::now() < deadline, "dissemination timed out");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "dissemination timed out"
+        );
         for i in 0..3 {
             for (peer, msg) in gossips[i].take_outgoing() {
                 endpoints[i].send(peer, msg.to_bytes());

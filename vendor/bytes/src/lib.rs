@@ -1,0 +1,110 @@
+//! Offline stand-in for `bytes`.
+//!
+//! The framing layer uses only `BytesMut::with_capacity` plus the `BufMut`
+//! methods `put_u32` (big-endian) and `put_slice`, then writes the buffer
+//! out through `Deref<Target = [u8]>`. A growable `Vec<u8>` wrapper covers
+//! all of that; zero-copy splitting is deliberately out of scope.
+
+use std::ops::{Deref, DerefMut};
+
+/// Append-only byte sink, mirroring the `bytes::BufMut` subset in use.
+pub trait BufMut {
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, n: u32);
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, n: u64);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, n: u8);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the buffer into a plain `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, n: u32) {
+        self.buf.extend_from_slice(&n.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, n: u64) {
+        self.buf.extend_from_slice(&n.to_be_bytes());
+    }
+
+    fn put_u8(&mut self, n: u8) {
+        self.buf.push(n);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{BufMut, BytesMut};
+
+    #[test]
+    fn frame_layout_matches_big_endian() {
+        let mut buf = BytesMut::with_capacity(4 + 3);
+        buf.put_u32(3);
+        buf.put_slice(b"abc");
+        assert_eq!(&buf[..], &[0, 0, 0, 3, b'a', b'b', b'c']);
+        assert_eq!(buf.len(), 7);
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and type surface the bench crate uses
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `Throughput`, `BatchSize`) over plain `Instant` timing.
+//!
+//! Statistical analysis, HTML reports, and outlier detection are out of
+//! scope; each benchmark reports a mean ns/iter over an adaptive number of
+//! iterations. Like real criterion, when the binary is run by `cargo test`
+//! (no `--bench` flag) every routine executes exactly once as a smoke test,
+//! so `harness = false` bench targets stay fast under the tier-1 gate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// True when cargo invoked the binary as a benchmark (`cargo bench` passes
+/// `--bench`); otherwise we are a `cargo test` smoke run.
+fn measuring() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// How batched inputs are grouped; only the value the workspace uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per iteration, suitable for small inputs.
+    SmallInput,
+    /// One setup per iteration of a large input.
+    LargeInput,
+}
+
+/// Units for the throughput line printed next to a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing collector handed to each benchmark closure.
+pub struct Bencher {
+    measuring: bool,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(measuring: bool) -> Self {
+        Bencher {
+            measuring,
+            mean_ns: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`, adaptively choosing an iteration count
+    /// (~100 ms budget); runs it once in smoke mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measuring {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up and per-iteration estimate.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(100);
+        let n = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.iters = n;
+        self.mean_ns = total.as_nanos() as f64 / n as f64;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.measuring {
+            black_box(routine(setup()));
+            self.iters = 1;
+            return;
+        }
+        let input = setup();
+        let warmup = Instant::now();
+        black_box(routine(input));
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(100);
+        let n = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.iters = n;
+        self.mean_ns = total.as_nanos() as f64 / n as f64;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if !bencher.measuring {
+        println!("bench {full}: ok (smoke)");
+        return;
+    }
+    let mean = bencher.mean_ns;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / mean * 1e9 / (1 << 20) as f64),
+        Throughput::Elements(n) => format!(", {:.0} elem/s", n as f64 / mean * 1e9),
+    });
+    println!(
+        "bench {full}: {mean:.0} ns/iter ({} iters{})",
+        bencher.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measuring: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes its sample adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used for the rate column of following benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.measuring);
+        f(&mut b);
+        report(Some(&self.name), &id.id, &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.measuring);
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measuring: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measuring: measuring(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measuring = self.measuring;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            measuring,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measuring);
+        f(&mut b);
+        report(None, id, &b, None);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` calling each `criterion_group!`-defined function.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut count = 0u32;
+        let mut b = Bencher::new(false);
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn batched_smoke_runs_setup_and_routine_once() {
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        let mut b = Bencher::new(false);
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| {
+                runs += 1;
+                v.len()
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!((setups, runs), (1, 1));
+    }
+
+    #[test]
+    fn measuring_mode_records_a_mean() {
+        let mut b = Bencher::new(true);
+        b.iter(|| black_box(3u64.wrapping_mul(7)));
+        assert!(b.iters >= 1);
+        assert!(b.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("encode", 64).id, "encode/64");
+        assert_eq!(BenchmarkId::from_parameter("fast").id, "fast");
+    }
+}

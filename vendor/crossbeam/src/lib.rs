@@ -1,0 +1,352 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The transport layer uses `crossbeam::channel` for MPMC queues between the
+//! socket threads and the endpoint. This stub reimplements the used subset —
+//! `bounded`/`unbounded`, cloneable `Sender`/`Receiver`, `try_send` with
+//! `TrySendError::{Full, Disconnected}`, `recv_timeout`, and the blocking
+//! `iter()` that terminates once every `Sender` is dropped — over
+//! `Mutex` + `Condvar`. Lock-free performance is not reproduced; correctness
+//! of the disconnect protocol is, because `Endpoint::drop` relies on it to
+//! shut down its writer threads.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the deadline.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is closed.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "receive timed out"),
+                RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+            }
+        }
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when an item arrives or the side counts change.
+        readable: Condvar,
+        /// Signalled when space frees up in a bounded channel.
+        writable: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// Sending half of a channel. Cloneable; the channel disconnects for
+    /// receivers once the last clone is dropped.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel. Cloneable; all clones drain one queue.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make_channel(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` items.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make_channel(Some(cap))
+    }
+
+    fn make_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        shared
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full. Errors only when
+        /// every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = lock(&self.shared);
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self
+                            .shared
+                            .writable
+                            .wait(state)
+                            .unwrap_or_else(|poison| poison.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+
+        /// Sends without blocking; reports `Full` or `Disconnected`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = lock(&self.shared);
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.shared);
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until an item arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = lock(&self.shared);
+            loop {
+                if let Some(item) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .readable
+                    .wait(state)
+                    .unwrap_or_else(|poison| poison.into_inner());
+            }
+        }
+
+        /// Receives with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = lock(&self.shared);
+            loop {
+                if let Some(item) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _result) = self
+                    .shared
+                    .readable
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|poison| poison.into_inner());
+                state = guard;
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = lock(&self.shared);
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.shared.writable.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Blocking iterator; ends once the channel is empty and every
+        /// sender has been dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = lock(&self.shared);
+            state.receivers -= 1;
+            let last = state.receivers == 0;
+            drop(state);
+            if last {
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator over received items; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn bounded_try_send_reports_full_then_drains() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn iter_ends_when_all_senders_drop() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            let producer = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let producer2 = std::thread::spawn(move || {
+                for i in 100..200 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let collected: Vec<i32> = rx.iter().collect();
+            producer.join().unwrap();
+            producer2.join().unwrap();
+            assert_eq!(collected.len(), 200);
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_disconnects() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_while_senders_alive() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! The workspace only uses `parking_lot::Mutex` for its panic-free `lock()`
+//! signature (no `Result`, no poisoning). This wraps `std::sync::Mutex` and
+//! recovers from poisoning with `into_inner`, matching parking_lot's
+//! "poisoning does not exist" semantics closely enough for every call site.
+
+use std::sync::Mutex as StdMutex;
+pub use std::sync::MutexGuard;
+
+/// Poison-free mutex with the `parking_lot::Mutex` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning (a panicked holder does not
+    /// invalidate the data for these workloads).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_is_exclusive_and_panic_tolerant() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        // A poisoned std mutex would refuse this lock; ours recovers.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `proptest` to this vendored reimplementation. It keeps the same macro
+//! grammar (`proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`)
+//! and strategy combinators the repo uses (integer/float ranges, tuples,
+//! `collection::{vec, hash_set, btree_set}`, `any`, `prop_map`, boxed
+//! unions), but replaces proptest's shrinking search with plain randomized
+//! testing: each test draws `ProptestConfig::cases` deterministic samples
+//! (seeded from the test's module path, so failures reproduce across runs)
+//! and reports the generating inputs on failure instead of shrinking them.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait behind [`any`](crate::strategy::any).
+
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let len = (rng.next_u64() % 65) as usize;
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec`, `hash_set`, `btree_set`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeSet, HashSet};
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `HashSet`s; may undershoot the minimum size when the
+    /// element domain is too small to yield enough distinct values.
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet`s; same caveat as [`hash_set`].
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    fn pick_len(rng: &mut TestRng, size: &Range<usize>) -> usize {
+        assert!(size.start < size.end, "empty collection size range");
+        size.start + (rng.next_u64() as usize) % (size.end - size.start)
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = pick_len(rng, &self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = pick_len(rng, &self.size);
+            let mut out = HashSet::new();
+            // Bounded retries: duplicates don't count, tiny domains give up.
+            for _ in 0..(target * 20 + 100) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = pick_len(rng, &self.size);
+            let mut out = BTreeSet::new();
+            for _ in 0..(target * 20 + 100) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob import used by test modules: traits, config, and macros.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines randomized test functions.
+///
+/// Supports the grammar the workspace uses: an optional
+/// `#![proptest_config(...)]` header, then `fn` items whose parameters are
+/// either `pattern in strategy` bindings or plain `name: Type` bindings
+/// (the latter draw from [`any`](crate::strategy::any)).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs [$config] $($rest)*);
+    };
+    (@funcs [$config:expr]) => {};
+    (@funcs [$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let mut inputs = ::std::string::String::new();
+                $(
+                    let value = $crate::strategy::Strategy::generate(&($s), &mut rng);
+                    inputs.push_str(&::std::format!(
+                        "\n  {} = {:?}",
+                        stringify!($p),
+                        value
+                    ));
+                    let $p = value;
+                )+
+                let guard = $crate::test_runner::PanicGuard::new(
+                    stringify!($name),
+                    case,
+                    &inputs,
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                guard.disarm();
+                if let ::std::result::Result::Err(err) = outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} of {} failed: {}\ninputs:{}",
+                        case + 1, config.cases, stringify!($name), err, inputs
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@funcs [$config] $($rest)*);
+    };
+    (@funcs [$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($p:ident : $t:ty),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs [$config]
+            $(#[$meta])*
+            fn $name($($p in $crate::strategy::any::<$t>()),+) $body
+            $($rest)*
+        );
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs [$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+/// Fails the current test case with a message if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+), left, right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace patches crates.io `serde` to this vendored stub because the
+//! build environment is offline. The repo derives `Serialize`/`Deserialize`
+//! on value types for downstream compatibility but never serializes through
+//! serde (the wire codec is hand-written; traces use `obs`'s hand-rolled
+//! JSON), so marker traits and no-op derives are sufficient.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `serde`/`serde_derive` to these vendored stubs (see the workspace
+//! `[patch.crates-io]` table). Nothing in the repo serializes through serde —
+//! the wire format is the hand-written codec and traces use the hand-rolled
+//! JSON in `obs` — so the derives only need to *parse*, not generate:
+//! `#[derive(Serialize)]` and `#[serde(...)]` helper attributes are accepted
+//! and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers); expands to
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers); expands
+/// to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
