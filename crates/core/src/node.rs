@@ -197,7 +197,7 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
     pub fn on_receive(&mut self, from: NodeId, msg: M) {
         self.stats.received.incr();
         let incoming = if O::ENABLED {
-            msg.message_id().low()
+            msg.message_id().trace_id()
         } else {
             0
         };
@@ -223,7 +223,7 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                 if O::ENABLED {
                     self.observer.record(Event::DuplicateDropped {
                         node: self.id.as_u32(),
-                        msg: part.message_id().low(),
+                        msg: part.message_id().trace_id(),
                     });
                 }
                 continue;
@@ -236,7 +236,7 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
     /// (except the optional origin).
     fn register_fresh(&mut self, msg: M, origin: Option<NodeId>) {
         let trace_id = if O::ENABLED {
-            msg.message_id().low()
+            msg.message_id().trace_id()
         } else {
             0
         };
@@ -338,7 +338,7 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                         self.observer.record(Event::GossipSent {
                             node: self.id.as_u32(),
                             to: peer.as_u32(),
-                            msg: msg.message_id().low(),
+                            msg: msg.message_id().trace_id(),
                         });
                     }
                     out.push((peer, msg));
@@ -347,13 +347,65 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                     if O::ENABLED {
                         self.observer.record(Event::SemanticFiltered {
                             node: self.id.as_u32(),
-                            msg: msg.message_id().low(),
+                            msg: msg.message_id().trace_id(),
                         });
                     }
                 }
             }
         }
         out
+    }
+
+    /// Messages currently queued toward each peer, as `(peer, depth)`
+    /// pairs in peer order — the live send-queue gauge.
+    pub fn send_queue_depths(&self) -> Vec<(NodeId, usize)> {
+        self.peers
+            .iter()
+            .zip(&self.send_queues)
+            .map(|(&p, q)| (p, q.len()))
+            .collect()
+    }
+
+    /// The deepest per-peer send queue right now.
+    pub fn max_send_queue_depth(&self) -> usize {
+        self.send_queues
+            .iter()
+            .map(VecDeque::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Message ids currently remembered by the duplicate-suppression
+    /// cache — the seen-cache occupancy gauge.
+    pub fn cache_occupancy(&self) -> usize {
+        self.filter.len()
+    }
+
+    /// Messages waiting for the consensus layer to collect.
+    pub fn delivery_queue_depth(&self) -> usize {
+        self.delivery.len()
+    }
+
+    /// Records one gauge snapshot per peer queue plus the cache occupancy
+    /// into the observer. A no-op for disabled observers; runtimes call
+    /// this periodically so traces carry queue-pressure samples alongside
+    /// the per-message events.
+    pub fn sample_gauges(&mut self) {
+        if !O::ENABLED {
+            return;
+        }
+        let node = self.id.as_u32();
+        for i in 0..self.peers.len() {
+            self.observer.record(Event::QueueDepthSampled {
+                node,
+                peer: self.peers[i].as_u32(),
+                depth: self.send_queues[i].len() as u64,
+            });
+        }
+        self.observer.record(Event::CacheOccupancySampled {
+            node,
+            entries: self.filter.len() as u64,
+        });
     }
 }
 
@@ -581,6 +633,44 @@ mod tests {
         assert_eq!(count("votes_aggregated"), 2);
         // Aggregates: peer1 gets Msg(6), peer2 gets Msg(1048) — both even.
         assert_eq!(count("gossip_sent"), 2);
+    }
+
+    #[test]
+    fn gauges_track_queues_and_cache() {
+        use obs::RingObserver;
+        let mut node: GossipNode<Msg, NoSemantics, RecentCache, RingObserver> =
+            GossipNode::with_observer(
+                NodeId::new(0),
+                vec![NodeId::new(1), NodeId::new(2)],
+                GossipConfig::default(),
+                NoSemantics,
+                RecentCache::new(64),
+                RingObserver::with_capacity(64),
+            );
+        node.broadcast(Msg(1));
+        node.on_receive(NodeId::new(1), Msg(2));
+        assert_eq!(
+            node.send_queue_depths(),
+            vec![(NodeId::new(1), 1), (NodeId::new(2), 2)]
+        );
+        assert_eq!(node.max_send_queue_depth(), 2);
+        assert_eq!(node.cache_occupancy(), 2);
+        assert_eq!(node.delivery_queue_depth(), 2);
+        node.sample_gauges();
+        let events = node.observer_mut().drain();
+        let depths: Vec<(u32, u64)> = events
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::QueueDepthSampled { peer, depth, .. } => Some((peer, depth)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(depths, vec![(1, 1), (2, 2)]);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::CacheOccupancySampled { entries: 2, .. })));
+        node.take_outgoing();
+        assert_eq!(node.max_send_queue_depth(), 0);
     }
 
     mod properties {

@@ -102,7 +102,8 @@ macro_rules! events {
         /// One observable state transition somewhere in the stack.
         ///
         /// Every variant carries the `node` it happened on; message ids are
-        /// the low 64 bits of the gossip `MessageId`.
+        /// a 64-bit fold of the gossip `MessageId` (`trace_id()`), unique
+        /// per wire message in practice.
         #[derive(Debug, Clone, PartialEq)]
         pub enum Event {
             $( $(#[$vmeta])* $variant { $($field: $fty),* } ),*
@@ -231,6 +232,19 @@ events! {
     FrameReceived = "frame_received" { node: u32, peer: u32, bytes: u64 },
     /// A frame was dropped before the wire (unknown peer or full queue).
     FrameDropped = "frame_dropped" { node: u32, peer: u32 },
+
+    // ------------------------------------------------------------------
+    // Periodic gauge samples (live runs; mirrored by /metrics gauges)
+    // ------------------------------------------------------------------
+    /// Snapshot of the gossip send queue toward `peer`: `depth` messages
+    /// waiting.
+    QueueDepthSampled = "queue_depth_sampled" { node: u32, peer: u32, depth: u64 },
+    /// Snapshot of the duplicate-suppression cache: `entries` message ids
+    /// currently remembered.
+    CacheOccupancySampled = "cache_occupancy_sampled" { node: u32, entries: u64 },
+    /// Snapshot of the Paxos instance window: `open` instances voted on
+    /// or decided but not yet released in order.
+    InstanceWindowSampled = "instance_window_sampled" { node: u32, open: u64 },
 
     // ------------------------------------------------------------------
     // Simulation / cluster markers (simnet, testbed)

@@ -1,0 +1,332 @@
+//! Mergeable, log-bucketed, bounded-memory latency histogram.
+//!
+//! [`LogHistogram`] trades exactness for a hard memory bound: values are
+//! counted in log-linear buckets (HdrHistogram-style), 16 sub-buckets per
+//! power of two, so any recorded `u64` lands in one of 976 fixed buckets
+//! and quantile estimates carry at most one bucket (≤ 6.25 %) of relative
+//! error. Histograms from different nodes, shards, or runs merge by
+//! bucket-wise addition, which makes the type safe to keep on hot paths
+//! where the exact sample-keeping `simnet::Histogram` would grow without
+//! bound.
+//!
+//! The unit of recorded values is up to the caller; the workspace records
+//! nanoseconds and scales to seconds at exposition time.
+
+/// Bits of linear resolution per power of two (16 sub-buckets).
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count for the full `u64` range: `SUB` exact unit buckets
+/// plus `SUB` buckets for each of the 60 remaining octave shifts.
+const BUCKETS: usize = (60 * SUB) as usize + SUB as usize;
+
+/// A fixed-size log-linear histogram over `u64` values.
+///
+/// # Example
+///
+/// ```
+/// use obs::hist::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in [10, 20, 30, 40, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!((20..=31).contains(&p50)); // within one bucket of the exact 30
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram. Allocates the full bucket array (~7.6 KiB).
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean of all recorded values (the sum is kept exactly).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Nearest-rank quantile estimate for `q` in `[0, 1]`.
+    ///
+    /// Returns the upper bound of the bucket holding the rank-`⌈q·count⌉`
+    /// value, clamped to the observed `[min, max]` range — so the estimate
+    /// is always within the true value's bucket (≤ 6.25 % relative error).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds every bucket of `other` into `self`. Merging is associative
+    /// and commutative, so per-shard histograms can be combined in any
+    /// order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, in increasing
+    /// value order — the raw material for Prometheus `_bucket` lines.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+/// The bucket a value falls into.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let top = value >> shift; // in [SUB, 2*SUB)
+    (shift as u64 * SUB + top) as usize
+}
+
+/// The largest value that maps to bucket `index` (inclusive).
+fn bucket_upper(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let shift = index / SUB - 1;
+    // `top` is in [SUB, 2*SUB). The topmost bucket's bound is u64::MAX:
+    // (32 << 59) wraps to 0, and wrapping_sub turns it into the intended
+    // all-ones value.
+    let top = index - shift * SUB;
+    ((top + 1) << shift).wrapping_sub(1)
+}
+
+/// The smallest value that maps to bucket `index`.
+fn bucket_lower(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let shift = index / SUB - 1;
+    let top = index - shift * SUB;
+    top << shift
+}
+
+/// The inclusive `[lower, upper]` value range of the bucket holding
+/// `value` — the error bound a [`LogHistogram::quantile`] estimate is
+/// guaranteed to stay within.
+pub fn bucket_bounds(value: u64) -> (u64, u64) {
+    let i = bucket_index(value);
+    (bucket_lower(i), bucket_upper(i))
+}
+
+/// Exact nearest-rank percentile over a **sorted** slice: the smallest
+/// element such that at least `p` percent of the samples are ≤ it.
+///
+/// This is the single definition of "percentile" in the workspace; the
+/// exact sample-keeping `simnet::Histogram` delegates here, and the
+/// [`LogHistogram::quantile`] accuracy tests compare against it.
+pub fn nearest_rank(sorted: &[u64], p: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_contiguous_and_ordered() {
+        // Every bucket's range starts right after the previous one ends.
+        let mut prev_upper = None;
+        for i in 0..BUCKETS {
+            let (lo, hi) = (bucket_lower(i), bucket_upper(i));
+            assert!(lo <= hi, "bucket {i}: {lo} > {hi}");
+            if let Some(p) = prev_upper {
+                assert_eq!(lo, p + 1u64, "gap/overlap before bucket {i}");
+            }
+            prev_upper = Some(hi);
+        }
+        assert_eq!(prev_upper, Some(u64::MAX));
+        // Round-trip: boundary values map back to their bucket.
+        for v in [0, 1, 15, 16, 17, 31, 32, 1000, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!((bucket_lower(i)..=bucket_upper(i)).contains(&v));
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            let q = (v + 1) as f64 / 16.0;
+            assert_eq!(h.quantile(q), Some(v));
+        }
+    }
+
+    #[test]
+    fn quantile_stays_within_one_bucket() {
+        let mut h = LogHistogram::new();
+        let mut exact: Vec<u64> = (0..1000).map(|i| i * i + 7).collect();
+        for &v in &exact {
+            h.record(v);
+        }
+        exact.sort_unstable();
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let truth = nearest_rank(&exact, p).unwrap();
+            let est = h.quantile(p / 100.0).unwrap();
+            let (lo, hi) = bucket_bounds(truth);
+            assert!(
+                (lo..=hi).contains(&est),
+                "p{p}: estimate {est} outside bucket [{lo}, {hi}] of exact {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [3u64, 500, 12_000, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 70_000, 70_001] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(70_001));
+    }
+
+    #[test]
+    fn mean_and_sum_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record_n(10, 3);
+        h.record(70);
+        assert_eq!(h.sum(), 100);
+        assert_eq!(h.mean(), Some(25.0));
+    }
+
+    #[test]
+    fn buckets_iterate_in_order_and_cover_count() {
+        let mut h = LogHistogram::new();
+        for v in [5u64, 5, 100, 3_000_000] {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), h.count());
+        assert_eq!(buckets[0], (5, 2));
+    }
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let sorted = [10u64, 20, 30, 40];
+        assert_eq!(nearest_rank(&sorted, 0.0), Some(10));
+        assert_eq!(nearest_rank(&sorted, 25.0), Some(10));
+        assert_eq!(nearest_rank(&sorted, 50.0), Some(20));
+        assert_eq!(nearest_rank(&sorted, 75.0), Some(30));
+        assert_eq!(nearest_rank(&sorted, 100.0), Some(40));
+        assert_eq!(nearest_rank(&[], 50.0), None);
+    }
+}

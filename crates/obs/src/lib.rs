@@ -14,7 +14,13 @@
 //!   (simulated time) and multi-threaded (monotonic time) recording.
 //! - [`SpanTracker`]: stitches per-value events into a
 //!   submit → 2a → quorum → decision → in-order-delivery latency breakdown.
-//! - [`prom`]: hand-rolled Prometheus text exposition.
+//! - [`LogHistogram`]: a mergeable, log-bucketed, bounded-memory latency
+//!   histogram with quantile estimation — the hot-path alternative to the
+//!   exact sample-keeping `simnet::Histogram`.
+//! - [`prom`]: hand-rolled Prometheus text exposition (counters, gauges,
+//!   and cumulative histogram families).
+//! - [`Registry`] / [`MetricsServer`]: live gauges and histograms served
+//!   over a dependency-free HTTP `/metrics` endpoint.
 //! - [`Counter`]: the canonical monotone counter shared by
 //!   `semantic_gossip` and `simnet`.
 //!
@@ -24,12 +30,16 @@
 
 pub mod counter;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod observer;
 pub mod prom;
+pub mod serve;
 pub mod span;
 
 pub use counter::Counter;
 pub use event::{Event, TimedEvent, TraceParseError};
+pub use hist::LogHistogram;
 pub use observer::{NoopObserver, Observer, RingObserver, SharedRing};
+pub use serve::{MetricsServer, Registry, SharedGauge, SharedHistogram};
 pub use span::{SegmentStats, SpanSummary, SpanTracker, ValueSpan};

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::event::TimedEvent;
+use crate::hist::LogHistogram;
 
 /// The metric types the exposition format distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +19,8 @@ pub enum MetricKind {
     Counter,
     /// Free-moving value.
     Gauge,
+    /// Cumulative `_bucket`/`_sum`/`_count` family.
+    Histogram,
 }
 
 impl MetricKind {
@@ -25,6 +28,7 @@ impl MetricKind {
         match self {
             MetricKind::Counter => "counter",
             MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
         }
     }
 }
@@ -80,6 +84,51 @@ impl Exposition {
             self.out.push('}');
         }
         let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Writes a full histogram family — cumulative `_bucket{le=...}`
+    /// lines for every non-empty bucket plus `+Inf`, then `_sum` and
+    /// `_count`. Recorded values are divided by `scale` at exposition
+    /// time (e.g. `1e9` turns recorded nanoseconds into seconds).
+    ///
+    /// The `# HELP`/`# TYPE` preamble is written too; `name` must be the
+    /// bare family name without the `_bucket` suffix.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &LogHistogram,
+        scale: f64,
+    ) {
+        self.header(name, help, MetricKind::Histogram);
+        self.histogram_samples(name, labels, hist, scale);
+    }
+
+    /// Writes a histogram's sample lines without the `# HELP`/`# TYPE`
+    /// preamble — for families with several label sets, where the header
+    /// must appear exactly once.
+    pub fn histogram_samples(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        hist: &LogHistogram,
+        scale: f64,
+    ) {
+        let bucket = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (upper, count) in hist.buckets() {
+            cumulative += count;
+            let le = format_value(upper as f64 / scale);
+            let mut with_le = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            self.write_sample(&bucket, &with_le, &cumulative.to_string());
+        }
+        let mut with_le = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.write_sample(&bucket, &with_le, &hist.count().to_string());
+        self.sample_f64(&format!("{name}_sum"), labels, hist.sum() as f64 / scale);
+        self.sample_u64(&format!("{name}_count"), labels, hist.count());
     }
 
     /// The finished document.
@@ -144,6 +193,23 @@ mod tests {
         let mut exp = Exposition::new();
         exp.sample_u64("m", &[("l", "a\"b\\c\nd")], 3);
         assert_eq!(exp.render(), "m{l=\"a\\\"b\\\\c\\nd\"} 3\n");
+    }
+
+    #[test]
+    fn renders_histogram_family() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(1_000_000_000); // one second, in ns
+        let mut exp = Exposition::new();
+        exp.histogram("lat_seconds", "Latency.", &[("setup", "gossip")], &h, 1e9);
+        let text = exp.render();
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        // Buckets are cumulative and carry the shared labels plus `le`.
+        assert!(text.contains("lat_seconds_bucket{setup=\"gossip\",le=\"0.000000005\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{setup=\"gossip\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count{setup=\"gossip\"} 3"));
+        assert!(text.contains("lat_seconds_sum{setup=\"gossip\"} 1.00000001"));
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! Live metrics: shared gauges/histograms and a dependency-free HTTP
+//! `/metrics` scrape endpoint.
+//!
+//! A [`Registry`] holds metric families whose values are updated from the
+//! hot paths through cheap handles — [`SharedGauge`] is an atomic store,
+//! [`SharedHistogram`] a mutex around a bounded
+//! [`LogHistogram`](crate::hist::LogHistogram) — and rendered on demand
+//! into Prometheus text. [`MetricsServer`] binds a `std::net` listener and
+//! answers `GET /metrics` with the registry's current state, so a live run
+//! can be scraped mid-flight with nothing but `curl` (or a real
+//! Prometheus). No HTTP library is involved: the request parsing is the
+//! minimal slice the scrape protocol needs.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::hist::LogHistogram;
+use crate::prom::{Exposition, MetricKind};
+
+/// A gauge that can be set from any thread and read by the scraper.
+///
+/// Cloning shares the underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct SharedGauge {
+    value: Arc<AtomicU64>,
+}
+
+impl SharedGauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a new value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds to the current value.
+    pub fn add(&self, v: u64) {
+        self.value.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram that can be recorded into from any thread.
+///
+/// Cloning shares the underlying buckets.
+#[derive(Debug, Clone, Default)]
+pub struct SharedHistogram {
+    inner: Arc<Mutex<LogHistogram>>,
+}
+
+impl SharedHistogram {
+    /// An empty shared histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value (typically nanoseconds or bytes).
+    pub fn record(&self, value: u64) {
+        self.inner.lock().unwrap().record(value);
+    }
+
+    /// Merges a locally-accumulated histogram in one lock acquisition.
+    pub fn merge(&self, other: &LogHistogram) {
+        self.inner.lock().unwrap().merge(other);
+    }
+
+    /// A copy of the current buckets.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+enum Metric {
+    Gauge {
+        labels: Vec<(String, String)>,
+        gauge: SharedGauge,
+    },
+    Histogram {
+        labels: Vec<(String, String)>,
+        hist: SharedHistogram,
+        scale: f64,
+    },
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    metrics: Vec<Metric>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    families: Vec<Family>,
+    extra: String,
+}
+
+impl RegistryInner {
+    fn family(&mut self, name: &str, help: &str, kind: MetricKind) -> &mut Family {
+        if let Some(i) = self.families.iter().position(|f| f.name == name) {
+            return &mut self.families[i];
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            metrics: Vec::new(),
+        });
+        self.families.last_mut().unwrap()
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// A set of live metric families, rendered to Prometheus text on demand.
+///
+/// Cloning shares the registry; registration returns cheap handles meant
+/// to be moved into worker threads.
+///
+/// # Example
+///
+/// ```
+/// use obs::serve::Registry;
+/// let registry = Registry::new();
+/// let depth = registry.gauge("send_queue_depth", "Queued messages.", &[("peer", "3")]);
+/// depth.set(17);
+/// assert!(registry.render().contains("send_queue_depth{peer=\"3\"} 17"));
+/// ```
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one gauge sample under `name` with the given label set
+    /// and returns its update handle. Repeated calls with the same name
+    /// extend the family (the first call's help text wins).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> SharedGauge {
+        let gauge = SharedGauge::new();
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .family(name, help, MetricKind::Gauge)
+            .metrics
+            .push(Metric::Gauge {
+                labels: own_labels(labels),
+                gauge: gauge.clone(),
+            });
+        gauge
+    }
+
+    /// Registers one histogram under `name` and returns its recording
+    /// handle. Recorded values are divided by `scale` at scrape time —
+    /// record nanoseconds with `scale = 1e9` for a `_seconds` family,
+    /// bytes with `scale = 1.0`.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        scale: f64,
+    ) -> SharedHistogram {
+        let hist = SharedHistogram::new();
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .family(name, help, MetricKind::Histogram)
+            .metrics
+            .push(Metric::Histogram {
+                labels: own_labels(labels),
+                hist: hist.clone(),
+                scale,
+            });
+        hist
+    }
+
+    /// Replaces the free-form exposition text appended after the
+    /// registered families (e.g. a finished run's full report).
+    pub fn set_extra(&self, text: String) {
+        self.inner.lock().unwrap().extra = text;
+    }
+
+    /// Renders every family (plus any extra text) as Prometheus 0.0.4
+    /// exposition text.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut exp = Exposition::new();
+        for family in &inner.families {
+            match family.kind {
+                MetricKind::Histogram => {
+                    exp.header(&family.name, &family.help, MetricKind::Histogram);
+                    for metric in &family.metrics {
+                        if let Metric::Histogram {
+                            labels,
+                            hist,
+                            scale,
+                        } = metric
+                        {
+                            let borrowed: Vec<(&str, &str)> = labels
+                                .iter()
+                                .map(|(k, v)| (k.as_str(), v.as_str()))
+                                .collect();
+                            exp.histogram_samples(
+                                &family.name,
+                                &borrowed,
+                                &hist.snapshot(),
+                                *scale,
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    exp.header(&family.name, &family.help, family.kind);
+                    for metric in &family.metrics {
+                        if let Metric::Gauge { labels, gauge } = metric {
+                            let borrowed: Vec<(&str, &str)> = labels
+                                .iter()
+                                .map(|(k, v)| (k.as_str(), v.as_str()))
+                                .collect();
+                            exp.sample_u64(&family.name, &borrowed, gauge.get());
+                        }
+                    }
+                }
+            }
+        }
+        let mut text = exp.render();
+        if !inner.extra.is_empty() {
+            text.push_str(&inner.extra);
+            if !inner.extra.ends_with('\n') {
+                text.push('\n');
+            }
+        }
+        text
+    }
+}
+
+/// A minimal HTTP/1.x server answering `GET /metrics` from a [`Registry`].
+///
+/// The accept loop runs on its own thread and shuts down when the server
+/// is dropped. Each request is served inline — a scrape is one cheap
+/// render — and the connection is closed after the response, which is all
+/// `curl` and Prometheus' scraper need.
+pub struct MetricsServer {
+    local: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9300"`, port 0 for ephemeral) and
+    /// starts serving `registry`.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Registry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name("obs-metrics".to_string())
+            .spawn(move || accept_loop(listener, registry, stop))?;
+        Ok(MetricsServer {
+            local,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Registry, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are rare and rendering is cheap; serving inline
+                // keeps the server to one thread.
+                let _ = serve_one(stream, &registry);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_nodelay(true).ok();
+
+    // Read until the end of the request head (or a modest cap — the
+    // request line is all we look at).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", registry.render())
+    } else {
+        ("404 Not Found", "try /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n\
+         {body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn registry_renders_gauges_histograms_and_extra() {
+        let registry = Registry::new();
+        let g0 = registry.gauge("queue_depth", "Waiting messages.", &[("peer", "1")]);
+        let g1 = registry.gauge("queue_depth", "ignored on reuse", &[("peer", "2")]);
+        let h = registry.histogram("lat_seconds", "Latency.", &[("setup", "a")], 1e9);
+        let h2 = registry.histogram("lat_seconds", "ignored on reuse", &[("setup", "b")], 1e9);
+        g0.set(4);
+        g1.set(9);
+        h.record(2_000_000_000);
+        h2.record(3_000_000_000);
+        registry.set_extra("# extra section\nup 1".to_string());
+        let text = registry.render();
+        // One family header, both label sets.
+        assert_eq!(text.matches("# TYPE queue_depth gauge").count(), 1);
+        assert!(text.contains("queue_depth{peer=\"1\"} 4"));
+        assert!(text.contains("queue_depth{peer=\"2\"} 9"));
+        // The histogram family header appears once despite two label sets.
+        assert_eq!(text.matches("# TYPE lat_seconds histogram").count(), 1);
+        assert!(text.contains("lat_seconds_count{setup=\"a\"} 1"));
+        assert!(text.contains("lat_seconds_count{setup=\"b\"} 1"));
+        assert!(text.contains("setup=\"a\",le=\"+Inf\"} 1"));
+        assert!(text.ends_with("# extra section\nup 1\n"));
+    }
+
+    #[test]
+    fn serves_metrics_over_http() {
+        let registry = Registry::new();
+        let gauge = registry.gauge("frame_drops", "Dropped frames.", &[]);
+        gauge.set(3);
+        let server = MetricsServer::bind("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let ok = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.contains("frame_drops 3"));
+
+        // Scrapes see live updates.
+        gauge.set(8);
+        let again = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(again.contains("frame_drops 8"));
+
+        let missing = scrape(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        let wrong = scrape(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(wrong.starts_with("HTTP/1.1 405"));
+
+        drop(server); // shuts the accept loop down
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may still accept briefly; a second attempt after the
+                // join must fail.
+                std::thread::sleep(Duration::from_millis(50));
+                TcpStream::connect(addr).is_err()
+            }
+        );
+    }
+}

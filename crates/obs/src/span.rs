@@ -53,6 +53,30 @@ fn first(slot: &mut Option<u64>, at: u64) {
     }
 }
 
+/// Extracts one segment's duration (ns) from a [`ValueSpan`], or `None`
+/// while the span is incomplete.
+pub type SegmentMeasure = fn(&ValueSpan) -> Option<u64>;
+
+/// The pipeline segments of a value's life, in order: name plus the
+/// extractor producing the segment's duration (ns) from a [`ValueSpan`],
+/// ending with the total. One definition shared by [`SpanTracker::summary`]
+/// and the trace analyzer's per-phase latency distributions.
+pub const SEGMENTS: [(&str, SegmentMeasure); 5] = [
+    ("submit -> phase2a", |s| {
+        Some(s.phase2a?.saturating_sub(s.submitted?))
+    }),
+    ("phase2a -> quorum", |s| {
+        Some(s.quorum?.saturating_sub(s.phase2a?))
+    }),
+    ("quorum -> decided", |s| {
+        Some(s.decided?.saturating_sub(s.quorum?))
+    }),
+    ("decided -> ordered", |s| {
+        Some(s.ordered?.saturating_sub(s.decided?))
+    }),
+    ("total submit -> ordered", ValueSpan::total),
+];
+
 /// Aggregated statistics for one phase segment across all tracked values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegmentStats {
@@ -126,24 +150,14 @@ impl SpanTracker {
         self.spans.is_empty()
     }
 
+    /// Per-value spans as `((origin, seq), span)` pairs, in no particular
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u32, u64), &ValueSpan)> {
+        self.spans.iter()
+    }
+
     /// Aggregates the per-phase latency breakdown.
     pub fn summary(&self) -> SpanSummary {
-        type SegmentOf = fn(&ValueSpan) -> Option<u64>;
-        const SEGMENTS: [(&str, SegmentOf); 5] = [
-            ("submit -> phase2a", |s| {
-                Some(s.phase2a?.saturating_sub(s.submitted?))
-            }),
-            ("phase2a -> quorum", |s| {
-                Some(s.quorum?.saturating_sub(s.phase2a?))
-            }),
-            ("quorum -> decided", |s| {
-                Some(s.decided?.saturating_sub(s.quorum?))
-            }),
-            ("decided -> ordered", |s| {
-                Some(s.ordered?.saturating_sub(s.decided?))
-            }),
-            ("total submit -> ordered", ValueSpan::total),
-        ];
         let segments = SEGMENTS
             .iter()
             .map(|&(name, measure)| {

@@ -143,6 +143,13 @@ impl Learner {
     pub fn blocked_count(&self) -> usize {
         self.decided.len()
     }
+
+    /// The instance window: instances being voted on plus instances
+    /// decided but not yet released in order. This is the learner's live
+    /// working-set size — the `instance_window` gauge on `/metrics`.
+    pub fn open_window(&self) -> usize {
+        self.votes.len() + self.decided.len()
+    }
 }
 
 #[cfg(test)]

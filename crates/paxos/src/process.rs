@@ -162,6 +162,12 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
         &self.learner
     }
 
+    /// The learner's open instance window (voting or awaiting in-order
+    /// release) — the live `instance_window` gauge.
+    pub fn instance_window(&self) -> usize {
+        self.learner.open_window()
+    }
+
     /// Makes this process the coordinator of `round`, starting Phase 1 over
     /// all instances not yet delivered locally.
     ///

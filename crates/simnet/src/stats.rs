@@ -28,7 +28,11 @@ pub use obs::Counter;
 /// An exact sample-keeping latency histogram.
 ///
 /// Samples are stored as nanosecond counts; queries sort lazily and cache the
-/// sorted order until the next insertion.
+/// sorted order until the next insertion. Percentiles use the workspace's
+/// single nearest-rank definition in [`obs::hist`]; keep this exact variant
+/// only where an experiment needs full CDFs (Figure 5) — hot paths and live
+/// exposition use the bounded [`obs::LogHistogram`] (see
+/// [`to_log`](Histogram::to_log)).
 ///
 /// # Example
 ///
@@ -110,13 +114,8 @@ impl Histogram {
     /// Panics if `p` is not within `0.0..=100.0`.
     pub fn percentile(&mut self, p: f64) -> Option<SimDuration> {
         assert!((0.0..=100.0).contains(&p), "percentile out of range");
-        if self.samples.is_empty() {
-            return None;
-        }
         self.ensure_sorted();
-        let n = self.samples.len();
-        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as usize;
-        Some(SimDuration::from_nanos(self.samples[rank.min(n) - 1]))
+        obs::hist::nearest_rank(&self.samples, p).map(SimDuration::from_nanos)
     }
 
     /// Median (50th percentile), or `None` if empty.
@@ -158,6 +157,18 @@ impl Histogram {
     pub fn merge(&mut self, other: &Histogram) {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
+    }
+
+    /// Re-buckets every sample into a bounded-memory
+    /// [`obs::LogHistogram`] — for exposition (Prometheus `_bucket`
+    /// families) or for shipping a mergeable summary off a hot path while
+    /// this exact variant stays behind for full CDFs.
+    pub fn to_log(&self) -> obs::LogHistogram {
+        let mut log = obs::LogHistogram::new();
+        for &s in &self.samples {
+            log.record(s);
+        }
+        log
     }
 
     fn ensure_sorted(&mut self) {
@@ -235,6 +246,21 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.mean(), ms(2));
+    }
+
+    #[test]
+    fn to_log_preserves_count_sum_and_quantile_bucket() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 5000] {
+            h.record(SimDuration::from_nanos(v));
+        }
+        let log = h.to_log();
+        assert_eq!(log.count(), 5);
+        assert_eq!(log.sum(), 5100);
+        let exact = h.percentile(50.0).unwrap().as_nanos();
+        let (lo, hi) = obs::hist::bucket_bounds(exact);
+        let est = log.quantile(0.5).unwrap();
+        assert!((lo..=hi).contains(&est));
     }
 
     #[test]

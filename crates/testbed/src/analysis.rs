@@ -1,0 +1,706 @@
+//! Post-mortem trace analytics: the paper's headline numbers from a JSONL
+//! event stream.
+//!
+//! [`analyze_str`] folds a recorded trace (one [`obs::TimedEvent`] per
+//! line, as written by `wan_paxos --trace` or `live_tcp --trace`) into a
+//! [`TraceAnalysis`]:
+//!
+//! * **semantic efficacy** — how many outgoing messages the semantic layer
+//!   suppressed (`semantic_filtered`) or merged away (`votes_aggregated`),
+//!   relative to everything that reached the send path (§5 of the paper);
+//! * **redundancy** — wire receptions vs fresh deliveries, i.e. how many
+//!   copies of each message the gossip epidemic actually paid for;
+//! * **hop counts** — causal delivery paths reconstructed from each node's
+//!   *first* reception of each message id;
+//! * **per-phase latency** — submit → 2a → quorum → decided → ordered
+//!   quantiles (p50/p90/p99/p999), one bounded
+//!   [`LogHistogram`](obs::LogHistogram) per segment.
+//!
+//! The text report and CSV are deterministic byte-for-byte for a given
+//! trace, so they can be golden-tested and diffed across runs.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use obs::span::SEGMENTS;
+use obs::{Event, LogHistogram, SpanTracker, TimedEvent, TraceParseError};
+
+use crate::report::Table;
+
+/// A malformed trace line: where and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub error: TraceParseError,
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Latency distribution of one pipeline segment.
+#[derive(Debug, Clone)]
+pub struct PhaseLatency {
+    /// Segment name (e.g. `"submit -> phase2a"`).
+    pub name: &'static str,
+    /// Per-value segment durations, in nanoseconds.
+    pub hist: LogHistogram,
+}
+
+/// Everything the analyzer extracts from one trace.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Total events in the trace.
+    pub events: usize,
+    /// Distinct node ids appearing in the trace.
+    pub nodes: usize,
+    /// Concatenated runs detected in the trace (a timestamp going
+    /// backwards marks a run boundary).
+    pub runs: usize,
+    /// Traced time summed over runs, in nanoseconds.
+    pub duration_ns: u64,
+    /// Events per kind string.
+    pub kind_counts: BTreeMap<&'static str, u64>,
+
+    // -- semantic efficacy (send path) --
+    /// Messages handed to the wire (`gossip_sent`).
+    pub sent: u64,
+    /// Messages suppressed by semantic filtering (`semantic_filtered`).
+    pub filtered: u64,
+    /// Messages merged away by aggregation (Σ `before - after` over
+    /// `votes_aggregated`).
+    pub merged: u64,
+
+    // -- redundancy (receive path) --
+    /// Wire messages received (`gossip_received`).
+    pub receptions: u64,
+    /// Individual parts after disaggregation.
+    pub parts: u64,
+    /// Parts discarded as recently-seen duplicates (`duplicate_dropped`).
+    pub duplicates: u64,
+    /// Fresh messages handed to the consensus layer (`gossip_delivered`).
+    pub deliveries: u64,
+
+    // -- hop counts --
+    /// Deliveries per hop count (0 = delivered at the origin).
+    pub hops: BTreeMap<u32, u64>,
+    /// Deliveries whose causal chain could not be resolved (truncated or
+    /// inconsistent traces).
+    pub unresolved_hops: u64,
+
+    // -- per-phase latency --
+    /// One distribution per pipeline segment, in pipeline order.
+    pub phases: Vec<PhaseLatency>,
+    /// Distinct values observed / values with every milestone.
+    pub values_tracked: usize,
+    /// Values whose every milestone was observed.
+    pub values_complete: usize,
+}
+
+/// Parses and analyzes a JSONL trace.
+///
+/// # Errors
+///
+/// Returns the first malformed line (blank lines are not tolerated:
+/// a trace is exactly one event per line).
+pub fn analyze_str(input: &str) -> Result<TraceAnalysis, AnalyzeError> {
+    let mut events = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let timed =
+            TimedEvent::from_json(line).map_err(|error| AnalyzeError { line: i + 1, error })?;
+        events.push(timed);
+    }
+    Ok(analyze(&events))
+}
+
+/// Analyzes an already-decoded event stream.
+///
+/// A trace file may concatenate several runs (`wan_paxos --trace` writes
+/// all three setups into one file); each run restarts its clock at zero
+/// and reuses message ids and `(origin, seq)` pairs, so hop chains and
+/// value spans must not cross run boundaries. A timestamp going backwards
+/// marks the next run; per-run results are merged into one analysis.
+pub fn analyze(events: &[TimedEvent]) -> TraceAnalysis {
+    let mut analysis = TraceAnalysis {
+        events: events.len(),
+        nodes: 0,
+        runs: 0,
+        duration_ns: 0,
+        kind_counts: obs::prom::event_kind_counts(events),
+        sent: 0,
+        filtered: 0,
+        merged: 0,
+        receptions: 0,
+        parts: 0,
+        duplicates: 0,
+        deliveries: 0,
+        hops: BTreeMap::new(),
+        unresolved_hops: 0,
+        phases: SEGMENTS
+            .iter()
+            .map(|&(name, _)| PhaseLatency {
+                name,
+                hist: LogHistogram::new(),
+            })
+            .collect(),
+        values_tracked: 0,
+        values_complete: 0,
+    };
+
+    let mut nodes = BTreeSet::new();
+    let mut start = 0usize;
+    for end in 1..=events.len() {
+        if end < events.len() && events[end].at >= events[end - 1].at {
+            continue;
+        }
+        analyze_run(&events[start..end], &mut analysis, &mut nodes);
+        start = end;
+    }
+    analysis.nodes = nodes.len();
+    analysis
+}
+
+/// Folds one run's events into the analysis.
+fn analyze_run(events: &[TimedEvent], out: &mut TraceAnalysis, nodes: &mut BTreeSet<u32>) {
+    out.runs += 1;
+    let mut first_ts = u64::MAX;
+    let mut last_ts = 0u64;
+
+    // First reception of each message id per node: `(msg, node) → from`.
+    // The first reception is what causes the local delivery and the
+    // forwarding, so following `from` pointers reconstructs the causal
+    // delivery path.
+    let mut first_recv: HashMap<(u64, u32), u32> = HashMap::new();
+    let mut delivered_at: Vec<(u64, u32)> = Vec::new();
+
+    let mut spans = SpanTracker::new();
+
+    for timed in events {
+        nodes.insert(timed.event.node());
+        first_ts = first_ts.min(timed.at);
+        last_ts = last_ts.max(timed.at);
+        spans.observe(timed);
+        match &timed.event {
+            Event::GossipSent { .. } => out.sent += 1,
+            Event::SemanticFiltered { .. } => out.filtered += 1,
+            Event::VotesAggregated { before, after, .. } => {
+                out.merged += before.saturating_sub(*after);
+            }
+            Event::GossipReceived { node, from, msg } => {
+                out.receptions += 1;
+                out.parts += 1;
+                first_recv.entry((*msg, *node)).or_insert(*from);
+            }
+            Event::GossipDisaggregated { parts: p, .. } => {
+                // The reception itself already counted one part.
+                out.parts += p.saturating_sub(1);
+            }
+            Event::DuplicateDropped { .. } => out.duplicates += 1,
+            Event::GossipDelivered { node, msg } => {
+                out.deliveries += 1;
+                delivered_at.push((*msg, *node));
+            }
+            _ => {}
+        }
+    }
+    if first_ts != u64::MAX {
+        out.duration_ns += last_ts.saturating_sub(first_ts);
+    }
+
+    // Hop counts: walk each delivery's first-reception chain back to a
+    // node with no recorded reception of the id (its origin). Aggregated
+    // messages travel under fresh ids, so their parts resolve to the
+    // aggregation point rather than the original proposer — chains are
+    // causal per wire id.
+    let max_hops = nodes.len() as u32 + 1;
+    for &(msg, node) in &delivered_at {
+        let mut cur = node;
+        let mut count = 0u32;
+        let resolved = loop {
+            match first_recv.get(&(msg, cur)) {
+                None => break true,
+                Some(&from) => {
+                    count += 1;
+                    if count > max_hops {
+                        break false; // inconsistent trace (cycle)
+                    }
+                    cur = from;
+                }
+            }
+        };
+        if resolved {
+            *out.hops.entry(count).or_insert(0) += 1;
+        } else {
+            out.unresolved_hops += 1;
+        }
+    }
+
+    // Per-phase latency distributions from the stitched value spans.
+    for (_, span) in spans.iter() {
+        for (phase, &(_, measure)) in out.phases.iter_mut().zip(SEGMENTS.iter()) {
+            if let Some(ns) = measure(span) {
+                phase.hist.record(ns);
+            }
+        }
+    }
+    let summary = spans.summary();
+    out.values_tracked += summary.tracked;
+    out.values_complete += summary.complete;
+}
+
+impl TraceAnalysis {
+    /// Messages that reached the send path: sent, suppressed, or merged.
+    pub fn outgoing_candidates(&self) -> u64 {
+        self.sent + self.filtered + self.merged
+    }
+
+    /// Fraction of outgoing candidates suppressed by semantic filtering.
+    pub fn filter_efficacy(&self) -> f64 {
+        ratio(self.filtered, self.outgoing_candidates())
+    }
+
+    /// Fraction of outgoing candidates merged away by aggregation.
+    pub fn aggregation_efficacy(&self) -> f64 {
+        ratio(self.merged, self.outgoing_candidates())
+    }
+
+    /// Parts that arrived per fresh delivery off the wire: 1.0 means no
+    /// redundant copies, 2.0 means every message arrived twice.
+    pub fn redundancy_ratio(&self) -> f64 {
+        ratio(self.parts, self.parts.saturating_sub(self.duplicates))
+    }
+
+    /// Fraction of received parts discarded as duplicates.
+    pub fn duplicate_share(&self) -> f64 {
+        ratio(self.duplicates, self.parts)
+    }
+
+    /// Mean hops per resolved delivery.
+    pub fn mean_hops(&self) -> f64 {
+        let total: u64 = self.hops.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self.hops.iter().map(|(&h, &c)| h as u64 * c).sum();
+        weighted as f64 / total as f64
+    }
+
+    /// The per-phase latency quantiles as a table (the CSV's rows).
+    pub fn phase_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "phase", "count", "p50_ms", "p90_ms", "p99_ms", "p999_ms", "max_ms",
+        ]);
+        for phase in &self.phases {
+            let q = |q: f64| match phase.hist.quantile(q) {
+                Some(ns) => format!("{:.3}", ns as f64 / 1e6),
+                None => "-".to_string(),
+            };
+            let max = match phase.hist.max() {
+                Some(ns) => format!("{:.3}", ns as f64 / 1e6),
+                None => "-".to_string(),
+            };
+            t.row(vec![
+                phase.name.to_string(),
+                phase.hist.count().to_string(),
+                q(0.50),
+                q(0.90),
+                q(0.99),
+                q(0.999),
+                max,
+            ]);
+        }
+        t
+    }
+
+    /// The hop-count distribution as a table.
+    pub fn hop_table(&self) -> Table {
+        let mut t = Table::new(vec!["hops", "deliveries", "share"]);
+        let total: u64 = self.hops.values().sum();
+        for (&h, &c) in &self.hops {
+            t.row(vec![
+                h.to_string(),
+                c.to_string(),
+                format!("{:.1}%", ratio(c, total) * 100.0),
+            ]);
+        }
+        t
+    }
+
+    /// The full text report (deterministic for a given trace).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== trace ==");
+        let _ = writeln!(out, "events           {}", self.events);
+        let _ = writeln!(out, "nodes            {}", self.nodes);
+        let _ = writeln!(out, "runs             {}", self.runs);
+        let _ = writeln!(
+            out,
+            "traced time      {:.3} s",
+            self.duration_ns as f64 / 1e9
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "== semantic efficacy (send path) ==");
+        let _ = writeln!(out, "outgoing candidates  {}", self.outgoing_candidates());
+        let _ = writeln!(
+            out,
+            "sent                 {}  ({:.1}%)",
+            self.sent,
+            ratio(self.sent, self.outgoing_candidates()) * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "filter-suppressed    {}  ({:.1}%)",
+            self.filtered,
+            self.filter_efficacy() * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "aggregation-merged   {}  ({:.1}%)",
+            self.merged,
+            self.aggregation_efficacy() * 100.0
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "== redundancy (receive path) ==");
+        let _ = writeln!(out, "wire receptions      {}", self.receptions);
+        let _ = writeln!(out, "parts after disagg   {}", self.parts);
+        let _ = writeln!(out, "duplicate drops      {}", self.duplicates);
+        let _ = writeln!(out, "fresh deliveries     {}", self.deliveries);
+        let _ = writeln!(
+            out,
+            "redundancy ratio     {:.2}  (parts per fresh delivery)",
+            self.redundancy_ratio()
+        );
+        let _ = writeln!(
+            out,
+            "duplicate share      {:.1}%",
+            self.duplicate_share() * 100.0
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "== hop counts (causal delivery paths) ==");
+        if self.hops.is_empty() {
+            let _ = writeln!(out, "no gossip deliveries in this trace");
+        } else {
+            out.push_str(&self.hop_table().render());
+            let _ = writeln!(out, "mean hops            {:.2}", self.mean_hops());
+        }
+        if self.unresolved_hops > 0 {
+            let _ = writeln!(out, "unresolved paths     {}", self.unresolved_hops);
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "== per-phase latency (ms) ==");
+        out.push_str(&self.phase_table().render());
+        let _ = writeln!(
+            out,
+            "values tracked       {}  (complete: {})",
+            self.values_tracked, self.values_complete
+        );
+        out
+    }
+
+    /// The per-phase latency quantiles as CSV.
+    pub fn csv(&self) -> String {
+        self.phase_table().to_csv()
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jsonl(events: &[(u64, Event)]) -> String {
+        events
+            .iter()
+            .map(|(at, event)| {
+                TimedEvent {
+                    at: *at,
+                    event: event.clone(),
+                }
+                .to_json()
+                    + "\n"
+            })
+            .collect()
+    }
+
+    /// A three-node line 0 → 1 → 2: node 0 originates message 5, both
+    /// others deliver it, node 2 also receives a redundant copy directly
+    /// from 0 and drops it.
+    fn line_trace() -> String {
+        use Event::*;
+        jsonl(&[
+            (10, GossipDelivered { node: 0, msg: 5 }),
+            (
+                11,
+                GossipSent {
+                    node: 0,
+                    to: 1,
+                    msg: 5,
+                },
+            ),
+            (
+                12,
+                GossipSent {
+                    node: 0,
+                    to: 2,
+                    msg: 5,
+                },
+            ),
+            (
+                20,
+                GossipReceived {
+                    node: 1,
+                    from: 0,
+                    msg: 5,
+                },
+            ),
+            (21, GossipDelivered { node: 1, msg: 5 }),
+            (
+                22,
+                GossipSent {
+                    node: 1,
+                    to: 2,
+                    msg: 5,
+                },
+            ),
+            (
+                30,
+                GossipReceived {
+                    node: 2,
+                    from: 1,
+                    msg: 5,
+                },
+            ),
+            (31, GossipDelivered { node: 2, msg: 5 }),
+            (
+                40,
+                GossipReceived {
+                    node: 2,
+                    from: 0,
+                    msg: 5,
+                },
+            ),
+            (41, DuplicateDropped { node: 2, msg: 5 }),
+        ])
+    }
+
+    #[test]
+    fn hop_chains_follow_first_receptions() {
+        let a = analyze_str(&line_trace()).unwrap();
+        // 0 delivered at 0 hops, 1 at one hop, 2 at two (via 1, its first
+        // reception), despite the later direct copy from 0.
+        assert_eq!(a.hops, BTreeMap::from([(0, 1), (1, 1), (2, 1)]));
+        assert_eq!(a.unresolved_hops, 0);
+        assert_eq!(a.mean_hops(), 1.0);
+        assert_eq!(a.receptions, 3);
+        assert_eq!(a.parts, 3);
+        assert_eq!(a.duplicates, 1);
+        assert_eq!(a.deliveries, 3);
+        // 3 parts for 2 fresh network deliveries → 1.5 copies each.
+        assert_eq!(a.redundancy_ratio(), 1.5);
+    }
+
+    #[test]
+    fn efficacy_counts_filter_and_merge() {
+        use Event::*;
+        let trace = jsonl(&[
+            (
+                1,
+                GossipSent {
+                    node: 0,
+                    to: 1,
+                    msg: 1,
+                },
+            ),
+            (
+                2,
+                GossipSent {
+                    node: 0,
+                    to: 1,
+                    msg: 2,
+                },
+            ),
+            (3, SemanticFiltered { node: 0, msg: 3 }),
+            (
+                4,
+                VotesAggregated {
+                    node: 0,
+                    before: 4,
+                    after: 1,
+                },
+            ),
+        ]);
+        let a = analyze_str(&trace).unwrap();
+        assert_eq!(a.sent, 2);
+        assert_eq!(a.filtered, 1);
+        assert_eq!(a.merged, 3);
+        assert_eq!(a.outgoing_candidates(), 6);
+        assert!((a.filter_efficacy() - 1.0 / 6.0).abs() < 1e-12);
+        assert!((a.aggregation_efficacy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disaggregated_parts_count_toward_redundancy() {
+        use Event::*;
+        let trace = jsonl(&[
+            (
+                1,
+                GossipReceived {
+                    node: 1,
+                    from: 0,
+                    msg: 9,
+                },
+            ),
+            (
+                2,
+                GossipDisaggregated {
+                    node: 1,
+                    msg: 9,
+                    parts: 3,
+                },
+            ),
+            (3, GossipDelivered { node: 1, msg: 101 }),
+            (4, GossipDelivered { node: 1, msg: 102 }),
+            (5, DuplicateDropped { node: 1, msg: 103 }),
+        ]);
+        let a = analyze_str(&trace).unwrap();
+        assert_eq!(a.receptions, 1);
+        assert_eq!(a.parts, 3);
+        assert_eq!(a.duplicates, 1);
+        assert_eq!(a.duplicate_share(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn phase_quantiles_come_from_spans() {
+        use Event::*;
+        let mut events = Vec::new();
+        for seq in 0..20u64 {
+            let base = seq * 1000;
+            events.push((
+                base,
+                ValueSubmitted {
+                    node: 0,
+                    origin: 0,
+                    seq,
+                },
+            ));
+            events.push((
+                base + 2_000_000,
+                Phase2a {
+                    node: 1,
+                    instance: seq,
+                    round: 0,
+                    origin: 0,
+                    seq,
+                },
+            ));
+            events.push((
+                base + 5_000_000,
+                QuorumReached {
+                    node: 1,
+                    instance: seq,
+                    origin: 0,
+                    seq,
+                },
+            ));
+            events.push((
+                base + 6_000_000,
+                Decided {
+                    node: 1,
+                    instance: seq,
+                    origin: 0,
+                    seq,
+                },
+            ));
+            events.push((
+                base + 10_000_000,
+                OrderedDelivered {
+                    node: 1,
+                    instance: seq,
+                    origin: 0,
+                    seq,
+                },
+            ));
+        }
+        let a = analyze_str(&jsonl(&events)).unwrap();
+        assert_eq!(a.values_tracked, 20);
+        assert_eq!(a.values_complete, 20);
+        assert_eq!(a.phases.len(), 5);
+        assert_eq!(a.phases[0].name, "submit -> phase2a");
+        assert_eq!(a.phases[0].hist.count(), 20);
+        // All durations identical: the p50 estimate is within one bucket
+        // of 2 ms.
+        let p50 = a.phases[0].hist.quantile(0.5).unwrap();
+        let (lo, hi) = obs::hist::bucket_bounds(2_000_000);
+        assert!((lo..=hi).contains(&p50));
+        let total = a.phases.last().unwrap();
+        assert_eq!(total.name, "total submit -> ordered");
+        assert_eq!(total.hist.count(), 20);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_complete() {
+        let a = analyze_str(&line_trace()).unwrap();
+        let r1 = a.report();
+        let r2 = analyze_str(&line_trace()).unwrap().report();
+        assert_eq!(r1, r2);
+        for needle in [
+            "== semantic efficacy",
+            "== redundancy",
+            "== hop counts",
+            "== per-phase latency",
+            "redundancy ratio     1.50",
+            "mean hops            1.00",
+        ] {
+            assert!(r1.contains(needle), "missing {needle:?} in:\n{r1}");
+        }
+        let csv = a.csv();
+        assert!(csv.starts_with("phase,count,p50_ms,p90_ms,p99_ms,p999_ms,max_ms\n"));
+        assert_eq!(csv.lines().count(), 6); // header + 5 phases
+    }
+
+    #[test]
+    fn concatenated_runs_are_segmented_at_clock_resets() {
+        // Two identical runs back to back: message ids repeat, but the
+        // timestamp reset keeps the hop chains from crossing runs.
+        let trace = format!("{}{}", line_trace(), line_trace());
+        let a = analyze_str(&trace).unwrap();
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.hops, BTreeMap::from([(0, 2), (1, 2), (2, 2)]));
+        assert_eq!(a.unresolved_hops, 0);
+        assert_eq!(a.duplicates, 2);
+        // Traced time sums per-run extents (each run spans ts 10..41).
+        assert_eq!(a.duration_ns, 62);
+    }
+
+    #[test]
+    fn bad_line_is_located() {
+        let mut trace = line_trace();
+        trace.push_str("{\"ts\":1,\"type\":\"warp_drive\"}\n");
+        let err = analyze_str(&trace).unwrap_err();
+        assert_eq!(err.line, 11);
+        assert!(err.to_string().contains("warp_drive"));
+    }
+
+    #[test]
+    fn empty_trace_analyzes_cleanly() {
+        let a = analyze_str("").unwrap();
+        assert_eq!(a.events, 0);
+        assert_eq!(a.outgoing_candidates(), 0);
+        assert_eq!(a.filter_efficacy(), 0.0);
+        assert_eq!(a.redundancy_ratio(), 0.0);
+        assert!(a.report().contains("no gossip deliveries"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Trace analyzer for JSONL execution traces.
+//!
+//! ```text
+//! tracetool report <trace.jsonl> [--csv FILE]
+//! ```
+//!
+//! Reads a trace written by `wan_paxos --trace` (or any
+//! [`obs::TimedEvent`] JSONL stream) and prints the semantic-efficacy
+//! report: filter/aggregation suppression rates, redundancy ratio, causal
+//! hop-count distribution and per-phase latency quantiles. `--csv` also
+//! writes the per-phase latency table as CSV. Exits non-zero on malformed
+//! traces, naming the offending line.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use testbed::analysis::analyze_str;
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: tracetool report <trace.jsonl> [--csv FILE]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("report") => {}
+        Some("--help") | Some("-h") => return usage(""),
+        Some(other) => return usage(&format!("unknown command: {other}")),
+        None => return usage("missing command"),
+    }
+
+    let mut trace: Option<PathBuf> = None;
+    let mut csv_out: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv" => match args.next() {
+                Some(path) => csv_out = Some(PathBuf::from(path)),
+                None => return usage("--csv needs a file"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if trace.is_none() => trace = Some(PathBuf::from(other)),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(trace) = trace else {
+        return usage("missing trace file");
+    };
+
+    let input = match fs::read_to_string(&trace) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = match analyze_str(&input) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", analysis.report());
+    if let Some(path) = csv_out {
+        if let Err(e) = fs::write(&path, analysis.csv()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

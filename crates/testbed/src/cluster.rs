@@ -315,7 +315,11 @@ impl DuplicateFilter for AnyFilter {
     }
 }
 
-type Gossip = GossipNode<PaxosMessage, AnySemantics, AnyFilter>;
+/// Gossip nodes carry a [`RingObserver`] like the Paxos processes do: with
+/// `trace_capacity` 0 (the default) the ring records nothing, and with
+/// tracing on the hot-path events (receive/dedup/filter/aggregate/send)
+/// land in the same merged JSONL stream the analyzer consumes.
+type Gossip = GossipNode<PaxosMessage, AnySemantics, AnyFilter, RingObserver>;
 
 enum Comms {
     Direct,
@@ -461,12 +465,13 @@ impl Cluster {
                                 params.gossip.recent_cache_size / 2,
                             )),
                         };
-                        Comms::Gossip(Box::new(GossipNode::with_filter(
+                        Comms::Gossip(Box::new(GossipNode::with_observer(
                             NodeId::new(i),
                             peers,
                             params.gossip,
                             semantics,
                             filter,
+                            RingObserver::with_capacity(params.trace_capacity),
                         )))
                     }
                     (_, None) => unreachable!("gossip setup without overlay"),
@@ -533,13 +538,15 @@ impl Cluster {
         }
     }
 
-    /// Timestamps a process's Paxos observer with the simulated clock so
-    /// events recorded during the next interaction carry `now`.
+    /// Timestamps a process's observers (Paxos and, under gossip, the
+    /// gossip layer's) with the simulated clock so events recorded during
+    /// the next interaction carry `now`.
     fn stamp(&mut self, node: u32, now: SimTime) {
-        self.nodes[node as usize]
-            .paxos
-            .observer_mut()
-            .set_now(now.as_nanos());
+        let n = &mut self.nodes[node as usize];
+        n.paxos.observer_mut().set_now(now.as_nanos());
+        if let Comms::Gossip(g) = &mut n.comms {
+            g.observer_mut().set_now(now.as_nanos());
+        }
     }
 
     fn bootstrap(&mut self) {
@@ -608,7 +615,7 @@ impl Cluster {
                             now,
                             ObsEvent::MessageLost {
                                 node: dst,
-                                msg: msg.message_id().low(),
+                                msg: msg.message_id().trace_id(),
                                 reason: "injected loss".to_string(),
                             },
                         );
@@ -634,12 +641,12 @@ impl Cluster {
                 if !self.is_up(dst, now) {
                     return;
                 }
+                self.stamp(dst, now);
                 match &mut self.nodes[dst as usize].comms {
                     Comms::Gossip(g) => {
                         g.on_receive(NodeId::new(from), msg);
                     }
                     Comms::Direct => {
-                        self.stamp(dst, now);
                         let out = self.nodes[dst as usize].paxos.handle(msg);
                         self.dispatch_outbound(dst, out, now);
                     }
@@ -696,6 +703,7 @@ impl Cluster {
                 if !self.is_up(node, now) {
                     return;
                 }
+                self.stamp(node, now);
                 let outgoing = match &mut self.nodes[node as usize].comms {
                     Comms::Gossip(g) => g.take_outgoing(),
                     Comms::Direct => Vec::new(),
@@ -771,7 +779,11 @@ impl Cluster {
         );
         self.nodes[idx].delivered_log.clear();
         self.nodes[idx].flush_scheduled = false;
-        if let Comms::Gossip(_) = &self.nodes[idx].comms {
+        if let Comms::Gossip(old_gossip) = &mut self.nodes[idx].comms {
+            // Like the Paxos observer above, the crashed gossip layer's
+            // events stay in the run's trace.
+            self.paxos_trace_backlog
+                .extend(old_gossip.observer_mut().drain());
             let overlay = self.overlay.as_ref().expect("gossip setup has overlay");
             let peers: Vec<NodeId> = overlay
                 .neighbors(idx)
@@ -793,12 +805,13 @@ impl Cluster {
                     self.params.gossip.recent_cache_size / 2,
                 )),
             };
-            self.nodes[idx].comms = Comms::Gossip(Box::new(GossipNode::with_filter(
+            self.nodes[idx].comms = Comms::Gossip(Box::new(GossipNode::with_observer(
                 NodeId::new(node),
                 peers,
                 self.params.gossip,
                 semantics,
                 filter,
+                RingObserver::with_capacity(self.params.trace_capacity),
             )));
         }
     }
@@ -953,6 +966,9 @@ impl Cluster {
             let mut events = std::mem::take(&mut self.paxos_trace_backlog);
             for node in &mut self.nodes {
                 events.extend(node.paxos.observer_mut().drain());
+                if let Comms::Gossip(g) = &mut node.comms {
+                    events.extend(g.observer_mut().drain());
+                }
             }
             events.extend(self.tracer.events().cloned());
             events.sort_by_key(|e| e.at);
@@ -1193,7 +1209,8 @@ mod tests {
         let table = crate::report::span_table(summary).render();
         assert!(table.contains("total submit -> ordered"));
 
-        // Kind counts cover the Paxos pipeline and feed the exposition.
+        // Kind counts cover the Paxos pipeline and the gossip hot path,
+        // and feed the exposition.
         let kinds: Vec<&str> = m.trace_kinds.iter().map(|(k, _)| *k).collect();
         for expected in [
             "value_submitted",
@@ -1201,6 +1218,11 @@ mod tests {
             "phase2b",
             "decided",
             "ordered_delivered",
+            "gossip_received",
+            "gossip_delivered",
+            "gossip_sent",
+            "duplicate_dropped",
+            "semantic_filtered",
         ] {
             assert!(
                 kinds.contains(&expected),

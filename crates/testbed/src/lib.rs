@@ -21,6 +21,7 @@
 //! assert!(metrics.ordered > 0);
 //! ```
 
+pub mod analysis;
 pub mod cluster;
 pub mod experiments;
 pub mod metrics;

@@ -242,6 +242,15 @@ impl RunMetrics {
             base,
             self.latency.mean().as_nanos() as f64 / 1e9,
         );
+        if !self.latency.is_empty() {
+            exp.histogram(
+                "testbed_latency_seconds",
+                "Client-observed end-to-end latency distribution",
+                base,
+                &self.latency.to_log(),
+                1e9,
+            );
+        }
         exp.header(
             "testbed_safety_ok",
             "1 when all processes delivered consistent prefixes",
@@ -375,6 +384,11 @@ mod tests {
             .contains("gossip_messages_total{setup=\"Semantic Gossip\",counter=\"received\"} 7"));
         assert!(text.contains("trace_events_total{setup=\"Semantic Gossip\",kind=\"phase2a\"} 9"));
         assert!(text.contains("testbed_safety_ok{setup=\"Semantic Gossip\"} 1"));
+        // The latency distribution is exposed as a histogram family.
+        assert!(text.contains("# TYPE testbed_latency_seconds histogram"));
+        assert!(text
+            .contains("testbed_latency_seconds_bucket{setup=\"Semantic Gossip\",le=\"+Inf\"} 1"));
+        assert!(text.contains("testbed_latency_seconds_count{setup=\"Semantic Gossip\"} 1"));
     }
 
     #[test]

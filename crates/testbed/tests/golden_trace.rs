@@ -1,0 +1,52 @@
+//! Golden test: the analyzer's report for a checked-in trace fixture is
+//! byte-stable.
+//!
+//! The fixture covers both analyzer code paths that are easy to regress
+//! silently: run segmentation (its timestamps reset once, as a merged
+//! multi-setup trace's do) and every counter the report prints — sends,
+//! filtering, aggregation, duplicates, disaggregation, hop chains, and a
+//! complete Paxos value span per run. If an intentional format change
+//! lands, regenerate the expected files with:
+//!
+//! ```text
+//! cargo run --bin tracetool -- report crates/testbed/tests/fixtures/golden.jsonl \
+//!     --csv crates/testbed/tests/fixtures/golden_report.csv \
+//!     > crates/testbed/tests/fixtures/golden_report.txt
+//! ```
+
+use testbed::analysis::analyze_str;
+
+const TRACE: &str = include_str!("fixtures/golden.jsonl");
+const REPORT: &str = include_str!("fixtures/golden_report.txt");
+const CSV: &str = include_str!("fixtures/golden_report.csv");
+
+#[test]
+fn golden_report_is_byte_stable() {
+    let analysis = analyze_str(TRACE).expect("fixture parses");
+    assert_eq!(analysis.report(), REPORT);
+}
+
+#[test]
+fn golden_csv_is_byte_stable() {
+    let analysis = analyze_str(TRACE).expect("fixture parses");
+    assert_eq!(analysis.csv(), CSV);
+}
+
+#[test]
+fn golden_fixture_numbers_are_what_the_report_claims() {
+    // Independent spot checks so a report() bug can't hide behind its own
+    // golden file.
+    let a = analyze_str(TRACE).expect("fixture parses");
+    assert_eq!(a.runs, 2, "timestamp reset splits the trace into two runs");
+    assert_eq!(a.nodes, 3);
+    assert_eq!((a.sent, a.filtered, a.merged), (4, 1, 2));
+    assert_eq!((a.receptions, a.parts, a.duplicates), (4, 6, 1));
+    assert_eq!(a.deliveries, 4);
+    assert_eq!(a.unresolved_hops, 0);
+    assert_eq!(
+        a.hops.iter().map(|(&h, &n)| (h, n)).collect::<Vec<_>>(),
+        vec![(0, 1), (1, 2), (2, 1)]
+    );
+    assert_eq!((a.values_tracked, a.values_complete), (2, 2));
+    assert!((a.redundancy_ratio() - 1.2).abs() < 1e-9);
+}

@@ -77,6 +77,10 @@ pub enum PeerEvent {
 
 struct PeerHandle {
     sender: Sender<Vec<u8>>,
+    /// Frames enqueued but not yet picked up by the send routine. Tracked
+    /// manually because the bounded channel exposes no length; this is the
+    /// per-peer send-queue-depth gauge.
+    depth: Arc<AtomicU64>,
 }
 
 /// A listening, dialing, framed TCP endpoint.
@@ -214,9 +218,13 @@ impl Endpoint {
             );
             return false;
         };
+        // Count before enqueueing so the send routine's decrement can never
+        // observe the frame before its increment (the gauge would wrap).
+        handle.depth.fetch_add(1, Ordering::Relaxed);
         match handle.sender.try_send(frame) {
             Ok(()) => true,
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                handle.depth.fetch_sub(1, Ordering::Relaxed);
                 drop(peers);
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 record(
@@ -241,6 +249,19 @@ impl Endpoint {
     /// Frames dropped because of unknown peers or full queues.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Frames currently queued toward each connected peer, sorted by peer
+    /// id — the live send-queue-depth gauge.
+    pub fn queue_depths(&self) -> Vec<(NodeId, u64)> {
+        let mut depths: Vec<(NodeId, u64)> = self
+            .peers
+            .lock()
+            .iter()
+            .map(|(&id, h)| (id, h.depth.load(Ordering::Relaxed)))
+            .collect();
+        depths.sort_unstable_by_key(|(id, _)| *id);
+        depths
     }
 
     /// Receives the next event, waiting up to `timeout`.
@@ -290,7 +311,14 @@ fn handshake_and_register(
     read_half.set_read_timeout(Some(Duration::from_millis(100)))?;
 
     let (send_tx, send_rx) = bounded::<Vec<u8>>(config.send_queue);
-    peers.lock().insert(peer, PeerHandle { sender: send_tx });
+    let depth = Arc::new(AtomicU64::new(0));
+    peers.lock().insert(
+        peer,
+        PeerHandle {
+            sender: send_tx,
+            depth: Arc::clone(&depth),
+        },
+    );
     let _ = events_tx.send(PeerEvent::Connected(peer));
 
     // Send routine: drains the bounded queue into the socket.
@@ -301,6 +329,7 @@ fn handshake_and_register(
         let node = config.node.as_u32();
         std::thread::spawn(move || {
             for frame in send_rx.iter() {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 if write_frame(&mut write_half, &frame).is_err() {
                     peers.lock().remove(&peer);
                     record(
@@ -435,6 +464,29 @@ mod tests {
         assert_eq!(got_b, Some(PeerEvent::Connected(NodeId::new(0))));
         assert_eq!(a.peers(), vec![NodeId::new(1)]);
         assert_eq!(b.peers(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn queue_depths_drain_to_zero() {
+        let a = endpoint(0);
+        let b = endpoint(1);
+        b.dial(a.local_addr()).unwrap();
+        for i in 0..50u32 {
+            assert!(b.send(NodeId::new(0), i.to_be_bytes().to_vec()));
+        }
+        // The gauge is keyed by peer and falls back to zero once the send
+        // routine has pushed everything onto the wire.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let depths = b.queue_depths();
+            assert_eq!(depths.len(), 1);
+            assert_eq!(depths[0].0, NodeId::new(0));
+            if depths[0].1 == 0 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "queue never drained");
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     #[test]

@@ -8,13 +8,21 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --example live_tcp [--trace out.jsonl]
+//! cargo run --example live_tcp [--trace out.jsonl] \
+//!     [--metrics-addr 127.0.0.1:9300] [--linger SECS]
 //! ```
 //!
 //! With `--trace`, every node records transport lifecycle, frame traffic
 //! and Paxos phase transitions (wall-clock timestamps) into one shared
 //! ring; the merged JSONL stream is written to the given file and a
 //! per-phase latency breakdown is printed.
+//!
+//! With `--metrics-addr`, a `/metrics` HTTP endpoint serves live
+//! Prometheus text while the run is in flight: per-peer send-queue depth,
+//! duplicate-cache occupancy, the open Paxos instance window, dropped
+//! frames, and an outgoing frame-size histogram. `--linger` keeps the
+//! endpoint up for that many seconds after consensus completes, so the
+//! final state can be scraped with `curl`.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -22,7 +30,10 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use gossip_consensus::gossip::codec::Wire;
-use gossip_consensus::obs::{SharedRing, SpanTracker};
+use gossip_consensus::gossip::RecentCache;
+use gossip_consensus::obs::{
+    Event, MetricsServer, Registry, SharedGauge, SharedHistogram, SharedRing, SpanTracker,
+};
 use gossip_consensus::paxos::MemoryStorage;
 use gossip_consensus::prelude::*;
 use gossip_consensus::testbed::report::span_table;
@@ -30,17 +41,44 @@ use gossip_consensus::transport::{Endpoint, EndpointConfig, PeerEvent};
 
 const N: usize = 5;
 
+/// The fully instrumented node stack used by this example.
+type Gossip = GossipNode<PaxosMessage, PaxosSemantics, RecentCache, SharedRing>;
+type Paxos = gossip_consensus::paxos::PaxosProcess<MemoryStorage, SharedRing>;
+
 fn main() {
     let mut trace_path: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut linger = Duration::ZERO;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            trace_path = Some(args.next().expect("--trace needs a file path"));
+        match arg.as_str() {
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a file path")),
+            "--metrics-addr" => {
+                metrics_addr = Some(args.next().expect("--metrics-addr needs host:port"));
+            }
+            "--linger" => {
+                let secs: u64 = args
+                    .next()
+                    .expect("--linger needs seconds")
+                    .parse()
+                    .expect("--linger needs an integer");
+                linger = Duration::from_secs(secs);
+            }
+            other => panic!("unknown argument: {other}"),
         }
     }
     // One ring shared by every node and thread; capacity 0 (when not
     // tracing) records nothing.
     let ring = SharedRing::new(if trace_path.is_some() { 1 << 16 } else { 0 });
+
+    // Live metrics, scrapeable while the run is in flight.
+    let registry = metrics_addr.as_ref().map(|_| Registry::new());
+    let server = metrics_addr.as_ref().map(|addr| {
+        let server = MetricsServer::bind(addr.as_str(), registry.clone().unwrap())
+            .expect("bind metrics endpoint");
+        println!("metrics: http://{}/metrics", server.local_addr());
+        server
+    });
 
     // Ring + chord overlay: nobody is connected to everyone.
     let mut overlay = Graph::new(N);
@@ -87,13 +125,14 @@ fn main() {
     for (i, endpoint) in endpoints.into_iter().enumerate() {
         let results = results_tx.clone();
         let node_ring = ring.clone();
+        let node_registry = registry.clone();
         let neighbors: Vec<NodeId> = overlay
             .neighbors(i)
             .iter()
             .map(|&p| NodeId::new(p as u32))
             .collect();
         workers.push(std::thread::spawn(move || {
-            node_main(i, endpoint, neighbors, node_ring, results);
+            node_main(i, endpoint, neighbors, node_ring, node_registry, results);
         }));
     }
     drop(results_tx);
@@ -134,6 +173,102 @@ fn main() {
             span_table(&spans.summary()).render()
         );
     }
+
+    if let Some(server) = server {
+        if !linger.is_zero() {
+            println!(
+                "serving final metrics at http://{}/metrics for {}s",
+                server.local_addr(),
+                linger.as_secs()
+            );
+            std::thread::sleep(linger);
+        }
+        drop(server);
+    }
+}
+
+/// Per-node live gauges and histograms, registered lazily against the
+/// shared [`Registry`].
+struct NodeMetrics {
+    registry: Registry,
+    node: String,
+    queue_depth: HashMap<NodeId, SharedGauge>,
+    cache_entries: SharedGauge,
+    open_instances: SharedGauge,
+    frames_dropped: SharedGauge,
+    frame_bytes: SharedHistogram,
+    last_trace_sample: Option<Instant>,
+}
+
+impl NodeMetrics {
+    fn new(registry: Registry, id: usize) -> Self {
+        let node = id.to_string();
+        NodeMetrics {
+            cache_entries: registry.gauge(
+                "gossip_seen_cache_entries",
+                "Entries in the duplicate-suppression cache.",
+                &[("node", &node)],
+            ),
+            open_instances: registry.gauge(
+                "paxos_open_instances",
+                "Instances with votes or undelivered decisions.",
+                &[("node", &node)],
+            ),
+            frames_dropped: registry.gauge(
+                "transport_frames_dropped_total",
+                "Frames dropped at the transport (unknown peer or full queue).",
+                &[("node", &node)],
+            ),
+            frame_bytes: registry.histogram(
+                "transport_frame_bytes",
+                "Outgoing frame sizes in bytes.",
+                &[("node", &node)],
+                1.0,
+            ),
+            queue_depth: HashMap::new(),
+            last_trace_sample: None,
+            registry,
+            node,
+        }
+    }
+
+    /// Refreshes every gauge from the live components; immediately on the
+    /// first call and every 250 ms after, the same readings are also
+    /// emitted into the trace ring as `*_sampled` events.
+    fn sample(
+        &mut self,
+        endpoint: &Endpoint,
+        gossip: &mut Gossip,
+        paxos: &Paxos,
+        ring: &SharedRing,
+    ) {
+        for (peer, depth) in endpoint.queue_depths() {
+            if !self.queue_depth.contains_key(&peer) {
+                let gauge = self.registry.gauge(
+                    "transport_send_queue_depth",
+                    "Frames queued for a peer's send thread.",
+                    &[("node", &self.node), ("peer", &peer.as_u32().to_string())],
+                );
+                self.queue_depth.insert(peer, gauge);
+            }
+            self.queue_depth[&peer].set(depth);
+        }
+        self.cache_entries.set(gossip.cache_occupancy() as u64);
+        self.open_instances.set(paxos.instance_window() as u64);
+        self.frames_dropped.set(endpoint.dropped());
+
+        let due = self
+            .last_trace_sample
+            .is_none_or(|t| t.elapsed() >= Duration::from_millis(250));
+        if due {
+            self.last_trace_sample = Some(Instant::now());
+            gossip.sample_gauges();
+            ring.record_shared(Event::InstanceWindowSampled {
+                node: self.node.parse().unwrap_or(0),
+                open: paxos.instance_window() as u64,
+            });
+        }
+    }
 }
 
 /// The event loop of one node: TCP frames in, gossip + Paxos, TCP frames
@@ -143,21 +278,26 @@ fn node_main(
     endpoint: Endpoint,
     neighbors: Vec<NodeId>,
     ring: SharedRing,
+    registry: Option<Registry>,
     results: mpsc::Sender<(usize, Vec<(InstanceId, ValueId)>)>,
 ) {
     let config = PaxosConfig::new(N);
-    let mut gossip: GossipNode<PaxosMessage, PaxosSemantics> = GossipNode::new(
+    let gossip_config = GossipConfig::default();
+    let mut gossip: Gossip = GossipNode::with_observer(
         NodeId::new(id as u32),
         neighbors,
-        GossipConfig::default(),
+        gossip_config,
         PaxosSemantics::full(config.clone()),
+        RecentCache::new(gossip_config.recent_cache_size),
+        ring.clone(),
     );
     let mut paxos = PaxosProcess::with_observer(
         NodeId::new(id as u32),
         config,
         MemoryStorage::default(),
-        ring,
+        ring.clone(),
     );
+    let mut metrics = registry.map(|r| NodeMetrics::new(r, id));
     let mut delivered: Vec<(InstanceId, ValueId)> = Vec::new();
 
     // Node 0 coordinates; every node submits one client command.
@@ -176,7 +316,11 @@ fn node_main(
     while delivered.len() < N && Instant::now() < deadline {
         // Ship pending gossip to the wire.
         for (peer, msg) in gossip.take_outgoing() {
-            endpoint.send(peer, msg.to_bytes());
+            let frame = msg.to_bytes();
+            if let Some(m) = &metrics {
+                m.frame_bytes.record(frame.len() as u64);
+            }
+            endpoint.send(peer, frame);
         }
         // Pull one network event (with a small timeout so we keep pumping).
         if let Some(PeerEvent::Frame { from, payload }) =
@@ -201,6 +345,9 @@ fn node_main(
         }
         for (instance, value) in paxos.take_decisions() {
             delivered.push((instance, value.id()));
+        }
+        if let Some(m) = &mut metrics {
+            m.sample(&endpoint, &mut gossip, &paxos, &ring);
         }
     }
     results.send((id, delivered)).unwrap();

@@ -9,26 +9,45 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example wan_paxos [n] [rate] [--trace out.jsonl]
+//! cargo run --release --example wan_paxos [n] [rate] [--trace out.jsonl] \
+//!     [--metrics-addr 127.0.0.1:9300] [--linger SECS]
 //! ```
 //!
 //! With `--trace`, every run records a structured execution trace: the
 //! merged JSONL event stream of all three runs is written to the given
 //! file, and a per-phase latency breakdown (submit → 2a → quorum →
 //! decision → in-order delivery) is printed per setup.
+//!
+//! With `--metrics-addr`, a `/metrics` HTTP endpoint serves the
+//! comparison as Prometheus text while the runs execute: per-setup
+//! ordered counts, a latency histogram family, and the most recent run's
+//! full exposition. `--linger` keeps the endpoint up after the last run.
 
+use gossip_consensus::obs::{MetricsServer, Registry};
 use gossip_consensus::prelude::*;
 use gossip_consensus::testbed::report::span_table;
 
 fn main() {
     let mut positional = Vec::new();
     let mut trace_path: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut linger = std::time::Duration::ZERO;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            trace_path = Some(args.next().expect("--trace needs a file path"));
-        } else {
-            positional.push(arg);
+        match arg.as_str() {
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a file path")),
+            "--metrics-addr" => {
+                metrics_addr = Some(args.next().expect("--metrics-addr needs host:port"));
+            }
+            "--linger" => {
+                let secs: u64 = args
+                    .next()
+                    .expect("--linger needs seconds")
+                    .parse()
+                    .expect("--linger needs an integer");
+                linger = std::time::Duration::from_secs(secs);
+            }
+            _ => positional.push(arg),
         }
     }
     let n: usize = positional
@@ -39,6 +58,15 @@ fn main() {
         .get(1)
         .map(|a| a.parse().expect("rate"))
         .unwrap_or(26.0);
+
+    // Live comparison metrics, updated after each setup's run.
+    let registry = metrics_addr.as_ref().map(|_| Registry::new());
+    let server = metrics_addr.as_ref().map(|addr| {
+        let server = MetricsServer::bind(addr.as_str(), registry.clone().unwrap())
+            .expect("bind metrics endpoint");
+        println!("metrics: http://{}/metrics", server.local_addr());
+        server
+    });
 
     println!("Paxos across 13 regions: n = {n}, {rate:.0} commands/s aggregate\n");
     println!(
@@ -85,6 +113,33 @@ fn main() {
         if let Some(summary) = &m.span_summary {
             breakdowns.push((setup.name(), span_table(summary).render()));
         }
+        if let Some(registry) = &registry {
+            // Comparison families accumulate one label set per setup; the
+            // `wan_*` names stay disjoint from the per-run exposition
+            // appended below.
+            let labels: &[(&str, &str)] = &[("setup", setup.name())];
+            registry
+                .gauge("wan_ordered_total", "In-window values ordered.", labels)
+                .set(m.ordered);
+            registry
+                .gauge(
+                    "wan_not_ordered_total",
+                    "In-window values never ordered.",
+                    labels,
+                )
+                .set(m.not_ordered_in_window);
+            registry
+                .histogram(
+                    "wan_latency_seconds",
+                    "Client-observed end-to-end latency.",
+                    labels,
+                    1e9,
+                )
+                .merge(&m.latency.to_log());
+            // The most recent run's full exposition (headers would repeat
+            // if all three were concatenated).
+            registry.set_extra(m.prometheus());
+        }
     }
 
     if let Some(path) = &trace_path {
@@ -101,4 +156,16 @@ fn main() {
          to ~log2(n) peers) — the price is latency, and Semantic Gossip wins\n\
          back a good part of it."
     );
+
+    if let Some(server) = server {
+        if !linger.is_zero() {
+            println!(
+                "\nserving final metrics at http://{}/metrics for {}s",
+                server.local_addr(),
+                linger.as_secs()
+            );
+            std::thread::sleep(linger);
+        }
+        drop(server);
+    }
 }

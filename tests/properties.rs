@@ -420,3 +420,150 @@ proptest! {
         prop_assert!(recorded > 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability: bounded histograms and the trace codec
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// A `LogHistogram` quantile estimate always lands inside the bucket of
+    /// the exact nearest-rank percentile over the same samples — the
+    /// bounded-memory summary is never more than one bucket (≤ 6.25%
+    /// relative error) away from the truth.
+    #[test]
+    fn prop_log_quantile_within_one_bucket_of_exact(
+        vals in proptest::collection::vec(any::<u64>(), 1..300),
+        p in 0.0f64..=100.0,
+    ) {
+        use gossip_consensus::obs::hist::{bucket_bounds, nearest_rank};
+        use gossip_consensus::obs::LogHistogram;
+
+        let mut hist = LogHistogram::new();
+        for &v in &vals {
+            hist.record(v);
+        }
+        let mut sorted = vals;
+        sorted.sort_unstable();
+        let exact = nearest_rank(&sorted, p).unwrap();
+        let (lo, hi) = bucket_bounds(exact);
+        let est = hist.quantile(p / 100.0).unwrap();
+        prop_assert!(
+            (lo..=hi).contains(&est),
+            "estimate {} outside bucket [{}, {}] of exact {}",
+            est, lo, hi, exact
+        );
+    }
+
+    /// Merging histograms is associative and commutative, and preserves
+    /// count, sum and extremes — the partial aggregates a fleet of nodes
+    /// ships can be combined in any order.
+    #[test]
+    fn prop_log_merge_order_independent(
+        a in proptest::collection::vec(any::<u64>(), 0..80),
+        b in proptest::collection::vec(any::<u64>(), 0..80),
+        c in proptest::collection::vec(any::<u64>(), 0..80),
+    ) {
+        use gossip_consensus::obs::LogHistogram;
+
+        let build = |vals: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // The merged summary matches recording everything into one.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &build(&all));
+    }
+
+    /// Every `Event` variant — including the live-gauge samples — survives
+    /// the JSONL round trip with randomized field values, and the generated
+    /// examples cover every declared kind.
+    #[test]
+    fn prop_event_jsonl_round_trip_all_variants(
+        nums in proptest::collection::vec(any::<u64>(), 16..17),
+        // Printable ASCII including `"` and `\`, to exercise JSON escaping.
+        label in proptest::collection::vec(32u8..127u8, 0..25)
+            .prop_map(|b| b.into_iter().map(char::from).collect::<String>()),
+        at in any::<u64>(),
+    ) {
+        use gossip_consensus::obs::json::JsonValue;
+        use gossip_consensus::obs::{Event, TimedEvent};
+
+        let examples = Event::examples();
+        let kinds: std::collections::BTreeSet<&str> =
+            examples.iter().map(|e| e.kind()).collect();
+        prop_assert_eq!(kinds.len(), Event::KINDS.len());
+        for kind in Event::KINDS {
+            prop_assert!(kinds.contains(kind), "example missing for {}", kind);
+        }
+        for required in [
+            "queue_depth_sampled",
+            "cache_occupancy_sampled",
+            "instance_window_sampled",
+        ] {
+            prop_assert!(Event::KINDS.contains(&required), "{} kind is gone", required);
+        }
+
+        for (i, example) in examples.iter().enumerate() {
+            // Randomize every field through the JSON codec. The example
+            // value reveals the field's width: u64 examples are above
+            // 2^53, so anything small is a u32 field and the random value
+            // is reduced into range.
+            let JsonValue::Obj(mut obj) = example.to_json_value() else {
+                return Err(TestCaseError::fail("event did not encode as an object"));
+            };
+            let mut slot = i;
+            for (key, value) in obj.iter_mut() {
+                if key == "type" {
+                    continue;
+                }
+                match value {
+                    JsonValue::Int(old) => {
+                        let fresh = nums[slot % nums.len()];
+                        let fresh = if *old <= u32::MAX as i128 {
+                            fresh % (u32::MAX as u64 + 1)
+                        } else {
+                            fresh
+                        };
+                        *value = JsonValue::Int(fresh as i128);
+                        slot += 1;
+                    }
+                    JsonValue::Str(_) => *value = JsonValue::Str(label.clone()),
+                    _ => {}
+                }
+            }
+            let randomized = Event::from_json_value(&JsonValue::Obj(obj))
+                .map_err(|e| TestCaseError::fail(format!("decode randomized: {e}")))?;
+            let timed = TimedEvent { at, event: randomized };
+            let line = timed.to_json();
+            prop_assert!(!line.contains('\n'), "JSONL event must be one line");
+            let back = TimedEvent::from_json(&line)
+                .map_err(|e| TestCaseError::fail(format!("round trip: {e}")))?;
+            prop_assert_eq!(back, timed);
+        }
+    }
+}
