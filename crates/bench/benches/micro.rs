@@ -146,12 +146,182 @@ fn bench_obs_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// The broadcast fan-out itself: the pre-sharing implementation deep-cloned
+/// the payload once per peer plus once for local delivery; the shared
+/// implementation bumps a reference count per queue. Same logical work —
+/// one fresh 1 KiB message reaching 7 peer queues and the delivery queue.
+fn bench_fanout(c: &mut Criterion) {
+    use std::sync::Arc;
+
+    const BATCH: usize = 16;
+    let mut g = c.benchmark_group("fanout");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    let peers: Vec<NodeId> = (1..=7).map(NodeId::new).collect();
+
+    // Both routines receive a batch of owned fresh messages (built in
+    // setup, outside the timing) and distribute each to the delivery queue
+    // plus 7 peer queues, reusing one scratch buffer the way the node
+    // reuses its queues — the baseline by deep clone, the shared path by
+    // handle. The message is an aggregated 52-voter Phase2b (the paper's
+    // n = 105 quorum), the dominant broadcast in steady state. A batch of
+    // 16 amortizes timer overhead.
+    let quorum_vote = || PaxosMessage::Phase2b {
+        instance: InstanceId::new(42),
+        round: Round::new(1),
+        value: Value::new(NodeId::new(3), 7, vec![0xAB; 1024]),
+        voters: (0..52).map(NodeId::new).collect(),
+    };
+
+    g.bench_function("clone_per_peer", |b| {
+        let msg = quorum_vote();
+        let mut out: Vec<(NodeId, PaxosMessage)> = Vec::with_capacity(peers.len() + 1);
+        b.iter_batched(
+            || vec![msg.clone(); BATCH],
+            |batch| {
+                for owned in batch {
+                    out.clear();
+                    out.push((NodeId::new(0), owned.clone())); // delivery
+                    for &p in &peers {
+                        out.push((p, owned.clone()));
+                    }
+                    black_box(&out);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("share_handles", |b| {
+        let msg = quorum_vote();
+        let mut out: Vec<(NodeId, Arc<PaxosMessage>)> = Vec::with_capacity(peers.len() + 1);
+        b.iter_batched(
+            || vec![msg.clone(); BATCH],
+            |batch| {
+                for owned in batch {
+                    let shared = Arc::new(owned);
+                    out.clear();
+                    out.push((NodeId::new(0), Arc::clone(&shared))); // delivery
+                    for &p in &peers {
+                        out.push((p, Arc::clone(&shared)));
+                    }
+                    black_box(&out);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // The same comparison through the real node: a broadcast followed by
+    // the zero-copy shared drain (what the TCP runtime now does).
+    g.bench_function("node_broadcast_shared_drain", |b| {
+        let mut node: GossipNode<PaxosMessage, NoSemantics> =
+            GossipNode::classic(NodeId::new(0), peers.clone(), GossipConfig::default());
+        let mut seq = 0u64;
+        let mut outgoing: Vec<(NodeId, std::sync::Arc<PaxosMessage>)> = Vec::new();
+        let mut deliveries: Vec<PaxosMessage> = Vec::new();
+        b.iter(|| {
+            seq += 1;
+            node.broadcast(PaxosMessage::ClientValue {
+                forwarder: NodeId::new(0),
+                value: Value::new(NodeId::new(0), seq, vec![0; 1024]),
+            });
+            outgoing.clear();
+            node.take_outgoing_shared_into(&mut outgoing);
+            deliveries.clear();
+            node.take_deliveries_into(&mut deliveries);
+            black_box((&outgoing, &deliveries));
+        })
+    });
+    g.finish();
+}
+
+/// Serializing a broadcast for its whole fan-out: encoding the same message
+/// once per peer versus encoding once into a reused buffer and sharing the
+/// frame bytes by handle.
+fn bench_encode_fanout(c: &mut Criterion) {
+    use transport::Bytes;
+
+    const FANOUT: usize = 7;
+    let msg = sample_vote(1024);
+    let mut g = c.benchmark_group("encode_fanout");
+    g.throughput(Throughput::Elements(FANOUT as u64));
+
+    g.bench_function("encode_per_peer", |b| {
+        b.iter(|| {
+            for _ in 0..FANOUT {
+                black_box(msg.to_bytes());
+            }
+        })
+    });
+
+    g.bench_function("encode_once_share", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            msg.encode_into(&mut buf);
+            let frame = Bytes::from(&buf[..]);
+            for _ in 0..FANOUT {
+                black_box(frame.clone());
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Flushing a burst of pending frames to a real socket: one syscall per
+/// frame versus the drain-then-flush batch (all frames assembled in a
+/// reused buffer, one write). A reader thread keeps the socket drained.
+fn bench_frame_writes(c: &mut Criterion) {
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+    use transport::{write_frame, write_frame_into};
+
+    const FRAMES: usize = 16;
+    let payloads: Vec<Vec<u8>> = (0..FRAMES).map(|i| vec![i as u8; 512]).collect();
+
+    let drained_socket = || {
+        let (writer, mut reader) = UnixStream::pair().expect("socketpair");
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 65536];
+            while reader.read(&mut sink).map(|n| n > 0).unwrap_or(false) {}
+        });
+        writer
+    };
+
+    let mut g = c.benchmark_group("frame_writes");
+    g.throughput(Throughput::Elements(FRAMES as u64));
+
+    g.bench_function("unbatched", |b| {
+        let mut socket = drained_socket();
+        b.iter(|| {
+            for p in &payloads {
+                write_frame(&mut socket, p).unwrap();
+            }
+        })
+    });
+
+    g.bench_function("batched", |b| {
+        let mut socket = drained_socket();
+        let mut batch: Vec<u8> = Vec::new();
+        b.iter(|| {
+            batch.clear();
+            for p in &payloads {
+                write_frame_into(&mut batch, p).unwrap();
+            }
+            socket.write_all(&batch).unwrap();
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     micro,
     bench_codec,
     bench_aggregation,
     bench_gossip_node,
     bench_message_id,
-    bench_obs_overhead
+    bench_obs_overhead,
+    bench_fanout,
+    bench_encode_fanout,
+    bench_frame_writes
 );
 criterion_main!(micro);

@@ -1,0 +1,190 @@
+//! bench-smoke: a fast, machine-readable snapshot of the gossip hot path.
+//!
+//! Times the broadcast fan-out (clone-per-peer vs shared handles), the
+//! encode path (per-peer encode vs encode-once + shared frame bytes), and
+//! the end-to-end node broadcast/drain loop with plain `Instant` timing —
+//! no criterion — and writes the numbers to `BENCH_gossip.json` so the
+//! perf trajectory is tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_smoke [--out BENCH_gossip.json]
+//! ```
+//!
+//! The workload mirrors `benches/micro.rs`: an aggregated 52-voter Phase2b
+//! carrying a 1 KiB value (the dominant steady-state broadcast at the
+//! paper's n = 105), fanned out to 7 peers plus local delivery.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use paxos::{InstanceId, PaxosMessage, Round, Value};
+use semantic_gossip::codec::Wire;
+use semantic_gossip::{GossipConfig, GossipNode, NoSemantics, NodeId};
+use transport::Bytes;
+
+const FANOUT: usize = 7;
+const BATCH: usize = 16;
+
+fn quorum_vote() -> PaxosMessage {
+    PaxosMessage::Phase2b {
+        instance: InstanceId::new(42),
+        round: Round::new(1),
+        value: Value::new(NodeId::new(3), 7, vec![0xAB; 1024]),
+        voters: (0..52).map(NodeId::new).collect(),
+    }
+}
+
+/// Mean ns per call of `f`, with a warm-up and an adaptive iteration count
+/// (~200 ms measurement budget).
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let warmup = Instant::now();
+    f();
+    let once = warmup.elapsed().max(Duration::from_nanos(100));
+    let n = (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(10, 2_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Like [`time_ns`], but each sample consumes a fresh input built by
+/// `setup` *outside* the measurement — the fan-out comparison hands both
+/// routines owned messages without timing their construction.
+fn time_ns_batched<I>(mut setup: impl FnMut() -> I, mut routine: impl FnMut(I)) -> f64 {
+    let warmup = Instant::now();
+    routine(setup());
+    let once = warmup.elapsed().max(Duration::from_nanos(100));
+    let n = (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(10, 2_000_000) as u64;
+    let mut total = Duration::ZERO;
+    for _ in 0..n {
+        let input = setup();
+        let start = Instant::now();
+        routine(input);
+        total += start.elapsed();
+    }
+    total.as_nanos() as f64 / n as f64
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_gossip.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let peers: Vec<NodeId> = (1..=FANOUT as u32).map(NodeId::new).collect();
+    let msg = quorum_vote();
+
+    // Fan-out: distribute BATCH owned messages to delivery + 7 peer slots,
+    // by deep clone (the pre-sharing implementation) vs by Arc handle.
+    let ns_fanout_cloned = {
+        let mut out: Vec<(NodeId, PaxosMessage)> = Vec::with_capacity(FANOUT + 1);
+        let msg = msg.clone();
+        let peers = peers.clone();
+        time_ns_batched(
+            move || vec![msg.clone(); BATCH],
+            move |batch| {
+                for owned in batch {
+                    out.clear();
+                    out.push((NodeId::new(0), owned.clone()));
+                    for &p in &peers {
+                        out.push((p, owned.clone()));
+                    }
+                    black_box(&out);
+                }
+            },
+        ) / BATCH as f64
+    };
+    let ns_fanout_shared = {
+        let mut out: Vec<(NodeId, Arc<PaxosMessage>)> = Vec::with_capacity(FANOUT + 1);
+        let msg = msg.clone();
+        let peers = peers.clone();
+        time_ns_batched(
+            move || vec![msg.clone(); BATCH],
+            move |batch| {
+                for owned in batch {
+                    let shared = Arc::new(owned);
+                    out.clear();
+                    out.push((NodeId::new(0), Arc::clone(&shared)));
+                    for &p in &peers {
+                        out.push((p, Arc::clone(&shared)));
+                    }
+                    black_box(&out);
+                }
+            },
+        ) / BATCH as f64
+    };
+
+    // Encode: serialize the broadcast once per peer vs once per message,
+    // sharing the frame bytes by handle.
+    let ns_encode_per_peer = {
+        let msg = msg.clone();
+        time_ns(move || {
+            for _ in 0..FANOUT {
+                black_box(msg.to_bytes());
+            }
+        })
+    };
+    let ns_encode_once = {
+        let msg = msg.clone();
+        let mut buf = Vec::new();
+        time_ns(move || {
+            msg.encode_into(&mut buf);
+            let frame = Bytes::from(&buf[..]);
+            for _ in 0..FANOUT {
+                black_box(frame.clone());
+            }
+        })
+    };
+
+    // End-to-end: broadcast through the real node, zero-copy shared drain
+    // plus delivery drain — what one broadcast costs the TCP runtime.
+    let ns_broadcast_drain = {
+        let mut node: GossipNode<PaxosMessage, NoSemantics> =
+            GossipNode::classic(NodeId::new(0), peers.clone(), GossipConfig::default());
+        let mut outgoing: Vec<(NodeId, Arc<PaxosMessage>)> = Vec::new();
+        let mut deliveries: Vec<PaxosMessage> = Vec::new();
+        let mut seq = 0u64;
+        time_ns(move || {
+            seq += 1;
+            node.broadcast(PaxosMessage::ClientValue {
+                forwarder: NodeId::new(0),
+                value: Value::new(NodeId::new(0), seq, vec![0; 1024]),
+            });
+            outgoing.clear();
+            node.take_outgoing_shared_into(&mut outgoing);
+            deliveries.clear();
+            node.take_deliveries_into(&mut deliveries);
+            black_box((&outgoing, &deliveries));
+        })
+    };
+
+    let frame_bytes = msg.to_bytes().len();
+    let broadcasts_per_sec = 1e9 / ns_broadcast_drain;
+    let fanout_speedup = ns_fanout_cloned / ns_fanout_shared;
+    let encode_speedup = ns_encode_per_peer / ns_encode_once;
+
+    let json = format!(
+        "{{\n  \"bench\": \"gossip_hot_path\",\n  \"fanout\": {FANOUT},\n  \
+         \"payload_bytes\": 1024,\n  \"voters\": 52,\n  \
+         \"ns_per_fanout_cloned\": {ns_fanout_cloned:.1},\n  \
+         \"ns_per_fanout_shared\": {ns_fanout_shared:.1},\n  \
+         \"fanout_speedup\": {fanout_speedup:.2},\n  \
+         \"ns_per_encode_per_peer\": {ns_encode_per_peer:.1},\n  \
+         \"ns_per_encode_once\": {ns_encode_once:.1},\n  \
+         \"encode_speedup\": {encode_speedup:.2},\n  \
+         \"ns_per_broadcast_drain\": {ns_broadcast_drain:.1},\n  \
+         \"broadcast_throughput_per_sec\": {broadcasts_per_sec:.0},\n  \
+         \"bytes_encoded_per_broadcast\": {frame_bytes},\n  \
+         \"bytes_sent_per_broadcast\": {}\n}}\n",
+        frame_bytes * FANOUT
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

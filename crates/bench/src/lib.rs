@@ -79,14 +79,21 @@ pub fn lossy_dissemination(
         nodes[s % n].broadcast(msg.clone());
     }
 
+    // Scratch buffers reused across rounds — the dissemination loop itself
+    // should not allocate per round.
+    let mut deliveries: Vec<PaxosMessage> = Vec::new();
+    let mut outgoing: Vec<(NodeId, PaxosMessage)> = Vec::new();
+
     // Push phase with lossy links.
     loop {
         let mut progressed = false;
         for i in 0..n {
-            for msg in nodes[i].take_deliveries() {
+            nodes[i].take_deliveries_into(&mut deliveries);
+            for msg in deliveries.drain(..) {
                 stores[i].record(msg);
             }
-            for (peer, msg) in nodes[i].take_outgoing() {
+            nodes[i].take_outgoing_into(&mut outgoing);
+            for (peer, msg) in outgoing.drain(..) {
                 progressed = true;
                 if rng.gen::<f64>() < loss {
                     continue;
@@ -99,7 +106,8 @@ pub fn lossy_dissemination(
         }
     }
     for i in 0..n {
-        for msg in nodes[i].take_deliveries() {
+        nodes[i].take_deliveries_into(&mut deliveries);
+        for msg in deliveries.drain(..) {
             stores[i].record(msg);
         }
     }
@@ -124,12 +132,14 @@ pub fn lossy_dissemination(
                 }
             }
             for i in 0..n {
-                for msg in nodes[i].take_deliveries() {
+                nodes[i].take_deliveries_into(&mut deliveries);
+                for msg in deliveries.drain(..) {
                     stores[i].record(msg);
                 }
                 // Forward pulled messages with the usual push (lossless here
                 // would be cheating — apply the same loss).
-                for (peer, msg) in nodes[i].take_outgoing() {
+                nodes[i].take_outgoing_into(&mut outgoing);
+                for (peer, msg) in outgoing.drain(..) {
                     if rng.gen::<f64>() < loss {
                         continue;
                     }
@@ -138,7 +148,8 @@ pub fn lossy_dissemination(
             }
         }
         for i in 0..n {
-            for msg in nodes[i].take_deliveries() {
+            nodes[i].take_deliveries_into(&mut deliveries);
+            for msg in deliveries.drain(..) {
                 stores[i].record(msg);
             }
         }
@@ -221,23 +232,26 @@ pub fn raft_mesh_sent(n: usize, commands: usize, semantic: bool, seed: u64) -> u
     for m in nodes[0].become_leader(Term::ZERO) {
         gossips[0].broadcast(m);
     }
-    let settle = |gossips: &mut Vec<GossipNode<RaftMessage, RaftSemantics>>,
-                  nodes: &mut Vec<RaftNode>| loop {
+    let mut deliveries: Vec<RaftMessage> = Vec::new();
+    let mut outgoing: Vec<(NodeId, RaftMessage)> = Vec::new();
+    let mut settle = |gossips: &mut Vec<GossipNode<RaftMessage, RaftSemantics>>,
+                      nodes: &mut Vec<RaftNode>| loop {
         let mut progressed = false;
         for i in 0..n {
             loop {
-                let msgs = gossips[i].take_deliveries();
-                if msgs.is_empty() {
+                gossips[i].take_deliveries_into(&mut deliveries);
+                if deliveries.is_empty() {
                     break;
                 }
                 progressed = true;
-                for msg in msgs {
+                for msg in deliveries.drain(..) {
                     for m in nodes[i].handle(msg) {
                         gossips[i].broadcast(m);
                     }
                 }
             }
-            for (peer, msg) in gossips[i].take_outgoing() {
+            gossips[i].take_outgoing_into(&mut outgoing);
+            for (peer, msg) in outgoing.drain(..) {
                 gossips[peer.as_index()].on_receive(NodeId::new(i as u32), msg);
                 progressed = true;
             }

@@ -181,6 +181,17 @@ pub trait Wire: Sized {
         buf
     }
 
+    /// Encodes into a reusable scratch buffer: clears `buf` (keeping its
+    /// capacity) and appends the encoding, returning the encoded length.
+    ///
+    /// This is the allocation-free sibling of [`Wire::to_bytes`] for hot
+    /// paths that serialize many messages through one buffer.
+    fn encode_into(&self, buf: &mut Vec<u8>) -> usize {
+        buf.clear();
+        self.encode(buf);
+        buf.len()
+    }
+
     /// Convenience: decodes a value that must consume the whole buffer.
     ///
     /// # Errors
@@ -388,6 +399,20 @@ mod tests {
         assert_eq!(NodeId::from_bytes(&node.to_bytes()).unwrap(), node);
         let mid = MessageId::from_parts(u64::MAX, 7);
         assert_eq!(MessageId::from_bytes(&mid.to_bytes()).unwrap(), mid);
+    }
+
+    #[test]
+    fn encode_into_reuses_capacity_and_matches_to_bytes() {
+        let mut buf = Vec::with_capacity(64);
+        let n = 300u64.encode_into(&mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(buf, 300u64.to_bytes());
+        let cap = buf.capacity();
+        // A second encode clears and reuses the same allocation.
+        let n = 7u64.encode_into(&mut buf);
+        assert_eq!(n, 1);
+        assert_eq!(buf, 7u64.to_bytes());
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! receive path (`disaggregate`).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use obs::{Event, NoopObserver, Observer};
 
@@ -15,7 +16,19 @@ use crate::cache::{DuplicateFilter, RecentCache};
 use crate::config::GossipConfig;
 use crate::id::{MessageId, NodeId};
 use crate::semantics::{NoSemantics, Semantics};
-use crate::stats::MessageStats;
+use crate::stats::{MessageStats, Stat};
+
+/// Moves a shared payload out of its handle: free when this was the last
+/// reference, a counted deep clone when another queue still aliases it.
+fn unwrap_or_clone<M: Clone>(shared: Arc<M>, drain_clones: &mut Stat) -> M {
+    match Arc::try_unwrap(shared) {
+        Ok(msg) => msg,
+        Err(shared) => {
+            drain_clones.incr();
+            (*shared).clone()
+        }
+    }
+}
 
 /// A message type that can be gossiped.
 ///
@@ -50,12 +63,21 @@ pub trait GossipItem: Clone {
 ///    pairs to transmit;
 /// 4. [`take_deliveries`](Self::take_deliveries) to collect messages for the
 ///    local consensus protocol.
+///
+/// Internally the node is **encode-once friendly**: a fresh message is
+/// wrapped in one [`Arc`] and every queue (delivery plus one per eligible
+/// peer) holds a handle to that single payload, so fan-out costs reference
+/// counts instead of deep clones. Owned drains ([`take_outgoing`](Self::take_outgoing),
+/// [`take_deliveries`](Self::take_deliveries)) materialize copies only for
+/// payloads still aliased elsewhere; the zero-copy
+/// [`take_outgoing_shared_into`](Self::take_outgoing_shared_into) hands the
+/// shared handles straight to a transport that serializes each message once.
 #[derive(Debug)]
 pub struct GossipNode<M, S = NoSemantics, F = RecentCache, O = NoopObserver> {
     id: NodeId,
     peers: Vec<NodeId>,
-    send_queues: Vec<VecDeque<M>>,
-    delivery: VecDeque<M>,
+    send_queues: Vec<VecDeque<Arc<M>>>,
+    delivery: VecDeque<Arc<M>>,
     filter: F,
     semantics: S,
     stats: MessageStats,
@@ -252,6 +274,9 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
             return;
         }
         self.semantics.observe(&msg);
+        // One allocation fans out everywhere: each enqueue below is a
+        // reference-count bump where the pre-sharing node deep-cloned.
+        let shared = Arc::new(msg);
         if self.delivery.len() >= self.config.delivery_queue_capacity {
             self.stats.delivery_overflow.incr();
             if O::ENABLED {
@@ -261,8 +286,9 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                 });
             }
         } else {
-            self.delivery.push_back(msg.clone());
+            self.delivery.push_back(Arc::clone(&shared));
             self.stats.delivered.incr();
+            self.stats.shared_enqueues.incr();
             if O::ENABLED {
                 self.observer.record(Event::GossipDelivered {
                     node: self.id.as_u32(),
@@ -284,14 +310,26 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                     });
                 }
             } else {
-                self.send_queues[i].push_back(msg.clone());
+                self.send_queues[i].push_back(Arc::clone(&shared));
+                self.stats.shared_enqueues.incr();
             }
         }
     }
 
     /// Drains and returns the messages pending for the consensus protocol.
     pub fn take_deliveries(&mut self) -> Vec<M> {
-        self.delivery.drain(..).collect()
+        let mut out = Vec::with_capacity(self.delivery.len());
+        self.take_deliveries_into(&mut out);
+        out
+    }
+
+    /// Drains pending deliveries into `out` (appending), so a tick loop can
+    /// reuse one scratch buffer instead of allocating per tick.
+    pub fn take_deliveries_into(&mut self, out: &mut Vec<M>) {
+        out.reserve(self.delivery.len());
+        while let Some(shared) = self.delivery.pop_front() {
+            out.push(unwrap_or_clone(shared, &mut self.stats.drain_clones));
+        }
     }
 
     /// Whether any send queue has pending messages.
@@ -304,56 +342,106 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
     /// than one pending message) and semantic filtering (per message).
     pub fn take_outgoing(&mut self) -> Vec<(NodeId, M)> {
         let mut out = Vec::new();
+        self.take_outgoing_into(&mut out);
+        out
+    }
+
+    /// Like [`take_outgoing`](Self::take_outgoing), but appends into a
+    /// caller-owned scratch buffer, so a tick loop can reuse one allocation
+    /// across ticks.
+    pub fn take_outgoing_into(&mut self, out: &mut Vec<(NodeId, M)>) {
+        self.drain_outgoing(|peer, shared, stats| {
+            out.push((peer, unwrap_or_clone(shared, &mut stats.drain_clones)));
+        });
+    }
+
+    /// Zero-copy drain: yields the *shared* payload handles, so a transport
+    /// can serialize each distinct message once and reuse the bytes for
+    /// every peer it fans out to. Entries for different peers that carry
+    /// the same message alias the same `Arc`.
+    pub fn take_outgoing_shared_into(&mut self, out: &mut Vec<(NodeId, Arc<M>)>) {
+        self.drain_outgoing(|peer, shared, _| out.push((peer, shared)));
+    }
+
+    /// Allocating convenience for
+    /// [`take_outgoing_shared_into`](Self::take_outgoing_shared_into).
+    pub fn take_outgoing_shared(&mut self) -> Vec<(NodeId, Arc<M>)> {
+        let mut out = Vec::new();
+        self.take_outgoing_shared_into(&mut out);
+        out
+    }
+
+    /// The one drain implementation behind the owned and shared variants:
+    /// aggregation (which needs owned messages) and per-message validation
+    /// happen here; `emit` decides whether the surviving handle is passed
+    /// on shared or unwrapped into an owned copy.
+    fn drain_outgoing(&mut self, mut emit: impl FnMut(NodeId, Arc<M>, &mut MessageStats)) {
         for i in 0..self.peers.len() {
             let peer = self.peers[i];
-            if self.send_queues[i].is_empty() {
+            let before = self.send_queues[i].len();
+            if before == 0 {
                 continue;
             }
-            let pending: Vec<M> = self.send_queues[i].drain(..).collect();
-            let before = pending.len();
-            let pending = if before > 1 {
-                let aggregated = self.semantics.aggregate(pending, peer);
-                debug_assert!(
-                    aggregated.len() <= before,
-                    "aggregation must not grow the pending list"
-                );
-                self.stats
-                    .aggregated_away
-                    .add((before - aggregated.len()) as u64);
-                if O::ENABLED {
-                    self.observer.record(Event::VotesAggregated {
-                        node: self.id.as_u32(),
-                        before: before as u64,
-                        after: aggregated.len() as u64,
-                    });
-                }
-                aggregated
-            } else {
-                pending
-            };
-            for msg in pending {
-                if self.semantics.validate(&msg, peer) {
-                    self.stats.sent.incr();
-                    if O::ENABLED {
-                        self.observer.record(Event::GossipSent {
-                            node: self.id.as_u32(),
-                            to: peer.as_u32(),
-                            msg: msg.message_id().trace_id(),
-                        });
-                    }
-                    out.push((peer, msg));
-                } else {
-                    self.stats.filtered.incr();
-                    if O::ENABLED {
-                        self.observer.record(Event::SemanticFiltered {
-                            node: self.id.as_u32(),
-                            msg: msg.message_id().trace_id(),
-                        });
-                    }
-                }
+            if before == 1 {
+                let shared = self.send_queues[i].pop_front().expect("non-empty queue");
+                self.emit_validated(peer, shared, &mut emit);
+                continue;
+            }
+            // Aggregation path: the semantics hook consumes owned messages,
+            // so aliased payloads are materialized (and counted) here.
+            let (queues, stats) = (&mut self.send_queues, &mut self.stats);
+            let pending: Vec<M> = queues[i]
+                .drain(..)
+                .map(|shared| unwrap_or_clone(shared, &mut stats.drain_clones))
+                .collect();
+            let aggregated = self.semantics.aggregate(pending, peer);
+            debug_assert!(
+                aggregated.len() <= before,
+                "aggregation must not grow the pending list"
+            );
+            self.stats
+                .aggregated_away
+                .add((before - aggregated.len()) as u64);
+            if O::ENABLED {
+                self.observer.record(Event::VotesAggregated {
+                    node: self.id.as_u32(),
+                    before: before as u64,
+                    after: aggregated.len() as u64,
+                });
+            }
+            for msg in aggregated {
+                self.emit_validated(peer, Arc::new(msg), &mut emit);
             }
         }
-        out
+    }
+
+    /// Validates one outgoing shared payload and hands it to `emit`, or
+    /// counts it as filtered.
+    fn emit_validated(
+        &mut self,
+        peer: NodeId,
+        shared: Arc<M>,
+        emit: &mut impl FnMut(NodeId, Arc<M>, &mut MessageStats),
+    ) {
+        if self.semantics.validate(&shared, peer) {
+            self.stats.sent.incr();
+            if O::ENABLED {
+                self.observer.record(Event::GossipSent {
+                    node: self.id.as_u32(),
+                    to: peer.as_u32(),
+                    msg: shared.message_id().trace_id(),
+                });
+            }
+            emit(peer, shared, &mut self.stats);
+        } else {
+            self.stats.filtered.incr();
+            if O::ENABLED {
+                self.observer.record(Event::SemanticFiltered {
+                    node: self.id.as_u32(),
+                    msg: shared.message_id().trace_id(),
+                });
+            }
+        }
     }
 
     /// Messages currently queued toward each peer, as `(peer, depth)`
@@ -727,6 +815,102 @@ mod tests {
                 prop_assert_eq!(node.take_outgoing().len(), expected_sends);
             }
         }
+    }
+
+    #[test]
+    fn fanout_shares_one_payload_across_queues() {
+        let mut node = node_with_peers(3);
+        node.broadcast(Msg(1));
+        // One delivery enqueue + three peer enqueues, all by handle.
+        assert_eq!(node.stats().shared_enqueues.get(), 4);
+        assert_eq!(node.stats().drain_clones.get(), 0);
+        let shared = node.take_outgoing_shared();
+        assert_eq!(shared.len(), 3);
+        // Every peer's entry aliases the same allocation: zero-copy fan-out.
+        assert!(Arc::ptr_eq(&shared[0].1, &shared[1].1));
+        assert!(Arc::ptr_eq(&shared[1].1, &shared[2].1));
+        assert_eq!(node.stats().drain_clones.get(), 0);
+        // The delivery queue still aliases it, so the owned drain clones
+        // exactly once (the three shared handles above keep it alive).
+        assert_eq!(node.take_deliveries(), vec![Msg(1)]);
+        assert_eq!(node.stats().drain_clones.get(), 1);
+        assert_eq!(node.stats().clones_avoided(), 3);
+    }
+
+    #[test]
+    fn owned_drain_unwraps_last_handle_for_free() {
+        let mut node = node_with_peers(2);
+        node.broadcast(Msg(7));
+        // 3 handles (delivery + 2 peers). Draining deliveries first clones
+        // (peers still alias); the final peer drain moves the payload out.
+        assert_eq!(node.take_deliveries(), vec![Msg(7)]);
+        assert_eq!(node.stats().drain_clones.get(), 1);
+        assert_eq!(node.take_outgoing().len(), 2);
+        assert_eq!(node.stats().drain_clones.get(), 2);
+        assert_eq!(node.stats().shared_enqueues.get(), 3);
+        assert_eq!(node.stats().clones_avoided(), 1);
+    }
+
+    #[test]
+    fn into_variants_agree_with_allocating_drains() {
+        let mut a = node_with_peers(3);
+        let mut b = node_with_peers(3);
+        for v in [1u64, 2, 3] {
+            a.broadcast(Msg(v));
+            b.broadcast(Msg(v));
+            a.on_receive(NodeId::new(2), Msg(v + 10));
+            b.on_receive(NodeId::new(2), Msg(v + 10));
+        }
+        let mut deliveries = Vec::new();
+        let mut outgoing = Vec::new();
+        b.take_deliveries_into(&mut deliveries);
+        b.take_outgoing_into(&mut outgoing);
+        assert_eq!(deliveries, a.take_deliveries());
+        assert_eq!(outgoing, a.take_outgoing());
+        // The scratch buffers keep their capacity and append on reuse.
+        let cap = outgoing.capacity();
+        outgoing.clear();
+        deliveries.clear();
+        b.broadcast(Msg(99));
+        b.take_deliveries_into(&mut deliveries);
+        b.take_outgoing_into(&mut outgoing);
+        assert_eq!(deliveries, vec![Msg(99)]);
+        assert_eq!(outgoing.len(), 3);
+        assert!(outgoing.capacity() >= cap);
+    }
+
+    #[test]
+    fn filtered_messages_are_never_deep_cloned() {
+        // Odd payloads are filtered on the send path; with shared fan-out
+        // the filtered copies must not cost a clone either.
+        let mut node = semantic_node(3);
+        node.broadcast(Msg(3));
+        assert!(node.take_outgoing().is_empty());
+        assert_eq!(node.stats().filtered.get(), 3);
+        // Only the delivery drain can clone; queues dropped their handles.
+        assert_eq!(node.take_deliveries(), vec![Msg(3)]);
+        assert_eq!(node.stats().drain_clones.get(), 0);
+    }
+
+    #[test]
+    fn shared_drain_aggregates_like_owned_drain() {
+        let mut owned = semantic_node(2);
+        let mut shared = semantic_node(2);
+        for v in [2u64, 4, 6] {
+            owned.broadcast(Msg(v));
+            shared.broadcast(Msg(v));
+        }
+        let owned_out = owned.take_outgoing();
+        let shared_out: Vec<(NodeId, Msg)> = shared
+            .take_outgoing_shared()
+            .into_iter()
+            .map(|(p, m)| (p, (*m).clone()))
+            .collect();
+        assert_eq!(owned_out, shared_out);
+        assert_eq!(
+            owned.stats().aggregated_away.get(),
+            shared.stats().aggregated_away.get()
+        );
     }
 
     #[test]

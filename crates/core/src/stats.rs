@@ -40,6 +40,13 @@ pub struct MessageStats {
     pub send_overflow: Stat,
     /// Messages dropped because the delivery queue was full.
     pub delivery_overflow: Stat,
+    /// Enqueues (delivery or per-peer) that shared the payload by handle
+    /// instead of deep-cloning it — each is one copy the pre-sharing
+    /// fan-out would have made.
+    pub shared_enqueues: Stat,
+    /// Deep clones performed at drain time because a shared payload was
+    /// still aliased by another queue (the deferred cost of sharing).
+    pub drain_clones: Stat,
 }
 
 impl MessageStats {
@@ -56,6 +63,14 @@ impl MessageStats {
         }
     }
 
+    /// Net payload copies the shared fan-out avoided: enqueues served by a
+    /// handle, minus the deep clones sharing deferred to drain time.
+    pub fn clones_avoided(&self) -> u64 {
+        self.shared_enqueues
+            .get()
+            .saturating_sub(self.drain_clones.get())
+    }
+
     /// Merges another node's counters into this one (for cluster-wide
     /// aggregation).
     pub fn merge(&mut self, other: &MessageStats) {
@@ -68,6 +83,8 @@ impl MessageStats {
         self.aggregated_away += other.aggregated_away;
         self.send_overflow += other.send_overflow;
         self.delivery_overflow += other.delivery_overflow;
+        self.shared_enqueues += other.shared_enqueues;
+        self.drain_clones += other.drain_clones;
     }
 }
 
@@ -87,7 +104,7 @@ impl fmt::Display for MessageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "recv={} parts={} dup={} ({:.1}%) delivered={} sent={} filtered={} aggregated={} overflow={}/{}",
+            "recv={} parts={} dup={} ({:.1}%) delivered={} sent={} filtered={} aggregated={} overflow={}/{} shared={} drain_clones={}",
             self.received,
             self.received_parts,
             self.duplicates,
@@ -98,6 +115,8 @@ impl fmt::Display for MessageStats {
             self.aggregated_away,
             self.send_overflow,
             self.delivery_overflow,
+            self.shared_enqueues,
+            self.drain_clones,
         )
     }
 }
@@ -150,5 +169,17 @@ mod tests {
     fn display_is_nonempty() {
         let s = MessageStats::default();
         assert!(s.to_string().contains("recv=0"));
+        assert!(s.to_string().contains("shared=0"));
+    }
+
+    #[test]
+    fn clones_avoided_nets_out_drain_clones() {
+        let mut s = MessageStats::default();
+        s.shared_enqueues.add(8);
+        s.drain_clones.add(3);
+        assert_eq!(s.clones_avoided(), 5);
+        // Never underflows even if counters are merged asymmetrically.
+        s.drain_clones.add(10);
+        assert_eq!(s.clones_avoided(), 0);
     }
 }

@@ -232,6 +232,12 @@ events! {
     FrameReceived = "frame_received" { node: u32, peer: u32, bytes: u64 },
     /// A frame was dropped before the wire (unknown peer or full queue).
     FrameDropped = "frame_dropped" { node: u32, peer: u32 },
+    /// A send routine flushed `frames` pending frames (`bytes` total
+    /// payload) in one batched write instead of one syscall each.
+    FramesCoalesced = "frames_coalesced" { node: u32, peer: u32, frames: u64, bytes: u64 },
+    /// One encoding of message `msg` (`bytes` long) was shared across
+    /// `fanout` per-peer sends instead of being re-encoded per peer.
+    FrameShared = "frame_shared" { node: u32, msg: u64, fanout: u64, bytes: u64 },
 
     // ------------------------------------------------------------------
     // Periodic gauge samples (live runs; mirrored by /metrics gauges)

@@ -403,6 +403,12 @@ struct Cluster {
     end: SimTime,
     window_start: SimTime,
     window_end: SimTime,
+    /// Scratch buffer for flush drains, reused across every `Flush` event
+    /// (its capacity stabilizes after warmup, so steady state doesn't
+    /// allocate per flush).
+    scratch_outgoing: Vec<(NodeId, PaxosMessage)>,
+    /// Scratch buffer for delivery drains, reused across `pump_node` calls.
+    scratch_deliveries: Vec<PaxosMessage>,
 }
 
 impl Cluster {
@@ -534,6 +540,8 @@ impl Cluster {
             end,
             window_start,
             window_end,
+            scratch_outgoing: Vec::new(),
+            scratch_deliveries: Vec::new(),
             params,
         }
     }
@@ -704,13 +712,17 @@ impl Cluster {
                     return;
                 }
                 self.stamp(node, now);
-                let outgoing = match &mut self.nodes[node as usize].comms {
-                    Comms::Gossip(g) => g.take_outgoing(),
-                    Comms::Direct => Vec::new(),
-                };
-                for (peer, msg) in outgoing {
+                // Temporarily take the scratch so `send_physical` can borrow
+                // `self` while we iterate; the capacity survives the round
+                // trip.
+                let mut outgoing = std::mem::take(&mut self.scratch_outgoing);
+                if let Comms::Gossip(g) = &mut self.nodes[node as usize].comms {
+                    g.take_outgoing_into(&mut outgoing);
+                }
+                for (peer, msg) in outgoing.drain(..) {
                     self.send_physical(node, peer.as_u32(), msg, now);
                 }
+                self.scratch_outgoing = outgoing;
             }
             Event::Retransmit => {
                 if self.is_up(0, now) {
@@ -844,19 +856,20 @@ impl Cluster {
     /// collects ordered decisions, and schedules a send-queue flush.
     fn pump_node(&mut self, node: u32, now: SimTime) {
         self.stamp(node, now);
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
         loop {
-            let deliveries = match &mut self.nodes[node as usize].comms {
-                Comms::Gossip(g) => g.take_deliveries(),
-                Comms::Direct => Vec::new(),
-            };
+            if let Comms::Gossip(g) = &mut self.nodes[node as usize].comms {
+                g.take_deliveries_into(&mut deliveries);
+            }
             if deliveries.is_empty() {
                 break;
             }
-            for msg in deliveries {
+            for msg in deliveries.drain(..) {
                 let out = self.nodes[node as usize].paxos.handle(msg);
                 self.dispatch_outbound(node, out, now);
             }
         }
+        self.scratch_deliveries = deliveries;
         self.harvest_decisions(node, now);
         // Model the Send routine: the queues flush when the CPU frees up, so
         // messages accumulate while the node is busy — which is exactly when

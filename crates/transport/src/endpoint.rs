@@ -5,23 +5,33 @@
 //! enqueued beyond its capacity are dropped, so a slow peer never blocks the
 //! caller — and a receive routine feeding one shared event queue.
 //!
+//! Frames travel the send queues as [`Bytes`]: one encoded message fanned
+//! out to many peers is a reference-count bump per queue, not a copy (see
+//! [`Endpoint::send_shared`]). Each send routine drains its queue in
+//! batches — whatever is pending is flushed in one syscall — and records a
+//! [`Event::FramesCoalesced`] when it merged more than one frame.
+//!
 //! Connections carry a 1-frame handshake (each side announces its
 //! [`NodeId`]) and then raw length-prefixed frames.
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use obs::{Event, SharedRing};
 use parking_lot::Mutex;
 use semantic_gossip::NodeId;
 
-use crate::framing::{read_frame, write_frame, FrameError};
+use crate::framing::{read_frame, write_frame, write_frame_into, FrameError};
+
+/// Upper bound on the bytes one batched flush assembles before writing.
+const MAX_BATCH_BYTES: usize = 256 * 1024;
 
 /// Configuration of an [`Endpoint`].
 #[derive(Debug, Clone)]
@@ -30,6 +40,15 @@ pub struct EndpointConfig {
     pub node: NodeId,
     /// Capacity of each per-peer send queue (drop-on-full beyond it).
     pub send_queue: usize,
+    /// Maximum frames one send-routine flush coalesces into a single
+    /// write (≥ 1; 1 disables batching).
+    pub send_batch: usize,
+    /// How long the accept loop sleeps when no connection is pending.
+    /// Shutdown latency is bounded by this, so tests shrink it.
+    pub accept_poll: Duration,
+    /// Read timeout of each receive routine — the interval at which it
+    /// rechecks the shutdown flag while the socket is idle.
+    pub read_poll: Duration,
     /// Optional trace sink: connection lifecycle and frame traffic are
     /// recorded here (stamped with monotonic elapsed time). `None` — the
     /// default — records nothing.
@@ -37,11 +56,15 @@ pub struct EndpointConfig {
 }
 
 impl EndpointConfig {
-    /// A config for `node` with the default 1024-frame send queues.
+    /// A config for `node` with the default 1024-frame send queues,
+    /// 64-frame flush batches, and 20 ms / 100 ms poll intervals.
     pub fn new(node: NodeId) -> Self {
         EndpointConfig {
             node,
             send_queue: 1024,
+            send_batch: 64,
+            accept_poll: Duration::from_millis(20),
+            read_poll: Duration::from_millis(100),
             observer: None,
         }
     }
@@ -49,6 +72,20 @@ impl EndpointConfig {
     /// Attaches a trace sink (builder style).
     pub fn with_observer(mut self, ring: SharedRing) -> Self {
         self.observer = Some(ring);
+        self
+    }
+
+    /// Sets both polling intervals (builder style): the accept-loop sleep
+    /// and the receive-routine read timeout.
+    pub fn with_poll_intervals(mut self, accept: Duration, read: Duration) -> Self {
+        self.accept_poll = accept;
+        self.read_poll = read;
+        self
+    }
+
+    /// Sets the per-flush frame batching limit (builder style).
+    pub fn with_send_batch(mut self, frames: usize) -> Self {
+        self.send_batch = frames.max(1);
         self
     }
 }
@@ -76,7 +113,7 @@ pub enum PeerEvent {
 }
 
 struct PeerHandle {
-    sender: Sender<Vec<u8>>,
+    sender: Sender<Bytes>,
     /// Frames enqueued but not yet picked up by the send routine. Tracked
     /// manually because the bounded channel exposes no length; this is the
     /// per-peer send-queue-depth gauge.
@@ -147,7 +184,7 @@ impl Endpoint {
                             }
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(20));
+                            std::thread::sleep(config.accept_poll);
                         }
                         Err(_) => break,
                     }
@@ -205,6 +242,16 @@ impl Endpoint {
     /// the peer is unknown or its send queue is full (the paper's
     /// slow-receiver protection).
     pub fn send(&self, peer: NodeId, frame: Vec<u8>) -> bool {
+        self.send_shared(peer, Bytes::from(frame))
+    }
+
+    /// Enqueues an already-shared frame to `peer` — the encode-once path.
+    ///
+    /// The same [`Bytes`] handle can be passed to every peer a broadcast
+    /// fans out to; each enqueue bumps a reference count instead of
+    /// copying the payload. Same return/drop contract as
+    /// [`send`](Self::send).
+    pub fn send_shared(&self, peer: NodeId, frame: Bytes) -> bool {
         let peers = self.peers.lock();
         let Some(handle) = peers.get(&peer) else {
             drop(peers);
@@ -308,9 +355,9 @@ fn handshake_and_register(
         ));
     }
     let peer = NodeId::new(u32::from_be_bytes([hello[0], hello[1], hello[2], hello[3]]));
-    read_half.set_read_timeout(Some(Duration::from_millis(100)))?;
+    read_half.set_read_timeout(Some(config.read_poll))?;
 
-    let (send_tx, send_rx) = bounded::<Vec<u8>>(config.send_queue);
+    let (send_tx, send_rx) = bounded::<Bytes>(config.send_queue);
     let depth = Arc::new(AtomicU64::new(0));
     peers.lock().insert(
         peer,
@@ -321,16 +368,33 @@ fn handshake_and_register(
     );
     let _ = events_tx.send(PeerEvent::Connected(peer));
 
-    // Send routine: drains the bounded queue into the socket.
+    // Send routine: drains the bounded queue into the socket in batches —
+    // one blocking recv, then whatever else is already pending (up to
+    // `send_batch` frames / `MAX_BATCH_BYTES`), flushed as a single write.
     {
         let events_tx = events_tx.clone();
         let peers = Arc::clone(peers);
         let observer = config.observer.clone();
         let node = config.node.as_u32();
+        let max_batch = config.send_batch.max(1);
         std::thread::spawn(move || {
-            for frame in send_rx.iter() {
+            let mut pending: Vec<Bytes> = Vec::with_capacity(max_batch);
+            let mut batch: Vec<u8> = Vec::new();
+            while let Ok(first) = send_rx.recv() {
                 depth.fetch_sub(1, Ordering::Relaxed);
-                if write_frame(&mut write_half, &frame).is_err() {
+                pending.push(first);
+                let mut payload_bytes = pending[0].len();
+                while pending.len() < max_batch && payload_bytes < MAX_BATCH_BYTES {
+                    match send_rx.try_recv() {
+                        Ok(frame) => {
+                            depth.fetch_sub(1, Ordering::Relaxed);
+                            payload_bytes += frame.len();
+                            pending.push(frame);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if flush_frames(&mut write_half, &pending, &mut batch).is_err() {
                     peers.lock().remove(&peer);
                     record(
                         &observer,
@@ -342,14 +406,28 @@ fn handshake_and_register(
                     let _ = events_tx.send(PeerEvent::Disconnected(peer));
                     return;
                 }
-                record(
-                    &observer,
-                    Event::FrameSent {
-                        node,
-                        peer: peer.as_u32(),
-                        bytes: frame.len() as u64,
-                    },
-                );
+                for frame in &pending {
+                    record(
+                        &observer,
+                        Event::FrameSent {
+                            node,
+                            peer: peer.as_u32(),
+                            bytes: frame.len() as u64,
+                        },
+                    );
+                }
+                if pending.len() > 1 {
+                    record(
+                        &observer,
+                        Event::FramesCoalesced {
+                            node,
+                            peer: peer.as_u32(),
+                            frames: pending.len() as u64,
+                            bytes: payload_bytes as u64,
+                        },
+                    );
+                }
+                pending.clear();
             }
             // Channel closed (endpoint dropped or peer removed): just exit.
         });
@@ -404,6 +482,24 @@ fn handshake_and_register(
     }
 
     Ok(peer)
+}
+
+/// Writes one flush's worth of frames. A single frame takes the copy-free
+/// vectored path; several frames are assembled into the reused `batch`
+/// buffer and pushed with one `write_all`, so the whole drain leaves in a
+/// single syscall.
+fn flush_frames<W: Write>(w: &mut W, frames: &[Bytes], batch: &mut Vec<u8>) -> io::Result<()> {
+    match frames {
+        [] => Ok(()),
+        [single] => write_frame(&mut *w, single),
+        many => {
+            batch.clear();
+            for frame in many {
+                write_frame_into(batch, frame)?;
+            }
+            w.write_all(batch)
+        }
+    }
 }
 
 fn frame_to_io(e: FrameError) -> io::Error {
@@ -554,6 +650,103 @@ mod tests {
             ]));
         }
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flush_matches_sequential_frame_writes() {
+        let frames = [
+            Bytes::from(&b"alpha"[..]),
+            Bytes::from(&b""[..]),
+            Bytes::from(&b"gamma-rather-longer"[..]),
+        ];
+        let mut sequential = Vec::new();
+        for f in &frames {
+            crate::framing::write_frame(&mut sequential, f).unwrap();
+        }
+        // Multi-frame path (reused batch buffer).
+        let mut batched = Vec::new();
+        let mut batch = Vec::with_capacity(64);
+        flush_frames(&mut batched, &frames, &mut batch).unwrap();
+        assert_eq!(batched, sequential);
+        // Single-frame path and empty path.
+        let mut single = Vec::new();
+        flush_frames(&mut single, &frames[..1], &mut batch).unwrap();
+        assert_eq!(single, &sequential[..4 + frames[0].len()]);
+        let mut none = Vec::new();
+        flush_frames(&mut none, &[], &mut batch).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn shared_frame_fans_out_without_copying() {
+        let hub = endpoint(0);
+        let a = endpoint(1);
+        let b = endpoint(2);
+        a.dial(hub.local_addr()).unwrap();
+        b.dial(hub.local_addr()).unwrap();
+        // Wait until the hub has registered both peers.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while hub.peers().len() < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "peers never connected"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // One encoded frame, one allocation, fanned to both peers by handle.
+        let frame = Bytes::from(&b"broadcast-once"[..]);
+        assert!(hub.send_shared(NodeId::new(1), frame.clone()));
+        assert!(hub.send_shared(NodeId::new(2), frame));
+        let (from, payload) = wait_for_frame(&a);
+        assert_eq!(from, NodeId::new(0));
+        assert_eq!(payload, b"broadcast-once");
+        let (from, payload) = wait_for_frame(&b);
+        assert_eq!(from, NodeId::new(0));
+        assert_eq!(payload, b"broadcast-once");
+    }
+
+    #[test]
+    fn send_shared_to_unknown_peer_drops() {
+        let a = endpoint(0);
+        assert!(!a.send_shared(NodeId::new(9), Bytes::from(&b"x"[..])));
+        assert_eq!(a.dropped(), 1);
+    }
+
+    #[test]
+    fn config_builders_set_batch_and_polls() {
+        let cfg = EndpointConfig::new(NodeId::new(0))
+            .with_send_batch(0)
+            .with_poll_intervals(Duration::from_millis(1), Duration::from_millis(2));
+        assert_eq!(cfg.send_batch, 1, "batch of 0 clamps to 1");
+        assert_eq!(cfg.accept_poll, Duration::from_millis(1));
+        assert_eq!(cfg.read_poll, Duration::from_millis(2));
+        let cfg = cfg.with_send_batch(16);
+        assert_eq!(cfg.send_batch, 16);
+    }
+
+    #[test]
+    fn batched_sends_arrive_in_order() {
+        // Small queue-poll windows plus a burst of sends exercises the
+        // drain-then-flush path; ordering must be preserved regardless of
+        // how frames happen to coalesce.
+        let a = endpoint(0);
+        let b = Endpoint::bind(
+            EndpointConfig::new(NodeId::new(1)).with_send_batch(8),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        b.dial(a.local_addr()).unwrap();
+        for i in 0..200u32 {
+            assert!(b.send(NodeId::new(0), i.to_be_bytes().to_vec()));
+        }
+        let mut got = Vec::new();
+        while got.len() < 200 {
+            let (_, payload) = wait_for_frame(&a);
+            got.push(u32::from_be_bytes([
+                payload[0], payload[1], payload[2], payload[3],
+            ]));
+        }
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
     }
 
     #[test]

@@ -3,11 +3,17 @@
 //! Each frame is a 4-byte big-endian length followed by that many payload
 //! bytes. The length is capped at [`MAX_FRAME`] to bound allocations on
 //! corrupted or hostile input.
+//!
+//! The write path is copy-free: [`write_frame`] hands the header and the
+//! payload to the stream as one vectored write instead of assembling them
+//! in a scratch buffer, and [`write_frame_into`] appends frames to a
+//! caller-reused batch buffer so several pending frames can flush in a
+//! single syscall. The read path mirrors it with [`read_frame_into`],
+//! which reuses one payload buffer across frames (no per-frame
+//! zero-initialization).
 
 use std::fmt;
-use std::io::{self, Read, Write};
-
-use bytes::{BufMut, BytesMut};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Maximum accepted frame payload (16 MiB).
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
@@ -48,26 +54,63 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Writes one frame (header + payload) to `w`.
-///
-/// A mutable reference to a writer also works (`write_frame(&mut stream,
-/// ...)`).
-///
-/// # Errors
-///
-/// Returns any I/O error from the writer; payloads above [`MAX_FRAME`] are
-/// rejected with `InvalidInput`.
-pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> io::Result<()> {
+fn check_frame_len(payload: &[u8]) -> io::Result<()> {
     if payload.len() as u64 > MAX_FRAME as u64 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             "frame payload exceeds MAX_FRAME",
         ));
     }
-    let mut buf = BytesMut::with_capacity(4 + payload.len());
-    buf.put_u32(payload.len() as u32);
-    buf.put_slice(payload);
-    w.write_all(&buf)
+    Ok(())
+}
+
+/// Writes one frame (header + payload) to `w`.
+///
+/// A mutable reference to a writer also works (`write_frame(&mut stream,
+/// ...)`). The header and payload are handed to the writer as one vectored
+/// write — the payload is never copied into a scratch buffer, and on
+/// sockets the frame still leaves in a single syscall.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer; payloads above [`MAX_FRAME`] are
+/// rejected with `InvalidInput`.
+pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> io::Result<()> {
+    check_frame_len(payload)?;
+    let header = (payload.len() as u32).to_be_bytes();
+    let total = header.len() + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        // Resume wherever a partial write left off; once the header is out
+        // only the payload tail remains.
+        let n = if written < header.len() {
+            w.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(payload)])?
+        } else {
+            w.write(&payload[written - header.len()..])?
+        };
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        written += n;
+    }
+    Ok(())
+}
+
+/// Appends one frame (header + payload) to a batch buffer.
+///
+/// Callers accumulate several frames into one reused `Vec` and flush them
+/// with a single `write_all` — the per-peer send routine's drain-then-flush
+/// batching.
+///
+/// # Errors
+///
+/// Payloads above [`MAX_FRAME`] are rejected with `InvalidInput`.
+pub fn write_frame_into(batch: &mut Vec<u8>, payload: &[u8]) -> io::Result<()> {
+    check_frame_len(payload)?;
+    batch.reserve(4 + payload.len());
+    batch.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    batch.extend_from_slice(payload);
+    Ok(())
 }
 
 /// Reads one frame from `r`.
@@ -77,7 +120,22 @@ pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> io::Result<()> {
 /// [`FrameError::Closed`] on clean EOF before a header;
 /// [`FrameError::TooLarge`] on an oversized header; [`FrameError::Io`]
 /// otherwise (including EOF mid-frame, surfaced as `UnexpectedEof`).
-pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>, FrameError> {
+pub fn read_frame<R: Read>(r: R) -> Result<Vec<u8>, FrameError> {
+    let mut payload = Vec::new();
+    read_frame_into(r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one frame from `r` into a reusable payload buffer.
+///
+/// `buf` is cleared and filled with the payload; its capacity is kept
+/// across calls, so a receive loop pooling one buffer pays neither a fresh
+/// allocation nor the `vec![0; len]` zero-fill per frame.
+///
+/// # Errors
+///
+/// Same contract as [`read_frame`].
+pub fn read_frame_into<R: Read>(mut r: R, buf: &mut Vec<u8>) -> Result<(), FrameError> {
     let mut header = [0u8; 4];
     // Distinguish clean close (0 bytes) from a torn header.
     let mut filled = 0;
@@ -95,9 +153,14 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Vec<u8>, FrameError> {
     if len > MAX_FRAME {
         return Err(FrameError::TooLarge(len));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
+    buf.clear();
+    buf.reserve(len as usize);
+    // `read_to_end` appends without zero-initializing the new capacity.
+    let n = (&mut r).take(len as u64).read_to_end(buf)?;
+    if n < len as usize {
+        return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -172,5 +235,115 @@ mod tests {
     fn errors_display() {
         assert!(FrameError::Closed.to_string().contains("closed"));
         assert!(FrameError::TooLarge(9).to_string().contains('9'));
+    }
+
+    /// A writer that accepts at most `chunk` bytes per call — exercises the
+    /// partial-write resume logic of the vectored path.
+    struct Dribble {
+        out: Vec<u8>,
+        chunk: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.chunk);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            let mut budget = self.chunk;
+            let mut written = 0;
+            for b in bufs {
+                if budget == 0 {
+                    break;
+                }
+                let n = b.len().min(budget);
+                self.out.extend_from_slice(&b[..n]);
+                budget -= n;
+                written += n;
+            }
+            Ok(written)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_is_byte_identical_to_wire_format() {
+        // The old implementation copied header + payload into one buffer;
+        // the vectored path must put exactly the same bytes on the wire.
+        for payload in [&b""[..], b"x", b"hello world", &[0xA5u8; 4096][..]] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, payload).unwrap();
+            let mut expected = (payload.len() as u32).to_be_bytes().to_vec();
+            expected.extend_from_slice(payload);
+            assert_eq!(wire, expected, "payload len {}", payload.len());
+        }
+    }
+
+    #[test]
+    fn partial_writes_resume_correctly() {
+        for chunk in [1usize, 2, 3, 4, 5, 7] {
+            let mut w = Dribble {
+                out: Vec::new(),
+                chunk,
+            };
+            write_frame(&mut w, b"partial-write-payload").unwrap();
+            let frame = read_frame(Cursor::new(&w.out)).unwrap();
+            assert_eq!(frame, b"partial-write-payload", "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn batched_frames_match_sequential_writes() {
+        let frames: [&[u8]; 3] = [b"one", b"", b"three-is-longer"];
+        let mut sequential = Vec::new();
+        let mut batch = Vec::new();
+        for f in frames {
+            write_frame(&mut sequential, f).unwrap();
+            write_frame_into(&mut batch, f).unwrap();
+        }
+        assert_eq!(batch, sequential);
+        let mut cursor = Cursor::new(&batch);
+        for f in frames {
+            assert_eq!(read_frame(&mut cursor).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn batched_oversized_frame_rejected() {
+        let huge = vec![0u8; (MAX_FRAME + 1) as usize];
+        let mut batch = Vec::new();
+        assert!(write_frame_into(&mut batch, &huge).is_err());
+        assert!(batch.is_empty(), "rejected frame must not corrupt batch");
+    }
+
+    #[test]
+    fn read_into_reuses_capacity() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[7u8; 512]).unwrap();
+        write_frame(&mut wire, b"tiny").unwrap();
+        let mut cursor = Cursor::new(&wire);
+        let mut buf = Vec::new();
+        read_frame_into(&mut cursor, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; 512]);
+        let cap = buf.capacity();
+        read_frame_into(&mut cursor, &mut buf).unwrap();
+        assert_eq!(buf, b"tiny");
+        assert_eq!(buf.capacity(), cap, "payload buffer must be reused");
+    }
+
+    #[test]
+    fn read_into_truncated_payload_is_io_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        wire.truncate(7);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame_into(Cursor::new(&wire), &mut buf),
+            Err(FrameError::Io(_))
+        ));
     }
 }

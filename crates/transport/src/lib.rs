@@ -11,13 +11,19 @@
 //!   receive thread per connection, and surfaces received frames on a
 //!   single queue.
 //!
-//! The transport moves raw frames (`Vec<u8>`); callers encode/decode
-//! protocol messages with [`semantic_gossip::codec::Wire`]. The
-//! `live_tcp` example in the repository root drives a full Paxos-over-gossip
-//! deployment over loop-back TCP with this crate.
+//! The transport moves raw frames — `Vec<u8>` on the basic
+//! [`Endpoint::send`] path, or shared [`Bytes`] on the encode-once
+//! [`Endpoint::send_shared`] path, where one serialized broadcast is fanned
+//! out to many peers by reference count instead of by copy. Callers
+//! encode/decode protocol messages with [`semantic_gossip::codec::Wire`].
+//! The `live_tcp` example in the repository root drives a full
+//! Paxos-over-gossip deployment over loop-back TCP with this crate.
 
 pub mod endpoint;
 pub mod framing;
 
+pub use bytes::Bytes;
 pub use endpoint::{Endpoint, EndpointConfig, PeerEvent};
-pub use framing::{read_frame, write_frame, FrameError, MAX_FRAME};
+pub use framing::{
+    read_frame, read_frame_into, write_frame, write_frame_into, FrameError, MAX_FRAME,
+};

@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use gossip_consensus::gossip::codec::Wire;
@@ -37,7 +37,7 @@ use gossip_consensus::obs::{
 use gossip_consensus::paxos::MemoryStorage;
 use gossip_consensus::prelude::*;
 use gossip_consensus::testbed::report::span_table;
-use gossip_consensus::transport::{Endpoint, EndpointConfig, PeerEvent};
+use gossip_consensus::transport::{Bytes, Endpoint, EndpointConfig, PeerEvent};
 
 const N: usize = 5;
 
@@ -197,6 +197,9 @@ struct NodeMetrics {
     open_instances: SharedGauge,
     frames_dropped: SharedGauge,
     frame_bytes: SharedHistogram,
+    bytes_encoded: SharedGauge,
+    bytes_sent: SharedGauge,
+    clones_avoided: SharedGauge,
     last_trace_sample: Option<Instant>,
 }
 
@@ -225,6 +228,21 @@ impl NodeMetrics {
                 &[("node", &node)],
                 1.0,
             ),
+            bytes_encoded: registry.gauge(
+                "transport_bytes_encoded_total",
+                "Payload bytes serialized (each broadcast encoded once).",
+                &[("node", &node)],
+            ),
+            bytes_sent: registry.gauge(
+                "transport_bytes_sent_total",
+                "Payload bytes enqueued to peers (encoded bytes times fan-out).",
+                &[("node", &node)],
+            ),
+            clones_avoided: registry.gauge(
+                "gossip_clones_avoided_total",
+                "Payload deep-copies saved by shared fan-out (net of drain clones).",
+                &[("node", &node)],
+            ),
             queue_depth: HashMap::new(),
             last_trace_sample: None,
             registry,
@@ -241,6 +259,7 @@ impl NodeMetrics {
         gossip: &mut Gossip,
         paxos: &Paxos,
         ring: &SharedRing,
+        wire: &WireCounters,
     ) {
         for (peer, depth) in endpoint.queue_depths() {
             if !self.queue_depth.contains_key(&peer) {
@@ -256,6 +275,9 @@ impl NodeMetrics {
         self.cache_entries.set(gossip.cache_occupancy() as u64);
         self.open_instances.set(paxos.instance_window() as u64);
         self.frames_dropped.set(endpoint.dropped());
+        self.bytes_encoded.set(wire.encoded);
+        self.bytes_sent.set(wire.sent);
+        self.clones_avoided.set(gossip.stats().clones_avoided());
 
         let due = self
             .last_trace_sample
@@ -269,6 +291,16 @@ impl NodeMetrics {
             });
         }
     }
+}
+
+/// Running totals of the encode-once send path: `encoded` counts each
+/// distinct broadcast's payload once, `sent` counts it once per peer it
+/// fanned out to. `sent / encoded` is the copy amplification the shared
+/// frames avoid.
+#[derive(Default)]
+struct WireCounters {
+    encoded: u64,
+    sent: u64,
 }
 
 /// The event loop of one node: TCP frames in, gossip + Paxos, TCP frames
@@ -312,15 +344,40 @@ fn node_main(
         gossip.broadcast(o.msg);
     }
 
+    // Scratch buffers and per-tick frame cache, reused across iterations:
+    // the hot loop allocates only when a *distinct* message is encoded.
+    let mut outgoing: Vec<(NodeId, Arc<PaxosMessage>)> = Vec::new();
+    let mut deliveries: Vec<PaxosMessage> = Vec::new();
+    let mut encode_buf: Vec<u8> = Vec::new();
+    let mut frame_cache: HashMap<MessageId, (Bytes, u64)> = HashMap::new();
+    let mut wire = WireCounters::default();
+
     let deadline = Instant::now() + Duration::from_secs(20);
     while delivered.len() < N && Instant::now() < deadline {
-        // Ship pending gossip to the wire.
-        for (peer, msg) in gossip.take_outgoing() {
-            let frame = msg.to_bytes();
+        // Ship pending gossip to the wire, encode-once: each distinct
+        // message is serialized a single time and the same frame bytes are
+        // shared (by handle) with every peer it fans out to.
+        gossip.take_outgoing_shared_into(&mut outgoing);
+        for (peer, msg) in outgoing.drain(..) {
+            let (frame, fanout) = frame_cache.entry(msg.message_id()).or_insert_with(|| {
+                let len = msg.encode_into(&mut encode_buf);
+                wire.encoded += len as u64;
+                (Bytes::from(&encode_buf[..]), 0)
+            });
+            *fanout += 1;
+            wire.sent += frame.len() as u64;
             if let Some(m) = &metrics {
                 m.frame_bytes.record(frame.len() as u64);
             }
-            endpoint.send(peer, frame);
+            endpoint.send_shared(peer, frame.clone());
+        }
+        for (msg_id, (frame, fanout)) in frame_cache.drain() {
+            ring.record_shared(Event::FrameShared {
+                node: id as u32,
+                msg: msg_id.trace_id(),
+                fanout,
+                bytes: frame.len() as u64,
+            });
         }
         // Pull one network event (with a small timeout so we keep pumping).
         if let Some(PeerEvent::Frame { from, payload }) =
@@ -333,11 +390,11 @@ fn node_main(
         }
         // Drain deliveries into Paxos, broadcasting its responses.
         loop {
-            let msgs = gossip.take_deliveries();
-            if msgs.is_empty() {
+            gossip.take_deliveries_into(&mut deliveries);
+            if deliveries.is_empty() {
                 break;
             }
-            for msg in msgs {
+            for msg in deliveries.drain(..) {
                 for o in paxos.handle(msg) {
                     gossip.broadcast(o.msg);
                 }
@@ -347,7 +404,7 @@ fn node_main(
             delivered.push((instance, value.id()));
         }
         if let Some(m) = &mut metrics {
-            m.sample(&endpoint, &mut gossip, &paxos, &ring);
+            m.sample(&endpoint, &mut gossip, &paxos, &ring, &wire);
         }
     }
     results.send((id, delivered)).unwrap();

@@ -1,0 +1,164 @@
+//! Properties of the encode-once broadcast path: sharing payloads by
+//! handle and frame bytes by `Bytes` must be observationally identical to
+//! the old clone-per-peer, encode-per-peer implementation.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use gossip_consensus::gossip::codec::Wire;
+use gossip_consensus::prelude::*;
+use gossip_consensus::transport::Bytes;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    (
+        0u32..50,
+        0u64..1000,
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(origin, seq, payload)| Value::new(NodeId::new(origin), seq, payload))
+}
+
+fn arb_message() -> impl Strategy<Value = PaxosMessage> {
+    let voters = proptest::collection::btree_set(0u32..64, 1..8)
+        .prop_map(|s| s.into_iter().map(NodeId::new).collect::<Vec<_>>());
+    prop_oneof![
+        (0u32..50, arb_value()).prop_map(|(f, value)| PaxosMessage::ClientValue {
+            forwarder: NodeId::new(f),
+            value,
+        }),
+        (0u32..100, 0u64..1000, 0u32..50).prop_map(|(r, i, s)| PaxosMessage::Phase1a {
+            round: Round::new(r),
+            from_instance: InstanceId::new(i),
+            sender: NodeId::new(s),
+        }),
+        (0u64..1000, 0u32..100, arb_value(), 0u32..50).prop_map(|(i, r, value, s)| {
+            PaxosMessage::Phase2a {
+                instance: InstanceId::new(i),
+                round: Round::new(r),
+                value,
+                sender: NodeId::new(s),
+            }
+        }),
+        (0u64..1000, 0u32..100, arb_value(), voters).prop_map(|(i, r, value, voters)| {
+            PaxosMessage::Phase2b {
+                instance: InstanceId::new(i),
+                round: Round::new(r),
+                value,
+                voters,
+            }
+        }),
+        (0u64..1000, arb_value(), 0u32..50).prop_map(|(i, value, s)| PaxosMessage::Decision {
+            instance: InstanceId::new(i),
+            value,
+            sender: NodeId::new(s),
+        }),
+    ]
+}
+
+fn classic_node(peers: u32) -> GossipNode<PaxosMessage, NoSemantics> {
+    GossipNode::classic(
+        NodeId::new(0),
+        (1..=peers).map(NodeId::new).collect(),
+        GossipConfig::default(),
+    )
+}
+
+proptest! {
+    /// `encode_into` (the reusable-buffer path) produces exactly the bytes
+    /// of the allocating `to_bytes`, for arbitrary messages, regardless of
+    /// what the scratch buffer held before.
+    #[test]
+    fn prop_encode_into_matches_to_bytes(
+        msgs in proptest::collection::vec(arb_message(), 1..8),
+    ) {
+        let mut buf: Vec<u8> = vec![0xFF; 7]; // stale garbage to overwrite
+        for msg in &msgs {
+            let len = msg.encode_into(&mut buf);
+            prop_assert_eq!(len, buf.len());
+            prop_assert_eq!(&buf, &msg.to_bytes());
+        }
+    }
+
+    /// The encode-once shared-frame path — drain shared handles, serialize
+    /// each distinct message a single time into a reused buffer, fan the
+    /// same `Bytes` out to every peer — puts byte-identical frames on the
+    /// wire to encoding independently for every peer (the old path).
+    #[test]
+    fn prop_shared_frames_byte_identical_to_per_peer_encoding(
+        msgs in proptest::collection::vec(arb_message(), 1..10),
+        peers in 1u32..8,
+    ) {
+        let mut node = classic_node(peers);
+        for msg in &msgs {
+            node.broadcast(msg.clone());
+        }
+        let shared = node.take_outgoing_shared();
+
+        // Encode-once: one frame per distinct message id, shared by handle.
+        let mut scratch = Vec::new();
+        let mut frames: HashMap<MessageId, Bytes> = HashMap::new();
+        let encoded_once: Vec<(NodeId, Bytes)> = shared
+            .iter()
+            .map(|(peer, msg)| {
+                let frame = frames
+                    .entry(msg.message_id())
+                    .or_insert_with(|| {
+                        msg.encode_into(&mut scratch);
+                        Bytes::from(&scratch[..])
+                    })
+                    .clone();
+                (*peer, frame)
+            })
+            .collect();
+
+        // Per-peer: every (peer, message) pair encoded independently.
+        let per_peer: Vec<(NodeId, Vec<u8>)> = shared
+            .iter()
+            .map(|(peer, msg)| (*peer, (**msg).to_bytes()))
+            .collect();
+
+        prop_assert_eq!(encoded_once.len(), per_peer.len());
+        for ((p1, shared_frame), (p2, owned_frame)) in
+            encoded_once.iter().zip(per_peer.iter())
+        {
+            prop_assert_eq!(p1, p2);
+            prop_assert_eq!(&shared_frame[..], &owned_frame[..]);
+        }
+    }
+
+    /// The `_into` drain variants agree exactly with the allocating drains:
+    /// two nodes fed the same operations yield the same deliveries and the
+    /// same outgoing pairs whichever way they are drained, and the scratch
+    /// buffers are appended to, never clobbered.
+    #[test]
+    fn prop_into_drains_agree_with_allocating_drains(
+        ops in proptest::collection::vec((arb_message(), any::<bool>(), 1u32..8), 1..20),
+        peers in 1u32..8,
+    ) {
+        let mut a = classic_node(peers);
+        let mut b = classic_node(peers);
+        let mut deliveries: Vec<PaxosMessage> = Vec::new();
+        let mut outgoing: Vec<(NodeId, PaxosMessage)> = Vec::new();
+        for (msg, is_broadcast, from) in &ops {
+            let from = NodeId::new(from % peers + 1);
+            if *is_broadcast {
+                a.broadcast(msg.clone());
+                b.broadcast(msg.clone());
+            } else {
+                a.on_receive(from, msg.clone());
+                b.on_receive(from, msg.clone());
+            }
+            let del_a = a.take_deliveries();
+            let out_a = a.take_outgoing();
+            let del_start = deliveries.len();
+            let out_start = outgoing.len();
+            b.take_deliveries_into(&mut deliveries);
+            b.take_outgoing_into(&mut outgoing);
+            prop_assert_eq!(&deliveries[del_start..], &del_a[..]);
+            prop_assert_eq!(&outgoing[out_start..], &out_a[..]);
+        }
+        prop_assert_eq!(a.stats().sent.get(), b.stats().sent.get());
+        prop_assert_eq!(a.stats().delivered.get(), b.stats().delivered.get());
+    }
+}

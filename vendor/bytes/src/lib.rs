@@ -1,11 +1,15 @@
 //! Offline stand-in for `bytes`.
 //!
-//! The framing layer uses only `BytesMut::with_capacity` plus the `BufMut`
+//! The framing layer uses `BytesMut::with_capacity` plus the `BufMut`
 //! methods `put_u32` (big-endian) and `put_slice`, then writes the buffer
-//! out through `Deref<Target = [u8]>`. A growable `Vec<u8>` wrapper covers
-//! all of that; zero-copy splitting is deliberately out of scope.
+//! out through `Deref<Target = [u8]>`; the encode-once broadcast path
+//! additionally shares immutable frame payloads as [`Bytes`] (an
+//! `Arc<[u8]>` whose `clone` is a reference-count bump, mirroring the real
+//! crate's cheap-clone contract). Zero-copy splitting is deliberately out
+//! of scope.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 /// Append-only byte sink, mirroring the `bytes::BufMut` subset in use.
 pub trait BufMut {
@@ -55,6 +59,73 @@ impl BytesMut {
     pub fn to_vec(&self) -> Vec<u8> {
         self.buf.clone()
     }
+
+    /// Converts the accumulated bytes into an immutable, cheaply clonable
+    /// [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Immutable, reference-counted byte buffer, mirroring `bytes::Bytes`.
+///
+/// `clone` bumps a reference count instead of copying the payload, which is
+/// what lets one encoded frame be shared across every per-peer send queue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation is shared, but none is needed).
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            buf: Arc::from(data),
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Bytes {
+        Bytes {
+            buf: Arc::from(buf),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
 }
 
 impl BufMut for BytesMut {
@@ -97,7 +168,7 @@ impl From<BytesMut> for Vec<u8> {
 
 #[cfg(test)]
 mod tests {
-    use super::{BufMut, BytesMut};
+    use super::{BufMut, Bytes, BytesMut};
 
     #[test]
     fn frame_layout_matches_big_endian() {
@@ -106,5 +177,25 @@ mod tests {
         buf.put_slice(b"abc");
         assert_eq!(&buf[..], &[0, 0, 0, 3, b'a', b'b', b'c']);
         assert_eq!(buf.len(), 7);
+    }
+
+    #[test]
+    fn bytes_shares_one_allocation() {
+        let frame = Bytes::from(vec![1u8, 2, 3]);
+        let alias = frame.clone();
+        assert_eq!(&frame[..], &alias[..]);
+        // Same backing allocation: the clone is a refcount bump, not a copy.
+        assert_eq!(frame.as_ref().as_ptr(), alias.as_ref().as_ptr());
+        assert_eq!(frame.len(), 3);
+        assert!(!frame.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn freeze_preserves_contents() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"xyz");
+        assert_eq!(&buf.freeze()[..], b"xyz");
+        assert_eq!(&Bytes::copy_from_slice(b"q")[..], b"q");
     }
 }
