@@ -216,6 +216,10 @@ events! {
     Decided = "decided" { node: u32, instance: u64, origin: u32, seq: u64 },
     /// The decided value was released in instance order to the application.
     OrderedDelivered = "ordered_delivered" { node: u32, instance: u64, origin: u32, seq: u64 },
+    /// The instance decided a value already delivered at a lower instance
+    /// (the same client value was assigned two instances by different
+    /// rounds' coordinators); the slot was released as a no-op.
+    DuplicateSuppressed = "duplicate_suppressed" { node: u32, instance: u64, origin: u32, seq: u64 },
 
     // ------------------------------------------------------------------
     // Transport lifecycle (transport::Endpoint)
@@ -261,6 +265,9 @@ events! {
     Crashed = "crashed" { node: u32 },
     /// The process recovered from a crash.
     Recovered = "recovered" { node: u32 },
+    /// The cross-process safety auditor found an invariant violation
+    /// involving this node (`detail` names the invariant and the evidence).
+    AuditViolation = "audit_violation" { node: u32, detail: String },
     /// Free-form annotation.
     Mark = "mark" { node: u32, label: String },
 }

@@ -188,6 +188,24 @@ impl Coordinator {
         self.next_instance
     }
 
+    /// Tears a superseded coordinator down, yielding every value it was
+    /// still responsible for: proposed-but-undecided instances first, then
+    /// the queued backlog, deduplicated by value id.
+    ///
+    /// Paxos safety never needs these — anything possibly chosen is
+    /// re-proposed by the new round's Phase 1. Liveness does: a value that
+    /// never reached a quorum of acceptors is reported by no Phase 1b and
+    /// would die with the demoted coordinator unless the caller re-forwards
+    /// it to the new one.
+    pub fn into_undecided(self) -> Vec<Value> {
+        let mut seen = HashSet::new();
+        self.open
+            .into_values()
+            .chain(self.pending)
+            .filter(|v| seen.insert(v.id()))
+            .collect()
+    }
+
     fn flush_pending(&mut self) -> Vec<PaxosMessage> {
         let mut out = Vec::new();
         if !self.prepared {
@@ -417,6 +435,34 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(c.open_instances(), 2);
         assert_eq!(c.queued_values(), 1);
+    }
+
+    #[test]
+    fn into_undecided_returns_open_then_queued_without_duplicates() {
+        let config = PaxosConfig {
+            max_open_instances: 1,
+            ..PaxosConfig::new(3)
+        };
+        let (mut c, _) = Coordinator::start(NodeId::new(0), config, Round::ZERO, InstanceId::ZERO);
+        c.on_phase1b(Round::ZERO, NodeId::new(0), &[]);
+        c.on_phase1b(Round::ZERO, NodeId::new(1), &[]);
+        c.propose(value(1)); // open at instance 0
+        c.propose(value(2)); // queued behind the window
+        c.propose(value(1)); // duplicate, ignored
+        let salvaged = c.into_undecided();
+        let ids: Vec<ValueId> = salvaged.iter().map(Value::id).collect();
+        assert_eq!(ids, vec![value(1).id(), value(2).id()]);
+    }
+
+    #[test]
+    fn into_undecided_skips_decided_instances() {
+        let mut c = prepared_coordinator(3);
+        c.propose(value(1));
+        c.propose(value(2));
+        c.on_decided(InstanceId::ZERO);
+        let salvaged = c.into_undecided();
+        assert_eq!(salvaged.len(), 1);
+        assert_eq!(salvaged[0].id(), value(2).id());
     }
 
     #[test]

@@ -7,12 +7,33 @@
 //! up decisions". Decided values are released in instance order with no
 //! gaps, the contract state machine replication requires.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use semantic_gossip::NodeId;
 
 use crate::config::PaxosConfig;
 use crate::types::{InstanceId, Round, Value, ValueId};
+
+/// One in-order delivery slot released by the learner.
+///
+/// `duplicate` marks a value this learner has already released at a lower
+/// instance. Coordinators of different rounds can assign one client value
+/// to two instances — e.g. a partitioned round-0 coordinator proposes it on
+/// one side while the next round's coordinator, never having seen that
+/// proposal, assigns it a fresh instance on the other — and once both
+/// instances have acceptances, Paxos safety *requires* later rounds to
+/// re-propose the value at both. The learner still releases both slots (the
+/// log stays gap-free and identical everywhere), but flags the repeat so the
+/// application layer applies each value at most once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered {
+    /// The consensus instance this slot decides.
+    pub instance: InstanceId,
+    /// The decided value.
+    pub value: Value,
+    /// Whether the value already occupied an earlier slot (apply as no-op).
+    pub duplicate: bool,
+}
 
 /// The learner state machine of one process.
 ///
@@ -44,6 +65,8 @@ pub struct Learner {
     votes: HashMap<InstanceId, Tally>,
     decided: BTreeMap<InstanceId, Value>,
     next_to_deliver: InstanceId,
+    /// Ids of values already released, to flag cross-instance duplicates.
+    delivered_ids: HashSet<ValueId>,
     delivered: u64,
 }
 
@@ -55,6 +78,7 @@ impl Learner {
             votes: HashMap::new(),
             decided: BTreeMap::new(),
             next_to_deliver: InstanceId::ZERO,
+            delivered_ids: HashSet::new(),
             delivered: 0,
         }
     }
@@ -117,14 +141,23 @@ impl Learner {
         self.decided.get(&instance)
     }
 
-    /// Releases decided values in instance order, without gaps: stops at the
-    /// first undecided instance.
-    pub fn take_ordered(&mut self) -> Vec<(InstanceId, Value)> {
+    /// Releases decided slots in instance order, without gaps: stops at the
+    /// first undecided instance. A slot whose value already occupied an
+    /// earlier one comes back with [`Delivered::duplicate`] set; it does not
+    /// count towards [`delivered_count`](Self::delivered_count).
+    pub fn take_ordered(&mut self) -> Vec<Delivered> {
         let mut out = Vec::new();
         while let Some(value) = self.decided.remove(&self.next_to_deliver) {
-            out.push((self.next_to_deliver, value));
+            let duplicate = !self.delivered_ids.insert(value.id());
+            if !duplicate {
+                self.delivered += 1;
+            }
+            out.push(Delivered {
+                instance: self.next_to_deliver,
+                value,
+                duplicate,
+            });
             self.next_to_deliver = self.next_to_deliver.next();
-            self.delivered += 1;
         }
         out
     }
@@ -134,7 +167,8 @@ impl Learner {
         self.next_to_deliver
     }
 
-    /// Total values delivered in order so far.
+    /// Total distinct values delivered in order so far (duplicate slots,
+    /// applied as no-ops, are not counted).
     pub fn delivered_count(&self) -> u64 {
         self.delivered
     }
@@ -234,11 +268,30 @@ mod tests {
         assert_eq!(l.blocked_count(), 2);
         l.on_decision(InstanceId::ZERO, &value(0));
         let delivered = l.take_ordered();
-        let instances: Vec<u64> = delivered.iter().map(|(i, _)| i.as_u64()).collect();
+        let instances: Vec<u64> = delivered.iter().map(|d| d.instance.as_u64()).collect();
         assert_eq!(instances, vec![0, 1, 2]);
+        assert!(delivered.iter().all(|d| !d.duplicate));
         assert_eq!(l.delivered_count(), 3);
         assert_eq!(l.next_to_deliver(), InstanceId::new(3));
         assert_eq!(l.blocked_count(), 0);
+    }
+
+    #[test]
+    fn value_decided_at_two_instances_is_flagged_duplicate() {
+        // Two coordinators (different rounds, e.g. across a partition) can
+        // assign the same client value to two instances; both decide. The
+        // learner must release both slots — the log stays gap-free — but
+        // flag the repeat so the application applies the value once.
+        let mut l = learner(1);
+        l.on_decision(InstanceId::ZERO, &value(7));
+        l.on_decision(InstanceId::new(1), &value(8));
+        l.on_decision(InstanceId::new(2), &value(7));
+        let delivered = l.take_ordered();
+        assert_eq!(delivered.len(), 3);
+        let flags: Vec<bool> = delivered.iter().map(|d| d.duplicate).collect();
+        assert_eq!(flags, vec![false, false, true]);
+        assert_eq!(l.delivered_count(), 2, "duplicate slot is a no-op");
+        assert_eq!(l.next_to_deliver(), InstanceId::new(3));
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use acceptor::Acceptor;
 pub use config::PaxosConfig;
 pub use coordinator::Coordinator;
 pub use failover::RoundChangeTimer;
-pub use learner::Learner;
+pub use learner::{Delivered, Learner};
 pub use message::PaxosMessage;
 pub use process::{Outbound, PaxosProcess, Route};
 pub use storage::{MemoryStorage, StableStorage};

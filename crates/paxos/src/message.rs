@@ -250,7 +250,12 @@ fn id(kind: Kind, high_extra: u64, low: u64) -> MessageId {
 impl GossipItem for PaxosMessage {
     /// Structural, collision-free message ids:
     ///
-    /// * `ClientValue(origin, seq)` — the same value forwarded twice dedups;
+    /// * `ClientValue(forwarder₂₄, origin, seq)` — the same value forwarded
+    ///   twice by one process dedups, but a *re*-forward by a different
+    ///   process (a demoted coordinator re-targeting the new round's
+    ///   coordinator) is a distinct item: deduping it against the original
+    ///   forward would strand the value at nodes that already relayed it
+    ///   (forwarder ids are truncated to 24 bits in the id);
     /// * `Phase1a(round)`, `Phase1b(round, sender)`;
     /// * `Phase2a(round, instance)` — one proposal per round and instance;
     /// * `Phase2b(round₂₄, voter, instance)` — one vote per acceptor, round
@@ -263,11 +268,11 @@ impl GossipItem for PaxosMessage {
     ///   Paxos safety, so deduping across senders is correct.
     fn message_id(&self) -> MessageId {
         match self {
-            PaxosMessage::ClientValue { value, .. } => id(
-                Kind::ClientValue,
-                value.id().origin.as_u32() as u64,
-                value.id().seq,
-            ),
+            PaxosMessage::ClientValue { forwarder, value } => {
+                let high = ((forwarder.as_u32() as u64 & 0xff_ffff) << 32)
+                    | value.id().origin.as_u32() as u64;
+                id(Kind::ClientValue, high, value.id().seq)
+            }
             PaxosMessage::Phase1a {
                 round,
                 from_instance,
@@ -556,7 +561,7 @@ mod tests {
     }
 
     #[test]
-    fn client_value_id_ignores_forwarder() {
+    fn client_value_id_distinguishes_forwarders() {
         let m = |fwd: u32| {
             PaxosMessage::ClientValue {
                 forwarder: NodeId::new(fwd),
@@ -564,7 +569,12 @@ mod tests {
             }
             .message_id()
         };
-        assert_eq!(m(1), m(2));
+        // The same forwarder's duplicate submits dedup...
+        assert_eq!(m(1), m(1));
+        // ...but a re-forward by another process (demoted coordinator
+        // re-targeting the new coordinator) must gossip as a fresh item,
+        // or dedup would strand it at nodes that relayed the original.
+        assert_ne!(m(1), m(2));
     }
 
     #[test]

@@ -6,16 +6,18 @@
 //! communication substrate (direct channels or gossip) interprets the
 //! [`Route`] tags.
 
+use std::collections::HashSet;
+
 use obs::{Event, NoopObserver, Observer};
 use semantic_gossip::NodeId;
 
 use crate::acceptor::Acceptor;
 use crate::config::PaxosConfig;
 use crate::coordinator::Coordinator;
-use crate::learner::Learner;
+use crate::learner::{Delivered, Learner};
 use crate::message::PaxosMessage;
 use crate::storage::{MemoryStorage, StableStorage};
-use crate::types::{InstanceId, Round, Value};
+use crate::types::{InstanceId, Round, Value, ValueId};
 
 /// Where a message logically goes.
 ///
@@ -77,6 +79,12 @@ pub struct PaxosProcess<S: StableStorage = MemoryStorage, O = NoopObserver> {
     learner: Learner,
     /// Highest round observed in the system.
     current_round: Round,
+    /// Ids of values this process has seen decided. Guards the proposal
+    /// paths against re-deciding a value at a second instance when a
+    /// demoted coordinator re-forwards its backlog (or a client retries).
+    /// Unbounded like the learner's delivery history; a production system
+    /// would truncate both behind a checkpoint.
+    decided_ids: HashSet<ValueId>,
     submit_seq: u64,
     observer: O,
 }
@@ -111,6 +119,7 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
             coordinator: None,
             learner: Learner::new(config),
             current_round: Round::ZERO,
+            decided_ids: HashSet::new(),
             submit_seq: 0,
             observer,
         }
@@ -162,6 +171,18 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
         &self.learner
     }
 
+    /// Read access to the acceptor role (auditor hook).
+    pub fn acceptor(&self) -> &Acceptor<S> {
+        &self.acceptor
+    }
+
+    /// The acceptor's highest promised round. Auditor hook: a safety
+    /// auditor samples this around crash/recovery to check that the durable
+    /// promise never regresses.
+    pub fn promised_round(&self) -> Round {
+        self.acceptor.promised()
+    }
+
     /// The learner's open instance window (voting or awaiting in-order
     /// release) — the live `instance_window` gauge.
     pub fn instance_window(&self) -> usize {
@@ -208,6 +229,9 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
                 seq: id.seq,
             });
         }
+        if self.decided_ids.contains(&value.id()) {
+            return Vec::new(); // already decided; a retry must not re-propose
+        }
         if let Some(c) = self.coordinator.as_mut() {
             return c.propose(value).into_iter().map(Outbound::to_all).collect();
         }
@@ -233,6 +257,9 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
     pub fn handle(&mut self, msg: PaxosMessage) -> Vec<Outbound> {
         match msg {
             PaxosMessage::ClientValue { value, .. } => {
+                if self.decided_ids.contains(&value.id()) {
+                    return Vec::new(); // stale re-forward of a decided value
+                }
                 match self.coordinator.as_mut() {
                     Some(c) => c.propose(value).into_iter().map(Outbound::to_all).collect(),
                     // Not the coordinator: the gossip layer already carries
@@ -252,12 +279,13 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
                         from_instance: from_instance.as_u64(),
                     });
                 }
-                self.observe_round(round);
-                self.acceptor
-                    .on_phase1a(round, from_instance)
-                    .map(Outbound::to_coordinator)
-                    .into_iter()
-                    .collect()
+                let mut out = self.observe_round(round);
+                out.extend(
+                    self.acceptor
+                        .on_phase1a(round, from_instance)
+                        .map(Outbound::to_coordinator),
+                );
+                out
             }
             PaxosMessage::Phase1b {
                 round,
@@ -296,12 +324,13 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
                         seq: id.seq,
                     });
                 }
-                self.observe_round(round);
-                self.acceptor
-                    .on_phase2a(instance, round, value)
-                    .map(Outbound::to_coordinator)
-                    .into_iter()
-                    .collect()
+                let mut out = self.observe_round(round);
+                out.extend(
+                    self.acceptor
+                        .on_phase2a(instance, round, value)
+                        .map(Outbound::to_coordinator),
+                );
+                out
             }
             PaxosMessage::Phase2b {
                 instance,
@@ -353,18 +382,42 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
             .unwrap_or_default()
     }
 
-    /// Drains values decided and deliverable in instance order (no gaps).
+    /// Drains values decided and deliverable in instance order (no gaps),
+    /// with at-most-once semantics: a slot re-deciding an already-delivered
+    /// value (assigned two instances by different rounds' coordinators) is
+    /// suppressed. Use [`take_delivered`](Self::take_delivered) for the raw
+    /// slot stream including suppressed duplicates.
     pub fn take_decisions(&mut self) -> Vec<(InstanceId, Value)> {
+        self.take_delivered()
+            .into_iter()
+            .filter(|d| !d.duplicate)
+            .map(|d| (d.instance, d.value))
+            .collect()
+    }
+
+    /// Drains every deliverable slot in instance order, duplicates included
+    /// and flagged — the slot-accurate view an auditor or state-machine
+    /// layer needs to check the log's shape.
+    pub fn take_delivered(&mut self) -> Vec<Delivered> {
         let ordered = self.learner.take_ordered();
         if O::ENABLED {
-            for (instance, value) in &ordered {
-                let id = value.id();
-                self.observer.record(Event::OrderedDelivered {
-                    node: self.id.as_u32(),
-                    instance: instance.as_u64(),
-                    origin: id.origin.as_u32(),
-                    seq: id.seq,
-                });
+            for d in &ordered {
+                let id = d.value.id();
+                if d.duplicate {
+                    self.observer.record(Event::DuplicateSuppressed {
+                        node: self.id.as_u32(),
+                        instance: d.instance.as_u64(),
+                        origin: id.origin.as_u32(),
+                        seq: id.seq,
+                    });
+                } else {
+                    self.observer.record(Event::OrderedDelivered {
+                        node: self.id.as_u32(),
+                        instance: d.instance.as_u64(),
+                        origin: id.origin.as_u32(),
+                        seq: id.seq,
+                    });
+                }
             }
         }
         ordered
@@ -378,6 +431,7 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
     }
 
     fn on_locally_decided(&mut self, instance: InstanceId, value: Value) -> Vec<Outbound> {
+        self.decided_ids.insert(value.id());
         if O::ENABLED {
             let id = value.id();
             self.observer.record(Event::Decided {
@@ -405,16 +459,34 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
         }
     }
 
-    fn observe_round(&mut self, round: Round) {
-        if round > self.current_round {
-            self.current_round = round;
-            // A newer round supersedes this process's coordinatorship.
-            if let Some(c) = &self.coordinator {
-                if c.round() < round {
-                    self.coordinator = None;
-                }
-            }
+    /// Tracks the highest round seen. When a newer round supersedes this
+    /// process's own coordinatorship, the demoted coordinator's undecided
+    /// backlog is re-forwarded to the new coordinator — Phase 1 only
+    /// recovers values that reached at least one promising acceptor, so
+    /// anything still queued (or accepted by no quorum member) would
+    /// otherwise be lost with the old round. Values this process has since
+    /// seen decided are dropped rather than re-forwarded, keeping delivery
+    /// at-most-once.
+    fn observe_round(&mut self, round: Round) -> Vec<Outbound> {
+        if round <= self.current_round {
+            return Vec::new();
         }
+        self.current_round = round;
+        let superseded = self
+            .coordinator
+            .take_if(|c| c.round() < round)
+            .map(Coordinator::into_undecided)
+            .unwrap_or_default();
+        superseded
+            .into_iter()
+            .filter(|value| !self.decided_ids.contains(&value.id()))
+            .map(|value| {
+                Outbound::to_coordinator(PaxosMessage::ClientValue {
+                    forwarder: self.id,
+                    value,
+                })
+            })
+            .collect()
     }
 }
 
@@ -550,6 +622,48 @@ mod tests {
         run_to_quiescence(&mut procs, inflight);
         // Process 0 now knows round 1; restarting round 0 is a bug.
         procs[0].start_round(Round::ZERO);
+    }
+
+    #[test]
+    fn demoted_coordinator_reforwards_undecided_backlog() {
+        let mut procs = cluster(3);
+        let inflight = procs[0].start_round(Round::ZERO);
+        run_to_quiescence(&mut procs, inflight);
+        // Coordinator 0 proposes a value, but the Phase 2a reaches nobody
+        // (all copies lost): no acceptor ever reports it in Phase 1b.
+        let (value, _lost) = procs[0].submit_payload(b"orphan".to_vec());
+        // Process 1 takes over with round 1. Process 0's Phase 1a handler
+        // must demote its coordinator and re-forward the orphan, so the
+        // new coordinator proposes it and the system still decides it.
+        let inflight = procs[1].start_round(Round::new(1));
+        run_to_quiescence(&mut procs, inflight);
+        for p in procs.iter_mut() {
+            let decisions = p.take_decisions();
+            assert_eq!(decisions.len(), 1, "at {}", p.id());
+            assert_eq!(decisions[0].1, value, "at {}", p.id());
+        }
+    }
+
+    #[test]
+    fn reforwarded_value_already_decided_is_not_reproposed() {
+        let mut procs = cluster(3);
+        let inflight = procs[0].start_round(Round::ZERO);
+        let (value, out) = procs[0].submit_payload(b"dup".to_vec());
+        run_to_quiescence(&mut procs, [inflight, out].concat());
+        // Everyone decided the value in round 0. A stale re-forward (as a
+        // demoted coordinator would send) must not open a second instance.
+        let inflight = procs[1].start_round(Round::new(1));
+        run_to_quiescence(&mut procs, inflight);
+        let stale = Outbound::to_coordinator(PaxosMessage::ClientValue {
+            forwarder: NodeId::new(0),
+            value: value.clone(),
+        });
+        run_to_quiescence(&mut procs, vec![stale]);
+        for p in procs.iter_mut() {
+            let decisions = p.take_decisions();
+            assert_eq!(decisions.len(), 1, "value decided twice at {}", p.id());
+            assert_eq!(decisions[0].1, value);
+        }
     }
 
     #[test]

@@ -54,8 +54,11 @@ pub struct MemoryStorage {
 
 impl StableStorage for MemoryStorage {
     fn save_promise(&mut self, round: Round) {
-        debug_assert!(round >= self.promised, "promise must not regress");
-        self.promised = round;
+        // Keep the max: a stale write must never regress the durable
+        // promise — a regressed promise would let a recovered acceptor
+        // accept proposals from rounds it already promised away, which
+        // breaks agreement. Release builds used to overwrite silently.
+        self.promised = self.promised.max(round);
     }
 
     fn save_accept(&mut self, instance: InstanceId, round: Round, value: &Value) {
@@ -94,6 +97,16 @@ mod tests {
         let mut s = MemoryStorage::default();
         s.save_promise(Round::new(3));
         assert_eq!(s.load().0, Round::new(3));
+    }
+
+    #[test]
+    fn stale_promise_write_is_a_no_op() {
+        let mut s = MemoryStorage::default();
+        s.save_promise(Round::new(5));
+        s.save_promise(Round::new(3));
+        assert_eq!(s.load().0, Round::new(5), "promise must never regress");
+        s.save_promise(Round::new(7));
+        assert_eq!(s.load().0, Round::new(7));
     }
 
     #[test]

@@ -6,7 +6,13 @@
 //! disabled. [`LossInjector`] reproduces that: each process owns one
 //! injector, seeded independently, and asks it for every arriving message.
 //! [`CrashSchedule`] additionally supports crash/recovery experiments for the
-//! crash-recovery failure model of §2.1.
+//! crash-recovery failure model of §2.1, and [`PartitionSchedule`] models
+//! link-level network partitions with heal times: while a partition window
+//! is active, messages crossing the cut are discarded in flight, in both
+//! directions — the adversarial-asynchrony scenarios gossip consensus must
+//! stay safe under.
+
+use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -60,12 +66,14 @@ impl LossInjector {
     }
 
     /// Decides the fate of one received message.
+    ///
+    /// Every call consumes exactly one RNG draw regardless of the configured
+    /// rate: the i-th message sees the same uniform variate under any rate,
+    /// so drop decisions are monotone in the rate and the same seed yields
+    /// aligned random streams across loss rates (0.0 and 1.0 included).
     pub fn should_drop(&mut self) -> bool {
-        if self.rate == 0.0 {
-            self.passed += 1;
-            return false;
-        }
-        if self.rate >= 1.0 || self.rng.gen::<f64>() < self.rate {
+        let draw = self.rng.gen::<f64>();
+        if draw < self.rate {
             self.dropped += 1;
             true
         } else {
@@ -156,6 +164,126 @@ impl CrashSchedule {
     }
 }
 
+/// One link-level partition window.
+///
+/// While active (`[from, until)`), the cluster is cut into two sides —
+/// `side_a` and everybody else — and messages crossing the cut are
+/// discarded in flight, in both directions. Traffic within a side is
+/// unaffected. The partition *heals* at `until`: messages arriving from
+/// then on pass again (messages dropped during the window stay lost, like
+/// the paper's lossy links).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    from: SimTime,
+    until: SimTime,
+    side_a: BTreeSet<u32>,
+}
+
+impl PartitionWindow {
+    /// Builds a partition window cutting `side_a` off from the rest of the
+    /// cluster during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `side_a` is empty (an empty side
+    /// cuts nothing and would silently weaken a fault schedule).
+    pub fn new(side_a: impl IntoIterator<Item = u32>, from: SimTime, until: SimTime) -> Self {
+        let side_a: BTreeSet<u32> = side_a.into_iter().collect();
+        assert!(from < until, "partition window must be non-empty");
+        assert!(!side_a.is_empty(), "partition side must name processes");
+        PartitionWindow {
+            from,
+            until,
+            side_a,
+        }
+    }
+
+    /// Whether this window is active at `t`.
+    pub fn is_active(&self, t: SimTime) -> bool {
+        t >= self.from && t < self.until
+    }
+
+    /// Whether the link `a -> b` crosses this window's cut at `t`.
+    pub fn severs(&self, a: u32, b: u32, t: SimTime) -> bool {
+        self.is_active(t) && (self.side_a.contains(&a) != self.side_a.contains(&b))
+    }
+
+    /// The instant the partition heals.
+    pub fn heals_at(&self) -> SimTime {
+        self.until
+    }
+
+    /// The instant the partition starts.
+    pub fn starts_at(&self) -> SimTime {
+        self.from
+    }
+
+    /// The processes on the minority side of the cut.
+    pub fn side_a(&self) -> impl Iterator<Item = u32> + '_ {
+        self.side_a.iter().copied()
+    }
+}
+
+/// A deterministic schedule of link-level partitions.
+///
+/// Windows may overlap (several cuts can be live at once); a message is
+/// blocked when *any* active window severs its link. An empty schedule
+/// blocks nothing.
+///
+/// # Example
+///
+/// ```
+/// use simnet::fault::{PartitionSchedule, PartitionWindow};
+/// use simnet::{SimDuration, SimTime};
+///
+/// let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+/// let s = PartitionSchedule::new(vec![PartitionWindow::new([0, 1], t(100), t(200))]);
+/// assert!(s.is_blocked(0, 2, t(150))); // crosses the cut while active
+/// assert!(!s.is_blocked(0, 1, t(150))); // same side
+/// assert!(!s.is_blocked(0, 2, t(200))); // healed
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionSchedule {
+    windows: Vec<PartitionWindow>,
+}
+
+impl PartitionSchedule {
+    /// Builds a schedule from partition windows.
+    pub fn new(windows: Vec<PartitionWindow>) -> Self {
+        PartitionSchedule { windows }
+    }
+
+    /// A schedule with no partitions.
+    pub fn none() -> Self {
+        PartitionSchedule::default()
+    }
+
+    /// Adds a window to the schedule.
+    pub fn push(&mut self, window: PartitionWindow) {
+        self.windows.push(window);
+    }
+
+    /// Whether the schedule contains no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Whether a message on link `from -> to` is blocked at `t`.
+    pub fn is_blocked(&self, from: u32, to: u32, t: SimTime) -> bool {
+        self.windows.iter().any(|w| w.severs(from, to, t))
+    }
+
+    /// The scheduled windows.
+    pub fn windows(&self) -> &[PartitionWindow] {
+        &self.windows
+    }
+
+    /// The heal instants, in schedule order.
+    pub fn heal_times(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.windows.iter().map(|w| w.heals_at())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +331,44 @@ mod tests {
     }
 
     #[test]
+    fn every_decision_consumes_one_rng_draw() {
+        // Extreme rates must advance the RNG exactly like mid-range rates:
+        // after the same number of decisions, the injector's stream sits at
+        // the same position as a reference RNG with the same seed — the
+        // determinism contract that keeps runs comparable across loss rates.
+        for rate in [0.0, 0.3, 1.0] {
+            let seeds = SeedSplitter::new(4);
+            let mut inj = LossInjector::new(rate, seeds.rng("l", 0));
+            for _ in 0..257 {
+                inj.should_drop();
+            }
+            let mut reference = seeds.rng("l", 0);
+            for _ in 0..257 {
+                reference.gen::<f64>();
+            }
+            assert_eq!(
+                inj.rng.gen::<u64>(),
+                reference.gen::<u64>(),
+                "rate {rate} desynchronized the random stream"
+            );
+        }
+    }
+
+    #[test]
+    fn drops_are_monotone_in_rate_for_one_seed() {
+        // Because every decision consumes one draw, the i-th message sees
+        // the same uniform variate under any rate: a message dropped at a
+        // low rate must also drop at any higher rate.
+        let seeds = SeedSplitter::new(11);
+        let mut low = LossInjector::new(0.2, seeds.rng("l", 1));
+        let mut high = LossInjector::new(0.7, seeds.rng("l", 1));
+        for _ in 0..2000 {
+            let (a, b) = (low.should_drop(), high.should_drop());
+            assert!(!a || b, "dropped at 0.2 but kept at 0.7");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "probability")]
     fn invalid_rate_panics() {
         let seeds = SeedSplitter::new(1);
@@ -232,5 +398,51 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_window_panics() {
         CrashSchedule::new(vec![(t(100), t(100))]);
+    }
+
+    #[test]
+    fn partition_blocks_only_the_cut_while_active() {
+        let s = PartitionSchedule::new(vec![PartitionWindow::new([1, 2], t(100), t(300))]);
+        // Crossing the cut, both directions, only inside the window.
+        assert!(s.is_blocked(1, 0, t(100)));
+        assert!(s.is_blocked(0, 1, t(299)));
+        assert!(!s.is_blocked(0, 1, t(99)));
+        assert!(!s.is_blocked(0, 1, t(300)), "heal time reopens the link");
+        // Same side: never blocked.
+        assert!(!s.is_blocked(1, 2, t(200)));
+        assert!(!s.is_blocked(0, 3, t(200)));
+    }
+
+    #[test]
+    fn overlapping_partitions_compose() {
+        let s = PartitionSchedule::new(vec![
+            PartitionWindow::new([0], t(100), t(300)),
+            PartitionWindow::new([3], t(200), t(400)),
+        ]);
+        assert!(s.is_blocked(0, 3, t(150)), "first cut");
+        assert!(s.is_blocked(0, 3, t(250)), "both cuts");
+        assert!(s.is_blocked(0, 3, t(350)), "second cut");
+        assert!(!s.is_blocked(1, 2, t(250)), "neither cut severs 1-2");
+        assert!(!s.is_blocked(0, 3, t(400)));
+        assert_eq!(s.heal_times().collect::<Vec<_>>(), vec![t(300), t(400)]);
+    }
+
+    #[test]
+    fn empty_schedule_blocks_nothing() {
+        let s = PartitionSchedule::none();
+        assert!(s.is_empty());
+        assert!(!s.is_blocked(0, 1, t(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_partition_window_panics() {
+        PartitionWindow::new([0], t(100), t(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "name processes")]
+    fn empty_partition_side_panics() {
+        PartitionWindow::new([], t(100), t(200));
     }
 }

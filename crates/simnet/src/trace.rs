@@ -63,6 +63,7 @@ pub fn render_event(timed: &TimedEvent) -> String {
         } => format!("delivered #{instance} (origin p{origin} seq {seq})"),
         Event::Crashed { .. } => "crashed".to_string(),
         Event::Recovered { .. } => "recovered".to_string(),
+        Event::AuditViolation { detail, .. } => format!("AUDIT VIOLATION: {detail}"),
         Event::Mark { label, .. } => format!("mark: {label}"),
         other => format!("{} {}", other.kind(), other.to_json_value().render()),
     };

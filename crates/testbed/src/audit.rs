@@ -1,0 +1,558 @@
+//! Cross-process safety auditing.
+//!
+//! One cluster run produces a [`RunAudit`]: every process's ordered
+//! delivery log, promised-round observations sampled around crash/recovery,
+//! and the set of values clients submitted. [`SafetyAuditor`] checks the
+//! invariants Paxos must uphold under *any* fault schedule — the properties
+//! the paper argues in §2 and the fault-schedule fuzzer ([`crate::fuzz`])
+//! searches for counterexamples to:
+//!
+//! * **Agreement** — no two processes deliver different values for the same
+//!   instance.
+//! * **Integrity** — every delivered value was submitted by some client,
+//!   and no process *applies* a value twice: a slot that re-decides an
+//!   already-delivered value (coordinators of two rounds can assign one
+//!   value to two instances across a partition, and Paxos safety then
+//!   forces both instances to decide it) must arrive flagged as a
+//!   suppressed duplicate, and every such flag must be justified by a
+//!   prior delivery of that value in the same log.
+//! * **Gap-free prefixes** — each process's in-order delivery log covers
+//!   instances `0, 1, 2, ...` with no holes (duplicate slots still occupy
+//!   their instance).
+//! * **Promise monotonicity** — an acceptor's durable promised round never
+//!   regresses, not even across a crash/recovery.
+//! * **Semantic neutrality** (cross-run, [`SafetyAuditor::audit_neutrality`])
+//!   — Semantic Gossip must decide the same sequence plain Gossip decides on
+//!   the identical fault schedule, on the prefix both runs got to decide.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use paxos::ValueId;
+
+/// The audit-relevant evidence of one cluster run.
+///
+/// Collected by [`run_cluster`](crate::run_cluster) for every run and
+/// attached to [`RunMetrics`](crate::RunMetrics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunAudit {
+    /// System size.
+    pub n: usize,
+    /// Per process: the current incarnation's ordered delivery log,
+    /// `(instance, value, suppressed_duplicate)` in delivery order. A
+    /// recovered process restarts its log from instance 0 (volatile learner
+    /// state is lost in the crash-recovery model), so each log is gap-free
+    /// from 0 by contract. The flag marks slots whose value the process had
+    /// already delivered at a lower instance and therefore applied as a
+    /// no-op.
+    pub delivered: Vec<Vec<(u64, ValueId, bool)>>,
+    /// Per process: `(time ns, promised round)` observations in time order,
+    /// sampled at every crash instant, after every recovery, and at the end
+    /// of the run.
+    pub promises: Vec<Vec<(u64, u32)>>,
+    /// Every value id submitted by a client during the run.
+    pub submitted: BTreeSet<ValueId>,
+}
+
+/// One invariant violation found by the auditor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Two processes delivered different values for the same instance.
+    Agreement {
+        /// The disputed instance.
+        instance: u64,
+        /// First process and the value it delivered.
+        node_a: u32,
+        /// Value delivered by `node_a`.
+        value_a: ValueId,
+        /// Second process and the conflicting value.
+        node_b: u32,
+        /// Value delivered by `node_b`.
+        value_b: ValueId,
+    },
+    /// A process applied the same value in two different instances (the
+    /// second slot was not flagged as a suppressed duplicate).
+    DuplicateValue {
+        /// The offending process.
+        node: u32,
+        /// The value delivered twice.
+        value: ValueId,
+    },
+    /// A process flagged a slot as a suppressed duplicate although it had
+    /// never delivered that value before.
+    UnjustifiedDuplicate {
+        /// The offending process.
+        node: u32,
+        /// Instance of the wrongly flagged slot.
+        instance: u64,
+        /// The value in the flagged slot.
+        value: ValueId,
+    },
+    /// A process delivered a value no client ever submitted.
+    UnknownValue {
+        /// The offending process.
+        node: u32,
+        /// Instance the phantom value was delivered in.
+        instance: u64,
+        /// The phantom value.
+        value: ValueId,
+    },
+    /// A process's in-order delivery log skipped an instance.
+    Gap {
+        /// The offending process.
+        node: u32,
+        /// Instance the log should have contained at this position.
+        expected: u64,
+        /// Instance actually found.
+        found: u64,
+    },
+    /// An acceptor's promised round went backwards.
+    PromiseRegression {
+        /// The offending process.
+        node: u32,
+        /// Time of the regressed observation (ns).
+        at_ns: u64,
+        /// Promised round observed earlier.
+        from: u32,
+        /// Lower promised round observed later.
+        to: u32,
+    },
+    /// Semantic Gossip and plain Gossip decided different value sets on an
+    /// identical fault-free schedule.
+    NeutralityDivergence {
+        /// The value one substrate decided and the other did not.
+        value: ValueId,
+        /// Whether the plain-Gossip run decided it.
+        gossip_decided: bool,
+    },
+}
+
+impl Violation {
+    /// The process the violation is attributed to (the first involved one
+    /// for cross-process violations, 0 for cross-run divergence).
+    pub fn node(&self) -> u32 {
+        match self {
+            Violation::Agreement { node_a, .. } => *node_a,
+            Violation::DuplicateValue { node, .. } => *node,
+            Violation::UnjustifiedDuplicate { node, .. } => *node,
+            Violation::UnknownValue { node, .. } => *node,
+            Violation::Gap { node, .. } => *node,
+            Violation::PromiseRegression { node, .. } => *node,
+            Violation::NeutralityDivergence { .. } => 0,
+        }
+    }
+
+    /// Short invariant name (stable, for counters and test assertions).
+    pub fn invariant(&self) -> &'static str {
+        match self {
+            Violation::Agreement { .. } => "agreement",
+            Violation::DuplicateValue { .. } => "integrity-duplicate",
+            Violation::UnjustifiedDuplicate { .. } => "integrity-duplicate-flag",
+            Violation::UnknownValue { .. } => "integrity-unknown",
+            Violation::Gap { .. } => "gap-free-prefix",
+            Violation::PromiseRegression { .. } => "promise-monotonicity",
+            Violation::NeutralityDivergence { .. } => "semantic-neutrality",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Agreement {
+                instance,
+                node_a,
+                value_a,
+                node_b,
+                value_b,
+            } => write!(
+                f,
+                "agreement: instance i{instance} delivered as {value_a} by p{node_a} \
+                 but {value_b} by p{node_b}"
+            ),
+            Violation::DuplicateValue { node, value } => {
+                write!(f, "integrity: p{node} delivered {value} twice")
+            }
+            Violation::UnjustifiedDuplicate {
+                node,
+                instance,
+                value,
+            } => write!(
+                f,
+                "integrity: p{node} flagged {value} as duplicate at i{instance} \
+                 without a prior delivery"
+            ),
+            Violation::UnknownValue {
+                node,
+                instance,
+                value,
+            } => write!(
+                f,
+                "integrity: p{node} delivered never-submitted {value} at i{instance}"
+            ),
+            Violation::Gap {
+                node,
+                expected,
+                found,
+            } => write!(
+                f,
+                "gap: p{node}'s ordered log jumps from expected i{expected} to i{found}"
+            ),
+            Violation::PromiseRegression {
+                node,
+                at_ns,
+                from,
+                to,
+            } => write!(
+                f,
+                "promise regression: p{node} promised r{from}, later observed r{to} \
+                 (at {at_ns}ns)"
+            ),
+            Violation::NeutralityDivergence {
+                value,
+                gossip_decided,
+            } => {
+                let (yes, no) = if *gossip_decided {
+                    ("Gossip", "Semantic Gossip")
+                } else {
+                    ("Semantic Gossip", "Gossip")
+                };
+                write!(f, "neutrality: {value} decided under {yes} but not {no}")
+            }
+        }
+    }
+}
+
+/// The outcome of one audit pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Every violation found, in detection order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// Whether no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.violations.extend(other.violations);
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "audit clean");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Stateless checker of the cross-process safety invariants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SafetyAuditor;
+
+impl SafetyAuditor {
+    /// Audits one run: agreement, integrity, gap-free prefixes, promise
+    /// monotonicity.
+    pub fn audit(run: &RunAudit) -> AuditReport {
+        let mut report = AuditReport::default();
+
+        // Per-process: gap-free prefix + integrity. A slot flagged as a
+        // suppressed duplicate must repeat an earlier delivery; an unflagged
+        // slot must not.
+        for (node, log) in run.delivered.iter().enumerate() {
+            let node = node as u32;
+            let mut seen_values = BTreeSet::new();
+            for (pos, &(instance, value, duplicate)) in log.iter().enumerate() {
+                if instance != pos as u64 {
+                    report.violations.push(Violation::Gap {
+                        node,
+                        expected: pos as u64,
+                        found: instance,
+                    });
+                }
+                if duplicate {
+                    if !seen_values.contains(&value) {
+                        report.violations.push(Violation::UnjustifiedDuplicate {
+                            node,
+                            instance,
+                            value,
+                        });
+                    }
+                } else if !seen_values.insert(value) {
+                    report
+                        .violations
+                        .push(Violation::DuplicateValue { node, value });
+                }
+                if !run.submitted.contains(&value) {
+                    report.violations.push(Violation::UnknownValue {
+                        node,
+                        instance,
+                        value,
+                    });
+                }
+            }
+        }
+
+        // Cross-process agreement: every instance must carry one value.
+        // The reference is the longest log; a disagreement between two
+        // non-reference processes still surfaces because each is compared
+        // at the same instance.
+        if let Some(reference_node) = (0..run.delivered.len())
+            .max_by_key(|&i| run.delivered[i].len())
+            .map(|i| i as u32)
+        {
+            let reference = &run.delivered[reference_node as usize];
+            for (node, log) in run.delivered.iter().enumerate() {
+                let node = node as u32;
+                if node == reference_node {
+                    continue;
+                }
+                for (&(ia, va, _), &(ib, vb, _)) in log.iter().zip(reference.iter()) {
+                    if ia == ib && va != vb {
+                        report.violations.push(Violation::Agreement {
+                            instance: ia,
+                            node_a: node,
+                            value_a: va,
+                            node_b: reference_node,
+                            value_b: vb,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Promise monotonicity across crash/recovery.
+        for (node, obs) in run.promises.iter().enumerate() {
+            for pair in obs.windows(2) {
+                let (_, before) = pair[0];
+                let (at_ns, after) = pair[1];
+                if after < before {
+                    report.violations.push(Violation::PromiseRegression {
+                        node: node as u32,
+                        at_ns,
+                        from: before,
+                        to: after,
+                    });
+                }
+            }
+        }
+
+        report
+    }
+
+    /// Audits semantic neutrality: on an identical **fault-free** schedule,
+    /// the Semantic Gossip run must decide exactly the values the plain
+    /// Gossip run decides.
+    ///
+    /// The comparison is over value *sets*, not sequences: the two
+    /// substrates have different latencies, so proposals reach the
+    /// coordinator in different orders and the decided sequences
+    /// legitimately interleave differently (the fuzzer's own shrinker
+    /// demonstrated this — a sequence comparison fails on schedules with
+    /// zero faults). What semantic filtering/aggregation must never do is
+    /// make a value *disappear* when nothing was lost or down. Callers
+    /// should only apply this check to schedules without loss, crashes or
+    /// partitions; under those faults the substrates lose different
+    /// messages and set divergence is expected.
+    pub fn audit_neutrality(gossip: &RunAudit, semantic: &RunAudit) -> AuditReport {
+        let mut report = AuditReport::default();
+        let set_g = Self::decided_set(gossip);
+        let set_s = Self::decided_set(semantic);
+        for &value in set_g.difference(&set_s) {
+            report.violations.push(Violation::NeutralityDivergence {
+                value,
+                gossip_decided: true,
+            });
+        }
+        for &value in set_s.difference(&set_g) {
+            report.violations.push(Violation::NeutralityDivergence {
+                value,
+                gossip_decided: false,
+            });
+        }
+        report
+    }
+
+    /// The run's decided value set: the longest process log (with agreement
+    /// intact, every other log is a prefix of it). Suppressed-duplicate
+    /// slots carry values already in the set, so flags are irrelevant here.
+    fn decided_set(run: &RunAudit) -> BTreeSet<ValueId> {
+        run.delivered
+            .iter()
+            .max_by_key(|log| log.len())
+            .map(|log| log.iter().map(|&(_, v, _)| v).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semantic_gossip::NodeId;
+
+    fn vid(origin: u32, seq: u64) -> ValueId {
+        ValueId::new(NodeId::new(origin), seq)
+    }
+
+    fn clean_run() -> RunAudit {
+        let seq = vec![
+            (0, vid(0, 0), false),
+            (1, vid(1, 0), false),
+            (2, vid(0, 1), false),
+        ];
+        RunAudit {
+            n: 3,
+            delivered: vec![seq.clone(), seq.clone(), seq[..2].to_vec()],
+            promises: vec![vec![(0, 0), (5, 1), (9, 1)]; 3],
+            submitted: [vid(0, 0), vid(1, 0), vid(0, 1)].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let report = SafetyAuditor::audit(&clean_run());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.to_string(), "audit clean");
+    }
+
+    #[test]
+    fn disagreement_is_detected() {
+        let mut run = clean_run();
+        run.delivered[2][1] = (1, vid(0, 1), false); // p2 delivers a different value at i1
+        let report = SafetyAuditor::audit(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant() == "agreement"));
+        // But not also flagged as a duplicate of p2's own log.
+        assert_eq!(report.violations.len(), 1, "{report}");
+    }
+
+    #[test]
+    fn gap_is_detected() {
+        let mut run = clean_run();
+        run.delivered[1].remove(1); // p1's log now reads i0, i2
+        let report = SafetyAuditor::audit(&run);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::Gap {
+                node: 1,
+                expected: 1,
+                found: 2
+            }
+        )));
+    }
+
+    #[test]
+    fn duplicate_value_is_detected() {
+        let mut run = clean_run();
+        run.delivered[0][2] = (2, vid(0, 0), false); // p0 applies p0#0 twice
+        let report = SafetyAuditor::audit(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateValue { node: 0, .. })));
+    }
+
+    #[test]
+    fn flagged_duplicate_slot_is_legal() {
+        // Two coordinators assigned p0#0 to two instances; the learner
+        // releases the second slot flagged as a suppressed duplicate. The
+        // log stays gap-free and the audit accepts it.
+        let mut run = clean_run();
+        run.delivered[0].push((3, vid(0, 0), true));
+        let report = SafetyAuditor::audit(&run);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn unjustified_duplicate_flag_is_detected() {
+        // Flagging a first-time value as a duplicate would silently drop it.
+        let mut run = clean_run();
+        run.submitted.insert(vid(2, 0));
+        run.delivered[0].push((3, vid(2, 0), true));
+        let report = SafetyAuditor::audit(&run);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant() == "integrity-duplicate-flag"));
+    }
+
+    #[test]
+    fn phantom_value_is_detected() {
+        let mut run = clean_run();
+        run.submitted.remove(&vid(1, 0));
+        let report = SafetyAuditor::audit(&run);
+        // Flagged at every process that delivered it.
+        let phantom = report
+            .violations
+            .iter()
+            .filter(|v| v.invariant() == "integrity-unknown")
+            .count();
+        assert_eq!(phantom, 3);
+    }
+
+    #[test]
+    fn promise_regression_is_detected() {
+        let mut run = clean_run();
+        run.promises[1] = vec![(0, 3), (7, 1)];
+        let report = SafetyAuditor::audit(&run);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::PromiseRegression {
+                node: 1,
+                from: 3,
+                to: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn neutrality_compares_decided_sets_not_order() {
+        let g = clean_run();
+        let mut s = clean_run();
+        // The semantic run deciding the same values in a different order is
+        // not a divergence (substrate timing reorders proposals).
+        for log in &mut s.delivered {
+            log.swap(0, 1);
+            for (pos, entry) in log.iter_mut().enumerate() {
+                entry.0 = pos as u64;
+            }
+        }
+        assert!(SafetyAuditor::audit_neutrality(&g, &s).is_clean());
+        // A value vanishing under Semantic Gossip is one.
+        let mut s = clean_run();
+        for log in &mut s.delivered {
+            log.truncate(2);
+        }
+        let report = SafetyAuditor::audit_neutrality(&g, &s);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].invariant(), "semantic-neutrality");
+        assert!(matches!(
+            report.violations[0],
+            Violation::NeutralityDivergence {
+                gossip_decided: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn violations_render_with_invariant_names() {
+        let mut run = clean_run();
+        run.delivered[2][1] = (1, vid(0, 1), false);
+        let text = SafetyAuditor::audit(&run).to_string();
+        assert!(text.contains("agreement"), "{text}");
+        assert!(text.contains("i1"), "{text}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Fault-schedule fuzzer for the Paxos-over-gossip cluster.
+//!
+//! ```text
+//! fuzz_paxos [--seeds N] [--seed N] [--repro SPEC] [options]
+//! ```
+//!
+//! Each trial derives a random fault schedule from its seed — injected
+//! loss, crash/recovery windows, link partitions with heal times, failover
+//! and retransmission settings — runs the cluster under it and audits the
+//! cross-process safety invariants (agreement, integrity, gap-free
+//! prefixes, promise monotonicity, semantic neutrality). A failing
+//! schedule is automatically shrunk to a minimal reproduction and printed
+//! as a replayable `fuzz_paxos --repro <spec>` command.
+//!
+//! Exit codes: 0 all trials clean, 1 a violation was found, 2 usage error.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use testbed::fuzz::{FaultPlan, FuzzConfig, FuzzOutcome, Fuzzer};
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: fuzz_paxos [options]\n\
+         \n\
+         modes (default: --seeds 20):\n\
+         \x20 --seeds N          run N seed-derived trials (starting at --start)\n\
+         \x20 --seed N           run the single trial derived from seed N\n\
+         \x20 --repro SPEC       replay one fault plan, e.g. 'loss=0.2;crash=3:500-900'\n\
+         \n\
+         options:\n\
+         \x20 --start N          first seed of a --seeds campaign (default 1)\n\
+         \x20 --n N              system size (default 13)\n\
+         \x20 --rate R           aggregate submission rate, values/s (default 26)\n\
+         \x20 --warmup-ms MS     warm-up before the window (default 300)\n\
+         \x20 --window-ms MS     measurement window (default 700)\n\
+         \x20 --drain-ms MS      drain after the window (default 600)\n\
+         \x20 --shrink-budget N  max re-runs while shrinking (default 48)\n\
+         \x20 --no-neutrality    skip the Gossip vs Semantic Gossip comparison\n\
+         \x20 --selftest         corrupt audit data to prove the pipeline fails\n"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let value = args
+        .next()
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+    value
+        .parse()
+        .unwrap_or_else(|_| usage(&format!("{flag}: cannot parse {value:?}")))
+}
+
+fn main() -> ExitCode {
+    let mut config = FuzzConfig::default();
+    let mut seeds: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+    let mut start: u64 = 1;
+    let mut repro: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => seeds = Some(parse(&mut args, "--seeds")),
+            "--seed" => seed = Some(parse(&mut args, "--seed")),
+            "--start" => start = parse(&mut args, "--start"),
+            "--repro" => repro = Some(parse(&mut args, "--repro")),
+            "--n" => config.n = parse(&mut args, "--n"),
+            "--rate" => config.rate = parse(&mut args, "--rate"),
+            "--warmup-ms" => config.warmup_ms = parse(&mut args, "--warmup-ms"),
+            "--window-ms" => config.window_ms = parse(&mut args, "--window-ms"),
+            "--drain-ms" => config.drain_ms = parse(&mut args, "--drain-ms"),
+            "--shrink-budget" => config.shrink_budget = parse(&mut args, "--shrink-budget"),
+            "--no-neutrality" => config.check_neutrality = false,
+            "--selftest" => config.selftest = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    if seeds.is_some() && (seed.is_some() || repro.is_some()) {
+        usage("--seeds cannot be combined with --seed or --repro");
+    }
+
+    let fuzzer = Fuzzer::new(config.clone());
+
+    // Replay mode: one explicit plan, run seed taken from --seed.
+    if let Some(spec) = repro {
+        let plan = FaultPlan::from_spec(&spec).unwrap_or_else(|e| usage(&format!("--repro: {e}")));
+        let run_seed = seed.unwrap_or(1);
+        eprintln!(
+            "[fuzz] replaying plan '{}' under run seed {run_seed}",
+            plan.to_spec()
+        );
+        let report = fuzzer.run_plan(&plan, run_seed);
+        if report.is_clean() {
+            println!("replay clean: no violation");
+            return ExitCode::SUCCESS;
+        }
+        println!("{report}");
+        return ExitCode::FAILURE;
+    }
+
+    let (start_seed, count) = match (seed, seeds) {
+        (Some(s), None) => (s, 1),
+        (None, n) => (start, n.unwrap_or(20)),
+        (Some(_), Some(_)) => unreachable!("rejected above"),
+    };
+
+    eprintln!(
+        "[fuzz] {count} trial(s) from seed {start_seed}: n={}, rate={}, \
+         horizon={}ms+{}ms+{}ms, neutrality={}{}",
+        config.n,
+        config.rate,
+        config.warmup_ms,
+        config.window_ms,
+        config.drain_ms,
+        config.check_neutrality,
+        if config.selftest { ", SELFTEST" } else { "" }
+    );
+    let t = Instant::now();
+    let outcome = fuzzer.campaign(start_seed, count, |seed, done, passed| {
+        if !passed {
+            eprintln!("[fuzz] seed {seed} FAILED, shrinking...");
+        } else if done.is_multiple_of(10) {
+            eprintln!(
+                "[fuzz] {done} trials clean ({:.1}s)",
+                t.elapsed().as_secs_f64()
+            );
+        }
+    });
+
+    match outcome {
+        FuzzOutcome::Clean { trials } => {
+            println!(
+                "fuzz clean: {trials} trial(s), no safety violation ({:.1}s)",
+                t.elapsed().as_secs_f64()
+            );
+            ExitCode::SUCCESS
+        }
+        FuzzOutcome::Failed {
+            verdict,
+            minimized,
+            minimized_report,
+            trials,
+        } => {
+            println!(
+                "fuzz FAILED at seed {} (trial {trials}): {}",
+                verdict.seed, verdict.report
+            );
+            println!(
+                "original schedule : {} ({} fault(s))",
+                verdict.plan.to_spec(),
+                verdict.plan.fault_count()
+            );
+            println!(
+                "minimized schedule: {} ({} fault(s))",
+                minimized.to_spec(),
+                minimized.fault_count()
+            );
+            println!("minimized verdict : {minimized_report}");
+            let mut flags = format!(
+                "--n {} --rate {} --warmup-ms {} --window-ms {} --drain-ms {}",
+                config.n, config.rate, config.warmup_ms, config.window_ms, config.drain_ms
+            );
+            if !config.check_neutrality {
+                flags.push_str(" --no-neutrality");
+            }
+            if config.selftest {
+                flags.push_str(" --selftest");
+            }
+            println!(
+                "repro: fuzz_paxos --repro '{}' --seed {} {flags}",
+                minimized.to_spec(),
+                verdict.seed
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -29,13 +29,14 @@ use semantic_gossip::{
     DuplicateFilter, GossipConfig, GossipItem, GossipNode, MessageId, NoSemantics, NodeId,
     RecentCache, Semantics, SlidingBloom,
 };
-use simnet::fault::CrashSchedule;
+use simnet::fault::{CrashSchedule, PartitionSchedule};
 use simnet::trace::{render_event, Tracer};
 use simnet::{
     CpuModel, EventQueue, LossInjector, NodeCpu, RegionMap, SeedSplitter, SimDuration, SimTime,
 };
 use std::collections::HashMap;
 
+use crate::audit::{RunAudit, SafetyAuditor};
 use crate::metrics::{RunMetrics, ValueFate};
 
 /// The communication substrate under evaluation.
@@ -159,6 +160,11 @@ pub struct ClusterParams {
     /// volatile state (learner, coordinator, gossip caches) is lost, the
     /// paper's crash-recovery model (§2.1).
     pub crashes: Vec<(u32, SimDuration, SimDuration)>,
+    /// Link-level partition windows: while a window is active, messages
+    /// crossing the cut between its two sides are dropped at the receiver
+    /// (both directions). Windows heal on their own; overlapping windows
+    /// compose. Unlike crashes, partitioned processes keep all state.
+    pub partitions: PartitionSchedule,
     /// Round-change timeout: when set, every process runs a
     /// [`paxos::RoundChangeTimer`] and the next coordinator in line takes
     /// over after this much silence (coordinator failover).
@@ -192,6 +198,7 @@ impl ClusterParams {
             retransmit: None,
             flush_quantum: SimDuration::from_micros(500),
             crashes: Vec::new(),
+            partitions: PartitionSchedule::none(),
             failover: None,
             trace_capacity: 0,
         }
@@ -200,6 +207,22 @@ impl ClusterParams {
     /// Adds a crash window for a process (builder style).
     pub fn with_crash(mut self, node: u32, down_from: SimDuration, up_at: SimDuration) -> Self {
         self.crashes.push((node, down_from, up_at));
+        self
+    }
+
+    /// Adds a partition window cutting `side_a` off from the rest of the
+    /// cluster between the two offsets (builder style).
+    pub fn with_partition(
+        mut self,
+        side_a: impl IntoIterator<Item = u32>,
+        from: SimDuration,
+        until: SimDuration,
+    ) -> Self {
+        self.partitions.push(simnet::PartitionWindow::new(
+            side_a,
+            SimTime::ZERO + from,
+            SimTime::ZERO + until,
+        ));
         self
     }
 
@@ -294,6 +317,23 @@ enum AnyFilter {
     Bloom(SlidingBloom),
 }
 
+impl AnyFilter {
+    /// Builds the configured duplicate filter. The Bloom variant derives
+    /// its geometry from the exact cache's size; both derived parameters
+    /// are clamped to at least 1 so small cache sizes (e.g. 1, whose
+    /// halved generation capacity would round down to 0) stay valid
+    /// instead of panicking inside `SlidingBloom::new`.
+    fn build(dedup: DedupKind, cache_size: usize) -> AnyFilter {
+        match dedup {
+            DedupKind::RecentCache => AnyFilter::Recent(RecentCache::new(cache_size)),
+            DedupKind::SlidingBloom => AnyFilter::Bloom(SlidingBloom::new(
+                (cache_size * 16).max(1),
+                (cache_size / 2).max(1),
+            )),
+        }
+    }
+}
+
 impl DuplicateFilter for AnyFilter {
     fn insert(&mut self, id: MessageId) -> bool {
         match self {
@@ -338,7 +378,7 @@ struct Node {
     flush_scheduled: bool,
     /// Instance → value-id of everything this node delivered in order, for
     /// the end-of-run safety audit.
-    delivered_log: Vec<(InstanceId, ValueId)>,
+    delivered_log: Vec<(InstanceId, ValueId, bool)>,
     /// When this process is down (crash-recovery experiments).
     schedule: CrashSchedule,
     /// Round-change timer, when failover is enabled.
@@ -366,6 +406,10 @@ enum Event {
     Flush { node: u32 },
     /// Coordinator retransmission timer.
     Retransmit,
+    /// A process goes down at the start of a crash window (bookkeeping
+    /// only: `is_up` already silences it; this records the trace mark and
+    /// snapshots the durable promise for the audit).
+    Crash { node: u32 },
     /// A crashed process comes back up, rebuilt from stable storage.
     Recover { node: u32 },
     /// Failover poll: `node` checks its round-change timer.
@@ -397,6 +441,10 @@ struct Cluster {
     link_rng: rand::rngs::StdRng,
     tracked: HashMap<ValueId, Tracked>,
     tracer: Tracer,
+    /// Per process: `(time ns, promised round)` observations for the
+    /// promise-monotonicity audit, sampled at crash instants, after
+    /// recovery, and at the end of the run.
+    promise_log: Vec<Vec<(u64, u32)>>,
     /// Paxos events salvaged from processes replaced on crash recovery.
     paxos_trace_backlog: Vec<TimedEvent>,
     received_by_kind: [u64; paxos::message::Kind::COUNT],
@@ -462,15 +510,8 @@ impl Cluster {
                             }
                             Setup::Baseline => unreachable!(),
                         };
-                        let filter = match params.dedup {
-                            DedupKind::RecentCache => {
-                                AnyFilter::Recent(RecentCache::new(params.gossip.recent_cache_size))
-                            }
-                            DedupKind::SlidingBloom => AnyFilter::Bloom(SlidingBloom::new(
-                                params.gossip.recent_cache_size * 16,
-                                params.gossip.recent_cache_size / 2,
-                            )),
-                        };
+                        let filter =
+                            AnyFilter::build(params.dedup, params.gossip.recent_cache_size);
                         Comms::Gossip(Box::new(GossipNode::with_observer(
                             NodeId::new(i),
                             peers,
@@ -530,6 +571,7 @@ impl Cluster {
             queue: EventQueue::new(),
             link_rng: seeds.rng("links", 0),
             tracked: HashMap::new(),
+            promise_log: vec![Vec::new(); params.n],
             paxos_trace_backlog: Vec::new(),
             tracer: if params.trace_capacity > 0 {
                 Tracer::enabled(params.trace_capacity)
@@ -580,6 +622,10 @@ impl Cluster {
         }
 
         for i in 0..self.params.n as u32 {
+            let crashes: Vec<SimTime> = self.nodes[i as usize].schedule.crash_times().collect();
+            for at in crashes {
+                self.queue.schedule(at, Event::Crash { node: i });
+            }
             let recoveries: Vec<SimTime> =
                 self.nodes[i as usize].schedule.recovery_times().collect();
             for at in recoveries {
@@ -614,6 +660,19 @@ impl Cluster {
         match event {
             Event::Arrival { dst, from, msg } => {
                 if !self.is_up(dst, now) {
+                    return;
+                }
+                if from != dst && self.params.partitions.is_blocked(from, dst, now) {
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(
+                            now,
+                            ObsEvent::MessageLost {
+                                node: dst,
+                                msg: msg.message_id().trace_id(),
+                                reason: "partition".to_string(),
+                            },
+                        );
+                    }
                     return;
                 }
                 let node = &mut self.nodes[dst as usize];
@@ -735,6 +794,13 @@ impl Cluster {
                     self.queue.schedule(now + rt, Event::Retransmit);
                 }
             }
+            Event::Crash { node } => {
+                // The process is already silenced by `is_up`; record the
+                // mark and snapshot the durable promise so the audit can
+                // check it never regresses across the outage.
+                self.tracer.record(now, ObsEvent::Crashed { node });
+                self.snapshot_promise(node, now);
+            }
             Event::Recover { node } => self.recover_node(node),
             Event::FailoverCheck { node } => {
                 if let Some(t) = self.params.failover {
@@ -761,6 +827,13 @@ impl Cluster {
                 }
             }
         }
+    }
+
+    /// Records a `(time, promised round)` observation of a process's
+    /// durable promise for the promise-monotonicity audit.
+    fn snapshot_promise(&mut self, node: u32, now: SimTime) {
+        let promised = self.nodes[node as usize].paxos.promised_round();
+        self.promise_log[node as usize].push((now.as_nanos(), promised.as_u32()));
     }
 
     /// Rebuilds a recovered process from its acceptor's stable storage:
@@ -808,15 +881,7 @@ impl Cluster {
                 Setup::Custom(mode) => AnySemantics::Paxos(PaxosSemantics::new(config, mode)),
                 Setup::Baseline => unreachable!(),
             };
-            let filter = match self.params.dedup {
-                DedupKind::RecentCache => {
-                    AnyFilter::Recent(RecentCache::new(self.params.gossip.recent_cache_size))
-                }
-                DedupKind::SlidingBloom => AnyFilter::Bloom(SlidingBloom::new(
-                    self.params.gossip.recent_cache_size * 16,
-                    self.params.gossip.recent_cache_size / 2,
-                )),
-            };
+            let filter = AnyFilter::build(self.params.dedup, self.params.gossip.recent_cache_size);
             self.nodes[idx].comms = Comms::Gossip(Box::new(GossipNode::with_observer(
                 NodeId::new(node),
                 peers,
@@ -826,6 +891,9 @@ impl Cluster {
                 RingObserver::with_capacity(self.params.trace_capacity),
             )));
         }
+        // The rebuilt acceptor's promise must match or exceed what was
+        // durable at the crash; snapshot it for the monotonicity audit.
+        self.snapshot_promise(node, now);
     }
 
     /// Routes Paxos outbound messages through the node's substrate.
@@ -886,22 +954,29 @@ impl Cluster {
     }
 
     fn harvest_decisions(&mut self, node: u32, now: SimTime) {
-        let decided = self.nodes[node as usize].paxos.take_decisions();
-        if decided.is_empty() {
+        let delivered = self.nodes[node as usize].paxos.take_delivered();
+        if delivered.is_empty() {
             return;
         }
         if let Some(timer) = self.nodes[node as usize].timer.as_mut() {
             timer.on_progress(now.as_nanos());
         }
         let is_attach = self.clients.iter().any(|c| c.attach == node);
-        for (instance, value) in decided {
+        for d in delivered {
+            let id = d.value.id();
             self.nodes[node as usize]
                 .delivered_log
-                .push((instance, value.id()));
+                .push((d.instance, id, d.duplicate));
+            if d.duplicate {
+                // The slot re-decides an already-applied value (two rounds'
+                // coordinators assigned it two instances): a no-op for the
+                // application, recorded for the audit only.
+                continue;
+            }
             // The client of this process measures latency when its own
             // value is delivered in total order (§4.2).
-            if is_attach && value.id().origin.as_u32() == node {
-                if let Some(t) = self.tracked.get_mut(&value.id()) {
+            if is_attach && id.origin.as_u32() == node {
+                if let Some(t) = self.tracked.get_mut(&id) {
                     if t.ordered_at.is_none() {
                         t.ordered_at = Some(now);
                     }
@@ -957,8 +1032,43 @@ impl Cluster {
             metrics.record_value(&fate);
         }
 
-        // Safety audit: all delivered logs must agree on a common prefix.
-        metrics.safety_ok = self.audit_safety();
+        // End-of-run promise snapshot for every process, then the
+        // cross-process safety audit (agreement, integrity, gap-free
+        // prefixes, promise monotonicity).
+        let end = self.end;
+        for i in 0..self.params.n as u32 {
+            self.snapshot_promise(i, end);
+        }
+        let audit = RunAudit {
+            n: self.params.n,
+            delivered: self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.delivered_log
+                        .iter()
+                        .map(|&(i, v, dup)| (i.as_u64(), v, dup))
+                        .collect()
+                })
+                .collect(),
+            promises: std::mem::take(&mut self.promise_log),
+            submitted: self.tracked.keys().copied().collect(),
+        };
+        let report = SafetyAuditor::audit(&audit);
+        if self.tracer.is_enabled() {
+            for v in &report.violations {
+                self.tracer.record(
+                    end,
+                    ObsEvent::AuditViolation {
+                        node: v.node(),
+                        detail: v.to_string(),
+                    },
+                );
+            }
+        }
+        metrics.safety_ok = report.is_clean();
+        metrics.violations = report.violations;
+        metrics.audit = audit;
 
         for (i, node) in self.nodes.iter_mut().enumerate() {
             metrics.record_node(
@@ -1004,21 +1114,6 @@ impl Cluster {
         }
         metrics.seed = self.params.seed;
         metrics
-    }
-
-    fn audit_safety(&self) -> bool {
-        let reference: &Vec<(InstanceId, ValueId)> = self
-            .nodes
-            .iter()
-            .map(|n| &n.delivered_log)
-            .max_by_key(|log| log.len())
-            .expect("at least one node");
-        self.nodes.iter().all(|n| {
-            n.delivered_log
-                .iter()
-                .zip(reference.iter())
-                .all(|(a, b)| a == b)
-        })
     }
 }
 
@@ -1172,6 +1267,80 @@ mod tests {
         let m = run_cluster(&params);
         assert!(m.safety_ok);
         assert_eq!(m.not_ordered_in_window, 0);
+    }
+
+    #[test]
+    fn tiny_bloom_cache_does_not_panic() {
+        // Regression: recent_cache_size = 1 used to derive a zero
+        // generation capacity and panic inside SlidingBloom::new.
+        let mut params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(13.0)
+            .with_seconds(1.0, 0.5);
+        params.dedup = DedupKind::SlidingBloom;
+        params.gossip.recent_cache_size = 1;
+        let m = run_cluster(&params);
+        assert!(m.safety_ok);
+    }
+
+    #[test]
+    fn partition_loses_values_while_active_but_never_safety() {
+        // Cut the coordinator off mid-window; without retransmission the
+        // values proposed during the cut are lost, but the healed cluster
+        // keeps ordering and no invariant breaks.
+        let base = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(26.0)
+            .with_seconds(2.0, 1.0);
+        let cut = base.clone().with_partition(
+            [0],
+            SimDuration::from_millis(1200),
+            SimDuration::from_millis(1800),
+        );
+        let clean = run_cluster(&base);
+        let m = run_cluster(&cut);
+        assert!(m.safety_ok, "{:?}", m.violations);
+        assert!(m.ordered > 0, "healed cluster must keep ordering");
+        assert!(
+            m.not_ordered_in_window > clean.not_ordered_in_window,
+            "the cut should lose values: {} vs {}",
+            m.not_ordered_in_window,
+            clean.not_ordered_in_window
+        );
+    }
+
+    #[test]
+    fn partition_drops_are_traced() {
+        let mut params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(26.0)
+            .with_seconds(1.5, 0.75)
+            .with_partition(
+                [1, 2],
+                SimDuration::from_millis(900),
+                SimDuration::from_millis(1400),
+            );
+        params.trace_capacity = 1 << 16;
+        let m = run_cluster(&params);
+        let trace = m.trace.expect("tracing enabled");
+        assert!(trace.contains("(partition)"), "no partition drops traced");
+    }
+
+    #[test]
+    fn crash_run_records_promise_observations() {
+        let params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(26.0)
+            .with_seconds(2.0, 1.0)
+            .with_crash(
+                3,
+                SimDuration::from_millis(1200),
+                SimDuration::from_millis(2000),
+            );
+        let m = run_cluster(&params);
+        assert!(m.safety_ok, "{:?}", m.violations);
+        // Crashed process: crash + recovery + end-of-run snapshots.
+        assert_eq!(m.audit.promises[3].len(), 3);
+        // Untouched process: just the end-of-run snapshot.
+        assert_eq!(m.audit.promises[5].len(), 1);
+        assert_eq!(m.audit.delivered.len(), 13);
+        assert!(!m.audit.submitted.is_empty());
     }
 
     #[test]

@@ -4,9 +4,12 @@
 //! [`cluster`] builds a full deployment — Paxos processes, the communication
 //! substrate of the chosen [`Setup`], the WAN topology, per-region open-loop
 //! clients — on top of the deterministic simulator, and runs it; [`metrics`]
-//! collects what the paper measures; [`sweep`] finds saturation knees; and
+//! collects what the paper measures; [`sweep`] finds saturation knees;
 //! [`experiments`] contains one runner per table/figure of the evaluation
-//! section (§4). The `repro` binary exposes them on the command line.
+//! section (§4); [`audit`] checks the cross-process safety invariants after
+//! every run; and [`fuzz`] searches random fault schedules (loss, crashes,
+//! partitions) for schedules that violate them. The `repro` binary exposes
+//! the experiments on the command line, `fuzz_paxos` the fuzzer.
 //!
 //! # Example: one run of Semantic Gossip at n = 13
 //!
@@ -22,12 +25,16 @@
 //! ```
 
 pub mod analysis;
+pub mod audit;
 pub mod cluster;
 pub mod experiments;
+pub mod fuzz;
 pub mod metrics;
 pub mod report;
 pub mod sweep;
 
+pub use audit::{AuditReport, RunAudit, SafetyAuditor, Violation};
 pub use cluster::{run_cluster, ClusterParams, CpuCosts, DedupKind, Setup};
+pub use fuzz::{FaultPlan, FuzzConfig, FuzzOutcome, Fuzzer, TrialVerdict};
 pub use metrics::RunMetrics;
 pub use sweep::{saturation_point, SweepPoint};

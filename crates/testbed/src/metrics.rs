@@ -11,6 +11,8 @@ use simnet::{Histogram, SimDuration, SimTime, NUM_REGIONS};
 
 use paxos::ValueId;
 
+use crate::audit::{RunAudit, Violation};
+
 /// The lifecycle record of one submitted value.
 #[derive(Debug, Clone, Copy)]
 pub struct ValueFate {
@@ -50,8 +52,17 @@ pub struct RunMetrics {
     pub latency: Histogram,
     /// Latencies split by the submitting client's region slot.
     pub latency_by_region: Vec<Histogram>,
-    /// Whether all processes delivered consistent prefixes (Paxos safety).
+    /// Whether the safety audit found no violations (Paxos safety).
     pub safety_ok: bool,
+    /// Violations found by the end-of-run [`SafetyAuditor`] pass
+    /// (empty when `safety_ok`).
+    ///
+    /// [`SafetyAuditor`]: crate::audit::SafetyAuditor
+    pub violations: Vec<Violation>,
+    /// The raw cross-process audit evidence of the run (delivery logs,
+    /// promised-round observations, submitted values) for cross-run
+    /// checks such as semantic neutrality.
+    pub audit: RunAudit,
     /// Raw messages received per process (post injected loss).
     pub node_received: Vec<u64>,
     /// Raw messages sent per process.
@@ -88,6 +99,8 @@ impl RunMetrics {
             latency: Histogram::new(),
             latency_by_region: (0..NUM_REGIONS).map(|_| Histogram::new()).collect(),
             safety_ok: true,
+            violations: Vec::new(),
+            audit: RunAudit::default(),
             node_received: Vec::new(),
             node_sent: Vec::new(),
             gossip: MessageStats::default(),
