@@ -67,6 +67,6 @@ pub use cache::{DuplicateFilter, RecentCache, SlidingBloom};
 pub use codec::{Reader, Wire, WireError};
 pub use config::GossipConfig;
 pub use id::{MessageId, NodeId};
-pub use node::{GossipItem, GossipNode};
+pub use node::{GossipItem, GossipNode, TraceTag};
 pub use semantics::{NoSemantics, Semantics};
 pub use stats::MessageStats;

@@ -43,6 +43,35 @@ pub trait GossipItem: Clone {
 
     /// Size of the encoded message in bytes.
     fn wire_size(&self) -> usize;
+
+    /// Consensus-level identity used to correlate this wire message with
+    /// protocol events in traces: when `Some`, the node emits one
+    /// `wire_tagged` event as the message enters the substrate at its
+    /// broadcasting origin. `None` (the default) emits nothing.
+    fn trace_tag(&self) -> Option<TraceTag> {
+        None
+    }
+}
+
+/// Consensus-level identity of a wire message, joining the gossip-layer
+/// `gossip_sent` / `gossip_received` timeline (keyed by message id) to
+/// protocol state (instance, value) for causal critical-path analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceTag {
+    /// Protocol message kind (e.g. `"Phase2a"`).
+    pub kind: &'static str,
+    /// Consensus instance, or [`TraceTag::NO_INSTANCE`] when the message
+    /// is not bound to one.
+    pub instance: u64,
+    /// Originating process of the carried value (0 when none).
+    pub origin: u32,
+    /// Client sequence number of the carried value (0 when none).
+    pub seq: u64,
+}
+
+impl TraceTag {
+    /// Sentinel `instance` for messages not bound to an instance.
+    pub const NO_INSTANCE: u64 = u64::MAX;
 }
 
 /// A sans-IO gossip node (see the [crate docs](crate) for an example).
@@ -77,11 +106,17 @@ pub struct GossipNode<M, S = NoSemantics, F = RecentCache, O = NoopObserver> {
     id: NodeId,
     peers: Vec<NodeId>,
     send_queues: Vec<VecDeque<Arc<M>>>,
+    /// When each send queue last went empty→non-empty (on the external
+    /// clock), for head-of-line queue-lag gauges. `None` while empty.
+    queue_busy_since: Vec<Option<u64>>,
     delivery: VecDeque<Arc<M>>,
     filter: F,
     semantics: S,
     stats: MessageStats,
     config: GossipConfig,
+    /// External clock (nanoseconds), advanced by the runtime alongside the
+    /// observer's; only read for queue-lag accounting.
+    clock: u64,
     observer: O,
 }
 
@@ -154,17 +189,27 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
         dedup.dedup();
         assert_eq!(dedup.len(), peers.len(), "duplicate peer ids");
         let send_queues = peers.iter().map(|_| VecDeque::new()).collect();
+        let queue_busy_since = vec![None; peers.len()];
         GossipNode {
             id,
             peers,
             send_queues,
+            queue_busy_since,
             delivery: VecDeque::new(),
             filter,
             semantics,
             stats: MessageStats::default(),
             config,
+            clock: 0,
             observer,
         }
+    }
+
+    /// Advances the clock used for queue-lag accounting. Runtimes call
+    /// this wherever they already advance the observer's clock; a node
+    /// whose clock never moves simply reports zero lag.
+    pub fn set_clock(&mut self, now_nanos: u64) {
+        self.clock = now_nanos;
     }
 
     /// Shared access to the observer (e.g. to read a buffered trace).
@@ -274,6 +319,20 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
             return;
         }
         self.semantics.observe(&msg);
+        // A locally broadcast message is its causal chain's origin: tag it
+        // once here so traces can join the wire id to consensus state.
+        if O::ENABLED && origin.is_none() {
+            if let Some(tag) = msg.trace_tag() {
+                self.observer.record(Event::WireTagged {
+                    node: self.id.as_u32(),
+                    msg: trace_id,
+                    kind: tag.kind.to_string(),
+                    instance: tag.instance,
+                    origin: tag.origin,
+                    seq: tag.seq,
+                });
+            }
+        }
         // One allocation fans out everywhere: each enqueue below is a
         // reference-count bump where the pre-sharing node deep-cloned.
         let shared = Arc::new(msg);
@@ -310,6 +369,9 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                     });
                 }
             } else {
+                if self.send_queues[i].is_empty() {
+                    self.queue_busy_since[i] = Some(self.clock);
+                }
                 self.send_queues[i].push_back(Arc::clone(&shared));
                 self.stats.shared_enqueues.incr();
             }
@@ -382,6 +444,8 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
             if before == 0 {
                 continue;
             }
+            // The whole queue drains below, ending its busy period.
+            self.queue_busy_since[i] = None;
             if before == 1 {
                 let shared = self.send_queues[i].pop_front().expect("non-empty queue");
                 self.emit_validated(peer, shared, &mut emit);
@@ -474,6 +538,19 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
         self.delivery.len()
     }
 
+    /// Head-of-line wait per continuously busy peer queue at the current
+    /// clock, as `(peer, lag_ns)` pairs (empty queues are omitted). A
+    /// queue that stays non-empty across drains accumulates lag from the
+    /// moment it last went empty→non-empty — the per-peer backpressure
+    /// gauge behind `queue_lag_sampled`.
+    pub fn queue_lags(&self) -> Vec<(NodeId, u64)> {
+        self.peers
+            .iter()
+            .zip(&self.queue_busy_since)
+            .filter_map(|(&peer, busy)| busy.map(|since| (peer, self.clock.saturating_sub(since))))
+            .collect()
+    }
+
     /// Records one gauge snapshot per peer queue plus the cache occupancy
     /// into the observer. A no-op for disabled observers; runtimes call
     /// this periodically so traces carry queue-pressure samples alongside
@@ -489,6 +566,13 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                 peer: self.peers[i].as_u32(),
                 depth: self.send_queues[i].len() as u64,
             });
+            if let Some(since) = self.queue_busy_since[i] {
+                self.observer.record(Event::QueueLagSampled {
+                    node,
+                    peer: self.peers[i].as_u32(),
+                    lag_ns: self.clock.saturating_sub(since),
+                });
+            }
         }
         self.observer.record(Event::CacheOccupancySampled {
             node,
@@ -721,6 +805,112 @@ mod tests {
         assert_eq!(count("votes_aggregated"), 2);
         // Aggregates: peer1 gets Msg(6), peer2 gets Msg(1048) — both even.
         assert_eq!(count("gossip_sent"), 2);
+    }
+
+    /// A message carrying a consensus identity for wire tagging.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Tagged(u64);
+
+    impl GossipItem for Tagged {
+        fn message_id(&self) -> MessageId {
+            MessageId::from_u128(self.0 as u128)
+        }
+        fn wire_size(&self) -> usize {
+            8
+        }
+        fn trace_tag(&self) -> Option<TraceTag> {
+            Some(TraceTag {
+                kind: "Test",
+                instance: self.0,
+                origin: 9,
+                seq: self.0 + 1,
+            })
+        }
+    }
+
+    #[test]
+    fn local_broadcast_of_tagged_message_emits_wire_tagged() {
+        use obs::RingObserver;
+        let mut node: GossipNode<Tagged, NoSemantics, RecentCache, RingObserver> =
+            GossipNode::with_observer(
+                NodeId::new(0),
+                vec![NodeId::new(1)],
+                GossipConfig::default(),
+                NoSemantics,
+                RecentCache::new(64),
+                RingObserver::with_capacity(32),
+            );
+        node.broadcast(Tagged(5));
+        // Forwarded (received) messages keep their origin's tag: no re-tag.
+        node.on_receive(NodeId::new(1), Tagged(6));
+        let events = node.observer_mut().drain();
+        let tags: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.event {
+                Event::WireTagged {
+                    msg,
+                    kind,
+                    instance,
+                    origin,
+                    seq,
+                    ..
+                } => Some((*msg, kind.clone(), *instance, *origin, *seq)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            tags,
+            vec![(
+                Tagged(5).message_id().trace_id(),
+                "Test".to_string(),
+                5,
+                9,
+                6
+            )]
+        );
+    }
+
+    #[test]
+    fn queue_lag_tracks_busy_periods() {
+        use obs::RingObserver;
+        let mut node: GossipNode<Msg, NoSemantics, RecentCache, RingObserver> =
+            GossipNode::with_observer(
+                NodeId::new(0),
+                vec![NodeId::new(1), NodeId::new(2)],
+                GossipConfig::default(),
+                NoSemantics,
+                RecentCache::new(64),
+                RingObserver::with_capacity(64),
+            );
+        assert!(node.queue_lags().is_empty());
+        node.set_clock(100);
+        node.broadcast(Msg(1));
+        node.set_clock(350);
+        // Still busy since 100 on both peer queues.
+        assert_eq!(
+            node.queue_lags(),
+            vec![(NodeId::new(1), 250), (NodeId::new(2), 250)]
+        );
+        node.sample_gauges();
+        let events = node.observer_mut().drain();
+        let lags: Vec<(u32, u64)> = events
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::QueueLagSampled { peer, lag_ns, .. } => Some((peer, lag_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lags, vec![(1, 250), (2, 250)]);
+        // Draining ends the busy period; the next enqueue restarts it.
+        node.take_outgoing();
+        assert!(node.queue_lags().is_empty());
+        node.set_clock(400);
+        node.broadcast(Msg(2));
+        node.set_clock(450);
+        assert_eq!(
+            node.queue_lags(),
+            vec![(NodeId::new(1), 50), (NodeId::new(2), 50)]
+        );
     }
 
     #[test]

@@ -190,6 +190,12 @@ events! {
     GossipDelivered = "gossip_delivered" { node: u32, msg: u64 },
     /// A message was queued for a peer.
     GossipSent = "gossip_sent" { node: u32, to: u32, msg: u64 },
+    /// A locally broadcast message entered the gossip substrate as wire
+    /// message `msg`, carrying consensus identity (`kind`, `instance`,
+    /// `origin`, `seq`). Joins the wire-level `gossip_sent`/`gossip_received`
+    /// timeline to protocol state for causal critical-path analysis;
+    /// `instance` is `u64::MAX` when the message is not instance-bound.
+    WireTagged = "wire_tagged" { node: u32, msg: u64, kind: String, instance: u64, origin: u32, seq: u64 },
     /// A per-peer send queue overflowed and the message was dropped.
     SendQueueOverflow = "send_queue_overflow" { node: u32, to: u32, msg: u64 },
     /// The delivery queue overflowed and the message was dropped.
@@ -255,6 +261,23 @@ events! {
     /// Snapshot of the Paxos instance window: `open` instances voted on
     /// or decided but not yet released in order.
     InstanceWindowSampled = "instance_window_sampled" { node: u32, open: u64 },
+    /// Snapshot of a per-peer send queue's head-of-line wait: the queue
+    /// toward `peer` has been continuously non-empty for `lag_ns`.
+    QueueLagSampled = "queue_lag_sampled" { node: u32, peer: u32, lag_ns: u64 },
+
+    // ------------------------------------------------------------------
+    // Health / liveness (obs::health)
+    // ------------------------------------------------------------------
+    /// The health tracker saw pending work but no in-order delivery for
+    /// longer than its threshold. `instance` is the oldest open undecided
+    /// instance (or the log head when all seen instances have closed) and
+    /// `phase` the lifecycle phase it is stuck in; `age_ms` is the
+    /// progress gap at detection time.
+    StallDetected = "stall_detected" { node: u32, instance: u64, phase: String, age_ms: u64 },
+    /// In-order delivery resumed after a detected stall: `instance` is the
+    /// instance named by the matching [`Event::StallDetected`] and
+    /// `stalled_ms` the full progress gap the stall spanned.
+    StallCleared = "stall_cleared" { node: u32, instance: u64, stalled_ms: u64 },
 
     // ------------------------------------------------------------------
     // Simulation / cluster markers (simnet, testbed)

@@ -1,0 +1,183 @@
+//! Always-on bounded flight recorder: the last N events, dumpable with a
+//! reason when something goes wrong.
+//!
+//! Full traces are an opt-in debugging tool — they are unbounded and cost
+//! serialization. A [`FlightRecorder`] is the always-on counterpart: a
+//! small [`RingObserver`]-backed ring of the most recent events that
+//! costs nothing but ring pushes while things go well, and produces a
+//! self-describing JSONL dump the moment a stall is detected, a safety
+//! audit fails, or an operator asks for one. The dump begins with a
+//! `mark` event naming the trigger, so the file explains itself and still
+//! parses as an ordinary trace (`tracetool` accepts it unchanged).
+
+use std::io;
+use std::path::Path;
+
+use crate::event::{Event, TimedEvent};
+use crate::observer::{Observer, RingObserver};
+
+/// A bounded ring of recent [`TimedEvent`]s with reasoned JSONL dumps.
+///
+/// # Example
+///
+/// ```
+/// use obs::flight::FlightRecorder;
+/// use obs::{Event, TimedEvent};
+///
+/// let mut flight = FlightRecorder::with_capacity(128);
+/// flight.record(TimedEvent {
+///     at: 42,
+///     event: Event::Mark { node: 0, label: "hello".into() },
+/// });
+/// let dump = flight.dump("example trigger");
+/// assert!(dump.lines().count() == 2); // trigger mark + one event
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    ring: RingObserver,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: RingObserver::with_capacity(capacity),
+        }
+    }
+
+    /// Records one already-timestamped event.
+    pub fn record(&mut self, e: TimedEvent) {
+        self.ring.set_now(e.at);
+        self.ring.record(e.event);
+    }
+
+    /// Records a batch of already-timestamped events.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = TimedEvent>) {
+        for e in events {
+            self.record(e);
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the recorder holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events that fell off the back of the ring.
+    pub fn discarded(&self) -> u64 {
+        self.ring.discarded()
+    }
+
+    /// Copies out the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TimedEvent> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// Serializes the buffer as a self-describing JSONL dump: a leading
+    /// `mark` event records the trigger `reason` (and how many older
+    /// events the ring had already discarded), followed by the buffered
+    /// events oldest-first. The result is a valid trace file.
+    pub fn dump(&self, reason: &str) -> String {
+        let at = self.ring.iter().next().map_or(0, |e| e.at);
+        let header = TimedEvent {
+            at,
+            event: Event::Mark {
+                node: 0,
+                label: format!(
+                    "flight dump: {reason} ({} events, {} older discarded)",
+                    self.ring.len(),
+                    self.ring.discarded()
+                ),
+            },
+        };
+        let mut out = header.to_json();
+        out.push('\n');
+        out.push_str(&self.ring.to_jsonl());
+        out
+    }
+
+    /// Writes [`dump`](Self::dump) to `path`, returning the number of
+    /// events written (excluding the trigger mark).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_dump(&self, path: impl AsRef<Path>, reason: &str) -> io::Result<usize> {
+        std::fs::write(path, self.dump(reason))?;
+        Ok(self.ring.len())
+    }
+}
+
+/// Recording through the `Observer` entry point stamps events with the
+/// last timestamp seen via [`FlightRecorder::record`] — drive the clock
+/// by recording [`TimedEvent`]s, or wrap the recorder's ring directly.
+impl Observer for FlightRecorder {
+    fn record(&mut self, event: Event) {
+        self.ring.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(at: u64, label: &str) -> TimedEvent {
+        TimedEvent {
+            at,
+            event: Event::Mark {
+                node: 1,
+                label: label.to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn keeps_only_the_most_recent_events() {
+        let mut flight = FlightRecorder::with_capacity(3);
+        for i in 0..10u64 {
+            flight.record(mark(i, &format!("e{i}")));
+        }
+        assert_eq!(flight.len(), 3);
+        assert_eq!(flight.discarded(), 7);
+        let events = flight.snapshot();
+        assert_eq!(events.first().unwrap().at, 7);
+        assert_eq!(events.last().unwrap().at, 9);
+    }
+
+    #[test]
+    fn dump_is_a_parseable_trace_with_a_reason_header() {
+        let mut flight = FlightRecorder::with_capacity(8);
+        flight.extend([mark(5, "a"), mark(6, "b")]);
+        let dump = flight.dump("unit-test trigger");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = TimedEvent::from_json(lines[0]).unwrap();
+        match header.event {
+            Event::Mark { label, .. } => {
+                assert!(label.contains("unit-test trigger"), "{label}");
+                assert!(label.contains("2 events"), "{label}");
+            }
+            other => panic!("expected mark header, got {other:?}"),
+        }
+        for line in &lines[1..] {
+            TimedEvent::from_json(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn write_dump_creates_the_file() {
+        let mut flight = FlightRecorder::with_capacity(4);
+        flight.record(mark(1, "x"));
+        let path = std::env::temp_dir().join("obs-flight-test-dump.jsonl");
+        let written = flight.write_dump(&path, "test").unwrap();
+        assert_eq!(written, 1);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

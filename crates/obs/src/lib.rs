@@ -11,7 +11,13 @@
 //!   via an associated `const`, so uninstrumented components compile to the
 //!   same code as before instrumentation existed.
 //! - [`RingObserver`] / [`SharedRing`]: bounded buffers for single-owner
-//!   (simulated time) and multi-threaded (monotonic time) recording.
+//!   (simulated time) and multi-threaded (monotonic time) recording;
+//!   [`Tee`] fans one instrumentation point out to two sinks.
+//! - [`HealthTracker`]: instance-lifecycle tracking and stall detection
+//!   over the event stream — pending work with no in-order delivery past
+//!   a threshold emits `stall_detected` / `stall_cleared` events.
+//! - [`FlightRecorder`]: an always-on bounded ring of recent events that
+//!   produces reasoned, trace-compatible JSONL dumps on failure.
 //! - [`SpanTracker`]: stitches per-value events into a
 //!   submit → 2a → quorum → decision → in-order-delivery latency breakdown.
 //! - [`LogHistogram`]: a mergeable, log-bucketed, bounded-memory latency
@@ -30,6 +36,8 @@
 
 pub mod counter;
 pub mod event;
+pub mod flight;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod observer;
@@ -39,7 +47,9 @@ pub mod span;
 
 pub use counter::Counter;
 pub use event::{Event, TimedEvent, TraceParseError};
+pub use flight::FlightRecorder;
+pub use health::{HealthConfig, HealthSummary, HealthTracker};
 pub use hist::LogHistogram;
-pub use observer::{NoopObserver, Observer, RingObserver, SharedRing};
+pub use observer::{NoopObserver, Observer, RingObserver, SharedRing, Tee};
 pub use serve::{MetricsServer, Registry, SharedGauge, SharedHistogram};
 pub use span::{SegmentStats, SpanSummary, SpanTracker, ValueSpan};

@@ -122,6 +122,44 @@ impl Observer for RingObserver {
     }
 }
 
+/// Fans every event out to two observers.
+///
+/// Enabled whenever either side is; the event is cloned only when both
+/// sides are enabled, so `Tee<SharedRing, NoopObserver>` costs the same
+/// as the bare ring. Live runtimes use this to feed one global trace ring
+/// and a per-node sink (e.g. a local ring drained into a
+/// [`HealthTracker`](crate::health::HealthTracker)) from a single
+/// instrumentation point.
+#[derive(Debug, Clone, Default)]
+pub struct Tee<A, B> {
+    /// First sink.
+    pub a: A,
+    /// Second sink.
+    pub b: B,
+}
+
+impl<A, B> Tee<A, B> {
+    /// Combines two observers into one.
+    pub fn new(a: A, b: B) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn record(&mut self, event: Event) {
+        if A::ENABLED && B::ENABLED {
+            self.a.record(event.clone());
+            self.b.record(event);
+        } else if A::ENABLED {
+            self.a.record(event);
+        } else if B::ENABLED {
+            self.b.record(event);
+        }
+    }
+}
+
 /// A cloneable, thread-safe ring that stamps events with monotonic elapsed
 /// nanoseconds — the observer for live (threaded) transport runs, where no
 /// single owner can drive `set_now`.
@@ -197,6 +235,36 @@ mod tests {
     fn noop_is_compile_time_disabled() {
         const { assert!(!NoopObserver::ENABLED) };
         const { assert!(RingObserver::ENABLED) };
+    }
+
+    #[test]
+    fn tee_enablement_follows_either_side() {
+        const { assert!(!<Tee<NoopObserver, NoopObserver>>::ENABLED) };
+        const { assert!(<Tee<RingObserver, NoopObserver>>::ENABLED) };
+        const { assert!(<Tee<NoopObserver, RingObserver>>::ENABLED) };
+        const { assert!(<Tee<RingObserver, RingObserver>>::ENABLED) };
+    }
+
+    #[test]
+    fn tee_records_into_both_sides() {
+        let mut tee = Tee::new(
+            RingObserver::with_capacity(4),
+            RingObserver::with_capacity(4),
+        );
+        tee.a.set_now(1);
+        tee.b.set_now(2);
+        tee.record(mark(0, "x"));
+        assert_eq!(tee.a.len(), 1);
+        assert_eq!(tee.b.len(), 1);
+        assert_eq!(tee.a.drain()[0].at, 1);
+        assert_eq!(tee.b.drain()[0].at, 2);
+    }
+
+    #[test]
+    fn tee_with_one_disabled_side_still_records() {
+        let mut tee = Tee::new(NoopObserver, RingObserver::with_capacity(4));
+        tee.record(mark(3, "y"));
+        assert_eq!(tee.b.len(), 1);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use semantic_gossip::codec::{decode_seq, encode_seq, seq_len, Reader, Wire, WireError};
 use semantic_gossip::id::stable_hash64;
-use semantic_gossip::{GossipItem, MessageId, NodeId};
+use semantic_gossip::{GossipItem, MessageId, NodeId, TraceTag};
 
 use crate::types::{InstanceId, Round, Value};
 
@@ -310,6 +310,30 @@ impl GossipItem for PaxosMessage {
 
     fn wire_size(&self) -> usize {
         self.encoded_len()
+    }
+
+    /// Consensus identity for the `wire_tagged` correlation event: the
+    /// message kind, the instance it concerns (sentinel when none), and
+    /// the carried value's `(origin, seq)` when it carries one. This is
+    /// what lets trace analysis stitch the causal chain gating a decision
+    /// — client forward → proposal → votes — across wire message ids.
+    fn trace_tag(&self) -> Option<TraceTag> {
+        let instance = self
+            .instance()
+            .map_or(TraceTag::NO_INSTANCE, |i| i.as_u64());
+        let value_id = match self {
+            PaxosMessage::ClientValue { value, .. }
+            | PaxosMessage::Phase2a { value, .. }
+            | PaxosMessage::Phase2b { value, .. }
+            | PaxosMessage::Decision { value, .. } => Some(value.id()),
+            PaxosMessage::Phase1a { .. } | PaxosMessage::Phase1b { .. } => None,
+        };
+        Some(TraceTag {
+            kind: self.kind().name(),
+            instance,
+            origin: value_id.map_or(0, |id| id.origin.as_u32()),
+            seq: value_id.map_or(0, |id| id.seq),
+        })
     }
 }
 
@@ -658,6 +682,23 @@ mod tests {
         assert_eq!(msgs[4].kind(), Kind::Phase2b);
         assert_eq!(msgs[5].kind(), Kind::Phase2bAggregated);
         assert_eq!(msgs[6].instance(), Some(InstanceId::new(5)));
+    }
+
+    #[test]
+    fn trace_tags_carry_kind_instance_and_value_identity() {
+        let msgs = sample_messages();
+        let p2a = msgs[3].trace_tag().unwrap();
+        assert_eq!(p2a.kind, "Phase2a");
+        assert_eq!(p2a.instance, 5);
+        assert_eq!((p2a.origin, p2a.seq), (1, 1));
+        let cv = msgs[0].trace_tag().unwrap();
+        assert_eq!(cv.kind, "ClientValue");
+        assert_eq!(cv.instance, TraceTag::NO_INSTANCE);
+        assert_eq!((cv.origin, cv.seq), (1, 1));
+        // Phase 1 messages carry no value: origin/seq are zeroed.
+        let p1a = msgs[1].trace_tag().unwrap();
+        assert_eq!(p1a.instance, 10);
+        assert_eq!((p1a.origin, p1a.seq), (0, 0));
     }
 
     #[test]

@@ -63,6 +63,17 @@ pub fn render_event(timed: &TimedEvent) -> String {
         } => format!("delivered #{instance} (origin p{origin} seq {seq})"),
         Event::Crashed { .. } => "crashed".to_string(),
         Event::Recovered { .. } => "recovered".to_string(),
+        Event::StallDetected {
+            instance,
+            phase,
+            age_ms,
+            ..
+        } => format!("STALL: instance {instance} ({phase}) stuck for {age_ms} ms"),
+        Event::StallCleared {
+            instance,
+            stalled_ms,
+            ..
+        } => format!("stall cleared: instance {instance} after {stalled_ms} ms"),
         Event::AuditViolation { detail, .. } => format!("AUDIT VIOLATION: {detail}"),
         Event::Mark { label, .. } => format!("mark: {label}"),
         other => format!("{} {}", other.kind(), other.to_json_value().render()),

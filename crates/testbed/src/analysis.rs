@@ -407,6 +407,106 @@ impl TraceAnalysis {
     pub fn csv(&self) -> String {
         self.phase_table().to_csv()
     }
+
+    /// The analysis as one machine-readable JSON object (deterministic
+    /// for a given trace; keys sorted, integers exact).
+    pub fn to_json(&self) -> String {
+        use obs::json::JsonValue as J;
+        use std::collections::BTreeMap as Map;
+
+        let int = |v: u64| J::Int(v as i128);
+        let obj = |entries: Vec<(&str, J)>| {
+            J::Obj(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect::<Map<String, J>>(),
+            )
+        };
+
+        let kinds = J::Obj(
+            self.kind_counts
+                .iter()
+                .map(|(&k, &c)| (k.to_string(), int(c)))
+                .collect(),
+        );
+        let hops = J::Obj(
+            self.hops
+                .iter()
+                .map(|(&h, &c)| (h.to_string(), int(c)))
+                .collect(),
+        );
+        let phases = J::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    let q = |q: f64| match p.hist.quantile(q) {
+                        Some(ns) => int(ns),
+                        None => J::Null,
+                    };
+                    obj(vec![
+                        ("name", J::Str(p.name.to_string())),
+                        ("count", int(p.hist.count())),
+                        ("p50_ns", q(0.50)),
+                        ("p90_ns", q(0.90)),
+                        ("p99_ns", q(0.99)),
+                        ("p999_ns", q(0.999)),
+                        ("max_ns", p.hist.max().map_or(J::Null, int)),
+                    ])
+                })
+                .collect(),
+        );
+
+        obj(vec![
+            ("events", int(self.events as u64)),
+            ("nodes", int(self.nodes as u64)),
+            ("runs", int(self.runs as u64)),
+            ("duration_ns", int(self.duration_ns)),
+            ("kind_counts", kinds),
+            (
+                "semantic",
+                obj(vec![
+                    ("sent", int(self.sent)),
+                    ("filtered", int(self.filtered)),
+                    ("merged", int(self.merged)),
+                    ("outgoing_candidates", int(self.outgoing_candidates())),
+                    ("filter_efficacy", J::Float(self.filter_efficacy())),
+                    (
+                        "aggregation_efficacy",
+                        J::Float(self.aggregation_efficacy()),
+                    ),
+                ]),
+            ),
+            (
+                "redundancy",
+                obj(vec![
+                    ("receptions", int(self.receptions)),
+                    ("parts", int(self.parts)),
+                    ("duplicates", int(self.duplicates)),
+                    ("deliveries", int(self.deliveries)),
+                    ("redundancy_ratio", J::Float(self.redundancy_ratio())),
+                    ("duplicate_share", J::Float(self.duplicate_share())),
+                ]),
+            ),
+            (
+                "hops",
+                obj(vec![
+                    ("by_count", hops),
+                    ("mean", J::Float(self.mean_hops())),
+                    ("unresolved", int(self.unresolved_hops)),
+                ]),
+            ),
+            ("phases", phases),
+            (
+                "values",
+                obj(vec![
+                    ("tracked", int(self.values_tracked as u64)),
+                    ("complete", int(self.values_complete as u64)),
+                ]),
+            ),
+        ])
+        .render()
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -683,6 +783,24 @@ mod tests {
         assert_eq!(a.duplicates, 2);
         // Traced time sums per-run extents (each run spans ts 10..41).
         assert_eq!(a.duration_ns, 62);
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let a = analyze_str(&line_trace()).unwrap();
+        let json = a.to_json();
+        let v = obs::json::JsonValue::parse(&json).expect("valid JSON");
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["events"].as_u64(), Some(10));
+        let redundancy = obj["redundancy"].as_obj().unwrap();
+        assert_eq!(redundancy["parts"].as_u64(), Some(3));
+        let hops = obj["hops"].as_obj().unwrap();
+        let by_count = hops["by_count"].as_obj().unwrap();
+        assert_eq!(by_count["2"].as_u64(), Some(1));
+        let kinds = obj["kind_counts"].as_obj().unwrap();
+        assert_eq!(kinds["gossip_delivered"].as_u64(), Some(3));
+        // Deterministic byte-for-byte.
+        assert_eq!(json, analyze_str(&line_trace()).unwrap().to_json());
     }
 
     #[test]

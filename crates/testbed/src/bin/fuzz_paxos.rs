@@ -54,6 +54,20 @@ fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &s
         .unwrap_or_else(|_| usage(&format!("{flag}: cannot parse {value:?}")))
 }
 
+/// Replays the failing plan with the flight recorder and writes its
+/// recent-event tail next to the repro command, so the events leading up
+/// to the violation survive the process.
+fn write_flight_dump(fuzzer: &Fuzzer, plan: &FaultPlan, seed: u64, reason: &str) {
+    let Some(dump) = fuzzer.flight_dump(plan, seed, reason) else {
+        return;
+    };
+    let path = format!("fuzz-flight-{seed}.jsonl");
+    match std::fs::write(&path, &dump) {
+        Ok(()) => println!("flight: {path} ({} events)", dump.lines().count()),
+        Err(e) => eprintln!("[fuzz] could not write flight dump {path}: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let mut config = FuzzConfig::default();
     let mut seeds: Option<u64> = None;
@@ -100,6 +114,7 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         println!("{report}");
+        write_flight_dump(&fuzzer, &plan, run_seed, "replayed audit failure");
         return ExitCode::FAILURE;
     }
 
@@ -175,6 +190,16 @@ fn main() -> ExitCode {
                 "repro: fuzz_paxos --repro '{}' --seed {} {flags}",
                 minimized.to_spec(),
                 verdict.seed
+            );
+            write_flight_dump(
+                &fuzzer,
+                &minimized,
+                verdict.seed,
+                &format!(
+                    "audit failure, seed {} plan '{}'",
+                    verdict.seed,
+                    minimized.to_spec()
+                ),
             );
             ExitCode::FAILURE
         }

@@ -1,27 +1,47 @@
 //! Trace analyzer for JSONL execution traces.
 //!
 //! ```text
-//! tracetool report <trace.jsonl> [--csv FILE]
+//! tracetool report <trace.jsonl> [--csv FILE] [--json]
+//! tracetool critical-path <trace.jsonl> [--instance N]
+//! tracetool health <trace.jsonl> [--stall-after-ms MS]
 //! ```
 //!
 //! Reads a trace written by `wan_paxos --trace` (or any
-//! [`obs::TimedEvent`] JSONL stream) and prints the semantic-efficacy
-//! report: filter/aggregation suppression rates, redundancy ratio, causal
-//! hop-count distribution and per-phase latency quantiles. `--csv` also
-//! writes the per-phase latency table as CSV. Exits non-zero on malformed
-//! traces, naming the offending line.
+//! [`obs::TimedEvent`] JSONL stream).
+//!
+//! * `report` prints the semantic-efficacy report: filter/aggregation
+//!   suppression rates, redundancy ratio, causal hop-count distribution
+//!   and per-phase latency quantiles. `--csv` also writes the per-phase
+//!   latency table as CSV; `--json` emits the whole analysis as one
+//!   machine-readable JSON object instead of text.
+//! * `critical-path` stitches the causal message chain gating each
+//!   decision — submit, `ClientValue` forward, `Phase2a` to the critical
+//!   voter, its `Phase2b` back to the first decider — with hop-by-hop
+//!   queue-wait/transit attribution. `--instance` selects the detailed
+//!   breakdown (default: the slowest decision).
+//! * `health` replays the trace through the [`obs::HealthTracker`] and
+//!   reports stalls; it exits non-zero when any stall was detected, so CI
+//!   can assert a clean run produced none.
+//!
+//! Exits non-zero on malformed traces, naming the offending line.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use obs::{HealthConfig, HealthTracker, TimedEvent};
 use testbed::analysis::analyze_str;
+use testbed::critical_path::{critical_paths, report as critical_report};
 
 fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: tracetool report <trace.jsonl> [--csv FILE]");
+    eprintln!(
+        "usage: tracetool report <trace.jsonl> [--csv FILE] [--json]\n\
+         \x20      tracetool critical-path <trace.jsonl> [--instance N]\n\
+         \x20      tracetool health <trace.jsonl> [--stall-after-ms MS]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -29,23 +49,40 @@ fn usage(err: &str) -> ExitCode {
     }
 }
 
-fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("report") => {}
-        Some("--help") | Some("-h") => return usage(""),
-        Some(other) => return usage(&format!("unknown command: {other}")),
-        None => return usage("missing command"),
+/// Parses every line of a trace file, exiting with the offending line on
+/// malformed input.
+fn read_events(path: &PathBuf) -> Result<Vec<TimedEvent>, ExitCode> {
+    let input = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let mut events = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        match TimedEvent::from_json(line) {
+            Ok(t) => events.push(t),
+            Err(e) => {
+                eprintln!("error: {}: line {}: {e}", path.display(), i + 1);
+                return Err(ExitCode::FAILURE);
+            }
+        }
     }
+    Ok(events)
+}
 
+fn cmd_report(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut trace: Option<PathBuf> = None;
     let mut csv_out: Option<PathBuf> = None;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--csv" => match args.next() {
                 Some(path) => csv_out = Some(PathBuf::from(path)),
                 None => return usage("--csv needs a file"),
             },
+            "--json" => json = true,
             "--help" | "-h" => return usage(""),
             other if trace.is_none() => trace = Some(PathBuf::from(other)),
             other => return usage(&format!("unexpected argument: {other}")),
@@ -70,7 +107,11 @@ fn main() -> ExitCode {
         }
     };
 
-    print!("{}", analysis.report());
+    if json {
+        println!("{}", analysis.to_json());
+    } else {
+        print!("{}", analysis.report());
+    }
     if let Some(path) = csv_out {
         if let Err(e) = fs::write(&path, analysis.csv()) {
             eprintln!("error: cannot write {}: {e}", path.display());
@@ -79,4 +120,115 @@ fn main() -> ExitCode {
         eprintln!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_critical_path(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut trace: Option<PathBuf> = None;
+    let mut instance: Option<u64> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--instance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(i) => instance = Some(i),
+                None => return usage("--instance needs a number"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if trace.is_none() => trace = Some(PathBuf::from(other)),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(trace) = trace else {
+        return usage("missing trace file");
+    };
+    let events = match read_events(&trace) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let paths = critical_paths(&events);
+    print!("{}", critical_report(&paths, instance));
+    ExitCode::SUCCESS
+}
+
+fn cmd_health(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut trace: Option<PathBuf> = None;
+    let mut stall_after_ms: u64 = 2_000;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stall-after-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => stall_after_ms = ms,
+                None => return usage("--stall-after-ms needs a number"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if trace.is_none() => trace = Some(PathBuf::from(other)),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(trace) = trace else {
+        return usage("missing trace file");
+    };
+    let events = match read_events(&trace) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+
+    // A trace file may concatenate runs (timestamps reset); the progress
+    // gap between a run's last event and the next run's first is an
+    // artifact, so each run gets its own tracker.
+    let mut detected = 0u64;
+    let mut cleared = 0u64;
+    let mut max_stall_ms = 0u64;
+    let mut stalled: Vec<u64> = Vec::new();
+    let mut runs = 0usize;
+    let mut start = 0usize;
+    for end in 1..=events.len() {
+        if end < events.len() && events[end].at >= events[end - 1].at {
+            continue;
+        }
+        runs += 1;
+        let run = &events[start..end];
+        let mut tracker = HealthTracker::new(HealthConfig {
+            stall_after: stall_after_ms.saturating_mul(1_000_000),
+        });
+        tracker.observe_all(run);
+        if let Some(last) = run.last() {
+            tracker.finalize(last.at);
+        }
+        let s = tracker.summary();
+        detected += s.stalls_detected;
+        cleared += s.stalls_cleared;
+        max_stall_ms = max_stall_ms.max(s.max_stall_ms);
+        stalled.extend(s.stalled_instance);
+        start = end;
+    }
+
+    println!("runs             {runs}");
+    println!("stall threshold  {stall_after_ms} ms");
+    println!("stalls detected  {detected}");
+    println!("stalls cleared   {cleared}");
+    println!("max stall        {max_stall_ms} ms");
+    if stalled.is_empty() {
+        println!("still stalled at end: none");
+    } else {
+        let list: Vec<String> = stalled.iter().map(u64::to_string).collect();
+        println!(
+            "still stalled at end: instance {}",
+            list.join(", instance ")
+        );
+    }
+    if detected == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("report") => cmd_report(args),
+        Some("critical-path") => cmd_critical_path(args),
+        Some("health") => cmd_health(args),
+        Some("--help") | Some("-h") => usage(""),
+        Some(other) => usage(&format!("unknown command: {other}")),
+        None => usage("missing command"),
+    }
 }

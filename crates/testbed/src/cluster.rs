@@ -19,7 +19,7 @@
 //! saturate (Figures 3/4). Message loss can be injected at the receiver
 //! (Figure 6). Runs are deterministic per seed.
 
-use obs::{Event as ObsEvent, RingObserver, SpanTracker, TimedEvent};
+use obs::{Event as ObsEvent, HealthConfig, HealthTracker, RingObserver, SpanTracker, TimedEvent};
 use overlay::{connected_k_out, paper_fanout, Graph};
 use paxos::{
     InstanceId, MemoryStorage, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId,
@@ -174,6 +174,18 @@ pub struct ClusterParams {
     /// recorded and the rendered log is returned in
     /// [`RunMetrics::trace`](crate::RunMetrics).
     pub trace_capacity: usize,
+    /// Capacity of the always-on flight recorder: the most recent events
+    /// of the merged stream are kept and returned in
+    /// [`RunMetrics::flight`](crate::RunMetrics) even when full tracing is
+    /// off, so failed runs (audit violations, stalls) can dump their
+    /// recent-event context. 0 disables flight recording. Nodes' ring
+    /// buffers are sized to `max(trace_capacity, flight_capacity)`.
+    pub flight_capacity: usize,
+    /// Stall threshold for the health tracker run over the trace: pending
+    /// work with no in-order delivery for longer than this raises a
+    /// `stall_detected` event. Health tracking needs the full event
+    /// stream, so it runs only when `trace_capacity > 0`.
+    pub stall_after: SimDuration,
 }
 
 impl ClusterParams {
@@ -201,6 +213,8 @@ impl ClusterParams {
             partitions: PartitionSchedule::none(),
             failover: None,
             trace_capacity: 0,
+            flight_capacity: 1024,
+            stall_after: SimDuration::from_secs(2),
         }
     }
 
@@ -266,6 +280,12 @@ impl ClusterParams {
     /// End of the simulation (warm-up + window + drain).
     pub fn end_time(&self) -> SimTime {
         SimTime::ZERO + self.warmup + self.window + self.drain
+    }
+
+    /// Per-node observer ring capacity: sized for the full trace when
+    /// tracing is on, and for the flight recorder's tail otherwise.
+    fn ring_capacity(&self) -> usize {
+        self.trace_capacity.max(self.flight_capacity)
     }
 }
 
@@ -518,7 +538,7 @@ impl Cluster {
                             params.gossip,
                             semantics,
                             filter,
-                            RingObserver::with_capacity(params.trace_capacity),
+                            RingObserver::with_capacity(params.ring_capacity()),
                         )))
                     }
                     (_, None) => unreachable!("gossip setup without overlay"),
@@ -528,7 +548,7 @@ impl Cluster {
                         NodeId::new(i),
                         config.clone(),
                         MemoryStorage::default(),
-                        RingObserver::with_capacity(params.trace_capacity),
+                        RingObserver::with_capacity(params.ring_capacity()),
                     ),
                     comms,
                     cpu: NodeCpu::new(params.cpu.recv),
@@ -596,6 +616,7 @@ impl Cluster {
         n.paxos.observer_mut().set_now(now.as_nanos());
         if let Comms::Gossip(g) = &mut n.comms {
             g.observer_mut().set_now(now.as_nanos());
+            g.set_clock(now.as_nanos());
         }
     }
 
@@ -860,7 +881,7 @@ impl Cluster {
             NodeId::new(node),
             config.clone(),
             storage,
-            RingObserver::with_capacity(self.params.trace_capacity),
+            RingObserver::with_capacity(self.params.ring_capacity()),
         );
         self.nodes[idx].delivered_log.clear();
         self.nodes[idx].flush_scheduled = false;
@@ -888,7 +909,7 @@ impl Cluster {
                 self.params.gossip,
                 semantics,
                 filter,
-                RingObserver::with_capacity(self.params.trace_capacity),
+                RingObserver::with_capacity(self.params.ring_capacity()),
             )));
         }
         // The rebuilt acceptor's promise must match or exceed what was
@@ -1082,7 +1103,8 @@ impl Cluster {
             );
         }
         metrics.received_by_kind = self.received_by_kind;
-        if self.tracer.is_enabled() {
+        let tracing = self.tracer.is_enabled();
+        if tracing || self.params.ring_capacity() > 0 {
             // Merge the cluster-level trace (losses, recoveries) with every
             // process's Paxos observer into one time-ordered stream; stable
             // sort keeps each process's events in emission order.
@@ -1094,23 +1116,55 @@ impl Cluster {
                 }
             }
             events.extend(self.tracer.events().cloned());
+            if !tracing {
+                // The tracer records audit violations when enabled; keep
+                // them visible in flight-recorder dumps when it is not.
+                for v in &metrics.violations {
+                    events.push(TimedEvent {
+                        at: end.as_nanos(),
+                        event: ObsEvent::AuditViolation {
+                            node: v.node(),
+                            detail: v.to_string(),
+                        },
+                    });
+                }
+            }
             events.sort_by_key(|e| e.at);
 
-            let mut spans = SpanTracker::new();
-            spans.observe_all(&events);
-            metrics.span_summary = Some(spans.summary());
-            metrics.trace_kinds = obs::prom::event_kind_counts(&events).into_iter().collect();
+            if tracing {
+                // The health tracker needs the complete event stream; a
+                // flight-sized partial ring would fake progress gaps, so it
+                // runs only when tracing captured everything.
+                let mut health = HealthTracker::new(HealthConfig {
+                    stall_after: self.params.stall_after.as_nanos(),
+                });
+                health.observe_all(&events);
+                health.finalize(end.as_nanos());
+                metrics.health = Some(health.summary());
+                events.extend(health.take_events());
+                events.sort_by_key(|e| e.at);
 
-            let mut jsonl = String::new();
-            let mut rendered = String::new();
-            for e in &events {
-                jsonl.push_str(&e.to_json());
-                jsonl.push('\n');
-                rendered.push_str(&render_event(e));
-                rendered.push('\n');
+                let mut spans = SpanTracker::new();
+                spans.observe_all(&events);
+                metrics.span_summary = Some(spans.summary());
+                metrics.trace_kinds = obs::prom::event_kind_counts(&events).into_iter().collect();
+
+                let mut jsonl = String::new();
+                let mut rendered = String::new();
+                for e in &events {
+                    jsonl.push_str(&e.to_json());
+                    jsonl.push('\n');
+                    rendered.push_str(&render_event(e));
+                    rendered.push('\n');
+                }
+                metrics.trace_jsonl = Some(jsonl);
+                metrics.trace = Some(rendered);
             }
-            metrics.trace_jsonl = Some(jsonl);
-            metrics.trace = Some(rendered);
+
+            if self.params.flight_capacity > 0 {
+                let tail = events.len().saturating_sub(self.params.flight_capacity);
+                metrics.flight = events.split_off(tail);
+            }
         }
         metrics.seed = self.params.seed;
         metrics
@@ -1365,6 +1419,42 @@ mod tests {
         assert!(w.trace.is_none());
         assert!(w.trace_jsonl.is_none());
         assert!(w.span_summary.is_none());
+    }
+
+    #[test]
+    fn flight_recorder_captures_tail_without_tracing() {
+        let mut params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(13.0)
+            .with_seconds(1.0, 0.5);
+        params.trace_capacity = 0;
+        params.flight_capacity = 256;
+        let m = run_cluster(&params);
+        // Trace artifacts stay off, but the flight tail is populated and
+        // bounded by its capacity.
+        assert!(m.trace.is_none());
+        assert!(m.trace_jsonl.is_none());
+        assert!(m.health.is_none());
+        assert_eq!(m.flight.len(), 256);
+        let dump = m.flight_dump("test trigger").expect("flight populated");
+        for line in dump.lines() {
+            obs::TimedEvent::from_json(line).expect("valid trace line");
+        }
+        assert!(dump.starts_with('{') && dump.contains("flight dump: test trigger"));
+        // The tail is time-ordered.
+        assert!(m.flight.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn clean_traced_run_reports_zero_stalls() {
+        let mut params = ClusterParams::paper(13, Setup::Gossip)
+            .with_rate(13.0)
+            .with_seconds(1.5, 0.75);
+        params.trace_capacity = 1 << 16;
+        let m = run_cluster(&params);
+        let health = m.health.expect("tracing enables the health tracker");
+        assert_eq!(health.stalls_detected, 0, "clean run must not stall");
+        assert_eq!(health.stalled_instance, None);
+        assert_eq!(health.open_instances, 0);
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub struct Scenario {
     pub ordered: u64,
     /// Fraction of values never ordered.
     pub not_ordered: f64,
+    /// Stalls the health tracker detected over the run's trace.
+    pub stalls_detected: u64,
+    /// How many of those stalls cleared before the run ended.
+    pub stalls_cleared: u64,
+    /// The instance (or log head) named by the last detected stall.
+    pub stalled_instance: Option<u64>,
+    /// Longest observed progress gap (milliseconds).
+    pub max_stall_ms: u64,
 }
 
 /// The crash-experiment dataset.
@@ -85,10 +93,14 @@ pub fn run(params: &CrashParams) -> CrashReport {
         "need enough processes for a crashable minority"
     );
     let base = || {
-        ClusterParams::paper(params.n, params.setup)
+        let mut p = ClusterParams::paper(params.n, params.setup)
             .with_rate(params.rate)
             .with_seconds(params.seconds.0, params.seconds.1)
-            .with_seed(params.seed)
+            .with_seed(params.seed);
+        // Trace every scenario so the health tracker can watch for stalls;
+        // this is what distinguishes "values lost" from "ordering stuck".
+        p.trace_capacity = 1 << 16;
+        p
     };
     let down_from = SimDuration::from_secs_f64(params.seconds.1 + 0.5);
     let up_at = down_from + SimDuration::from_secs_f64(params.seconds.0 * 0.5);
@@ -98,11 +110,16 @@ pub fn run(params: &CrashParams) -> CrashReport {
     let mut push = |name: &str, p: ClusterParams| {
         let m = run_cluster(&p);
         assert!(m.safety_ok, "{name}: replicas diverged");
+        let health = m.health.clone().unwrap_or_default();
         scenarios.push(Scenario {
             name: name.to_string(),
             submitted: m.submitted_in_window,
             ordered: m.ordered,
             not_ordered: m.not_ordered_fraction(),
+            stalls_detected: health.stalls_detected,
+            stalls_cleared: health.stalls_cleared,
+            stalled_instance: health.stalled_instance,
+            max_stall_ms: health.max_stall_ms,
         });
     };
 
@@ -140,13 +157,35 @@ impl CrashReport {
 
     /// Renders the comparison.
     pub fn render(&self) -> String {
-        let mut t = Table::new(vec!["scenario", "submitted", "ordered", "not ordered"]);
+        let mut t = Table::new(vec![
+            "scenario",
+            "submitted",
+            "ordered",
+            "not ordered",
+            "stalls",
+            "max stall",
+        ]);
         for s in &self.scenarios {
+            let stalls = if s.stalls_detected == 0 {
+                "none".to_string()
+            } else {
+                let state = if s.stalls_cleared == s.stalls_detected {
+                    "cleared"
+                } else {
+                    "stuck"
+                };
+                match s.stalled_instance {
+                    Some(i) => format!("{} ({state}, inst {i})", s.stalls_detected),
+                    None => format!("{} ({state})", s.stalls_detected),
+                }
+            };
             t.row(vec![
                 s.name.clone(),
                 s.submitted.to_string(),
                 s.ordered.to_string(),
                 pct(s.not_ordered),
+                stalls,
+                format!("{} ms", s.max_stall_ms),
             ]);
         }
         format!(
@@ -186,12 +225,36 @@ mod tests {
     #[test]
     fn failover_restores_progress_after_coordinator_crash() {
         let report = run(&tiny());
+        let control = report.scenario("fail-free").unwrap();
         let stalled = report.scenario("coordinator crashes, no failover").unwrap();
         let failover = report.scenario("coordinator crashes, failover").unwrap();
+
+        // The health tracker, not a loss-rate heuristic, is the stall
+        // oracle: without failover the post-crash progress gap raises a
+        // stall that never clears and names the stuck instance.
+        assert_eq!(
+            stalled.stalls_detected, 1,
+            "no-failover run must raise exactly one stall"
+        );
+        assert_eq!(stalled.stalls_cleared, 0, "the stall must never clear");
         assert!(
-            stalled.not_ordered > 0.3,
-            "without failover most post-crash values stall: {}",
-            stalled.not_ordered
+            stalled.stalled_instance.is_some(),
+            "the stall must name the stuck instance"
+        );
+        assert!(
+            stalled.max_stall_ms >= 2_000,
+            "the gap must exceed the threshold: {} ms",
+            stalled.max_stall_ms
+        );
+
+        // Clean and failover runs report zero stalls: the control never
+        // pauses, and the round-change timer fires well under the
+        // threshold, so ordering resumes before a stall is declared.
+        assert_eq!(control.stalls_detected, 0, "control must not stall");
+        assert_eq!(
+            failover.stalls_detected, 0,
+            "failover must recover under the stall threshold (max gap {} ms)",
+            failover.max_stall_ms
         );
         assert!(
             failover.ordered > stalled.ordered,

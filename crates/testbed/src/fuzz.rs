@@ -457,6 +457,26 @@ impl Fuzzer {
         report
     }
 
+    /// Produces a flight-recorder dump for a plan: re-runs it (runs are
+    /// deterministic, so the replay recreates the exact event stream) and
+    /// returns the recent-event tail of the run whose audit failed,
+    /// preferring the Gossip substrate. `None` when the flight recorder is
+    /// disabled or captured nothing.
+    pub fn flight_dump(&self, plan: &FaultPlan, seed: u64, reason: &str) -> Option<String> {
+        let gossip = run_cluster(&plan.apply(self.base_params(Setup::Gossip, seed)));
+        if !gossip.violations.is_empty() || !self.config.check_neutrality {
+            return gossip.flight_dump(reason);
+        }
+        let semantic = run_cluster(&plan.apply(self.base_params(Setup::SemanticGossip, seed)));
+        if !semantic.violations.is_empty() {
+            semantic.flight_dump(reason)
+        } else {
+            // Cross-run violation (neutrality) or corrupted-audit selftest:
+            // no single run failed, fall back to the gossip run's tail.
+            gossip.flight_dump(reason)
+        }
+    }
+
     /// Runs the seed's derived plan.
     pub fn run_seed(&self, seed: u64) -> TrialVerdict {
         let plan = FaultPlan::derive(seed, &self.config);
@@ -651,6 +671,27 @@ mod tests {
                 assert_eq!(minimized.fault_count(), 0, "{}", minimized.to_spec());
             }
             FuzzOutcome::Clean { .. } => panic!("selftest must fail the audit"),
+        }
+    }
+
+    #[test]
+    fn flight_dump_replays_into_a_trace_compatible_tail() {
+        let mut config = tiny_config();
+        config.check_neutrality = false;
+        let fuzzer = Fuzzer::new(config);
+        let dump = fuzzer
+            .flight_dump(&FaultPlan::default(), 7, "fuzz audit failure")
+            .expect("flight recorder is on by default");
+        let mut lines = dump.lines();
+        let first = obs::TimedEvent::from_json(lines.next().unwrap()).unwrap();
+        match first.event {
+            obs::Event::Mark { label, .. } => {
+                assert!(label.contains("fuzz audit failure"), "{label}")
+            }
+            other => panic!("dump must lead with a reason mark, got {other:?}"),
+        }
+        for line in lines {
+            obs::TimedEvent::from_json(line).expect("valid trace line");
         }
     }
 

@@ -27,6 +27,7 @@
 pub mod analysis;
 pub mod audit;
 pub mod cluster;
+pub mod critical_path;
 pub mod experiments;
 pub mod fuzz;
 pub mod metrics;

@@ -82,6 +82,14 @@ pub struct RunMetrics {
     /// Per-phase latency breakdown stitched from the trace
     /// (submit → 2a → quorum → decision → in-order delivery).
     pub span_summary: Option<obs::SpanSummary>,
+    /// Health summary from the [`obs::HealthTracker`] run over the merged
+    /// trace (stall counts, oldest open instance). `None` unless tracing
+    /// was enabled — the tracker needs the complete event stream.
+    pub health: Option<obs::HealthSummary>,
+    /// Flight-recorder tail: the last `flight_capacity` merged events of
+    /// the run, kept in memory and serialized only on demand (see
+    /// [`RunMetrics::flight_dump`]). Empty when `flight_capacity` is 0.
+    pub flight: Vec<obs::TimedEvent>,
 }
 
 impl RunMetrics {
@@ -109,7 +117,20 @@ impl RunMetrics {
             trace_jsonl: None,
             trace_kinds: Vec::new(),
             span_summary: None,
+            health: None,
+            flight: Vec::new(),
         }
+    }
+
+    /// Renders the flight-recorder tail as a reasoned, trace-compatible
+    /// JSONL dump, or `None` when the recorder captured nothing.
+    pub fn flight_dump(&self, reason: &str) -> Option<String> {
+        if self.flight.is_empty() {
+            return None;
+        }
+        let mut rec = obs::FlightRecorder::with_capacity(self.flight.len());
+        rec.extend(self.flight.iter().cloned());
+        Some(rec.dump(reason))
     }
 
     /// The kind receiving the most messages, with its count.
@@ -308,6 +329,45 @@ impl RunMetrics {
                 );
             }
         }
+        if let Some(health) = &self.health {
+            exp.header(
+                "health_stalls_total",
+                "Stalls detected and cleared by the health tracker",
+                MetricKind::Counter,
+            );
+            exp.sample_u64(
+                "health_stalls_total",
+                &[("setup", setup), ("state", "detected")],
+                health.stalls_detected,
+            );
+            exp.sample_u64(
+                "health_stalls_total",
+                &[("setup", setup), ("state", "cleared")],
+                health.stalls_cleared,
+            );
+            exp.header(
+                "health_max_stall_seconds",
+                "Longest observed progress gap past the stall threshold",
+                MetricKind::Gauge,
+            );
+            exp.sample_f64(
+                "health_max_stall_seconds",
+                base,
+                health.max_stall_ms as f64 / 1e3,
+            );
+            exp.header(
+                "health_open_instances",
+                "Consensus instances opened but never delivered, at end of run",
+                MetricKind::Gauge,
+            );
+            exp.sample_u64("health_open_instances", base, health.open_instances);
+            exp.header(
+                "health_pending_values",
+                "Submitted values never delivered in order, at end of run",
+                MetricKind::Gauge,
+            );
+            exp.sample_u64("health_pending_values", base, health.pending_values);
+        }
         if let Some(summary) = &self.span_summary {
             exp.header(
                 "trace_phase_latency_seconds",
@@ -402,6 +462,48 @@ mod tests {
         assert!(text
             .contains("testbed_latency_seconds_bucket{setup=\"Semantic Gossip\",le=\"+Inf\"} 1"));
         assert!(text.contains("testbed_latency_seconds_count{setup=\"Semantic Gossip\"} 1"));
+    }
+
+    #[test]
+    fn health_summary_is_exposed_as_metrics() {
+        let mut m = RunMetrics::new("Gossip", 13, 10.0, SimDuration::from_secs(1));
+        m.health = Some(obs::HealthSummary {
+            stalls_detected: 1,
+            stalls_cleared: 0,
+            max_stall_ms: 2500,
+            stalled_instance: Some(7),
+            open_instances: 1,
+            pending_values: 3,
+        });
+        let text = m.prometheus();
+        assert!(text.contains("health_stalls_total{setup=\"Gossip\",state=\"detected\"} 1"));
+        assert!(text.contains("health_stalls_total{setup=\"Gossip\",state=\"cleared\"} 0"));
+        assert!(text.contains("health_max_stall_seconds{setup=\"Gossip\"} 2.5"));
+        assert!(text.contains("health_open_instances{setup=\"Gossip\"} 1"));
+        assert!(text.contains("health_pending_values{setup=\"Gossip\"} 3"));
+    }
+
+    #[test]
+    fn flight_dump_is_reasoned_and_parseable() {
+        let mut m = RunMetrics::new("Gossip", 3, 10.0, SimDuration::from_secs(1));
+        assert!(m.flight_dump("test").is_none());
+        m.flight = vec![obs::TimedEvent {
+            at: 42,
+            event: obs::Event::Decided {
+                node: 1,
+                instance: 0,
+                origin: 2,
+                seq: 9,
+            },
+        }];
+        let dump = m.flight_dump("audit failure").expect("non-empty flight");
+        assert!(dump.contains("flight dump: audit failure"));
+        let lines: Vec<obs::TimedEvent> = dump
+            .lines()
+            .map(|l| obs::TimedEvent::from_json(l).expect("valid trace line"))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].at, 42);
     }
 
     #[test]

@@ -20,9 +20,17 @@
 //! With `--metrics-addr`, a `/metrics` HTTP endpoint serves live
 //! Prometheus text while the run is in flight: per-peer send-queue depth,
 //! duplicate-cache occupancy, the open Paxos instance window, dropped
-//! frames, and an outgoing frame-size histogram. `--linger` keeps the
-//! endpoint up for that many seconds after consensus completes, so the
-//! final state can be scraped with `curl`.
+//! frames, an outgoing frame-size histogram, and the health engine's
+//! liveness gauges (`health_stalls_detected`, `health_oldest_open_age_ms`,
+//! `health_open_instances`). `--linger` keeps the endpoint up for that
+//! many seconds after consensus completes, so the final state can be
+//! scraped with `curl`.
+//!
+//! Health is always on, metrics or not: every node tees its event stream
+//! into a private flight ring, replays it through a [`HealthTracker`]
+//! every 250 ms, and — should the log stop advancing — prints the stall
+//! and dumps the ring's tail to `live-flight-node<id>.jsonl` for
+//! `tracetool` to dissect.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -32,7 +40,8 @@ use std::time::{Duration, Instant};
 use gossip_consensus::gossip::codec::Wire;
 use gossip_consensus::gossip::RecentCache;
 use gossip_consensus::obs::{
-    Event, MetricsServer, Registry, SharedGauge, SharedHistogram, SharedRing, SpanTracker,
+    Event, FlightRecorder, HealthConfig, HealthTracker, MetricsServer, Registry, SharedGauge,
+    SharedHistogram, SharedRing, SpanTracker, Tee,
 };
 use gossip_consensus::paxos::MemoryStorage;
 use gossip_consensus::prelude::*;
@@ -41,9 +50,17 @@ use gossip_consensus::transport::{Bytes, Endpoint, EndpointConfig, PeerEvent};
 
 const N: usize = 5;
 
+/// Per-node flight-recorder ring: enough to hold the full event tail of a
+/// short run, bounded on a long one.
+const FLIGHT_CAPACITY: usize = 4096;
+
+/// Every node records into the global trace ring *and* its private flight
+/// ring from a single instrumentation point.
+type NodeObs = Tee<SharedRing, SharedRing>;
+
 /// The fully instrumented node stack used by this example.
-type Gossip = GossipNode<PaxosMessage, PaxosSemantics, RecentCache, SharedRing>;
-type Paxos = gossip_consensus::paxos::PaxosProcess<MemoryStorage, SharedRing>;
+type Gossip = GossipNode<PaxosMessage, PaxosSemantics, RecentCache, NodeObs>;
+type Paxos = gossip_consensus::paxos::PaxosProcess<MemoryStorage, NodeObs>;
 
 fn main() {
     let mut trace_path: Option<String> = None;
@@ -200,6 +217,9 @@ struct NodeMetrics {
     bytes_encoded: SharedGauge,
     bytes_sent: SharedGauge,
     clones_avoided: SharedGauge,
+    stalls_detected: SharedGauge,
+    oldest_open_age_ms: SharedGauge,
+    health_open_instances: SharedGauge,
     last_trace_sample: Option<Instant>,
 }
 
@@ -241,6 +261,21 @@ impl NodeMetrics {
             clones_avoided: registry.gauge(
                 "gossip_clones_avoided_total",
                 "Payload deep-copies saved by shared fan-out (net of drain clones).",
+                &[("node", &node)],
+            ),
+            stalls_detected: registry.gauge(
+                "health_stalls_detected",
+                "Progress stalls the node's health tracker has raised.",
+                &[("node", &node)],
+            ),
+            oldest_open_age_ms: registry.gauge(
+                "health_oldest_open_age_ms",
+                "Age of the oldest unresolved instance or submitted value.",
+                &[("node", &node)],
+            ),
+            health_open_instances: registry.gauge(
+                "health_open_instances",
+                "Instances the health tracker still sees as open.",
                 &[("node", &node)],
             ),
             queue_depth: HashMap::new(),
@@ -291,6 +326,15 @@ impl NodeMetrics {
             });
         }
     }
+
+    /// Refreshes the liveness gauges from the node's health tracker.
+    fn sample_health(&self, health: &HealthTracker, now_ns: u64) {
+        let s = health.summary();
+        self.stalls_detected.set(s.stalls_detected);
+        self.health_open_instances.set(s.open_instances);
+        self.oldest_open_age_ms
+            .set(health.oldest_open_age(now_ns) / 1_000_000);
+    }
 }
 
 /// Running totals of the encode-once send path: `encoded` counts each
@@ -313,6 +357,11 @@ fn node_main(
     registry: Option<Registry>,
     results: mpsc::Sender<(usize, Vec<(InstanceId, ValueId)>)>,
 ) {
+    // The node's private event stream: the tee feeds the global trace ring
+    // and this flight ring from the same instrumentation points. The local
+    // epoch also drives the gossip layer's queue-lag clock.
+    let epoch = Instant::now();
+    let local = SharedRing::new(FLIGHT_CAPACITY);
     let config = PaxosConfig::new(N);
     let gossip_config = GossipConfig::default();
     let mut gossip: Gossip = GossipNode::with_observer(
@@ -321,16 +370,20 @@ fn node_main(
         gossip_config,
         PaxosSemantics::full(config.clone()),
         RecentCache::new(gossip_config.recent_cache_size),
-        ring.clone(),
+        Tee::new(ring.clone(), local.clone()),
     );
     let mut paxos = PaxosProcess::with_observer(
         NodeId::new(id as u32),
         config,
         MemoryStorage::default(),
-        ring.clone(),
+        Tee::new(ring.clone(), local.clone()),
     );
     let mut metrics = registry.map(|r| NodeMetrics::new(r, id));
     let mut delivered: Vec<(InstanceId, ValueId)> = Vec::new();
+    let mut health = HealthTracker::new(HealthConfig::default());
+    let mut flight = FlightRecorder::with_capacity(FLIGHT_CAPACITY);
+    let mut flight_dumped = false;
+    let mut last_health_poll: Option<Instant> = None;
 
     // Node 0 coordinates; every node submits one client command.
     if id == 0 {
@@ -405,6 +458,52 @@ fn node_main(
         }
         if let Some(m) = &mut metrics {
             m.sample(&endpoint, &mut gossip, &paxos, &ring, &wire);
+        }
+        // Health poll: drain the flight ring through the stall detector
+        // every 250 ms, wall clock. Runs with or without metrics.
+        let now_ns = epoch.elapsed().as_nanos() as u64;
+        gossip.set_clock(now_ns);
+        let due = last_health_poll.is_none_or(|t| t.elapsed() >= Duration::from_millis(250));
+        if due {
+            last_health_poll = Some(Instant::now());
+            let drained = local.drain();
+            health.observe_all(&drained);
+            flight.extend(drained);
+            health.finalize(now_ns);
+            for stall in health.take_events() {
+                match &stall.event {
+                    Event::StallDetected {
+                        instance,
+                        phase,
+                        age_ms,
+                        ..
+                    } => eprintln!(
+                        "node {id}: STALL — instance {instance} ({phase}) stuck for {age_ms} ms"
+                    ),
+                    Event::StallCleared {
+                        instance,
+                        stalled_ms,
+                        ..
+                    } => eprintln!(
+                        "node {id}: stall cleared — instance {instance} after {stalled_ms} ms"
+                    ),
+                    _ => {}
+                }
+                // Stall events are trace events like any other: merge them
+                // into the global stream so `tracetool health` sees them.
+                ring.record_shared(stall.event);
+            }
+            if health.is_stalled() && !flight_dumped {
+                flight_dumped = true;
+                let path = format!("live-flight-node{id}.jsonl");
+                match flight.write_dump(&path, &format!("node {id} progress stall")) {
+                    Ok(n) => eprintln!("node {id}: flight: {path} ({n} events)"),
+                    Err(e) => eprintln!("node {id}: cannot write {path}: {e}"),
+                }
+            }
+            if let Some(m) = &metrics {
+                m.sample_health(&health, now_ns);
+            }
         }
     }
     results.send((id, delivered)).unwrap();

@@ -20,8 +20,15 @@
 //!
 //! With `--metrics-addr`, a `/metrics` HTTP endpoint serves the
 //! comparison as Prometheus text while the runs execute: per-setup
-//! ordered counts, a latency histogram family, and the most recent run's
-//! full exposition. `--linger` keeps the endpoint up after the last run.
+//! ordered counts, a latency histogram family, health-engine stall
+//! gauges, and the most recent run's full exposition. `--linger` keeps
+//! the endpoint up after the last run.
+//!
+//! The always-on flight recorder keeps the tail of every run's event
+//! stream; if a run stalls or fails its safety audit, the tail is dumped
+//! as JSONL next to the working directory (`wan-flight-<setup>.jsonl`)
+//! so the minutes before the incident can be replayed through
+//! `tracetool`.
 
 use gossip_consensus::obs::{MetricsServer, Registry};
 use gossip_consensus::prelude::*;
@@ -95,6 +102,20 @@ fn main() {
             params.trace_capacity = 1 << 16;
         }
         let mut m = run_cluster(&params);
+        // Flight dump on incident: safety failure or a detected stall.
+        let stalls = m.health.as_ref().map_or(0, |h| h.stalls_detected);
+        if !m.safety_ok || stalls > 0 {
+            let reason = if m.safety_ok {
+                format!("{} stall(s) detected", stalls)
+            } else {
+                "safety audit failed".to_string()
+            };
+            if let Some(dump) = m.flight_dump(&reason) {
+                let path = format!("wan-flight-{}.jsonl", setup.name().to_lowercase());
+                std::fs::write(&path, &dump).expect("write flight dump");
+                eprintln!("flight: {path} ({} events)", dump.lines().count());
+            }
+        }
         assert!(m.safety_ok, "replicas diverged — Paxos safety violated!");
         let (avg, _std) = m.latency_stats();
         let p99 = m.latency.percentile(99.0).unwrap_or(SimDuration::ZERO);
@@ -113,6 +134,20 @@ fn main() {
         if let Some(summary) = &m.span_summary {
             breakdowns.push((setup.name(), span_table(summary).render()));
         }
+        if let Some(h) = &m.health {
+            if h.stalls_detected > 0 {
+                println!(
+                    "  health: {} stall(s), {} cleared, worst {} ms{}",
+                    h.stalls_detected,
+                    h.stalls_cleared,
+                    h.max_stall_ms,
+                    match h.stalled_instance {
+                        Some(i) => format!(", instance {i} still stalled"),
+                        None => String::new(),
+                    }
+                );
+            }
+        }
         if let Some(registry) = &registry {
             // Comparison families accumulate one label set per setup; the
             // `wan_*` names stay disjoint from the per-run exposition
@@ -128,6 +163,22 @@ fn main() {
                     labels,
                 )
                 .set(m.not_ordered_in_window);
+            if let Some(h) = &m.health {
+                registry
+                    .gauge(
+                        "wan_health_stalls_detected",
+                        "Progress stalls detected by the health engine.",
+                        labels,
+                    )
+                    .set(h.stalls_detected);
+                registry
+                    .gauge(
+                        "wan_health_max_stall_ms",
+                        "Longest observed progress stall in milliseconds.",
+                        labels,
+                    )
+                    .set(h.max_stall_ms);
+            }
             registry
                 .histogram(
                     "wan_latency_seconds",
