@@ -8,13 +8,25 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_smoke [--out BENCH_gossip.json]
+//!     [--history BENCH_history.jsonl] [--check] [--label NAME]
+//!     [--inject-slowdown MULT]
 //! ```
 //!
 //! The workload mirrors `benches/micro.rs`: an aggregated 52-voter Phase2b
 //! carrying a 1 KiB value (the dominant steady-state broadcast at the
 //! paper's n = 105), fanned out to 7 peers plus local delivery.
+//!
+//! With `--history FILE` each run also appends one JSONL line to an
+//! append-only trajectory file, so the hot-path numbers are comparable
+//! across commits. With `--check`, the current run is compared against the
+//! **best** (minimum) recorded value of each gated metric before the new
+//! entry is appended: any metric more than 15% slower than its recorded
+//! best exits non-zero — the perf-regression CI gate. `--inject-slowdown
+//! MULT` multiplies the measured numbers (validating that the gate
+//! actually fails; such runs are never appended to the history).
 
 use std::hint::black_box;
+use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,6 +38,18 @@ use transport::Bytes;
 const FANOUT: usize = 7;
 const BATCH: usize = 16;
 
+/// Metrics the `--check` gate compares against the recorded baseline
+/// (the hot-path costs; the ratios derived from them are informational).
+const GATED: [&str; 3] = [
+    "ns_per_fanout_shared",
+    "ns_per_encode_once",
+    "ns_per_broadcast_drain",
+];
+
+/// A run fails the gate when a gated metric exceeds its recorded best by
+/// more than this factor.
+const TOLERANCE: f64 = 1.15;
+
 fn quorum_vote() -> PaxosMessage {
     PaxosMessage::Phase2b {
         instance: InstanceId::new(42),
@@ -35,18 +59,30 @@ fn quorum_vote() -> PaxosMessage {
     }
 }
 
-/// Mean ns per call of `f`, with a warm-up and an adaptive iteration count
-/// (~200 ms measurement budget).
+/// Timing windows per metric: each metric is measured as the minimum of
+/// this many ~40 ms means. A single mean soaks up whatever the scheduler
+/// does during its window; the min over several windows discards those
+/// outliers, which is what a 15% regression gate needs to not flake on a
+/// shared box.
+const REPEATS: usize = 5;
+
+/// Best (minimum) mean ns per call of `f` over [`REPEATS`] windows, with
+/// a warm-up and an adaptive per-window iteration count (~200 ms total
+/// measurement budget).
 fn time_ns(mut f: impl FnMut()) -> f64 {
     let warmup = Instant::now();
     f();
     let once = warmup.elapsed().max(Duration::from_nanos(100));
-    let n = (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(10, 2_000_000) as u64;
-    let start = Instant::now();
-    for _ in 0..n {
-        f();
+    let n = (Duration::from_millis(40).as_nanos() / once.as_nanos()).clamp(10, 400_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / n as f64);
     }
-    start.elapsed().as_nanos() as f64 / n as f64
+    best
 }
 
 /// Like [`time_ns`], but each sample consumes a fresh input built by
@@ -56,23 +92,41 @@ fn time_ns_batched<I>(mut setup: impl FnMut() -> I, mut routine: impl FnMut(I)) 
     let warmup = Instant::now();
     routine(setup());
     let once = warmup.elapsed().max(Duration::from_nanos(100));
-    let n = (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(10, 2_000_000) as u64;
-    let mut total = Duration::ZERO;
-    for _ in 0..n {
-        let input = setup();
-        let start = Instant::now();
-        routine(input);
-        total += start.elapsed();
+    let n = (Duration::from_millis(40).as_nanos() / once.as_nanos()).clamp(10, 400_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            routine(input);
+            total += start.elapsed();
+        }
+        best = best.min(total.as_nanos() as f64 / n as f64);
     }
-    total.as_nanos() as f64 / n as f64
+    best
 }
 
-fn main() {
+fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_gossip.json");
+    let mut history_path: Option<String> = None;
+    let mut check = false;
+    let mut label = String::from("local");
+    let mut slowdown = 1.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--history" => history_path = Some(args.next().expect("--history needs a path")),
+            "--check" => check = true,
+            "--label" => label = args.next().expect("--label needs a name"),
+            "--inject-slowdown" => {
+                slowdown = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&m| m >= 1.0)
+                    .expect("--inject-slowdown needs a multiplier >= 1")
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -164,6 +218,14 @@ fn main() {
         })
     };
 
+    // The injected slowdown scales every measured cost — a synthetic
+    // regression for validating that `--check` actually fails.
+    let ns_fanout_cloned = ns_fanout_cloned * slowdown;
+    let ns_fanout_shared = ns_fanout_shared * slowdown;
+    let ns_encode_per_peer = ns_encode_per_peer * slowdown;
+    let ns_encode_once = ns_encode_once * slowdown;
+    let ns_broadcast_drain = ns_broadcast_drain * slowdown;
+
     let frame_bytes = msg.to_bytes().len();
     let broadcasts_per_sec = 1e9 / ns_broadcast_drain;
     let fanout_speedup = ns_fanout_cloned / ns_fanout_shared;
@@ -184,7 +246,99 @@ fn main() {
          \"bytes_sent_per_broadcast\": {}\n}}\n",
         frame_bytes * FANOUT
     );
-    std::fs::write(&out_path, &json).expect("write bench json");
     print!("{json}");
-    eprintln!("wrote {out_path}");
+    if slowdown == 1.0 {
+        std::fs::write(&out_path, &json).expect("write bench json");
+        eprintln!("wrote {out_path}");
+    } else {
+        eprintln!("--inject-slowdown set; not overwriting {out_path}");
+    }
+
+    let Some(history_path) = history_path else {
+        return ExitCode::SUCCESS;
+    };
+
+    use obs::json::JsonValue as J;
+    let measured: [(&str, f64); 5] = [
+        ("ns_per_fanout_cloned", ns_fanout_cloned),
+        ("ns_per_fanout_shared", ns_fanout_shared),
+        ("ns_per_encode_per_peer", ns_encode_per_peer),
+        ("ns_per_encode_once", ns_encode_once),
+        ("ns_per_broadcast_drain", ns_broadcast_drain),
+    ];
+
+    // The trajectory on disk: one JSON object per line, append-only.
+    let history = std::fs::read_to_string(&history_path).unwrap_or_default();
+    let entries: Vec<std::collections::BTreeMap<String, J>> = history
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| J::parse(l).ok()?.as_obj().cloned())
+        .collect();
+
+    let mut regressed = false;
+    if check {
+        if entries.is_empty() {
+            eprintln!("{history_path}: no recorded runs yet; check passes vacuously");
+        } else {
+            println!(
+                "perf trajectory check vs {} recorded run(s) in {history_path}:",
+                entries.len()
+            );
+            for name in GATED {
+                let current = measured
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|&(_, v)| v)
+                    .expect("gated metric is measured");
+                let best = entries
+                    .iter()
+                    .filter_map(|e| e.get(name)?.as_f64())
+                    .fold(f64::INFINITY, f64::min);
+                if !best.is_finite() {
+                    println!("  {name:<24} no baseline recorded; skipped");
+                    continue;
+                }
+                let delta = (current / best - 1.0) * 100.0;
+                let verdict = if current > best * TOLERANCE {
+                    regressed = true;
+                    "REGRESSION"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {name:<24} {current:>10.1} ns  vs best {best:>10.1} ns  \
+                     ({delta:+6.1}%)  {verdict}"
+                );
+            }
+        }
+    }
+
+    if slowdown == 1.0 {
+        let at_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut entry = std::collections::BTreeMap::new();
+        entry.insert("at_unix".to_string(), J::Int(at_unix as i128));
+        entry.insert("label".to_string(), J::Str(label));
+        for (name, value) in measured {
+            entry.insert(name.to_string(), J::Float(value));
+        }
+        let line = format!("{}\n", J::Obj(entry).render());
+        let mut appended = history;
+        appended.push_str(&line);
+        std::fs::write(&history_path, appended).expect("append bench history");
+        eprintln!("appended run to {history_path}");
+    } else {
+        eprintln!("--inject-slowdown set; not appending the synthetic run to {history_path}");
+    }
+
+    if regressed {
+        eprintln!(
+            "error: hot-path cost regressed more than {:.0}% past the recorded best",
+            (TOLERANCE - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -105,7 +105,11 @@ impl TraceTag {
 pub struct GossipNode<M, S = NoSemantics, F = RecentCache, O = NoopObserver> {
     id: NodeId,
     peers: Vec<NodeId>,
-    send_queues: Vec<VecDeque<Arc<M>>>,
+    /// Per-peer outgoing queues. Each entry carries the message's wire
+    /// size, computed once per broadcast — `wire_size()` walks the
+    /// message (voter lists, payload) and must not be re-paid for every
+    /// peer a shared handle fans out to.
+    send_queues: Vec<VecDeque<(Arc<M>, u32)>>,
     /// When each send queue last went empty→non-empty (on the external
     /// clock), for head-of-line queue-lag gauges. `None` while empty.
     queue_busy_since: Vec<Option<u64>>,
@@ -355,6 +359,7 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                 });
             }
         }
+        let size = shared.wire_size() as u32;
         for i in 0..self.peers.len() {
             if Some(self.peers[i]) == origin {
                 continue;
@@ -372,7 +377,7 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                 if self.send_queues[i].is_empty() {
                     self.queue_busy_since[i] = Some(self.clock);
                 }
-                self.send_queues[i].push_back(Arc::clone(&shared));
+                self.send_queues[i].push_back((Arc::clone(&shared), size));
                 self.stats.shared_enqueues.incr();
             }
         }
@@ -447,8 +452,8 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
             // The whole queue drains below, ending its busy period.
             self.queue_busy_since[i] = None;
             if before == 1 {
-                let shared = self.send_queues[i].pop_front().expect("non-empty queue");
-                self.emit_validated(peer, shared, &mut emit);
+                let (shared, size) = self.send_queues[i].pop_front().expect("non-empty queue");
+                self.emit_validated(peer, shared, size as u64, &mut emit);
                 continue;
             }
             // Aggregation path: the semantics hook consumes owned messages,
@@ -456,7 +461,7 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
             let (queues, stats) = (&mut self.send_queues, &mut self.stats);
             let pending: Vec<M> = queues[i]
                 .drain(..)
-                .map(|shared| unwrap_or_clone(shared, &mut stats.drain_clones))
+                .map(|(shared, _)| unwrap_or_clone(shared, &mut stats.drain_clones))
                 .collect();
             let aggregated = self.semantics.aggregate(pending, peer);
             debug_assert!(
@@ -474,21 +479,28 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
                 });
             }
             for msg in aggregated {
-                self.emit_validated(peer, Arc::new(msg), &mut emit);
+                // Aggregation may have rewritten the message, so its
+                // queue-time size no longer applies; each survivor is
+                // sized once and emitted to a single peer.
+                let size = msg.wire_size() as u64;
+                self.emit_validated(peer, Arc::new(msg), size, &mut emit);
             }
         }
     }
 
     /// Validates one outgoing shared payload and hands it to `emit`, or
-    /// counts it as filtered.
+    /// counts it as filtered. `size` is the message's wire size, computed
+    /// by the caller (once per broadcast on the shared fan-out path).
     fn emit_validated(
         &mut self,
         peer: NodeId,
         shared: Arc<M>,
+        size: u64,
         emit: &mut impl FnMut(NodeId, Arc<M>, &mut MessageStats),
     ) {
         if self.semantics.validate(&shared, peer) {
             self.stats.sent.incr();
+            self.stats.bytes_sent.add(size);
             if O::ENABLED {
                 self.observer.record(Event::GossipSent {
                     node: self.id.as_u32(),
@@ -499,6 +511,7 @@ impl<M: GossipItem, S: Semantics<M>, F: DuplicateFilter, O: Observer> GossipNode
             emit(peer, shared, &mut self.stats);
         } else {
             self.stats.filtered.incr();
+            self.stats.bytes_filtered.add(size);
             if O::ENABLED {
                 self.observer.record(Event::SemanticFiltered {
                     node: self.id.as_u32(),
@@ -752,6 +765,25 @@ mod tests {
         assert!(node.take_outgoing().is_empty());
         assert_eq!(node.stats().filtered.get(), 1);
         assert_eq!(node.stats().sent.get(), 0);
+    }
+
+    #[test]
+    fn byte_counters_track_sent_and_filtered_wire_sizes() {
+        // Msg wire_size is 8: one filtered broadcast and one sent broadcast
+        // to a single peer must land their bytes in the right counter
+        // (drained separately so aggregation does not merge them).
+        let mut node = semantic_node(1);
+        node.broadcast(Msg(3)); // odd: filtered
+        node.take_outgoing();
+        node.broadcast(Msg(4)); // even: sent
+        node.take_outgoing();
+        assert_eq!(node.stats().bytes_filtered.get(), 8);
+        assert_eq!(node.stats().bytes_sent.get(), 8);
+        // Fan-out counts bytes once per emitted copy.
+        let mut wide = semantic_node(3);
+        wide.broadcast(Msg(6));
+        wide.take_outgoing();
+        assert_eq!(wide.stats().bytes_sent.get(), 24);
     }
 
     #[test]

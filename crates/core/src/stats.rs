@@ -31,8 +31,15 @@ pub struct MessageStats {
     pub delivered: Stat,
     /// Messages handed to the transport, after filtering and aggregation.
     pub sent: Stat,
+    /// Wire bytes of the messages counted in `sent` — what the node asked
+    /// the transport to put on the wire (per-class attribution lives in
+    /// `obs::ResourceLedger`; this is the node-local total).
+    pub bytes_sent: Stat,
     /// Messages dropped on the send path by semantic filtering.
     pub filtered: Stat,
+    /// Wire bytes of the messages counted in `filtered` — the bandwidth
+    /// the semantic filter saved at this node.
+    pub bytes_filtered: Stat,
     /// Messages removed by semantic aggregation (inputs minus outputs of
     /// `aggregate`).
     pub aggregated_away: Stat,
@@ -79,7 +86,9 @@ impl MessageStats {
         self.duplicates += other.duplicates;
         self.delivered += other.delivered;
         self.sent += other.sent;
+        self.bytes_sent += other.bytes_sent;
         self.filtered += other.filtered;
+        self.bytes_filtered += other.bytes_filtered;
         self.aggregated_away += other.aggregated_away;
         self.send_overflow += other.send_overflow;
         self.delivery_overflow += other.delivery_overflow;
@@ -104,14 +113,16 @@ impl fmt::Display for MessageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "recv={} parts={} dup={} ({:.1}%) delivered={} sent={} filtered={} aggregated={} overflow={}/{} shared={} drain_clones={}",
+            "recv={} parts={} dup={} ({:.1}%) delivered={} sent={} ({} B) filtered={} ({} B) aggregated={} overflow={}/{} shared={} drain_clones={}",
             self.received,
             self.received_parts,
             self.duplicates,
             self.duplicate_ratio() * 100.0,
             self.delivered,
             self.sent,
+            self.bytes_sent,
             self.filtered,
+            self.bytes_filtered,
             self.aggregated_away,
             self.send_overflow,
             self.delivery_overflow,
@@ -170,6 +181,19 @@ mod tests {
         let s = MessageStats::default();
         assert!(s.to_string().contains("recv=0"));
         assert!(s.to_string().contains("shared=0"));
+    }
+
+    #[test]
+    fn byte_counters_merge_and_display() {
+        let mut a = MessageStats::default();
+        a.bytes_sent.add(1_000);
+        a.bytes_filtered.add(200);
+        let mut b = MessageStats::default();
+        b.bytes_sent.add(24);
+        a.merge(&b);
+        assert_eq!(a.bytes_sent.get(), 1_024);
+        assert_eq!(a.bytes_filtered.get(), 200);
+        assert!(a.to_string().contains("(1024 B)"));
     }
 
     #[test]

@@ -248,6 +248,15 @@ events! {
     /// One encoding of message `msg` (`bytes` long) was shared across
     /// `fanout` per-peer sends instead of being re-encoded per peer.
     FrameShared = "frame_shared" { node: u32, msg: u64, fanout: u64, bytes: u64 },
+    /// Wire message `msg` (`bytes` payload bytes) physically left `node`
+    /// toward `peer`. Unlike [`Event::FrameSent`] this carries the wire
+    /// message id *and* the sender's own class declaration (`kind`), so
+    /// post-hoc attribution never depends on a [`Event::WireTagged`] join
+    /// surviving ring eviction — direct-mode sends and drain-time
+    /// aggregates (fresh wire ids, never tagged) stay classifiable. An
+    /// empty `kind` falls back to the tag join. This is the
+    /// byte-attribution substrate of `tracetool ledger`.
+    WireFrame = "wire_frame" { node: u32, peer: u32, msg: u64, kind: String, bytes: u64 },
 
     // ------------------------------------------------------------------
     // Periodic gauge samples (live runs; mirrored by /metrics gauges)
@@ -291,6 +300,12 @@ events! {
     /// The cross-process safety auditor found an invariant violation
     /// involving this node (`detail` names the invariant and the evidence).
     AuditViolation = "audit_violation" { node: u32, detail: String },
+    /// Scoped CPU time attributed to a `(subsystem, class)` ledger cell:
+    /// `node` spent `ns` nanoseconds of modelled (or measured) CPU in
+    /// `subsystem` handling messages of `class`. Emitted as end-of-run
+    /// summaries by the simulated cluster so `tracetool ledger` can
+    /// attribute CPU alongside bytes.
+    CpuCharged = "cpu_charged" { node: u32, subsystem: String, class: String, ns: u64 },
     /// Free-form annotation.
     Mark = "mark" { node: u32, label: String },
 }

@@ -38,6 +38,15 @@ impl JsonValue {
         }
     }
 
+    /// The value as a float; integer values convert.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(x) => Some(*x),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

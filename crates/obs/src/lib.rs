@@ -23,8 +23,14 @@
 //! - [`LogHistogram`]: a mergeable, log-bucketed, bounded-memory latency
 //!   histogram with quantile estimation — the hot-path alternative to the
 //!   exact sample-keeping `simnet::Histogram`.
+//! - [`ResourceLedger`] / [`TraceLedger`]: per-`(subsystem, message_class)`
+//!   byte and scoped-CPU attribution — live (fed by instrumentation) and
+//!   post-hoc (replayed from a recorded trace).
+//! - [`Series`]: fixed-capacity windowed time-series (`(t, value)` ring
+//!   with windowed rate/mean/max and histogram-backed quantiles) turning
+//!   raw counters into `/metrics` rates.
 //! - [`prom`]: hand-rolled Prometheus text exposition (counters, gauges,
-//!   and cumulative histogram families).
+//!   and cumulative histogram families) plus a parser for scraped text.
 //! - [`Registry`] / [`MetricsServer`]: live gauges and histograms served
 //!   over a dependency-free HTTP `/metrics` endpoint.
 //! - [`Counter`]: the canonical monotone counter shared by
@@ -40,8 +46,10 @@ pub mod flight;
 pub mod health;
 pub mod hist;
 pub mod json;
+pub mod ledger;
 pub mod observer;
 pub mod prom;
+pub mod series;
 pub mod serve;
 pub mod span;
 
@@ -50,6 +58,8 @@ pub use event::{Event, TimedEvent, TraceParseError};
 pub use flight::FlightRecorder;
 pub use health::{HealthConfig, HealthSummary, HealthTracker};
 pub use hist::LogHistogram;
+pub use ledger::{CpuScope, LedgerCell, LedgerClock, ManualClock, ResourceLedger, TraceLedger};
 pub use observer::{NoopObserver, Observer, RingObserver, SharedRing, Tee};
+pub use series::Series;
 pub use serve::{MetricsServer, Registry, SharedGauge, SharedHistogram};
 pub use span::{SegmentStats, SpanSummary, SpanTracker, ValueSpan};

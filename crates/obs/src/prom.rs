@@ -137,10 +137,40 @@ impl Exposition {
     }
 }
 
-fn escape_label(v: &str) -> String {
+/// Escapes a label value per the exposition format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`. Every sample writer in the workspace routes through
+/// [`Exposition::write_sample`], which applies this; it is public so
+/// emitters outside `obs` (and the parser tests) can share the single
+/// definition instead of re-implementing it.
+pub fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// Reverses [`escape_label`]: `\\` → `\`, `\"` → `"`, `\n` → newline.
+/// Unknown escapes keep the backslash verbatim (matching Prometheus'
+/// lenient readers).
+pub fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 fn escape_help(v: &str) -> String {
@@ -155,6 +185,134 @@ fn format_value(v: f64) -> String {
     } else {
         format!("{v}")
     }
+}
+
+/// One parsed sample line from an exposition document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in document order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`NaN`/`±Inf` parse to the matching float).
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus exposition text into its sample lines.
+///
+/// Comments (`# HELP` / `# TYPE` / anything starting with `#`) and blank
+/// lines are skipped; malformed lines are skipped too (a scrape endpoint
+/// mid-restart should not crash a watcher). Label values round-trip
+/// through [`unescape_label`], so whatever [`Exposition`] escaped comes
+/// back verbatim.
+pub fn parse_samples(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(sample) = parse_sample_line(line) {
+            out.push(sample);
+        }
+    }
+    out
+}
+
+fn parse_sample_line(line: &str) -> Option<Sample> {
+    let (name_and_labels, value_str) = match line.find('}') {
+        // `name{labels} value` — the value starts after the brace.
+        Some(close) => {
+            let (head, tail) = line.split_at(close + 1);
+            (head, tail.trim())
+        }
+        // `name value` — split on the first whitespace.
+        None => {
+            let mut parts = line.splitn(2, char::is_whitespace);
+            (parts.next()?, parts.next()?.trim())
+        }
+    };
+    // Prometheus allows an optional timestamp after the value; keep the
+    // first token only.
+    let value_tok = value_str.split_whitespace().next()?;
+    let value = match value_tok {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse().ok()?,
+    };
+    let (name, labels) = match name_and_labels.find('{') {
+        Some(open) => {
+            let name = &name_and_labels[..open];
+            let body = name_and_labels[open + 1..].strip_suffix('}')?;
+            (name, parse_labels(body)?)
+        }
+        None => (name_and_labels, Vec::new()),
+    };
+    if name.is_empty() {
+        return None;
+    }
+    Some(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let bytes = body.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        if bytes[pos] == b',' {
+            pos += 1;
+            continue;
+        }
+        let eq = body[pos..].find('=')? + pos;
+        let key = body[pos..eq].trim().to_string();
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return None;
+        }
+        // Scan the quoted value, honouring backslash escapes.
+        let mut i = eq + 2;
+        let mut raw = String::new();
+        loop {
+            match bytes.get(i)? {
+                b'\\' => {
+                    raw.push('\\');
+                    if let Some(&next) = bytes.get(i + 1) {
+                        raw.push(next as char);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                _ => {
+                    // Multi-byte UTF-8 is copied through char-wise.
+                    let ch = body[i..].chars().next()?;
+                    raw.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        labels.push((key, unescape_label(&raw)));
+        pos = i;
+    }
+    Some(labels)
 }
 
 /// Counts trace events per `kind` string (the raw material for
@@ -210,6 +368,70 @@ mod tests {
         assert!(text.contains("lat_seconds_bucket{setup=\"gossip\",le=\"+Inf\"} 3"));
         assert!(text.contains("lat_seconds_count{setup=\"gossip\"} 3"));
         assert!(text.contains("lat_seconds_sum{setup=\"gossip\"} 1.00000001"));
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let nasty = [
+            "plain",
+            "a\"b",
+            "back\\slash",
+            "line\nbreak",
+            "all\\three\"at\nonce",
+            "trailing\\",
+            "",
+        ];
+        for v in nasty {
+            assert_eq!(unescape_label(&escape_label(v)), v, "value {v:?}");
+        }
+        // Unknown escapes stay verbatim rather than being eaten.
+        assert_eq!(unescape_label("a\\tb"), "a\\tb");
+    }
+
+    #[test]
+    fn parses_rendered_exposition_back() {
+        let mut exp = Exposition::new();
+        exp.header("bytes_total", "Bytes.", MetricKind::Counter);
+        exp.sample_u64("bytes_total", &[("class", "phase2b"), ("node", "3")], 512);
+        exp.sample_f64("rate", &[("class", "a\"b\\c\nd")], 12.5);
+        exp.sample_u64("up", &[], 1);
+        let samples = parse_samples(&exp.render());
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].name, "bytes_total");
+        assert_eq!(samples[0].label("class"), Some("phase2b"));
+        assert_eq!(samples[0].label("node"), Some("3"));
+        assert_eq!(samples[0].value, 512.0);
+        // The nasty label value round-trips exactly.
+        assert_eq!(samples[1].label("class"), Some("a\"b\\c\nd"));
+        assert_eq!(samples[1].value, 12.5);
+        assert_eq!(samples[2].name, "up");
+        assert!(samples[2].labels.is_empty());
+    }
+
+    #[test]
+    fn parses_special_values_and_skips_junk() {
+        let text = "# HELP x y\nx{le=\"+Inf\"} +Inf\nx NaN\n\ngarbage line\nx -Inf 1700000000\n";
+        let samples = parse_samples(text);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].value, f64::INFINITY);
+        assert_eq!(samples[0].label("le"), Some("+Inf"));
+        assert!(samples[1].value.is_nan());
+        assert_eq!(samples[2].value, f64::NEG_INFINITY); // timestamp ignored
+    }
+
+    #[test]
+    fn histogram_family_parses_with_le_labels() {
+        let mut h = LogHistogram::new();
+        h.record(1_000);
+        let mut exp = Exposition::new();
+        exp.histogram("f_seconds", "F.", &[("node", "0")], &h, 1e9);
+        let samples = parse_samples(&exp.render());
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "f_seconds_bucket" && s.label("le") == Some("+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 1.0);
+        assert!(samples.iter().any(|s| s.name == "f_seconds_count"));
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Fixed-capacity windowed time-series for live rate metrics.
+//!
+//! A `/metrics` endpoint that exposes raw monotone counters forces every
+//! consumer to differentiate them; a dashboardless `curl` or the
+//! `tracetool watch` table wants *rates*. [`Series`] is the bounded
+//! substrate: a ring of `(t, value)` samples with a time window, answering
+//! windowed counter-rate, mean, max — and quantiles through a cumulative
+//! [`LogHistogram`] fed alongside the ring.
+//!
+//! Like everything in `obs`, a series never reads a clock: callers stamp
+//! samples with whatever nanosecond timeline they run on (simulated time,
+//! monotonic wall time). Samples must be pushed in non-decreasing time
+//! order; a sample older than the newest is clamped forward rather than
+//! reordered (live runtimes occasionally race on coarse clocks).
+//!
+//! Memory is bounded twice over: the ring holds at most `capacity` samples
+//! *and* discards samples older than `window_ns` relative to the newest;
+//! the histogram is the fixed ~7.6 KiB [`LogHistogram`]. Both bounds are
+//! enforced on every push, so a series can run for days.
+
+use std::collections::VecDeque;
+
+use crate::hist::LogHistogram;
+
+/// A bounded ring of `(t_ns, value)` samples with windowed statistics.
+#[derive(Debug, Clone)]
+pub struct Series {
+    samples: VecDeque<(u64, u64)>,
+    capacity: usize,
+    window_ns: u64,
+    /// Running sum of the in-window sample values (kept incrementally so
+    /// `mean()` is O(1); eviction subtracts what it removes).
+    window_sum: u128,
+    /// Cumulative distribution of every value ever pushed (not windowed —
+    /// quantiles summarize the series' lifetime, bounded by bucketing).
+    hist: LogHistogram,
+}
+
+impl Series {
+    /// A series keeping at most `capacity` samples within `window_ns` of
+    /// the newest sample. `capacity` is clamped to at least 2 (a rate
+    /// needs two points).
+    pub fn new(capacity: usize, window_ns: u64) -> Self {
+        Series {
+            samples: VecDeque::new(),
+            capacity: capacity.max(2),
+            window_ns,
+            window_sum: 0,
+            hist: LogHistogram::new(),
+        }
+    }
+
+    /// Pushes a sample. `t_ns` earlier than the newest sample is clamped
+    /// to the newest (monotone timeline), then both bounds are enforced.
+    pub fn push(&mut self, t_ns: u64, value: u64) {
+        let t = match self.samples.back() {
+            Some(&(last, _)) => t_ns.max(last),
+            None => t_ns,
+        };
+        self.samples.push_back((t, value));
+        self.window_sum += value as u128;
+        self.hist.record(value);
+        self.evict(t);
+    }
+
+    fn evict(&mut self, newest: u64) {
+        let horizon = newest.saturating_sub(self.window_ns);
+        while self.samples.len() > self.capacity
+            || self.samples.front().is_some_and(|&(t, _)| t < horizon)
+        {
+            let (_, v) = self.samples.pop_front().unwrap();
+            self.window_sum -= v as u128;
+        }
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The newest sample, if any.
+    pub fn last(&self) -> Option<(u64, u64)> {
+        self.samples.back().copied()
+    }
+
+    /// Counter rate over the window: `(newest value − oldest value)` per
+    /// second, for series fed from a monotone counter. `None` with fewer
+    /// than two samples or zero elapsed time; a counter reset (newest <
+    /// oldest, e.g. process restart) reads as `Some(0.0)`.
+    pub fn delta_rate_per_sec(&self) -> Option<f64> {
+        let &(t0, v0) = self.samples.front()?;
+        let &(t1, v1) = self.samples.back()?;
+        if t1 == t0 {
+            return None;
+        }
+        let dv = v1.saturating_sub(v0) as f64;
+        Some(dv / ((t1 - t0) as f64 / 1e9))
+    }
+
+    /// Mean of the in-window sample values, for gauge-style series.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.window_sum as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// Maximum in-window sample value, for gauge-style series.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().map(|&(_, v)| v).max()
+    }
+
+    /// Lifetime quantile of pushed values from the cumulative histogram
+    /// (≤ one log-bucket of error; see [`LogHistogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.hist.quantile(q)
+    }
+
+    /// The cumulative histogram (e.g. to merge into a Prometheus family).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
+    }
+
+    /// Merges another series: samples interleave by time (clamped to this
+    /// series' monotone order), histograms add. Intended for combining
+    /// per-shard series sampled on the same timeline.
+    pub fn merge(&mut self, other: &Series) {
+        let mut merged: Vec<(u64, u64)> = self
+            .samples
+            .iter()
+            .chain(other.samples.iter())
+            .copied()
+            .collect();
+        merged.sort_by_key(|&(t, _)| t);
+        self.samples.clear();
+        self.window_sum = 0;
+        for (t, v) in merged {
+            self.samples.push_back((t, v));
+            self.window_sum += v as u128;
+        }
+        if let Some(&(newest, _)) = self.samples.back() {
+            self.evict(newest);
+        }
+        self.hist.merge(&other.hist);
+    }
+
+    /// In-window samples, oldest first (tests and debugging).
+    pub fn samples(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.samples.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_needs_two_samples_and_elapsed_time() {
+        let mut s = Series::new(16, u64::MAX);
+        assert_eq!(s.delta_rate_per_sec(), None);
+        s.push(1_000_000_000, 100);
+        assert_eq!(s.delta_rate_per_sec(), None);
+        s.push(1_000_000_000, 150); // same instant
+        assert_eq!(s.delta_rate_per_sec(), None);
+        s.push(2_000_000_000, 300);
+        // 200 over 1 s.
+        assert!((s.delta_rate_per_sec().unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_reset_reads_as_zero_rate() {
+        let mut s = Series::new(16, u64::MAX);
+        s.push(0, 1_000);
+        s.push(1_000_000_000, 10);
+        assert_eq!(s.delta_rate_per_sec(), Some(0.0));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let mut s = Series::new(4, u64::MAX);
+        for i in 0..10u64 {
+            s.push(i * 1_000, i);
+        }
+        assert_eq!(s.len(), 4);
+        let kept: Vec<u64> = s.samples().map(|(_, v)| v).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn window_bound_evicts_stale() {
+        let mut s = Series::new(1024, 1_000);
+        s.push(0, 1);
+        s.push(500, 2);
+        s.push(2_000, 3); // horizon 1_000: evicts t=0 and t=500
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.last(), Some((2_000, 3)));
+    }
+
+    #[test]
+    fn mean_and_max_track_the_window() {
+        let mut s = Series::new(3, u64::MAX);
+        s.push(0, 10);
+        s.push(1, 20);
+        s.push(2, 30);
+        assert_eq!(s.mean(), Some(20.0));
+        assert_eq!(s.max(), Some(30));
+        s.push(3, 2); // evicts the 10
+        assert!((s.mean().unwrap() - (20 + 30 + 2) as f64 / 3.0).abs() < 1e-9);
+        assert_eq!(s.max(), Some(30));
+    }
+
+    #[test]
+    fn non_monotone_timestamps_are_clamped() {
+        let mut s = Series::new(16, u64::MAX);
+        s.push(100, 1);
+        s.push(50, 2); // clamped to t=100
+        let ts: Vec<u64> = s.samples().map(|(t, _)| t).collect();
+        assert_eq!(ts, vec![100, 100]);
+    }
+
+    #[test]
+    fn quantiles_cover_lifetime_not_window() {
+        let mut s = Series::new(2, u64::MAX);
+        for v in [100u64, 200, 300, 400] {
+            s.push(v, v);
+        }
+        assert_eq!(s.len(), 2); // ring forgot 100 and 200 ...
+        let q99 = s.quantile(0.99).unwrap();
+        assert!(q99 >= 400, "lifetime q99 {q99} must see the 400");
+        let q01 = s.quantile(0.01).unwrap();
+        assert!(q01 <= 200, "lifetime q01 {q01} must still see the 100");
+    }
+
+    #[test]
+    fn merge_interleaves_and_rebounds() {
+        let mut a = Series::new(4, u64::MAX);
+        a.push(0, 1);
+        a.push(100, 2);
+        let mut b = Series::new(4, u64::MAX);
+        b.push(50, 10);
+        b.push(150, 20);
+        a.merge(&b);
+        let ts: Vec<u64> = a.samples().map(|(t, _)| t).collect();
+        assert_eq!(ts, vec![0, 50, 100, 150]);
+        assert_eq!(a.histogram().count(), 4);
+        // window_sum stayed consistent with the surviving samples.
+        assert!((a.mean().unwrap() - (1 + 10 + 2 + 20) as f64 / 4.0).abs() < 1e-9);
+    }
+
+    /// Deterministic LCG, same constants as Knuth's MMIX — the crate is
+    /// dependency-free, so pseudo-property tests roll their own entropy.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    /// A naive reference model: a plain Vec with both bounds re-applied
+    /// from scratch after every push.
+    fn model_evict(model: &mut Vec<(u64, u64)>, capacity: usize, window_ns: u64) {
+        let newest = model.last().map_or(0, |&(t, _)| t);
+        let horizon = newest.saturating_sub(window_ns);
+        while model.len() > capacity || model.first().is_some_and(|&(t, _)| t < horizon) {
+            model.remove(0);
+        }
+    }
+
+    #[test]
+    fn windowed_stats_match_exact_recomputation() {
+        let mut rng = Lcg(0xB0A710AD);
+        for trial in 0..8 {
+            let capacity = 2 + (rng.next() % 12) as usize;
+            let window_ns = 1 + rng.next() % 5_000;
+            let mut s = Series::new(capacity, window_ns);
+            let mut model: Vec<(u64, u64)> = Vec::new();
+            let mut t = 0u64;
+            for _ in 0..300 {
+                // Occasionally jump far ahead (forces window eviction) or
+                // step back (exercises the monotone clamp).
+                t = match rng.next() % 10 {
+                    0 => t + window_ns + 1 + rng.next() % 100,
+                    1 => t.saturating_sub(rng.next() % 50),
+                    _ => t + rng.next() % 400,
+                };
+                let v = rng.next() % 10_000;
+                s.push(t, v);
+                let clamped = model.last().map_or(t, |&(last, _)| t.max(last));
+                model.push((clamped, v));
+                model_evict(&mut model, capacity, window_ns);
+
+                let got: Vec<(u64, u64)> = s.samples().collect();
+                assert_eq!(got, model, "trial {trial}: window contents diverged");
+                let exact_mean =
+                    model.iter().map(|&(_, v)| v as f64).sum::<f64>() / model.len() as f64;
+                assert!(
+                    (s.mean().unwrap() - exact_mean).abs() < 1e-6,
+                    "trial {trial}: incremental mean drifted from exact"
+                );
+                assert_eq!(s.max(), model.iter().map(|&(_, v)| v).max());
+                let (t0, v0) = model[0];
+                let (t1, v1) = *model.last().unwrap();
+                let exact_rate =
+                    (t1 > t0).then(|| v1.saturating_sub(v0) as f64 / ((t1 - t0) as f64 / 1e9));
+                match (s.delta_rate_per_sec(), exact_rate) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6),
+                    (a, b) => assert_eq!(a.is_some(), b.is_some(), "trial {trial}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_invariants_hold_under_random_inputs() {
+        let mut rng = Lcg(0x5EED5EED);
+        for trial in 0..16 {
+            let capacity = 2 + (rng.next() % 8) as usize;
+            let window_ns = 100 + rng.next() % 2_000;
+            let mut a = Series::new(capacity, window_ns);
+            let mut b = Series::new(capacity, window_ns);
+            for series in [&mut a, &mut b] {
+                let mut t = rng.next() % 500;
+                for _ in 0..(1 + rng.next() % 40) {
+                    series.push(t, rng.next() % 1_000);
+                    t += rng.next() % 300;
+                }
+            }
+            let count_before = a.histogram().count() + b.histogram().count();
+            a.merge(&b);
+            // Both bounds still hold after the merge...
+            assert!(a.len() <= capacity, "trial {trial}: capacity violated");
+            let ts: Vec<u64> = a.samples().map(|(t, _)| t).collect();
+            assert!(
+                ts.windows(2).all(|w| w[0] <= w[1]),
+                "trial {trial}: unsorted"
+            );
+            let newest = *ts.last().unwrap();
+            assert!(
+                ts.iter().all(|&t| t >= newest.saturating_sub(window_ns)),
+                "trial {trial}: stale sample survived merge"
+            );
+            // ...the incremental sum matches the surviving samples...
+            let exact_mean = a.samples().map(|(_, v)| v as f64).sum::<f64>() / a.len() as f64;
+            assert!(
+                (a.mean().unwrap() - exact_mean).abs() < 1e-6,
+                "trial {trial}: window_sum out of sync after merge"
+            );
+            // ...and the lifetime histogram saw every push from both sides.
+            assert_eq!(a.histogram().count(), count_before, "trial {trial}");
+        }
+    }
+}

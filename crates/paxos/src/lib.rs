@@ -67,7 +67,7 @@ pub use config::PaxosConfig;
 pub use coordinator::Coordinator;
 pub use failover::RoundChangeTimer;
 pub use learner::{Delivered, Learner};
-pub use message::PaxosMessage;
+pub use message::{Kind, PaxosMessage};
 pub use process::{Outbound, PaxosProcess, Route};
 pub use storage::{MemoryStorage, StableStorage};
 pub use types::{InstanceId, Round, Value, ValueId};

@@ -15,7 +15,7 @@ use crate::acceptor::Acceptor;
 use crate::config::PaxosConfig;
 use crate::coordinator::Coordinator;
 use crate::learner::{Delivered, Learner};
-use crate::message::PaxosMessage;
+use crate::message::{Kind, PaxosMessage};
 use crate::storage::{MemoryStorage, StableStorage};
 use crate::types::{InstanceId, Round, Value, ValueId};
 
@@ -86,6 +86,10 @@ pub struct PaxosProcess<S: StableStorage = MemoryStorage, O = NoopObserver> {
     /// would truncate both behind a checkpoint.
     decided_ids: HashSet<ValueId>,
     submit_seq: u64,
+    /// Messages handled, indexed by [`Kind::index`] — the CPU-side half of
+    /// per-class resource attribution (which message class makes this
+    /// process do coordination work). Plain adds: always on, no observer.
+    handled_by_kind: [u64; Kind::COUNT],
     observer: O,
 }
 
@@ -121,8 +125,15 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
             current_round: Round::ZERO,
             decided_ids: HashSet::new(),
             submit_seq: 0,
+            handled_by_kind: [0; Kind::COUNT],
             observer,
         }
+    }
+
+    /// Messages handled so far, indexed by [`Kind::index`] (resource
+    /// attribution: pair with [`Kind::ALL`] to name the classes).
+    pub fn handled_by_kind(&self) -> &[u64; Kind::COUNT] {
+        &self.handled_by_kind
     }
 
     /// Shared access to the observer.
@@ -255,6 +266,7 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
     /// Handles one delivered protocol message, returning the messages it
     /// triggers.
     pub fn handle(&mut self, msg: PaxosMessage) -> Vec<Outbound> {
+        self.handled_by_kind[msg.kind().index()] += 1;
         match msg {
             PaxosMessage::ClientValue { value, .. } => {
                 if self.decided_ids.contains(&value.id()) {
@@ -527,6 +539,25 @@ mod tests {
             assert_eq!(decisions[0].0, InstanceId::ZERO);
             assert_eq!(decisions[0].1, value);
         }
+    }
+
+    #[test]
+    fn handle_counts_messages_per_kind() {
+        let mut procs = cluster(3);
+        let mut inflight = procs[0].start_round(Round::ZERO);
+        let (_, out) = procs[0].submit_payload(b"v".to_vec());
+        inflight.extend(out);
+        run_to_quiescence(&mut procs, inflight);
+        let counts = procs[1].handled_by_kind();
+        assert_eq!(counts.len(), Kind::COUNT);
+        // Deciding one value makes every process handle the round's 1a and
+        // the value's 2a/2b traffic; a non-coordinator sees no ClientValue.
+        assert!(counts[Kind::Phase1a.index()] >= 1, "{counts:?}");
+        assert!(counts[Kind::Phase2a.index()] >= 1, "{counts:?}");
+        assert!(counts[Kind::Phase2b.index()] >= 1, "{counts:?}");
+        let total: u64 = counts.iter().sum();
+        let fresh = PaxosProcess::new(NodeId::new(0), PaxosConfig::new(3));
+        assert!(total > 0 && fresh.handled_by_kind().iter().sum::<u64>() == 0);
     }
 
     #[test]

@@ -44,7 +44,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use paxos::{InstanceId, PaxosConfig, PaxosMessage, Round, ValueId};
+use paxos::{InstanceId, Kind, PaxosConfig, PaxosMessage, Round, ValueId};
 use semantic_gossip::{NodeId, Semantics};
 
 /// Which of the two semantic techniques are active.
@@ -97,6 +97,10 @@ pub struct PaxosSemantics {
     tallies: HashMap<(InstanceId, Round, ValueId), BTreeSet<NodeId>>,
     /// Everything below this instance has been garbage-collected.
     gc_watermark: InstanceId,
+    /// Messages suppressed by the filter, indexed by [`Kind::index`] — the
+    /// per-class view of the paper's filtering savings (which classes the
+    /// semantic rules actually touch). Plain adds, always on.
+    filtered_by_kind: [u64; Kind::COUNT],
 }
 
 impl PaxosSemantics {
@@ -109,7 +113,16 @@ impl PaxosSemantics {
             decided: HashSet::new(),
             tallies: HashMap::new(),
             gc_watermark: InstanceId::ZERO,
+            filtered_by_kind: [0; Kind::COUNT],
         }
+    }
+
+    /// Messages the filter suppressed so far, indexed by [`Kind::index`]
+    /// (pair with [`Kind::ALL`] to name the classes). Only Phase 2b and
+    /// Decision entries can be non-zero — the filtering rules never touch
+    /// the other classes.
+    pub fn filtered_by_kind(&self) -> &[u64; Kind::COUNT] {
+        &self.filtered_by_kind
     }
 
     /// Both filtering and aggregation (the paper's Semantic Gossip).
@@ -231,6 +244,7 @@ impl Semantics<PaxosMessage> for PaxosSemantics {
                 voters,
             } => {
                 if self.peer_knows(peer, *instance) {
+                    self.filtered_by_kind[msg.kind().index()] += 1;
                     return false;
                 }
                 // Forward, and account for what the peer now knows.
@@ -239,6 +253,7 @@ impl Semantics<PaxosMessage> for PaxosSemantics {
             }
             PaxosMessage::Decision { instance, .. } => {
                 if self.peer_knows(peer, *instance) {
+                    self.filtered_by_kind[Kind::Decision.index()] += 1;
                     return false;
                 }
                 self.record_decision_sent(peer, *instance);
@@ -352,6 +367,27 @@ mod tests {
         let mut s = sem(3);
         assert!(s.validate(&decision(0, 1), PEER));
         assert!(!s.validate(&decision(0, 1), PEER));
+    }
+
+    #[test]
+    fn filtered_counts_are_tracked_per_kind() {
+        let mut s = sem(5);
+        assert_eq!(s.filtered_by_kind().iter().sum::<u64>(), 0);
+        assert!(s.validate(&decision(0, 1), PEER));
+        assert!(!s.validate(&vote(0, 0, 1, 2), PEER)); // Phase2b filtered
+        assert!(!s.validate(&decision(0, 1), PEER)); // Decision filtered
+        let agg = PaxosMessage::Phase2b {
+            instance: InstanceId::new(0),
+            round: Round::ZERO,
+            value: value(1),
+            voters: vec![NodeId::new(2), NodeId::new(3)],
+        };
+        assert!(!s.validate(&agg, PEER)); // aggregated vote filtered
+        let counts = s.filtered_by_kind();
+        assert_eq!(counts[Kind::Phase2b.index()], 1);
+        assert_eq!(counts[Kind::Phase2bAggregated.index()], 1);
+        assert_eq!(counts[Kind::Decision.index()], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
     }
 
     #[test]

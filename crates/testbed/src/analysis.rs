@@ -22,7 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use obs::span::SEGMENTS;
-use obs::{Event, LogHistogram, SpanTracker, TimedEvent, TraceParseError};
+use obs::{Event, LogHistogram, SpanTracker, TimedEvent, TraceLedger, TraceParseError};
 
 use crate::report::Table;
 
@@ -93,6 +93,12 @@ pub struct TraceAnalysis {
     /// inconsistent traces).
     pub unresolved_hops: u64,
 
+    // -- resource attribution --
+    /// Per-`(subsystem, class)` byte/CPU attribution replayed from the
+    /// trace's byte-carrying wire events, merged over runs (class joins
+    /// never cross a run boundary).
+    pub ledger: TraceLedger,
+
     // -- per-phase latency --
     /// One distribution per pipeline segment, in pipeline order.
     pub phases: Vec<PhaseLatency>,
@@ -141,6 +147,7 @@ pub fn analyze(events: &[TimedEvent]) -> TraceAnalysis {
         deliveries: 0,
         hops: BTreeMap::new(),
         unresolved_hops: 0,
+        ledger: TraceLedger::new(),
         phases: SEGMENTS
             .iter()
             .map(|&(name, _)| PhaseLatency {
@@ -179,12 +186,15 @@ fn analyze_run(events: &[TimedEvent], out: &mut TraceAnalysis, nodes: &mut BTree
     let mut delivered_at: Vec<(u64, u32)> = Vec::new();
 
     let mut spans = SpanTracker::new();
+    let mut ledger = TraceLedger::new();
+    ledger.seed_tags(events);
 
     for timed in events {
         nodes.insert(timed.event.node());
         first_ts = first_ts.min(timed.at);
         last_ts = last_ts.max(timed.at);
         spans.observe(timed);
+        ledger.observe(timed);
         match &timed.event {
             Event::GossipSent { .. } => out.sent += 1,
             Event::SemanticFiltered { .. } => out.filtered += 1,
@@ -251,6 +261,31 @@ fn analyze_run(events: &[TimedEvent], out: &mut TraceAnalysis, nodes: &mut BTree
     let summary = spans.summary();
     out.values_tracked += summary.tracked;
     out.values_complete += summary.complete;
+    out.ledger.merge(&ledger);
+}
+
+/// One replay ledger per run in a (possibly concatenated) trace, using
+/// the same run segmentation as [`analyze`]: a timestamp going backwards
+/// marks the next run. Per-run ledgers are what expose the paper's
+/// Gossip-vs-SemanticGossip per-class savings — `wan_paxos --trace`
+/// writes all setups into one file, and merging them would blur exactly
+/// the contrast being measured.
+pub fn ledgers(events: &[TimedEvent]) -> Vec<TraceLedger> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for end in 1..=events.len() {
+        if end < events.len() && events[end].at >= events[end - 1].at {
+            continue;
+        }
+        let mut ledger = TraceLedger::new();
+        ledger.seed_tags(&events[start..end]);
+        for timed in &events[start..end] {
+            ledger.observe(timed);
+        }
+        out.push(ledger);
+        start = end;
+    }
+    out
 }
 
 impl TraceAnalysis {
@@ -312,6 +347,29 @@ impl TraceAnalysis {
                 q(0.99),
                 q(0.999),
                 max,
+            ]);
+        }
+        t
+    }
+
+    /// Wire bytes and send/filter counts per message class, as a table
+    /// (the redundancy section's per-class byte columns).
+    pub fn class_byte_table(&self) -> Table {
+        let mut t = Table::new(vec!["class", "bytes_out", "byte_share", "sent", "filtered"]);
+        let total = self.ledger.ledger.total_bytes_out();
+        let counts = self.ledger.send_filter_by_class();
+        for (class, bytes) in self.ledger.ledger.bytes_out_by_class() {
+            let (sent, filtered) = counts
+                .iter()
+                .find(|(c, _, _)| *c == class)
+                .map(|&(_, s, f)| (s, f))
+                .unwrap_or((0, 0));
+            t.row(vec![
+                class,
+                bytes.to_string(),
+                format!("{:.1}%", ratio(bytes, total) * 100.0),
+                sent.to_string(),
+                filtered.to_string(),
             ]);
         }
         t
@@ -381,6 +439,20 @@ impl TraceAnalysis {
             "duplicate share      {:.1}%",
             self.duplicate_share() * 100.0
         );
+        // Per-class wire bytes, when the trace carried byte-attribution
+        // events (wire_frame / frame_shared); older traces without them
+        // keep the exact report they always produced.
+        let wire_bytes = self.ledger.attributed_bytes + self.ledger.unattributed_bytes;
+        if wire_bytes > 0 {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "wire bytes           {wire_bytes}");
+            let _ = writeln!(
+                out,
+                "bytes attributed     {:.1}%",
+                self.ledger.attribution_ratio() * 100.0
+            );
+            out.push_str(&self.class_byte_table().render());
+        }
         let _ = writeln!(out);
         let _ = writeln!(out, "== hop counts (causal delivery paths) ==");
         if self.hops.is_empty() {
@@ -457,7 +529,7 @@ impl TraceAnalysis {
                 .collect(),
         );
 
-        obj(vec![
+        let mut root = vec![
             ("events", int(self.events as u64)),
             ("nodes", int(self.nodes as u64)),
             ("runs", int(self.runs as u64)),
@@ -504,8 +576,24 @@ impl TraceAnalysis {
                     ("complete", int(self.values_complete as u64)),
                 ]),
             ),
-        ])
-        .render()
+        ];
+        // Byte attribution appears only when the trace carried byte
+        // events, so pre-ledger traces keep their exact JSON.
+        if self.ledger.attributed_bytes + self.ledger.unattributed_bytes > 0 {
+            root.push((
+                "ledger",
+                obj(vec![
+                    ("bytes_attributed", int(self.ledger.attributed_bytes)),
+                    ("bytes_unattributed", int(self.ledger.unattributed_bytes)),
+                    (
+                        "attribution_ratio",
+                        J::Float(self.ledger.attribution_ratio()),
+                    ),
+                    ("cells", self.ledger.ledger.to_json()),
+                ]),
+            ));
+        }
+        obj(root).render()
     }
 }
 
@@ -820,5 +908,123 @@ mod tests {
         assert_eq!(a.filter_efficacy(), 0.0);
         assert_eq!(a.redundancy_ratio(), 0.0);
         assert!(a.report().contains("no gossip deliveries"));
+    }
+
+    /// A run with class-annotated wire traffic: two Phase2a frames for
+    /// message 5, one Decision frame for message 6, and their gossip-layer
+    /// send events.
+    fn wire_trace() -> String {
+        use Event::*;
+        jsonl(&[
+            (
+                10,
+                WireFrame {
+                    node: 0,
+                    peer: 1,
+                    msg: 5,
+                    kind: "Phase2a".to_string(),
+                    bytes: 100,
+                },
+            ),
+            (
+                11,
+                GossipSent {
+                    node: 0,
+                    to: 1,
+                    msg: 5,
+                },
+            ),
+            (
+                12,
+                WireFrame {
+                    node: 0,
+                    peer: 2,
+                    msg: 5,
+                    kind: "Phase2a".to_string(),
+                    bytes: 100,
+                },
+            ),
+            (
+                13,
+                GossipSent {
+                    node: 0,
+                    to: 2,
+                    msg: 5,
+                },
+            ),
+            (
+                20,
+                WireFrame {
+                    node: 1,
+                    peer: 2,
+                    msg: 6,
+                    kind: "Decision".to_string(),
+                    bytes: 40,
+                },
+            ),
+            (
+                21,
+                GossipSent {
+                    node: 1,
+                    to: 2,
+                    msg: 6,
+                },
+            ),
+        ])
+    }
+
+    #[test]
+    fn ledger_attributes_wire_bytes_by_class() {
+        let a = analyze_str(&wire_trace()).unwrap();
+        assert_eq!(a.ledger.attributed_bytes, 240);
+        assert_eq!(a.ledger.unattributed_bytes, 0);
+        assert_eq!(a.ledger.attribution_ratio(), 1.0);
+        assert_eq!(
+            a.ledger.ledger.bytes_out_by_class(),
+            vec![("Decision".to_string(), 40), ("Phase2a".to_string(), 200)]
+        );
+        // The inline frame class also tags the gossip-layer send counts.
+        let sends = a.ledger.send_filter_by_class();
+        assert!(sends.contains(&("Phase2a".to_string(), 2, 0)));
+        assert!(sends.contains(&("Decision".to_string(), 1, 0)));
+        // ...and the human report grows its attribution section.
+        let report = a.report();
+        assert!(report.contains("bytes attributed"), "{report}");
+        assert!(report.contains("100.0%"), "{report}");
+        assert!(report.contains("Phase2a"), "{report}");
+        // JSON export carries the same numbers.
+        let v = obs::json::JsonValue::parse(&a.to_json()).unwrap();
+        let ledger = v.as_obj().unwrap()["ledger"].as_obj().unwrap();
+        assert_eq!(ledger["bytes_attributed"].as_u64(), Some(240));
+        assert_eq!(ledger["attribution_ratio"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn ledgers_segment_runs_at_clock_resets() {
+        // Same run twice: wire ids repeat, so class joins must not cross
+        // the boundary — each run gets its own ledger.
+        let trace = format!("{}{}", wire_trace(), wire_trace());
+        let events: Vec<TimedEvent> = trace
+            .lines()
+            .map(|l| TimedEvent::from_json(l).unwrap())
+            .collect();
+        let runs = ledgers(&events);
+        assert_eq!(runs.len(), 2);
+        for run in &runs {
+            assert_eq!(run.attributed_bytes, 240);
+            assert_eq!(run.attribution_ratio(), 1.0);
+        }
+        let mut merged = TraceLedger::new();
+        for run in &runs {
+            merged.merge(run);
+        }
+        assert_eq!(merged.attributed_bytes, 480);
+        assert_eq!(
+            merged.ledger.bytes_out_by_class(),
+            vec![("Decision".to_string(), 80), ("Phase2a".to_string(), 400)]
+        );
+        // The whole-trace analysis folds both runs into one ledger too.
+        let a = analyze_str(&trace).unwrap();
+        assert_eq!(a.ledger.attributed_bytes, 480);
     }
 }

@@ -2,18 +2,27 @@
 //!
 //! ```text
 //! tracetool report <trace.jsonl> [--csv FILE] [--json]
+//! tracetool ledger <trace.jsonl> [--csv FILE] [--json] [--min-attribution PCT]
 //! tracetool critical-path <trace.jsonl> [--instance N]
 //! tracetool health <trace.jsonl> [--stall-after-ms MS]
+//! tracetool watch <host:port> [--interval-ms MS] [--count N] [--family PREFIX]
 //! ```
 //!
 //! Reads a trace written by `wan_paxos --trace` (or any
 //! [`obs::TimedEvent`] JSONL stream).
 //!
 //! * `report` prints the semantic-efficacy report: filter/aggregation
-//!   suppression rates, redundancy ratio, causal hop-count distribution
-//!   and per-phase latency quantiles. `--csv` also writes the per-phase
-//!   latency table as CSV; `--json` emits the whole analysis as one
-//!   machine-readable JSON object instead of text.
+//!   suppression rates, redundancy ratio, per-class wire-byte columns,
+//!   causal hop-count distribution and per-phase latency quantiles.
+//!   `--csv` also writes the per-phase latency table as CSV; `--json`
+//!   emits the whole analysis as one machine-readable JSON object
+//!   instead of text.
+//! * `ledger` replays the trace through the [`obs::TraceLedger`] and
+//!   prints one per-`(subsystem, class)` byte/CPU attribution table per
+//!   run (a timestamp going backwards marks a run boundary — the same
+//!   segmentation as `report`). `--min-attribution PCT` exits non-zero
+//!   when less than PCT percent of wire bytes joined to a concrete
+//!   class, which is the CI gate against unclassified byte leakage.
 //! * `critical-path` stitches the causal message chain gating each
 //!   decision — submit, `ClientValue` forward, `Phase2a` to the critical
 //!   voter, its `Phase2b` back to the first decider — with hop-by-hop
@@ -22,6 +31,10 @@
 //! * `health` replays the trace through the [`obs::HealthTracker`] and
 //!   reports stalls; it exits non-zero when any stall was detected, so CI
 //!   can assert a clean run produced none.
+//! * `watch` polls a live `/metrics` endpoint (`live_tcp --serve`,
+//!   `wan_paxos --serve`) and renders a top-like table of the scraped
+//!   samples, with per-second deltas for counters once two polls have
+//!   landed. `--count 1` makes it a one-shot scrape (scriptable).
 //!
 //! Exits non-zero on malformed traces, naming the offending line.
 
@@ -30,7 +43,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use obs::{HealthConfig, HealthTracker, TimedEvent};
-use testbed::analysis::analyze_str;
+use testbed::analysis::{analyze_str, ledgers};
 use testbed::critical_path::{critical_paths, report as critical_report};
 
 fn usage(err: &str) -> ExitCode {
@@ -39,8 +52,10 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: tracetool report <trace.jsonl> [--csv FILE] [--json]\n\
+         \x20      tracetool ledger <trace.jsonl> [--csv FILE] [--json] [--min-attribution PCT]\n\
          \x20      tracetool critical-path <trace.jsonl> [--instance N]\n\
-         \x20      tracetool health <trace.jsonl> [--stall-after-ms MS]"
+         \x20      tracetool health <trace.jsonl> [--stall-after-ms MS]\n\
+         \x20      tracetool watch <host:port> [--interval-ms MS] [--count N] [--family PREFIX]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -118,6 +133,136 @@ fn cmd_report(mut args: impl Iterator<Item = String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_ledger(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut trace: Option<PathBuf> = None;
+    let mut csv_out: Option<PathBuf> = None;
+    let mut json = false;
+    let mut min_attribution: Option<f64> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv" => match args.next() {
+                Some(path) => csv_out = Some(PathBuf::from(path)),
+                None => return usage("--csv needs a file"),
+            },
+            "--json" => json = true,
+            "--min-attribution" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if (0.0..=100.0).contains(&pct) => min_attribution = Some(pct),
+                _ => return usage("--min-attribution needs a percentage in 0..=100"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if trace.is_none() => trace = Some(PathBuf::from(other)),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(trace) = trace else {
+        return usage("missing trace file");
+    };
+    let events = match read_events(&trace) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+
+    let runs = ledgers(&events);
+    let mut merged = obs::TraceLedger::new();
+    for run in &runs {
+        merged.merge(run);
+    }
+
+    if json {
+        use obs::json::JsonValue as J;
+        let run_json = |l: &obs::TraceLedger| {
+            let mut map = std::collections::BTreeMap::new();
+            map.insert(
+                "bytes_attributed".to_string(),
+                J::Int(l.attributed_bytes as i128),
+            );
+            map.insert(
+                "bytes_unattributed".to_string(),
+                J::Int(l.unattributed_bytes as i128),
+            );
+            map.insert(
+                "attribution_ratio".to_string(),
+                J::Float(l.attribution_ratio()),
+            );
+            map.insert("cells".to_string(), l.ledger.to_json());
+            J::Obj(map)
+        };
+        let mut root = std::collections::BTreeMap::new();
+        root.insert(
+            "runs".to_string(),
+            J::Arr(runs.iter().map(&run_json).collect()),
+        );
+        root.insert("merged".to_string(), run_json(&merged));
+        println!("{}", J::Obj(root).render());
+    } else {
+        println!("runs             {}", runs.len());
+        for (i, run) in runs.iter().enumerate() {
+            let wire = run.attributed_bytes + run.unattributed_bytes;
+            println!();
+            println!("-- run {} --", i + 1);
+            println!("wire bytes       {wire}");
+            println!("attributed       {:.1}%", run.attribution_ratio() * 100.0);
+            print!("{}", run.ledger.report());
+            let per_class = run.send_filter_by_class();
+            if !per_class.is_empty() {
+                println!("{:<14} {:>10} {:>10}", "class", "sent", "filtered");
+                for (class, sent, filtered) in per_class {
+                    println!("{class:<14} {sent:>10} {filtered:>10}");
+                }
+            }
+        }
+        if runs.len() > 1 {
+            println!();
+            println!("-- merged --");
+            print!("{}", merged.ledger.report());
+        }
+        println!();
+        println!(
+            "overall attribution  {:.1}%  ({} of {} wire bytes)",
+            merged.attribution_ratio() * 100.0,
+            merged.attributed_bytes,
+            merged.attributed_bytes + merged.unattributed_bytes,
+        );
+    }
+
+    if let Some(path) = csv_out {
+        // One row per (run, cell): the per-run contrast (Gossip vs
+        // Semantic Gossip savings) is the point of the export.
+        let mut csv = String::from("run,subsystem,class,messages,bytes_out,bytes_in,cpu_ns\n");
+        for (i, run) in runs.iter().enumerate() {
+            for c in run.ledger.cells() {
+                csv.push_str(&format!(
+                    "{},{},{},{},{},{},{}\n",
+                    i + 1,
+                    c.subsystem,
+                    c.class,
+                    c.messages,
+                    c.bytes_out,
+                    c.bytes_in,
+                    c.cpu_ns
+                ));
+            }
+        }
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    if let Some(pct) = min_attribution {
+        let ratio = merged.attribution_ratio() * 100.0;
+        if ratio < pct {
+            eprintln!(
+                "error: only {ratio:.1}% of wire bytes attributed to a class \
+                 (gate: {pct}%) — unclassified byte leakage"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -221,12 +366,149 @@ fn cmd_health(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// One `GET /metrics` scrape: returns the response body.
+fn scrape(addr: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok();
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("{addr}: write: {e}"))?;
+    let mut buf = String::new();
+    stream
+        .read_to_string(&mut buf)
+        .map_err(|e| format!("{addr}: read: {e}"))?;
+    let status_ok = buf.starts_with("HTTP/1.1 200") || buf.starts_with("HTTP/1.0 200");
+    if !status_ok {
+        let status = buf.lines().next().unwrap_or("empty response");
+        return Err(format!("{addr}: {status}"));
+    }
+    Ok(buf
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("")
+        .to_string())
+}
+
+fn cmd_watch(mut args: impl Iterator<Item = String>) -> ExitCode {
+    use std::collections::HashMap;
+    use std::io::IsTerminal;
+
+    let mut addr: Option<String> = None;
+    let mut interval_ms: u64 = 2_000;
+    let mut count: u64 = 0; // 0 = poll forever
+    let mut family = String::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--interval-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) if ms > 0 => interval_ms = ms,
+                _ => return usage("--interval-ms needs a positive number"),
+            },
+            "--count" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => count = n,
+                None => return usage("--count needs a number"),
+            },
+            "--family" => match args.next() {
+                Some(f) => family = f,
+                None => return usage("--family needs a metric-name prefix"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if addr.is_none() => addr = Some(other.to_string()),
+            other => return usage(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage("missing <host:port>");
+    };
+
+    // Previous poll's values keyed by `name{labels}`, for Δ/s columns.
+    let mut prev: HashMap<String, f64> = HashMap::new();
+    let mut prev_at: Option<std::time::Instant> = None;
+    let clear = std::io::stdout().is_terminal() && count != 1;
+    let mut polls = 0u64;
+    loop {
+        let body = match scrape(&addr) {
+            Ok(b) => b,
+            Err(e) if polls == 0 => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                // Transient mid-watch failure (e.g. the run restarting):
+                // keep polling.
+                eprintln!("scrape failed: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                continue;
+            }
+        };
+        let now = std::time::Instant::now();
+        let elapsed = prev_at.map(|t| now.duration_since(t).as_secs_f64());
+
+        let mut rows: Vec<(String, f64, Option<f64>)> = obs::prom::parse_samples(&body)
+            .into_iter()
+            .filter(|s| s.name.starts_with(&family))
+            .map(|s| {
+                let labels: Vec<String> =
+                    s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let key = if labels.is_empty() {
+                    s.name.clone()
+                } else {
+                    format!("{}{{{}}}", s.name, labels.join(","))
+                };
+                let delta = match (prev.get(&key), elapsed) {
+                    (Some(&p), Some(secs)) if secs > 0.0 => Some((s.value - p) / secs),
+                    _ => None,
+                };
+                (key, s.value, delta)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("{addr}  /metrics  ({} samples)", rows.len());
+        println!("{:<64} {:>16} {:>12}", "metric", "value", "delta/s");
+        for (key, value, delta) in rows.iter().take(40) {
+            let shown: String = if key.chars().count() > 64 {
+                let mut s: String = key.chars().take(63).collect();
+                s.push('…');
+                s
+            } else {
+                key.clone()
+            };
+            let delta = match delta {
+                Some(d) => format!("{d:+.1}"),
+                None => "-".to_string(),
+            };
+            println!("{shown:<64} {value:>16.3} {delta:>12}");
+        }
+        if rows.len() > 40 {
+            println!("… {} more samples (narrow with --family)", rows.len() - 40);
+        }
+
+        prev = rows.into_iter().map(|(k, v, _)| (k, v)).collect();
+        prev_at = Some(now);
+        polls += 1;
+        if count > 0 && polls >= count {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("report") => cmd_report(args),
+        Some("ledger") => cmd_ledger(args),
         Some("critical-path") => cmd_critical_path(args),
         Some("health") => cmd_health(args),
+        Some("watch") => cmd_watch(args),
         Some("--help") | Some("-h") => usage(""),
         Some(other) => usage(&format!("unknown command: {other}")),
         None => usage("missing command"),

@@ -19,7 +19,11 @@
 //! saturate (Figures 3/4). Message loss can be injected at the receiver
 //! (Figure 6). Runs are deterministic per seed.
 
-use obs::{Event as ObsEvent, HealthConfig, HealthTracker, RingObserver, SpanTracker, TimedEvent};
+use obs::ledger::{SUBSYS_PAXOS, SUBSYS_SEMANTICS, SUBSYS_TRANSPORT};
+use obs::{
+    Event as ObsEvent, HealthConfig, HealthTracker, ResourceLedger, RingObserver, SpanTracker,
+    TimedEvent,
+};
 use overlay::{connected_k_out, paper_fanout, Graph};
 use paxos::{
     InstanceId, MemoryStorage, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId,
@@ -291,6 +295,11 @@ impl ClusterParams {
 
 /// Semantics dispatch: classic gossip or Paxos semantic rules, behind one
 /// concrete type so a single `GossipNode` type covers all setups.
+///
+/// The variants are deliberately unboxed: there is exactly one per node,
+/// allocated once at cluster setup, and the hot path dispatches on it —
+/// the size asymmetry costs nothing here.
+#[allow(clippy::large_enum_variant)]
 enum AnySemantics {
     None(NoSemantics),
     Paxos(PaxosSemantics),
@@ -327,6 +336,15 @@ impl AnySemantics {
     fn gc(&mut self, watermark: InstanceId) {
         if let AnySemantics::Paxos(s) = self {
             s.gc(watermark);
+        }
+    }
+
+    /// The Paxos semantic layer, when this node runs one (per-kind filter
+    /// counters live there; classic gossip has none).
+    fn paxos(&self) -> Option<&PaxosSemantics> {
+        match self {
+            AnySemantics::Paxos(s) => Some(s),
+            AnySemantics::None(_) => None,
         }
     }
 }
@@ -468,6 +486,11 @@ struct Cluster {
     /// Paxos events salvaged from processes replaced on crash recovery.
     paxos_trace_backlog: Vec<TimedEvent>,
     received_by_kind: [u64; paxos::message::Kind::COUNT],
+    /// Per-`(subsystem, class)` byte/CPU attribution for the run: wire
+    /// bytes and modelled send/receive CPU land at the physical send and
+    /// arrival points; per-kind protocol counters are folded in at
+    /// collection time.
+    ledger: ResourceLedger,
     end: SimTime,
     window_start: SimTime,
     window_end: SimTime,
@@ -599,6 +622,7 @@ impl Cluster {
                 Tracer::disabled()
             },
             received_by_kind: [0; paxos::message::Kind::COUNT],
+            ledger: ResourceLedger::new(),
             end,
             window_start,
             window_end,
@@ -716,12 +740,26 @@ impl Cluster {
                     PaxosMessage::Phase2b { voters, .. } => voters.len(),
                     _ => 1,
                 };
-                let work = self.params.cpu.recv.service_time(msg.wire_size())
-                    + self
-                        .params
-                        .cpu
-                        .per_extra_part
-                        .saturating_mul(parts as u64 - 1);
+                let base = self.params.cpu.recv.service_time(msg.wire_size());
+                let extra = self
+                    .params
+                    .cpu
+                    .per_extra_part
+                    .saturating_mul(parts as u64 - 1);
+                // Attribute the arrival: bytes and the base receive cost to
+                // the transport cell of this class; the per-extra-part
+                // disaggregation overhead (only non-zero for aggregated
+                // votes) is the semantic layer's coordination work.
+                let class = msg.kind().name();
+                self.ledger
+                    .add_in(SUBSYS_TRANSPORT, class, msg.wire_size() as u64);
+                self.ledger
+                    .charge_cpu(SUBSYS_TRANSPORT, class, base.as_nanos());
+                if extra.as_nanos() > 0 {
+                    self.ledger
+                        .charge_cpu(SUBSYS_SEMANTICS, class, extra.as_nanos());
+                }
+                let work = base + extra;
                 let done = node.cpu.admit_work(now, work);
                 self.queue.schedule(done, Event::Handle { dst, from, msg });
             }
@@ -769,6 +807,17 @@ impl Cluster {
                 let done = self.nodes[attach as usize]
                     .cpu
                     .admit(now, self.params.value_size);
+                // Same service time `admit` charged, attributed to the
+                // protocol's client-value intake.
+                self.ledger.charge_cpu(
+                    SUBSYS_PAXOS,
+                    paxos::message::Kind::ClientValue.name(),
+                    self.params
+                        .cpu
+                        .recv
+                        .service_time(self.params.value_size)
+                        .as_nanos(),
+                );
                 self.queue.schedule(
                     done,
                     Event::ClientDeliver {
@@ -1027,6 +1076,27 @@ impl Cluster {
         node.raw_sent += 1;
         let send_cost = self.params.cpu.send.service_time(size);
         let departs = node.cpu.admit_work(now, send_cost);
+        // Attribute the wire bytes and the modelled send cost to this
+        // message class, and — when tracing — emit the byte-carrying
+        // `wire_frame` event `tracetool ledger` replays. The class rides
+        // inline so attribution survives ring eviction and covers
+        // drain-time aggregates whose fresh wire ids are never tagged.
+        let class = msg.kind().name();
+        self.ledger.add_out(SUBSYS_TRANSPORT, class, size as u64);
+        self.ledger
+            .charge_cpu(SUBSYS_TRANSPORT, class, send_cost.as_nanos());
+        if self.tracer.is_enabled() {
+            self.tracer.record(
+                now,
+                ObsEvent::WireFrame {
+                    node: from,
+                    peer: to,
+                    msg: msg.message_id().trace_id(),
+                    kind: class.to_string(),
+                    bytes: size as u64,
+                },
+            );
+        }
         let base = self.regions.one_way(from as usize, to as usize);
         let link = simnet::LinkConfig::reliable(base);
         let delay = link.sample_delay(&mut self.link_rng);
@@ -1103,6 +1173,53 @@ impl Cluster {
             );
         }
         metrics.received_by_kind = self.received_by_kind;
+
+        // Fold the per-kind protocol counters into the ledger: how many
+        // messages each Paxos step function handled, and how many sends
+        // the semantic filter suppressed, per class. Counts only — their
+        // CPU and bytes were already attributed at the arrival and send
+        // points.
+        for node in &self.nodes {
+            for (kind, &count) in paxos::message::Kind::ALL
+                .iter()
+                .zip(node.paxos.handled_by_kind())
+            {
+                if count > 0 {
+                    self.ledger.add_messages(SUBSYS_PAXOS, kind.name(), count);
+                }
+            }
+            if let Comms::Gossip(g) = &node.comms {
+                if let Some(s) = g.semantics().paxos() {
+                    for (kind, &count) in paxos::message::Kind::ALL.iter().zip(s.filtered_by_kind())
+                    {
+                        if count > 0 {
+                            self.ledger
+                                .add_messages(SUBSYS_SEMANTICS, kind.name(), count);
+                        }
+                    }
+                }
+            }
+        }
+        if self.tracer.is_enabled() {
+            // End-of-run CPU summaries so a replayed trace can attribute
+            // CPU alongside bytes (recorded last: never evicted by the
+            // ring before the trace is drained below).
+            for c in self.ledger.cells() {
+                if c.cpu_ns > 0 {
+                    self.tracer.record(
+                        end,
+                        ObsEvent::CpuCharged {
+                            node: 0,
+                            subsystem: c.subsystem.clone(),
+                            class: c.class.clone(),
+                            ns: c.cpu_ns,
+                        },
+                    );
+                }
+            }
+        }
+        metrics.ledger = self.ledger.clone();
+
         let tracing = self.tracer.is_enabled();
         if tracing || self.params.ring_capacity() > 0 {
             // Merge the cluster-level trace (losses, recoveries) with every

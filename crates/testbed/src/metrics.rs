@@ -72,6 +72,10 @@ pub struct RunMetrics {
     /// Physically received messages by protocol kind (index =
     /// `paxos::message::Kind::index()`), across all processes.
     pub received_by_kind: [u64; paxos::message::Kind::COUNT],
+    /// Per-`(subsystem, class)` byte and CPU attribution for the run:
+    /// wire bytes out (transport), bytes in (gossip/paxos receive path),
+    /// and modelled CPU nanoseconds, keyed by Paxos message-class names.
+    pub ledger: obs::ResourceLedger,
     /// Rendered execution trace, when tracing was enabled for the run.
     pub trace: Option<String>,
     /// Machine-readable JSONL trace (one [`obs::TimedEvent`] per line),
@@ -113,6 +117,7 @@ impl RunMetrics {
             node_sent: Vec::new(),
             gossip: MessageStats::default(),
             received_by_kind: [0; paxos::message::Kind::COUNT],
+            ledger: obs::ResourceLedger::new(),
             trace: None,
             trace_jsonl: None,
             trace_kinds: Vec::new(),
@@ -315,6 +320,77 @@ impl RunMetrics {
             );
         }
 
+        exp.header(
+            "gossip_bytes_total",
+            "Wire bytes the gossip layer handed to the transport (sent) or suppressed (filtered)",
+            MetricKind::Counter,
+        );
+        for (counter, value) in [
+            ("sent", self.gossip.bytes_sent.get()),
+            ("filtered", self.gossip.bytes_filtered.get()),
+        ] {
+            exp.sample_u64(
+                "gossip_bytes_total",
+                &[("setup", setup), ("counter", counter)],
+                value,
+            );
+        }
+
+        if !self.ledger.is_empty() {
+            exp.header(
+                "ledger_bytes_total",
+                "Wire bytes attributed per (subsystem, message class) ledger cell",
+                MetricKind::Counter,
+            );
+            exp.header(
+                "ledger_messages_total",
+                "Messages accounted per (subsystem, message class) ledger cell",
+                MetricKind::Counter,
+            );
+            exp.header(
+                "ledger_cpu_seconds_total",
+                "Modelled CPU seconds attributed per (subsystem, message class) ledger cell",
+                MetricKind::Counter,
+            );
+            for c in self.ledger.cells() {
+                let labels: &[(&str, &str)] = &[
+                    ("setup", setup),
+                    ("subsystem", c.subsystem.as_str()),
+                    ("class", c.class.as_str()),
+                ];
+                if c.bytes_out > 0 {
+                    exp.sample_u64(
+                        "ledger_bytes_total",
+                        &[
+                            ("setup", setup),
+                            ("subsystem", c.subsystem.as_str()),
+                            ("class", c.class.as_str()),
+                            ("direction", "out"),
+                        ],
+                        c.bytes_out,
+                    );
+                }
+                if c.bytes_in > 0 {
+                    exp.sample_u64(
+                        "ledger_bytes_total",
+                        &[
+                            ("setup", setup),
+                            ("subsystem", c.subsystem.as_str()),
+                            ("class", c.class.as_str()),
+                            ("direction", "in"),
+                        ],
+                        c.bytes_in,
+                    );
+                }
+                if c.messages > 0 {
+                    exp.sample_u64("ledger_messages_total", labels, c.messages);
+                }
+                if c.cpu_ns > 0 {
+                    exp.sample_f64("ledger_cpu_seconds_total", labels, c.cpu_ns as f64 / 1e9);
+                }
+            }
+        }
+
         if !self.trace_kinds.is_empty() {
             exp.header(
                 "trace_events_total",
@@ -462,6 +538,36 @@ mod tests {
         assert!(text
             .contains("testbed_latency_seconds_bucket{setup=\"Semantic Gossip\",le=\"+Inf\"} 1"));
         assert!(text.contains("testbed_latency_seconds_count{setup=\"Semantic Gossip\"} 1"));
+        // An empty ledger contributes no families...
+        assert!(!text.contains("ledger_bytes_total"));
+    }
+
+    #[test]
+    fn ledger_cells_are_exposed_as_metrics() {
+        let mut m = RunMetrics::new("Gossip", 3, 10.0, SimDuration::from_secs(1));
+        m.gossip.bytes_sent.add(500);
+        m.gossip.bytes_filtered.add(120);
+        m.ledger.add_out("transport", "Phase2a", 300);
+        m.ledger.add_in("transport", "Phase2a", 280);
+        m.ledger.charge_cpu("paxos", "Phase2a", 1_500_000);
+        m.ledger.add_messages("semantics", "Decision", 4);
+        let text = m.prometheus();
+        assert!(text.contains("gossip_bytes_total{setup=\"Gossip\",counter=\"sent\"} 500"));
+        assert!(text.contains("gossip_bytes_total{setup=\"Gossip\",counter=\"filtered\"} 120"));
+        assert!(text.contains(
+            "ledger_bytes_total{setup=\"Gossip\",subsystem=\"transport\",\
+             class=\"Phase2a\",direction=\"out\"} 300"
+        ));
+        assert!(text.contains(
+            "ledger_bytes_total{setup=\"Gossip\",subsystem=\"transport\",\
+             class=\"Phase2a\",direction=\"in\"} 280"
+        ));
+        assert!(text.contains(
+            "ledger_messages_total{setup=\"Gossip\",subsystem=\"semantics\",class=\"Decision\"} 4"
+        ));
+        assert!(text.contains(
+            "ledger_cpu_seconds_total{setup=\"Gossip\",subsystem=\"paxos\",class=\"Phase2a\"} 0.0015"
+        ));
     }
 
     #[test]

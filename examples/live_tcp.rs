@@ -20,11 +20,14 @@
 //! With `--metrics-addr`, a `/metrics` HTTP endpoint serves live
 //! Prometheus text while the run is in flight: per-peer send-queue depth,
 //! duplicate-cache occupancy, the open Paxos instance window, dropped
-//! frames, an outgoing frame-size histogram, and the health engine's
+//! frames, an outgoing frame-size histogram, the health engine's
 //! liveness gauges (`health_stalls_detected`, `health_oldest_open_age_ms`,
-//! `health_open_instances`). `--linger` keeps the endpoint up for that
-//! many seconds after consensus completes, so the final state can be
-//! scraped with `curl`.
+//! `health_open_instances`), and windowed resource rates —
+//! `bytes_per_sec{node,class}` per Paxos message class and
+//! `cpu_ns_per_sec{node,subsystem}` for the transport and Paxos hot
+//! sections, both smoothed over a 10 s sliding [`Series`] window.
+//! `--linger` keeps the endpoint up for that many seconds after
+//! consensus completes, so the final state can be scraped with `curl`.
 //!
 //! Health is always on, metrics or not: every node tees its event stream
 //! into a private flight ring, replays it through a [`HealthTracker`]
@@ -40,8 +43,8 @@ use std::time::{Duration, Instant};
 use gossip_consensus::gossip::codec::Wire;
 use gossip_consensus::gossip::RecentCache;
 use gossip_consensus::obs::{
-    Event, FlightRecorder, HealthConfig, HealthTracker, MetricsServer, Registry, SharedGauge,
-    SharedHistogram, SharedRing, SpanTracker, Tee,
+    Event, FlightRecorder, HealthConfig, HealthTracker, MetricsServer, Registry, Series,
+    SharedGauge, SharedHistogram, SharedRing, SpanTracker, Tee,
 };
 use gossip_consensus::paxos::MemoryStorage;
 use gossip_consensus::prelude::*;
@@ -221,7 +224,20 @@ struct NodeMetrics {
     oldest_open_age_ms: SharedGauge,
     health_open_instances: SharedGauge,
     last_trace_sample: Option<Instant>,
+    /// Windowed rate series, one per message class / subsystem, created
+    /// lazily the first time a class shows up on this node's wire. Each
+    /// entry pairs the sliding window with the gauge it refreshes.
+    class_rates: HashMap<&'static str, (Series, SharedGauge)>,
+    cpu_rates: HashMap<&'static str, (Series, SharedGauge)>,
+    epoch: Instant,
 }
+
+/// Sliding window the `/metrics` rates are computed over.
+const RATE_WINDOW_NS: u64 = 10_000_000_000;
+
+/// Samples held per rate series: 250 ms cadence times the 10 s window,
+/// with slack for jittery ticks.
+const RATE_CAPACITY: usize = 64;
 
 impl NodeMetrics {
     fn new(registry: Registry, id: usize) -> Self {
@@ -280,6 +296,9 @@ impl NodeMetrics {
             ),
             queue_depth: HashMap::new(),
             last_trace_sample: None,
+            class_rates: HashMap::new(),
+            cpu_rates: HashMap::new(),
+            epoch: Instant::now(),
             registry,
             node,
         }
@@ -324,6 +343,44 @@ impl NodeMetrics {
                 node: self.node.parse().unwrap_or(0),
                 open: paxos.instance_window() as u64,
             });
+            // Windowed rates: push the cumulative counters into their
+            // sliding series and refresh the per-class / per-subsystem
+            // gauges from the window's delta rate. Same cadence as the
+            // trace samples — the series absorb the tick jitter.
+            let now_ns = self.epoch.elapsed().as_nanos() as u64;
+            let registry = &self.registry;
+            let node = &self.node;
+            for (class, total) in &wire.by_class {
+                let (series, gauge) = self.class_rates.entry(class).or_insert_with(|| {
+                    let gauge = registry.gauge(
+                        "bytes_per_sec",
+                        "Wire bytes per second by message class (10s window).",
+                        &[("node", node), ("class", class)],
+                    );
+                    (Series::new(RATE_CAPACITY, RATE_WINDOW_NS), gauge)
+                });
+                series.push(now_ns, *total);
+                if let Some(rate) = series.delta_rate_per_sec() {
+                    gauge.set(rate.round() as u64);
+                }
+            }
+            for (subsystem, total_ns) in [
+                ("transport", wire.cpu_transport_ns),
+                ("paxos", wire.cpu_paxos_ns),
+            ] {
+                let (series, gauge) = self.cpu_rates.entry(subsystem).or_insert_with(|| {
+                    let gauge = registry.gauge(
+                        "cpu_ns_per_sec",
+                        "CPU nanoseconds per second spent in a subsystem's hot section (10s window).",
+                        &[("node", node), ("subsystem", subsystem)],
+                    );
+                    (Series::new(RATE_CAPACITY, RATE_WINDOW_NS), gauge)
+                });
+                series.push(now_ns, total_ns);
+                if let Some(rate) = series.delta_rate_per_sec() {
+                    gauge.set(rate.round() as u64);
+                }
+            }
         }
     }
 
@@ -340,11 +397,17 @@ impl NodeMetrics {
 /// Running totals of the encode-once send path: `encoded` counts each
 /// distinct broadcast's payload once, `sent` counts it once per peer it
 /// fanned out to. `sent / encoded` is the copy amplification the shared
-/// frames avoid.
+/// frames avoid. `by_class` splits the sent bytes by Paxos message class
+/// (the sender knows the kind at encode time), and the `cpu_*_ns` fields
+/// accumulate wall time spent inside the two hot sections of the event
+/// loop — together they feed the windowed `/metrics` rate gauges.
 #[derive(Default)]
 struct WireCounters {
     encoded: u64,
     sent: u64,
+    by_class: HashMap<&'static str, u64>,
+    cpu_transport_ns: u64,
+    cpu_paxos_ns: u64,
 }
 
 /// The event loop of one node: TCP frames in, gossip + Paxos, TCP frames
@@ -410,6 +473,7 @@ fn node_main(
         // Ship pending gossip to the wire, encode-once: each distinct
         // message is serialized a single time and the same frame bytes are
         // shared (by handle) with every peer it fans out to.
+        let tick = Instant::now();
         gossip.take_outgoing_shared_into(&mut outgoing);
         for (peer, msg) in outgoing.drain(..) {
             let (frame, fanout) = frame_cache.entry(msg.message_id()).or_insert_with(|| {
@@ -419,6 +483,7 @@ fn node_main(
             });
             *fanout += 1;
             wire.sent += frame.len() as u64;
+            *wire.by_class.entry(msg.kind().name()).or_insert(0) += frame.len() as u64;
             if let Some(m) = &metrics {
                 m.frame_bytes.record(frame.len() as u64);
             }
@@ -432,6 +497,7 @@ fn node_main(
                 bytes: frame.len() as u64,
             });
         }
+        wire.cpu_transport_ns += tick.elapsed().as_nanos() as u64;
         // Pull one network event (with a small timeout so we keep pumping).
         if let Some(PeerEvent::Frame { from, payload }) =
             endpoint.recv_timeout(Duration::from_millis(20))
@@ -442,6 +508,7 @@ fn node_main(
             }
         }
         // Drain deliveries into Paxos, broadcasting its responses.
+        let tick = Instant::now();
         loop {
             gossip.take_deliveries_into(&mut deliveries);
             if deliveries.is_empty() {
@@ -456,6 +523,7 @@ fn node_main(
         for (instance, value) in paxos.take_decisions() {
             delivered.push((instance, value.id()));
         }
+        wire.cpu_paxos_ns += tick.elapsed().as_nanos() as u64;
         if let Some(m) = &mut metrics {
             m.sample(&endpoint, &mut gossip, &paxos, &ring, &wire);
         }

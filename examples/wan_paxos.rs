@@ -163,6 +163,18 @@ fn main() {
                     labels,
                 )
                 .set(m.not_ordered_in_window);
+            // Per-class wire bytes off the resource ledger: one label set
+            // per (setup, class), so the semantic filter's savings read
+            // directly off the scrape as Gossip vs SemanticGossip rows.
+            for (class, bytes) in m.ledger.bytes_out_by_class() {
+                registry
+                    .gauge(
+                        "wan_wire_bytes_total",
+                        "Simulated wire bytes sent, by message class.",
+                        &[("setup", setup.name()), ("class", &class)],
+                    )
+                    .set(bytes);
+            }
             if let Some(h) = &m.health {
                 registry
                     .gauge(
