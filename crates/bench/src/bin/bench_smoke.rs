@@ -16,6 +16,15 @@
 //! carrying a 1 KiB value (the dominant steady-state broadcast at the
 //! paper's n = 105), fanned out to 7 peers plus local delivery.
 //!
+//! Beyond the hot-path timings, the run also measures **wire redundancy**
+//! per dissemination substrate: a small deterministic WAN sim (13 nodes,
+//! Paxos at 13 values/s) runs once on push gossip and once on eager/lazy
+//! (Plumtree-style) dissemination, and each trace is reduced to bytes
+//! sent per byte encoded by the same analysis that backs
+//! `tracetool report`. The eager/lazy ratio is a gated metric: the tree
+//! quietly un-converging (payloads flooding again) is a perf regression
+//! just like a slower encode path.
+//!
 //! With `--history FILE` each run also appends one JSONL line to an
 //! append-only trajectory file, so the hot-path numbers are comparable
 //! across commits. With `--check`, the current run is compared against the
@@ -40,15 +49,33 @@ const BATCH: usize = 16;
 
 /// Metrics the `--check` gate compares against the recorded baseline
 /// (the hot-path costs; the ratios derived from them are informational).
-const GATED: [&str; 3] = [
+const GATED: [&str; 4] = [
     "ns_per_fanout_shared",
     "ns_per_encode_once",
     "ns_per_broadcast_drain",
+    "bytes_sent_per_byte_encoded_eager_lazy",
 ];
 
 /// A run fails the gate when a gated metric exceeds its recorded best by
 /// more than this factor.
 const TOLERANCE: f64 = 1.15;
+
+/// Whole-run wire redundancy (bytes sent per byte encoded) of one
+/// dissemination substrate: a deterministic 13-node WAN sim driving Paxos
+/// at 13 values/s for 2 s after a 1 s warmup, reduced from its trace by
+/// the same analysis behind `tracetool report`. Deterministic, so the
+/// trajectory gate compares exact reruns, not noisy timings.
+fn wire_redundancy(setup: testbed::cluster::Setup) -> f64 {
+    use testbed::cluster::{run_cluster, ClusterParams};
+    let mut params = ClusterParams::paper(13, setup)
+        .with_rate(13.0)
+        .with_seconds(2.0, 1.0);
+    params.trace_capacity = 1 << 20;
+    let metrics = run_cluster(&params);
+    let trace = metrics.trace_jsonl.expect("tracing was enabled");
+    let analysis = testbed::analysis::analyze_str(&trace).expect("sim trace parses");
+    analysis.wire_merged().bytes_sent_per_byte_encoded()
+}
 
 fn quorum_vote() -> PaxosMessage {
     PaxosMessage::Phase2b {
@@ -231,6 +258,11 @@ fn main() -> ExitCode {
     let fanout_speedup = ns_fanout_cloned / ns_fanout_shared;
     let encode_speedup = ns_encode_per_peer / ns_encode_once;
 
+    // Substrate redundancy: deterministic sims, so the injected slowdown
+    // (a timing knob) does not apply.
+    let redundancy_push = wire_redundancy(testbed::cluster::Setup::Gossip);
+    let redundancy_eager_lazy = wire_redundancy(testbed::cluster::Setup::EagerLazyGossip);
+
     let json = format!(
         "{{\n  \"bench\": \"gossip_hot_path\",\n  \"fanout\": {FANOUT},\n  \
          \"payload_bytes\": 1024,\n  \"voters\": 52,\n  \
@@ -243,7 +275,9 @@ fn main() -> ExitCode {
          \"ns_per_broadcast_drain\": {ns_broadcast_drain:.1},\n  \
          \"broadcast_throughput_per_sec\": {broadcasts_per_sec:.0},\n  \
          \"bytes_encoded_per_broadcast\": {frame_bytes},\n  \
-         \"bytes_sent_per_broadcast\": {}\n}}\n",
+         \"bytes_sent_per_broadcast\": {},\n  \
+         \"bytes_sent_per_byte_encoded_push\": {redundancy_push:.2},\n  \
+         \"bytes_sent_per_byte_encoded_eager_lazy\": {redundancy_eager_lazy:.2}\n}}\n",
         frame_bytes * FANOUT
     );
     print!("{json}");
@@ -259,12 +293,17 @@ fn main() -> ExitCode {
     };
 
     use obs::json::JsonValue as J;
-    let measured: [(&str, f64); 5] = [
+    let measured: [(&str, f64); 7] = [
         ("ns_per_fanout_cloned", ns_fanout_cloned),
         ("ns_per_fanout_shared", ns_fanout_shared),
         ("ns_per_encode_per_peer", ns_encode_per_peer),
         ("ns_per_encode_once", ns_encode_once),
         ("ns_per_broadcast_drain", ns_broadcast_drain),
+        ("bytes_sent_per_byte_encoded_push", redundancy_push),
+        (
+            "bytes_sent_per_byte_encoded_eager_lazy",
+            redundancy_eager_lazy,
+        ),
     ];
 
     // The trajectory on disk: one JSON object per line, append-only.

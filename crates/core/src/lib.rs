@@ -59,6 +59,7 @@ pub mod codec;
 pub mod config;
 pub mod id;
 pub mod node;
+pub mod plumtree;
 pub mod pull;
 pub mod semantics;
 pub mod stats;
@@ -68,5 +69,6 @@ pub use codec::{Reader, Wire, WireError};
 pub use config::GossipConfig;
 pub use id::{MessageId, NodeId};
 pub use node::{GossipItem, GossipNode, TraceTag};
+pub use plumtree::{EagerLazyConfig, EagerLazyNode, Packet, PlumtreeStats};
 pub use semantics::{NoSemantics, Semantics};
 pub use stats::MessageStats;

@@ -1,0 +1,1417 @@
+//! Plumtree-style eager/lazy dissemination: epidemic broadcast trees.
+//!
+//! Pure push gossip (the [`GossipNode`](crate::GossipNode)) resends every
+//! full payload to every peer, so a message crosses each overlay link once
+//! per direction and most receptions are duplicates — roughly `fanout`
+//! bytes on the wire per byte encoded. Epidemic broadcast trees (Leitão,
+//! Pereira, Rodrigues, *Plumtree*, SRDS '07; see also OPTIMUMP2P in
+//! PAPERS.md) keep gossip's fault tolerance at near-1× payload cost by
+//! splitting each node's peers into two sets:
+//!
+//! * **eager** peers receive the full payload immediately ([`Packet::Payload`]),
+//! * **lazy** peers receive a compact batched announcement of message ids
+//!   ([`Packet::IHave`]).
+//!
+//! # A tree per broadcast source
+//!
+//! Plumtree's original setting is a single broadcast root, where one shared
+//! eager set per node converges to one spanning tree. Consensus traffic is
+//! different: *every* process broadcasts concurrently (2b votes from each
+//! acceptor, 2a/1a from the coordinator), and the best spanning tree for
+//! one root is a cycle for another. With one shared eager set the prune
+//! decisions of different sources fight each other — an edge that is
+//! redundant for source A is the tree edge for source B — and the mesh
+//! churns forever. This node therefore keeps the eager/lazy split **per
+//! `(peer, source)`**: each payload carries the id of the node that
+//! originally broadcast it, and a duplicate only demotes the delivering
+//! link *for that source's tree*. Each source's tree then converges
+//! independently under classic single-source Plumtree dynamics and the
+//! forest is stable — in steady state a message travels exactly `n-1`
+//! links.
+//!
+//! Every link starts eager for every source; the first duplicate a node
+//! receives over an eager link demotes it for the duplicate's source
+//! ([`Packet::Prune`]), so each source's eager subgraph converges to a
+//! spanning tree along which that source's payloads travel exactly once.
+//! When an announced id fails to arrive before a timer, the node requests
+//! it from an announcer ([`Packet::IWant`]); a lazy link that delivers a
+//! missed payload is promoted back into the missed message's tree
+//! ([`Packet::Graft`]), repairing partitions and crashed branches.
+//!
+//! Like [`GossipNode`](crate::GossipNode), the [`EagerLazyNode`] is
+//! *sans-IO*: the runtime feeds it [`EagerLazyNode::broadcast`] /
+//! [`EagerLazyNode::on_packet`] calls, advances its clock with
+//! [`EagerLazyNode::set_clock`] + [`EagerLazyNode::on_timer`], and drains
+//! [`EagerLazyNode::take_outgoing`] / [`EagerLazyNode::take_deliveries`].
+//! Payloads fan out as `Arc`-shared encode-once handles (PR 3), and IHAVE
+//! announcements carry the 64-bit [`MessageId::trace_id`] fold — 8 bytes
+//! per id — batched per lazy peer so they ride existing batched writes.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use obs::{Event, NoopObserver, Observer};
+
+use crate::cache::{DuplicateFilter, RecentCache};
+use crate::config::GossipConfig;
+use crate::id::NodeId;
+use crate::node::GossipItem;
+use crate::stats::{MessageStats, Stat};
+
+/// Class label of IHAVE control frames in ledgers and traces.
+pub const CLASS_IHAVE: &str = "IHAVE";
+/// Class label of IWANT control frames in ledgers and traces.
+pub const CLASS_IWANT: &str = "IWANT";
+/// Class label of GRAFT control frames in ledgers and traces.
+pub const CLASS_GRAFT: &str = "GRAFT";
+/// Class label of PRUNE control frames in ledgers and traces.
+pub const CLASS_PRUNE: &str = "PRUNE";
+
+/// Every control class, for iteration in reports.
+pub const CONTROL_CLASSES: [&str; 4] = [CLASS_IHAVE, CLASS_IWANT, CLASS_GRAFT, CLASS_PRUNE];
+
+/// One wire packet of the eager/lazy substrate.
+///
+/// Payloads carry the consensus message unchanged plus the 4-byte id of
+/// its broadcast source (the root of the tree it travels); control packets
+/// carry 64-bit announce ids
+/// ([`MessageId::trace_id`](crate::MessageId::trace_id) folds of the full
+/// 128-bit message id — 8 bytes on the wire instead of 16, at
+/// Bloom-filter-grade collision odds the paper already accepts for
+/// duplicate suppression). PRUNE and GRAFT name the source whose tree
+/// they edit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet<M> {
+    /// A full consensus message and the node id that broadcast it, pushed
+    /// along a link that is eager for that source (or served in response
+    /// to an IWANT/GRAFT request).
+    Payload(u32, M),
+    /// Batched announcement: "I have the messages with these ids".
+    IHave(Vec<u64>),
+    /// Request for the payloads of these announced-but-missing ids.
+    IWant(Vec<u64>),
+    /// Promote the sending link into this source's tree; any carried ids
+    /// are also payload requests (served like an IWANT).
+    Graft(u32, Vec<u64>),
+    /// Demote the sending link from this source's tree: stop eager-pushing
+    /// that source's payloads to me.
+    Prune(u32),
+}
+
+/// Per-packet framing overhead: a 1-byte discriminant.
+const PACKET_HEADER: usize = 1;
+/// Bytes of the broadcast-source id carried by payloads, PRUNEs and GRAFTs.
+pub const SOURCE_BYTES: usize = 4;
+/// Id-list framing: a 2-byte count, then 8 bytes per id.
+const IDLIST_HEADER: usize = 2;
+/// Bytes per announce id on the wire.
+pub const ANNOUNCE_ID_BYTES: usize = 8;
+
+impl<M: GossipItem> Packet<M> {
+    /// Encoded size in bytes (header + body), the unit of all byte
+    /// accounting for this substrate.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Packet::Payload(_, m) => PACKET_HEADER + SOURCE_BYTES + m.wire_size(),
+            Packet::IHave(ids) | Packet::IWant(ids) => {
+                PACKET_HEADER + IDLIST_HEADER + ANNOUNCE_ID_BYTES * ids.len()
+            }
+            Packet::Graft(_, ids) => {
+                PACKET_HEADER + SOURCE_BYTES + IDLIST_HEADER + ANNOUNCE_ID_BYTES * ids.len()
+            }
+            Packet::Prune(_) => PACKET_HEADER + SOURCE_BYTES,
+        }
+    }
+
+    /// Ledger/trace class of this packet: `None` for payloads (classed by
+    /// the inner message's own kind), the control-class constant otherwise.
+    pub fn control_class(&self) -> Option<&'static str> {
+        match self {
+            Packet::Payload(_, _) => None,
+            Packet::IHave(_) => Some(CLASS_IHAVE),
+            Packet::IWant(_) => Some(CLASS_IWANT),
+            Packet::Graft(_, _) => Some(CLASS_GRAFT),
+            Packet::Prune(_) => Some(CLASS_PRUNE),
+        }
+    }
+}
+
+/// Tunables of an [`EagerLazyNode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EagerLazyConfig {
+    /// Queue capacities and seen-cache size, shared with classic gossip.
+    pub gossip: GossipConfig,
+    /// How long an announced id may stay missing before the first IWANT
+    /// fires (nanoseconds). Must exceed the typical eager-path delivery
+    /// spread, or races between announcements and payloads trigger
+    /// spurious requests.
+    pub ihave_timeout_ns: u64,
+    /// Retry interval between IWANTs to successive announcers of a still
+    /// missing id (nanoseconds).
+    pub iwant_retry_ns: u64,
+    /// Recently seen payloads retained (by announce id) to serve
+    /// IWANT/GRAFT requests.
+    pub payload_store_capacity: usize,
+    /// Maximum announce ids per IHAVE packet; longer batches split.
+    pub max_ihave_batch: usize,
+}
+
+impl Default for EagerLazyConfig {
+    fn default() -> Self {
+        EagerLazyConfig {
+            gossip: GossipConfig::default(),
+            ihave_timeout_ns: 50_000_000, // 50 ms
+            iwant_retry_ns: 50_000_000,   // 50 ms
+            payload_store_capacity: 4096,
+            max_ihave_batch: 64,
+        }
+    }
+}
+
+impl EagerLazyConfig {
+    /// Checks the configuration for nonsensical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.gossip.validate()?;
+        if self.ihave_timeout_ns == 0 {
+            return Err("ihave_timeout_ns must be positive".into());
+        }
+        if self.iwant_retry_ns == 0 {
+            return Err("iwant_retry_ns must be positive".into());
+        }
+        if self.payload_store_capacity == 0 {
+            return Err("payload_store_capacity must be positive".into());
+        }
+        if self.max_ihave_batch == 0 {
+            return Err("max_ihave_batch must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Eager/lazy-specific counters, alongside the shared [`MessageStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlumtreeStats {
+    /// Full payloads handed to the transport (eager pushes + request
+    /// responses).
+    pub eager_sent: Stat,
+    /// IHAVE packets handed to the transport.
+    pub ihave_packets: Stat,
+    /// Announce ids carried by those IHAVE packets.
+    pub ihave_entries: Stat,
+    /// IWANT packets queued by the miss timer.
+    pub iwant_packets: Stat,
+    /// GRAFT packets queued (lazy link promoted after delivering a missed
+    /// id).
+    pub grafts: Stat,
+    /// PRUNE packets queued (eager link demoted after delivering a
+    /// duplicate).
+    pub prunes: Stat,
+    /// Missing announced ids recovered via the lazy path.
+    pub recovered: Stat,
+    /// Control bytes (IHAVE/IWANT/GRAFT/PRUNE) handed to the transport;
+    /// payload bytes are in [`MessageStats::bytes_sent`]'s remainder.
+    pub control_bytes: Stat,
+}
+
+impl PlumtreeStats {
+    /// Merges another node's counters into this one.
+    pub fn merge(&mut self, other: &PlumtreeStats) {
+        self.eager_sent += other.eager_sent;
+        self.ihave_packets += other.ihave_packets;
+        self.ihave_entries += other.ihave_entries;
+        self.iwant_packets += other.iwant_packets;
+        self.grafts += other.grafts;
+        self.prunes += other.prunes;
+        self.recovered += other.recovered;
+        self.control_bytes += other.control_bytes;
+    }
+}
+
+/// Bounded FIFO of recently seen payloads (and their broadcast source),
+/// keyed by announce id, serving IWANT/GRAFT requests (the eager/lazy
+/// sibling of [`PullStore`](crate::pull::PullStore)).
+#[derive(Debug)]
+struct PayloadStore<M> {
+    by_fold: HashMap<u64, (u32, Arc<M>)>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl<M> PayloadStore<M> {
+    fn new(capacity: usize) -> Self {
+        PayloadStore {
+            by_fold: HashMap::with_capacity(capacity.min(1024)),
+            order: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
+    }
+
+    fn insert(&mut self, fold: u64, source: u32, payload: Arc<M>) {
+        if self.by_fold.insert(fold, (source, payload)).is_none() {
+            self.order.push_back(fold);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.by_fold.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn get(&self, fold: u64) -> Option<&(u32, Arc<M>)> {
+        self.by_fold.get(&fold)
+    }
+}
+
+/// Bounded FIFO set of announce ids already seen, answering IHAVE checks
+/// without the full 128-bit message id.
+#[derive(Debug)]
+struct FoldSet {
+    set: HashSet<u64>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl FoldSet {
+    fn new(capacity: usize) -> Self {
+        FoldSet {
+            set: HashSet::with_capacity(capacity.min(1024)),
+            order: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
+    }
+
+    fn contains(&self, fold: u64) -> bool {
+        self.set.contains(&fold)
+    }
+
+    fn insert(&mut self, fold: u64) {
+        if self.set.insert(fold) {
+            self.order.push_back(fold);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Tracking state of one announced-but-not-yet-received id.
+#[derive(Debug)]
+struct Missing {
+    /// Peers that announced the id, in announcement order.
+    announcers: Vec<NodeId>,
+    /// Which announcer the next IWANT goes to (round-robin).
+    next: usize,
+    /// Clock deadline (ns) of the next IWANT.
+    deadline: u64,
+}
+
+/// Announcers remembered per missing id; later announcements are dropped.
+const MAX_ANNOUNCERS: usize = 8;
+
+/// Per-peer bound on demoted sources; at the cap further prunes are
+/// ignored (the link stays eager for new sources — wasteful but safe).
+const MAX_PRUNED_SOURCES: usize = 1024;
+
+/// One entry of a per-peer send queue.
+#[derive(Debug)]
+enum OutEntry<M> {
+    /// Broadcast source, shared payload handle, and its wire size —
+    /// computed once per broadcast (PR 3's encode-once discipline).
+    Payload(u32, Arc<M>, u32),
+    /// A control packet with its precomputed wire size.
+    Control(Packet<M>, u32),
+}
+
+/// Moves a shared payload out of its handle: free when this was the last
+/// reference, a counted deep clone when another queue still aliases it.
+fn unwrap_or_clone<M: Clone>(shared: Arc<M>, drain_clones: &mut Stat) -> M {
+    match Arc::try_unwrap(shared) {
+        Ok(msg) => msg,
+        Err(shared) => {
+            drain_clones.incr();
+            (*shared).clone()
+        }
+    }
+}
+
+/// A sans-IO eager/lazy (Plumtree-style) gossip node maintaining one
+/// broadcast tree per source (see the module docs for why consensus
+/// traffic needs a forest, not a single shared tree).
+///
+/// Type parameters mirror [`GossipNode`](crate::GossipNode): `M` the
+/// message type, `F` the [`DuplicateFilter`], `O` the [`Observer`]. There
+/// is no semantics hook — eager/lazy dissemination already avoids the
+/// redundant transmissions that semantic filtering/aggregation suppress,
+/// and keeping payloads opaque lets the trees carry them unchanged.
+///
+/// A runtime drives the node with six calls:
+///
+/// 1. [`broadcast`](Self::broadcast) when the local consensus protocol
+///    emits a message;
+/// 2. [`on_packet`](Self::on_packet) when a packet arrives from a peer;
+/// 3. [`set_clock`](Self::set_clock) + [`on_timer`](Self::on_timer) to
+///    advance the miss-timer state machine ([`next_timer`](Self::next_timer)
+///    tells the runtime when the next wakeup is due);
+/// 4. [`take_outgoing`](Self::take_outgoing) to collect `(peer, packet)`
+///    pairs to transmit;
+/// 5. [`take_deliveries`](Self::take_deliveries) to collect messages for
+///    the local consensus protocol.
+#[derive(Debug)]
+pub struct EagerLazyNode<M, F = RecentCache, O = NoopObserver> {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    /// Parallel to `peers`: the sources for which this link has been
+    /// demoted to lazy. Absence means eager — every link starts eager for
+    /// every source; PRUNEs (received, or sent on a duplicate) demote,
+    /// GRAFTs and recovered misses promote.
+    pruned: Vec<HashSet<u32>>,
+    send_queues: Vec<VecDeque<OutEntry<M>>>,
+    /// Parallel to `peers`: announce ids pending in the next IHAVE batch
+    /// toward that peer.
+    ihave_buf: Vec<Vec<u64>>,
+    delivery: VecDeque<Arc<M>>,
+    store: PayloadStore<M>,
+    seen_folds: FoldSet,
+    /// Announced-but-unreceived ids. A `BTreeMap` so timer expiry iterates
+    /// in a deterministic order — the simulator depends on identical runs
+    /// producing identical packet sequences.
+    missing: BTreeMap<u64, Missing>,
+    filter: F,
+    stats: MessageStats,
+    pt: PlumtreeStats,
+    config: EagerLazyConfig,
+    clock: u64,
+    observer: O,
+}
+
+impl<M: GossipItem> EagerLazyNode<M, RecentCache, NoopObserver> {
+    /// Creates a node with the default exact duplicate cache and no
+    /// observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `peers` contains `id` or
+    /// duplicates.
+    pub fn new(id: NodeId, peers: Vec<NodeId>, config: EagerLazyConfig) -> Self {
+        let filter = RecentCache::new(config.gossip.recent_cache_size);
+        EagerLazyNode::with_observer(id, peers, config, filter, NoopObserver)
+    }
+}
+
+impl<M: GossipItem, F: DuplicateFilter, O: Observer> EagerLazyNode<M, F, O> {
+    /// Creates a fully explicit node: duplicate filter and observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `peers` contains `id` or
+    /// duplicates.
+    pub fn with_observer(
+        id: NodeId,
+        peers: Vec<NodeId>,
+        config: EagerLazyConfig,
+        filter: F,
+        observer: O,
+    ) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid eager/lazy config: {e}");
+        }
+        assert!(!peers.contains(&id), "a node cannot be its own peer");
+        let mut dedup = peers.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), peers.len(), "duplicate peer ids");
+        let n = peers.len();
+        EagerLazyNode {
+            id,
+            peers,
+            pruned: vec![HashSet::new(); n],
+            send_queues: (0..n).map(|_| VecDeque::new()).collect(),
+            ihave_buf: vec![Vec::new(); n],
+            delivery: VecDeque::new(),
+            store: PayloadStore::new(config.payload_store_capacity),
+            seen_folds: FoldSet::new(config.gossip.recent_cache_size),
+            missing: BTreeMap::new(),
+            filter,
+            stats: MessageStats::default(),
+            pt: PlumtreeStats::default(),
+            config,
+            clock: 0,
+            observer,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// All peers, eager and lazy.
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Peers currently in the eager (tree) set of `source`'s broadcast
+    /// tree.
+    pub fn eager_peers(&self, source: NodeId) -> Vec<NodeId> {
+        let s = source.as_u32();
+        self.peers
+            .iter()
+            .zip(&self.pruned)
+            .filter_map(|(&p, pruned)| (!pruned.contains(&s)).then_some(p))
+            .collect()
+    }
+
+    /// Peers currently in the lazy (announcement) set of `source`'s
+    /// broadcast tree.
+    pub fn lazy_peers(&self, source: NodeId) -> Vec<NodeId> {
+        let s = source.as_u32();
+        self.peers
+            .iter()
+            .zip(&self.pruned)
+            .filter_map(|(&p, pruned)| pruned.contains(&s).then_some(p))
+            .collect()
+    }
+
+    /// Shared message accounting (received/duplicates/delivered/sent; the
+    /// byte counters include control packets).
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Eager/lazy-specific counters.
+    pub fn plumtree_stats(&self) -> &PlumtreeStats {
+        &self.pt
+    }
+
+    /// Shared access to the observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Exclusive access to the observer (e.g. to drain a ring).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Advances the node's clock (nanoseconds). Timers are evaluated by
+    /// [`on_timer`](Self::on_timer), not here, so runtimes control when
+    /// the (possibly packet-producing) expiry work runs.
+    pub fn set_clock(&mut self, now_nanos: u64) {
+        self.clock = now_nanos;
+    }
+
+    /// The earliest pending miss-timer deadline, if any — when the runtime
+    /// should next call [`on_timer`](Self::on_timer).
+    pub fn next_timer(&self) -> Option<u64> {
+        self.missing.values().map(|m| m.deadline).min()
+    }
+
+    /// Announced ids currently missing (awaiting payload or IWANT).
+    pub fn missing_count(&self) -> usize {
+        self.missing.len()
+    }
+
+    /// Messages waiting for the consensus layer to collect.
+    pub fn delivery_queue_depth(&self) -> usize {
+        self.delivery.len()
+    }
+
+    /// Message ids currently remembered by the duplicate cache.
+    pub fn cache_occupancy(&self) -> usize {
+        self.filter.len()
+    }
+
+    fn peer_index(&self, peer: NodeId) -> Option<usize> {
+        self.peers.iter().position(|&p| p == peer)
+    }
+
+    fn is_eager(&self, i: usize, source: u32) -> bool {
+        !self.pruned[i].contains(&source)
+    }
+
+    /// Broadcasts a message from the local consensus protocol: payload to
+    /// this node's tree (it is the source), announcement to lazy peers,
+    /// local delivery.
+    ///
+    /// Re-broadcasting a recently seen message is a no-op (duplicate).
+    pub fn broadcast(&mut self, msg: M) {
+        let mid = msg.message_id();
+        if !self.filter.insert(mid) {
+            self.stats.duplicates.incr();
+            if O::ENABLED {
+                self.observer.record(Event::DuplicateDropped {
+                    node: self.id.as_u32(),
+                    msg: mid.trace_id(),
+                });
+            }
+            return;
+        }
+        self.register_fresh(self.id.as_u32(), msg, None);
+    }
+
+    /// Handles one packet received from `from`.
+    pub fn on_packet(&mut self, from: NodeId, packet: Packet<M>) {
+        match packet {
+            Packet::Payload(source, msg) => self.on_payload(from, source, msg),
+            Packet::IHave(ids) => self.on_ihave(from, &ids),
+            Packet::IWant(ids) => self.on_request(from, &ids),
+            Packet::Graft(source, ids) => {
+                if let Some(i) = self.peer_index(from) {
+                    self.pruned[i].remove(&source);
+                }
+                self.on_request(from, &ids);
+            }
+            Packet::Prune(source) => {
+                if let Some(i) = self.peer_index(from) {
+                    if self.pruned[i].len() < MAX_PRUNED_SOURCES {
+                        self.pruned[i].insert(source);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_payload(&mut self, from: NodeId, source: u32, msg: M) {
+        self.stats.received.incr();
+        self.stats.received_parts.incr();
+        let mid = msg.message_id();
+        let fold = mid.trace_id();
+        if O::ENABLED {
+            self.observer.record(Event::GossipReceived {
+                node: self.id.as_u32(),
+                from: from.as_u32(),
+                msg: fold,
+            });
+        }
+        if !self.filter.insert(mid) {
+            // Duplicate over a link that is eager for this source: the
+            // link is a cycle edge of that source's tree — demote it for
+            // this source only and tell the peer to stop.
+            self.stats.duplicates.incr();
+            if O::ENABLED {
+                self.observer.record(Event::DuplicateDropped {
+                    node: self.id.as_u32(),
+                    msg: fold,
+                });
+            }
+            if let Some(i) = self.peer_index(from) {
+                if self.is_eager(i, source) && self.pruned[i].len() < MAX_PRUNED_SOURCES {
+                    self.pruned[i].insert(source);
+                    self.queue_control(i, Packet::Prune(source));
+                    self.pt.prunes.incr();
+                    if O::ENABLED {
+                        self.observer.record(Event::Prune {
+                            node: self.id.as_u32(),
+                            peer: from.as_u32(),
+                            msg: fold,
+                        });
+                    }
+                }
+            }
+            return;
+        }
+        // A *real* miss is one the timer acted on (an IWANT fired). An
+        // armed-but-unexpired entry just means an announcement outran the
+        // payload — the echo IHAVE on eager links does this routinely.
+        let was_missing = self.missing.remove(&fold).is_some_and(|m| m.next > 0);
+        if was_missing {
+            self.pt.recovered.incr();
+            if let Some(i) = self.peer_index(from) {
+                if !self.is_eager(i, source) {
+                    // A lazy link recovered a timer-detected miss: this
+                    // source's tree is broken upstream of us. Promote the
+                    // link and make the promotion mutual so the peer
+                    // eager-pushes the source's next messages immediately.
+                    // (A fresh payload over a lazy link *without* a miss is
+                    // a prune/push crossing still in flight — no promotion,
+                    // or the edge flaps.)
+                    self.pruned[i].remove(&source);
+                    self.queue_control(i, Packet::Graft(source, Vec::new()));
+                    self.pt.grafts.incr();
+                    if O::ENABLED {
+                        self.observer.record(Event::Graft {
+                            node: self.id.as_u32(),
+                            peer: from.as_u32(),
+                            msg: fold,
+                        });
+                    }
+                }
+            }
+        }
+        self.register_fresh(source, msg, Some(from));
+    }
+
+    fn on_ihave(&mut self, from: NodeId, ids: &[u64]) {
+        for &fold in ids {
+            if self.seen_folds.contains(fold) {
+                continue;
+            }
+            if let Some(m) = self.missing.get_mut(&fold) {
+                if m.announcers.len() < MAX_ANNOUNCERS && !m.announcers.contains(&from) {
+                    m.announcers.push(from);
+                }
+            } else if self.missing.len() < self.config.payload_store_capacity {
+                self.missing.insert(
+                    fold,
+                    Missing {
+                        announcers: vec![from],
+                        next: 0,
+                        deadline: self.clock + self.config.ihave_timeout_ns,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Serves the payloads of `ids` (from an IWANT or GRAFT) to `from`.
+    fn on_request(&mut self, from: NodeId, ids: &[u64]) {
+        let Some(i) = self.peer_index(from) else {
+            return;
+        };
+        for &fold in ids {
+            if let Some((source, shared)) = self.store.get(fold) {
+                let source = *source;
+                let shared = Arc::clone(shared);
+                let size = (PACKET_HEADER + SOURCE_BYTES + shared.wire_size()) as u32;
+                self.queue_payload(i, source, shared, size);
+            }
+        }
+    }
+
+    /// Fires expired miss timers: each sends one IWANT to the next
+    /// announcer (round-robin) and reschedules at the retry interval.
+    /// Call after [`set_clock`](Self::set_clock).
+    pub fn on_timer(&mut self) {
+        let now = self.clock;
+        let expired: Vec<u64> = self
+            .missing
+            .iter()
+            .filter(|(_, m)| m.deadline <= now)
+            .map(|(&fold, _)| fold)
+            .collect();
+        for fold in expired {
+            let to = {
+                let m = self.missing.get_mut(&fold).expect("expired id present");
+                let idx = m.next % m.announcers.len();
+                m.next += 1;
+                m.deadline = now + self.config.iwant_retry_ns;
+                m.announcers[idx]
+            };
+            if let Some(i) = self.peer_index(to) {
+                self.queue_control(i, Packet::IWant(vec![fold]));
+                self.pt.iwant_packets.incr();
+                if O::ENABLED {
+                    self.observer.record(Event::IwantSent {
+                        node: self.id.as_u32(),
+                        to: to.as_u32(),
+                        entries: 1,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Registers a fresh message: cache, store, deliver, eager-push along
+    /// the source's tree links and announce to its lazy links (except the
+    /// origin).
+    fn register_fresh(&mut self, source: u32, msg: M, origin: Option<NodeId>) {
+        let mid = msg.message_id();
+        let fold = mid.trace_id();
+        self.seen_folds.insert(fold);
+        self.missing.remove(&fold);
+        // A locally broadcast message is its causal chain's origin: tag it
+        // once so traces can join the wire id to consensus state.
+        if O::ENABLED && origin.is_none() {
+            if let Some(tag) = msg.trace_tag() {
+                self.observer.record(Event::WireTagged {
+                    node: self.id.as_u32(),
+                    msg: fold,
+                    kind: tag.kind.to_string(),
+                    instance: tag.instance,
+                    origin: tag.origin,
+                    seq: tag.seq,
+                });
+            }
+        }
+        let shared = Arc::new(msg);
+        self.store.insert(fold, source, Arc::clone(&shared));
+        if self.delivery.len() >= self.config.gossip.delivery_queue_capacity {
+            self.stats.delivery_overflow.incr();
+            if O::ENABLED {
+                self.observer.record(Event::DeliveryQueueOverflow {
+                    node: self.id.as_u32(),
+                    msg: fold,
+                });
+            }
+        } else {
+            self.delivery.push_back(Arc::clone(&shared));
+            self.stats.delivered.incr();
+            self.stats.shared_enqueues.incr();
+            if O::ENABLED {
+                self.observer.record(Event::GossipDelivered {
+                    node: self.id.as_u32(),
+                    msg: fold,
+                });
+            }
+        }
+        let size = (PACKET_HEADER + SOURCE_BYTES + shared.wire_size()) as u32;
+        for i in 0..self.peers.len() {
+            if Some(self.peers[i]) == origin {
+                continue;
+            }
+            if self.is_eager(i, source) {
+                self.queue_payload(i, source, Arc::clone(&shared), size);
+                // Echo the announce id alongside the eager push. Plumtree
+                // assumes reliable links; over lossy ones a node whose
+                // overlay links are all tree edges for this source has no
+                // lazy neighbor to announce to it, so a lost eager payload
+                // would go undetected forever. The 8-byte echo rides a
+                // separate packet, turning an undetectable single loss
+                // into a detectable one (miss timer + IWANT recover it)
+                // at <10% of the payload's wire cost.
+            }
+            // Buffer the announce id (for lazy links, the only signal;
+            // for eager links, the loss-detection echo); take_outgoing
+            // folds the buffer into one batched IHAVE per peer per drain.
+            if self.ihave_buf[i].len() >= self.config.gossip.send_queue_capacity {
+                self.stats.send_overflow.incr();
+            } else {
+                self.ihave_buf[i].push(fold);
+            }
+        }
+    }
+
+    fn queue_payload(&mut self, i: usize, source: u32, shared: Arc<M>, size: u32) {
+        if self.send_queues[i].len() >= self.config.gossip.send_queue_capacity {
+            self.stats.send_overflow.incr();
+            if O::ENABLED {
+                self.observer.record(Event::SendQueueOverflow {
+                    node: self.id.as_u32(),
+                    to: self.peers[i].as_u32(),
+                    msg: shared.message_id().trace_id(),
+                });
+            }
+            return;
+        }
+        self.stats.shared_enqueues.incr();
+        self.send_queues[i].push_back(OutEntry::Payload(source, shared, size));
+    }
+
+    fn queue_control(&mut self, i: usize, packet: Packet<M>) {
+        if self.send_queues[i].len() >= self.config.gossip.send_queue_capacity {
+            self.stats.send_overflow.incr();
+            return;
+        }
+        let size = packet.wire_size() as u32;
+        self.send_queues[i].push_back(OutEntry::Control(packet, size));
+    }
+
+    /// Whether any packet (payload, control, or buffered announcement) is
+    /// pending for the transport.
+    pub fn has_outgoing(&self) -> bool {
+        self.send_queues.iter().any(|q| !q.is_empty())
+            || self.ihave_buf.iter().any(|b| !b.is_empty())
+    }
+
+    /// Drains all pending packets into `(peer, packet)` pairs, batching
+    /// buffered announce ids into IHAVE packets first.
+    pub fn take_outgoing(&mut self) -> Vec<(NodeId, Packet<M>)> {
+        let mut out = Vec::new();
+        self.take_outgoing_into(&mut out);
+        out
+    }
+
+    /// Like [`take_outgoing`](Self::take_outgoing), appending into a
+    /// caller-owned scratch buffer.
+    pub fn take_outgoing_into(&mut self, out: &mut Vec<(NodeId, Packet<M>)>) {
+        for i in 0..self.peers.len() {
+            // Fold this drain's buffered announcements into batched IHAVE
+            // packets (split at max_ihave_batch) so they ride the same
+            // flush as any queued payloads.
+            while !self.ihave_buf[i].is_empty() {
+                let take = self.ihave_buf[i].len().min(self.config.max_ihave_batch);
+                let batch: Vec<u64> = self.ihave_buf[i].drain(..take).collect();
+                self.pt.ihave_packets.incr();
+                self.pt.ihave_entries.add(batch.len() as u64);
+                if O::ENABLED {
+                    self.observer.record(Event::IhaveSent {
+                        node: self.id.as_u32(),
+                        to: self.peers[i].as_u32(),
+                        entries: batch.len() as u64,
+                    });
+                }
+                self.queue_control(i, Packet::IHave(batch));
+            }
+            while let Some(entry) = self.send_queues[i].pop_front() {
+                match entry {
+                    OutEntry::Payload(source, shared, size) => {
+                        self.stats.sent.incr();
+                        self.stats.bytes_sent.add(size as u64);
+                        self.pt.eager_sent.incr();
+                        if O::ENABLED {
+                            self.observer.record(Event::EagerSent {
+                                node: self.id.as_u32(),
+                                to: self.peers[i].as_u32(),
+                                msg: shared.message_id().trace_id(),
+                            });
+                        }
+                        let msg = unwrap_or_clone(shared, &mut self.stats.drain_clones);
+                        out.push((self.peers[i], Packet::Payload(source, msg)));
+                    }
+                    OutEntry::Control(packet, size) => {
+                        self.stats.bytes_sent.add(size as u64);
+                        self.pt.control_bytes.add(size as u64);
+                        out.push((self.peers[i], packet));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains and returns the messages pending for the consensus protocol.
+    pub fn take_deliveries(&mut self) -> Vec<M> {
+        let mut out = Vec::with_capacity(self.delivery.len());
+        self.take_deliveries_into(&mut out);
+        out
+    }
+
+    /// Drains pending deliveries into `out` (appending).
+    pub fn take_deliveries_into(&mut self, out: &mut Vec<M>) {
+        out.reserve(self.delivery.len());
+        while let Some(shared) = self.delivery.pop_front() {
+            out.push(unwrap_or_clone(shared, &mut self.stats.drain_clones));
+        }
+    }
+
+    /// Records one gauge snapshot per peer queue plus the cache occupancy
+    /// into the observer (mirrors
+    /// [`GossipNode::sample_gauges`](crate::GossipNode::sample_gauges)).
+    pub fn sample_gauges(&mut self) {
+        if !O::ENABLED {
+            return;
+        }
+        let node = self.id.as_u32();
+        for i in 0..self.peers.len() {
+            self.observer.record(Event::QueueDepthSampled {
+                node,
+                peer: self.peers[i].as_u32(),
+                depth: (self.send_queues[i].len() + self.ihave_buf[i].len()) as u64,
+            });
+        }
+        self.observer.record(Event::CacheOccupancySampled {
+            node,
+            entries: self.filter.len() as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::MessageId;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Msg(u64);
+
+    impl GossipItem for Msg {
+        fn message_id(&self) -> MessageId {
+            MessageId::from_u128(self.0 as u128)
+        }
+        fn wire_size(&self) -> usize {
+            100
+        }
+    }
+
+    fn fold(v: u64) -> u64 {
+        MessageId::from_u128(v as u128).trace_id()
+    }
+
+    fn node_with_peers(n: u32) -> EagerLazyNode<Msg> {
+        let peers = (1..=n).map(NodeId::new).collect();
+        EagerLazyNode::new(NodeId::new(0), peers, EagerLazyConfig::default())
+    }
+
+    /// The source id most tests broadcast under.
+    const SRC: u32 = 7;
+
+    fn src() -> NodeId {
+        NodeId::new(SRC)
+    }
+
+    fn payloads(out: &[(NodeId, Packet<Msg>)]) -> Vec<(NodeId, u64)> {
+        out.iter()
+            .filter_map(|(p, pkt)| match pkt {
+                Packet::Payload(_, m) => Some((*p, m.0)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_links_start_eager_and_broadcast_floods() {
+        let mut node = node_with_peers(3);
+        assert_eq!(node.eager_peers(NodeId::new(0)).len(), 3);
+        node.broadcast(Msg(1));
+        assert_eq!(node.take_deliveries(), vec![Msg(1)]);
+        let out = node.take_outgoing();
+        assert_eq!(payloads(&out).len(), 3);
+        // A local broadcast is pushed under this node's own source id.
+        assert!(out
+            .iter()
+            .all(|(_, pkt)| !matches!(pkt, Packet::Payload(s, _) if *s != 0)));
+    }
+
+    #[test]
+    fn fresh_payload_forwards_to_all_eager_but_origin() {
+        let mut node = node_with_peers(3);
+        node.on_packet(NodeId::new(2), Packet::Payload(SRC, Msg(5)));
+        assert_eq!(node.take_deliveries(), vec![Msg(5)]);
+        let out = node.take_outgoing();
+        let peers: Vec<NodeId> = payloads(&out).iter().map(|&(p, _)| p).collect();
+        assert_eq!(peers, vec![NodeId::new(1), NodeId::new(3)]);
+        // Forwards keep the original source id.
+        assert!(out
+            .iter()
+            .all(|(_, pkt)| !matches!(pkt, Packet::Payload(s, _) if *s != SRC)));
+    }
+
+    #[test]
+    fn duplicate_over_eager_link_prunes_it_for_that_source_only() {
+        let mut node = node_with_peers(2);
+        node.on_packet(NodeId::new(1), Packet::Payload(SRC, Msg(9)));
+        node.take_outgoing();
+        node.on_packet(NodeId::new(2), Packet::Payload(SRC, Msg(9)));
+        // Peer 2's link delivered a duplicate of SRC's message: demoted
+        // from SRC's tree + PRUNE sent, but still eager for other sources.
+        assert_eq!(node.lazy_peers(src()), vec![NodeId::new(2)]);
+        assert!(node.lazy_peers(NodeId::new(3)).is_empty());
+        assert_eq!(node.plumtree_stats().prunes.get(), 1);
+        let out = node.take_outgoing();
+        assert!(out.contains(&(NodeId::new(2), Packet::Prune(SRC))));
+        // A second duplicate over the now-lazy link does not re-prune.
+        node.on_packet(NodeId::new(2), Packet::Payload(SRC, Msg(9)));
+        assert_eq!(node.plumtree_stats().prunes.get(), 1);
+    }
+
+    #[test]
+    fn lazy_links_get_batched_ihave_not_payload() {
+        let mut node = node_with_peers(2);
+        // Peer 2 pruned us from *our own* (node 0's) broadcast tree.
+        node.on_packet(NodeId::new(2), Packet::Prune(0));
+        assert_eq!(node.lazy_peers(NodeId::new(0)), vec![NodeId::new(2)]);
+        node.broadcast(Msg(1));
+        node.broadcast(Msg(2));
+        let out = node.take_outgoing();
+        // Peer 1 (eager) gets both payloads; peer 2 gets one batched IHAVE.
+        assert_eq!(
+            payloads(&out),
+            vec![(NodeId::new(1), 1), (NodeId::new(1), 2)]
+        );
+        let ihaves: Vec<_> = out
+            .iter()
+            .filter_map(|(p, pkt)| match pkt {
+                Packet::IHave(ids) => Some((*p, ids.clone())),
+                _ => None,
+            })
+            .collect();
+        // Peer 1's batch is the eager-push loss-detection echo; peer 2's
+        // is its only signal.
+        assert_eq!(
+            ihaves,
+            vec![
+                (NodeId::new(1), vec![fold(1), fold(2)]),
+                (NodeId::new(2), vec![fold(1), fold(2)])
+            ]
+        );
+        assert_eq!(node.plumtree_stats().ihave_packets.get(), 2);
+        assert_eq!(node.plumtree_stats().ihave_entries.get(), 4);
+    }
+
+    #[test]
+    fn ihave_batches_split_at_max() {
+        let config = EagerLazyConfig {
+            max_ihave_batch: 3,
+            ..EagerLazyConfig::default()
+        };
+        let mut node: EagerLazyNode<Msg> =
+            EagerLazyNode::new(NodeId::new(0), vec![NodeId::new(1)], config);
+        node.on_packet(NodeId::new(1), Packet::Prune(0));
+        for v in 0..7 {
+            node.broadcast(Msg(v));
+        }
+        let out = node.take_outgoing();
+        let sizes: Vec<usize> = out
+            .iter()
+            .filter_map(|(_, pkt)| match pkt {
+                Packet::IHave(ids) => Some(ids.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn unseen_ihave_arms_timer_then_iwant_fires() {
+        let mut node = node_with_peers(2);
+        node.set_clock(1_000);
+        node.on_packet(NodeId::new(1), Packet::IHave(vec![fold(7)]));
+        assert_eq!(node.missing_count(), 1);
+        assert_eq!(
+            node.next_timer(),
+            Some(1_000 + EagerLazyConfig::default().ihave_timeout_ns)
+        );
+        // Not yet expired: no IWANT.
+        node.on_timer();
+        assert!(node.take_outgoing().is_empty());
+        // Expired: one IWANT to the announcer.
+        node.set_clock(node.next_timer().unwrap());
+        node.on_timer();
+        let out = node.take_outgoing();
+        assert_eq!(out, vec![(NodeId::new(1), Packet::IWant(vec![fold(7)]))]);
+        assert_eq!(node.plumtree_stats().iwant_packets.get(), 1);
+    }
+
+    #[test]
+    fn iwant_retries_rotate_announcers() {
+        let mut node = node_with_peers(3);
+        node.set_clock(0);
+        node.on_packet(NodeId::new(1), Packet::IHave(vec![fold(7)]));
+        node.on_packet(NodeId::new(2), Packet::IHave(vec![fold(7)]));
+        // Two announcers, one missing entry.
+        assert_eq!(node.missing_count(), 1);
+        let mut targets = Vec::new();
+        for _ in 0..3 {
+            node.set_clock(node.next_timer().unwrap());
+            node.on_timer();
+            for (p, pkt) in node.take_outgoing() {
+                if matches!(pkt, Packet::IWant(_)) {
+                    targets.push(p.as_u32());
+                }
+            }
+        }
+        assert_eq!(targets, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn seen_ihave_is_ignored() {
+        let mut node = node_with_peers(2);
+        node.broadcast(Msg(3));
+        node.on_packet(NodeId::new(1), Packet::IHave(vec![fold(3)]));
+        assert_eq!(node.missing_count(), 0);
+    }
+
+    #[test]
+    fn iwant_is_served_from_the_payload_store() {
+        let mut node = node_with_peers(2);
+        node.broadcast(Msg(4));
+        node.take_outgoing();
+        node.on_packet(NodeId::new(2), Packet::IWant(vec![fold(4)]));
+        let out = node.take_outgoing();
+        assert_eq!(payloads(&out), vec![(NodeId::new(2), 4)]);
+        // Served payloads carry their original broadcast source.
+        assert!(out
+            .iter()
+            .any(|(_, pkt)| matches!(pkt, Packet::Payload(0, _))));
+        // Unknown ids are ignored.
+        node.on_packet(NodeId::new(2), Packet::IWant(vec![fold(99)]));
+        assert!(node.take_outgoing().is_empty());
+    }
+
+    #[test]
+    fn recovery_promotes_and_grafts_the_lazy_link() {
+        let mut node = node_with_peers(2);
+        node.on_packet(NodeId::new(2), Packet::Prune(SRC));
+        node.set_clock(0);
+        node.on_packet(NodeId::new(2), Packet::IHave(vec![fold(8)]));
+        node.set_clock(node.next_timer().unwrap());
+        node.on_timer();
+        node.take_outgoing(); // the IWANT
+        node.on_packet(NodeId::new(2), Packet::Payload(SRC, Msg(8)));
+        // The lazy link recovered the miss: promoted back into SRC's tree
+        // + mutual GRAFT.
+        assert!(node.eager_peers(src()).contains(&NodeId::new(2)));
+        assert_eq!(node.plumtree_stats().recovered.get(), 1);
+        assert_eq!(node.plumtree_stats().grafts.get(), 1);
+        let out = node.take_outgoing();
+        assert!(out.contains(&(NodeId::new(2), Packet::Graft(SRC, vec![]))));
+        assert_eq!(node.take_deliveries(), vec![Msg(8)]);
+        assert_eq!(node.missing_count(), 0);
+    }
+
+    #[test]
+    fn fresh_payload_from_lazy_link_does_not_promote() {
+        // A fresh payload over a lazy link *without* a timer-detected miss
+        // is a prune/push crossing still in flight: deliver and forward,
+        // but leave the link lazy — promoting here makes the edge flap
+        // (promote, duplicate, prune, promote, ...). Only recovered misses
+        // promote (see recovery_promotes_and_grafts_the_lazy_link).
+        let mut node = node_with_peers(2);
+        node.on_packet(NodeId::new(2), Packet::Prune(SRC));
+        node.on_packet(NodeId::new(2), Packet::Payload(SRC, Msg(6)));
+        assert_eq!(node.lazy_peers(src()), vec![NodeId::new(2)]);
+        assert_eq!(node.plumtree_stats().grafts.get(), 0);
+        assert_eq!(node.take_deliveries(), vec![Msg(6)]);
+        // Still forwarded to the other (eager) peer.
+        assert_eq!(payloads(&node.take_outgoing()), vec![(NodeId::new(1), 6)]);
+    }
+
+    #[test]
+    fn graft_promotes_and_serves_requested_ids() {
+        let mut node = node_with_peers(2);
+        node.broadcast(Msg(5));
+        node.take_outgoing();
+        node.on_packet(NodeId::new(1), Packet::Prune(0));
+        assert_eq!(node.lazy_peers(NodeId::new(0)), vec![NodeId::new(1)]);
+        node.on_packet(NodeId::new(1), Packet::Graft(0, vec![fold(5)]));
+        assert!(node.eager_peers(NodeId::new(0)).contains(&NodeId::new(1)));
+        let out = node.take_outgoing();
+        assert_eq!(payloads(&out), vec![(NodeId::new(1), 5)]);
+    }
+
+    #[test]
+    fn prune_is_scoped_to_its_source() {
+        let mut node = node_with_peers(1);
+        node.on_packet(NodeId::new(1), Packet::Prune(3));
+        // Source 3's tree lost the link; source 4's still has it.
+        node.on_packet(NodeId::new(99), Packet::Payload(3, Msg(1)));
+        node.on_packet(NodeId::new(99), Packet::Payload(4, Msg(2)));
+        let out = node.take_outgoing();
+        assert_eq!(payloads(&out), vec![(NodeId::new(1), 2)]);
+        let ihaves: Vec<_> = out
+            .iter()
+            .filter(|(_, pkt)| matches!(pkt, Packet::IHave(_)))
+            .collect();
+        assert_eq!(ihaves.len(), 1);
+    }
+
+    #[test]
+    fn packet_wire_sizes() {
+        let p: Packet<Msg> = Packet::Payload(0, Msg(1));
+        assert_eq!(p.wire_size(), 105);
+        let p: Packet<Msg> = Packet::IHave(vec![1, 2, 3]);
+        assert_eq!(p.wire_size(), 1 + 2 + 24);
+        let p: Packet<Msg> = Packet::IWant(vec![1]);
+        assert_eq!(p.wire_size(), 11);
+        let p: Packet<Msg> = Packet::Graft(0, vec![1]);
+        assert_eq!(p.wire_size(), 1 + 4 + 2 + 8);
+        let p: Packet<Msg> = Packet::Prune(0);
+        assert_eq!(p.wire_size(), 5);
+        assert_eq!(p.control_class(), Some(CLASS_PRUNE));
+        let p: Packet<Msg> = Packet::Payload(0, Msg(1));
+        assert_eq!(p.control_class(), None);
+    }
+
+    #[test]
+    fn byte_counters_cover_payload_and_control() {
+        let mut node = node_with_peers(2);
+        node.on_packet(NodeId::new(2), Packet::Prune(0));
+        node.broadcast(Msg(1));
+        node.take_outgoing();
+        // One payload (105 B) plus its echo IHAVE (1+2+8 B) to peer 1,
+        // one IHAVE (11 B) to peer 2.
+        assert_eq!(node.stats().bytes_sent.get(), 105 + 11 + 11);
+        assert_eq!(node.plumtree_stats().control_bytes.get(), 22);
+        assert_eq!(node.stats().sent.get(), 1);
+        assert_eq!(node.plumtree_stats().eager_sent.get(), 1);
+    }
+
+    #[test]
+    fn store_eviction_bounds_served_history() {
+        let config = EagerLazyConfig {
+            payload_store_capacity: 2,
+            ..EagerLazyConfig::default()
+        };
+        let mut node: EagerLazyNode<Msg> =
+            EagerLazyNode::new(NodeId::new(0), vec![NodeId::new(1)], config);
+        for v in 0..3 {
+            node.broadcast(Msg(v));
+        }
+        node.take_outgoing();
+        // Msg(0) was evicted; only 1 and 2 can still be served.
+        node.on_packet(
+            NodeId::new(1),
+            Packet::IWant(vec![fold(0), fold(1), fold(2)]),
+        );
+        let served: Vec<u64> = payloads(&node.take_outgoing())
+            .iter()
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(served, vec![1, 2]);
+    }
+
+    #[test]
+    fn rebroadcast_is_duplicate() {
+        let mut node = node_with_peers(1);
+        node.broadcast(Msg(1));
+        node.broadcast(Msg(1));
+        assert_eq!(node.stats().duplicates.get(), 1);
+        assert_eq!(node.take_deliveries().len(), 1);
+    }
+
+    #[test]
+    fn unknown_peer_payload_is_delivered_and_forwarded() {
+        let mut node = node_with_peers(2);
+        node.on_packet(NodeId::new(99), Packet::Payload(SRC, Msg(1)));
+        assert_eq!(node.take_deliveries(), vec![Msg(1)]);
+        assert_eq!(payloads(&node.take_outgoing()).len(), 2);
+    }
+
+    #[test]
+    fn observer_sees_protocol_events() {
+        use obs::RingObserver;
+        let mut node: EagerLazyNode<Msg, RecentCache, RingObserver> = EagerLazyNode::with_observer(
+            NodeId::new(0),
+            vec![NodeId::new(1), NodeId::new(2)],
+            EagerLazyConfig::default(),
+            RecentCache::new(64),
+            RingObserver::with_capacity(128),
+        );
+        node.observer_mut().set_now(5);
+        node.on_packet(NodeId::new(2), Packet::Prune(0));
+        node.broadcast(Msg(1));
+        node.take_outgoing();
+        node.on_packet(NodeId::new(1), Packet::Payload(0, Msg(1))); // dup -> prune
+        node.set_clock(0);
+        node.on_packet(NodeId::new(1), Packet::IHave(vec![fold(9)]));
+        node.set_clock(node.next_timer().unwrap());
+        node.on_timer();
+        // Drain the IWANT. Peer 1 was just pruned from source 0's tree
+        // (the dup above), so its recovery of a source-0 payload
+        // promotes it back: graft.
+        node.take_outgoing();
+        node.on_packet(NodeId::new(1), Packet::Payload(0, Msg(9)));
+        node.take_outgoing();
+        let events = node.observer_mut().drain();
+        let count = |kind: &str| events.iter().filter(|e| e.event.kind() == kind).count();
+        assert_eq!(count("eager_sent"), 1);
+        // Msg(1)'s broadcast announces to both peers (peer 1's batch is
+        // the eager echo); Msg(9)'s fresh arrival announces to peer 2.
+        assert_eq!(count("ihave_sent"), 3);
+        assert_eq!(count("iwant_sent"), 1);
+        assert_eq!(count("prune"), 1);
+        assert_eq!(count("graft"), 1);
+        assert_eq!(count("gossip_delivered"), 2);
+        assert_eq!(count("duplicate_dropped"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "own peer")]
+    fn self_peer_panics() {
+        let _: EagerLazyNode<Msg> = EagerLazyNode::new(
+            NodeId::new(0),
+            vec![NodeId::new(0)],
+            EagerLazyConfig::default(),
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_zeros() {
+        let c = EagerLazyConfig {
+            ihave_timeout_ns: 0,
+            ..EagerLazyConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("ihave_timeout_ns"));
+        let c = EagerLazyConfig {
+            max_ihave_batch: 0,
+            ..EagerLazyConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("max_ihave_batch"));
+    }
+
+    /// Delivers every in-flight packet in deterministic rounds; returns
+    /// the number of payload transmissions.
+    fn run_rounds(nodes: &mut [EagerLazyNode<Msg>]) -> u64 {
+        let mut payload_sends = 0u64;
+        loop {
+            let mut inflight = Vec::new();
+            for n in nodes.iter_mut() {
+                let from = n.id();
+                for (to, pkt) in n.take_outgoing() {
+                    if matches!(pkt, Packet::Payload(_, _)) {
+                        payload_sends += 1;
+                    }
+                    inflight.push((from, to, pkt));
+                }
+            }
+            if inflight.is_empty() {
+                break;
+            }
+            for (from, to, pkt) in inflight {
+                nodes[to.as_index()].on_packet(from, pkt);
+            }
+        }
+        payload_sends
+    }
+
+    fn full_mesh(n: usize) -> Vec<EagerLazyNode<Msg>> {
+        let ids: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+        (0..n)
+            .map(|i| {
+                let peers = ids.iter().copied().filter(|p| p.as_index() != i).collect();
+                EagerLazyNode::new(ids[i], peers, EagerLazyConfig::default())
+            })
+            .collect()
+    }
+
+    /// Three nodes in a triangle: after one round of duplicates the eager
+    /// graph of node 0's tree loses its cycle edge, and 0's second
+    /// broadcast travels each tree edge exactly once with announcements
+    /// on the pruned link.
+    #[test]
+    fn triangle_converges_to_a_tree() {
+        let mut nodes = full_mesh(3);
+
+        nodes[0].broadcast(Msg(1));
+        let first = run_rounds(&mut nodes);
+        // Flooding: 0 pushes to both, 1 and 2 re-push to each other (and
+        // further duplicates die at the filter).
+        assert!(first >= 3);
+        for n in nodes.iter_mut() {
+            assert_eq!(n.take_deliveries(), vec![Msg(1)]);
+        }
+
+        nodes[0].broadcast(Msg(2));
+        let second = run_rounds(&mut nodes);
+        // Converged: exactly n-1 = 2 payload transmissions.
+        assert_eq!(second, 2);
+        for n in nodes.iter_mut() {
+            assert_eq!(n.take_deliveries(), vec![Msg(2)]);
+        }
+    }
+
+    /// The forest property: each source's tree converges independently,
+    /// so with every node broadcasting, per-source steady state is still
+    /// n-1 payload transmissions — one shared tree cannot do this, since
+    /// no single spanning tree is duplicate-free for all roots at once.
+    #[test]
+    fn per_source_trees_converge_independently() {
+        let n = 5;
+        let mut nodes = full_mesh(n);
+
+        // Round 1: every node broadcasts once; trees form under dup-prune.
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.broadcast(Msg(100 + i as u64));
+        }
+        run_rounds(&mut nodes);
+        for node in nodes.iter_mut() {
+            assert_eq!(node.take_deliveries().len(), n);
+        }
+
+        // Round 2: converged — each source's message travels exactly its
+        // own tree's n-1 edges.
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.broadcast(Msg(200 + i as u64));
+        }
+        let sends = run_rounds(&mut nodes);
+        assert_eq!(sends as usize, n * (n - 1));
+        for node in nodes.iter_mut() {
+            assert_eq!(node.take_deliveries().len(), n);
+        }
+    }
+}

@@ -202,6 +202,25 @@ events! {
     DeliveryQueueOverflow = "delivery_queue_overflow" { node: u32, msg: u64 },
 
     // ------------------------------------------------------------------
+    // Eager/lazy dissemination (semantic_gossip::EagerLazyNode)
+    // ------------------------------------------------------------------
+    /// A full payload was queued along an eager (tree) link toward `to`.
+    EagerSent = "eager_sent" { node: u32, to: u32, msg: u64 },
+    /// A batched IHAVE announcement of `entries` message ids was queued
+    /// toward lazy peer `to`.
+    IhaveSent = "ihave_sent" { node: u32, to: u32, entries: u64 },
+    /// The miss timer fired and an IWANT for `entries` missing ids was
+    /// queued toward announcer `to`.
+    IwantSent = "iwant_sent" { node: u32, to: u32, entries: u64 },
+    /// The lazy link to `peer` delivered missed message `msg`: it was
+    /// promoted to the eager set and a GRAFT was queued to make the
+    /// promotion mutual.
+    Graft = "graft" { node: u32, peer: u32, msg: u64 },
+    /// The eager link to `peer` delivered duplicate `msg`: it was demoted
+    /// to the lazy set and a PRUNE was queued to stop the peer's pushes.
+    Prune = "prune" { node: u32, peer: u32, msg: u64 },
+
+    // ------------------------------------------------------------------
     // Paxos transitions (paxos::PaxosProcess)
     // ------------------------------------------------------------------
     /// A client value entered the system at this process.

@@ -284,6 +284,72 @@ impl PartitionSchedule {
     }
 }
 
+/// A deterministic schedule of single-link cuts.
+///
+/// Where a [`PartitionSchedule`] splits the cluster into two sides, a link
+/// cut severs exactly one undirected link `a — b` during its window
+/// (`[from, until)`), in both directions, while every other path stays
+/// intact. This is the surgical fault for tree-based dissemination: an
+/// overlay link is an eager (spanning-tree) edge for some broadcast
+/// sources, and cutting it forces exactly those trees through the
+/// miss-timer → `IWANT` → `GRAFT` repair path while the cluster as a
+/// whole remains connected.
+///
+/// # Example
+///
+/// ```
+/// use simnet::fault::LinkCutSchedule;
+/// use simnet::{SimDuration, SimTime};
+///
+/// let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+/// let mut cuts = LinkCutSchedule::none();
+/// cuts.push(2, 5, t(100), t(200));
+/// assert!(cuts.is_blocked(2, 5, t(150))); // cut, either direction
+/// assert!(cuts.is_blocked(5, 2, t(150)));
+/// assert!(!cuts.is_blocked(2, 4, t(150))); // other links unaffected
+/// assert!(!cuts.is_blocked(2, 5, t(200))); // healed
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkCutSchedule {
+    cuts: Vec<(u32, u32, SimTime, SimTime)>,
+}
+
+impl LinkCutSchedule {
+    /// A schedule with no cuts.
+    pub fn none() -> Self {
+        LinkCutSchedule::default()
+    }
+
+    /// Adds a cut of the undirected link `a — b` during `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or the link is a self-loop (neither
+    /// cuts anything and would silently weaken a fault schedule).
+    pub fn push(&mut self, a: u32, b: u32, from: SimTime, until: SimTime) {
+        assert!(from < until, "link-cut window must be non-empty");
+        assert!(a != b, "link cut must name two distinct processes");
+        self.cuts.push((a, b, from, until));
+    }
+
+    /// Whether the schedule contains no cuts.
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+    }
+
+    /// Whether a message on link `from -> to` is blocked at `t`.
+    pub fn is_blocked(&self, from: u32, to: u32, t: SimTime) -> bool {
+        self.cuts.iter().any(|&(a, b, start, until)| {
+            t >= start && t < until && ((from, to) == (a, b) || (from, to) == (b, a))
+        })
+    }
+
+    /// The scheduled cuts as `(a, b, from, until)`.
+    pub fn cuts(&self) -> &[(u32, u32, SimTime, SimTime)] {
+        &self.cuts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +357,30 @@ mod tests {
 
     fn t(ms: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn link_cuts_block_one_link_both_ways_until_healed() {
+        let mut cuts = LinkCutSchedule::none();
+        cuts.push(1, 3, t(100), t(300));
+        cuts.push(1, 3, t(500), t(600)); // same link can be cut again
+        cuts.push(2, 4, t(100), t(200)); // overlapping cut of another link
+        assert!(cuts.is_blocked(1, 3, t(100)));
+        assert!(cuts.is_blocked(3, 1, t(299)));
+        assert!(!cuts.is_blocked(1, 3, t(300)));
+        assert!(cuts.is_blocked(1, 3, t(550)));
+        assert!(cuts.is_blocked(4, 2, t(150)));
+        // Links sharing an endpoint with a cut stay up.
+        assert!(!cuts.is_blocked(1, 2, t(150)));
+        assert!(!cuts.is_blocked(3, 4, t(150)));
+        assert_eq!(cuts.cuts().len(), 3);
+        assert!(LinkCutSchedule::none().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct processes")]
+    fn link_cut_self_loop_panics() {
+        LinkCutSchedule::none().push(2, 2, t(0), t(1));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::{CpuModel, NodeCpu};
-pub use fault::{LossInjector, PartitionSchedule, PartitionWindow};
+pub use fault::{LinkCutSchedule, LossInjector, PartitionSchedule, PartitionWindow};
 pub use link::{LinkConfig, LinkOutcome};
 pub use queue::EventQueue;
 pub use regions::{Region, RegionMap, ALL_REGIONS, NUM_REGIONS};

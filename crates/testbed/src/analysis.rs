@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use obs::span::SEGMENTS;
 use obs::{Event, LogHistogram, SpanTracker, TimedEvent, TraceLedger, TraceParseError};
+use semantic_gossip::plumtree::CONTROL_CLASSES;
 
 use crate::report::Table;
 
@@ -42,6 +43,65 @@ impl std::fmt::Display for AnalyzeError {
 }
 
 impl std::error::Error for AnalyzeError {}
+
+/// Wire-byte redundancy breakdown of one run: where every sent byte went,
+/// split into fresh payload traffic, dissemination-control overhead
+/// (IHAVE/IWANT/GRAFT/PRUNE), and payload bytes that arrived as
+/// duplicates — the substrate-comparison columns of ROADMAP item 2.
+///
+/// `encoded_bytes` is the denominator of the headline ratio: every node
+/// that delivers a message encodes its frame once (PR 3's encode-once
+/// discipline), so Σ over deliveries of the message's frame size is the
+/// cluster's total encoding work. Pure push resends that frame to every
+/// peer (ratio ≈ fanout); an eager/lazy tree sends it on ~1 link per
+/// node plus 8-byte announcements (ratio → 1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireRedundancy {
+    /// Payload frame bytes handed to the wire.
+    pub payload_bytes: u64,
+    /// Control frame bytes per class, in [`CONTROL_CLASSES`] order
+    /// (IHAVE, IWANT, GRAFT, PRUNE). All zero for push-gossip runs.
+    pub control_bytes: [u64; 4],
+    /// Payload bytes whose reception was discarded as a duplicate
+    /// (duplicate drops × the message's frame size).
+    pub duplicate_bytes: u64,
+    /// Frame bytes encoded: Σ over fresh deliveries of the delivered
+    /// message's frame size.
+    pub encoded_bytes: u64,
+}
+
+impl WireRedundancy {
+    /// Total control bytes across all four classes.
+    pub fn total_control_bytes(&self) -> u64 {
+        self.control_bytes.iter().sum()
+    }
+
+    /// All bytes handed to the wire: payload + control.
+    pub fn wire_bytes(&self) -> u64 {
+        self.payload_bytes + self.total_control_bytes()
+    }
+
+    /// The headline ratio: wire bytes out per byte encoded. ~fanout for
+    /// pure push, → 1 for a converged eager/lazy tree.
+    pub fn bytes_sent_per_byte_encoded(&self) -> f64 {
+        ratio(self.wire_bytes(), self.encoded_bytes)
+    }
+
+    /// Fraction of payload bytes that arrived as duplicates.
+    pub fn duplicate_byte_share(&self) -> f64 {
+        ratio(self.duplicate_bytes, self.payload_bytes)
+    }
+
+    /// Merges another run's counters into this one.
+    pub fn merge(&mut self, other: &WireRedundancy) {
+        self.payload_bytes += other.payload_bytes;
+        for (a, b) in self.control_bytes.iter_mut().zip(&other.control_bytes) {
+            *a += b;
+        }
+        self.duplicate_bytes += other.duplicate_bytes;
+        self.encoded_bytes += other.encoded_bytes;
+    }
+}
 
 /// Latency distribution of one pipeline segment.
 #[derive(Debug, Clone)]
@@ -99,6 +159,12 @@ pub struct TraceAnalysis {
     /// never cross a run boundary).
     pub ledger: TraceLedger,
 
+    // -- wire redundancy --
+    /// Per-run wire-byte redundancy breakdown, in run order. A multi-run
+    /// trace (`wan_paxos --trace` concatenates one run per substrate) gets
+    /// one entry per substrate, which is the per-substrate comparison.
+    pub wire: Vec<WireRedundancy>,
+
     // -- per-phase latency --
     /// One distribution per pipeline segment, in pipeline order.
     pub phases: Vec<PhaseLatency>,
@@ -148,6 +214,7 @@ pub fn analyze(events: &[TimedEvent]) -> TraceAnalysis {
         hops: BTreeMap::new(),
         unresolved_hops: 0,
         ledger: TraceLedger::new(),
+        wire: Vec::new(),
         phases: SEGMENTS
             .iter()
             .map(|&(name, _)| PhaseLatency {
@@ -185,6 +252,12 @@ fn analyze_run(events: &[TimedEvent], out: &mut TraceAnalysis, nodes: &mut BTree
     let mut first_recv: HashMap<(u64, u32), u32> = HashMap::new();
     let mut delivered_at: Vec<(u64, u32)> = Vec::new();
 
+    // Wire-byte redundancy: frame size per message id (first byte-carrying
+    // send wins) and the duplicate drops to price afterwards.
+    let mut wire = WireRedundancy::default();
+    let mut frame_size: HashMap<u64, u64> = HashMap::new();
+    let mut dup_msgs: Vec<u64> = Vec::new();
+
     let mut spans = SpanTracker::new();
     let mut ledger = TraceLedger::new();
     ledger.seed_tags(events);
@@ -210,10 +283,34 @@ fn analyze_run(events: &[TimedEvent], out: &mut TraceAnalysis, nodes: &mut BTree
                 // The reception itself already counted one part.
                 out.parts += p.saturating_sub(1);
             }
-            Event::DuplicateDropped { .. } => out.duplicates += 1,
+            Event::DuplicateDropped { msg, .. } => {
+                out.duplicates += 1;
+                dup_msgs.push(*msg);
+            }
             Event::GossipDelivered { node, msg } => {
                 out.deliveries += 1;
                 delivered_at.push((*msg, *node));
+            }
+            Event::WireFrame {
+                msg, kind, bytes, ..
+            } => {
+                if let Some(i) = CONTROL_CLASSES.iter().position(|c| c == kind) {
+                    wire.control_bytes[i] += bytes;
+                } else {
+                    wire.payload_bytes += bytes;
+                    if *msg != 0 {
+                        frame_size.entry(*msg).or_insert(*bytes);
+                    }
+                }
+            }
+            Event::FrameShared {
+                msg, fanout, bytes, ..
+            } => {
+                // One encode, `fanout` transmissions of the same frame.
+                wire.payload_bytes += bytes * fanout;
+                if *msg != 0 {
+                    frame_size.entry(*msg).or_insert(*bytes);
+                }
             }
             _ => {}
         }
@@ -262,6 +359,17 @@ fn analyze_run(events: &[TimedEvent], out: &mut TraceAnalysis, nodes: &mut BTree
     out.values_tracked += summary.tracked;
     out.values_complete += summary.complete;
     out.ledger.merge(&ledger);
+
+    // Price duplicates and deliveries now that every frame size is known
+    // (a dup can precede the message's first traced send when per-node
+    // rings are drained out of order).
+    for msg in dup_msgs {
+        wire.duplicate_bytes += frame_size.get(&msg).copied().unwrap_or(0);
+    }
+    for &(msg, _) in &delivered_at {
+        wire.encoded_bytes += frame_size.get(&msg).copied().unwrap_or(0);
+    }
+    out.wire.push(wire);
 }
 
 /// One replay ledger per run in a (possibly concatenated) trace, using
@@ -375,6 +483,46 @@ impl TraceAnalysis {
         t
     }
 
+    /// Every run's wire-redundancy breakdown merged into one (blurs the
+    /// per-substrate contrast of a multi-run trace; prefer [`Self::wire`]
+    /// for comparisons).
+    pub fn wire_merged(&self) -> WireRedundancy {
+        let mut merged = WireRedundancy::default();
+        for w in &self.wire {
+            merged.merge(w);
+        }
+        merged
+    }
+
+    /// The per-run (per-substrate) wire-redundancy breakdown as a table.
+    pub fn wire_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "run",
+            "payload_B",
+            "ihave_B",
+            "iwant_B",
+            "graft_B",
+            "prune_B",
+            "dup_B",
+            "encoded_B",
+            "sent_per_encoded",
+        ]);
+        for (i, w) in self.wire.iter().enumerate() {
+            t.row(vec![
+                (i + 1).to_string(),
+                w.payload_bytes.to_string(),
+                w.control_bytes[0].to_string(),
+                w.control_bytes[1].to_string(),
+                w.control_bytes[2].to_string(),
+                w.control_bytes[3].to_string(),
+                w.duplicate_bytes.to_string(),
+                w.encoded_bytes.to_string(),
+                format!("{:.2}", w.bytes_sent_per_byte_encoded()),
+            ]);
+        }
+        t
+    }
+
     /// The hop-count distribution as a table.
     pub fn hop_table(&self) -> Table {
         let mut t = Table::new(vec!["hops", "deliveries", "share"]);
@@ -452,6 +600,20 @@ impl TraceAnalysis {
                 self.ledger.attribution_ratio() * 100.0
             );
             out.push_str(&self.class_byte_table().render());
+        }
+        // Per-run byte split: payload vs tree-control vs duplicate bytes,
+        // and the headline sent-per-encoded ratio (one row per substrate
+        // in a `wan_paxos --trace` style multi-run trace).
+        if self.wire.iter().any(|w| w.wire_bytes() > 0) {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "== wire redundancy (per run) ==");
+            out.push_str(&self.wire_table().render());
+            let merged = self.wire_merged();
+            let _ = writeln!(
+                out,
+                "bytes sent per byte encoded  {:.2}  (all runs)",
+                merged.bytes_sent_per_byte_encoded()
+            );
         }
         let _ = writeln!(out);
         let _ = writeln!(out, "== hop counts (causal delivery paths) ==");
@@ -577,6 +739,31 @@ impl TraceAnalysis {
                 ]),
             ),
         ];
+        // Wire redundancy appears only when some run carried byte events,
+        // so pre-ledger traces keep their exact JSON.
+        if self.wire.iter().any(|w| w.wire_bytes() > 0) {
+            let runs = J::Arr(
+                self.wire
+                    .iter()
+                    .map(|w| {
+                        obj(vec![
+                            ("payload_bytes", int(w.payload_bytes)),
+                            ("ihave_bytes", int(w.control_bytes[0])),
+                            ("iwant_bytes", int(w.control_bytes[1])),
+                            ("graft_bytes", int(w.control_bytes[2])),
+                            ("prune_bytes", int(w.control_bytes[3])),
+                            ("duplicate_bytes", int(w.duplicate_bytes)),
+                            ("encoded_bytes", int(w.encoded_bytes)),
+                            (
+                                "bytes_sent_per_byte_encoded",
+                                J::Float(w.bytes_sent_per_byte_encoded()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            root.push(("wire_redundancy", runs));
+        }
         // Byte attribution appears only when the trace carried byte
         // events, so pre-ledger traces keep their exact JSON.
         if self.ledger.attributed_bytes + self.ledger.unattributed_bytes > 0 {
@@ -698,6 +885,69 @@ mod tests {
         assert_eq!(a.deliveries, 3);
         // 3 parts for 2 fresh network deliveries → 1.5 copies each.
         assert_eq!(a.redundancy_ratio(), 1.5);
+    }
+
+    /// Wire redundancy splits payload vs tree-control vs duplicate bytes
+    /// and prices encoded bytes from one frame per delivered message.
+    #[test]
+    fn wire_redundancy_splits_payload_control_and_duplicates() {
+        use Event::*;
+        let wf = |node: u32, peer: u32, msg: u64, kind: &str, bytes: u64| WireFrame {
+            node,
+            peer,
+            msg,
+            kind: kind.to_string(),
+            bytes,
+        };
+        let trace = jsonl(&[
+            // Node 0 broadcasts msg 5 (100-byte frame) eagerly to 1 and 2,
+            // with an 11-byte IHAVE echo to each.
+            (10, GossipDelivered { node: 0, msg: 5 }),
+            (11, wf(0, 1, 5, "Ping", 100)),
+            (12, wf(0, 2, 5, "Ping", 100)),
+            (13, wf(0, 1, 0, "IHAVE", 11)),
+            (14, wf(0, 2, 0, "IHAVE", 11)),
+            (20, GossipDelivered { node: 1, msg: 5 }),
+            // Node 1 relays the payload to 2, which already has it: a
+            // duplicate worth one frame, answered with a PRUNE. Node 2
+            // asks for a phantom id with an IWANT; 1 grafts back.
+            (21, wf(1, 2, 5, "Ping", 100)),
+            (30, GossipDelivered { node: 2, msg: 5 }),
+            (31, DuplicateDropped { node: 2, msg: 5 }),
+            (32, wf(2, 1, 0, "PRUNE", 5)),
+            (33, wf(2, 1, 0, "IWANT", 11)),
+            (34, wf(1, 2, 0, "GRAFT", 15)),
+            // A TCP-runtime style shared frame: msg 6 (40 bytes) to 3 peers.
+            (
+                40,
+                FrameShared {
+                    node: 0,
+                    msg: 6,
+                    fanout: 3,
+                    bytes: 40,
+                },
+            ),
+        ]);
+        let a = analyze_str(&trace).unwrap();
+        let w = a.wire_merged();
+        // Payload: 100 + 100 + 100 + 40×3 = 420.
+        assert_eq!(w.payload_bytes, 420);
+        // Control in CONTROL_CLASSES order: IHAVE, IWANT, GRAFT, PRUNE.
+        assert_eq!(w.control_bytes, [22, 11, 15, 5]);
+        assert_eq!(w.total_control_bytes(), 53);
+        // One duplicate of msg 5, priced at its 100-byte frame.
+        assert_eq!(w.duplicate_bytes, 100);
+        // Three deliveries of msg 5 (100 each); msg 6 was never delivered.
+        assert_eq!(w.encoded_bytes, 300);
+        assert_eq!(w.wire_bytes(), 473);
+        assert!((w.bytes_sent_per_byte_encoded() - 473.0 / 300.0).abs() < 1e-12);
+        assert!((w.duplicate_byte_share() - 100.0 / 420.0).abs() < 1e-12);
+        // The report and JSON both surface the section.
+        assert!(a.report().contains("== wire redundancy (per run) =="));
+        assert!(a.to_json().contains("\"wire_redundancy\""));
+        // A trace with no wire bytes keeps its JSON free of the section.
+        let plain = analyze_str(&line_trace()).unwrap();
+        assert!(!plain.to_json().contains("wire_redundancy"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Trace analyzer for JSONL execution traces.
 //!
 //! ```text
-//! tracetool report <trace.jsonl> [--csv FILE] [--json]
+//! tracetool report <trace.jsonl> [--csv FILE] [--json] [--max-redundancy N]
 //! tracetool ledger <trace.jsonl> [--csv FILE] [--json] [--min-attribution PCT]
 //! tracetool critical-path <trace.jsonl> [--instance N]
 //! tracetool health <trace.jsonl> [--stall-after-ms MS]
@@ -16,7 +16,10 @@
 //!   causal hop-count distribution and per-phase latency quantiles.
 //!   `--csv` also writes the per-phase latency table as CSV; `--json`
 //!   emits the whole analysis as one machine-readable JSON object
-//!   instead of text.
+//!   instead of text. `--max-redundancy N` exits non-zero when any
+//!   run's wire-byte redundancy (bytes sent per byte encoded) exceeds
+//!   N — the CI gate that eager/lazy dissemination actually holds its
+//!   byte budget.
 //! * `ledger` replays the trace through the [`obs::TraceLedger`] and
 //!   prints one per-`(subsystem, class)` byte/CPU attribution table per
 //!   run (a timestamp going backwards marks a run boundary — the same
@@ -51,7 +54,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: tracetool report <trace.jsonl> [--csv FILE] [--json]\n\
+        "usage: tracetool report <trace.jsonl> [--csv FILE] [--json] [--max-redundancy N]\n\
          \x20      tracetool ledger <trace.jsonl> [--csv FILE] [--json] [--min-attribution PCT]\n\
          \x20      tracetool critical-path <trace.jsonl> [--instance N]\n\
          \x20      tracetool health <trace.jsonl> [--stall-after-ms MS]\n\
@@ -91,6 +94,7 @@ fn cmd_report(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut trace: Option<PathBuf> = None;
     let mut csv_out: Option<PathBuf> = None;
     let mut json = false;
+    let mut max_redundancy: Option<f64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--csv" => match args.next() {
@@ -98,6 +102,10 @@ fn cmd_report(mut args: impl Iterator<Item = String>) -> ExitCode {
                 None => return usage("--csv needs a file"),
             },
             "--json" => json = true,
+            "--max-redundancy" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(n) if n > 0.0 => max_redundancy = Some(n),
+                _ => return usage("--max-redundancy needs a positive number"),
+            },
             "--help" | "-h" => return usage(""),
             other if trace.is_none() => trace = Some(PathBuf::from(other)),
             other => return usage(&format!("unexpected argument: {other}")),
@@ -133,6 +141,26 @@ fn cmd_report(mut args: impl Iterator<Item = String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {}", path.display());
+    }
+    if let Some(limit) = max_redundancy {
+        if analysis.wire.iter().all(|w| w.wire_bytes() == 0) {
+            eprintln!(
+                "error: --max-redundancy given but the trace carries no wire-byte \
+                 events (record it with byte instrumentation enabled)"
+            );
+            return ExitCode::FAILURE;
+        }
+        for (i, w) in analysis.wire.iter().enumerate() {
+            let ratio = w.bytes_sent_per_byte_encoded();
+            if w.wire_bytes() > 0 && ratio > limit {
+                eprintln!(
+                    "error: run {} sent {ratio:.2} bytes per byte encoded \
+                     (gate: {limit}) — dissemination redundancy too high",
+                    i + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -2,7 +2,9 @@
 //!
 //! A trial seed deterministically derives a [`FaultPlan`] — injected loss
 //! rate, crash/recovery windows, link-level partitions with heal times,
-//! failover and retransmission settings — which is applied to a short
+//! single-link cuts targeting the trial's actual overlay edges (the
+//! spanning-tree repair fault for eager/lazy dissemination), failover and
+//! retransmission settings — which is applied to a short
 //! cluster run and audited by [`SafetyAuditor`](crate::SafetyAuditor). A
 //! failing plan is shrunk to a minimal reproduction: faults are dropped one
 //! at a time and windows halved, keeping every mutation that still fails,
@@ -13,9 +15,12 @@
 //! Everything is pure-deterministic: the same seed always derives the same
 //! plan, and the same plan + run seed always produces the same verdict.
 
+use overlay::{connected_k_out, paper_fanout};
 use rand::Rng;
 
-use simnet::{PartitionSchedule, PartitionWindow, SeedSplitter, SimDuration, SimTime};
+use simnet::{
+    LinkCutSchedule, PartitionSchedule, PartitionWindow, SeedSplitter, SimDuration, SimTime,
+};
 
 use crate::audit::{AuditReport, RunAudit, SafetyAuditor};
 use crate::cluster::{run_cluster, ClusterParams, Setup};
@@ -51,6 +56,13 @@ pub struct FaultPlan {
     /// Partition windows `(side_a, from_ms, until_ms)`: the named
     /// processes are cut off from the rest until the window heals.
     pub partitions: Vec<(Vec<u32>, u64, u64)>,
+    /// Single-link cuts `(a, b, from_ms, until_ms)`: the overlay link
+    /// `a — b` is severed (both directions) until the window heals, every
+    /// other path staying intact. Derived cuts target edges of the trial's
+    /// actual overlay — each such link is an eager spanning-tree edge for
+    /// some broadcast sources, so the cut forces those trees through
+    /// miss-timer → `IWANT` → `GRAFT` repair.
+    pub link_cuts: Vec<(u32, u32, u64, u64)>,
     /// Round-change timeout in ms, when failover is enabled.
     pub failover_ms: Option<u64>,
     /// Coordinator retransmission period in ms, when enabled.
@@ -102,6 +114,31 @@ impl FaultPlan {
             })
             .collect();
 
+        // Tree-edge-targeted cuts: sever actual links of the trial's
+        // overlay (regenerated here by the cluster's own derivation, so
+        // the named links really exist in the run). Every overlay link is
+        // an eager-tree edge for some sources once eager/lazy converges.
+        let n_cuts = rng.gen_range(0..=2);
+        let link_cuts = if n_cuts > 0 {
+            let mut overlay_rng = SeedSplitter::new(seed).rng("overlay", 0);
+            let graph = connected_k_out(config.n, paper_fanout(config.n), &mut overlay_rng, 100)
+                .expect("could not generate a connected overlay");
+            let edges: Vec<(usize, usize)> = graph.edges().collect();
+            let order = shuffled(edges.len() as u32, &mut rng);
+            order
+                .iter()
+                .take(n_cuts)
+                .map(|&i| {
+                    let (a, b) = edges[i as usize];
+                    let from = rng.gen_range(fault_from..fault_until);
+                    let dur = rng.gen_range(100..=600);
+                    (a as u32, b as u32, from, from + dur)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let failover_ms = if rng.gen_bool(0.5) {
             Some(rng.gen_range(300..=1200))
         } else {
@@ -117,6 +154,7 @@ impl FaultPlan {
             loss_rate,
             crashes,
             partitions,
+            link_cuts,
             failover_ms,
             retransmit_ms,
         }
@@ -145,6 +183,16 @@ impl FaultPlan {
             ));
         }
         params.partitions = schedule;
+        let mut cuts = LinkCutSchedule::none();
+        for &(a, b, from, until) in &self.link_cuts {
+            cuts.push(
+                a,
+                b,
+                SimTime::ZERO + SimDuration::from_millis(from),
+                SimTime::ZERO + SimDuration::from_millis(until),
+            );
+        }
+        params.link_cuts = cuts;
         params.failover = self.failover_ms.map(SimDuration::from_millis);
         params.retransmit = self.retransmit_ms.map(SimDuration::from_millis);
         params
@@ -155,7 +203,10 @@ impl FaultPlan {
     /// neutrality comparison: under loss/crashes/partitions the two
     /// substrates legitimately lose different values.
     pub fn is_benign(&self) -> bool {
-        self.loss_rate == 0.0 && self.crashes.is_empty() && self.partitions.is_empty()
+        self.loss_rate == 0.0
+            && self.crashes.is_empty()
+            && self.partitions.is_empty()
+            && self.link_cuts.is_empty()
     }
 
     /// Number of independent fault ingredients in the plan.
@@ -163,6 +214,7 @@ impl FaultPlan {
         usize::from(self.loss_rate > 0.0)
             + self.crashes.len()
             + self.partitions.len()
+            + self.link_cuts.len()
             + usize::from(self.failover_ms.is_some())
             + usize::from(self.retransmit_ms.is_some())
     }
@@ -180,6 +232,11 @@ impl FaultPlan {
         for i in 0..self.partitions.len() {
             let mut p = self.clone();
             p.partitions.remove(i);
+            out.push(p);
+        }
+        for i in 0..self.link_cuts.len() {
+            let mut p = self.clone();
+            p.link_cuts.remove(i);
             out.push(p);
         }
         if self.loss_rate > 0.0 {
@@ -211,6 +268,15 @@ impl FaultPlan {
                 out.push(p);
             }
         }
+        for i in 0..self.link_cuts.len() {
+            let (_, _, from, until) = self.link_cuts[i];
+            let half = from + ((until - from) / 2).max(1);
+            if half < until {
+                let mut p = self.clone();
+                p.link_cuts[i].3 = half;
+                out.push(p);
+            }
+        }
         if self.failover_ms.is_some() {
             let mut p = self.clone();
             p.failover_ms = None;
@@ -225,7 +291,7 @@ impl FaultPlan {
     }
 
     /// Renders the plan as a compact replayable spec string, e.g.
-    /// `loss=0.12;crash=3:900-1400;part=1+4:700-1100;failover=500`.
+    /// `loss=0.12;crash=3:900-1400;part=1+4:700-1100;cut=2+9:600-950;failover=500`.
     /// The empty plan renders as `none`.
     pub fn to_spec(&self) -> String {
         let mut parts = Vec::new();
@@ -250,6 +316,14 @@ impl FaultPlan {
                 })
                 .collect();
             parts.push(format!("part={}", windows.join(",")));
+        }
+        if !self.link_cuts.is_empty() {
+            let windows: Vec<String> = self
+                .link_cuts
+                .iter()
+                .map(|(a, b, from, until)| format!("{a}+{b}:{from}-{until}"))
+                .collect();
+            parts.push(format!("cut={}", windows.join(",")));
         }
         if let Some(ms) = self.failover_ms {
             parts.push(format!("failover={ms}"));
@@ -310,6 +384,23 @@ impl FaultPlan {
                             .map(|s| s.parse().map_err(|e| format!("bad node {s:?}: {e}")))
                             .collect::<Result<Vec<u32>, String>>()?;
                         plan.partitions.push((side, from, until));
+                    }
+                }
+                "cut" => {
+                    for entry in value.split(',') {
+                        let (link, from, until) = parse_window(entry)?;
+                        let nodes = link
+                            .split('+')
+                            .map(|s| s.parse().map_err(|e| format!("bad node {s:?}: {e}")))
+                            .collect::<Result<Vec<u32>, String>>()?;
+                        match nodes[..] {
+                            [a, b] if a != b => plan.link_cuts.push((a, b, from, until)),
+                            _ => {
+                                return Err(format!(
+                                    "bad link {link:?} (want two distinct nodes a+b)"
+                                ))
+                            }
+                        }
                     }
                 }
                 "failover" => {
@@ -428,7 +519,12 @@ impl Fuzzer {
         params
     }
 
-    /// Runs one plan under run seed `seed` and audits it.
+    /// Runs one plan under run seed `seed` and audits it. With
+    /// neutrality checking on, the same schedule also runs on Semantic
+    /// Gossip and on eager/lazy dissemination: each run is individually
+    /// audited on every plan (agreement/integrity even while link cuts
+    /// force tree repair), and on benign plans the decided sets of both
+    /// alternative substrates are compared against push gossip's.
     pub fn run_plan(&self, plan: &FaultPlan, seed: u64) -> AuditReport {
         let gossip = run_cluster(&plan.apply(self.base_params(Setup::Gossip, seed)));
         let mut report = AuditReport {
@@ -436,17 +532,22 @@ impl Fuzzer {
         };
         if self.config.check_neutrality {
             let semantic = run_cluster(&plan.apply(self.base_params(Setup::SemanticGossip, seed)));
+            let eager = run_cluster(&plan.apply(self.base_params(Setup::EagerLazyGossip, seed)));
             report.merge(AuditReport {
                 violations: semantic.violations.clone(),
             });
+            report.merge(AuditReport {
+                violations: eager.violations.clone(),
+            });
             // The set comparison is only sound when nothing was lost or
-            // down; the semantic run is still individually audited above
-            // on every plan.
+            // down; both runs are still individually audited above on
+            // every plan.
             if plan.is_benign() {
                 report.merge(SafetyAuditor::audit_neutrality(
                     &gossip.audit,
                     &semantic.audit,
                 ));
+                report.merge(SafetyAuditor::audit_neutrality(&gossip.audit, &eager.audit));
             }
         }
         if self.config.selftest {
@@ -587,6 +688,7 @@ mod tests {
         assert!(plans.iter().any(|p| p.loss_rate > 0.0));
         assert!(plans.iter().any(|p| !p.crashes.is_empty()));
         assert!(plans.iter().any(|p| !p.partitions.is_empty()));
+        assert!(plans.iter().any(|p| !p.link_cuts.is_empty()));
         assert!(plans.iter().any(|p| p.failover_ms.is_some()));
         assert!(plans.iter().any(|p| p.is_benign()));
         assert!(plans.iter().any(|p| p.fault_count() == 0));
@@ -595,6 +697,14 @@ mod tests {
             let mut nodes: Vec<u32> = p.crashes.iter().map(|c| c.0).collect();
             nodes.dedup();
             assert_eq!(nodes.len(), p.crashes.len());
+        }
+        // Derived link cuts name real, distinct endpoints.
+        for p in &plans {
+            for &(a, b, from, until) in &p.link_cuts {
+                assert_ne!(a, b);
+                assert!((a as usize) < config.n && (b as usize) < config.n);
+                assert!(from < until);
+            }
         }
     }
 
@@ -623,6 +733,9 @@ mod tests {
             "loss=abc",
             "crash=3:100",
             "part=:100-200",
+            "cut=3:100-200",
+            "cut=3+3:100-200",
+            "cut=1+2+3:100-200",
             "unknown=1",
         ] {
             assert!(FaultPlan::from_spec(bad).is_err(), "{bad:?} should fail");
@@ -635,18 +748,20 @@ mod tests {
             loss_rate: 0.2,
             crashes: vec![(3, 500, 900)],
             partitions: vec![(vec![1, 2], 400, 800)],
+            link_cuts: vec![(2, 9, 600, 950)],
             failover_ms: Some(500),
             retransmit_ms: Some(300),
+        };
+        let window_sum = |p: &FaultPlan| {
+            p.crashes.iter().map(|w| w.2 - w.1).sum::<u64>()
+                + p.partitions.iter().map(|w| w.2 - w.1).sum::<u64>()
+                + p.link_cuts.iter().map(|w| w.3 - w.2).sum::<u64>()
         };
         let candidates = plan.shrink_candidates();
         assert!(!candidates.is_empty());
         for c in &candidates {
             let fewer = c.fault_count() < plan.fault_count();
-            let shorter = c.crashes.iter().map(|w| w.2 - w.1).sum::<u64>()
-                + c.partitions.iter().map(|w| w.2 - w.1).sum::<u64>()
-                < plan.crashes.iter().map(|w| w.2 - w.1).sum::<u64>()
-                    + plan.partitions.iter().map(|w| w.2 - w.1).sum::<u64>()
-                || c.loss_rate < plan.loss_rate;
+            let shorter = window_sum(c) < window_sum(&plan) || c.loss_rate < plan.loss_rate;
             assert!(fewer || shorter, "{c:?} does not shrink {plan:?}");
         }
         assert!(FaultPlan::default().shrink_candidates().is_empty());
@@ -693,6 +808,40 @@ mod tests {
         for line in lines {
             obs::TimedEvent::from_json(line).expect("valid trace line");
         }
+    }
+
+    #[test]
+    fn link_cut_plan_repairs_the_eager_tree_and_audits_clean() {
+        let mut config = tiny_config();
+        // Leave room for a worst-case repair: a payload lost to a cut just
+        // before the window ends waits out the 400 ms miss timer, then an
+        // IWANT round trip, after the link heals at 600 ms.
+        config.drain_ms = 1500;
+        let fuzzer = Fuzzer::new(config);
+        let seed = 11;
+        // Cut two links of the trial's *actual* overlay (the cluster's own
+        // derivation), so the windows are guaranteed to sever eager-tree
+        // edges of whichever sources routed through them.
+        let mut rng = SeedSplitter::new(seed).rng("overlay", 0);
+        let graph = connected_k_out(13, paper_fanout(13), &mut rng, 100).expect("connected");
+        let edges: Vec<(usize, usize)> = graph.edges().collect();
+        let plan = FaultPlan {
+            link_cuts: vec![
+                (edges[0].0 as u32, edges[0].1 as u32, 250, 550),
+                (edges[1].0 as u32, edges[1].1 as u32, 300, 600),
+            ],
+            ..FaultPlan::default()
+        };
+        // Safety: every substrate (push, semantic, eager/lazy) audits
+        // clean while the cuts force tree repair.
+        let report = fuzzer.run_plan(&plan, seed);
+        assert!(report.is_clean(), "{report}");
+        // Liveness: the eager/lazy run grafts around the severed tree
+        // edges and still orders every submitted value.
+        let m = run_cluster(&plan.apply(fuzzer.base_params(Setup::EagerLazyGossip, seed)));
+        assert!(m.safety_ok);
+        assert_eq!(m.not_ordered_in_window, 0, "{m:?}");
+        assert!(m.ordered > 0);
     }
 
     #[test]

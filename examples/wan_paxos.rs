@@ -3,15 +3,21 @@
 //!
 //! Thirteen clients — one per AWS region — submit 1 KiB commands to a Paxos
 //! deployment spread over all regions, exactly like §4.2 of the paper. The
-//! example runs the same workload under the three communication substrates
+//! example runs the same workload under the four communication substrates
 //! and prints the comparison: Baseline (full connectivity, best case),
-//! classic Gossip (partially connected overlay), and Semantic Gossip.
+//! classic Gossip (partially connected overlay), Semantic Gossip, and
+//! eager/lazy (Plumtree-style) dissemination over the same overlay.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example wan_paxos [n] [rate] [--trace out.jsonl] \
-//!     [--metrics-addr 127.0.0.1:9300] [--linger SECS]
+//!     [--setup NAME] [--metrics-addr 127.0.0.1:9300] [--linger SECS]
 //! ```
+//!
+//! `--setup NAME` runs only the substrates whose name contains NAME
+//! (case-insensitive), e.g. `--setup eager` for an eager/lazy-only run —
+//! which is how CI gates the broadcast path's wire-byte redundancy with
+//! `tracetool report --max-redundancy` on a single-substrate trace.
 //!
 //! With `--trace`, every run records a structured execution trace: the
 //! merged JSONL event stream of all three runs is written to the given
@@ -37,12 +43,20 @@ use gossip_consensus::testbed::report::span_table;
 fn main() {
     let mut positional = Vec::new();
     let mut trace_path: Option<String> = None;
+    let mut setup_filter: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
     let mut linger = std::time::Duration::ZERO;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace_path = Some(args.next().expect("--trace needs a file path")),
+            "--setup" => {
+                setup_filter = Some(
+                    args.next()
+                        .expect("--setup needs a substrate name")
+                        .to_lowercase(),
+                );
+            }
             "--metrics-addr" => {
                 metrics_addr = Some(args.next().expect("--metrics-addr needs host:port"));
             }
@@ -90,7 +104,18 @@ fn main() {
 
     let mut jsonl = String::new();
     let mut breakdowns = Vec::new();
-    for setup in [Setup::Baseline, Setup::Gossip, Setup::SemanticGossip] {
+    let setups = [
+        Setup::Baseline,
+        Setup::Gossip,
+        Setup::SemanticGossip,
+        Setup::EagerLazyGossip,
+    ]
+    .into_iter()
+    .filter(|s| match &setup_filter {
+        Some(f) => s.name().to_lowercase().contains(f),
+        None => true,
+    });
+    for setup in setups {
         let mut params = ClusterParams::paper(n, setup)
             .with_rate(rate)
             .with_seconds(4.0, 1.0)
