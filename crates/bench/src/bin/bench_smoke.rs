@@ -25,6 +25,14 @@
 //! quietly un-converging (payloads flooding again) is a perf regression
 //! just like a slower encode path.
 //!
+//! A **shard-count sweep** then runs the pipeline-limited sim with client
+//! values sharded over 1, 2 and 4 consensus groups on one substrate and
+//! records `ordered_throughput_groups_{1,2,4}`. These are gated on
+//! absolute floors (≥1.6× at 2 groups, ≥3× at 4 groups over the
+//! single-group baseline) rather than the trajectory minimum: a sharded
+//! runtime that stops scaling is a regression even if every hot-path
+//! timing is unchanged.
+//!
 //! With `--history FILE` each run also appends one JSONL line to an
 //! append-only trajectory file, so the hot-path numbers are comparable
 //! across commits. With `--check`, the current run is compared against the
@@ -75,6 +83,29 @@ fn wire_redundancy(setup: testbed::cluster::Setup) -> f64 {
     let trace = metrics.trace_jsonl.expect("tracing was enabled");
     let analysis = testbed::analysis::analyze_str(&trace).expect("sim trace parses");
     analysis.wire_merged().bytes_sent_per_byte_encoded()
+}
+
+/// Ordered throughput of the deterministic WAN sim with its client values
+/// sharded over `groups` consensus groups on one gossip substrate. The
+/// deployment is pipeline-limited (a small open-instance window), so one
+/// group's ordered throughput is RTT-bound at ~window/RTT while G
+/// independent groups multiply the aggregate window — the scaling the
+/// sharded group runtime exists to deliver (ROADMAP item 1). Each shard is
+/// audited independently; a run that fails any shard's audit panics.
+fn shard_ordered(groups: usize) -> u64 {
+    use testbed::cluster::{run_cluster, ClusterParams, Setup};
+    let params = ClusterParams::paper(13, Setup::Gossip)
+        .with_groups(groups)
+        .with_max_open_instances(4)
+        .with_rate(60.0)
+        .with_seconds(2.0, 1.0);
+    let metrics = run_cluster(&params);
+    assert!(
+        metrics.safety_ok,
+        "shard sweep at {groups} group(s) must audit clean: {:?}",
+        metrics.violations
+    );
+    metrics.ordered
 }
 
 fn quorum_vote() -> PaxosMessage {
@@ -263,6 +294,16 @@ fn main() -> ExitCode {
     let redundancy_push = wire_redundancy(testbed::cluster::Setup::Gossip);
     let redundancy_eager_lazy = wire_redundancy(testbed::cluster::Setup::EagerLazyGossip);
 
+    // Shard-count sweep: ordered throughput of the pipeline-limited sim at
+    // 1, 2 and 4 consensus groups. Deterministic; gated on absolute
+    // scaling floors rather than the trajectory minimum, since higher is
+    // better here.
+    let ordered_groups_1 = shard_ordered(1);
+    let ordered_groups_2 = shard_ordered(2);
+    let ordered_groups_4 = shard_ordered(4);
+    let shard_speedup_2 = ordered_groups_2 as f64 / ordered_groups_1.max(1) as f64;
+    let shard_speedup_4 = ordered_groups_4 as f64 / ordered_groups_1.max(1) as f64;
+
     let json = format!(
         "{{\n  \"bench\": \"gossip_hot_path\",\n  \"fanout\": {FANOUT},\n  \
          \"payload_bytes\": 1024,\n  \"voters\": 52,\n  \
@@ -277,10 +318,30 @@ fn main() -> ExitCode {
          \"bytes_encoded_per_broadcast\": {frame_bytes},\n  \
          \"bytes_sent_per_broadcast\": {},\n  \
          \"bytes_sent_per_byte_encoded_push\": {redundancy_push:.2},\n  \
-         \"bytes_sent_per_byte_encoded_eager_lazy\": {redundancy_eager_lazy:.2}\n}}\n",
+         \"bytes_sent_per_byte_encoded_eager_lazy\": {redundancy_eager_lazy:.2},\n  \
+         \"ordered_throughput_groups_1\": {ordered_groups_1},\n  \
+         \"ordered_throughput_groups_2\": {ordered_groups_2},\n  \
+         \"ordered_throughput_groups_4\": {ordered_groups_4},\n  \
+         \"shard_speedup_groups_2\": {shard_speedup_2:.2},\n  \
+         \"shard_speedup_groups_4\": {shard_speedup_4:.2}\n}}\n",
         frame_bytes * FANOUT
     );
     print!("{json}");
+
+    // Absolute scaling floors for the shard sweep: sharding must buy real
+    // ordered throughput, not just spread CPU. The sims are deterministic,
+    // so these are exact across reruns.
+    let mut shard_floor_failed = false;
+    for (groups, speedup, floor) in [(2, shard_speedup_2, 1.6), (4, shard_speedup_4, 3.0)] {
+        if speedup < floor {
+            eprintln!(
+                "error: {groups}-group ordered throughput is {speedup:.2}x the \
+                 single-group baseline (floor {floor:.1}x)"
+            );
+            shard_floor_failed = true;
+        }
+    }
+
     if slowdown == 1.0 {
         std::fs::write(&out_path, &json).expect("write bench json");
         eprintln!("wrote {out_path}");
@@ -289,11 +350,15 @@ fn main() -> ExitCode {
     }
 
     let Some(history_path) = history_path else {
-        return ExitCode::SUCCESS;
+        return if shard_floor_failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     };
 
     use obs::json::JsonValue as J;
-    let measured: [(&str, f64); 7] = [
+    let measured: [(&str, f64); 9] = [
         ("ns_per_fanout_cloned", ns_fanout_cloned),
         ("ns_per_fanout_shared", ns_fanout_shared),
         ("ns_per_encode_per_peer", ns_encode_per_peer),
@@ -304,6 +369,8 @@ fn main() -> ExitCode {
             "bytes_sent_per_byte_encoded_eager_lazy",
             redundancy_eager_lazy,
         ),
+        ("shard_speedup_groups_2", shard_speedup_2),
+        ("shard_speedup_groups_4", shard_speedup_4),
     ];
 
     // The trajectory on disk: one JSON object per line, append-only.
@@ -377,6 +444,9 @@ fn main() -> ExitCode {
             "error: hot-path cost regressed more than {:.0}% past the recorded best",
             (TOLERANCE - 1.0) * 100.0
         );
+        return ExitCode::FAILURE;
+    }
+    if shard_floor_failed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -57,6 +57,7 @@
 pub mod cache;
 pub mod codec;
 pub mod config;
+pub mod group;
 pub mod id;
 pub mod node;
 pub mod plumtree;
@@ -67,6 +68,7 @@ pub mod stats;
 pub use cache::{DuplicateFilter, RecentCache, SlidingBloom};
 pub use codec::{Reader, Wire, WireError};
 pub use config::GossipConfig;
+pub use group::{Grouped, GroupedSemantics, MAX_GROUPS};
 pub use id::{MessageId, NodeId};
 pub use node::{GossipItem, GossipNode, TraceTag};
 pub use plumtree::{EagerLazyConfig, EagerLazyNode, Packet, PlumtreeStats};

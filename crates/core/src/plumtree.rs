@@ -212,6 +212,9 @@ pub struct PlumtreeStats {
     pub prunes: Stat,
     /// Missing announced ids recovered via the lazy path.
     pub recovered: Stat,
+    /// Sources evicted from a full per-peer pruned set to admit a newer
+    /// demotion (the evicted source's link silently turns eager again).
+    pub pruned_evictions: Stat,
     /// Control bytes (IHAVE/IWANT/GRAFT/PRUNE) handed to the transport;
     /// payload bytes are in [`MessageStats::bytes_sent`]'s remainder.
     pub control_bytes: Stat,
@@ -227,6 +230,7 @@ impl PlumtreeStats {
         self.grafts += other.grafts;
         self.prunes += other.prunes;
         self.recovered += other.recovered;
+        self.pruned_evictions += other.pruned_evictions;
         self.control_bytes += other.control_bytes;
     }
 }
@@ -314,8 +318,9 @@ struct Missing {
 /// Announcers remembered per missing id; later announcements are dropped.
 const MAX_ANNOUNCERS: usize = 8;
 
-/// Per-peer bound on demoted sources; at the cap further prunes are
-/// ignored (the link stays eager for new sources — wasteful but safe).
+/// Per-peer bound on demoted sources; at the cap the smallest remembered
+/// source is evicted to make room (its link flips back to eager — wasteful
+/// but safe), counted in [`PlumtreeStats::pruned_evictions`].
 const MAX_PRUNED_SOURCES: usize = 1024;
 
 /// One entry of a per-peer send queue.
@@ -535,6 +540,20 @@ impl<M: GossipItem, F: DuplicateFilter, O: Observer> EagerLazyNode<M, F, O> {
         !self.pruned[i].contains(&source)
     }
 
+    /// Demotes `source` on peer `i`'s link. A full pruned set evicts its
+    /// smallest source — deterministically: `HashSet` iteration order is
+    /// randomly keyed per process, and an arbitrary victim would make
+    /// simulated runs irreproducible.
+    fn remember_pruned(&mut self, i: usize, source: u32) {
+        if self.pruned[i].len() >= MAX_PRUNED_SOURCES && !self.pruned[i].contains(&source) {
+            if let Some(&victim) = self.pruned[i].iter().min() {
+                self.pruned[i].remove(&victim);
+                self.pt.pruned_evictions.incr();
+            }
+        }
+        self.pruned[i].insert(source);
+    }
+
     /// Broadcasts a message from the local consensus protocol: payload to
     /// this node's tree (it is the source), announcement to lazy peers,
     /// local delivery.
@@ -569,9 +588,7 @@ impl<M: GossipItem, F: DuplicateFilter, O: Observer> EagerLazyNode<M, F, O> {
             }
             Packet::Prune(source) => {
                 if let Some(i) = self.peer_index(from) {
-                    if self.pruned[i].len() < MAX_PRUNED_SOURCES {
-                        self.pruned[i].insert(source);
-                    }
+                    self.remember_pruned(i, source);
                 }
             }
         }
@@ -601,8 +618,8 @@ impl<M: GossipItem, F: DuplicateFilter, O: Observer> EagerLazyNode<M, F, O> {
                 });
             }
             if let Some(i) = self.peer_index(from) {
-                if self.is_eager(i, source) && self.pruned[i].len() < MAX_PRUNED_SOURCES {
-                    self.pruned[i].insert(source);
+                if self.is_eager(i, source) {
+                    self.remember_pruned(i, source);
                     self.queue_control(i, Packet::Prune(source));
                     self.pt.prunes.incr();
                     if O::ENABLED {
@@ -1413,5 +1430,41 @@ mod tests {
         for node in nodes.iter_mut() {
             assert_eq!(node.take_deliveries().len(), n);
         }
+    }
+
+    /// Regression: a full per-peer pruned set used to silently drop the
+    /// newest PRUNE, leaving the link eager for that source forever. Now
+    /// the smallest remembered source is evicted to admit the new one.
+    #[test]
+    fn prune_at_cap_evicts_oldest_instead_of_dropping() {
+        let mut node = node_with_peers(1);
+        let peer = NodeId::new(1);
+        for source in 0..MAX_PRUNED_SOURCES as u32 {
+            node.on_packet(peer, Packet::Prune(source));
+        }
+        assert_eq!(node.plumtree_stats().pruned_evictions.get(), 0);
+        assert_eq!(node.lazy_peers(NodeId::new(0)), vec![peer]);
+
+        // One past the cap: the new source must be demoted (not silently
+        // ignored) at the cost of the smallest remembered source.
+        let extra = 50_000;
+        node.on_packet(peer, Packet::Prune(extra));
+        assert_eq!(node.lazy_peers(NodeId::new(extra)), vec![peer]);
+        assert!(node.lazy_peers(NodeId::new(0)).is_empty(), "victim evicted");
+        assert_eq!(node.lazy_peers(NodeId::new(1)), vec![peer]);
+        assert_eq!(node.plumtree_stats().pruned_evictions.get(), 1);
+
+        // Re-pruning an already-demoted source at the cap is a no-op.
+        node.on_packet(peer, Packet::Prune(extra));
+        assert_eq!(node.plumtree_stats().pruned_evictions.get(), 1);
+
+        // The duplicate-demote path shares the eviction policy: a dup of a
+        // brand-new source over the (still eager) link prunes it too.
+        let fresh = 60_000;
+        node.on_packet(peer, Packet::Payload(fresh, Msg(424242)));
+        node.take_outgoing();
+        node.on_packet(peer, Packet::Payload(fresh, Msg(424242)));
+        assert_eq!(node.lazy_peers(NodeId::new(fresh)), vec![peer]);
+        assert_eq!(node.plumtree_stats().pruned_evictions.get(), 2);
     }
 }

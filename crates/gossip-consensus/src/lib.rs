@@ -84,7 +84,8 @@ pub mod prelude {
     pub use paxos::{InstanceId, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId};
     pub use paxos_semantics::{PaxosSemantics, SemanticMode};
     pub use semantic_gossip::{
-        GossipConfig, GossipItem, GossipNode, MessageId, NoSemantics, NodeId, Semantics,
+        GossipConfig, GossipItem, GossipNode, Grouped, GroupedSemantics, MessageId, NoSemantics,
+        NodeId, Semantics, MAX_GROUPS,
     };
     pub use simnet::{Region, RegionMap, SimDuration, SimTime};
     pub use testbed::{run_cluster, ClusterParams, RunMetrics, Setup};

@@ -10,6 +10,16 @@ pub struct PaxosConfig {
     /// Maximum client values proposed but not yet decided at the
     /// coordinator (flow control; further values queue at the coordinator).
     pub max_open_instances: usize,
+    /// The consensus group this deployment instance belongs to when several
+    /// groups are sharded over one substrate. Used as the leadership
+    /// rotation offset (round `r` of group `g` is led by `(r + g) mod n`)
+    /// and as the scope of protocol trace events. 0 — the default — is a
+    /// plain single-group deployment.
+    pub group: u32,
+    /// Maximum client values the coordinator packs into one *batch* value
+    /// per instance ([`crate::Value::batch`]). 1 — the default — proposes
+    /// each value in its own instance, the paper's behavior.
+    pub batch_values: usize,
 }
 
 impl PaxosConfig {
@@ -31,7 +41,37 @@ impl PaxosConfig {
         PaxosConfig {
             n,
             max_open_instances: 4096,
+            group: 0,
+            batch_values: 1,
         }
+    }
+
+    /// This deployment as group `group` of a sharded multi-group system.
+    pub fn with_group(mut self, group: u32) -> Self {
+        self.group = group;
+        self
+    }
+
+    /// Packs up to `batch_values` client values per instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_values == 0`.
+    pub fn with_batch_values(mut self, batch_values: usize) -> Self {
+        assert!(batch_values > 0, "batch_values must be at least 1");
+        self.batch_values = batch_values;
+        self
+    }
+
+    /// Caps the coordinator's open-instance pipeline window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_open_instances == 0`.
+    pub fn with_max_open_instances(mut self, max_open_instances: usize) -> Self {
+        assert!(max_open_instances > 0, "window must be at least 1");
+        self.max_open_instances = max_open_instances;
+        self
     }
 
     /// The majority quorum size: `⌊n/2⌋ + 1`.

@@ -35,6 +35,9 @@ pub struct Coordinator {
     proposed_ids: HashSet<ValueId>,
     /// Proposed but not yet decided: instance → value (for retransmission).
     open: BTreeMap<InstanceId, Value>,
+    /// Per-round counter feeding [`Value::batch`] ids (round-qualified so a
+    /// process coordinating a later round never reuses a batch id).
+    batch_counter: u64,
 }
 
 impl Coordinator {
@@ -43,8 +46,8 @@ impl Coordinator {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not the coordinator of `round` (see
-    /// [`Round::coordinator`]).
+    /// Panics if `id` is not the coordinator of `round` in this config's
+    /// group (see [`Round::coordinator_at`]).
     pub fn start(
         id: NodeId,
         config: PaxosConfig,
@@ -52,9 +55,10 @@ impl Coordinator {
         from_instance: InstanceId,
     ) -> (Self, PaxosMessage) {
         assert_eq!(
-            round.coordinator(config.n),
+            round.coordinator_at(config.group, config.n),
             id,
-            "process {id} cannot coordinate {round}"
+            "process {id} cannot coordinate {round} of group {}",
+            config.group
         );
         let coordinator = Coordinator {
             id,
@@ -68,6 +72,7 @@ impl Coordinator {
             pending: VecDeque::new(),
             proposed_ids: HashSet::new(),
             open: BTreeMap::new(),
+            batch_counter: 0,
         };
         let phase1a = PaxosMessage::Phase1a {
             round,
@@ -206,21 +211,64 @@ impl Coordinator {
             .collect()
     }
 
+    /// A fresh batch-value sequence number, unique across this process's
+    /// coordinator incarnations: the round rides in the high bits, a
+    /// per-round counter in the low 24 (see [`crate::types::BATCH_SEQ_BIT`]
+    /// for the tag above both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round exceeds 15 bits or 2²⁴ batches were built in one
+    /// round — both far beyond any realistic run.
+    fn next_batch_seq(&mut self) -> u64 {
+        let round = self.round.as_u32() as u64;
+        assert!(round < (1 << 15), "round too high for batch ids");
+        assert!(self.batch_counter < (1 << 24), "batch counter overflow");
+        let seq = (round << 24) | self.batch_counter;
+        self.batch_counter += 1;
+        seq
+    }
+
     fn flush_pending(&mut self) -> Vec<PaxosMessage> {
         let mut out = Vec::new();
         if !self.prepared {
             return out;
         }
+        let max_batch = self.config.batch_values.max(1);
         while self.open.len() < self.config.max_open_instances {
-            let Some(value) = self.pending.pop_front() else {
-                break;
-            };
-            if self.proposed_ids.contains(&value.id()) {
-                continue;
+            // Drain up to `batch_values` fresh client values for the next
+            // instance. A salvaged batch value (re-forwarded whole from a
+            // demoted coordinator) travels alone — batches never nest.
+            let mut batch: Vec<Value> = Vec::new();
+            while batch.len() < max_batch {
+                let Some(value) = self.pending.pop_front() else {
+                    break;
+                };
+                if self.proposed_ids.contains(&value.id()) {
+                    continue;
+                }
+                if value.is_batch() && !batch.is_empty() {
+                    self.pending.push_front(value);
+                    break;
+                }
+                let close = value.is_batch();
+                self.proposed_ids.insert(value.id());
+                batch.push(value);
+                if close {
+                    break;
+                }
             }
+            let value = match batch.len() {
+                0 => break,
+                1 => batch.pop().expect("len checked"),
+                _ => {
+                    let v = Value::batch(self.id, self.next_batch_seq(), &batch);
+                    self.proposed_ids.insert(v.id());
+                    v
+                }
+            };
             let instance = self.next_instance;
             self.next_instance = instance.next();
-            self.proposed_ids.insert(value.id());
             self.open.insert(instance, value.clone());
             out.push(PaxosMessage::Phase2a {
                 instance,
@@ -435,6 +483,110 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(c.open_instances(), 2);
         assert_eq!(c.queued_values(), 1);
+    }
+
+    #[test]
+    fn group_offset_rotates_leadership() {
+        // Group 2 of a 3-process system: round 0 is led by process 2.
+        let config = PaxosConfig::new(3).with_group(2);
+        let (c, _) = Coordinator::start(NodeId::new(2), config, Round::ZERO, InstanceId::ZERO);
+        assert_eq!(c.round(), Round::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot coordinate")]
+    fn group_offset_rejects_the_ungrouped_leader() {
+        // Process 0 leads round 0 of group 0, but not of group 2.
+        let config = PaxosConfig::new(3).with_group(2);
+        Coordinator::start(NodeId::new(0), config, Round::ZERO, InstanceId::ZERO);
+    }
+
+    fn prepared_with(config: PaxosConfig) -> Coordinator {
+        let quorum = config.quorum();
+        let (mut c, _) = Coordinator::start(NodeId::new(0), config, Round::ZERO, InstanceId::ZERO);
+        for i in 0..quorum {
+            c.on_phase1b(Round::ZERO, NodeId::new(i as u32), &[]);
+        }
+        assert!(c.is_prepared());
+        c
+    }
+
+    #[test]
+    fn backlogged_values_flush_as_one_batch() {
+        // Window 1, batch 3: the first value opens instance 0 alone; the
+        // backlog behind it is packed three-per-instance once it closes.
+        let config = PaxosConfig::new(3)
+            .with_max_open_instances(1)
+            .with_batch_values(3);
+        let mut c = prepared_with(config);
+        for i in 0..7 {
+            c.propose(value(i));
+        }
+        assert_eq!(c.open_instances(), 1);
+        assert_eq!(c.queued_values(), 6);
+        let out = c.on_decided(InstanceId::ZERO);
+        assert_eq!(out.len(), 1);
+        let PaxosMessage::Phase2a {
+            instance, value: v, ..
+        } = &out[0]
+        else {
+            panic!("unexpected {out:?}");
+        };
+        assert_eq!(*instance, InstanceId::new(1));
+        assert!(v.is_batch());
+        let parts = v.components().unwrap();
+        assert_eq!(
+            parts.iter().map(Value::id).collect::<Vec<_>>(),
+            vec![value(1).id(), value(2).id(), value(3).id()]
+        );
+        assert_eq!(c.queued_values(), 3);
+        // Distinct batches get distinct ids.
+        let out2 = c.on_decided(InstanceId::new(1));
+        let PaxosMessage::Phase2a { value: v2, .. } = &out2[0] else {
+            panic!("unexpected {out2:?}");
+        };
+        assert!(v2.is_batch());
+        assert_ne!(v2.id(), v.id());
+    }
+
+    #[test]
+    fn batch_of_one_stays_plain() {
+        let config = PaxosConfig::new(3).with_batch_values(4);
+        let mut c = prepared_with(config);
+        let out = c.propose(value(1));
+        let PaxosMessage::Phase2a { value: v, .. } = &out[0] else {
+            panic!("unexpected {out:?}");
+        };
+        assert!(!v.is_batch());
+        assert_eq!(v.id(), value(1).id());
+    }
+
+    #[test]
+    fn salvaged_batches_are_never_nested() {
+        // A batch value re-forwarded from a demoted coordinator must be
+        // proposed whole, not packed inside a fresh batch.
+        let inner = Value::batch(NodeId::new(1), 0, &[value(10), value(11)]);
+        let config = PaxosConfig::new(3)
+            .with_max_open_instances(1)
+            .with_batch_values(3);
+        let mut c = prepared_with(config);
+        c.propose(value(0)); // opens instance 0
+        c.propose(value(1));
+        c.propose(inner.clone());
+        c.propose(value(2));
+        // Backlog: [v1, batch, v2]. v1 flushes alone (the batch closes the
+        // run), then the salvaged batch alone, then v2.
+        let out = c.on_decided(InstanceId::ZERO);
+        let PaxosMessage::Phase2a { value: first, .. } = &out[0] else {
+            panic!("unexpected {out:?}");
+        };
+        assert_eq!(first.id(), value(1).id());
+        let out = c.on_decided(InstanceId::new(1));
+        let PaxosMessage::Phase2a { value: second, .. } = &out[0] else {
+            panic!("unexpected {out:?}");
+        };
+        assert_eq!(second.id(), inner.id());
+        assert_eq!(second.components().unwrap().len(), 2);
     }
 
     #[test]

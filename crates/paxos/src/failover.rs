@@ -38,6 +38,9 @@ use crate::types::Round;
 pub struct RoundChangeTimer {
     id: NodeId,
     n: usize,
+    /// Leadership rotation offset — the consensus group id under sharding
+    /// (see [`Round::coordinator_at`]); 0 for a single-group deployment.
+    offset: u32,
     timeout: u64,
     current_round: Round,
     last_progress: u64,
@@ -47,17 +50,29 @@ pub struct RoundChangeTimer {
 
 impl RoundChangeTimer {
     /// Creates a timer for process `id` in a system of `n`, suspecting after
-    /// `timeout` ticks without progress.
+    /// `timeout` ticks without progress. Watches group 0; sharded runtimes
+    /// use [`RoundChangeTimer::for_group`], one timer per group.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0` or `timeout == 0`.
     pub fn new(id: NodeId, n: usize, timeout: u64, now: u64) -> Self {
+        Self::for_group(id, n, 0, timeout, now)
+    }
+
+    /// Creates a timer watching consensus group `group`, whose round `r` is
+    /// led by process `(r + group) mod n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `timeout == 0`.
+    pub fn for_group(id: NodeId, n: usize, group: u32, timeout: u64, now: u64) -> Self {
         assert!(n > 0, "system must have processes");
         assert!(timeout > 0, "timeout must be positive");
         RoundChangeTimer {
             id,
             n,
+            offset: group,
             timeout,
             current_round: Round::ZERO,
             last_progress: now,
@@ -93,7 +108,7 @@ impl RoundChangeTimer {
             return None;
         }
         let next = self.current_round.next();
-        if next.coordinator(self.n) != self.id {
+        if next.coordinator_at(self.offset, self.n) != self.id {
             return None;
         }
         if self.fired_for == Some(next) {
@@ -163,5 +178,16 @@ mod tests {
     #[should_panic(expected = "timeout must be positive")]
     fn zero_timeout_panics() {
         RoundChangeTimer::new(NodeId::new(0), 3, 0, 0);
+    }
+
+    #[test]
+    fn group_timer_tracks_offset_rotation() {
+        // Group 1 of 3: round 1 is led by (1 + 1) mod 3 = process 2, so
+        // process 1 (round 1's group-0 leader) must stay quiet and process
+        // 2 fires.
+        let mut p1 = RoundChangeTimer::for_group(NodeId::new(1), 3, 1, 100, 0);
+        assert_eq!(p1.suspect(1000), None);
+        let mut p2 = RoundChangeTimer::for_group(NodeId::new(2), 3, 1, 100, 0);
+        assert_eq!(p2.suspect(1000), Some(Round::new(1)));
     }
 }

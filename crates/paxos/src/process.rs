@@ -162,9 +162,19 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
         self.current_round
     }
 
-    /// The coordinator of the highest round this process has observed.
+    /// The coordinator of the highest round this process has observed, in
+    /// this process's consensus group.
     pub fn current_coordinator(&self) -> NodeId {
-        self.current_round.coordinator(self.config.n)
+        self.current_round
+            .coordinator_at(self.config.group, self.config.n)
+    }
+
+    /// Scopes a protocol instance for trace events: the group id rides in
+    /// the top bits (identity for group 0), matching
+    /// [`semantic_gossip::group::group_scoped_instance`] so gossip-layer
+    /// `wire_tagged` joins stay exact under sharding.
+    fn scoped_instance(&self, instance: u64) -> u64 {
+        semantic_gossip::group::group_scoped_instance(self.config.group, instance)
     }
 
     /// Whether this process is currently acting as coordinator.
@@ -288,7 +298,7 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
                     self.observer.record(Event::Phase1a {
                         node: self.id.as_u32(),
                         round: round.as_u32(),
-                        from_instance: from_instance.as_u64(),
+                        from_instance: self.scoped_instance(from_instance.as_u64()),
                     });
                 }
                 let mut out = self.observe_round(round);
@@ -330,7 +340,7 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
                     let id = value.id();
                     self.observer.record(Event::Phase2a {
                         node: self.id.as_u32(),
-                        instance: instance.as_u64(),
+                        instance: self.scoped_instance(instance.as_u64()),
                         round: round.as_u32(),
                         origin: id.origin.as_u32(),
                         seq: id.seq,
@@ -353,7 +363,7 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
                 if O::ENABLED {
                     self.observer.record(Event::Phase2b {
                         node: self.id.as_u32(),
-                        instance: instance.as_u64(),
+                        instance: self.scoped_instance(instance.as_u64()),
                         round: round.as_u32(),
                         voters: voters.len() as u64,
                     });
@@ -365,7 +375,7 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
                             let id = decided.id();
                             self.observer.record(Event::QuorumReached {
                                 node: self.id.as_u32(),
-                                instance: instance.as_u64(),
+                                instance: self.scoped_instance(instance.as_u64()),
                                 origin: id.origin.as_u32(),
                                 seq: id.seq,
                             });
@@ -418,14 +428,14 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
                 if d.duplicate {
                     self.observer.record(Event::DuplicateSuppressed {
                         node: self.id.as_u32(),
-                        instance: d.instance.as_u64(),
+                        instance: self.scoped_instance(d.instance.as_u64()),
                         origin: id.origin.as_u32(),
                         seq: id.seq,
                     });
                 } else {
                     self.observer.record(Event::OrderedDelivered {
                         node: self.id.as_u32(),
-                        instance: d.instance.as_u64(),
+                        instance: self.scoped_instance(d.instance.as_u64()),
                         origin: id.origin.as_u32(),
                         seq: id.seq,
                     });
@@ -448,7 +458,7 @@ impl<S: StableStorage, O: Observer> PaxosProcess<S, O> {
             let id = value.id();
             self.observer.record(Event::Decided {
                 node: self.id.as_u32(),
-                instance: instance.as_u64(),
+                instance: self.scoped_instance(instance.as_u64()),
                 origin: id.origin.as_u32(),
                 seq: id.seq,
             });

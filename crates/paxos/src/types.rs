@@ -83,12 +83,35 @@ impl Round {
     /// deployment) leads round 0 and leadership rotates deterministically on
     /// round changes.
     ///
+    /// The raw modulo deliberately assumes **dense process ids `0..n`** —
+    /// that is the deployment model everywhere in this codebase (ids index
+    /// overlay nodes and region maps). This is the single-group case of
+    /// [`Round::coordinator_at`] with offset 0; sharded deployments pass the
+    /// group id as the offset so each group's leadership rotation starts at
+    /// a different process.
+    ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn coordinator(self, n: usize) -> NodeId {
+        self.coordinator_at(0, n)
+    }
+
+    /// The coordinator of this round with a rotation `offset`: round `r` is
+    /// led by process `(r + offset) mod n`. Consensus group `g` of a sharded
+    /// deployment uses `offset = g`, so at any moment the `G` groups' round-0
+    /// coordinators are spread over `min(G, n)` distinct processes instead
+    /// of all landing on process 0.
+    ///
+    /// The sum is computed in `u64`, so `r + offset` cannot wrap for any
+    /// `u32` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coordinator_at(self, offset: u32, n: usize) -> NodeId {
         assert!(n > 0, "coordinator of an empty system");
-        NodeId::new(self.0 % n as u32)
+        NodeId::new(((self.0 as u64 + offset as u64) % n as u64) as u32)
     }
 }
 
@@ -154,6 +177,13 @@ impl Wire for ValueId {
     }
 }
 
+/// Tag bit in [`ValueId::seq`] marking a coordinator-built *batch* value.
+///
+/// [`ValueId::as_u64`] packs the sequence number into 40 bits; client
+/// submission counters never reach bit 39, so the bit cleanly separates the
+/// batch id space (origin = the batching coordinator) from client ids.
+pub const BATCH_SEQ_BIT: u64 = 1 << 39;
+
 /// A client-proposed value.
 ///
 /// The payload is reference-counted so cloning a value — which gossip does
@@ -197,6 +227,61 @@ impl Value {
     /// Encoded size of this value on the wire.
     pub fn wire_size(&self) -> usize {
         self.encoded_len()
+    }
+
+    /// Packs several client values into one *batch* value deciding them all
+    /// in a single instance. The id's origin is the batching coordinator and
+    /// its sequence number carries [`BATCH_SEQ_BIT`]; the payload is the
+    /// wire encoding of the component list, recovered by
+    /// [`Value::components`] at delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two components are given, if `batch_seq`
+    /// overflows the 39-bit space below the tag bit, or (debug) if a
+    /// component is itself a batch — batches never nest.
+    pub fn batch(coordinator: NodeId, batch_seq: u64, components: &[Value]) -> Value {
+        assert!(components.len() >= 2, "a batch needs at least two values");
+        assert!(batch_seq < BATCH_SEQ_BIT, "batch sequence overflow");
+        debug_assert!(
+            components.iter().all(|c| !c.is_batch()),
+            "batches must not nest"
+        );
+        let mut payload = Vec::new();
+        (components.len() as u64).encode(&mut payload);
+        for c in components {
+            c.encode(&mut payload);
+        }
+        Value {
+            id: ValueId::new(coordinator, BATCH_SEQ_BIT | batch_seq),
+            payload: Arc::new(payload),
+        }
+    }
+
+    /// Whether this value is a coordinator-built batch.
+    pub fn is_batch(&self) -> bool {
+        self.id.seq & BATCH_SEQ_BIT != 0
+    }
+
+    /// The client values packed by [`Value::batch`], or `None` for a plain
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload does not decode as a component list — batch
+    /// payloads are only ever produced by `Value::batch`, so a mismatch is
+    /// corruption, not input.
+    pub fn components(&self) -> Option<Vec<Value>> {
+        if !self.is_batch() {
+            return None;
+        }
+        let mut r = Reader::new(&self.payload);
+        let count = u64::decode(&mut r).expect("corrupt batch header");
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            out.push(Value::decode(&mut r).expect("corrupt batch component"));
+        }
+        Some(out)
     }
 }
 
@@ -245,6 +330,28 @@ mod tests {
         Round::ZERO.coordinator(0);
     }
 
+    /// Pins the group-aware mapping: group `g`'s round `r` is led by
+    /// `(r + g) mod n`, group 0 matches the plain rotation exactly, and
+    /// the u64 sum never wraps even at the u32 extremes.
+    #[test]
+    fn coordinator_offset_staggers_groups() {
+        for r in 0..20u32 {
+            assert_eq!(
+                Round::new(r).coordinator_at(0, 5),
+                Round::new(r).coordinator(5)
+            );
+        }
+        assert_eq!(Round::ZERO.coordinator_at(0, 5), NodeId::new(0));
+        assert_eq!(Round::ZERO.coordinator_at(1, 5), NodeId::new(1));
+        assert_eq!(Round::ZERO.coordinator_at(7, 5), NodeId::new(2));
+        assert_eq!(Round::new(3).coordinator_at(4, 5), NodeId::new(2));
+        // No u32 overflow: (u32::MAX + u32::MAX) mod 5 computed in u64.
+        assert_eq!(
+            Round::new(u32::MAX).coordinator_at(u32::MAX, 5),
+            NodeId::new(((u32::MAX as u64 * 2) % 5) as u32)
+        );
+    }
+
     #[test]
     fn value_id_packing_distinct() {
         let a = ValueId::new(NodeId::new(1), 5).as_u64();
@@ -274,6 +381,28 @@ mod tests {
         assert_eq!(Round::from_bytes(&r.to_bytes()).unwrap(), r);
         let vid = ValueId::new(NodeId::new(3), 42);
         assert_eq!(ValueId::from_bytes(&vid.to_bytes()).unwrap(), vid);
+    }
+
+    #[test]
+    fn batch_round_trips_components() {
+        let a = Value::new(NodeId::new(1), 5, b"aaa".to_vec());
+        let b = Value::new(NodeId::new(2), 9, b"bbbb".to_vec());
+        let batch = Value::batch(NodeId::new(0), 3, &[a.clone(), b.clone()]);
+        assert!(batch.is_batch());
+        assert!(!a.is_batch());
+        assert_eq!(batch.id(), ValueId::new(NodeId::new(0), BATCH_SEQ_BIT | 3));
+        assert_eq!(batch.components().unwrap(), vec![a.clone(), b.clone()]);
+        assert_eq!(a.components(), None);
+        // Batches survive the wire like any other value.
+        let decoded = Value::from_bytes(&batch.to_bytes()).unwrap();
+        assert_eq!(decoded.components().unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn singleton_batch_panics() {
+        let v = Value::new(NodeId::new(0), 0, vec![]);
+        let _ = Value::batch(NodeId::new(0), 0, &[v]);
     }
 
     #[test]

@@ -42,9 +42,10 @@ pub struct RunAudit {
     /// `(instance, value, suppressed_duplicate)` in delivery order. A
     /// recovered process restarts its log from instance 0 (volatile learner
     /// state is lost in the crash-recovery model), so each log is gap-free
-    /// from 0 by contract. The flag marks slots whose value the process had
-    /// already delivered at a lower instance and therefore applied as a
-    /// no-op.
+    /// from 0 by contract; an instance batching several client values
+    /// contributes one consecutive entry per component, all sharing the
+    /// instance. The flag marks slots whose value the process had already
+    /// delivered at a lower instance and therefore applied as a no-op.
     pub delivered: Vec<Vec<(u64, ValueId, bool)>>,
     /// Per process: `(time ns, promised round)` observations in time order,
     /// sampled at every crash instant, after every recovery, and at the end
@@ -271,14 +272,22 @@ impl SafetyAuditor {
         for (node, log) in run.delivered.iter().enumerate() {
             let node = node as u32;
             let mut seen_values = BTreeSet::new();
-            for (pos, &(instance, value, duplicate)) in log.iter().enumerate() {
-                if instance != pos as u64 {
+            // First instance the log has not covered yet. Instances must
+            // run 0, 1, 2, … with no holes; consecutive entries may share
+            // an instance (a batched instance delivers one entry per
+            // component), so an entry is legal at the next instance or at
+            // the one just filled.
+            let mut next_expected = 0u64;
+            for &(instance, value, duplicate) in log.iter() {
+                let in_current = instance.wrapping_add(1) == next_expected;
+                if instance != next_expected && !in_current {
                     report.violations.push(Violation::Gap {
                         node,
-                        expected: pos as u64,
+                        expected: next_expected,
                         found: instance,
                     });
                 }
+                next_expected = next_expected.max(instance.wrapping_add(1));
                 if duplicate {
                     if !seen_values.contains(&value) {
                         report.violations.push(Violation::UnjustifiedDuplicate {
@@ -448,6 +457,42 @@ mod tests {
                 node: 1,
                 expected: 1,
                 found: 2
+            }
+        )));
+    }
+
+    #[test]
+    fn batched_instances_share_consecutive_slots() {
+        // Instance 1 decided a batch of three client values: its entries
+        // share the instance and the log stays gap-free.
+        let seq = vec![
+            (0, vid(0, 0), false),
+            (1, vid(1, 0), false),
+            (1, vid(2, 0), false),
+            (1, vid(0, 1), false),
+            (2, vid(1, 1), false),
+        ];
+        let run = RunAudit {
+            n: 2,
+            delivered: vec![seq.clone(), seq],
+            promises: vec![vec![(0, 0)]; 2],
+            submitted: [vid(0, 0), vid(1, 0), vid(2, 0), vid(0, 1), vid(1, 1)]
+                .into_iter()
+                .collect(),
+        };
+        let report = SafetyAuditor::audit(&run);
+        assert!(report.is_clean(), "{report}");
+
+        // Revisiting an instance *after* a later one is still a gap.
+        let mut bad = run.clone();
+        bad.delivered[0].push((1, vid(1, 1), true));
+        let report = SafetyAuditor::audit(&bad);
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::Gap {
+                node: 0,
+                expected: 3,
+                found: 1
             }
         )));
     }

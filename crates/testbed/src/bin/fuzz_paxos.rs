@@ -34,6 +34,8 @@ fn usage(error: &str) -> ! {
          options:\n\
          \x20 --start N          first seed of a --seeds campaign (default 1)\n\
          \x20 --n N              system size (default 13)\n\
+         \x20 --groups N         consensus groups sharded over the substrate\n\
+         \x20                    (default 1; every shard audited independently)\n\
          \x20 --rate R           aggregate submission rate, values/s (default 26)\n\
          \x20 --warmup-ms MS     warm-up before the window (default 300)\n\
          \x20 --window-ms MS     measurement window (default 700)\n\
@@ -83,6 +85,7 @@ fn main() -> ExitCode {
             "--start" => start = parse(&mut args, "--start"),
             "--repro" => repro = Some(parse(&mut args, "--repro")),
             "--n" => config.n = parse(&mut args, "--n"),
+            "--groups" => config.groups = parse(&mut args, "--groups"),
             "--rate" => config.rate = parse(&mut args, "--rate"),
             "--warmup-ms" => config.warmup_ms = parse(&mut args, "--warmup-ms"),
             "--window-ms" => config.window_ms = parse(&mut args, "--window-ms"),
@@ -125,9 +128,10 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "[fuzz] {count} trial(s) from seed {start_seed}: n={}, rate={}, \
+        "[fuzz] {count} trial(s) from seed {start_seed}: n={}, groups={}, rate={}, \
          horizon={}ms+{}ms+{}ms, neutrality={}{}",
         config.n,
+        config.groups,
         config.rate,
         config.warmup_ms,
         config.window_ms,
@@ -180,6 +184,9 @@ fn main() -> ExitCode {
                 "--n {} --rate {} --warmup-ms {} --window-ms {} --drain-ms {}",
                 config.n, config.rate, config.warmup_ms, config.window_ms, config.drain_ms
             );
+            if config.groups > 1 {
+                flags.push_str(&format!(" --groups {}", config.groups));
+            }
             if !config.check_neutrality {
                 flags.push_str(" --no-neutrality");
             }

@@ -25,13 +25,12 @@ use obs::{
     TimedEvent,
 };
 use overlay::{connected_k_out, paper_fanout, Graph};
-use paxos::{
-    InstanceId, MemoryStorage, PaxosConfig, PaxosMessage, PaxosProcess, Round, Value, ValueId,
-};
+use paxos::{InstanceId, PaxosConfig, PaxosMessage, Round, Value, ValueId};
 use paxos_semantics::{PaxosSemantics, SemanticMode};
 use semantic_gossip::{
-    DuplicateFilter, EagerLazyConfig, EagerLazyNode, GossipConfig, GossipItem, GossipNode,
-    MessageId, NoSemantics, NodeId, Packet, RecentCache, Semantics, SlidingBloom,
+    DuplicateFilter, EagerLazyConfig, EagerLazyNode, GossipConfig, GossipItem, GossipNode, Grouped,
+    GroupedSemantics, MessageId, NoSemantics, NodeId, Packet, RecentCache, Semantics, SlidingBloom,
+    MAX_GROUPS,
 };
 use simnet::fault::{CrashSchedule, LinkCutSchedule, PartitionSchedule};
 use simnet::trace::{render_event, Tracer};
@@ -41,6 +40,7 @@ use simnet::{
 use std::collections::HashMap;
 
 use crate::audit::{RunAudit, SafetyAuditor};
+use crate::group_runtime::{shard_of, GroupRuntime};
 use crate::metrics::{RunMetrics, ValueFate};
 
 /// The communication substrate under evaluation.
@@ -129,6 +129,21 @@ impl Default for CpuCosts {
 pub struct ClusterParams {
     /// System size (number of Paxos processes).
     pub n: usize,
+    /// Number of independent consensus groups sharded over the one
+    /// substrate (≤ [`MAX_GROUPS`]). Client values are routed to groups by
+    /// a stable hash of their id ([`shard_of`]); group `g`'s round `r` is
+    /// led by process `(r + g) mod n`, so bootstrap leadership spreads
+    /// across the cluster. 1 — the default — is the paper's single-group
+    /// deployment.
+    pub groups: usize,
+    /// Client values the coordinator of each group may pack into one batch
+    /// instance under backpressure (1 = the paper's one-value-per-instance
+    /// behavior).
+    pub batch_values: usize,
+    /// Override for each group's open-instance pipeline window; `None`
+    /// keeps the [`PaxosConfig`] default. Small windows make a single
+    /// group RTT-bound, which is what the shard-scaling benchmark sweeps.
+    pub max_open_instances: Option<usize>,
     /// Communication substrate.
     pub setup: Setup,
     /// Root seed for all randomness in the run.
@@ -215,6 +230,9 @@ impl ClusterParams {
     pub fn paper(n: usize, setup: Setup) -> Self {
         ClusterParams {
             n,
+            groups: 1,
+            batch_values: 1,
+            max_open_instances: None,
             setup,
             seed: 1,
             value_size: 1024,
@@ -246,6 +264,45 @@ impl ClusterParams {
             flight_capacity: 1024,
             stall_after: SimDuration::from_secs(2),
         }
+    }
+
+    /// Shards client values over `groups` independent consensus groups
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is 0 or exceeds [`MAX_GROUPS`].
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        assert!(
+            groups >= 1 && groups <= MAX_GROUPS as usize,
+            "groups must be 1..={MAX_GROUPS}"
+        );
+        self.groups = groups;
+        self
+    }
+
+    /// Lets each group's coordinator pack up to `batch_values` client
+    /// values into one instance under backpressure (builder style).
+    pub fn with_batch_values(mut self, batch_values: usize) -> Self {
+        self.batch_values = batch_values;
+        self
+    }
+
+    /// Caps each group's open-instance pipeline window (builder style).
+    pub fn with_max_open_instances(mut self, window: usize) -> Self {
+        self.max_open_instances = Some(window);
+        self
+    }
+
+    /// The per-group Paxos configuration of this deployment.
+    fn group_config(&self, group: u32) -> PaxosConfig {
+        let mut config = PaxosConfig::new(self.n)
+            .with_group(group)
+            .with_batch_values(self.batch_values);
+        if let Some(w) = self.max_open_instances {
+            config = config.with_max_open_instances(w);
+        }
+        config
     }
 
     /// Adds a crash window for a process (builder style).
@@ -419,16 +476,22 @@ impl DuplicateFilter for AnyFilter {
     }
 }
 
+/// What actually travels on the shared substrate: a Paxos message tagged
+/// with its consensus group. The tag keys the duplicate caches and the
+/// per-group semantic state, so co-hosted groups never alias. A
+/// single-group run tags everything group 0.
+type WireMsg = Grouped<PaxosMessage>;
+
 /// Gossip nodes carry a [`RingObserver`] like the Paxos processes do: with
 /// `trace_capacity` 0 (the default) the ring records nothing, and with
 /// tracing on the hot-path events (receive/dedup/filter/aggregate/send)
 /// land in the same merged JSONL stream the analyzer consumes.
-type Gossip = GossipNode<PaxosMessage, AnySemantics, AnyFilter, RingObserver>;
+type Gossip = GossipNode<WireMsg, GroupedSemantics<AnySemantics>, AnyFilter, RingObserver>;
 
 /// The eager/lazy node uses the same duplicate filter and observer plumbing
 /// as the push node; there is no semantics hook (the tree already removes
 /// the redundancy that filtering/aggregation suppress).
-type Plumtree = EagerLazyNode<PaxosMessage, AnyFilter, RingObserver>;
+type Plumtree = EagerLazyNode<WireMsg, AnyFilter, RingObserver>;
 
 enum Comms {
     Direct,
@@ -437,7 +500,10 @@ enum Comms {
 }
 
 struct Node {
-    paxos: PaxosProcess<MemoryStorage, RingObserver>,
+    /// The consensus groups this process participates in — one
+    /// [`GroupRuntime`] per group, all multiplexed over the node's single
+    /// communication layer and CPU.
+    groups: Vec<GroupRuntime>,
     comms: Comms,
     cpu: NodeCpu,
     loss: LossInjector,
@@ -446,39 +512,26 @@ struct Node {
     /// Messages physically sent.
     raw_sent: u64,
     flush_scheduled: bool,
-    /// Instance → value-id of everything this node delivered in order, for
-    /// the end-of-run safety audit.
-    delivered_log: Vec<(InstanceId, ValueId, bool)>,
     /// When this process is down (crash-recovery experiments).
     schedule: CrashSchedule,
-    /// Round-change timer, when failover is enabled.
-    timer: Option<paxos::RoundChangeTimer>,
 }
 
 enum Event {
     /// Wire arrival at `dst` (loss checked here, then CPU charged).
-    Arrival {
-        dst: u32,
-        from: u32,
-        msg: PaxosMessage,
-    },
+    Arrival { dst: u32, from: u32, msg: WireMsg },
     /// CPU finished receiving: hand to the communication layer.
-    Handle {
-        dst: u32,
-        from: u32,
-        msg: PaxosMessage,
-    },
+    Handle { dst: u32, from: u32, msg: WireMsg },
     /// Wire arrival of an eager/lazy packet (payload or control) at `dst`.
     PacketArrival {
         dst: u32,
         from: u32,
-        pkt: Packet<PaxosMessage>,
+        pkt: Packet<WireMsg>,
     },
     /// CPU finished receiving an eager/lazy packet: hand to the substrate.
     PacketHandle {
         dst: u32,
         from: u32,
-        pkt: Packet<PaxosMessage>,
+        pkt: Packet<WireMsg>,
     },
     /// Periodic miss-timer poll of every eager/lazy node (IHAVE → IWANT
     /// escalation happens here).
@@ -526,10 +579,10 @@ struct Cluster {
     link_rng: rand::rngs::StdRng,
     tracked: HashMap<ValueId, Tracked>,
     tracer: Tracer,
-    /// Per process: `(time ns, promised round)` observations for the
-    /// promise-monotonicity audit, sampled at crash instants, after
-    /// recovery, and at the end of the run.
-    promise_log: Vec<Vec<(u64, u32)>>,
+    /// Per process, per group: `(time ns, promised round)` observations
+    /// for the promise-monotonicity audit, sampled at crash instants,
+    /// after recovery, and at the end of the run.
+    promise_log: Vec<Vec<Vec<(u64, u32)>>>,
     /// Paxos events salvaged from processes replaced on crash recovery.
     paxos_trace_backlog: Vec<TimedEvent>,
     received_by_kind: [u64; paxos::message::Kind::COUNT],
@@ -544,20 +597,45 @@ struct Cluster {
     /// Scratch buffer for flush drains, reused across every `Flush` event
     /// (its capacity stabilizes after warmup, so steady state doesn't
     /// allocate per flush).
-    scratch_outgoing: Vec<(NodeId, PaxosMessage)>,
+    scratch_outgoing: Vec<(NodeId, WireMsg)>,
     /// Scratch buffer for delivery drains, reused across `pump_node` calls.
-    scratch_deliveries: Vec<PaxosMessage>,
+    scratch_deliveries: Vec<WireMsg>,
     /// Scratch buffer for eager/lazy packet drains, reused across flushes.
-    scratch_packets: Vec<(NodeId, Packet<PaxosMessage>)>,
+    scratch_packets: Vec<(NodeId, Packet<WireMsg>)>,
 }
 
 impl Cluster {
+    /// The per-group semantic layers of one gossip node, dispatching on
+    /// the wire group tag so each group filters and aggregates in
+    /// isolation.
+    fn build_semantics(params: &ClusterParams) -> GroupedSemantics<AnySemantics> {
+        GroupedSemantics::new(
+            (0..params.groups as u32)
+                .map(|g| match params.setup {
+                    Setup::Gossip => AnySemantics::None(NoSemantics),
+                    Setup::SemanticGossip => {
+                        AnySemantics::Paxos(PaxosSemantics::full(params.group_config(g)))
+                    }
+                    Setup::Custom(mode) => {
+                        AnySemantics::Paxos(PaxosSemantics::new(params.group_config(g), mode))
+                    }
+                    Setup::Baseline | Setup::EagerLazyGossip => {
+                        unreachable!("semantics on a non-gossip setup")
+                    }
+                })
+                .collect(),
+        )
+    }
+
     fn build(params: ClusterParams) -> Cluster {
         assert!(params.n > 0, "cluster needs processes");
         assert!(params.rate > 0.0, "submission rate must be positive");
+        assert!(
+            params.groups >= 1 && params.groups <= MAX_GROUPS as usize,
+            "groups must be 1..={MAX_GROUPS}"
+        );
         let seeds = SeedSplitter::new(params.seed);
         let regions = RegionMap::paper_placement(params.n);
-        let config = PaxosConfig::new(params.n);
 
         let overlay = if params.setup.uses_gossip() {
             Some(params.overlay.clone().unwrap_or_else(|| {
@@ -607,21 +685,11 @@ impl Cluster {
                                 RingObserver::with_capacity(params.ring_capacity()),
                             )))
                         } else {
-                            let semantics = match setup {
-                                Setup::Gossip => AnySemantics::None(NoSemantics),
-                                Setup::SemanticGossip => {
-                                    AnySemantics::Paxos(PaxosSemantics::full(config.clone()))
-                                }
-                                Setup::Custom(mode) => {
-                                    AnySemantics::Paxos(PaxosSemantics::new(config.clone(), *mode))
-                                }
-                                Setup::Baseline | Setup::EagerLazyGossip => unreachable!(),
-                            };
                             Comms::Gossip(Box::new(GossipNode::with_observer(
                                 NodeId::new(i),
                                 peers,
                                 params.gossip,
-                                semantics,
+                                Cluster::build_semantics(&params),
                                 filter,
                                 RingObserver::with_capacity(params.ring_capacity()),
                             )))
@@ -630,23 +698,23 @@ impl Cluster {
                     (_, None) => unreachable!("gossip setup without overlay"),
                 };
                 Node {
-                    paxos: PaxosProcess::with_observer(
-                        NodeId::new(i),
-                        config.clone(),
-                        MemoryStorage::default(),
-                        RingObserver::with_capacity(params.ring_capacity()),
-                    ),
+                    groups: (0..params.groups as u32)
+                        .map(|g| {
+                            GroupRuntime::new(
+                                NodeId::new(i),
+                                params.group_config(g),
+                                params.ring_capacity(),
+                                params.failover.map(|t| t.as_nanos()),
+                            )
+                        })
+                        .collect(),
                     comms,
                     cpu: NodeCpu::new(params.cpu.recv),
                     loss: LossInjector::new(params.loss_rate, seeds.rng("loss-injector", i as u64)),
                     raw_received: 0,
                     raw_sent: 0,
                     flush_scheduled: false,
-                    delivered_log: Vec::new(),
                     schedule: CrashSchedule::new(std::mem::take(&mut windows[i as usize])),
-                    timer: params.failover.map(|t| {
-                        paxos::RoundChangeTimer::new(NodeId::new(i), params.n, t.as_nanos(), 0)
-                    }),
                 }
             })
             .collect();
@@ -677,7 +745,7 @@ impl Cluster {
             queue: EventQueue::new(),
             link_rng: seeds.rng("links", 0),
             tracked: HashMap::new(),
-            promise_log: vec![Vec::new(); params.n],
+            promise_log: vec![vec![Vec::new(); params.groups]; params.n],
             paxos_trace_backlog: Vec::new(),
             tracer: if params.trace_capacity > 0 {
                 Tracer::enabled(params.trace_capacity)
@@ -701,7 +769,9 @@ impl Cluster {
     /// the next interaction carry `now`.
     fn stamp(&mut self, node: u32, now: SimTime) {
         let n = &mut self.nodes[node as usize];
-        n.paxos.observer_mut().set_now(now.as_nanos());
+        for g in &mut n.groups {
+            g.paxos.observer_mut().set_now(now.as_nanos());
+        }
         match &mut n.comms {
             Comms::Gossip(g) => {
                 g.observer_mut().set_now(now.as_nanos());
@@ -728,11 +798,18 @@ impl Cluster {
     }
 
     fn bootstrap(&mut self) {
-        // The elected coordinator (process 0, North Virginia) starts round 0.
-        self.stamp(0, SimTime::ZERO);
-        let out = self.nodes[0].paxos.start_round(Round::ZERO);
-        self.dispatch_outbound(0, out, SimTime::ZERO);
-        self.pump_node(0, SimTime::ZERO);
+        // Each group's elected round-0 coordinator — process `g mod n`,
+        // the rotation's offset — starts its round 0. A single-group run
+        // reproduces the paper: process 0 (North Virginia) coordinates.
+        for g in 0..self.params.groups as u32 {
+            let leader = g % self.params.n as u32;
+            self.stamp(leader, SimTime::ZERO);
+            let out = self.nodes[leader as usize].groups[g as usize]
+                .paxos
+                .start_round(Round::ZERO);
+            self.dispatch_outbound(leader, g, out, SimTime::ZERO);
+            self.pump_node(leader, SimTime::ZERO);
+        }
 
         // Stagger client start within one interval to avoid lockstep.
         let n_clients = self.clients.len();
@@ -826,8 +903,8 @@ impl Cluster {
                     return;
                 }
                 node.raw_received += 1;
-                self.received_by_kind[msg.kind().index()] += 1;
-                let parts = match &msg {
+                self.received_by_kind[msg.inner.kind().index()] += 1;
+                let parts = match &msg.inner {
                     PaxosMessage::Phase2b { voters, .. } => voters.len(),
                     _ => 1,
                 };
@@ -841,7 +918,7 @@ impl Cluster {
                 // the transport cell of this class; the per-extra-part
                 // disaggregation overhead (only non-zero for aggregated
                 // votes) is the semantic layer's coordination work.
-                let class = msg.kind().name();
+                let class = msg.inner.kind().name();
                 self.ledger
                     .add_in(SUBSYS_TRANSPORT, class, msg.wire_size() as u64);
                 self.ledger
@@ -865,8 +942,11 @@ impl Cluster {
                     }
                     Comms::EagerLazy(_) => unreachable!("eager/lazy traffic uses PacketHandle"),
                     Comms::Direct => {
-                        let out = self.nodes[dst as usize].paxos.handle(msg);
-                        self.dispatch_outbound(dst, out, now);
+                        let group = msg.group;
+                        let out = self.nodes[dst as usize].groups[group as usize]
+                            .paxos
+                            .handle(msg.inner);
+                        self.dispatch_outbound(dst, group, out, now);
                     }
                 }
                 self.pump_node(dst, now);
@@ -912,8 +992,8 @@ impl Cluster {
                 let size = pkt.wire_size();
                 let class = match &pkt {
                     Packet::Payload(_, m) => {
-                        self.received_by_kind[m.kind().index()] += 1;
-                        m.kind().name()
+                        self.received_by_kind[m.inner.kind().index()] += 1;
+                        m.inner.kind().name()
                     }
                     other => other.control_class().expect("non-payload packet"),
                 };
@@ -1008,8 +1088,12 @@ impl Cluster {
                     return;
                 }
                 self.stamp(node, now);
-                let out = self.nodes[node as usize].paxos.submit(value);
-                self.dispatch_outbound(node, out, now);
+                // Shard the value to its consensus group by id hash.
+                let group = shard_of(value.id(), self.params.groups);
+                let out = self.nodes[node as usize].groups[group as usize]
+                    .paxos
+                    .submit(value);
+                self.dispatch_outbound(node, group, out, now);
                 self.pump_node(node, now);
             }
             Event::Flush { node } => {
@@ -1046,11 +1130,19 @@ impl Cluster {
                 }
             }
             Event::Retransmit => {
-                if self.is_up(0, now) {
-                    self.stamp(0, now);
-                    let out = self.nodes[0].paxos.retransmit();
-                    self.dispatch_outbound(0, out, now);
-                    self.pump_node(0, now);
+                // Each group's bootstrap coordinator re-pushes its open
+                // proposals (like failover, retransmission follows the
+                // group's own leadership rotation).
+                for g in 0..self.params.groups as u32 {
+                    let leader = g % self.params.n as u32;
+                    if self.is_up(leader, now) {
+                        self.stamp(leader, now);
+                        let out = self.nodes[leader as usize].groups[g as usize]
+                            .paxos
+                            .retransmit();
+                        self.dispatch_outbound(leader, g, out, now);
+                        self.pump_node(leader, now);
+                    }
                 }
                 if let Some(rt) = self.params.retransmit {
                     self.queue.schedule(now + rt, Event::Retransmit);
@@ -1074,60 +1166,54 @@ impl Cluster {
                     return;
                 }
                 let idx = node as usize;
-                let current = self.nodes[idx].paxos.current_round();
-                let Some(timer) = self.nodes[idx].timer.as_mut() else {
-                    return;
-                };
-                timer.observe_round(current, now.as_nanos());
-                if let Some(round) = timer.suspect(now.as_nanos()) {
-                    if round > current {
-                        self.stamp(node, now);
-                        let out = self.nodes[idx].paxos.start_round(round);
-                        self.dispatch_outbound(node, out, now);
-                        self.pump_node(node, now);
+                for g in 0..self.nodes[idx].groups.len() {
+                    let current = self.nodes[idx].groups[g].paxos.current_round();
+                    let Some(timer) = self.nodes[idx].groups[g].timer.as_mut() else {
+                        continue;
+                    };
+                    timer.observe_round(current, now.as_nanos());
+                    if let Some(round) = timer.suspect(now.as_nanos()) {
+                        if round > current {
+                            self.stamp(node, now);
+                            let out = self.nodes[idx].groups[g].paxos.start_round(round);
+                            self.dispatch_outbound(node, g as u32, out, now);
+                            self.pump_node(node, now);
+                        }
                     }
                 }
             }
         }
     }
 
-    /// Records a `(time, promised round)` observation of a process's
-    /// durable promise for the promise-monotonicity audit.
+    /// Records a `(time, promised round)` observation of every group's
+    /// durable promise at a process, for the promise-monotonicity audit.
     fn snapshot_promise(&mut self, node: u32, now: SimTime) {
-        let promised = self.nodes[node as usize].paxos.promised_round();
-        self.promise_log[node as usize].push((now.as_nanos(), promised.as_u32()));
+        for (g, rt) in self.nodes[node as usize].groups.iter().enumerate() {
+            let promised = rt.paxos.promised_round();
+            self.promise_log[node as usize][g].push((now.as_nanos(), promised.as_u32()));
+        }
     }
 
-    /// Rebuilds a recovered process from its acceptor's stable storage:
+    /// Rebuilds a recovered process from its acceptors' stable storage:
     /// learner, coordinator and gossip state are volatile and start fresh.
     fn recover_node(&mut self, node: u32) {
         let now = self.queue.now();
         self.tracer.record(now, ObsEvent::Recovered { node });
         let idx = node as usize;
-        let config = PaxosConfig::new(self.params.n);
-        let mut old = std::mem::replace(
-            &mut self.nodes[idx].paxos,
-            PaxosProcess::with_observer(
+        for g in 0..self.params.groups as u32 {
+            // The crashed incarnation's events survive in the run's trace
+            // even though the process itself is rebuilt from stable
+            // storage.
+            let salvaged = self.nodes[idx].groups[g as usize].recover(
                 NodeId::new(node),
-                config.clone(),
-                MemoryStorage::default(),
-                RingObserver::with_capacity(0),
-            ),
-        );
-        // The crashed incarnation's events survive in the run's trace even
-        // though the process itself is rebuilt from stable storage.
-        self.paxos_trace_backlog.extend(old.observer_mut().drain());
-        let storage = old.into_acceptor_storage();
-        self.nodes[idx].paxos = PaxosProcess::with_observer(
-            NodeId::new(node),
-            config.clone(),
-            storage,
-            RingObserver::with_capacity(self.params.ring_capacity()),
-        );
-        self.nodes[idx].delivered_log.clear();
+                self.params.group_config(g),
+                self.params.ring_capacity(),
+            );
+            self.paxos_trace_backlog.extend(salvaged);
+        }
         self.nodes[idx].flush_scheduled = false;
         if let Comms::Gossip(old_gossip) = &mut self.nodes[idx].comms {
-            // Like the Paxos observer above, the crashed gossip layer's
+            // Like the Paxos observers above, the crashed gossip layer's
             // events stay in the run's trace.
             self.paxos_trace_backlog
                 .extend(old_gossip.observer_mut().drain());
@@ -1137,12 +1223,7 @@ impl Cluster {
                 .iter()
                 .map(|&p| NodeId::new(p as u32))
                 .collect();
-            let semantics = match self.params.setup {
-                Setup::Gossip => AnySemantics::None(NoSemantics),
-                Setup::SemanticGossip => AnySemantics::Paxos(PaxosSemantics::full(config)),
-                Setup::Custom(mode) => AnySemantics::Paxos(PaxosSemantics::new(config, mode)),
-                Setup::Baseline | Setup::EagerLazyGossip => unreachable!(),
-            };
+            let semantics = Cluster::build_semantics(&self.params);
             let filter = AnyFilter::build(self.params.dedup, self.params.gossip.recent_cache_size);
             self.nodes[idx].comms = Comms::Gossip(Box::new(GossipNode::with_observer(
                 NodeId::new(node),
@@ -1182,26 +1263,36 @@ impl Cluster {
         self.snapshot_promise(node, now);
     }
 
-    /// Routes Paxos outbound messages through the node's substrate.
-    fn dispatch_outbound(&mut self, node: u32, out: Vec<paxos::Outbound>, now: SimTime) {
+    /// Routes one group's Paxos outbound messages through the node's
+    /// substrate, tagging each with its group for the shared wire.
+    fn dispatch_outbound(
+        &mut self,
+        node: u32,
+        group: u32,
+        out: Vec<paxos::Outbound>,
+        now: SimTime,
+    ) {
         for o in out {
+            let msg = Grouped::new(group, o.msg);
             match &mut self.nodes[node as usize].comms {
                 Comms::Gossip(g) => {
                     // Under gossip, every message is broadcast (§3.1); the
                     // route tag is irrelevant.
-                    g.broadcast(o.msg);
+                    g.broadcast(msg);
                 }
                 Comms::EagerLazy(p) => {
-                    p.broadcast(o.msg);
+                    p.broadcast(msg);
                 }
                 Comms::Direct => match o.route {
                     paxos::Route::ToCoordinator => {
-                        let coord = self.nodes[node as usize].paxos.current_coordinator();
-                        self.send_physical(node, coord.as_u32(), o.msg, now);
+                        let coord = self.nodes[node as usize].groups[group as usize]
+                            .paxos
+                            .current_coordinator();
+                        self.send_physical(node, coord.as_u32(), msg, now);
                     }
                     paxos::Route::ToAll => {
                         for dst in 0..self.params.n as u32 {
-                            self.send_physical(node, dst, o.msg.clone(), now);
+                            self.send_physical(node, dst, msg.clone(), now);
                         }
                     }
                 },
@@ -1224,8 +1315,11 @@ impl Cluster {
                 break;
             }
             for msg in deliveries.drain(..) {
-                let out = self.nodes[node as usize].paxos.handle(msg);
-                self.dispatch_outbound(node, out, now);
+                let group = msg.group;
+                let out = self.nodes[node as usize].groups[group as usize]
+                    .paxos
+                    .handle(msg.inner);
+                self.dispatch_outbound(node, group, out, now);
             }
         }
         self.scratch_deliveries = deliveries;
@@ -1248,46 +1342,58 @@ impl Cluster {
     }
 
     fn harvest_decisions(&mut self, node: u32, now: SimTime) {
-        let delivered = self.nodes[node as usize].paxos.take_delivered();
-        if delivered.is_empty() {
-            return;
-        }
-        if let Some(timer) = self.nodes[node as usize].timer.as_mut() {
-            timer.on_progress(now.as_nanos());
-        }
+        let idx = node as usize;
         let is_attach = self.clients.iter().any(|c| c.attach == node);
-        for d in delivered {
-            let id = d.value.id();
-            self.nodes[node as usize]
-                .delivered_log
-                .push((d.instance, id, d.duplicate));
-            if d.duplicate {
-                // The slot re-decides an already-applied value (two rounds'
-                // coordinators assigned it two instances): a no-op for the
-                // application, recorded for the audit only.
+        for g in 0..self.nodes[idx].groups.len() {
+            let delivered = self.nodes[idx].groups[g].paxos.take_delivered();
+            if delivered.is_empty() {
                 continue;
             }
-            // The client of this process measures latency when its own
-            // value is delivered in total order (§4.2).
-            if is_attach && id.origin.as_u32() == node {
-                if let Some(t) = self.tracked.get_mut(&id) {
-                    if t.ordered_at.is_none() {
-                        t.ordered_at = Some(now);
+            if let Some(timer) = self.nodes[idx].groups[g].timer.as_mut() {
+                timer.on_progress(now.as_nanos());
+            }
+            for d in delivered {
+                // A batched instance decides several client values at once:
+                // the audit log and the latency tracker both see one entry
+                // per component, under the batch's instance slot.
+                let ids: Vec<ValueId> = match d.value.components() {
+                    Some(parts) => parts.iter().map(|v| v.id()).collect(),
+                    None => vec![d.value.id()],
+                };
+                for id in ids {
+                    self.nodes[idx].groups[g]
+                        .delivered_log
+                        .push((d.instance, id, d.duplicate));
+                    if d.duplicate {
+                        // The slot re-decides an already-applied value (two
+                        // rounds' coordinators assigned it two instances): a
+                        // no-op for the application, recorded for the audit
+                        // only.
+                        continue;
+                    }
+                    // The client of this process measures latency when its
+                    // own value is delivered in total order (§4.2).
+                    if is_attach && id.origin.as_u32() == node {
+                        if let Some(t) = self.tracked.get_mut(&id) {
+                            if t.ordered_at.is_none() {
+                                t.ordered_at = Some(now);
+                            }
+                        }
                     }
                 }
             }
-        }
-        // Periodically GC the semantic layer's per-peer summaries.
-        let watermark = self.nodes[node as usize].paxos.learner().next_to_deliver();
-        if watermark.as_u64().is_multiple_of(256) {
-            if let Comms::Gossip(g) = &mut self.nodes[node as usize].comms {
-                let keep = InstanceId::new(watermark.as_u64().saturating_sub(1024));
-                g.semantics_mut().gc(keep);
+            // Periodically GC this group's per-peer semantic summaries.
+            let watermark = self.nodes[idx].groups[g].paxos.learner().next_to_deliver();
+            if watermark.as_u64().is_multiple_of(256) {
+                if let Comms::Gossip(gos) = &mut self.nodes[idx].comms {
+                    let keep = InstanceId::new(watermark.as_u64().saturating_sub(1024));
+                    gos.semantics_mut().get_mut(g as u32).gc(keep);
+                }
             }
         }
     }
 
-    fn send_physical(&mut self, from: u32, to: u32, msg: PaxosMessage, now: SimTime) {
+    fn send_physical(&mut self, from: u32, to: u32, msg: WireMsg, now: SimTime) {
         let size = msg.wire_size();
         if from == to {
             // Local loop-back (direct mode self-delivery): no link, no send
@@ -1305,7 +1411,7 @@ impl Cluster {
         // `wire_frame` event `tracetool ledger` replays. The class rides
         // inline so attribution survives ring eviction and covers
         // drain-time aggregates whose fresh wire ids are never tagged.
-        let class = msg.kind().name();
+        let class = msg.inner.kind().name();
         self.ledger.add_out(SUBSYS_TRANSPORT, class, size as u64);
         self.ledger
             .charge_cpu(SUBSYS_TRANSPORT, class, send_cost.as_nanos());
@@ -1331,13 +1437,7 @@ impl Cluster {
     /// Eager/lazy counterpart of [`send_physical`]: ships a Plumtree packet
     /// (full payload or compact control frame) across the modelled link.
     /// Packets are never self-addressed, so there is no loop-back case.
-    fn send_packet_physical(
-        &mut self,
-        from: u32,
-        to: u32,
-        pkt: Packet<PaxosMessage>,
-        now: SimTime,
-    ) {
+    fn send_packet_physical(&mut self, from: u32, to: u32, pkt: Packet<WireMsg>, now: SimTime) {
         let size = pkt.wire_size();
         let node = &mut self.nodes[from as usize];
         node.raw_sent += 1;
@@ -1347,7 +1447,7 @@ impl Cluster {
         // get their own IHAVE/IWANT/GRAFT/PRUNE classes so `tracetool ledger`
         // can split tree maintenance from data bytes.
         let (class, trace_id) = match &pkt {
-            Packet::Payload(_, m) => (m.kind().name(), m.message_id().trace_id()),
+            Packet::Payload(_, m) => (m.inner.kind().name(), m.message_id().trace_id()),
             _ => (pkt.control_class().expect("non-payload has class"), 0),
         };
         self.ledger.add_out(SUBSYS_TRANSPORT, class, size as u64);
@@ -1393,41 +1493,69 @@ impl Cluster {
 
         // End-of-run promise snapshot for every process, then the
         // cross-process safety audit (agreement, integrity, gap-free
-        // prefixes, promise monotonicity).
+        // prefixes, promise monotonicity) — run independently on every
+        // consensus group.
         let end = self.end;
         for i in 0..self.params.n as u32 {
             self.snapshot_promise(i, end);
         }
-        let audit = RunAudit {
-            n: self.params.n,
-            delivered: self
-                .nodes
-                .iter()
-                .map(|n| {
-                    n.delivered_log
-                        .iter()
-                        .map(|&(i, v, dup)| (i.as_u64(), v, dup))
-                        .collect()
-                })
-                .collect(),
-            promises: std::mem::take(&mut self.promise_log),
-            submitted: self.tracked.keys().copied().collect(),
-        };
-        let report = SafetyAuditor::audit(&audit);
-        if self.tracer.is_enabled() {
-            for v in &report.violations {
-                self.tracer.record(
-                    end,
-                    ObsEvent::AuditViolation {
-                        node: v.node(),
-                        detail: v.to_string(),
-                    },
-                );
+        let promise_log = std::mem::take(&mut self.promise_log);
+        let groups = self.params.groups;
+        let mut ordered_by_group = vec![0u64; groups];
+        for (id, t) in &self.tracked {
+            if t.in_window && t.ordered_at.is_some() {
+                ordered_by_group[shard_of(*id, groups) as usize] += 1;
             }
         }
-        metrics.safety_ok = report.is_clean();
-        metrics.violations = report.violations;
-        metrics.audit = audit;
+        metrics.ordered_by_group = ordered_by_group;
+        let mut audits = Vec::with_capacity(groups);
+        let mut safety_ok = true;
+        let mut violations = Vec::new();
+        for g in 0..groups {
+            let audit = RunAudit {
+                n: self.params.n,
+                delivered: self
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        n.groups[g]
+                            .delivered_log
+                            .iter()
+                            .map(|&(i, v, dup)| (i.as_u64(), v, dup))
+                            .collect()
+                    })
+                    .collect(),
+                promises: promise_log
+                    .iter()
+                    .map(|per_node| per_node[g].clone())
+                    .collect(),
+                submitted: self
+                    .tracked
+                    .keys()
+                    .copied()
+                    .filter(|&id| shard_of(id, groups) as usize == g)
+                    .collect(),
+            };
+            let report = SafetyAuditor::audit(&audit);
+            if self.tracer.is_enabled() {
+                for v in &report.violations {
+                    self.tracer.record(
+                        end,
+                        ObsEvent::AuditViolation {
+                            node: v.node(),
+                            detail: v.to_string(),
+                        },
+                    );
+                }
+            }
+            safety_ok &= report.is_clean();
+            violations.extend(report.violations);
+            audits.push(audit);
+        }
+        metrics.safety_ok = safety_ok;
+        metrics.violations = violations;
+        metrics.audit = audits[0].clone();
+        metrics.audits = audits;
 
         for (i, node) in self.nodes.iter_mut().enumerate() {
             metrics.record_node(
@@ -1449,16 +1577,18 @@ impl Cluster {
         // CPU and bytes were already attributed at the arrival and send
         // points.
         for node in &self.nodes {
-            for (kind, &count) in paxos::message::Kind::ALL
-                .iter()
-                .zip(node.paxos.handled_by_kind())
-            {
-                if count > 0 {
-                    self.ledger.add_messages(SUBSYS_PAXOS, kind.name(), count);
+            for rt in &node.groups {
+                for (kind, &count) in paxos::message::Kind::ALL
+                    .iter()
+                    .zip(rt.paxos.handled_by_kind())
+                {
+                    if count > 0 {
+                        self.ledger.add_messages(SUBSYS_PAXOS, kind.name(), count);
+                    }
                 }
             }
             if let Comms::Gossip(g) = &node.comms {
-                if let Some(s) = g.semantics().paxos() {
+                for s in g.semantics().iter().filter_map(|s| s.paxos()) {
                     for (kind, &count) in paxos::message::Kind::ALL.iter().zip(s.filtered_by_kind())
                     {
                         if count > 0 {
@@ -1496,7 +1626,9 @@ impl Cluster {
             // sort keeps each process's events in emission order.
             let mut events = std::mem::take(&mut self.paxos_trace_backlog);
             for node in &mut self.nodes {
-                events.extend(node.paxos.observer_mut().drain());
+                for rt in &mut node.groups {
+                    events.extend(rt.paxos.observer_mut().drain());
+                }
                 match &mut node.comms {
                     Comms::Gossip(g) => events.extend(g.observer_mut().drain()),
                     Comms::EagerLazy(p) => events.extend(p.observer_mut().drain()),
@@ -2019,6 +2151,81 @@ mod tests {
         assert!(m.not_ordered_in_window > 0);
         // But the rest of the system kept going.
         assert!(m.ordered > m.not_ordered_in_window);
+    }
+
+    #[test]
+    fn sharded_groups_order_everything_and_audit_clean() {
+        let params = ClusterParams::paper(13, Setup::SemanticGossip)
+            .with_groups(4)
+            .with_rate(13.0)
+            .with_seconds(2.0, 1.0);
+        let m = run_cluster(&params);
+        assert!(m.safety_ok, "{:?}", m.violations);
+        assert_eq!(m.not_ordered_in_window, 0);
+        assert_eq!(m.audits.len(), 4, "one audit per group");
+        assert_eq!(m.audit, m.audits[0], "audit aliases group 0");
+        assert_eq!(
+            m.ordered_by_group.iter().sum::<u64>(),
+            m.ordered,
+            "per-group ordered counts must sum to the total"
+        );
+        assert!(
+            m.ordered_by_group.iter().filter(|&&c| c > 0).count() >= 2,
+            "hash sharding should spread values over groups: {:?}",
+            m.ordered_by_group
+        );
+        // Every group made progress on its own log.
+        for (g, audit) in m.audits.iter().enumerate() {
+            assert!(
+                audit.delivered.iter().any(|log| !log.is_empty()),
+                "group {g} delivered nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn single_group_run_exposes_one_audit() {
+        let m = quick(13, Setup::Gossip, 13.0);
+        assert_eq!(m.audits.len(), 1);
+        assert_eq!(m.ordered_by_group, vec![m.ordered]);
+    }
+
+    #[test]
+    fn sharding_scales_a_pipeline_limited_deployment() {
+        // With a tiny open-instance window a single group is RTT-bound;
+        // independent groups multiply the aggregate window (ROADMAP open
+        // item 1 / the shard-scaling benchmark's mechanism).
+        let base = ClusterParams::paper(13, Setup::Gossip)
+            .with_max_open_instances(2)
+            .with_rate(60.0)
+            .with_seconds(2.0, 1.0);
+        let one = run_cluster(&base);
+        let four = run_cluster(&base.clone().with_groups(4));
+        assert!(one.safety_ok && four.safety_ok);
+        assert!(
+            four.ordered > one.ordered,
+            "4 groups must outrun 1: {} vs {}",
+            four.ordered,
+            one.ordered
+        );
+    }
+
+    #[test]
+    fn batching_packs_backlogged_values_into_fewer_instances() {
+        let base = ClusterParams::paper(13, Setup::Baseline)
+            .with_max_open_instances(1)
+            .with_rate(60.0)
+            .with_seconds(2.0, 1.0);
+        let plain = run_cluster(&base);
+        let batched = run_cluster(&base.clone().with_batch_values(8));
+        assert!(plain.safety_ok, "{:?}", plain.violations);
+        assert!(batched.safety_ok, "{:?}", batched.violations);
+        assert!(
+            batched.ordered > 2 * plain.ordered,
+            "batching must lift a window-limited pipeline: {} vs {}",
+            batched.ordered,
+            plain.ordered
+        );
     }
 
     #[test]

@@ -429,6 +429,10 @@ impl FaultPlan {
 pub struct FuzzConfig {
     /// System size.
     pub n: usize,
+    /// Consensus groups sharded over the substrate; every trial audits
+    /// each group independently, and neutrality is compared shard by
+    /// shard. 1 — the default — fuzzes the paper's single-group system.
+    pub groups: usize,
     /// Aggregate client submission rate (values/s).
     pub rate: f64,
     /// Warm-up before the measurement window (ms).
@@ -452,6 +456,7 @@ impl Default for FuzzConfig {
     fn default() -> Self {
         FuzzConfig {
             n: 13,
+            groups: 1,
             rate: 26.0,
             warmup_ms: 300,
             window_ms: 700,
@@ -511,6 +516,7 @@ impl Fuzzer {
 
     fn base_params(&self, setup: Setup, seed: u64) -> ClusterParams {
         let mut params = ClusterParams::paper(self.config.n, setup)
+            .with_groups(self.config.groups)
             .with_seed(seed)
             .with_rate(self.config.rate);
         params.warmup = SimDuration::from_millis(self.config.warmup_ms);
@@ -541,13 +547,15 @@ impl Fuzzer {
             });
             // The set comparison is only sound when nothing was lost or
             // down; both runs are still individually audited above on
-            // every plan.
+            // every plan. Sharded configs compare each group's decided
+            // set on its own — values must not leak between shards.
             if plan.is_benign() {
-                report.merge(SafetyAuditor::audit_neutrality(
-                    &gossip.audit,
-                    &semantic.audit,
-                ));
-                report.merge(SafetyAuditor::audit_neutrality(&gossip.audit, &eager.audit));
+                for (a, b) in gossip.audits.iter().zip(&semantic.audits) {
+                    report.merge(SafetyAuditor::audit_neutrality(a, b));
+                }
+                for (a, b) in gossip.audits.iter().zip(&eager.audits) {
+                    report.merge(SafetyAuditor::audit_neutrality(a, b));
+                }
             }
         }
         if self.config.selftest {
@@ -842,6 +850,26 @@ mod tests {
         assert!(m.safety_ok);
         assert_eq!(m.not_ordered_in_window, 0, "{m:?}");
         assert!(m.ordered > 0);
+    }
+
+    #[test]
+    fn multi_group_trials_audit_every_shard() {
+        let mut config = tiny_config();
+        config.groups = 3;
+        let fuzzer = Fuzzer::new(config);
+        // Benign plan with neutrality on: each of the three shards is
+        // audited individually and compared shard-by-shard across the
+        // push, semantic and eager/lazy substrates.
+        let report = fuzzer.run_plan(&FaultPlan::default(), 5);
+        assert!(report.is_clean(), "{report}");
+        // A faulty plan on a sharded system must still audit clean.
+        let verdict = Fuzzer::new(FuzzConfig {
+            groups: 3,
+            check_neutrality: false,
+            ..tiny_config()
+        })
+        .run_seed(3);
+        assert!(verdict.report.is_clean(), "{}", verdict.report);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! The reusable "one consensus group on one node" bundle.
+//!
+//! [`cluster`](crate::cluster) used to wire exactly one Paxos process per
+//! simulated node; sharded multi-group runs need several, all sharing the
+//! node's gossip substrate and CPU. `GroupRuntime` is that per-group slice:
+//! the Paxos process, its delivery log (audit evidence), and its optional
+//! round-change timer — everything that is *per group* rather than *per
+//! node*. The node keeps exactly one communication layer, one CPU queue and
+//! one loss injector; messages are routed to the right `GroupRuntime` by the
+//! group tag carried in [`semantic_gossip::Grouped`].
+
+use obs::{RingObserver, TimedEvent};
+use paxos::{InstanceId, MemoryStorage, PaxosConfig, PaxosProcess, RoundChangeTimer, ValueId};
+use semantic_gossip::{id::stable_hash64, NodeId};
+
+/// One consensus group's state on one simulated node.
+pub struct GroupRuntime {
+    /// The group id (also stored in the process's [`PaxosConfig`]).
+    pub group: u32,
+    /// The group's Paxos process on this node.
+    pub paxos: PaxosProcess<MemoryStorage, RingObserver>,
+    /// Instance → value-id of everything this group delivered in order on
+    /// this node, for the end-of-run safety audit. Batched instances
+    /// contribute one entry per component value.
+    pub delivered_log: Vec<(InstanceId, ValueId, bool)>,
+    /// Round-change timer, when failover is enabled. Group `g`'s round `r`
+    /// is led by process `(r + g) mod n`, so each group's timer rotates
+    /// leadership on its own offset.
+    pub timer: Option<RoundChangeTimer>,
+}
+
+impl GroupRuntime {
+    /// Creates the runtime for `config.group` on process `node`. When
+    /// `failover` is `Some(timeout_ns)`, a round-change timer with this
+    /// group's rotation offset is armed at tick 0.
+    pub fn new(
+        node: NodeId,
+        config: PaxosConfig,
+        ring_capacity: usize,
+        failover: Option<u64>,
+    ) -> Self {
+        let group = config.group;
+        let n = config.n;
+        GroupRuntime {
+            group,
+            paxos: PaxosProcess::with_observer(
+                node,
+                config,
+                MemoryStorage::default(),
+                RingObserver::with_capacity(ring_capacity),
+            ),
+            delivered_log: Vec::new(),
+            timer: failover.map(|t| RoundChangeTimer::for_group(node, n, group, t, 0)),
+        }
+    }
+
+    /// Crash-recovery rebuild: only the acceptor's stable storage survives;
+    /// learner, coordinator state and the delivery log are volatile and
+    /// start fresh (the paper's crash-recovery model, §2.1). Returns the
+    /// crashed incarnation's trace events so the run's merged trace keeps
+    /// them.
+    pub fn recover(
+        &mut self,
+        node: NodeId,
+        config: PaxosConfig,
+        ring_capacity: usize,
+    ) -> Vec<TimedEvent> {
+        let mut old = std::mem::replace(
+            &mut self.paxos,
+            PaxosProcess::with_observer(
+                node,
+                config.clone(),
+                MemoryStorage::default(),
+                RingObserver::with_capacity(0),
+            ),
+        );
+        let salvaged: Vec<TimedEvent> = old.observer_mut().drain();
+        let storage = old.into_acceptor_storage();
+        self.paxos = PaxosProcess::with_observer(
+            node,
+            config,
+            storage,
+            RingObserver::with_capacity(ring_capacity),
+        );
+        self.delivered_log.clear();
+        salvaged
+    }
+}
+
+/// The consensus group a client value shards to: a stable hash of the
+/// value's id, so every node routes the same value to the same group
+/// without coordination.
+pub fn shard_of(id: ValueId, groups: usize) -> u32 {
+    debug_assert!(groups > 0, "sharding needs at least one group");
+    if groups == 1 {
+        return 0;
+    }
+    let mut key = [0u8; 12];
+    key[..4].copy_from_slice(&id.origin.as_u32().to_le_bytes());
+    key[4..].copy_from_slice(&id.seq.to_le_bytes());
+    (stable_hash64(&key) % groups as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paxos::{PaxosMessage, Round};
+
+    #[test]
+    fn timer_rotates_on_the_group_offset() {
+        // Group 2 of n=5: round 1 is led by (1 + 2) mod 5 = process 3.
+        let config = PaxosConfig::new(5).with_group(2);
+        let mut rt = GroupRuntime::new(NodeId::new(3), config, 0, Some(100));
+        let timer = rt.timer.as_mut().expect("failover armed");
+        assert_eq!(timer.suspect(1000), Some(Round::new(1)));
+    }
+
+    #[test]
+    fn recovery_keeps_the_durable_promise_and_clears_the_log() {
+        let config = PaxosConfig::new(3).with_group(1);
+        // Group 1's round 2 is led by (2 + 1) mod 3 = process 0.
+        let mut rt = GroupRuntime::new(NodeId::new(2), config.clone(), 0, None);
+        rt.paxos.handle(PaxosMessage::Phase1a {
+            round: Round::new(2),
+            from_instance: InstanceId::new(0),
+            sender: NodeId::new(0),
+        });
+        assert_eq!(rt.paxos.promised_round(), Round::new(2));
+        rt.delivered_log
+            .push((InstanceId::new(0), ValueId::new(NodeId::new(1), 7), false));
+
+        rt.recover(NodeId::new(2), config, 0);
+        assert_eq!(
+            rt.paxos.promised_round(),
+            Round::new(2),
+            "the acceptor's promise is durable"
+        );
+        assert!(rt.delivered_log.is_empty(), "the delivery log is volatile");
+    }
+
+    #[test]
+    fn sharding_is_stable_and_covers_every_group() {
+        let groups = 4;
+        let mut seen = vec![false; groups];
+        for seq in 0..64 {
+            let id = ValueId::new(NodeId::new(seq as u32 % 13), seq);
+            let s = shard_of(id, groups);
+            assert_eq!(s, shard_of(id, groups), "sharding must be deterministic");
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 values should hit all 4 groups");
+        assert_eq!(shard_of(ValueId::new(NodeId::new(1), 9), 1), 0);
+    }
+}

@@ -30,6 +30,7 @@ pub mod cluster;
 pub mod critical_path;
 pub mod experiments;
 pub mod fuzz;
+pub mod group_runtime;
 pub mod metrics;
 pub mod report;
 pub mod sweep;
@@ -37,5 +38,6 @@ pub mod sweep;
 pub use audit::{AuditReport, RunAudit, SafetyAuditor, Violation};
 pub use cluster::{run_cluster, ClusterParams, CpuCosts, DedupKind, Setup};
 pub use fuzz::{FaultPlan, FuzzConfig, FuzzOutcome, Fuzzer, TrialVerdict};
+pub use group_runtime::{shard_of, GroupRuntime};
 pub use metrics::RunMetrics;
 pub use sweep::{saturation_point, SweepPoint};

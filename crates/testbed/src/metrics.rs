@@ -61,8 +61,18 @@ pub struct RunMetrics {
     pub violations: Vec<Violation>,
     /// The raw cross-process audit evidence of the run (delivery logs,
     /// promised-round observations, submitted values) for cross-run
-    /// checks such as semantic neutrality.
+    /// checks such as semantic neutrality. Under sharding this is group
+    /// 0's evidence — the full per-group set is in
+    /// [`RunMetrics::audits`].
     pub audit: RunAudit,
+    /// Per consensus group: the group's own audit evidence, indexed by
+    /// group id. A single-group run has exactly one entry, identical to
+    /// [`RunMetrics::audit`]. Every group is audited independently —
+    /// `safety_ok`/`violations` cover all of them.
+    pub audits: Vec<RunAudit>,
+    /// In-window values ordered, per consensus group (indexed by group
+    /// id; sums to [`RunMetrics::ordered`]).
+    pub ordered_by_group: Vec<u64>,
     /// Raw messages received per process (post injected loss).
     pub node_received: Vec<u64>,
     /// Raw messages sent per process.
@@ -113,6 +123,8 @@ impl RunMetrics {
             safety_ok: true,
             violations: Vec::new(),
             audit: RunAudit::default(),
+            audits: Vec::new(),
+            ordered_by_group: Vec::new(),
             node_received: Vec::new(),
             node_sent: Vec::new(),
             gossip: MessageStats::default(),
@@ -296,6 +308,40 @@ impl RunMetrics {
             MetricKind::Gauge,
         );
         exp.sample_u64("testbed_safety_ok", base, u64::from(self.safety_ok));
+
+        // Per-shard breakdowns, present once the run is sharded (a
+        // single-group run emits the group="0" series only).
+        if !self.ordered_by_group.is_empty() {
+            exp.header(
+                "testbed_group_ordered_total",
+                "In-window values ordered, per consensus group",
+                MetricKind::Counter,
+            );
+            for (g, &ordered) in self.ordered_by_group.iter().enumerate() {
+                let group = g.to_string();
+                exp.sample_u64(
+                    "testbed_group_ordered_total",
+                    &[("setup", setup), ("group", group.as_str())],
+                    ordered,
+                );
+            }
+        }
+        if !self.audits.is_empty() {
+            exp.header(
+                "testbed_group_audit_clean",
+                "1 when the group's own safety audit found no violations",
+                MetricKind::Gauge,
+            );
+            for (g, audit) in self.audits.iter().enumerate() {
+                let group = g.to_string();
+                let clean = crate::audit::SafetyAuditor::audit(audit).is_clean();
+                exp.sample_u64(
+                    "testbed_group_audit_clean",
+                    &[("setup", setup), ("group", group.as_str())],
+                    u64::from(clean),
+                );
+            }
+        }
 
         exp.header(
             "gossip_messages_total",

@@ -5,6 +5,9 @@
 //! This is the workspace's libp2p-substitute demonstration: protocol
 //! messages are encoded with the hand-written wire codec, framed, and
 //! pushed over real sockets by per-peer send threads with bounded queues.
+//! Frames travel in the multi-group wire format (`Grouped<PaxosMessage>`:
+//! a leading group-id byte), so this single-group deployment speaks the
+//! same protocol as a sharded one.
 //!
 //! Run with:
 //! ```text
@@ -61,8 +64,16 @@ const FLIGHT_CAPACITY: usize = 4096;
 /// ring from a single instrumentation point.
 type NodeObs = Tee<SharedRing, SharedRing>;
 
+/// The deployment runs one consensus group, but its frames travel in the
+/// multi-group wire format — one group-id byte ahead of the Paxos
+/// encoding — so a sharded peer speaks the same protocol.
+const GROUP: u32 = 0;
+
+/// What actually travels on the wire: a group-tagged Paxos message.
+type WireMsg = Grouped<PaxosMessage>;
+
 /// The fully instrumented node stack used by this example.
-type Gossip = GossipNode<PaxosMessage, PaxosSemantics, RecentCache, NodeObs>;
+type Gossip = GossipNode<WireMsg, GroupedSemantics<PaxosSemantics>, RecentCache, NodeObs>;
 type Paxos = gossip_consensus::paxos::PaxosProcess<MemoryStorage, NodeObs>;
 
 fn main() {
@@ -431,7 +442,7 @@ fn node_main(
         NodeId::new(id as u32),
         neighbors,
         gossip_config,
-        PaxosSemantics::full(config.clone()),
+        GroupedSemantics::new(vec![PaxosSemantics::full(config.clone())]),
         RecentCache::new(gossip_config.recent_cache_size),
         Tee::new(ring.clone(), local.clone()),
     );
@@ -451,19 +462,19 @@ fn node_main(
     // Node 0 coordinates; every node submits one client command.
     if id == 0 {
         for out in paxos.start_round(Round::ZERO) {
-            gossip.broadcast(out.msg);
+            gossip.broadcast(Grouped::new(GROUP, out.msg));
         }
     }
     let payload = format!("command-from-node-{id}").into_bytes();
     let (_, out) = paxos.submit_payload(payload);
     for o in out {
-        gossip.broadcast(o.msg);
+        gossip.broadcast(Grouped::new(GROUP, o.msg));
     }
 
     // Scratch buffers and per-tick frame cache, reused across iterations:
     // the hot loop allocates only when a *distinct* message is encoded.
-    let mut outgoing: Vec<(NodeId, Arc<PaxosMessage>)> = Vec::new();
-    let mut deliveries: Vec<PaxosMessage> = Vec::new();
+    let mut outgoing: Vec<(NodeId, Arc<WireMsg>)> = Vec::new();
+    let mut deliveries: Vec<WireMsg> = Vec::new();
     let mut encode_buf: Vec<u8> = Vec::new();
     let mut frame_cache: HashMap<MessageId, (Bytes, u64)> = HashMap::new();
     let mut wire = WireCounters::default();
@@ -483,7 +494,7 @@ fn node_main(
             });
             *fanout += 1;
             wire.sent += frame.len() as u64;
-            *wire.by_class.entry(msg.kind().name()).or_insert(0) += frame.len() as u64;
+            *wire.by_class.entry(msg.inner.kind().name()).or_insert(0) += frame.len() as u64;
             if let Some(m) = &metrics {
                 m.frame_bytes.record(frame.len() as u64);
             }
@@ -502,7 +513,7 @@ fn node_main(
         if let Some(PeerEvent::Frame { from, payload }) =
             endpoint.recv_timeout(Duration::from_millis(20))
         {
-            match PaxosMessage::from_bytes(&payload) {
+            match WireMsg::from_bytes(&payload) {
                 Ok(msg) => gossip.on_receive(from, msg),
                 Err(e) => eprintln!("node {id}: bad frame from {from}: {e}"),
             }
@@ -515,8 +526,8 @@ fn node_main(
                 break;
             }
             for msg in deliveries.drain(..) {
-                for o in paxos.handle(msg) {
-                    gossip.broadcast(o.msg);
+                for o in paxos.handle(msg.inner) {
+                    gossip.broadcast(Grouped::new(GROUP, o.msg));
                 }
             }
         }

@@ -11,8 +11,14 @@
 //! Run with:
 //! ```text
 //! cargo run --release --example wan_paxos [n] [rate] [--trace out.jsonl] \
-//!     [--setup NAME] [--metrics-addr 127.0.0.1:9300] [--linger SECS]
+//!     [--setup NAME] [--groups G] [--metrics-addr 127.0.0.1:9300] \
+//!     [--linger SECS]
 //! ```
+//!
+//! `--groups G` shards the client values over G independent consensus
+//! groups multiplexed on the same substrate (one Paxos group per shard,
+//! group-tagged on the wire); each run prints per-shard ordered counts
+//! and every shard is audited independently.
 //!
 //! `--setup NAME` runs only the substrates whose name contains NAME
 //! (case-insensitive), e.g. `--setup eager` for an eager/lazy-only run —
@@ -46,10 +52,18 @@ fn main() {
     let mut setup_filter: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
     let mut linger = std::time::Duration::ZERO;
+    let mut groups: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace_path = Some(args.next().expect("--trace needs a file path")),
+            "--groups" => {
+                groups = args
+                    .next()
+                    .expect("--groups needs a count")
+                    .parse()
+                    .expect("--groups needs an integer");
+            }
             "--setup" => {
                 setup_filter = Some(
                     args.next()
@@ -89,7 +103,14 @@ fn main() {
         server
     });
 
-    println!("Paxos across 13 regions: n = {n}, {rate:.0} commands/s aggregate\n");
+    println!(
+        "Paxos across 13 regions: n = {n}, {rate:.0} commands/s aggregate{}\n",
+        if groups > 1 {
+            format!(", sharded over {groups} groups")
+        } else {
+            String::new()
+        }
+    );
     println!(
         "{:<16} {:>12} {:>14} {:>12} {:>12} {:>10}",
         "setup", "ordered", "throughput/s", "avg lat", "p99 lat", "dup %"
@@ -117,6 +138,7 @@ fn main() {
     });
     for setup in setups {
         let mut params = ClusterParams::paper(n, setup)
+            .with_groups(groups)
             .with_rate(rate)
             .with_seconds(4.0, 1.0)
             .with_seed(42);
@@ -153,6 +175,19 @@ fn main() {
             format!("{p99}"),
             m.duplicate_ratio() * 100.0,
         );
+        if groups > 1 {
+            let per_shard: Vec<String> = m
+                .ordered_by_group
+                .iter()
+                .enumerate()
+                .map(|(g, o)| format!("g{g}={o}"))
+                .collect();
+            println!(
+                "  shards: {} ({} audit(s) clean)",
+                per_shard.join(" "),
+                m.audits.len()
+            );
+        }
         if let Some(t) = &m.trace_jsonl {
             jsonl.push_str(t);
         }
